@@ -1,0 +1,45 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Every bench:
+
+* regenerates one table or figure of the paper (same rows/series),
+* archives the text output under ``benchmarks/results/``,
+* asserts the paper's *shape* (who wins, direction of trends) — not
+  absolute numbers, which depend on the simulated substrate.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Heavy experiments run
+once per process via :func:`repro.bench.run_experiment`'s cache.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Write a bench's text output to benchmarks/results/<name>.txt."""
+
+    def _archive(name: str, content: str) -> str:
+        from repro.bench import write_result
+
+        print()
+        print(content)
+        return write_result(name, content, directory=results_dir)
+
+    return _archive
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""Appendix A: measured error against the proved bounds.
+
+* A.1 — quantile-bucket quantization variance vs the Theorem A.2 bound;
+* A.2 — MinMaxSketch exact-decode rate vs the Eq. (2) lower bound and
+  the one-sided (never amplified) error guarantee.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench import format_table
+from repro.core import MinMaxSketch, QuantileBucketQuantizer
+
+
+def measure_bounds():
+    rng = np.random.default_rng(0)
+    rows_a1 = []
+    for q in (32, 128, 512):
+        values = rng.laplace(scale=0.01, size=40_000)
+        values[values == 0.0] = 1e-6
+        quant = QuantileBucketQuantizer(num_buckets=q, sketch="exact").fit(values)
+        actual = float(np.sum((quant.quantize(values) - values) ** 2))
+        bound = quant.variance_bound(values)
+        rows_a1.append([q, actual, bound, actual / bound])
+
+    rows_a2 = []
+    v = 2_000
+    keys = np.sort(rng.choice(10**6, size=v, replace=False))
+    indexes = rng.permutation(v)
+    for w in (512, 2_048, 8_192):
+        sk = MinMaxSketch(num_rows=2, num_bins=w, index_range=v, seed=1)
+        sk.insert_many(keys, indexes)
+        decoded = sk.query_many(keys)
+        exact = float((decoded == indexes).mean())
+        overestimates = int((decoded > indexes).sum())
+        ls = np.arange(1, v + 1)
+        bound = float(
+            (1.0 - (1.0 - (1.0 - 1.0 / w) ** (v - ls)) ** 2).mean()
+        )
+        rows_a2.append([w, exact, bound, overestimates])
+    return rows_a1, rows_a2
+
+
+def test_appendix_theory_bounds(benchmark, archive):
+    rows_a1, rows_a2 = run_once(benchmark, measure_bounds)
+
+    table1 = format_table(
+        ["q", "measured variance", "Theorem A.2 bound", "ratio"],
+        [[r[0], round(r[1], 6), round(r[2], 6), round(r[3], 3)] for r in rows_a1],
+        title="A.1: quantization variance vs bound (Laplace gradients)",
+    )
+    table2 = format_table(
+        ["bins w", "exact-decode rate", "Eq.(2) lower bound", "overestimates"],
+        [[r[0], round(r[1], 4), round(r[2], 4), r[3]] for r in rows_a2],
+        title="A.2: MinMaxSketch correctness rate vs bound (s=2)",
+    )
+    archive("appendix_theory_bounds", table1 + "\n\n" + table2)
+
+    for _, actual, bound, ratio in rows_a1:
+        assert actual <= bound
+        assert ratio < 1.0
+    for _, exact, bound, overestimates in rows_a2:
+        assert exact >= bound - 0.05  # Monte-Carlo slack
+        assert overestimates == 0  # one-sided error, always

@@ -1,0 +1,67 @@
+"""Figure 12 (Appendix B.1): distributed SketchML vs a single-node system.
+
+Paper: scikit-learn on one machine vs SketchML on 5 and 10 machines,
+KDD10, twenty epochs.  SketchML-5 is ~2× faster than the serial system
+(compute parallelism + fast parallel loading), and SketchML-10 adds a
+further ~1.3-1.6×.
+"""
+
+from conftest import run_once
+from repro.baselines import SingleNodeConfig, SingleNodeTrainer
+from repro.bench import ExperimentSpec, format_table, load_split, run_experiment
+from repro.models import LogisticRegression
+from repro.optim import Adam
+
+EPOCHS = 5
+COMPUTE_PER_NNZ = 3e-4
+
+
+def run_fig12():
+    train, test = load_split("kdd10")
+    serial = SingleNodeTrainer(
+        LogisticRegression(train.num_features, reg_lambda=0.01),
+        Adam(learning_rate=0.01),
+        SingleNodeConfig(
+            epochs=EPOCHS,
+            compute_seconds_per_nnz=COMPUTE_PER_NNZ,
+            # Single disk: load the full file at laptop-scaled
+            # throughput; the cluster splits loading W ways.
+            disk_bytes_per_sec=2e5,
+        ),
+    )
+    histories = {"SkLearn": serial.train(train, test)}
+    for workers in (5, 10):
+        spec = ExperimentSpec(
+            profile="kdd10",
+            model="lr",
+            method="SketchML",
+            num_workers=workers,
+            epochs=EPOCHS,
+            cluster="cluster1",
+        )
+        histories[f"SketchML-{workers}"] = run_experiment(spec)
+    return histories
+
+
+def test_fig12_single_node_comparison(benchmark, archive):
+    histories = run_once(benchmark, run_fig12)
+
+    rows = [
+        [name, round(sum(h.epoch_seconds), 2), round(h.avg_epoch_seconds, 2)]
+        for name, h in histories.items()
+    ]
+    archive(
+        "fig12_single_node",
+        format_table(
+            ["system", f"total time for {EPOCHS} epochs (s)", "avg epoch (s)"],
+            rows,
+            title="Figure 12: single-node system vs distributed SketchML (KDD10-like, LR)",
+        ),
+    )
+
+    total = {name: sum(h.epoch_seconds) for name, h in histories.items()}
+    # SketchML-5 beats the serial system; SketchML-10 beats SketchML-5.
+    assert total["SketchML-5"] < total["SkLearn"]
+    assert total["SketchML-10"] < total["SketchML-5"]
+    # Paper's factors: 2-2.7x serial->5 workers, 1.3-1.6x for 5->10.
+    assert total["SkLearn"] / total["SketchML-5"] > 1.5

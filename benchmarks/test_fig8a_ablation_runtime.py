@@ -1,0 +1,54 @@
+"""Figure 8(a): run time per epoch as components are added.
+
+Paper setting: KDD10 on ten executors of Cluster-1; bars for
+Adam → Adam+Key → Adam+Key+Quan → Adam+Key+Quan+MinMax across
+LR / SVM / Linear.  Each added component must reduce the epoch time.
+"""
+
+from conftest import run_once
+from repro.bench import ExperimentSpec, format_table, run_experiment
+
+STAGES = ["Adam", "Adam+Key", "Adam+Key+Quan", "Adam+Key+Quan+MinMax"]
+MODELS = ["lr", "svm", "linear"]
+
+
+def run_ablation():
+    results = {}
+    for model in MODELS:
+        for stage in STAGES:
+            spec = ExperimentSpec(
+                profile="kdd10",
+                model=model,
+                method=stage,
+                num_workers=10,
+                epochs=3,
+                cluster="cluster1",
+            )
+            results[(model, stage)] = run_experiment(spec)
+    return results
+
+
+def test_fig8a_component_ablation(benchmark, archive):
+    results = run_once(benchmark, run_ablation)
+
+    rows = [
+        [model.upper()] + [round(results[(model, s)].avg_epoch_seconds, 2) for s in STAGES]
+        for model in MODELS
+    ]
+    archive(
+        "fig8a_ablation_runtime",
+        format_table(
+            ["model"] + STAGES,
+            rows,
+            title="Figure 8(a): run time per epoch (seconds), KDD10-like, 10 workers",
+        ),
+    )
+
+    for model in MODELS:
+        times = [results[(model, s)].avg_epoch_seconds for s in STAGES]
+        # Every component strictly helps, as in the paper's bars.
+        assert times[1] < times[0], f"{model}: delta keys must beat Adam"
+        assert times[2] < times[1], f"{model}: quantization must beat keys-only"
+        assert times[3] <= times[2] * 1.05, f"{model}: MinMax must not regress"
+        # Full stack is a multiple faster than plain Adam (paper: ~4-6x).
+        assert times[0] / times[3] > 2.0, f"{model}: full stack under 2x speedup"

@@ -1,0 +1,64 @@
+"""Figure 8(b): average message size and compression rate per stage.
+
+Paper values (KDD10, LR): 35.58 → 27.39 → 6.63 → 4.92 MB, i.e.
+compression rates 1.00 / 1.30 / 5.36 / 7.24.  Our messages are ~10³×
+smaller, but the ordering and the approximate per-stage ratios must
+reproduce (delta keys ≈ 1.3×; quantization the large jump; MinMax a
+further gain).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench import ExperimentSpec, format_table, run_experiment
+
+STAGES = ["Adam", "Adam+Key", "Adam+Key+Quan", "Adam+Key+Quan+MinMax"]
+
+
+def run_stages():
+    out = {}
+    for stage in STAGES:
+        spec = ExperimentSpec(
+            profile="kdd10",
+            model="lr",
+            method=stage,
+            num_workers=10,
+            epochs=3,
+            cluster="cluster1",
+        )
+        out[stage] = run_experiment(spec)
+    return out
+
+
+def test_fig8b_message_size_and_compression_rate(benchmark, archive):
+    results = run_once(benchmark, run_stages)
+
+    rows = []
+    for stage in STAGES:
+        history = results[stage]
+        last = history.epochs[-1]
+        rows.append(
+            [
+                stage,
+                round(last.avg_message_bytes / 1024, 2),
+                round(history.avg_compression_rate, 2),
+            ]
+        )
+    archive(
+        "fig8b_message_size",
+        format_table(
+            ["stage", "avg message (KiB)", "compression rate"],
+            rows,
+            title="Figure 8(b): message size & compression rate (KDD10-like, LR)",
+        ),
+    )
+
+    rates = [results[s].avg_compression_rate for s in STAGES]
+    assert rates[0] == pytest.approx(1.0, rel=0.02)
+    # Paper: delta keys alone give 1.30x.
+    assert rates[1] == pytest.approx(1.30, rel=0.1)
+    # Quantization is the big jump; MinMax adds a further gain.
+    assert rates[2] > 2.5 * rates[1]
+    assert rates[3] > rates[2]
+    sizes = [results[s].epochs[-1].avg_message_bytes for s in STAGES]
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,63 @@
+"""Figure 8(c): CPU overhead of compression.
+
+The paper reports ~25% extra average CPU usage from compression while
+peak CPU is barely affected.  Our proxy: the measured encode+decode
+share of total compute per epoch — zero for Adam, modest (well below
+half once the modelled gradient work is included) for the full stack.
+"""
+
+from conftest import run_once
+from repro.bench import ExperimentSpec, format_table, run_experiment
+
+STAGES = ["Adam", "Adam+Key", "Adam+Key+Quan", "Adam+Key+Quan+MinMax"]
+
+
+def run_stages():
+    out = {}
+    for stage in STAGES:
+        spec = ExperimentSpec(
+            profile="kdd10",
+            model="lr",
+            method=stage,
+            num_workers=10,
+            epochs=3,
+            cluster="cluster1",
+        )
+        out[stage] = run_experiment(spec)
+    return out
+
+
+def test_fig8c_compression_cpu_overhead(benchmark, archive):
+    results = run_once(benchmark, run_stages)
+
+    rows = []
+    for stage in STAGES:
+        history = results[stage]
+        encode = sum(e.encode_seconds for e in history.epochs)
+        decode = sum(e.decode_seconds for e in history.epochs)
+        compute = sum(e.compute_seconds for e in history.epochs)
+        rows.append(
+            [
+                stage,
+                round(encode, 3),
+                round(decode, 3),
+                round(100 * (encode + decode) / compute, 1),
+            ]
+        )
+    archive(
+        "fig8c_cpu_overhead",
+        format_table(
+            ["stage", "encode (s)", "decode (s)", "codec share of compute (%)"],
+            rows,
+            title="Figure 8(c): CPU overhead of compression (KDD10-like, LR)",
+        ),
+    )
+
+    overhead = {
+        stage: row[3] for stage, row in zip(STAGES, rows)
+    }
+    # Adam has (almost) no codec cost; the full stack costs more than
+    # keys-only; and the overhead stays a minority of total compute.
+    assert overhead["Adam"] < 1.0
+    assert overhead["Adam+Key+Quan+MinMax"] > overhead["Adam+Key"]
+    assert overhead["Adam+Key+Quan+MinMax"] < 50.0

@@ -1,0 +1,85 @@
+"""Figure 8(d): impact of batch size and sparsity.
+
+Three panels in the paper (KDD10, SketchML):
+
+1. batch ratio 0.1 → 0.01 drives gradient sparsity down (fewer rows
+   per batch touch fewer dimensions);
+2. smaller batches mean more synchronisation rounds per epoch, so the
+   run time per epoch *increases*;
+3. bytes per encoded key grow slightly as gradients get sparser
+   (larger key deltas), staying ≈1.25–1.3 overall.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.bench import ExperimentSpec, format_table, run_experiment
+from repro.core.delta_encoding import delta_key_stats
+
+BATCH_RATIOS = [0.1, 0.03, 0.01]
+
+
+def run_batch_sweep():
+    out = {}
+    for ratio in BATCH_RATIOS:
+        spec = ExperimentSpec(
+            profile="kdd10",
+            model="lr",
+            method="SketchML",
+            num_workers=10,
+            epochs=2,
+            batch_fraction=ratio,
+            cluster="cluster1",
+        )
+        out[ratio] = run_experiment(spec)
+    return out
+
+
+def test_fig8d_batch_ratio_and_sparsity(benchmark, archive):
+    results = run_once(benchmark, run_batch_sweep)
+
+    train, _ = __import__("repro.bench", fromlist=["load_split"]).load_split("kdd10")
+    dimension = train.num_features
+    rows = []
+    for ratio in BATCH_RATIOS:
+        history = results[ratio]
+        nnz = np.mean([e.gradient_nnz for e in history.epochs])
+        rows.append(
+            [
+                ratio,
+                round(nnz / dimension * 100, 4),
+                round(history.avg_epoch_seconds, 2),
+            ]
+        )
+    table1 = format_table(
+        ["batch ratio", "gradient sparsity (%)", "epoch time (s)"],
+        rows,
+        title="Figure 8(d): batch ratio vs sparsity vs run time (KDD10-like)",
+    )
+
+    # Right panel: bytes/key as sparsity varies, measured directly.
+    rng = np.random.default_rng(0)
+    key_rows = []
+    for density in (0.1, 0.05, 0.01, 0.001):
+        nnz = max(16, int(dimension * density))
+        keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+        key_rows.append([density, round(delta_key_stats(keys).bytes_per_key, 3)])
+    table2 = format_table(
+        ["gradient density", "bytes per key"],
+        key_rows,
+        title="Figure 8(d) right panel: delta-key cost vs density",
+    )
+    archive("fig8d_batch_sparsity", table1 + "\n\n" + table2)
+
+    sparsities = [row[1] for row in rows]
+    times = [row[2] for row in rows]
+    assert sparsities[0] > sparsities[1] > sparsities[2], (
+        "smaller batches must produce sparser gradients"
+    )
+    assert times[2] > times[0], "smaller batches must cost more time per epoch"
+    byte_costs = [row[1] for row in key_rows]
+    # ~1.25 at the paper's 10% density, drifting up as keys spread out.
+    assert byte_costs[0] == pytest.approx(1.25, abs=0.1)
+    assert all(1.0 <= b < 2.5 for b in byte_costs)
+    assert byte_costs[-1] >= byte_costs[0], "sparser keys cost more bytes each"

@@ -1,0 +1,74 @@
+"""Figure 9: end-to-end run time per epoch, SketchML vs Adam vs ZipML.
+
+Paper: KDD12 with 10 executors (a), CTR with 50 executors (b), on the
+congested production cluster.  Ordering everywhere: SketchML < ZipML <
+Adam; and the speedup on CTR is smaller than on KDD12 because CTR's
+denser rows shift cost from communication to computation (§4.3.2).
+"""
+
+from conftest import run_once
+from repro.bench import ExperimentSpec, format_table, run_experiment
+
+MODELS = ["lr", "svm", "linear"]
+METHODS = ["SketchML", "Adam", "ZipML"]
+
+
+def spec_for(profile, model, method, workers):
+    return ExperimentSpec(
+        profile=profile,
+        model=model,
+        method=method,
+        num_workers=workers,
+        epochs=6,
+        cluster="cluster2",
+    )
+
+
+def run_fig9():
+    results = {}
+    for profile, workers in (("kdd12", 10), ("ctr", 10)):
+        for model in MODELS:
+            for method in METHODS:
+                key = (profile, model, method)
+                results[key] = run_experiment(spec_for(profile, model, method, workers))
+    return results
+
+
+def test_fig9_end_to_end_runtime(benchmark, archive):
+    results = run_once(benchmark, run_fig9)
+
+    tables = []
+    for profile, label in (("kdd12", "KDD12-like"), ("ctr", "CTR-like")):
+        rows = [
+            [model.upper()]
+            + [round(results[(profile, model, m)].avg_epoch_seconds, 2) for m in METHODS]
+            for model in MODELS
+        ]
+        tables.append(
+            format_table(
+                ["model"] + METHODS,
+                rows,
+                title=f"Figure 9 ({label}): run time per epoch (seconds)",
+            )
+        )
+    archive("fig9_end_to_end_runtime", "\n\n".join(tables))
+
+    for profile in ("kdd12", "ctr"):
+        for model in MODELS:
+            sketch = results[(profile, model, "SketchML")].avg_epoch_seconds
+            adam = results[(profile, model, "Adam")].avg_epoch_seconds
+            zipml = results[(profile, model, "ZipML")].avg_epoch_seconds
+            assert sketch < zipml < adam, (
+                f"{profile}/{model}: expected SketchML < ZipML < Adam, "
+                f"got {sketch:.2f} / {zipml:.2f} / {adam:.2f}"
+            )
+
+    # §4.3.2: the KDD12 speedup exceeds the CTR speedup (denser rows
+    # make CTR more computation-bound).
+    def speedup(profile, model):
+        return (
+            results[(profile, model, "Adam")].avg_epoch_seconds
+            / results[(profile, model, "SketchML")].avg_epoch_seconds
+        )
+
+    assert speedup("kdd12", "lr") > speedup("ctr", "lr")

@@ -1,0 +1,81 @@
+"""Table 4 (Appendix B.4): weight types of the transferred values.
+
+Paper row 1 (seconds/epoch, KDD12 LR): SketchML 100 < ZipML-8bit 231 <
+ZipML-16bit 278 < Adam-float 725 < Adam-double 1041.
+Paper row 2 (loss after a fixed budget): SketchML best; ZipML-8bit
+worst ("converges badly").
+"""
+
+from conftest import run_once
+from repro.bench import ExperimentSpec, format_table, run_experiment
+
+METHODS = ["SketchML", "ZipML-8bit", "ZipML", "Adam-float", "Adam"]
+LABELS = {
+    "SketchML": "SketchML",
+    "ZipML-8bit": "ZipML-8bit",
+    "ZipML": "ZipML-16bit",
+    "Adam-float": "Adam-float",
+    "Adam": "Adam-double",
+}
+
+
+def run_table4():
+    results = {}
+    for method in METHODS:
+        spec = ExperimentSpec(
+            profile="kdd12",
+            model="lr",
+            method=method,
+            num_workers=10,
+            epochs=6,
+            cluster="cluster2",
+        )
+        results[method] = run_experiment(spec)
+    return results
+
+
+def loss_at_time(history, budget):
+    best = None
+    for t, loss in history.loss_curve():
+        if t <= budget:
+            best = loss
+    return best
+
+
+def test_table4_weight_types(benchmark, archive):
+    results = run_once(benchmark, run_table4)
+
+    # Fixed time budget = when SketchML finishes its run (the paper's
+    # "minimal loss after two hours" — everyone is scored at the same
+    # wall-clock instant; slow methods have completed fewer epochs).
+    budget = results["SketchML"].cumulative_seconds[-1]
+    rows = []
+    for method in METHODS:
+        history = results[method]
+        rows.append(
+            [
+                LABELS[method],
+                round(history.avg_epoch_seconds, 2),
+                round(loss_at_time(history, budget) or float("nan"), 5),
+            ]
+        )
+    archive(
+        "table4_weight_types",
+        format_table(
+            ["method", "sec/epoch", f"loss at t={budget:.0f}s"],
+            rows,
+            title="Table 4: weight types (KDD12-like, LR)",
+        ),
+    )
+
+    seconds = {m: results[m].avg_epoch_seconds for m in METHODS}
+    # Paper's epoch-time ordering.
+    assert seconds["SketchML"] < seconds["ZipML-8bit"]
+    assert seconds["ZipML-8bit"] < seconds["ZipML"]
+    assert seconds["ZipML"] < seconds["Adam-float"]
+    assert seconds["Adam-float"] < seconds["Adam"]
+    # Within the fixed budget, SketchML reaches the lowest loss.
+    losses = {m: loss_at_time(results[m], budget) for m in METHODS}
+    for method in METHODS:
+        if method != "SketchML" and losses[method] is not None:
+            assert losses["SketchML"] <= losses[method] + 1e-6

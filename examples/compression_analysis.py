@@ -1,0 +1,57 @@
+"""Analyse a gradient and choose a compressor for it.
+
+Walks the decision a downstream user faces: profile the gradient
+(Fig. 4-style statistics), compare every registered codec on it, and
+visualise the size/error trade-off — all in the terminal.
+
+Run:  python examples/compression_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import compare_compressors, format_report, profile_gradient
+from repro.bench import bar_chart, sparkline
+from repro.models import LogisticRegression
+from repro.data import kdd12_like
+
+
+def main() -> None:
+    # A real first gradient from the KDD12-like workload.
+    data = kdd12_like(seed=0, scale=0.25)
+    model = LogisticRegression(data.num_features, reg_lambda=0.0)
+    batch = np.arange(int(data.num_rows * 0.1))
+    keys, values, _ = model.batch_gradient(data, batch, model.init_theta())
+
+    profile = profile_gradient(keys, values, data.num_features)
+    print("== gradient profile (the Fig. 4 statistics) ==")
+    print(f"  nonzeros            : {profile.nnz:,} of {profile.dimension:,} "
+          f"({profile.density:.4%} dense)")
+    print(f"  value range         : [{profile.value_min:+.5f}, "
+          f"{profile.value_max:+.5f}]")
+    print(f"  near zero           : {profile.near_zero_fraction:.0%} of values "
+          f"under a tenth of the max magnitude")
+    print(f"  90% of L1 mass in   : {profile.concentration_90:.1%} of entries")
+    print(f"  KS nonuniformity    : {profile.uniformity_ks:.2f} (0 = uniform)")
+    print(f"  delta-key cost      : {profile.bytes_per_key:.2f} bytes/key")
+    print(f"  SketchML-friendly   : {profile.is_sketchml_friendly}\n")
+
+    sorted_mags = np.sort(np.abs(values))[:: max(1, keys.size // 60)]
+    print("magnitude profile (sorted):", sparkline(sorted_mags), "\n")
+
+    print("== codec comparison ==")
+    rows = compare_compressors(keys, values, data.num_features)
+    print(format_report(rows))
+    print()
+
+    lossless = [r for r in rows if r.keys_lossless]
+    print("== bytes on the wire (lossless-key codecs) ==")
+    print(bar_chart(
+        [r.name for r in lossless],
+        [r.num_bytes / 1024 for r in lossless],
+        width=44,
+        unit=" KiB",
+    ))
+
+
+if __name__ == "__main__":
+    main()

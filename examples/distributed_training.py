@@ -1,0 +1,62 @@
+"""Distributed logistic regression: SketchML vs Adam vs ZipML.
+
+Reproduces the paper's core experiment at example scale: a KDD10-like
+sparse dataset partitioned over ten simulated workers, trained with
+mini-batch Adam SGD while gradients travel through each compressor.
+Prints per-epoch simulated times, bytes on the wire, and the loss
+trajectory — SketchML's epochs are several times cheaper at nearly the
+same convergence per epoch.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro import (
+    DistributedTrainer,
+    IdentityCompressor,
+    SketchMLCompressor,
+    TrainerConfig,
+    ZipMLCompressor,
+    cluster1_like,
+)
+from repro.data import kdd10_like, train_test_split
+from repro.models import LogisticRegression
+from repro.optim import Adam
+
+METHODS = {
+    "Adam (no compression)": IdentityCompressor,
+    "ZipML (16-bit uniform)": lambda: ZipMLCompressor(bits=16),
+    "SketchML": SketchMLCompressor,
+}
+
+
+def main() -> None:
+    data = kdd10_like(seed=0, scale=0.5)
+    train, test = train_test_split(data, seed=0)
+    print(f"dataset: {train.num_rows:,} train rows, {data.num_features:,} features, "
+          f"{train.avg_nnz_per_row:.0f} nnz/row\n")
+
+    for name, factory in METHODS.items():
+        trainer = DistributedTrainer(
+            model=LogisticRegression(data.num_features, reg_lambda=0.01),
+            optimizer=Adam(learning_rate=0.01),
+            compressor_factory=factory,
+            network=cluster1_like(),
+            config=TrainerConfig(
+                num_workers=10,
+                batch_fraction=0.1,
+                epochs=5,
+                seed=0,
+                compute_seconds_per_nnz=3e-4,
+            ),
+        )
+        history = trainer.train(train, test)
+        print(f"== {name} ==")
+        print(f"  avg epoch time : {history.avg_epoch_seconds:8.2f} s (simulated)")
+        print(f"  bytes sent     : {history.total_bytes_sent / 1024:8.1f} KiB")
+        print(f"  compression    : {history.avg_compression_rate:8.2f}x")
+        losses = ", ".join(f"{loss:.4f}" for loss in history.test_losses)
+        print(f"  test loss/epoch: {losses}\n")
+
+
+if __name__ == "__main__":
+    main()

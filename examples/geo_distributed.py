@@ -1,0 +1,81 @@
+"""Geo-distributed training over a WAN (Case 3 of the paper's intro).
+
+"Data movement over wide-area-network (WAN) is much slower than
+local-area-network (LAN). Reducing the communication between data
+centers can help geo-distributed ML."  This example trains the same
+model over a LAN preset and a WAN preset and shows that compression
+matters far more when the wire is slow: the Adam→SketchML speedup
+widens dramatically on the WAN.
+
+Run:  python examples/geo_distributed.py
+"""
+
+from repro import (
+    DistributedTrainer,
+    IdentityCompressor,
+    SketchMLCompressor,
+    TrainerConfig,
+    cluster1_like,
+    wan_like,
+)
+from repro.data import kdd10_like, train_test_split
+from repro.models import LinearSVM
+from repro.optim import Adam
+
+NETWORKS = {
+    "LAN (lab cluster)": cluster1_like(),
+    "WAN (geo-distributed)": wan_like(),
+}
+
+
+def train_once(train, test, num_features, factory, network):
+    trainer = DistributedTrainer(
+        model=LinearSVM(num_features, reg_lambda=0.01),
+        optimizer=Adam(learning_rate=0.01),
+        compressor_factory=factory,
+        network=network,
+        config=TrainerConfig(
+            num_workers=5,
+            epochs=3,
+            seed=0,
+            compute_seconds_per_nnz=3e-4,
+        ),
+    )
+    return trainer.train(train, test)
+
+
+def main() -> None:
+    data = kdd10_like(seed=1, scale=0.4)
+    train, test = train_test_split(data, seed=1)
+
+    print(f"{'network':<24} {'method':<10} {'epoch (s)':>10} {'network share':>14}")
+    print("-" * 62)
+    speedups = {}
+    for net_name, network in NETWORKS.items():
+        times = {}
+        for method_name, factory in (
+            ("Adam", IdentityCompressor),
+            ("SketchML", SketchMLCompressor),
+        ):
+            history = train_once(
+                train, test, data.num_features, factory, network
+            )
+            times[method_name] = history.avg_epoch_seconds
+            share = sum(e.network_seconds for e in history.epochs) / sum(
+                e.epoch_seconds for e in history.epochs
+            )
+            print(
+                f"{net_name:<24} {method_name:<10} "
+                f"{history.avg_epoch_seconds:>10.2f} {share:>13.0%}"
+            )
+        speedups[net_name] = times["Adam"] / times["SketchML"]
+
+    print()
+    for net_name, speedup in speedups.items():
+        print(f"SketchML speedup on {net_name}: {speedup:.1f}x")
+    print("\nthe slower the wire, the more gradient compression buys you —")
+    print("exactly the geo-distributed motivation of the paper's Case 3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Analysis utilities: gradient profiling and compressor comparison."""
+
+from .compression_report import (
+    CompressorReportRow,
+    compare_compressors,
+    format_report,
+)
+from .dataset_stats import DatasetStats, dataset_stats
+from .gradient_stats import GradientProfile, histogram, profile_gradient
+from .sweeps import SweepCell, sweep_sketch_configs
+
+__all__ = [
+    "GradientProfile",
+    "profile_gradient",
+    "histogram",
+    "CompressorReportRow",
+    "compare_compressors",
+    "format_report",
+    "DatasetStats",
+    "dataset_stats",
+    "SweepCell",
+    "sweep_sketch_configs",
+]

@@ -1,0 +1,106 @@
+"""Side-by-side comparison of every registered compressor.
+
+Runs each codec over the same gradient and reports size, compression
+rate, reconstruction error, sign safety, and measured encode/decode
+time — the quick what-should-I-use answer for a downstream user, and
+the engine behind ``python -m repro compare``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..compression import available_compressors, make_compressor
+
+__all__ = ["CompressorReportRow", "compare_compressors", "format_report"]
+
+
+@dataclass(frozen=True)
+class CompressorReportRow:
+    """One codec's measurements on a reference gradient."""
+
+    name: str
+    num_bytes: int
+    compression_rate: float
+    keys_lossless: bool
+    value_mae: float
+    signs_preserved: bool
+    encode_seconds: float
+    decode_seconds: float
+
+
+def compare_compressors(
+    keys: np.ndarray,
+    values: np.ndarray,
+    dimension: int,
+    names: Optional[Sequence[str]] = None,
+) -> List[CompressorReportRow]:
+    """Run each named (default: all registered) codec on one gradient.
+
+    Codecs that drop entries (top-k) report the MAE over the entries
+    they kept and ``keys_lossless=False``.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    rows: List[CompressorReportRow] = []
+    for name in names or available_compressors():
+        compressor = make_compressor(name)
+        t0 = time.perf_counter()
+        message = compressor.compress(keys, values, dimension)
+        t1 = time.perf_counter()
+        out_keys, out_values = compressor.decompress(message)
+        t2 = time.perf_counter()
+
+        keys_lossless = np.array_equal(out_keys, keys)
+        if keys_lossless:
+            mae = float(np.mean(np.abs(out_values - values)))
+            signs = bool(np.all(np.sign(out_values) * np.sign(values) >= 0))
+        else:
+            original = dict(zip(keys.tolist(), values.tolist()))
+            kept = np.asarray([original[k] for k in out_keys.tolist()])
+            mae = (
+                float(np.mean(np.abs(out_values - kept))) if kept.size else 0.0
+            )
+            signs = bool(np.all(np.sign(out_values) * np.sign(kept) >= 0))
+        rows.append(
+            CompressorReportRow(
+                name=name,
+                num_bytes=message.num_bytes,
+                compression_rate=message.compression_rate,
+                keys_lossless=keys_lossless,
+                value_mae=mae,
+                signs_preserved=signs,
+                encode_seconds=t1 - t0,
+                decode_seconds=t2 - t1,
+            )
+        )
+    rows.sort(key=lambda r: r.num_bytes)
+    return rows
+
+
+def format_report(rows: Sequence[CompressorReportRow]) -> str:
+    """Render a report as an aligned text table."""
+    from ..bench.tables import format_table
+
+    return format_table(
+        ["codec", "bytes", "rate", "keys", "value MAE", "signs",
+         "enc ms", "dec ms"],
+        [
+            [
+                r.name,
+                r.num_bytes,
+                round(r.compression_rate, 2),
+                "lossless" if r.keys_lossless else "subset",
+                round(r.value_mae, 6),
+                "safe" if r.signs_preserved else "FLIPPED",
+                round(r.encode_seconds * 1e3, 2),
+                round(r.decode_seconds * 1e3, 2),
+            ]
+            for r in rows
+        ],
+        title="compressor comparison (sorted by size)",
+    )

@@ -1,0 +1,80 @@
+"""Dataset-level statistics: the Table-1 style summary plus skew measures.
+
+Answers, for any :class:`~repro.data.sparse.SparseDataset`, the
+questions the paper's experiment setup answers for KDD10/KDD12/CTR:
+size, density, feature-popularity skew (the Zipf head that drives both
+gradient nonuniformity and the Fig. 11 saturation), and label balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.sparse import SparseDataset
+
+__all__ = ["DatasetStats", "dataset_stats"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary of a sparse dataset.
+
+    Attributes:
+        num_rows / num_features / nnz: Table-1 numbers.
+        density: ``nnz / (rows * features)``.
+        avg_nnz_per_row / max_nnz_per_row: row-size profile.
+        head_mass_100: fraction of all nonzeros hitting the 100 most
+            popular features — the Zipf-head concentration.
+        active_features: features appearing at least once.
+        estimated_zipf_exponent: log-log slope fit of the feature
+            frequency/rank curve (≈ the generator's ``zipf_exponent``).
+        positive_label_fraction: share of +1 labels (classification).
+    """
+
+    num_rows: int
+    num_features: int
+    nnz: int
+    density: float
+    avg_nnz_per_row: float
+    max_nnz_per_row: int
+    head_mass_100: float
+    active_features: int
+    estimated_zipf_exponent: float
+    positive_label_fraction: float
+
+
+def dataset_stats(dataset: SparseDataset) -> DatasetStats:
+    """Compute a :class:`DatasetStats` for a dataset."""
+    if dataset.num_rows == 0 or dataset.nnz == 0:
+        raise ValueError("cannot summarise an empty dataset")
+    counts = np.bincount(dataset.indices, minlength=dataset.num_features)
+    sorted_counts = np.sort(counts)[::-1]
+    head_mass = float(sorted_counts[:100].sum() / dataset.nnz)
+    active = int((counts > 0).sum())
+
+    # Log-log regression of frequency vs rank over the active head.
+    top = sorted_counts[sorted_counts > 0][:1_000]
+    if top.size >= 10:
+        ranks = np.arange(1, top.size + 1, dtype=np.float64)
+        slope = np.polyfit(np.log(ranks), np.log(top.astype(np.float64)), 1)[0]
+        zipf_exponent = float(-slope)
+    else:
+        zipf_exponent = float("nan")
+
+    row_sizes = np.diff(dataset.indptr)
+    labels = dataset.labels
+    positive = float((labels > 0).mean()) if labels.size else 0.0
+    return DatasetStats(
+        num_rows=dataset.num_rows,
+        num_features=dataset.num_features,
+        nnz=dataset.nnz,
+        density=dataset.nnz / (dataset.num_rows * dataset.num_features),
+        avg_nnz_per_row=float(row_sizes.mean()),
+        max_nnz_per_row=int(row_sizes.max()),
+        head_mass_100=head_mass,
+        active_features=active,
+        estimated_zipf_exponent=zipf_exponent,
+        positive_label_fraction=positive,
+    )

@@ -1,0 +1,121 @@
+"""Gradient distribution analysis — the measurements behind Figure 4.
+
+Quantifies the two dataset/gradient properties the whole paper rests
+on: value *nonuniformity* (mass concentrated near zero) and key
+*clustering* (hot features at low ids, cheap deltas).  Used by the
+Fig. 4 bench, the examples, and available to downstream users deciding
+whether SketchML fits their workload (the paper's "Limitation"
+paragraph: dense or uniform gradients benefit less).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.delta_encoding import delta_key_stats
+
+__all__ = ["GradientProfile", "profile_gradient", "histogram"]
+
+
+@dataclass(frozen=True)
+class GradientProfile:
+    """Summary statistics of one sparse gradient.
+
+    Attributes:
+        nnz: nonzero count ``d``.
+        dimension: model dimension ``D``.
+        density: ``d / D`` (the paper's gradient sparsity metric).
+        value_min / value_max: value range (Fig. 4's x-axis extent).
+        near_zero_fraction: fraction of values within a tenth of the
+            max magnitude — the Fig. 4 concentration measure.
+        concentration_90: smallest fraction of entries holding 90% of
+            the L1 mass (low = heavy-tailed, good for quantile buckets).
+        positive_fraction: share of positive values.
+        bytes_per_key: delta-binary cost of the key set.
+        uniformity_ks: Kolmogorov–Smirnov distance between the empirical
+            magnitude CDF and a uniform CDF over the range; 0 = exactly
+            uniform (ZipML-friendly), near 1 = extremely skewed.
+    """
+
+    nnz: int
+    dimension: int
+    density: float
+    value_min: float
+    value_max: float
+    near_zero_fraction: float
+    concentration_90: float
+    positive_fraction: float
+    bytes_per_key: float
+    uniformity_ks: float
+
+    @property
+    def is_sketchml_friendly(self) -> bool:
+        """Heuristic from the paper's Limitation paragraph: sparse and
+        nonuniform gradients are where SketchML shines."""
+        return self.density < 0.25 and self.uniformity_ks > 0.3
+
+
+def profile_gradient(
+    keys: np.ndarray, values: np.ndarray, dimension: int
+) -> GradientProfile:
+    """Compute a :class:`GradientProfile` for a sparse gradient."""
+    keys = np.asarray(keys, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if keys.shape != values.shape or keys.ndim != 1:
+        raise ValueError("keys and values must be parallel 1-D arrays")
+    if dimension <= 0:
+        raise ValueError("dimension must be positive")
+    if keys.size == 0:
+        raise ValueError("cannot profile an empty gradient")
+
+    magnitudes = np.abs(values)
+    max_mag = float(magnitudes.max())
+    sorted_desc = np.sort(magnitudes)[::-1]
+    cum = np.cumsum(sorted_desc)
+    total = cum[-1]
+    if total > 0:
+        concentration_90 = float(
+            (np.searchsorted(cum, 0.9 * total) + 1) / keys.size
+        )
+    else:
+        concentration_90 = 1.0
+
+    # KS distance of magnitudes vs Uniform(0, max_mag).
+    if max_mag > 0:
+        sorted_asc = np.sort(magnitudes)
+        empirical = np.arange(1, keys.size + 1) / keys.size
+        uniform_cdf = sorted_asc / max_mag
+        uniformity_ks = float(np.abs(empirical - uniform_cdf).max())
+    else:
+        uniformity_ks = 0.0
+
+    return GradientProfile(
+        nnz=int(keys.size),
+        dimension=int(dimension),
+        density=keys.size / dimension,
+        value_min=float(values.min()),
+        value_max=float(values.max()),
+        near_zero_fraction=(
+            float((magnitudes < 0.1 * max_mag).mean()) if max_mag > 0 else 1.0
+        ),
+        concentration_90=concentration_90,
+        positive_fraction=float((values > 0).mean()),
+        bytes_per_key=delta_key_stats(keys).bytes_per_key,
+        uniformity_ks=uniformity_ks,
+    )
+
+
+def histogram(
+    values: np.ndarray, bins: int = 20
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Figure 4's histogram: ``(bin_edges, counts)``."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot histogram an empty array")
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    counts, edges = np.histogram(values, bins=bins)
+    return edges, counts

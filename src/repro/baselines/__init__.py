@@ -1,0 +1,5 @@
+"""Non-distributed baselines (Figure 12's single-node comparison)."""
+
+from .single_node import SingleNodeConfig, SingleNodeTrainer
+
+__all__ = ["SingleNodeConfig", "SingleNodeTrainer"]

@@ -1,0 +1,132 @@
+"""Serial single-node trainer — the SkLearn stand-in for Figure 12.
+
+Appendix B.1 compares SketchML on 5/10 machines against scikit-learn on
+one machine.  The relevant structural facts are: no network at all, one
+machine's compute, plus a data-loading phase that dominates for large
+files ("SkLearn consumes more than ten minutes to load the dataset").
+We model loading as a throughput term over the dataset's in-memory
+size, matching the 5× loading speedup the paper reports when the file
+is split across five machines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..distributed.metrics import EpochRecord, TrainingHistory
+from ..models.base import Model
+from ..optim.optimizers import Optimizer
+
+__all__ = ["SingleNodeConfig", "SingleNodeTrainer"]
+
+
+@dataclass(frozen=True)
+class SingleNodeConfig:
+    """Configuration of a serial run.
+
+    Attributes:
+        batch_fraction: mini-batch fraction of the train set.
+        epochs: passes over the data.
+        seed: batch shuffle seed.
+        disk_bytes_per_sec: modelled data-loading throughput; the load
+            time ``dataset_bytes / disk_bytes_per_sec`` is charged to
+            the first epoch (None disables it).
+        compute_seconds_per_nnz: modelled compute time per batch
+            nonzero, same calibration knob as
+            :class:`~repro.distributed.trainer.TrainerConfig` — the
+            serial trainer pays it for *every* nonzero, which is
+            exactly why the distributed runs of Fig. 12 win.
+    """
+
+    batch_fraction: float = 0.1
+    epochs: int = 10
+    seed: int = 0
+    disk_bytes_per_sec: Optional[float] = 8e6
+    compute_seconds_per_nnz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.batch_fraction <= 1.0:
+            raise ValueError("batch_fraction must be in (0, 1]")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.disk_bytes_per_sec is not None and self.disk_bytes_per_sec <= 0:
+            raise ValueError("disk_bytes_per_sec must be positive")
+        if self.compute_seconds_per_nnz < 0:
+            raise ValueError("compute_seconds_per_nnz must be non-negative")
+
+
+class SingleNodeTrainer:
+    """Mini-batch SGD on one machine, no compression, no network."""
+
+    def __init__(
+        self,
+        model: Model,
+        optimizer: Optimizer,
+        config: Optional[SingleNodeConfig] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.config = config or SingleNodeConfig()
+
+    def _dataset_bytes(self, dataset) -> int:
+        """In-memory size proxy for the load-time model (12 B per nnz)."""
+        return 12 * dataset.nnz
+
+    def train(self, train_dataset, test_dataset=None) -> TrainingHistory:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        theta = self.model.init_theta()
+        self.optimizer.prepare(self.model.num_parameters)
+        history = TrainingHistory(
+            method="single-node", model=self.model.name, num_workers=1
+        )
+        batch_size = max(1, int(round(train_dataset.num_rows * cfg.batch_fraction)))
+        load_seconds = 0.0
+        if cfg.disk_bytes_per_sec is not None:
+            load_seconds = self._dataset_bytes(train_dataset) / cfg.disk_bytes_per_sec
+        for epoch in range(cfg.epochs):
+            compute = load_seconds if epoch == 0 else 0.0
+            loss_sum = 0.0
+            loss_count = 0
+            for rows in train_dataset.iter_batches(batch_size, rng):
+                t0 = time.perf_counter()
+                keys, values, loss = self.model.batch_gradient(
+                    train_dataset, rows, theta
+                )
+                if keys.size:
+                    self.optimizer.step(theta, keys, values)
+                compute += time.perf_counter() - t0
+                batch_nnz = int(
+                    (train_dataset.indptr[rows + 1] - train_dataset.indptr[rows]).sum()
+                )
+                compute += cfg.compute_seconds_per_nnz * batch_nnz
+                loss_sum += loss
+                loss_count += 1
+            record = EpochRecord(
+                epoch=epoch,
+                compute_seconds=compute,
+                network_seconds=0.0,
+                encode_seconds=0.0,
+                decode_seconds=0.0,
+                train_loss=loss_sum / loss_count if loss_count else float("nan"),
+                test_loss=None,
+                bytes_sent=0,
+                raw_bytes=0,
+                num_messages=0,
+                gradient_nnz=0.0,
+            )
+            if test_dataset is not None:
+                record.test_loss = self.model.full_loss(test_dataset, theta)
+            history.append(record)
+        self._theta = theta
+        return history
+
+    @property
+    def theta(self) -> np.ndarray:
+        if not hasattr(self, "_theta"):
+            raise RuntimeError("train() has not been run yet")
+        return self._theta

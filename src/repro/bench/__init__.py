@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment runner and table formatting."""
+
+from .runner import (
+    METHOD_LABELS,
+    ExperimentSpec,
+    clear_cache,
+    load_split,
+    method_factory,
+    run_experiment,
+)
+from .ascii_plot import bar_chart, line_chart, sparkline
+from .tables import format_series, format_table, write_result
+
+__all__ = [
+    "ExperimentSpec",
+    "run_experiment",
+    "method_factory",
+    "load_split",
+    "clear_cache",
+    "METHOD_LABELS",
+    "format_table",
+    "format_series",
+    "write_result",
+    "line_chart",
+    "bar_chart",
+    "sparkline",
+]

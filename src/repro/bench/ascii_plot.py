@@ -1,0 +1,100 @@
+"""Terminal-friendly ASCII charts for benchmark/example output.
+
+The paper's figures are line and bar charts; the benches archive their
+raw series, and these helpers render a quick visual in any terminal —
+no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["line_chart", "bar_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline, e.g. ``▇▅▃▂▁`` for a falling loss curve."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label (e.g. Fig. 8(a)'s bars)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must be parallel")
+    if not labels:
+        return ""
+    if width < 1:
+        raise ValueError("width must be positive")
+    peak = max(float(v) for v in values)
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        value = float(value)
+        bar = "#" * max(1 if value > 0 else 0, int(round(value / peak * width))) \
+            if peak > 0 else ""
+        lines.append(
+            f"{str(label):<{label_width}}  {bar:<{width}}  {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Multi-series (x, y) scatter/line chart on a character grid.
+
+    Each series gets a marker (its name's first letter); axes are
+    annotated with the data ranges.  Good enough to see Fig. 10's
+    "SketchML reaches low loss first" at a glance.
+    """
+    if not series:
+        return ""
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+    points = [
+        (float(x), float(y)) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        return ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, pts in series.items():
+        marker = name.strip()[0].upper() if name.strip() else "*"
+        for x, y in pts:
+            col = int((float(x) - x_low) / x_span * (width - 1))
+            row = height - 1 - int((float(y) - y_low) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"y: {y_low:.4g} .. {y_high:.4g}"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_low:.4g} .. {x_high:.4g}   " + "  ".join(
+        f"{name.strip()[0].upper()}={name}" for name in series
+    ))
+    return "\n".join(lines)

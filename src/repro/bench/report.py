@@ -1,0 +1,108 @@
+"""Consolidated reproduction report from the archived bench results.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated
+``benchmarks/results/``, this module stitches every archived table and
+series into a single markdown report (``REPORT.md`` by default) in the
+paper's figure order — the one-file artifact a reviewer reads.
+
+Usable as a library (:func:`build_report`) or via
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["RESULT_ORDER", "build_report", "write_report"]
+
+#: (result file stem, section heading) in the paper's presentation order.
+RESULT_ORDER: Tuple[Tuple[str, str], ...] = (
+    ("fig4_gradient_distribution", "Figure 4 — nonuniform gradient values"),
+    ("fig8a_ablation_runtime", "Figure 8(a) — component ablation, epoch time"),
+    ("fig8b_message_size", "Figure 8(b) — message size & compression rate"),
+    ("fig8c_cpu_overhead", "Figure 8(c) — CPU overhead of compression"),
+    ("fig8d_batch_sparsity", "Figure 8(d) — batch size & sparsity"),
+    ("fig9_end_to_end_runtime", "Figure 9 — end-to-end run time per epoch"),
+    ("fig10_convergence", "Figure 10 — loss vs wall-clock"),
+    ("table2_model_accuracy", "Table 2 — converged loss / time"),
+    ("fig11_scalability", "Figure 11 — scalability over workers"),
+    ("fig12_single_node", "Figure 12 — vs a single-node system"),
+    ("fig13_table3_sensitivity", "Figure 13 / Table 3 — sensitivity"),
+    ("fig14_neural_net", "Figure 14 — neural network"),
+    ("table4_weight_types", "Table 4 — weight types"),
+    ("appendix_key_encoding", "§3.4 / A.3 — key codecs"),
+    ("appendix_theory_bounds", "Appendix A — theory bounds"),
+    ("ablation_minmax_vs_countmin", "Ablation — MinMax vs additive Count-Min"),
+    ("ablation_sign_separation", "Ablation — pos/neg separation"),
+    ("ablation_grouping", "Ablation — grouped sketches"),
+    ("ablation_adam_vs_sgd", "Ablation — Adam vs SGD under decay"),
+    ("extension_hybrid", "Extension — heavy-hitter hybrid"),
+    ("extension_qsgd_variance", "Extension — quantile vs QSGD variance"),
+    ("extension_ssp", "Extension — SSP parameter server"),
+    ("extension_local_sgd", "Extension — Local SGD comparison"),
+    ("extension_compensation", "Extension — decay compensation"),
+)
+
+
+def build_report(results_dir: str) -> Tuple[str, List[str]]:
+    """Assemble the report text from a results directory.
+
+    Returns:
+        ``(markdown, missing)`` — the report body and the list of
+        expected result stems that had no file yet.
+    """
+    sections: List[str] = [
+        "# SketchML reproduction — consolidated results",
+        "",
+        "Generated from `benchmarks/results/` (run "
+        "`pytest benchmarks/ --benchmark-only` to refresh). "
+        "Shape commentary and paper-vs-measured tables live in "
+        "EXPERIMENTS.md.",
+        "",
+    ]
+    missing: List[str] = []
+    extras: Dict[str, str] = {}
+    if os.path.isdir(results_dir):
+        extras = {
+            fname[:-4]: os.path.join(results_dir, fname)
+            for fname in sorted(os.listdir(results_dir))
+            if fname.endswith(".txt")
+        }
+    for stem, heading in RESULT_ORDER:
+        path = extras.pop(stem, None)
+        sections.append(f"## {heading}")
+        sections.append("")
+        if path is None:
+            missing.append(stem)
+            sections.append("*(no archived result — bench not run yet)*")
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                sections.append("```")
+                sections.append(handle.read().rstrip())
+                sections.append("```")
+        sections.append("")
+    for stem, path in extras.items():
+        sections.append(f"## {stem}")
+        sections.append("")
+        with open(path, "r", encoding="utf-8") as handle:
+            sections.append("```")
+            sections.append(handle.read().rstrip())
+            sections.append("```")
+        sections.append("")
+    return "\n".join(sections), missing
+
+
+def write_report(
+    results_dir: str, out_path: Optional[str] = None
+) -> Tuple[str, List[str]]:
+    """Build and write the report; returns ``(out_path, missing)``."""
+    out_path = out_path or os.path.join(
+        os.path.dirname(results_dir.rstrip(os.sep)) or ".", "REPORT.md"
+    )
+    markdown, missing = build_report(results_dir)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+        if not markdown.endswith("\n"):
+            handle.write("\n")
+    return out_path, missing

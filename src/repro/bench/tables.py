@@ -1,0 +1,83 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Every figure-reproduction bench prints (and archives) its result in the
+same row/series form the paper reports, so EXPERIMENTS.md can quote the
+output verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "write_result"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[Sequence[float]],
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 30,
+) -> str:
+    """Render an (x, y) series — the textual form of a figure curve."""
+    lines = [f"series {name!r} ({x_label} -> {y_label}):"]
+    step = max(1, len(points) // max_points)
+    shown = list(points)[::step]
+    if points and shown[-1] is not points[-1]:
+        shown.append(points[-1])
+    for x, y in shown:
+        lines.append(f"  {_format_cell(float(x)):>12s}  {_format_cell(float(y))}")
+    return "\n".join(lines)
+
+
+def write_result(name: str, content: str, directory: Optional[str] = None) -> str:
+    """Persist a bench result under ``benchmarks/results`` and return it.
+
+    The directory defaults to ``$REPRO_RESULTS_DIR`` or
+    ``benchmarks/results`` relative to the current working directory.
+    """
+    directory = directory or os.environ.get(
+        "REPRO_RESULTS_DIR", os.path.join("benchmarks", "results")
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)
+        if not content.endswith("\n"):
+            handle.write("\n")
+    return content

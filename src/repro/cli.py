@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``     — list compressors, dataset profiles, models, clusters.
+* ``compress`` — compress one synthetic gradient with a chosen codec
+  and print size/error statistics.
+* ``train``    — run a distributed training experiment on the simulated
+  cluster and print the per-epoch table.
+* ``compare``  — all registered codecs side by side on one gradient.
+* ``report``   — stitch archived bench results into ``REPORT.md``.
+* ``datagen``  — write a synthetic dataset to a LIBSVM file.
+
+Examples::
+
+    python -m repro info
+    python -m repro compress --method sketchml --nnz 50000
+    python -m repro compare --nnz 20000
+    python -m repro train --profile kdd12 --model lr --method SketchML \
+        --workers 10 --epochs 3
+    python -m repro datagen --profile kdd10 --scale 0.1 --out kdd10.libsvm
+    python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SketchML (SIGMOD 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list available components")
+
+    compress = sub.add_parser("compress", help="compress one synthetic gradient")
+    compress.add_argument("--method", default="sketchml",
+                          help="registered compressor name (see `info`)")
+    compress.add_argument("--nnz", type=int, default=50_000,
+                          help="nonzero gradient entries")
+    compress.add_argument("--dimension", type=int, default=1_000_000,
+                          help="model dimensions")
+    compress.add_argument("--scale", type=float, default=0.01,
+                          help="Laplace scale of the gradient values")
+    compress.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="run a distributed experiment")
+    train.add_argument("--profile", default="kdd12",
+                       choices=["kdd10", "kdd12", "ctr", "kdd12-hothead"])
+    train.add_argument("--model", default="lr",
+                       choices=["lr", "svm", "linear", "fm"])
+    train.add_argument("--method", default="SketchML",
+                       help="Adam | ZipML | SketchML | Adam+Key | ... ")
+    train.add_argument("--workers", type=int, default=10)
+    train.add_argument("--epochs", type=int, default=3)
+    train.add_argument("--batch-fraction", type=float, default=0.1)
+    train.add_argument("--learning-rate", type=float, default=0.01)
+    train.add_argument("--scale", type=float, default=1.0,
+                       help="dataset size multiplier")
+    train.add_argument("--cluster", default="cluster2",
+                       choices=["cluster1", "cluster2"])
+    train.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser(
+        "compare", help="compare all codecs on one synthetic gradient"
+    )
+    compare.add_argument("--nnz", type=int, default=20_000)
+    compare.add_argument("--dimension", type=int, default=500_000)
+    compare.add_argument("--scale", type=float, default=0.01,
+                         help="Laplace scale of the gradient values")
+    compare.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="stitch archived bench results into REPORT.md"
+    )
+    report.add_argument("--results-dir", default=None,
+                        help="default: benchmarks/results under the cwd")
+    report.add_argument("--out", default=None,
+                        help="default: benchmarks/REPORT.md")
+
+    datagen = sub.add_parser("datagen", help="write a synthetic dataset")
+    datagen.add_argument("--profile", default="kdd10",
+                         choices=["kdd10", "kdd12", "ctr", "kdd12-hothead"])
+    datagen.add_argument("--scale", type=float, default=1.0)
+    datagen.add_argument("--seed", type=int, default=0)
+    datagen.add_argument("--out", required=True, help="output LIBSVM path")
+    return parser
+
+
+def _cmd_info() -> int:
+    from .bench.runner import METHOD_LABELS
+    from .compression import available_compressors
+
+    print("registered compressors :", ", ".join(available_compressors()))
+    print("paper methods          :", ", ".join(METHOD_LABELS),
+          "(plus ablations Adam+Key, Adam+Key+Quan, ...)")
+    print("dataset profiles       : kdd10, kdd12, ctr, kdd12-hothead")
+    print("models                 : lr, svm, linear, fm (sparse); mlp (dense)")
+    print("cluster presets        : cluster1 (lab LAN), cluster2 (congested)")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from .compression import make_compressor
+
+    rng = np.random.default_rng(args.seed)
+    if args.nnz <= 0 or args.dimension < args.nnz:
+        print("error: need 0 < nnz <= dimension", file=sys.stderr)
+        return 2
+    keys = np.sort(rng.choice(args.dimension, size=args.nnz, replace=False))
+    values = rng.laplace(scale=args.scale, size=args.nnz)
+    values[values == 0.0] = args.scale / 100
+
+    try:
+        compressor = make_compressor(args.method)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_keys, out_values, message = compressor.roundtrip(
+        keys, values, args.dimension
+    )
+    print(f"method            : {args.method}")
+    print(f"raw size          : {message.raw_bytes:,} bytes")
+    print(f"compressed size   : {message.num_bytes:,} bytes")
+    print(f"compression rate  : {message.compression_rate:.2f}x")
+    print(f"keys lossless     : {np.array_equal(out_keys, keys)}")
+    if out_values.size == values.size:
+        print(f"value MAE         : {np.mean(np.abs(out_values - values)):.6f}")
+        same_sign = np.all(np.sign(out_values) * np.sign(values) >= 0)
+        print(f"signs preserved   : {bool(same_sign)}")
+    if message.breakdown:
+        print(f"byte breakdown    : {dict(sorted(message.breakdown.items()))}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .bench import ExperimentSpec, format_table, run_experiment
+
+    try:
+        spec = ExperimentSpec(
+            profile=args.profile,
+            model=args.model,
+            method=args.method,
+            num_workers=args.workers,
+            epochs=args.epochs,
+            batch_fraction=args.batch_fraction,
+            learning_rate=args.learning_rate,
+            scale=args.scale,
+            seed=args.seed,
+            cluster=args.cluster,
+        )
+        history = run_experiment(spec, use_cache=False)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            e.epoch,
+            round(e.epoch_seconds, 2),
+            round(e.compute_seconds, 2),
+            round(e.network_seconds, 2),
+            round(e.avg_message_bytes / 1024, 1),
+            round(e.compression_rate, 2),
+            round(e.train_loss, 5),
+            round(e.test_loss, 5) if e.test_loss is not None else "-",
+        ]
+        for e in history.epochs
+    ]
+    print(
+        format_table(
+            ["epoch", "sec", "compute", "network", "msg KiB", "rate",
+             "train loss", "test loss"],
+            rows,
+            title=(
+                f"{args.method} / {args.model} / {args.profile} "
+                f"({args.workers} workers, {args.cluster})"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import compare_compressors, format_report, profile_gradient
+
+    rng = np.random.default_rng(args.seed)
+    if args.nnz <= 0 or args.dimension < args.nnz:
+        print("error: need 0 < nnz <= dimension", file=sys.stderr)
+        return 2
+    keys = np.sort(rng.choice(args.dimension, size=args.nnz, replace=False))
+    values = rng.laplace(scale=args.scale, size=args.nnz)
+    values[values == 0.0] = args.scale / 100
+    profile = profile_gradient(keys, values, args.dimension)
+    print(
+        f"gradient: d={profile.nnz:,}, D={profile.dimension:,}, "
+        f"density={profile.density:.4%}, near-zero={profile.near_zero_fraction:.0%}, "
+        f"KS-nonuniformity={profile.uniformity_ks:.2f}"
+    )
+    print(f"SketchML-friendly: {profile.is_sketchml_friendly}\n")
+    print(format_report(compare_compressors(keys, values, args.dimension)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench.report import write_report
+
+    results_dir = args.results_dir or os.path.join("benchmarks", "results")
+    if not os.path.isdir(results_dir):
+        print(f"error: no results directory at {results_dir} "
+              "(run `pytest benchmarks/ --benchmark-only` first)",
+              file=sys.stderr)
+        return 2
+    out_path, missing = write_report(results_dir, args.out)
+    print(f"wrote {out_path}")
+    if missing:
+        print(f"note: {len(missing)} expected sections had no archived "
+              f"result yet: {', '.join(missing)}")
+    return 0
+
+
+def _cmd_datagen(args: argparse.Namespace) -> int:
+    from .data import generate_profile, write_libsvm
+
+    dataset = generate_profile(args.profile, seed=args.seed, scale=args.scale)
+    write_libsvm(dataset, args.out)
+    print(
+        f"wrote {dataset.num_rows:,} rows x {dataset.num_features:,} features "
+        f"({dataset.nnz:,} nonzeros) to {args.out}"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "compress":
+        return _cmd_compress(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "datagen":
+        return _cmd_datagen(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,46 @@
+"""Half-precision value compressor.
+
+A simple low-precision baseline between Adam-float (Table 4) and the
+quantizers: values travel as IEEE float16 (2 bytes), keys uncompressed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import (
+    BYTES_PER_RAW_KEY,
+    CompressedGradient,
+    GradientCompressor,
+    register_compressor,
+    validate_sparse_gradient,
+)
+
+__all__ = ["Float16Compressor"]
+
+
+@register_compressor("float16")
+class Float16Compressor(GradientCompressor):
+    """Cast values to float16 for transfer; keys stay 4-byte ints."""
+
+    name = "float16"
+
+    def compress(
+        self, keys: np.ndarray, values: np.ndarray, dimension: int
+    ) -> CompressedGradient:
+        keys, values = validate_sparse_gradient(keys, values, dimension)
+        stored = values.astype(np.float16)
+        num_bytes = keys.size * (BYTES_PER_RAW_KEY + 2)
+        return CompressedGradient(
+            payload=(keys.copy(), stored),
+            num_bytes=num_bytes,
+            dimension=dimension,
+            nnz=keys.size,
+            breakdown={"keys": keys.size * BYTES_PER_RAW_KEY, "values": keys.size * 2},
+        )
+
+    def decompress(self, message: CompressedGradient) -> Tuple[np.ndarray, np.ndarray]:
+        keys, stored = message.payload
+        return keys, stored.astype(np.float64)

@@ -1,0 +1,100 @@
+"""1-bit SGD with error feedback (Seide et al., INTERSPEECH 2014).
+
+The "threshold based truncation" lossy method of §1.1/§5: each value is
+reduced to its sign plus a shared per-sign magnitude (the mean of the
+values carrying that sign), with the residual quantization error fed
+back into the next gradient so the bias does not accumulate.  The paper
+calls this "too aggressive ... to get converged" — our convergence
+benches let users reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .base import (
+    BYTES_PER_RAW_KEY,
+    CompressedGradient,
+    GradientCompressor,
+    register_compressor,
+    validate_sparse_gradient,
+)
+
+__all__ = ["OneBitCompressor"]
+
+_METADATA_BYTES = 16  # two float64 magnitudes
+
+
+@register_compressor("onebit")
+class OneBitCompressor(GradientCompressor):
+    """Sign-only quantization with optional error feedback.
+
+    Stateful: the residual of each compression is remembered per
+    dimension and added to the next gradient before quantizing (the
+    standard error-feedback trick that makes 1-bit SGD trainable at
+    all).  Call :meth:`reset` between runs.
+
+    Args:
+        error_feedback: carry residuals across calls (default True).
+    """
+
+    name = "onebit"
+
+    def __init__(self, error_feedback: bool = True) -> None:
+        self.error_feedback = bool(error_feedback)
+        self._residual: Dict[int, float] = {}
+
+    def reset(self) -> None:
+        self._residual.clear()
+
+    def compress(
+        self, keys: np.ndarray, values: np.ndarray, dimension: int
+    ) -> CompressedGradient:
+        keys, values = validate_sparse_gradient(keys, values, dimension)
+        if keys.size == 0:
+            return CompressedGradient(
+                payload=(keys, np.empty(0, dtype=bool), 0.0, 0.0),
+                num_bytes=_METADATA_BYTES,
+                dimension=dimension,
+                nnz=0,
+            )
+        adjusted = values.copy()
+        if self.error_feedback and self._residual:
+            for i, key in enumerate(keys):
+                carried = self._residual.get(int(key))
+                if carried is not None:
+                    adjusted[i] += carried
+        positive = adjusted >= 0
+        pos_mag = float(adjusted[positive].mean()) if positive.any() else 0.0
+        neg_mag = float((-adjusted[~positive]).mean()) if (~positive).any() else 0.0
+        decoded = np.where(positive, pos_mag, -neg_mag)
+        if self.error_feedback:
+            residual = adjusted - decoded
+            for key, r in zip(keys.tolist(), residual.tolist()):
+                self._residual[key] = r
+        # 1 sign bit per value, packed; keys still 4 bytes each.
+        sign_bytes = (keys.size + 7) // 8
+        num_bytes = keys.size * BYTES_PER_RAW_KEY + sign_bytes + _METADATA_BYTES
+        return CompressedGradient(
+            payload=(keys.copy(), positive, pos_mag, neg_mag),
+            num_bytes=num_bytes,
+            dimension=dimension,
+            nnz=keys.size,
+            breakdown={
+                "keys": keys.size * BYTES_PER_RAW_KEY,
+                "values": sign_bytes,
+                "metadata": _METADATA_BYTES,
+            },
+        )
+
+    def decompress(self, message: CompressedGradient) -> Tuple[np.ndarray, np.ndarray]:
+        keys, positive, pos_mag, neg_mag = message.payload
+        if keys.size == 0:
+            return keys, np.empty(0, dtype=np.float64)
+        values = np.where(positive, pos_mag, -neg_mag)
+        return keys, values
+
+    def __repr__(self) -> str:
+        return f"OneBitCompressor(error_feedback={self.error_feedback})"

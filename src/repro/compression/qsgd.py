@@ -1,0 +1,114 @@
+"""QSGD: randomized quantization (Alistarh et al., NeurIPS 2017).
+
+The paper cites QSGD ([5]) as the theory behind bounded-error
+quantization and compares its variance bound against quantile-bucket
+quantification in Appendix A.1.  QSGD normalises a gradient by its
+L2 norm, quantises each magnitude onto ``s`` uniform levels in [0, 1]
+with *unbiased stochastic rounding*, and transmits
+``(norm, signs, levels)``.
+
+Included both as a further baseline for the convergence benches and as
+the empirical counterpart of Corollary A.3's bound comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import (
+    BYTES_PER_RAW_KEY,
+    CompressedGradient,
+    GradientCompressor,
+    register_compressor,
+    validate_sparse_gradient,
+)
+
+__all__ = ["QSGDCompressor"]
+
+_METADATA_BYTES = 8  # the float64 norm
+
+
+@register_compressor("qsgd")
+class QSGDCompressor(GradientCompressor):
+    """Unbiased stochastic uniform quantizer over normalised magnitudes.
+
+    Args:
+        num_levels: quantization levels ``s`` (255 → 1 byte/value).
+        seed: PRNG seed for the stochastic rounding.
+
+    The estimator is unbiased: ``E[decode(encode(g))] = g``; its
+    variance obeys the ``min(d/s^2, sqrt(d)/s) ||g||^2`` bound that
+    Corollary A.3 compares against.
+
+    Example:
+        >>> import numpy as np
+        >>> comp = QSGDCompressor(num_levels=255, seed=0)
+        >>> keys = np.arange(100)
+        >>> values = np.linspace(-1, 1, 100)
+        >>> _, decoded, msg = comp.roundtrip(keys, values, 100)
+        >>> bool(np.all(np.sign(decoded) * np.sign(values) >= 0))
+        True
+        >>> msg.compression_rate > 2
+        True
+    """
+
+    name = "qsgd"
+
+    def __init__(self, num_levels: int = 255, seed: Optional[int] = None) -> None:
+        if not 1 <= num_levels <= 65_535:
+            raise ValueError("num_levels must be in [1, 65535]")
+        self.num_levels = int(num_levels)
+        self._rng = np.random.default_rng(seed)
+        self._dtype = np.uint8 if num_levels <= 255 else np.uint16
+
+    def compress(
+        self, keys: np.ndarray, values: np.ndarray, dimension: int
+    ) -> CompressedGradient:
+        keys, values = validate_sparse_gradient(keys, values, dimension)
+        level_bytes = 1 if self.num_levels <= 255 else 2
+        sign_bytes = (keys.size + 7) // 8
+        if keys.size == 0:
+            return CompressedGradient(
+                payload=(keys, np.empty(0, dtype=self._dtype), np.empty(0, bool), 0.0),
+                num_bytes=_METADATA_BYTES,
+                dimension=dimension,
+                nnz=0,
+            )
+        norm = float(np.linalg.norm(values))
+        if norm == 0.0:
+            levels = np.zeros(keys.size, dtype=self._dtype)
+            positive = np.ones(keys.size, dtype=bool)
+        else:
+            scaled = np.abs(values) / norm * self.num_levels
+            floor = np.floor(scaled)
+            levels = floor + (self._rng.random(keys.size) < (scaled - floor))
+            levels = np.clip(levels, 0, self.num_levels).astype(self._dtype)
+            positive = values >= 0
+        num_bytes = (
+            keys.size * (BYTES_PER_RAW_KEY + level_bytes)
+            + sign_bytes
+            + _METADATA_BYTES
+        )
+        return CompressedGradient(
+            payload=(keys.copy(), levels, positive, norm),
+            num_bytes=num_bytes,
+            dimension=dimension,
+            nnz=keys.size,
+            breakdown={
+                "keys": keys.size * BYTES_PER_RAW_KEY,
+                "values": keys.size * level_bytes + sign_bytes,
+                "metadata": _METADATA_BYTES,
+            },
+        )
+
+    def decompress(self, message: CompressedGradient) -> Tuple[np.ndarray, np.ndarray]:
+        keys, levels, positive, norm = message.payload
+        if keys.size == 0:
+            return keys, np.empty(0, dtype=np.float64)
+        magnitudes = levels.astype(np.float64) / self.num_levels * norm
+        return keys, np.where(positive, magnitudes, -magnitudes)
+
+    def __repr__(self) -> str:
+        return f"QSGDCompressor(num_levels={self.num_levels})"

@@ -1,0 +1,97 @@
+"""Top-k / threshold truncation compressor.
+
+The simplest lossy scheme discussed in §1.1: drop all but the
+largest-magnitude entries.  Dropped mass is optionally accumulated and
+re-injected later (error feedback), without which the method is "too
+aggressive ... to make ML algorithm converged" — exactly the behaviour
+our convergence benches surface when feedback is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .base import (
+    BYTES_PER_RAW_KEY,
+    BYTES_PER_RAW_VALUE,
+    CompressedGradient,
+    GradientCompressor,
+    register_compressor,
+    validate_sparse_gradient,
+)
+
+__all__ = ["TopKCompressor"]
+
+
+@register_compressor("topk")
+class TopKCompressor(GradientCompressor):
+    """Keep the ``ratio`` largest-magnitude entries of each gradient.
+
+    Args:
+        ratio: fraction of nonzero entries to keep (0 < ratio <= 1).
+        error_feedback: accumulate dropped values and add them to the
+            next gradient (default True).
+    """
+
+    name = "topk"
+
+    def __init__(self, ratio: float = 0.1, error_feedback: bool = True) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+        self.error_feedback = bool(error_feedback)
+        self._residual: Dict[int, float] = {}
+
+    def reset(self) -> None:
+        self._residual.clear()
+
+    def compress(
+        self, keys: np.ndarray, values: np.ndarray, dimension: int
+    ) -> CompressedGradient:
+        keys, values = validate_sparse_gradient(keys, values, dimension)
+        if keys.size == 0:
+            return CompressedGradient(
+                payload=(keys, values),
+                num_bytes=0,
+                dimension=dimension,
+                nnz=0,
+            )
+        adjusted = values.copy()
+        if self.error_feedback and self._residual:
+            for i, key in enumerate(keys):
+                carried = self._residual.get(int(key))
+                if carried is not None:
+                    adjusted[i] += carried
+        k = max(1, int(round(keys.size * self.ratio)))
+        if k >= keys.size:
+            kept = np.arange(keys.size)
+        else:
+            kept = np.sort(np.argpartition(np.abs(adjusted), -k)[-k:])
+        kept_keys = keys[kept]
+        kept_values = adjusted[kept]
+        if self.error_feedback:
+            dropped = np.setdiff1d(np.arange(keys.size), kept, assume_unique=True)
+            for key in kept_keys.tolist():
+                self._residual.pop(key, None)
+            for idx in dropped.tolist():
+                self._residual[int(keys[idx])] = float(adjusted[idx])
+        num_bytes = kept_keys.size * (BYTES_PER_RAW_KEY + BYTES_PER_RAW_VALUE)
+        return CompressedGradient(
+            payload=(kept_keys, kept_values),
+            num_bytes=num_bytes,
+            dimension=dimension,
+            nnz=keys.size,
+            breakdown={
+                "keys": kept_keys.size * BYTES_PER_RAW_KEY,
+                "values": kept_keys.size * BYTES_PER_RAW_VALUE,
+            },
+        )
+
+    def decompress(self, message: CompressedGradient) -> Tuple[np.ndarray, np.ndarray]:
+        kept_keys, kept_values = message.payload
+        return kept_keys, kept_values
+
+    def __repr__(self) -> str:
+        return f"TopKCompressor(ratio={self.ratio}, error_feedback={self.error_feedback})"

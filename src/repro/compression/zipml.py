@@ -1,0 +1,119 @@
+"""ZipML-style uniform fixed-point quantization (Zhang et al. 2016).
+
+The paper's main lossy competitor: gradient values are linearly mapped
+onto ``2**bits`` equally spaced levels spanning the value range.  Keys
+travel uncompressed (4 bytes each) — the paper stresses that ZipML
+"is unable to compress the gradient keys".
+
+Because the levels are *equi-width* while real gradients concentrate
+near zero (Fig. 4), small gradients round to the zero level and training
+stalls as the model approaches the optimum — the failure mode Figures
+10(b,f) and 14(b) exhibit.  We implement both deterministic
+nearest-level rounding and the unbiased stochastic rounding from the
+ZipML/QSGD line of work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import (
+    BYTES_PER_RAW_KEY,
+    CompressedGradient,
+    GradientCompressor,
+    register_compressor,
+    validate_sparse_gradient,
+)
+
+__all__ = ["ZipMLCompressor"]
+
+_METADATA_BYTES = 16  # two float64: low, high
+
+
+@register_compressor("zipml")
+class ZipMLCompressor(GradientCompressor):
+    """Uniform fixed-point quantizer over the value range.
+
+    Args:
+        bits: quantization width; 16 is the paper's tuned setting, 8 the
+            aggressive variant of Table 4 ("converges badly").
+        stochastic: unbiased stochastic rounding instead of nearest.
+        seed: PRNG seed for stochastic rounding.
+
+    Example:
+        >>> import numpy as np
+        >>> comp = ZipMLCompressor(bits=16)
+        >>> keys = np.arange(10)
+        >>> values = np.linspace(-1, 1, 10)
+        >>> _, out, msg = comp.roundtrip(keys, values, 10)
+        >>> bool(np.allclose(out, values, atol=1e-4))
+        True
+    """
+
+    name = "zipml"
+
+    def __init__(
+        self, bits: int = 16, stochastic: bool = False, seed: Optional[int] = None
+    ) -> None:
+        if bits not in (8, 16):
+            raise ValueError("bits must be 8 or 16 (1 or 2 bytes per value)")
+        self.bits = int(bits)
+        self.stochastic = bool(stochastic)
+        self._rng = np.random.default_rng(seed)
+        self._levels = (1 << bits) - 1
+        self._dtype = np.uint8 if bits == 8 else np.uint16
+
+    def compress(
+        self, keys: np.ndarray, values: np.ndarray, dimension: int
+    ) -> CompressedGradient:
+        keys, values = validate_sparse_gradient(keys, values, dimension)
+        value_bytes_each = self.bits // 8
+        if keys.size == 0:
+            return CompressedGradient(
+                payload=(keys, np.empty(0, dtype=self._dtype), 0.0, 0.0),
+                num_bytes=_METADATA_BYTES,
+                dimension=dimension,
+                nnz=0,
+                breakdown={"metadata": _METADATA_BYTES},
+            )
+        low = float(values.min())
+        high = float(values.max())
+        span = high - low
+        if span <= 0:
+            codes = np.zeros(values.size, dtype=self._dtype)
+        else:
+            scaled = (values - low) / span * self._levels
+            if self.stochastic:
+                floor = np.floor(scaled)
+                frac = scaled - floor
+                codes = floor + (self._rng.random(values.size) < frac)
+            else:
+                codes = np.round(scaled)
+            codes = np.clip(codes, 0, self._levels).astype(self._dtype)
+        num_bytes = (
+            keys.size * (BYTES_PER_RAW_KEY + value_bytes_each) + _METADATA_BYTES
+        )
+        return CompressedGradient(
+            payload=(keys.copy(), codes, low, high),
+            num_bytes=num_bytes,
+            dimension=dimension,
+            nnz=keys.size,
+            breakdown={
+                "keys": keys.size * BYTES_PER_RAW_KEY,
+                "values": keys.size * value_bytes_each,
+                "metadata": _METADATA_BYTES,
+            },
+        )
+
+    def decompress(self, message: CompressedGradient) -> Tuple[np.ndarray, np.ndarray]:
+        keys, codes, low, high = message.payload
+        if codes.size == 0:
+            return keys, np.empty(0, dtype=np.float64)
+        span = high - low
+        values = low + codes.astype(np.float64) / self._levels * span
+        return keys, values
+
+    def __repr__(self) -> str:
+        return f"ZipMLCompressor(bits={self.bits}, stochastic={self.stochastic})"

@@ -1,0 +1,297 @@
+"""MinMaxSketch: the paper's novel sketch for bucket indexes (§3.3).
+
+Structure: ``s`` hash rows of ``t`` bins each, like a Count-Min sketch,
+but storing *bucket indexes* rather than counters, with a different
+collision protocol:
+
+* **Insert (Min)** — a bin keeps the *minimum* index ever written to it.
+  Indexes are ordered by gradient magnitude (0 = bucket nearest zero),
+  so collisions can only pull a stored index toward zero, never away.
+* **Query (Max)** — of the ``s`` candidate bins for a key, return the
+  *maximum*: since every candidate is a lower bound on the true index,
+  the maximum is the tightest lower bound.
+
+Consequently the decode error is strictly one-sided: the recovered
+index is never larger than the true one, so decoded gradients are
+*decayed*, never amplified — the property SGD tolerates (and Adam
+compensates for), unlike the overestimation of additive sketches.
+
+:class:`GroupedMinMaxSketch` implements §3.3 Solution 2: buckets are
+split into ``r`` contiguous groups with one MinMaxSketch per group,
+capping the worst-case index error at ``q / r``.  Keys are partitioned
+per group (the decoder learns group membership from the per-group key
+lists, matching the space analysis in §A.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..sketch.hashing import build_hash_family
+
+__all__ = ["MinMaxSketch", "GroupedMinMaxSketch"]
+
+
+def _dtype_for_range(index_range: int) -> np.dtype:
+    """Smallest unsigned dtype that can hold indexes in [0, index_range]."""
+    if index_range < 2**8:
+        return np.dtype(np.uint8)
+    if index_range < 2**16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+class MinMaxSketch:
+    """A single min-insert / max-query sketch over bucket indexes.
+
+    Args:
+        num_rows: number of hash tables ``s`` (paper default 2).
+        num_bins: bins per table ``t`` (paper default d/5).
+        index_range: exclusive upper bound on stored indexes; sets the
+            bin dtype and the empty-bin sentinel.
+        seed: hash family seed (encoder and decoder must agree).
+        hash_family: see :func:`repro.sketch.hashing.build_hash_family`.
+    """
+
+    def __init__(
+        self,
+        num_rows: int = 2,
+        num_bins: int = 1024,
+        index_range: int = 256,
+        seed: int = 0,
+        hash_family: str = "multiply_shift",
+    ) -> None:
+        if num_rows <= 0 or num_bins <= 0:
+            raise ValueError("num_rows and num_bins must be positive")
+        if index_range <= 0:
+            raise ValueError("index_range must be positive")
+        self.num_rows = int(num_rows)
+        self.num_bins = int(num_bins)
+        self.index_range = int(index_range)
+        self._dtype = _dtype_for_range(index_range)
+        # Sentinel above any legal index: min-insert overwrites it on
+        # first touch, and bins never touched are never queried (every
+        # queried key was inserted, so all its bins were written).
+        self._sentinel = np.iinfo(self._dtype).max
+        if self.index_range > self._sentinel:
+            raise ValueError("index_range leaves no room for the empty sentinel")
+        # Recorded so the wire format can rebuild identical hash rows.
+        self._master_seed = int(seed)
+        self._hash_family_name = hash_family
+        self._hashes = build_hash_family(num_rows, num_bins, seed, hash_family)
+        self._table = np.full((num_rows, num_bins), self._sentinel, dtype=self._dtype)
+        self._inserted = 0
+
+    # ------------------------------------------------------------------
+    # insert / query
+    # ------------------------------------------------------------------
+    def insert(self, key: int, index: int) -> None:
+        """Insert one ``(key, bucket_index)`` pair (Min protocol)."""
+        self.insert_many(
+            np.asarray([key], dtype=np.int64), np.asarray([index], dtype=np.int64)
+        )
+
+    def insert_many(self, keys: np.ndarray, indexes: np.ndarray) -> None:
+        """Vectorised insert of parallel ``keys`` / ``indexes`` arrays."""
+        keys = np.asarray(keys, dtype=np.int64)
+        indexes = np.asarray(indexes, dtype=np.int64)
+        if keys.shape != indexes.shape:
+            raise ValueError("keys and indexes must have the same shape")
+        if keys.size == 0:
+            return
+        if indexes.min() < 0 or indexes.max() >= self.index_range:
+            raise ValueError(
+                f"indexes must lie in [0, {self.index_range}); "
+                f"got [{indexes.min()}, {indexes.max()}]"
+            )
+        values = indexes.astype(self._dtype)
+        for row, h in enumerate(self._hashes):
+            bins = h(keys)
+            np.minimum.at(self._table[row], bins, values)
+        self._inserted += keys.size
+
+    def query(self, key: int) -> int:
+        """Query one key (Max protocol)."""
+        return int(
+            self.query_many(np.asarray([key], dtype=np.int64))[0]
+        )
+
+    def query_many(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised query; returns int64 bucket indexes.
+
+        For keys that were inserted, the result is guaranteed to be
+        ``<=`` the true index (one-sided error).  Querying a key that
+        was never inserted returns whatever its bins hold (possibly the
+        sentinel, clipped to ``index_range - 1``).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.empty((self.num_rows, keys.size), dtype=self._dtype)
+        for row, h in enumerate(self._hashes):
+            candidates[row] = self._table[row, h(keys)]
+        result = candidates.max(axis=0).astype(np.int64)
+        return np.minimum(result, self.index_range - 1)
+
+    # ------------------------------------------------------------------
+    # merge / accounting
+    # ------------------------------------------------------------------
+    def merge(self, other: "MinMaxSketch") -> "MinMaxSketch":
+        """Merge by elementwise minimum (consistent with min-insert)."""
+        if not isinstance(other, MinMaxSketch):
+            raise TypeError(f"cannot merge with {type(other).__name__}")
+        if (self.num_rows, self.num_bins, self.index_range) != (
+            other.num_rows,
+            other.num_bins,
+            other.index_range,
+        ):
+            raise ValueError("sketch dimensions differ; cannot merge")
+        np.minimum(self._table, other._table, out=self._table)
+        self._inserted += other._inserted
+        return self
+
+    @property
+    def inserted_count(self) -> int:
+        return self._inserted
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: ``s * t * bytes_per_bin`` (§3.5)."""
+        return self._table.nbytes
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bins that have been written at least once."""
+        return float((self._table != self._sentinel).mean())
+
+    def __repr__(self) -> str:
+        return (
+            f"MinMaxSketch(rows={self.num_rows}, bins={self.num_bins}, "
+            f"range={self.index_range}, inserted={self._inserted})"
+        )
+
+
+class GroupedMinMaxSketch:
+    """``r`` MinMaxSketches over contiguous bucket-index groups (§3.3).
+
+    Bucket indexes in ``[0, q)`` are split into ``r`` groups of width
+    ``ceil(q / r)``; group ``g`` covers ``[g*width, (g+1)*width)`` and
+    owns its own MinMaxSketch storing the *within-group offset*, so the
+    worst-case decoded index error drops from ``q`` to ``q / r``.
+
+    The caller partitions keys by group via :meth:`partition` before
+    encoding (the per-group key lists travel alongside the sketches, as
+    in §A.3's space analysis), and the decoder passes each group's keys
+    to :meth:`query_group`.
+
+    Args:
+        num_groups: ``r`` (paper default 8).
+        index_range: total index range ``q``.
+        num_rows: rows per group sketch (paper default 2).
+        total_bins: total bin budget ``t`` spread across the ``r`` group
+            sketches in proportion to nothing — equally, matching the
+            paper's fixed ``s × t / r`` per-group sizing.
+        seed: base seed; group ``g`` uses ``seed + g``.
+    """
+
+    def __init__(
+        self,
+        num_groups: int = 8,
+        index_range: int = 256,
+        num_rows: int = 2,
+        total_bins: int = 8192,
+        seed: int = 0,
+        hash_family: str = "multiply_shift",
+    ) -> None:
+        if num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        if index_range < num_groups:
+            num_groups = index_range  # never more groups than indexes
+        self.num_groups = int(num_groups)
+        self.index_range = int(index_range)
+        self.group_width = -(-self.index_range // self.num_groups)  # ceil div
+        bins_per_group = max(1, int(total_bins) // self.num_groups)
+        self._sketches: List[MinMaxSketch] = [
+            MinMaxSketch(
+                num_rows=num_rows,
+                num_bins=bins_per_group,
+                index_range=self.group_width,
+                seed=seed + 1009 * g,
+                hash_family=hash_family,
+            )
+            for g in range(self.num_groups)
+        ]
+
+    # ------------------------------------------------------------------
+    def group_of(self, indexes: np.ndarray) -> np.ndarray:
+        """Group id of each bucket index."""
+        indexes = np.asarray(indexes, dtype=np.int64)
+        if indexes.size and (indexes.min() < 0 or indexes.max() >= self.index_range):
+            raise ValueError(f"indexes must lie in [0, {self.index_range})")
+        return indexes // self.group_width
+
+    def partition(
+        self, keys: np.ndarray, indexes: np.ndarray
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Split ``(keys, indexes)`` into per-group (keys, offsets) pairs.
+
+        Returned lists preserve ascending key order within each group
+        (required by the delta-binary key encoder).  Groups with no
+        members yield empty arrays.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        indexes = np.asarray(indexes, dtype=np.int64)
+        if keys.shape != indexes.shape:
+            raise ValueError("keys and indexes must have the same shape")
+        groups = self.group_of(indexes)
+        offsets = indexes - groups * self.group_width
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for g in range(self.num_groups):
+            mask = groups == g
+            out.append((keys[mask], offsets[mask]))
+        return out
+
+    def insert_group(self, group: int, keys: np.ndarray, offsets: np.ndarray) -> None:
+        """Insert one group's keys with within-group offsets."""
+        self._sketches[group].insert_many(keys, offsets)
+
+    def insert_partitioned(
+        self, partitions: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        """Insert the output of :meth:`partition`."""
+        if len(partitions) != self.num_groups:
+            raise ValueError(
+                f"expected {self.num_groups} partitions, got {len(partitions)}"
+            )
+        for g, (keys, offsets) in enumerate(partitions):
+            if keys.size:
+                self.insert_group(g, keys, offsets)
+
+    def query_group(self, group: int, keys: np.ndarray) -> np.ndarray:
+        """Recover global bucket indexes for one group's keys."""
+        offsets = self._sketches[group].query_many(keys)
+        return np.minimum(
+            offsets + group * self.group_width, self.index_range - 1
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def sketches(self) -> Sequence[MinMaxSketch]:
+        return tuple(self._sketches)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes for s in self._sketches)
+
+    @property
+    def max_index_error(self) -> int:
+        """Worst-case decoded index error: ``group_width - 1`` (= q/r)."""
+        return self.group_width - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupedMinMaxSketch(groups={self.num_groups}, "
+            f"range={self.index_range}, width={self.group_width})"
+        )

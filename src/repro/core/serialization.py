@@ -1,0 +1,329 @@
+"""Binary wire format for SketchML messages.
+
+The compressor's byte *accounting* is exact, but a production system
+must actually put the message on a wire.  This module serialises a
+:class:`~repro.compression.base.CompressedGradient` produced by
+:class:`~repro.core.compressor.SketchMLCompressor` into a
+self-describing byte string and back, bit-for-bit:
+
+``serialize_message`` → ``bytes`` → ``deserialize_message`` →
+decompresses to exactly the same keys/values as the in-memory message.
+
+Layout (all integers little-endian)::
+
+    header:   magic "SKML" | version u8 | flags u8 | dimension u64 | nnz u64
+              | num_parts u8
+    per part: sign i8 | nnz u64 | kind u8
+      kind 0 (raw values):      key_kind u8, keys, values f64[]
+      kind 1 (indexes):         key_kind u8, keys, bucket block, index dtype
+                                u8, indexes
+      kind 2 (grouped sketch):  bucket block, num_groups u8, per group:
+                                key blob (delta-binary, length-prefixed) +
+                                sketch block
+    bucket block:  num_buckets u16 | sign f32... splits f64[q+1] | means f64[q]
+    sketch block:  rows u8 | bins u32 | index_range u32 | seed u64 |
+                   hash_family u8 | table bytes
+
+The decoder rebuilds the MinMaxSketch hash functions from the recorded
+``(rows, bins, seed, family)``, so encoder and decoder agree on every
+bin placement without shipping the functions themselves.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from ..compression.base import CompressedGradient
+from .compressor import SketchMLPayload, SignPart
+from .minmax_sketch import GroupedMinMaxSketch, MinMaxSketch
+from .quantizer import SignedBuckets
+
+__all__ = ["serialize_message", "deserialize_message", "SerializationError"]
+
+_MAGIC = b"SKML"
+_VERSION = 1
+
+_KIND_RAW = 0
+_KIND_INDEXES = 1
+_KIND_SKETCH = 2
+
+_KEY_KIND_RAW = 0
+_KEY_KIND_DELTA = 1
+
+_HASH_FAMILIES = ("multiply_shift", "tabulation")
+
+
+class SerializationError(ValueError):
+    """Raised when a byte string cannot be decoded as a SketchML message."""
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def raw(self, data: bytes) -> None:
+        self._chunks.append(data)
+
+    def pack(self, fmt: str, *values) -> None:
+        self._chunks.append(struct.pack("<" + fmt, *values))
+
+    def blob(self, data: bytes) -> None:
+        self.pack("Q", len(data))
+        self.raw(data)
+
+    def array(self, arr: np.ndarray) -> None:
+        self.blob(arr.tobytes())
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def raw(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SerializationError("truncated message")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def unpack(self, fmt: str):
+        size = struct.calcsize("<" + fmt)
+        values = struct.unpack("<" + fmt, self.raw(size))
+        return values if len(values) > 1 else values[0]
+
+    def blob(self) -> bytes:
+        return self.raw(self.unpack("Q"))
+
+    def array(self, dtype) -> np.ndarray:
+        return np.frombuffer(self.blob(), dtype=dtype)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# ----------------------------------------------------------------------
+# buckets
+# ----------------------------------------------------------------------
+def _write_buckets(w: _Writer, buckets: SignedBuckets) -> None:
+    w.pack("H", buckets.num_buckets)
+    w.pack("b", 1 if buckets.sign > 0 else -1)
+    w.array(np.asarray(buckets.splits, dtype=np.float64))
+    w.array(np.asarray(buckets.means, dtype=np.float64))
+
+
+def _read_buckets(r: _Reader) -> SignedBuckets:
+    num_buckets = r.unpack("H")
+    sign = float(r.unpack("b"))
+    splits = r.array(np.float64)
+    means = r.array(np.float64)
+    if means.size != num_buckets or splits.size != num_buckets + 1:
+        raise SerializationError("bucket table sizes are inconsistent")
+    return SignedBuckets(splits=splits.copy(), means=means.copy(), sign=sign)
+
+
+# ----------------------------------------------------------------------
+# sketches
+# ----------------------------------------------------------------------
+def _write_minmax(w: _Writer, sketch: MinMaxSketch) -> None:
+    # Row hash functions derive deterministically from the master seed,
+    # so shipping (rows, bins, seed, family) reconstructs them exactly.
+    w.pack("BIIq", sketch.num_rows, sketch.num_bins, sketch.index_range,
+           sketch._master_seed)
+    w.pack("B", _HASH_FAMILIES.index(sketch._hash_family_name))
+    w.pack("B", sketch._table.dtype.itemsize)
+    w.array(sketch._table)
+
+
+def _read_minmax(r: _Reader) -> MinMaxSketch:
+    rows, bins, index_range, master_seed = r.unpack("BIIq")
+    family_id = r.unpack("B")
+    if family_id >= len(_HASH_FAMILIES):
+        raise SerializationError(f"unknown hash family id {family_id}")
+    family = _HASH_FAMILIES[family_id]
+    itemsize = r.unpack("B")
+    dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32}.get(itemsize)
+    if dtype is None:
+        raise SerializationError(f"unknown sketch cell width {itemsize}")
+    sketch = MinMaxSketch(
+        num_rows=rows, num_bins=bins, index_range=index_range,
+        seed=master_seed, hash_family=family,
+    )
+    table = r.array(dtype)
+    if table.size != rows * bins:
+        raise SerializationError("sketch table size mismatch")
+    sketch._table = table.reshape(rows, bins).copy()
+    return sketch
+
+
+def _write_grouped(w: _Writer, grouped: GroupedMinMaxSketch) -> None:
+    w.pack("BI", grouped.num_groups, grouped.index_range)
+    for sketch in grouped.sketches:
+        _write_minmax(w, sketch)
+
+
+def _read_grouped(r: _Reader) -> GroupedMinMaxSketch:
+    num_groups, index_range = r.unpack("BI")
+    if num_groups < 1 or index_range < 1:
+        raise SerializationError(
+            f"invalid grouped sketch header ({num_groups} groups, "
+            f"range {index_range})"
+        )
+    grouped = GroupedMinMaxSketch.__new__(GroupedMinMaxSketch)
+    grouped.num_groups = num_groups
+    grouped.index_range = index_range
+    grouped.group_width = -(-index_range // num_groups)
+    grouped._sketches = [_read_minmax(r) for _ in range(num_groups)]
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# parts
+# ----------------------------------------------------------------------
+def _write_part(w: _Writer, part: SignPart) -> None:
+    w.pack("b", part.sign)
+    w.pack("Q", part.nnz)
+    if part.raw_values is not None:
+        w.pack("B", _KIND_RAW)
+        _write_keys(w, part)
+        w.array(np.asarray(part.raw_values, dtype=np.float64))
+    elif part.sketch is not None:
+        w.pack("B", _KIND_SKETCH)
+        _write_buckets(w, part.buckets)
+        blobs = part.group_key_blobs or []
+        w.pack("B", len(blobs))
+        for blob in blobs:
+            w.blob(blob)
+        _write_grouped(w, part.sketch)
+    else:
+        w.pack("B", _KIND_INDEXES)
+        _write_keys(w, part)
+        _write_buckets(w, part.buckets)
+        if part.packed_indexes is not None:
+            w.pack("B", 0)  # 0 = bit-packed marker
+            w.pack("B", part.index_bits)
+            w.blob(part.packed_indexes)
+        else:
+            w.pack("B", part.indexes.dtype.itemsize)
+            w.array(part.indexes)
+
+
+def _write_keys(w: _Writer, part: SignPart) -> None:
+    if part.key_blob is not None:
+        w.pack("B", _KEY_KIND_DELTA)
+        w.blob(part.key_blob)
+    else:
+        w.pack("B", _KEY_KIND_RAW)
+        w.array(np.asarray(part.raw_keys, dtype=np.uint32))
+
+
+def _read_keys(r: _Reader, part: SignPart) -> None:
+    key_kind = r.unpack("B")
+    if key_kind == _KEY_KIND_DELTA:
+        part.key_blob = r.blob()
+    elif key_kind == _KEY_KIND_RAW:
+        part.raw_keys = r.array(np.uint32).astype(np.int64)
+    else:
+        raise SerializationError(f"unknown key kind {key_kind}")
+
+
+def _read_part(r: _Reader) -> SignPart:
+    sign = r.unpack("b")
+    nnz = r.unpack("Q")
+    kind = r.unpack("B")
+    part = SignPart(sign=sign, nnz=nnz)
+    if kind == _KIND_RAW:
+        _read_keys(r, part)
+        part.raw_values = r.array(np.float64).copy()
+    elif kind == _KIND_SKETCH:
+        part.buckets = _read_buckets(r)
+        num_blobs = r.unpack("B")
+        part.group_key_blobs = [r.blob() for _ in range(num_blobs)]
+        part.sketch = _read_grouped(r)
+    elif kind == _KIND_INDEXES:
+        _read_keys(r, part)
+        part.buckets = _read_buckets(r)
+        itemsize = r.unpack("B")
+        if itemsize == 0:  # bit-packed marker
+            part.index_bits = r.unpack("B")
+            if not 1 <= part.index_bits <= 16:
+                raise SerializationError(
+                    f"invalid packed index width {part.index_bits}"
+                )
+            part.packed_indexes = r.blob()
+        else:
+            dtype = {1: np.uint8, 2: np.uint16}.get(itemsize)
+            if dtype is None:
+                raise SerializationError(f"unknown index width {itemsize}")
+            part.indexes = r.array(dtype).copy()
+    else:
+        raise SerializationError(f"unknown part kind {kind}")
+    return part
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def serialize_message(message: CompressedGradient) -> bytes:
+    """Serialise a SketchML message into a self-describing byte string.
+
+    Raises:
+        TypeError: if the message was not produced by
+            :class:`~repro.core.compressor.SketchMLCompressor`.
+    """
+    payload = message.payload
+    if not isinstance(payload, SketchMLPayload):
+        raise TypeError("only SketchML messages can be serialised here")
+    w = _Writer()
+    w.raw(_MAGIC)
+    flags = 1 if payload.decay_scale != 1.0 else 0
+    w.pack("BB", _VERSION, flags)
+    w.pack("QQ", message.dimension, message.nnz)
+    if flags & 1:
+        w.pack("d", payload.decay_scale)
+    w.pack("B", len(payload.parts))
+    for part in payload.parts:
+        _write_part(w, part)
+    return w.getvalue()
+
+
+def deserialize_message(data: bytes) -> CompressedGradient:
+    """Rebuild a :class:`CompressedGradient` from wire bytes.
+
+    The result decompresses (via
+    :meth:`SketchMLCompressor.decompress`) to exactly the same keys and
+    values as the original in-memory message; ``num_bytes`` is set to
+    the actual wire length.
+    """
+    r = _Reader(data)
+    if r.raw(4) != _MAGIC:
+        raise SerializationError("bad magic; not a SketchML message")
+    version, flags = r.unpack("BB")
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    dimension, nnz = r.unpack("QQ")
+    decay_scale = 1.0
+    if flags & 1:
+        decay_scale = float(r.unpack("d"))
+        if not np.isfinite(decay_scale) or decay_scale <= 0.0:
+            raise SerializationError(f"invalid decay scale {decay_scale}")
+    num_parts = r.unpack("B")
+    payload = SketchMLPayload(
+        parts=[_read_part(r) for _ in range(num_parts)],
+        decay_scale=decay_scale,
+    )
+    if not r.exhausted:
+        raise SerializationError("trailing bytes after message")
+    return CompressedGradient(
+        payload=payload,
+        num_bytes=len(data),
+        dimension=int(dimension),
+        nnz=int(nnz),
+    )

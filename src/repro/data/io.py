@@ -1,0 +1,108 @@
+"""LIBSVM-format dataset I/O.
+
+The paper's public datasets (KDD CUP 2010/2012) ship in LIBSVM format
+(``label idx:val idx:val ...``); this module lets users run the
+reproduction on the real files when they have them, while the synthetic
+generators cover the offline case.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .sparse import SparseDataset
+
+__all__ = ["read_libsvm", "write_libsvm"]
+
+
+def read_libsvm(
+    path: "str | os.PathLike",
+    num_features: Optional[int] = None,
+    zero_based: bool = False,
+) -> SparseDataset:
+    """Read a LIBSVM-format file into a :class:`SparseDataset`.
+
+    Args:
+        path: file path.
+        num_features: model dimension; inferred as ``max index + 1``
+            when omitted.
+        zero_based: whether feature indexes in the file start at 0
+            (LIBSVM convention is 1-based).
+
+    Raises:
+        ValueError: on malformed lines or out-of-range indexes.
+    """
+    labels: List[float] = []
+    rows: List[Tuple[np.ndarray, np.ndarray]] = []
+    max_index = -1
+    offset = 0 if zero_based else 1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                labels.append(float(parts[0]))
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_no}: label {parts[0]!r} is not a number"
+                ) from None
+            idx_list: List[int] = []
+            val_list: List[float] = []
+            for token in parts[1:]:
+                try:
+                    idx_str, val_str = token.split(":", 1)
+                    idx = int(idx_str) - offset
+                    val = float(val_str)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed feature token {token!r}"
+                    ) from None
+                if idx < 0:
+                    raise ValueError(
+                        f"{path}:{line_no}: feature index {idx_str} below minimum"
+                    )
+                idx_list.append(idx)
+                val_list.append(val)
+            idx_arr = np.asarray(idx_list, dtype=np.int64)
+            val_arr = np.asarray(val_list, dtype=np.float64)
+            order = np.argsort(idx_arr, kind="stable")
+            idx_arr = idx_arr[order]
+            val_arr = val_arr[order]
+            if idx_arr.size > 1 and np.any(np.diff(idx_arr) == 0):
+                raise ValueError(f"{path}:{line_no}: duplicate feature index")
+            if idx_arr.size:
+                max_index = max(max_index, int(idx_arr[-1]))
+            rows.append((idx_arr, val_arr))
+    if num_features is None:
+        num_features = max_index + 1 if max_index >= 0 else 1
+    elif max_index >= num_features:
+        raise ValueError(
+            f"file contains index {max_index} >= num_features {num_features}"
+        )
+    return SparseDataset.from_rows(rows, np.asarray(labels), num_features)
+
+
+def write_libsvm(
+    dataset: SparseDataset,
+    path: "str | os.PathLike",
+    zero_based: bool = False,
+) -> None:
+    """Write a :class:`SparseDataset` in LIBSVM format."""
+    offset = 0 if zero_based else 1
+    with open(path, "w", encoding="utf-8") as handle:
+        for i in range(dataset.num_rows):
+            start, end = dataset.indptr[i], dataset.indptr[i + 1]
+            tokens = [repr(float(dataset.labels[i]))]
+            tokens.extend(
+                f"{int(idx) + offset}:{val:.10g}"
+                for idx, val in zip(
+                    dataset.indices[start:end], dataset.data[start:end]
+                )
+            )
+            handle.write(" ".join(tokens))
+            handle.write("\n")

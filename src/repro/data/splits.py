@@ -1,0 +1,44 @@
+"""Train/test splitting and worker partitioning.
+
+The paper's protocol (§4.1): 75% train / 25% test, and the train split
+partitioned row-wise over ``W`` workers (data-parallel SGD).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .sparse import SparseDataset
+
+__all__ = ["train_test_split", "partition_rows"]
+
+
+def train_test_split(
+    dataset: SparseDataset, test_fraction: float = 0.25, seed: int = 0
+) -> Tuple[SparseDataset, SparseDataset]:
+    """Random row split into (train, test) with the paper's 75/25 default."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.num_rows)
+    num_test = max(1, int(round(dataset.num_rows * test_fraction)))
+    if num_test >= dataset.num_rows:
+        raise ValueError("test_fraction leaves no training rows")
+    test_rows = np.sort(order[:num_test])
+    train_rows = np.sort(order[num_test:])
+    return dataset.subset(train_rows), dataset.subset(test_rows)
+
+
+def partition_rows(num_rows: int, num_workers: int, seed: int = 0) -> List[np.ndarray]:
+    """Shuffle rows and deal them into ``num_workers`` near-equal parts."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if num_rows < num_workers:
+        raise ValueError(
+            f"cannot partition {num_rows} rows across {num_workers} workers"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_rows)
+    return [np.sort(chunk) for chunk in np.array_split(order, num_workers)]

@@ -1,0 +1,90 @@
+"""Dataset transforms: feature hashing, normalisation, subsampling.
+
+The hashing trick is ubiquitous in the large-scale sparse-learning
+systems SketchML targets (it is how 29M–58M-feature datasets like the
+paper's are produced in the first place).  These transforms operate on
+:class:`~repro.data.sparse.SparseDataset` instances and reuse the
+library's seeded hash families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sketch.hashing import build_hash_family
+from .sparse import SparseDataset
+
+__all__ = ["hash_features", "normalize_rows", "subsample_rows"]
+
+
+def hash_features(
+    dataset: SparseDataset, target_dim: int, seed: int = 0
+) -> SparseDataset:
+    """Apply the hashing trick: map features into ``target_dim`` buckets.
+
+    Colliding features within a row are summed with a sign hash (the
+    Weinberger et al. construction), which keeps inner products
+    approximately unbiased.
+
+    Args:
+        dataset: input dataset.
+        target_dim: hashed dimension (typically << num_features).
+        seed: seed for the bucket and sign hashes.
+    """
+    if target_dim <= 0:
+        raise ValueError("target_dim must be positive")
+    bucket_hash = build_hash_family(1, target_dim, seed)[0]
+    sign_hash = build_hash_family(1, 2, seed + 0xD1CE)[0]
+    hashed_cols = bucket_hash(dataset.indices)
+    signs = sign_hash(dataset.indices) * 2 - 1
+    signed_data = dataset.data * signs
+
+    indptr = np.zeros(dataset.num_rows + 1, dtype=np.int64)
+    indices_chunks = []
+    data_chunks = []
+    for i in range(dataset.num_rows):
+        start, end = dataset.indptr[i], dataset.indptr[i + 1]
+        cols = hashed_cols[start:end]
+        vals = signed_data[start:end]
+        # Sum duplicates created by collisions, keep ascending order.
+        uniq, inverse = np.unique(cols, return_inverse=True)
+        summed = np.zeros(uniq.size)
+        np.add.at(summed, inverse, vals)
+        nonzero = summed != 0.0
+        indices_chunks.append(uniq[nonzero])
+        data_chunks.append(summed[nonzero])
+        indptr[i + 1] = indptr[i] + int(nonzero.sum())
+    indices = (
+        np.concatenate(indices_chunks) if indices_chunks else np.empty(0, np.int64)
+    )
+    data = np.concatenate(data_chunks) if data_chunks else np.empty(0)
+    return SparseDataset(indptr, indices, data, dataset.labels.copy(), target_dim)
+
+
+def normalize_rows(dataset: SparseDataset) -> SparseDataset:
+    """L2-normalise every row (empty rows are left untouched)."""
+    data = dataset.data.copy()
+    for i in range(dataset.num_rows):
+        start, end = dataset.indptr[i], dataset.indptr[i + 1]
+        norm = np.linalg.norm(data[start:end])
+        if norm > 0:
+            data[start:end] /= norm
+    return SparseDataset(
+        dataset.indptr.copy(),
+        dataset.indices.copy(),
+        data,
+        dataset.labels.copy(),
+        dataset.num_features,
+    )
+
+
+def subsample_rows(
+    dataset: SparseDataset, fraction: float, seed: int = 0
+) -> SparseDataset:
+    """Random row subsample (without replacement)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = max(1, int(round(dataset.num_rows * fraction)))
+    rows = np.sort(rng.choice(dataset.num_rows, size=keep, replace=False))
+    return dataset.subset(rows)

@@ -1,0 +1,40 @@
+"""Simulated distributed substrate: workers, driver, network, trainer."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .driver import Driver, DriverStepResult, aggregate_sparse_gradients
+from .local_sgd import LocalSGDConfig, LocalSGDTrainer
+from .metrics import EpochRecord, TrainingHistory, time_to_converge
+from .network import (
+    NetworkModel,
+    cluster1_like,
+    cluster2_like,
+    infinite_bandwidth,
+    wan_like,
+)
+from .ssp_trainer import SSPConfig, SSPTrainer
+from .trainer import DistributedTrainer, TrainerConfig
+from .worker import Worker, WorkerStepResult
+
+__all__ = [
+    "NetworkModel",
+    "cluster1_like",
+    "cluster2_like",
+    "wan_like",
+    "infinite_bandwidth",
+    "Worker",
+    "WorkerStepResult",
+    "Driver",
+    "DriverStepResult",
+    "aggregate_sparse_gradients",
+    "DistributedTrainer",
+    "TrainerConfig",
+    "SSPTrainer",
+    "SSPConfig",
+    "LocalSGDTrainer",
+    "LocalSGDConfig",
+    "EpochRecord",
+    "TrainingHistory",
+    "time_to_converge",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,105 @@
+"""Model/optimizer checkpointing for long simulated runs.
+
+Saves the trained parameter vector plus the optimizer's moment state to
+a single ``.npz`` file, so a Table-2-scale convergence run can resume
+after interruption (and final models from the benches can be inspected
+offline).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..optim.optimizers import Adam, AdaGrad, Momentum, Optimizer, SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+_OPTIMIZER_STATE_FIELDS = {
+    "sgd": (),
+    "momentum": ("_velocity",),
+    "adagrad": ("_accum",),
+    "adam": ("_m", "_v", "_steps"),
+}
+
+
+def save_checkpoint(
+    path: "str | os.PathLike",
+    theta: np.ndarray,
+    optimizer: Optional[Optimizer] = None,
+    epoch: int = 0,
+) -> None:
+    """Write ``theta`` (and optimizer state, if any) to a ``.npz`` file.
+
+    Args:
+        path: destination file.
+        theta: model parameter vector.
+        optimizer: if given, its per-dimension state arrays are saved
+            so training resumes bit-identically.
+        epoch: bookkeeping counter stored alongside.
+    """
+    arrays = {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "epoch": np.asarray(int(epoch)),
+        "theta": np.asarray(theta, dtype=np.float64),
+    }
+    if optimizer is not None:
+        name = optimizer.name
+        if name not in _OPTIMIZER_STATE_FIELDS:
+            raise ValueError(f"cannot checkpoint optimizer {name!r}")
+        arrays["optimizer"] = np.asarray(name)
+        arrays["learning_rate"] = np.asarray(optimizer.learning_rate)
+        for f in _OPTIMIZER_STATE_FIELDS[name]:
+            state = getattr(optimizer, f)
+            if state is not None:
+                arrays[f"opt{f}"] = state
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(
+    path: "str | os.PathLike",
+    optimizer: Optional[Optimizer] = None,
+) -> Tuple[np.ndarray, int]:
+    """Load a checkpoint; returns ``(theta, epoch)``.
+
+    Args:
+        path: checkpoint file.
+        optimizer: if given, must match the saved optimizer type; its
+            state arrays are restored in place.
+
+    Raises:
+        ValueError: version mismatch, or optimizer type mismatch.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        theta = np.asarray(data["theta"], dtype=np.float64).copy()
+        epoch = int(data["epoch"])
+        if optimizer is not None:
+            if "optimizer" not in data:
+                raise ValueError("checkpoint holds no optimizer state")
+            saved_name = str(data["optimizer"])
+            if saved_name != optimizer.name:
+                raise ValueError(
+                    f"checkpoint holds {saved_name!r} state, got a "
+                    f"{optimizer.name!r} optimizer"
+                )
+            optimizer.learning_rate = float(data["learning_rate"])
+            optimizer.prepare(theta.size)
+            for f in _OPTIMIZER_STATE_FIELDS[saved_name]:
+                key = f"opt{f}"
+                if key in data:
+                    getattr(optimizer, f)[:] = data[key]
+    return theta, epoch
+
+
+# Ensure the registry above stays consistent with the classes.
+assert SGD.name in _OPTIMIZER_STATE_FIELDS
+assert Momentum.name in _OPTIMIZER_STATE_FIELDS
+assert AdaGrad.name in _OPTIMIZER_STATE_FIELDS
+assert Adam.name in _OPTIMIZER_STATE_FIELDS

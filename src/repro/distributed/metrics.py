@@ -1,0 +1,207 @@
+"""Training metrics: per-epoch timing, byte, and loss accounting.
+
+Every end-to-end figure in the paper is a projection of these records:
+
+* Fig. 8(a)/9/11/12 — ``epoch_seconds`` (compute + simulated network);
+* Fig. 8(b)        — ``avg_message_bytes`` and ``compression_rate``;
+* Fig. 8(c)        — ``encode_seconds`` / ``decode_seconds`` vs total
+  compute (the CPU overhead of compression);
+* Fig. 10/14       — ``(cumulative_seconds, test_loss)`` series;
+* Table 2          — :func:`time_to_converge` applied to the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["EpochRecord", "TrainingHistory", "time_to_converge"]
+
+
+@dataclass
+class EpochRecord:
+    """Aggregated measurements for one training epoch."""
+
+    epoch: int
+    compute_seconds: float
+    network_seconds: float
+    encode_seconds: float
+    decode_seconds: float
+    train_loss: float
+    test_loss: Optional[float]
+    bytes_sent: int
+    raw_bytes: int
+    num_messages: int
+    gradient_nnz: float
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Simulated wall-clock for the epoch."""
+        return self.compute_seconds + self.network_seconds
+
+    @property
+    def avg_message_bytes(self) -> float:
+        return self.bytes_sent / self.num_messages if self.num_messages else 0.0
+
+    @property
+    def compression_rate(self) -> float:
+        return self.raw_bytes / self.bytes_sent if self.bytes_sent else float("inf")
+
+    @property
+    def compression_cpu_fraction(self) -> float:
+        """Share of compute spent in encode/decode (Fig. 8(c) proxy)."""
+        if self.compute_seconds <= 0:
+            return 0.0
+        return (self.encode_seconds + self.decode_seconds) / self.compute_seconds
+
+
+@dataclass
+class TrainingHistory:
+    """Full run record: configuration echo plus per-epoch series."""
+
+    method: str
+    model: str
+    num_workers: int
+    epochs: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.epochs.append(record)
+
+    # ------------------------------------------------------------------
+    # series accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def epoch_seconds(self) -> List[float]:
+        return [e.epoch_seconds for e in self.epochs]
+
+    @property
+    def avg_epoch_seconds(self) -> float:
+        if not self.epochs:
+            return 0.0
+        return sum(self.epoch_seconds) / len(self.epochs)
+
+    @property
+    def cumulative_seconds(self) -> List[float]:
+        out: List[float] = []
+        total = 0.0
+        for e in self.epochs:
+            total += e.epoch_seconds
+            out.append(total)
+        return out
+
+    @property
+    def train_losses(self) -> List[float]:
+        return [e.train_loss for e in self.epochs]
+
+    @property
+    def test_losses(self) -> List[Optional[float]]:
+        return [e.test_loss for e in self.epochs]
+
+    def loss_curve(self) -> List[Tuple[float, float]]:
+        """``(cumulative_seconds, loss)`` pairs — Figure 10's series.
+
+        Uses test loss when available, train loss otherwise.
+        """
+        curve: List[Tuple[float, float]] = []
+        for t, e in zip(self.cumulative_seconds, self.epochs):
+            loss = e.test_loss if e.test_loss is not None else e.train_loss
+            curve.append((t, loss))
+        return curve
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(e.bytes_sent for e in self.epochs)
+
+    @property
+    def avg_compression_rate(self) -> float:
+        total_raw = sum(e.raw_bytes for e in self.epochs)
+        total_sent = self.total_bytes_sent
+        return total_raw / total_sent if total_sent else float("inf")
+
+    @property
+    def best_loss(self) -> float:
+        losses = [l for _, l in self.loss_curve()]
+        return min(losses) if losses else float("inf")
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serialisable) of the whole history."""
+        return {
+            "method": self.method,
+            "model": self.model,
+            "num_workers": self.num_workers,
+            "epochs": [
+                {
+                    "epoch": e.epoch,
+                    "compute_seconds": e.compute_seconds,
+                    "network_seconds": e.network_seconds,
+                    "encode_seconds": e.encode_seconds,
+                    "decode_seconds": e.decode_seconds,
+                    "epoch_seconds": e.epoch_seconds,
+                    "train_loss": e.train_loss,
+                    "test_loss": e.test_loss,
+                    "bytes_sent": e.bytes_sent,
+                    "raw_bytes": e.raw_bytes,
+                    "num_messages": e.num_messages,
+                    "gradient_nnz": e.gradient_nnz,
+                    "compression_rate": e.compression_rate,
+                }
+                for e in self.epochs
+            ],
+        }
+
+    def to_csv(self) -> str:
+        """Per-epoch records as CSV text (header + one row per epoch)."""
+        columns = [
+            "epoch", "epoch_seconds", "compute_seconds", "network_seconds",
+            "encode_seconds", "decode_seconds", "train_loss", "test_loss",
+            "bytes_sent", "raw_bytes", "num_messages", "gradient_nnz",
+            "compression_rate",
+        ]
+        lines = [",".join(columns)]
+        for record in self.to_dict()["epochs"]:
+            lines.append(
+                ",".join(
+                    "" if record[col] is None else repr(record[col])
+                    for col in columns
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingHistory(method={self.method!r}, model={self.model!r}, "
+            f"workers={self.num_workers}, epochs={self.num_epochs})"
+        )
+
+
+def time_to_converge(
+    history: TrainingHistory,
+    tolerance: float = 0.01,
+    window: int = 5,
+) -> Tuple[float, float]:
+    """The paper's §4.4 convergence rule applied to a history.
+
+    "An algorithm is considered as converged if the variation of loss is
+    less than 1% within five epochs."  Returns ``(converged_loss,
+    converged_time_seconds)``; if the run never satisfies the rule the
+    final loss/time are returned.
+    """
+    curve = history.loss_curve()
+    if not curve:
+        raise ValueError("history has no epochs")
+    if window < 2:
+        raise ValueError("window must be >= 2")
+    for i in range(window - 1, len(curve)):
+        window_losses = [loss for _, loss in curve[i - window + 1:i + 1]]
+        low, high = min(window_losses), max(window_losses)
+        reference = abs(window_losses[0]) or 1.0
+        if (high - low) / reference < tolerance:
+            return curve[i][1], curve[i][0]
+    return curve[-1][1], curve[-1][0]

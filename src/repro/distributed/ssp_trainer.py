@@ -1,0 +1,291 @@
+"""Stale-synchronous-parallel (SSP) training — the parameter-server mode.
+
+The paper's execution model is bulk-synchronous Spark, but its lineage
+is the parameter-server world: it cites SSP (Ho et al., NIPS 2013,
+ref [19]) for the batch-size protocol and the authors' own
+heterogeneity-aware parameter server (ref [22]).  This module extends
+the reproduction with that substrate: workers run at their own pace,
+pushing compressed gradients to a server that applies them
+immediately, subject to a *staleness bound* — the fastest worker may
+be at most ``staleness`` clock ticks ahead of the slowest.
+
+The simulation is event-driven: each worker's next completion time is
+computed from its (measured + modelled, heterogeneity-scaled) compute
+time plus the wire time of its compressed message; the server applies
+updates in simulated-time order.  Gradients are compressed/decompressed
+with real codecs, so SketchML's lossy-but-sign-safe behaviour is
+exercised under asynchrony too.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..compression.base import GradientCompressor
+from ..data.splits import partition_rows
+from ..models.base import Model
+from ..optim.optimizers import Optimizer
+from .metrics import EpochRecord, TrainingHistory
+from .network import NetworkModel
+
+__all__ = ["SSPConfig", "SSPTrainer"]
+
+CompressorFactory = Callable[[], GradientCompressor]
+
+
+@dataclass(frozen=True)
+class SSPConfig:
+    """Configuration of a stale-synchronous run.
+
+    Attributes:
+        num_workers: worker count.
+        staleness: maximum clock gap between fastest and slowest worker
+            (0 = bulk-synchronous lockstep).
+        batch_fraction: mini-batch fraction of each partition.
+        epochs: global data passes (measured in total batches).
+        seed: master seed.
+        compute_seconds_per_nnz: modelled compute rate (see
+            :class:`~repro.distributed.trainer.TrainerConfig`).
+        heterogeneity: worker speed multipliers are drawn uniformly
+            from ``[1, 1 + heterogeneity]`` — stragglers, the reason
+            SSP exists.  0 disables it.
+        use_measured_time: include real measured compute in the event
+            clock.  Off by default: with only modelled time the event
+            interleaving — and therefore the whole run — is exactly
+            reproducible for a given seed.
+        method_label: label recorded in the history.
+    """
+
+    num_workers: int = 10
+    staleness: int = 3
+    batch_fraction: float = 0.1
+    epochs: int = 5
+    seed: int = 0
+    compute_seconds_per_nnz: float = 1e-4
+    heterogeneity: float = 0.5
+    use_measured_time: bool = False
+    method_label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.staleness < 0:
+            raise ValueError("staleness must be non-negative")
+        if not 0.0 < self.batch_fraction <= 1.0:
+            raise ValueError("batch_fraction must be in (0, 1]")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.heterogeneity < 0:
+            raise ValueError("heterogeneity must be non-negative")
+
+
+@dataclass(order=True)
+class _Event:
+    ready_at: float
+    worker_id: int
+
+
+class SSPTrainer:
+    """Event-driven SSP simulation over real models and codecs.
+
+    Args:
+        model: objective shared by all workers.
+        optimizer: applied at the server on every arriving gradient.
+        compressor_factory: one compressor per worker + one at the server.
+        network: wire cost model (point-to-point push + pull).
+        config: run configuration.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        optimizer: Optimizer,
+        compressor_factory: CompressorFactory,
+        network: NetworkModel,
+        config: Optional[SSPConfig] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.compressor_factory = compressor_factory
+        self.network = network
+        self.config = config or SSPConfig()
+
+    def train(self, train_dataset, test_dataset=None) -> TrainingHistory:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        partitions = [
+            train_dataset.subset(rows)
+            for rows in partition_rows(train_dataset.num_rows, cfg.num_workers,
+                                       seed=cfg.seed)
+        ]
+        batch_sizes = [
+            max(1, int(round(p.num_rows * cfg.batch_fraction))) for p in partitions
+        ]
+        batches_per_epoch = max(
+            -(-p.num_rows // b) for p, b in zip(partitions, batch_sizes)
+        )
+        compressors = [self.compressor_factory() for _ in range(cfg.num_workers)]
+        server_codec = self.compressor_factory()
+        speed = 1.0 + cfg.heterogeneity * rng.random(cfg.num_workers)
+
+        theta = self.model.init_theta()
+        self.optimizer.prepare(self.model.num_parameters)
+        method = cfg.method_label or getattr(
+            server_codec, "name", type(server_codec).__name__
+        )
+        history = TrainingHistory(
+            method=method, model=self.model.name, num_workers=cfg.num_workers
+        )
+
+        clocks = np.zeros(cfg.num_workers, dtype=np.int64)  # batches done
+        total_batches_target = cfg.epochs * batches_per_epoch * cfg.num_workers
+        batch_rngs = [
+            np.random.default_rng(cfg.seed + 7_919 * w)
+            for w in range(cfg.num_workers)
+        ]
+        batch_iters = [
+            partitions[w].iter_batches(batch_sizes[w], batch_rngs[w])
+            for w in range(cfg.num_workers)
+        ]
+
+        # Event queue: all workers start at t=0.  Workers stopped by the
+        # staleness gate are parked in `blocked` (not re-queued) and
+        # woken when any other worker completes a batch — the slowest
+        # worker is never gated, so progress is guaranteed.
+        queue: List[_Event] = [_Event(0.0, w) for w in range(cfg.num_workers)]
+        heapq.heapify(queue)
+        blocked: List[int] = []
+        now = 0.0
+        completed = 0
+        epoch_stats = self._fresh_stats()
+        epoch_index = 0
+
+        while completed < total_batches_target and queue:
+            event = heapq.heappop(queue)
+            worker = event.worker_id
+            now = max(now, event.ready_at)
+
+            # SSP gate: too far ahead -> park until a slower worker
+            # completes its in-flight batch.
+            if clocks[worker] - clocks.min() > cfg.staleness:
+                blocked.append(worker)
+                continue
+
+            rows = self._next_rows(batch_iters, partitions, batch_sizes,
+                                   batch_rngs, worker)
+            t0 = time.perf_counter()
+            keys, values, loss = self.model.batch_gradient(
+                partitions[worker], rows, theta
+            )
+            message = compressors[worker].compress(
+                keys, values, self.model.num_parameters
+            )
+            measured = time.perf_counter() - t0
+            modelled = cfg.compute_seconds_per_nnz * self._batch_nnz(
+                partitions[worker], rows
+            )
+            if cfg.use_measured_time:
+                modelled += measured
+            compute = modelled * speed[worker]
+            push = self.network.transfer_time(message.num_bytes)
+            pull = self.network.transfer_time(message.num_bytes)
+
+            # Server applies the decompressed gradient immediately.
+            got_keys, got_values = server_codec.decompress(message)
+            if got_keys.size:
+                self.optimizer.step(theta, got_keys, got_values)
+
+            clocks[worker] += 1
+            completed += 1
+            finish = now + compute + push + pull
+            heapq.heappush(queue, _Event(finish, worker))
+            # A clock advanced: blocked workers may pass the gate now.
+            for waiting in blocked:
+                heapq.heappush(queue, _Event(finish, waiting))
+            blocked.clear()
+
+            epoch_stats["compute"] += compute
+            epoch_stats["network"] += push + pull
+            epoch_stats["bytes"] += message.num_bytes
+            epoch_stats["raw"] += message.raw_bytes
+            epoch_stats["messages"] += 1
+            epoch_stats["nnz"] += keys.size
+            epoch_stats["loss_sum"] += loss
+            epoch_stats["loss_n"] += 1
+
+            if completed % (batches_per_epoch * cfg.num_workers) == 0:
+                record = self._epoch_record(epoch_index, epoch_stats, now + compute)
+                if test_dataset is not None:
+                    record.test_loss = self.model.full_loss(test_dataset, theta)
+                history.append(record)
+                epoch_index += 1
+                epoch_stats = self._fresh_stats()
+
+        self._theta = theta
+        self._final_time = now
+        return history
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fresh_stats() -> dict:
+        return {
+            "compute": 0.0, "network": 0.0, "bytes": 0, "raw": 0,
+            "messages": 0, "nnz": 0, "loss_sum": 0.0, "loss_n": 0,
+        }
+
+    @staticmethod
+    def _batch_nnz(partition, rows: np.ndarray) -> int:
+        indptr = getattr(partition, "indptr", None)
+        if indptr is not None:
+            return int((indptr[rows + 1] - indptr[rows]).sum())
+        return int(rows.size * partition.num_features)
+
+    def _next_rows(self, batch_iters, partitions, batch_sizes, batch_rngs,
+                   worker: int) -> np.ndarray:
+        try:
+            return next(batch_iters[worker])
+        except StopIteration:
+            batch_iters[worker] = partitions[worker].iter_batches(
+                batch_sizes[worker], batch_rngs[worker]
+            )
+            return next(batch_iters[worker])
+
+    def _epoch_record(self, epoch: int, stats: dict, wall: float) -> EpochRecord:
+        # Workers overlap in wall-clock time; an "epoch" here is the
+        # aggregate work of one data pass.  Compute is divided by the
+        # worker count to approximate parallel wall time.
+        return EpochRecord(
+            epoch=epoch,
+            compute_seconds=stats["compute"] / max(self.config.num_workers, 1),
+            network_seconds=stats["network"] / max(self.config.num_workers, 1),
+            encode_seconds=0.0,
+            decode_seconds=0.0,
+            train_loss=(
+                stats["loss_sum"] / stats["loss_n"] if stats["loss_n"] else float("nan")
+            ),
+            test_loss=None,
+            bytes_sent=stats["bytes"],
+            raw_bytes=stats["raw"],
+            num_messages=stats["messages"],
+            gradient_nnz=(
+                stats["nnz"] / stats["messages"] if stats["messages"] else 0.0
+            ),
+        )
+
+    @property
+    def theta(self) -> np.ndarray:
+        if not hasattr(self, "_theta"):
+            raise RuntimeError("train() has not been run yet")
+        return self._theta
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated wall-clock of the last run."""
+        if not hasattr(self, "_final_time"):
+            raise RuntimeError("train() has not been run yet")
+        return self._final_time

@@ -1,0 +1,267 @@
+"""Synchronous data-parallel mini-batch SGD over the simulated cluster.
+
+One trainer run reproduces the paper's execution model (§4.1): the
+training set is partitioned row-wise over ``W`` workers; in each round
+every worker computes the gradient of its next mini-batch, compresses
+it, and pushes it to the driver; the driver aggregates, re-compresses,
+and broadcasts; every replica applies the decompressed aggregate with
+the shared optimizer.  Compute and codec times are measured on this
+machine; wire times come from the :class:`~repro.distributed.network.
+NetworkModel`.  Per-epoch records accumulate into a
+:class:`~repro.distributed.metrics.TrainingHistory`, from which every
+end-to-end figure of the paper is derived.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..compression.base import GradientCompressor
+from ..data.splits import partition_rows
+from ..models.base import Model
+from ..optim.optimizers import Optimizer
+from ..optim.schedules import ConstantLR, LRSchedule
+from .driver import Driver
+from .metrics import EpochRecord, TrainingHistory
+from .network import NetworkModel
+from .worker import Worker
+
+__all__ = ["TrainerConfig", "DistributedTrainer"]
+
+CompressorFactory = Callable[[], GradientCompressor]
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Knobs of a distributed training run.
+
+    Attributes:
+        num_workers: ``W`` (paper: 5 / 10 / 50).
+        batch_fraction: mini-batch size as a fraction of each worker's
+            partition (paper default 10%, §4.1).
+        epochs: passes over the full dataset.
+        seed: master seed (partitioning + batch shuffling).
+        evaluate_test: compute test loss after each epoch (untimed).
+        method_label: name recorded in the history (defaults to the
+            compressor's registry name).
+        compute_seconds_per_nnz: modelled gradient compute time per
+            batch nonzero, added on top of measured time (see
+            :meth:`repro.distributed.worker.Worker.compute_step`).
+    """
+
+    num_workers: int = 10
+    batch_fraction: float = 0.1
+    epochs: int = 10
+    seed: int = 0
+    evaluate_test: bool = True
+    method_label: Optional[str] = None
+    compute_seconds_per_nnz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not 0.0 < self.batch_fraction <= 1.0:
+            raise ValueError("batch_fraction must be in (0, 1]")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.compute_seconds_per_nnz < 0:
+            raise ValueError("compute_seconds_per_nnz must be non-negative")
+
+
+class DistributedTrainer:
+    """Drives a full simulated training run.
+
+    Args:
+        model: the objective (stateless; shared by all workers).
+        optimizer: the shared optimizer instance (applied once per
+            round to the single source-of-truth ``theta``).
+        compressor_factory: zero-arg callable building one compressor
+            per worker plus one for the driver (compressors may carry
+            state such as error feedback, so instances are not shared).
+        network: wire cost model.
+        config: run configuration.
+        schedule: optional learning-rate schedule over rounds.
+
+    Example:
+        >>> from repro.data import kdd10_like, train_test_split
+        >>> from repro.models import LogisticRegression
+        >>> from repro.optim import Adam
+        >>> from repro.core import SketchMLCompressor
+        >>> from repro.distributed import (
+        ...     DistributedTrainer, TrainerConfig, cluster1_like)
+        >>> data = kdd10_like(scale=0.25)
+        >>> train, test = train_test_split(data)
+        >>> trainer = DistributedTrainer(
+        ...     model=LogisticRegression(data.num_features),
+        ...     optimizer=Adam(learning_rate=0.1),
+        ...     compressor_factory=SketchMLCompressor,
+        ...     network=cluster1_like(),
+        ...     config=TrainerConfig(num_workers=4, epochs=2),
+        ... )
+        >>> history = trainer.train(train, test)
+        >>> history.num_epochs
+        2
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        optimizer: Optimizer,
+        compressor_factory: CompressorFactory,
+        network: NetworkModel,
+        config: Optional[TrainerConfig] = None,
+        schedule: Optional[LRSchedule] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.compressor_factory = compressor_factory
+        self.network = network
+        self.config = config or TrainerConfig()
+        self.schedule = schedule or ConstantLR()
+
+    # ------------------------------------------------------------------
+    def _build_workers(self, train_dataset) -> "list[Worker]":
+        cfg = self.config
+        partitions = partition_rows(
+            train_dataset.num_rows, cfg.num_workers, seed=cfg.seed
+        )
+        workers = []
+        for worker_id, rows in enumerate(partitions):
+            partition = train_dataset.subset(rows)
+            batch_size = max(1, int(round(partition.num_rows * cfg.batch_fraction)))
+            workers.append(
+                Worker(
+                    worker_id=worker_id,
+                    dataset=partition,
+                    model=self.model,
+                    compressor=self.compressor_factory(),
+                    batch_size=batch_size,
+                    seed=cfg.seed,
+                    compute_seconds_per_nnz=cfg.compute_seconds_per_nnz,
+                )
+            )
+        return workers
+
+    def train(self, train_dataset, test_dataset=None) -> TrainingHistory:
+        """Run the configured number of epochs; returns the history."""
+        cfg = self.config
+        workers = self._build_workers(train_dataset)
+        driver = Driver(self.compressor_factory(), self.model.num_parameters)
+        theta = self.model.init_theta()
+        self.optimizer.prepare(self.model.num_parameters)
+        method = cfg.method_label or getattr(
+            driver.compressor, "name", type(driver.compressor).__name__
+        )
+        history = TrainingHistory(
+            method=method, model=self.model.name, num_workers=cfg.num_workers
+        )
+        base_lr = self.optimizer.learning_rate
+        round_counter = 0
+        try:
+            for epoch in range(cfg.epochs):
+                record = self._run_epoch(
+                    epoch, workers, driver, theta, base_lr, round_counter
+                )
+                round_counter += max(w.batches_per_epoch for w in workers)
+                if cfg.evaluate_test and test_dataset is not None:
+                    record.test_loss = self.model.full_loss(test_dataset, theta)
+                history.append(record)
+        finally:
+            self.optimizer.learning_rate = base_lr
+        self._theta = theta
+        return history
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Final model parameters of the last :meth:`train` call."""
+        if not hasattr(self, "_theta"):
+            raise RuntimeError("train() has not been run yet")
+        return self._theta
+
+    # ------------------------------------------------------------------
+    def _run_epoch(
+        self,
+        epoch: int,
+        workers: "list[Worker]",
+        driver: Driver,
+        theta: np.ndarray,
+        base_lr: float,
+        round_counter: int,
+    ) -> EpochRecord:
+        compute_seconds = 0.0
+        network_seconds = 0.0
+        encode_seconds = 0.0
+        decode_seconds = 0.0
+        bytes_sent = 0
+        raw_bytes = 0
+        num_messages = 0
+        nnz_total = 0
+        loss_sum = 0.0
+        loss_count = 0
+
+        for worker in workers:
+            worker.start_epoch()
+
+        while True:
+            step_results = []
+            for worker in workers:
+                rows = worker.next_batch()
+                if rows is None or rows.size == 0:
+                    continue
+                step_results.append(worker.compute_step(rows, theta))
+            if not step_results:
+                break
+
+            # Workers run in parallel: the round's worker wall time is
+            # the slowest worker's compute + encode.
+            compute_seconds += max(
+                r.compute_seconds + r.encode_seconds for r in step_results
+            )
+            encode_seconds += sum(r.encode_seconds for r in step_results)
+            messages = [r.message for r in step_results]
+            network_seconds += self.network.gather_time(
+                [m.num_bytes for m in messages]
+            )
+            bytes_sent += sum(m.num_bytes for m in messages)
+            raw_bytes += sum(m.raw_bytes for m in messages)
+            num_messages += len(messages)
+            nnz_total += sum(r.gradient_nnz for r in step_results)
+            loss_sum += sum(r.local_loss for r in step_results)
+            loss_count += len(step_results)
+
+            driver_result = driver.aggregate(messages)
+            compute_seconds += (
+                driver_result.decode_seconds
+                + driver_result.aggregate_seconds
+                + driver_result.encode_seconds
+            )
+            decode_seconds += driver_result.decode_seconds
+            encode_seconds += driver_result.encode_seconds
+            network_seconds += self.network.broadcast_time(
+                driver_result.broadcast_message.num_bytes, len(step_results)
+            )
+
+            self.optimizer.learning_rate = base_lr * self.schedule(round_counter)
+            t0 = time.perf_counter()
+            if driver_result.keys.size:
+                self.optimizer.step(theta, driver_result.keys, driver_result.values)
+            compute_seconds += time.perf_counter() - t0
+            round_counter += 1
+
+        return EpochRecord(
+            epoch=epoch,
+            compute_seconds=compute_seconds,
+            network_seconds=network_seconds,
+            encode_seconds=encode_seconds,
+            decode_seconds=decode_seconds,
+            train_loss=loss_sum / loss_count if loss_count else float("nan"),
+            test_loss=None,
+            bytes_sent=bytes_sent,
+            raw_bytes=raw_bytes,
+            num_messages=num_messages,
+            gradient_nnz=nnz_total / num_messages if num_messages else 0.0,
+        )

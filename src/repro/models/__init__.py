@@ -1,0 +1,35 @@
+"""Statistical models of §4.1 (LR, SVM, Linear) and §B.3 (MLP)."""
+
+from .base import Model, SparseLinearModel
+from .factorization_machine import FactorizationMachine
+from .linear_models import LinearRegression, LinearSVM, LogisticRegression
+from .mlp import DenseDataset, MLPClassifier
+
+__all__ = [
+    "Model",
+    "SparseLinearModel",
+    "LogisticRegression",
+    "LinearSVM",
+    "LinearRegression",
+    "FactorizationMachine",
+    "DenseDataset",
+    "MLPClassifier",
+    "make_model",
+]
+
+
+def make_model(name: str, num_features: int, reg_lambda: float = 0.01) -> Model:
+    """Build a sparse model by name (the paper's three, plus ``fm``)."""
+    models = {
+        "lr": LogisticRegression,
+        "svm": LinearSVM,
+        "linear": LinearRegression,
+        "fm": FactorizationMachine,
+    }
+    try:
+        cls = models[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(models)}"
+        ) from None
+    return cls(num_features=num_features, reg_lambda=reg_lambda)

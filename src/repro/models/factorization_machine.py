@@ -1,0 +1,158 @@
+"""Second-order Factorization Machine (Rendle 2010).
+
+The paper's related work leans on DiFacto (ref [30]), a distributed
+factorization-machine system with quantized communication — FMs are the
+canonical "large sparse model" beyond plain linear models.  This
+implementation follows the standard O(k·nnz) formulation::
+
+    score(x) = w0 + w.x + 1/2 * sum_f [ (sum_i v_if x_i)^2 - sum_i v_if^2 x_i^2 ]
+
+Parameters are flattened into one theta vector — ``[w0, w (D), V (D*k)]``
+— so the distributed trainer and every compressor treat FM gradients
+exactly like the linear models'.  Gradients are sparse: a batch only
+touches ``w0``, the active features' ``w`` entries, and the active
+features' ``k`` factor rows.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..data.sparse import SparseDataset
+from .base import Model
+from .linear_models import _sigmoid, _stable_log1pexp
+
+__all__ = ["FactorizationMachine"]
+
+
+class FactorizationMachine(Model):
+    """FM for binary classification ({-1, +1} labels, logistic loss).
+
+    Args:
+        num_features: input dimension ``D``.
+        num_factors: latent dimension ``k`` (paper-scale systems use
+            8–128; default 8).
+        reg_lambda: L2 penalty on ``w`` and ``V`` (not the bias).
+        init_scale: stddev of the factor initialisation.
+        seed: initialisation seed.
+    """
+
+    name = "fm"
+
+    def __init__(
+        self,
+        num_features: int,
+        num_factors: int = 8,
+        reg_lambda: float = 0.0,
+        init_scale: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_features, reg_lambda)
+        if num_factors <= 0:
+            raise ValueError("num_factors must be positive")
+        self.num_factors = int(num_factors)
+        self.init_scale = float(init_scale)
+        self.seed = int(seed)
+
+    # Layout: [w0 | w_0..w_{D-1} | V_{0,0}..V_{0,k-1} | V_{1,0}.. ...]
+    @property
+    def num_parameters(self) -> int:
+        return 1 + self.num_features + self.num_features * self.num_factors
+
+    def init_theta(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        theta = np.zeros(self.num_parameters)
+        theta[1 + self.num_features:] = rng.normal(
+            scale=self.init_scale, size=self.num_features * self.num_factors
+        )
+        return theta
+
+    def _reg_loss(self, theta: np.ndarray) -> float:
+        # The global bias w0 is conventionally unregularised.
+        if self.reg_lambda == 0.0:
+            return 0.0
+        return 0.5 * self.reg_lambda * float(np.dot(theta[1:], theta[1:]))
+
+    def _factor_keys(self, features: np.ndarray) -> np.ndarray:
+        """Flat theta keys of the factor rows for the given features."""
+        base = 1 + self.num_features + features * self.num_factors
+        return (base[:, None] + np.arange(self.num_factors)[None, :]).ravel()
+
+    # ------------------------------------------------------------------
+    def _forward_batch(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ):
+        """Scores plus the per-row caches backprop needs."""
+        w0 = theta[0]
+        w = theta[1:1 + self.num_features]
+        scores = np.empty(rows.size)
+        caches = []
+        for out_i, row_i in enumerate(rows):
+            start, end = dataset.indptr[row_i], dataset.indptr[row_i + 1]
+            cols = dataset.indices[start:end]
+            x = dataset.data[start:end]
+            v = theta[self._factor_keys(cols)].reshape(cols.size, self.num_factors)
+            vx = v * x[:, None]  # (nnz, k)
+            sum_vx = vx.sum(axis=0)  # (k,)
+            interaction = 0.5 * float(np.dot(sum_vx, sum_vx) - (vx**2).sum())
+            scores[out_i] = w0 + float(np.dot(x, w[cols])) + interaction
+            caches.append((cols, x, vx, sum_vx))
+        return scores, caches
+
+    def batch_gradient(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            raise ValueError("batch must contain at least one row")
+        scores, caches = self._forward_batch(dataset, rows, theta)
+        labels = dataset.labels[rows]
+        dscores = -labels * _sigmoid(-labels * scores) / rows.size
+
+        grad = np.zeros(self.num_parameters)
+        grad[0] = dscores.sum()
+        for dscore, (cols, x, vx, sum_vx) in zip(dscores, caches):
+            grad[1 + cols] += dscore * x
+            # dV_if = x_i * (sum_vx_f - v_if x_i)
+            dv = x[:, None] * (sum_vx[None, :] - vx)
+            np.add.at(grad, self._factor_keys(cols), (dscore * dv).ravel())
+
+        keys = np.flatnonzero(grad)
+        values = grad[keys]
+        if self.reg_lambda:
+            # Lazy L2 on the touched weights/factors (not the bias).
+            reg_mask = keys > 0
+            values = values.copy()
+            values[reg_mask] += self.reg_lambda * theta[keys[reg_mask]]
+        loss = float(np.mean(_stable_log1pexp(-labels * scores)))
+        return keys, values, loss + self._reg_loss(theta)
+
+    # ------------------------------------------------------------------
+    def data_loss(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        rows = np.asarray(rows, dtype=np.int64)
+        scores, _ = self._forward_batch(dataset, rows, theta)
+        labels = dataset.labels[rows]
+        return float(np.mean(_stable_log1pexp(-labels * scores)))
+
+    def loss(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        return self.data_loss(dataset, rows, theta) + self._reg_loss(theta)
+
+    def accuracy(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        rows = np.asarray(rows, dtype=np.int64)
+        scores, _ = self._forward_batch(dataset, rows, theta)
+        predictions = np.where(scores >= 0, 1.0, -1.0)
+        return float(np.mean(predictions == dataset.labels[rows]))
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorizationMachine(D={self.num_features}, k={self.num_factors}, "
+            f"params={self.num_parameters})"
+        )

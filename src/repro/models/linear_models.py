@@ -1,0 +1,97 @@
+"""The paper's three statistical models (§4.1): LR, SVM, Linear.
+
+Loss functions exactly as printed in the paper (with mean instead of
+sum, see :mod:`repro.models.base`):
+
+* Logistic Regression: ``log(1 + exp(-y * theta.x)) + lambda/2 ||theta||^2``
+* SVM (hinge):         ``max(0, 1 - y * theta.x) + lambda/2 ||theta||^2``
+* Linear Regression:   ``(y - theta.x)^2 + lambda/2 ||theta||^2``
+
+Classification labels are in {-1, +1}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.sparse import SparseDataset
+from .base import SparseLinearModel
+
+__all__ = ["LogisticRegression", "LinearSVM", "LinearRegression"]
+
+
+def _stable_log1pexp(x: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(x))``."""
+    out = np.empty_like(x)
+    positive = x > 0
+    out[positive] = x[positive] + np.log1p(np.exp(-x[positive]))
+    out[~positive] = np.log1p(np.exp(x[~positive]))
+    return out
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class LogisticRegression(SparseLinearModel):
+    """L2-regularised logistic regression with {-1, +1} labels."""
+
+    name = "lr"
+
+    def _instance_losses(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return _stable_log1pexp(-labels * scores)
+
+    def _loss_derivatives(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        # d/ds log(1 + exp(-y s)) = -y * sigmoid(-y s)
+        return -labels * _sigmoid(-labels * scores)
+
+    def predict_proba(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> np.ndarray:
+        """P(label = +1) per row."""
+        return _sigmoid(self.predict_scores(dataset, rows, theta))
+
+    def accuracy(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        scores = self.predict_scores(dataset, rows, theta)
+        predictions = np.where(scores >= 0, 1.0, -1.0)
+        return float(np.mean(predictions == dataset.labels[rows]))
+
+
+class LinearSVM(SparseLinearModel):
+    """L2-regularised soft-margin SVM (hinge loss) with {-1, +1} labels."""
+
+    name = "svm"
+
+    def _instance_losses(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, 1.0 - labels * scores)
+
+    def _loss_derivatives(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        # Subgradient: -y on the margin-violating side, 0 elsewhere.
+        return np.where(labels * scores < 1.0, -labels, 0.0)
+
+    def accuracy(
+        self, dataset: SparseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        scores = self.predict_scores(dataset, rows, theta)
+        predictions = np.where(scores >= 0, 1.0, -1.0)
+        return float(np.mean(predictions == dataset.labels[rows]))
+
+
+class LinearRegression(SparseLinearModel):
+    """L2-regularised least squares."""
+
+    name = "linear"
+
+    def _instance_losses(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return (labels - scores) ** 2
+
+    def _loss_derivatives(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        return -2.0 * (labels - scores)

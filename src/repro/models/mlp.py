@@ -1,0 +1,214 @@
+"""Multilayer perceptron for the Appendix B.3 neural-net experiment.
+
+The paper trains a 20×20-input MLP with two fully connected layers of
+600 units and a 10-way output on MNIST.  We implement the same
+architecture (hidden width configurable so laptop-scale benches can
+shrink it) with ReLU activations and softmax cross-entropy, entirely in
+numpy, exposing the parameters as a single flattened ``theta`` vector so
+the distributed trainer and every gradient compressor treat it exactly
+like the linear models — the gradient is simply *dense*, which is the
+regime where the paper observes key compression to be redundant
+(Appendix B.3's closing remark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import Model
+
+__all__ = ["DenseDataset", "MLPClassifier"]
+
+
+class DenseDataset:
+    """Dense labelled dataset with the same batching API as SparseDataset.
+
+    Args:
+        features: float array of shape ``(num_rows, input_dim)``.
+        labels: int class labels of shape ``(num_rows,)``.
+    """
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray) -> None:
+        self.features = np.asarray(features, dtype=np.float64)
+        self.labels = np.asarray(labels)
+        if self.features.ndim != 2:
+            raise ValueError("features must be 2-D (rows x input_dim)")
+        if self.labels.shape != (self.features.shape[0],):
+            raise ValueError("labels must be parallel to feature rows")
+
+    @property
+    def num_rows(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    def iter_batches(self, batch_size: int, rng: np.random.Generator, shuffle=True):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(self.num_rows)
+        if shuffle:
+            rng.shuffle(order)
+        for start in range(0, self.num_rows, batch_size):
+            yield order[start:start + batch_size]
+
+    def subset(self, rows: np.ndarray) -> "DenseDataset":
+        rows = np.asarray(rows, dtype=np.int64)
+        return DenseDataset(self.features[rows], self.labels[rows])
+
+    def __repr__(self) -> str:
+        return f"DenseDataset(rows={self.num_rows}, dim={self.num_features})"
+
+
+class MLPClassifier(Model):
+    """Fully connected ReLU network with softmax cross-entropy loss.
+
+    Args:
+        input_dim: input size (400 for the paper's 20×20 images).
+        hidden_dims: hidden layer widths (paper: ``[600, 600]``).
+        num_classes: output size (paper: 10).
+        reg_lambda: L2 penalty on all weights (not biases).
+        seed: initialisation seed (He-normal weights).
+    """
+
+    name = "mlp"
+
+    def __init__(
+        self,
+        input_dim: int = 400,
+        hidden_dims: Tuple[int, ...] = (600, 600),
+        num_classes: int = 10,
+        reg_lambda: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        layer_dims = [int(input_dim), *[int(h) for h in hidden_dims], int(num_classes)]
+        if any(dim <= 0 for dim in layer_dims):
+            raise ValueError("all layer dimensions must be positive")
+        super().__init__(num_features=input_dim, reg_lambda=reg_lambda)
+        self.layer_dims = layer_dims
+        self.num_classes = int(num_classes)
+        self.seed = int(seed)
+        # Flat layout: [W1, b1, W2, b2, ...]
+        self._shapes: List[Tuple[Tuple[int, int], int]] = []
+        offset = 0
+        self._slices: List[Tuple[slice, slice]] = []
+        for fan_in, fan_out in zip(layer_dims[:-1], layer_dims[1:]):
+            w_size = fan_in * fan_out
+            self._shapes.append(((fan_in, fan_out), fan_out))
+            self._slices.append(
+                (slice(offset, offset + w_size), slice(offset + w_size, offset + w_size + fan_out))
+            )
+            offset += w_size + fan_out
+        self._num_parameters = offset
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parameters(self) -> int:
+        return self._num_parameters
+
+    def init_theta(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        theta = np.zeros(self._num_parameters, dtype=np.float64)
+        for (w_shape, _), (w_slice, _) in zip(self._shapes, self._slices):
+            fan_in = w_shape[0]
+            theta[w_slice] = rng.normal(
+                scale=np.sqrt(2.0 / fan_in), size=w_shape[0] * w_shape[1]
+            )
+        return theta
+
+    def _unpack(self, theta: np.ndarray) -> List[Tuple[np.ndarray, np.ndarray]]:
+        layers = []
+        for (w_shape, _), (w_slice, b_slice) in zip(self._shapes, self._slices):
+            layers.append((theta[w_slice].reshape(w_shape), theta[b_slice]))
+        return layers
+
+    # ------------------------------------------------------------------
+    def _forward(
+        self, x: np.ndarray, layers: List[Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass; returns logits and post-activation caches."""
+        activations = [x]
+        h = x
+        for i, (w, b) in enumerate(layers):
+            z = h @ w + b
+            if i < len(layers) - 1:
+                h = np.maximum(z, 0.0)
+                activations.append(h)
+            else:
+                return z, activations
+        raise AssertionError("unreachable: network has at least one layer")
+
+    @staticmethod
+    def _softmax_ce(
+        logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Mean cross-entropy and d(loss)/d(logits)."""
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        n = logits.shape[0]
+        nll = -np.log(probs[np.arange(n), labels] + 1e-12)
+        dlogits = probs
+        dlogits[np.arange(n), labels] -= 1.0
+        return float(nll.mean()), dlogits / n
+
+    # ------------------------------------------------------------------
+    def batch_gradient(
+        self, dataset: DenseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        rows = np.asarray(rows, dtype=np.int64)
+        x = dataset.features[rows]
+        labels = dataset.labels[rows]
+        layers = self._unpack(theta)
+        logits, activations = self._forward(x, layers)
+        loss, delta = self._softmax_ce(logits, labels)
+
+        grad = np.zeros_like(theta)
+        for i in reversed(range(len(layers))):
+            w, _ = layers[i]
+            w_slice, b_slice = self._slices[i]
+            h = activations[i]
+            grad[w_slice] = (h.T @ delta).ravel()
+            grad[b_slice] = delta.sum(axis=0)
+            if self.reg_lambda:
+                grad[w_slice] += self.reg_lambda * theta[w_slice]
+            if i > 0:
+                delta = (delta @ w.T) * (activations[i] > 0)
+
+        keys = np.flatnonzero(grad)
+        if self.reg_lambda:
+            loss += 0.5 * self.reg_lambda * sum(
+                float(np.dot(theta[ws], theta[ws])) for ws, _ in self._slices
+            )
+        return keys, grad[keys], loss
+
+    def data_loss(
+        self, dataset: DenseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        rows = np.asarray(rows, dtype=np.int64)
+        logits, _ = self._forward(dataset.features[rows], self._unpack(theta))
+        loss, _ = self._softmax_ce(logits, dataset.labels[rows])
+        return loss
+
+    def loss(
+        self, dataset: DenseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        loss = self.data_loss(dataset, rows, theta)
+        if self.reg_lambda:
+            loss += 0.5 * self.reg_lambda * sum(
+                float(np.dot(theta[ws], theta[ws])) for ws, _ in self._slices
+            )
+        return loss
+
+    def accuracy(
+        self, dataset: DenseDataset, rows: np.ndarray, theta: np.ndarray
+    ) -> float:
+        rows = np.asarray(rows, dtype=np.int64)
+        logits, _ = self._forward(dataset.features[rows], self._unpack(theta))
+        return float(np.mean(logits.argmax(axis=1) == dataset.labels[rows]))
+
+    def __repr__(self) -> str:
+        return f"MLPClassifier(dims={self.layer_dims}, params={self.num_parameters})"

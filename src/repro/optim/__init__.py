@@ -1,0 +1,26 @@
+"""Optimizers and learning-rate schedules."""
+
+from .optimizers import Adam, AdaGrad, Momentum, Optimizer, SGD, make_optimizer
+from .schedules import (
+    ConstantLR,
+    ExponentialDecayLR,
+    InverseDecayLR,
+    LRSchedule,
+    StepDecayLR,
+    make_schedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "AdaGrad",
+    "Adam",
+    "make_optimizer",
+    "LRSchedule",
+    "ConstantLR",
+    "InverseDecayLR",
+    "ExponentialDecayLR",
+    "StepDecayLR",
+    "make_schedule",
+]

@@ -1,0 +1,195 @@
+"""Sparse-aware optimizers: SGD variants, AdaGrad, and Adam (§4.1).
+
+Every optimizer applies a *sparse* update — only the dimensions present
+in the gradient's key set move — which is both what a parameter-server
+deployment does and a prerequisite for SketchML's decayed gradients to
+be compensated per-dimension (§3.3 Solution 2 pairs the MinMaxSketch
+with Adam's adaptive learning rate precisely because Adam rescales slow
+dimensions individually).
+
+All optimizer state (momentum, second moments) is kept dense but only
+touched on active keys, the standard lazy sparse-update scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Momentum", "AdaGrad", "Adam", "make_optimizer"]
+
+
+class Optimizer:
+    """Abstract sparse optimizer.
+
+    Args:
+        learning_rate: base step size ``eta``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, learning_rate: float = 0.1) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def prepare(self, num_parameters: int) -> None:
+        """Allocate state for a parameter vector of the given size."""
+
+    def step(self, theta: np.ndarray, keys: np.ndarray, values: np.ndarray) -> None:
+        """Apply one sparse update to ``theta`` in place."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear optimizer state between runs."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(lr={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent: ``theta[k] -= eta * g[k]``."""
+
+    name = "sgd"
+
+    def step(self, theta: np.ndarray, keys: np.ndarray, values: np.ndarray) -> None:
+        theta[keys] -= self.learning_rate * values
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum (Polyak) with optional Nesterov correction."""
+
+    name = "momentum"
+
+    def __init__(
+        self, learning_rate: float = 0.1, beta: float = 0.9, nesterov: bool = False
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta < 1.0:
+            raise ValueError("beta must be in [0, 1)")
+        self.beta = float(beta)
+        self.nesterov = bool(nesterov)
+        self._velocity: np.ndarray | None = None
+
+    def prepare(self, num_parameters: int) -> None:
+        self._velocity = np.zeros(num_parameters, dtype=np.float64)
+
+    def reset(self) -> None:
+        if self._velocity is not None:
+            self._velocity[:] = 0.0
+
+    def step(self, theta: np.ndarray, keys: np.ndarray, values: np.ndarray) -> None:
+        if self._velocity is None:
+            self.prepare(theta.size)
+        v = self._velocity
+        v[keys] = self.beta * v[keys] + values
+        if self.nesterov:
+            update = self.beta * v[keys] + values
+        else:
+            update = v[keys]
+        theta[keys] -= self.learning_rate * update
+
+
+class AdaGrad(Optimizer):
+    """Per-dimension adaptive learning rate from accumulated squares."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float = 0.1, epsilon: float = 1e-8) -> None:
+        super().__init__(learning_rate)
+        self.epsilon = float(epsilon)
+        self._accum: np.ndarray | None = None
+
+    def prepare(self, num_parameters: int) -> None:
+        self._accum = np.zeros(num_parameters, dtype=np.float64)
+
+    def reset(self) -> None:
+        if self._accum is not None:
+            self._accum[:] = 0.0
+
+    def step(self, theta: np.ndarray, keys: np.ndarray, values: np.ndarray) -> None:
+        if self._accum is None:
+            self.prepare(theta.size)
+        self._accum[keys] += values**2
+        theta[keys] -= (
+            self.learning_rate * values / (np.sqrt(self._accum[keys]) + self.epsilon)
+        )
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2014) with the paper's hyper-parameters.
+
+    §4.1: ``beta1 = 0.9``, ``beta2 = 0.999``, ``epsilon = 1e-8``.  The
+    update follows the paper's formulation::
+
+        m = beta1 * m + (1 - beta1) * g
+        v = beta2 * v + (1 - beta2) * g^2
+        theta -= eta / (sqrt(v) + eps) * m
+
+    with standard bias correction (on by default) using a per-dimension
+    step counter, the correct form under sparse (lazy) updates.
+    """
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        bias_correction: bool = True,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self.bias_correction = bool(bias_correction)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._steps: np.ndarray | None = None
+
+    def prepare(self, num_parameters: int) -> None:
+        self._m = np.zeros(num_parameters, dtype=np.float64)
+        self._v = np.zeros(num_parameters, dtype=np.float64)
+        self._steps = np.zeros(num_parameters, dtype=np.int64)
+
+    def reset(self) -> None:
+        if self._m is not None:
+            self._m[:] = 0.0
+            self._v[:] = 0.0
+            self._steps[:] = 0
+
+    def step(self, theta: np.ndarray, keys: np.ndarray, values: np.ndarray) -> None:
+        if self._m is None:
+            self.prepare(theta.size)
+        m, v = self._m, self._v
+        m[keys] = self.beta1 * m[keys] + (1.0 - self.beta1) * values
+        v[keys] = self.beta2 * v[keys] + (1.0 - self.beta2) * values**2
+        if self.bias_correction:
+            self._steps[keys] += 1
+            t = self._steps[keys]
+            m_hat = m[keys] / (1.0 - self.beta1**t)
+            v_hat = v[keys] / (1.0 - self.beta2**t)
+        else:
+            m_hat = m[keys]
+            v_hat = v[keys]
+        theta[keys] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def make_optimizer(name: str, learning_rate: float = 0.1, **kwargs) -> Optimizer:
+    """Build an optimizer by name (``sgd``/``momentum``/``adagrad``/``adam``)."""
+    optimizers = {
+        "sgd": SGD,
+        "momentum": Momentum,
+        "adagrad": AdaGrad,
+        "adam": Adam,
+    }
+    try:
+        cls = optimizers[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; choose from {sorted(optimizers)}"
+        ) from None
+    return cls(learning_rate=learning_rate, **kwargs)

@@ -1,0 +1,94 @@
+"""Learning-rate schedules.
+
+Orthogonal to the per-dimension adaptivity inside the optimizers; a
+schedule scales the base learning rate by iteration count.  Used by the
+sensitivity and ablation benches to mirror common SGD practice.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "LRSchedule",
+    "ConstantLR",
+    "InverseDecayLR",
+    "ExponentialDecayLR",
+    "StepDecayLR",
+    "make_schedule",
+]
+
+
+class LRSchedule:
+    """Maps an iteration counter to a learning-rate multiplier."""
+
+    def multiplier(self, iteration: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        return self.multiplier(iteration)
+
+
+class ConstantLR(LRSchedule):
+    """No decay (the default everywhere in the paper)."""
+
+    def multiplier(self, iteration: int) -> float:
+        return 1.0
+
+
+class InverseDecayLR(LRSchedule):
+    """``1 / (1 + rate * t)`` — the classic Robbins–Monro style decay."""
+
+    def __init__(self, rate: float = 0.01) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = float(rate)
+
+    def multiplier(self, iteration: int) -> float:
+        return 1.0 / (1.0 + self.rate * iteration)
+
+
+class ExponentialDecayLR(LRSchedule):
+    """``gamma ** t`` decay."""
+
+    def __init__(self, gamma: float = 0.999) -> None:
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = float(gamma)
+
+    def multiplier(self, iteration: int) -> float:
+        return self.gamma**iteration
+
+
+class StepDecayLR(LRSchedule):
+    """Multiply by ``factor`` every ``step_size`` iterations."""
+
+    def __init__(self, step_size: int = 100, factor: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        self.step_size = int(step_size)
+        self.factor = float(factor)
+
+    def multiplier(self, iteration: int) -> float:
+        return self.factor ** math.floor(iteration / self.step_size)
+
+
+def make_schedule(name: str, **kwargs) -> LRSchedule:
+    """Build a schedule by name."""
+    schedules = {
+        "constant": ConstantLR,
+        "inverse": InverseDecayLR,
+        "exponential": ExponentialDecayLR,
+        "step": StepDecayLR,
+    }
+    try:
+        cls = schedules[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {name!r}; choose from {sorted(schedules)}"
+        ) from None
+    return cls(**kwargs)

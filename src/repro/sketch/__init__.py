@@ -1,0 +1,41 @@
+"""Sketch substrates: hashing, quantile sketches, frequency sketches."""
+
+from .frequency import (
+    BloomFilter,
+    ConservativeCountMinSketch,
+    CountMinSketch,
+    CountSketch,
+    SpaceSaving,
+)
+from .hashing import (
+    HashFunction,
+    MultiplyShiftHash,
+    TabulationHash,
+    build_hash_family,
+)
+from .quantile import (
+    GKSummary,
+    KLLSketch,
+    QuantileSketch,
+    TDigest,
+    exact_quantiles,
+    uniform_probabilities,
+)
+
+__all__ = [
+    "HashFunction",
+    "MultiplyShiftHash",
+    "TabulationHash",
+    "build_hash_family",
+    "QuantileSketch",
+    "GKSummary",
+    "KLLSketch",
+    "TDigest",
+    "exact_quantiles",
+    "uniform_probabilities",
+    "BloomFilter",
+    "ConservativeCountMinSketch",
+    "CountMinSketch",
+    "CountSketch",
+    "SpaceSaving",
+]

@@ -1,0 +1,117 @@
+"""Bloom filter — the multiple-hashing membership structure of §3.3.
+
+The paper motivates MinMaxSketch's multi-hash design by analogy to
+Bloom filters ("the same strategy is also adopted in other methods such
+as Bloom Filter").  We provide a production-grade implementation: it is
+used by tests that validate the shared hashing substrate, and it gives
+downstream users a membership primitive alongside the frequency and
+quantile sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..hashing import build_hash_family
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Standard Bloom filter over non-negative integer keys.
+
+    Args:
+        num_bits: size of the bit array (``m``).
+        num_hashes: number of hash functions (``k``).
+        seed: hash family seed.
+    """
+
+    def __init__(self, num_bits: int = 8192, num_hashes: int = 4, seed: int = 0) -> None:
+        if num_bits <= 0 or num_hashes <= 0:
+            raise ValueError("num_bits and num_hashes must be positive")
+        self.num_bits = int(num_bits)
+        self.num_hashes = int(num_hashes)
+        self._hashes = build_hash_family(num_hashes, num_bits, seed)
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self._inserted = 0
+
+    @classmethod
+    def from_capacity(
+        cls, capacity: int, false_positive_rate: float = 0.01, seed: int = 0
+    ) -> "BloomFilter":
+        """Size the filter for ``capacity`` keys at a target FP rate.
+
+        Uses the textbook optimum ``m = -n ln p / (ln 2)^2`` and
+        ``k = (m/n) ln 2``.
+        """
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < false_positive_rate < 1:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        m = int(math.ceil(-capacity * math.log(false_positive_rate) / math.log(2) ** 2))
+        k = max(1, int(round(m / capacity * math.log(2))))
+        return cls(num_bits=m, num_hashes=k, seed=seed)
+
+    # ------------------------------------------------------------------
+    def add(self, key: int) -> None:
+        for h in self._hashes:
+            self._bits[h.hash_one(key)] = True
+        self._inserted += 1
+
+    def add_many(self, keys: Iterable[int]) -> None:
+        keys = np.asarray(list(keys), dtype=np.int64)
+        if keys.size == 0:
+            return
+        for h in self._hashes:
+            self._bits[h(keys)] = True
+        self._inserted += keys.size
+
+    def __contains__(self, key: int) -> bool:
+        return all(self._bits[h.hash_one(key)] for h in self._hashes)
+
+    def contains_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys), dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=bool)
+        out = np.ones(keys.size, dtype=bool)
+        for h in self._hashes:
+            out &= self._bits[h(keys)]
+        return out
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "BloomFilter") -> "BloomFilter":
+        """Union with a compatible filter (bitwise OR)."""
+        if not isinstance(other, BloomFilter):
+            raise TypeError(f"cannot merge with {type(other).__name__}")
+        if (self.num_bits, self.num_hashes) != (other.num_bits, other.num_hashes):
+            raise ValueError("filter dimensions differ; cannot merge")
+        self._bits |= other._bits
+        self._inserted += other._inserted
+        return self
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — predicts the current FP rate."""
+        return float(self._bits.mean())
+
+    @property
+    def expected_false_positive_rate(self) -> float:
+        """``fill_ratio ** k``, the standard FP estimate."""
+        return self.fill_ratio ** self.num_hashes
+
+    @property
+    def approximate_count(self) -> int:
+        """Cardinality estimate from the fill ratio (Swamidass–Baldi)."""
+        zero_frac = 1.0 - self.fill_ratio
+        if zero_frac <= 0.0:
+            return self._inserted
+        return int(round(-self.num_bits / self.num_hashes * math.log(zero_frac)))
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"fill={self.fill_ratio:.3f})"
+        )

@@ -1,0 +1,126 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005), as in Figure 1.
+
+The paper contrasts its MinMaxSketch against this structure: Count-Min
+*adds* on insert and takes the *minimum* on query, so its error is
+one-sided (overestimation).  §3.3 argues that an additive strategy
+applied to bucket indexes amplifies decoded gradients arbitrarily; we
+keep Count-Min both as a faithful substrate implementation and as the
+ablation baseline that demonstrates that divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..hashing import build_hash_family
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Classic Count-Min frequency sketch.
+
+    Guarantees ``f(e) <= f̂(e) <= f(e) + eps * N`` with probability at
+    least ``1 - delta`` when constructed via :meth:`from_error_bounds`.
+
+    Args:
+        num_rows: number of hash tables (``s``, depth).
+        num_bins: bins per table (``t``, width).
+        seed: seed for the hash family.
+        hash_family: passed through to :func:`build_hash_family`.
+    """
+
+    def __init__(
+        self,
+        num_rows: int = 4,
+        num_bins: int = 1024,
+        seed: int = 0,
+        hash_family: str = "multiply_shift",
+    ) -> None:
+        if num_rows <= 0 or num_bins <= 0:
+            raise ValueError("num_rows and num_bins must be positive")
+        self.num_rows = int(num_rows)
+        self.num_bins = int(num_bins)
+        self._hashes = build_hash_family(num_rows, num_bins, seed, hash_family)
+        self._table = np.zeros((num_rows, num_bins), dtype=np.int64)
+        self._total = 0
+
+    @classmethod
+    def from_error_bounds(
+        cls, epsilon: float, delta: float, seed: int = 0
+    ) -> "CountMinSketch":
+        """Size a sketch for additive error ``eps*N`` w.p. ``1 - delta``.
+
+        Standard sizing: ``width = ceil(e / eps)``, ``depth =
+        ceil(ln(1/delta))``.
+        """
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ValueError("epsilon and delta must be in (0, 1)")
+        width = int(math.ceil(math.e / epsilon))
+        depth = int(math.ceil(math.log(1.0 / delta)))
+        return cls(num_rows=max(depth, 1), num_bins=width, seed=seed)
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        for row, h in enumerate(self._hashes):
+            self._table[row, h.hash_one(key)] += count
+        self._total += count
+
+    def insert_many(self, keys: Iterable[int]) -> None:
+        keys = np.asarray(list(keys), dtype=np.int64)
+        if keys.size == 0:
+            return
+        for row, h in enumerate(self._hashes):
+            bins = h(keys)
+            np.add.at(self._table[row], bins, 1)
+        self._total += keys.size
+
+    def query(self, key: int) -> int:
+        """Estimated frequency of ``key`` (never underestimates)."""
+        return int(
+            min(self._table[row, h.hash_one(key)] for row, h in enumerate(self._hashes))
+        )
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys), dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.empty((self.num_rows, keys.size), dtype=np.int64)
+        for row, h in enumerate(self._hashes):
+            candidates[row] = self._table[row, h(keys)]
+        return candidates.min(axis=0)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Merge a compatible sketch by elementwise addition."""
+        self._check_compatible(other)
+        self._table += other._table
+        self._total += other._total
+        return self
+
+    def _check_compatible(self, other: "CountMinSketch") -> None:
+        if not isinstance(other, type(self)):
+            raise TypeError(f"cannot merge with {type(other).__name__}")
+        if (self.num_rows, self.num_bins) != (other.num_rows, other.num_bins):
+            raise ValueError("sketch dimensions differ; cannot merge")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        """Total insertions ``N``."""
+        return self._total
+
+    @property
+    def size_bytes(self) -> int:
+        """In-memory table size (what would travel on the wire)."""
+        return self._table.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(rows={self.num_rows}, bins={self.num_bins}, "
+            f"N={self._total})"
+        )

@@ -1,0 +1,104 @@
+"""Count Sketch (Charikar–Chen–Farach-Colton): signed frequency sketch.
+
+Included as a second frequency-sketch substrate: unlike Count-Min its
+error is two-sided but unbiased (each row adds ``sign(key) * count`` and
+queries take the median of the signed candidates).  The paper's analysis
+(§3.3) notes that all existing frequency sketches "either have both
+errors or only have overestimated error" — Count Sketch is the both-
+sided representative, used in tests demonstrating exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..hashing import build_hash_family
+
+__all__ = ["CountSketch"]
+
+
+class CountSketch:
+    """Median-of-signed-counters frequency estimator.
+
+    Args:
+        num_rows: number of hash tables (use an odd number so the median
+            is a held value).
+        num_bins: bins per table.
+        seed: hash family seed; the sign hashes derive from ``seed + 1``.
+    """
+
+    def __init__(self, num_rows: int = 5, num_bins: int = 1024, seed: int = 0) -> None:
+        if num_rows <= 0 or num_bins <= 0:
+            raise ValueError("num_rows and num_bins must be positive")
+        self.num_rows = int(num_rows)
+        self.num_bins = int(num_bins)
+        self._bin_hashes = build_hash_family(num_rows, num_bins, seed)
+        # Sign hashes map into {0, 1}; we translate to {-1, +1}.
+        self._sign_hashes = build_hash_family(num_rows, 2, seed + 0x5EED)
+        self._table = np.zeros((num_rows, num_bins), dtype=np.int64)
+        self._total = 0
+
+    def _signs(self, keys: np.ndarray, row: int) -> np.ndarray:
+        return self._sign_hashes[row](keys) * 2 - 1
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, count: int = 1) -> None:
+        keys = np.asarray([key], dtype=np.int64)
+        for row in range(self.num_rows):
+            b = self._bin_hashes[row](keys)[0]
+            self._table[row, b] += int(self._signs(keys, row)[0]) * count
+        self._total += count
+
+    def insert_many(self, keys: Iterable[int]) -> None:
+        keys = np.asarray(list(keys), dtype=np.int64)
+        if keys.size == 0:
+            return
+        for row in range(self.num_rows):
+            bins = self._bin_hashes[row](keys)
+            np.add.at(self._table[row], bins, self._signs(keys, row))
+        self._total += keys.size
+
+    def query(self, key: int) -> int:
+        keys = np.asarray([key], dtype=np.int64)
+        candidates = [
+            int(self._table[row, self._bin_hashes[row](keys)[0]])
+            * int(self._signs(keys, row)[0])
+            for row in range(self.num_rows)
+        ]
+        return int(np.median(candidates))
+
+    def query_many(self, keys: Iterable[int]) -> np.ndarray:
+        keys = np.asarray(list(keys), dtype=np.int64)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.empty((self.num_rows, keys.size), dtype=np.int64)
+        for row in range(self.num_rows):
+            bins = self._bin_hashes[row](keys)
+            candidates[row] = self._table[row, bins] * self._signs(keys, row)
+        return np.median(candidates, axis=0).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "CountSketch") -> "CountSketch":
+        if not isinstance(other, CountSketch):
+            raise TypeError(f"cannot merge with {type(other).__name__}")
+        if (self.num_rows, self.num_bins) != (other.num_rows, other.num_bins):
+            raise ValueError("sketch dimensions differ; cannot merge")
+        self._table += other._table
+        self._total += other._total
+        return self
+
+    @property
+    def total_count(self) -> int:
+        return self._total
+
+    @property
+    def size_bytes(self) -> int:
+        return self._table.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"CountSketch(rows={self.num_rows}, bins={self.num_bins}, "
+            f"N={self._total})"
+        )

@@ -1,0 +1,148 @@
+"""Space-Saving heavy-hitter sketch (Metwally, Agrawal, El Abbadi 2005).
+
+Tracks the (approximately) ``k`` most frequent items of a stream in
+O(k) space.  In this reproduction it powers two things:
+
+* stream analysis of which gradient dimensions are *hot* (the Zipf-head
+  features that drive message-size saturation, Fig. 11);
+* the :class:`~repro.compression.hybrid.HeavyHitterSketchMLCompressor`
+  extension, which sends heavy gradient coordinates exactly and pushes
+  only the long tail through the sketch pipeline.
+
+Guarantees: every item with true frequency > N/k is tracked, and each
+reported count overestimates by at most the minimum counter value
+(which the sketch exposes as the per-item error bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["SpaceSaving"]
+
+
+class SpaceSaving:
+    """Space-Saving top-k counter.
+
+    Args:
+        capacity: number of tracked counters (``k``).
+
+    Example:
+        >>> ss = SpaceSaving(capacity=2)
+        >>> ss.insert_many([1, 1, 1, 2, 3, 1])
+        >>> top = ss.heavy_hitters()
+        >>> top[0][0]
+        1
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._counts: Dict[int, int] = {}
+        self._errors: Dict[int, int] = {}
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, key: int, count: int = 1) -> None:
+        if count <= 0:
+            raise ValueError("count must be positive")
+        key = int(key)
+        self._total += count
+        if key in self._counts:
+            self._counts[key] += count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = count
+            self._errors[key] = 0
+            return
+        # Evict the minimum counter; the newcomer inherits its count as
+        # potential overestimation error.
+        victim = min(self._counts, key=self._counts.get)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + count
+        self._errors[key] = floor
+
+    def insert_many(self, keys: Iterable[int]) -> None:
+        for key in keys:
+            self.insert(int(key))
+
+    # ------------------------------------------------------------------
+    def query(self, key: int) -> int:
+        """Estimated count (0 if untracked; else an overestimate)."""
+        return self._counts.get(int(key), 0)
+
+    def error_bound(self, key: int) -> int:
+        """Maximum overestimation of this key's count."""
+        return self._errors.get(int(key), 0)
+
+    def heavy_hitters(
+        self, threshold_fraction: float = 0.0
+    ) -> List[Tuple[int, int]]:
+        """Tracked items with (estimated) count above the threshold.
+
+        Args:
+            threshold_fraction: report items whose estimated count
+                exceeds ``threshold_fraction * N``; 0 reports every
+                tracked item.
+
+        Returns:
+            ``(key, estimated_count)`` pairs, most frequent first.
+        """
+        if not 0.0 <= threshold_fraction <= 1.0:
+            raise ValueError("threshold_fraction must be in [0, 1]")
+        cutoff = threshold_fraction * self._total
+        items = [
+            (key, count) for key, count in self._counts.items() if count > cutoff
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+    def guaranteed_heavy_hitters(
+        self, threshold_fraction: float
+    ) -> List[Tuple[int, int]]:
+        """Items *provably* above the threshold (count - error > cutoff)."""
+        cutoff = threshold_fraction * self._total
+        items = [
+            (key, count)
+            for key, count in self._counts.items()
+            if count - self._errors[key] > cutoff
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        return items
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Merge another sketch (counter union, then re-truncate)."""
+        if not isinstance(other, SpaceSaving):
+            raise TypeError(f"cannot merge with {type(other).__name__}")
+        for key, count in other._counts.items():
+            if key in self._counts:
+                self._counts[key] += count
+                self._errors[key] += other._errors[key]
+            else:
+                self._counts[key] = count
+                self._errors[key] = other._errors[key]
+        self._total += other._total
+        # Re-truncate to capacity, dropping the smallest counters.
+        if len(self._counts) > self.capacity:
+            keep = sorted(self._counts, key=self._counts.get, reverse=True)
+            for key in keep[self.capacity:]:
+                self._counts.pop(key)
+                self._errors.pop(key)
+        return self
+
+    @property
+    def total_count(self) -> int:
+        return self._total
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpaceSaving(capacity={self.capacity}, tracked={self.tracked_count}, "
+            f"N={self._total})"
+        )

@@ -1,0 +1,167 @@
+"""Seeded hash families used by every sketch in this library.
+
+Sketch error bounds (Count-Min, MinMaxSketch, Bloom filters) assume the
+hash functions of different rows are drawn independently from a pairwise
+independent family.  We provide two families:
+
+* :class:`MultiplyShiftHash` — the classic ``(a*x + b) mod p mod t``
+  construction over a Mersenne prime, vectorised with numpy.  Pairwise
+  independent, extremely fast, and the default everywhere.
+* :class:`TabulationHash` — 4-wise-ish tabulation hashing over the four
+  bytes of a 32-bit key.  Slower but with much stronger independence
+  guarantees; useful when validating that a result does not depend on the
+  hash family.
+
+Both operate on non-negative integer keys (gradient dimensions) and map
+them into ``[0, num_bins)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE_PRIME_61",
+    "HashFunction",
+    "MultiplyShiftHash",
+    "TabulationHash",
+    "build_hash_family",
+]
+
+#: 2**61 - 1, the Mersenne prime used for modular universal hashing.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_MAX_KEY_BITS = 32
+
+
+class HashFunction:
+    """Protocol-style base class for a single seeded hash function.
+
+    Subclasses map arrays of non-negative integer keys into
+    ``[0, num_bins)``.  They must be deterministic for a given seed so
+    that an encoder and a decoder constructed with the same seed agree
+    on every bin placement.
+    """
+
+    def __init__(self, num_bins: int, seed: int) -> None:
+        if num_bins <= 0:
+            raise ValueError(f"num_bins must be positive, got {num_bins}")
+        self.num_bins = int(num_bins)
+        self.seed = int(seed)
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        """Hash an array of keys; returns an int64 array of bin indexes."""
+        raise NotImplementedError
+
+    def hash_one(self, key: int) -> int:
+        """Hash a single scalar key."""
+        return int(self(np.asarray([key], dtype=np.int64))[0])
+
+
+class MultiplyShiftHash(HashFunction):
+    """Pairwise-independent universal hash ``((a*x + b) mod p) mod t``.
+
+    ``a`` and ``b`` are drawn from a seeded PRNG with ``a`` odd and
+    nonzero, ``p`` the Mersenne prime ``2**61 - 1``.  Computation is done
+    in Python-int space only at construction; the per-call path is pure
+    numpy ``uint64`` arithmetic using the standard Mersenne-prime
+    reduction trick, so hashing a million keys is a handful of vector ops.
+    """
+
+    def __init__(self, num_bins: int, seed: int) -> None:
+        super().__init__(num_bins, seed)
+        rng = np.random.default_rng(seed)
+        # a in [1, p-1] and odd; b in [0, p-1]
+        self._a = int(rng.integers(1, MERSENNE_PRIME_61)) | 1
+        self._b = int(rng.integers(0, MERSENNE_PRIME_61))
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size and keys.max() >= (1 << _MAX_KEY_BITS):
+            raise ValueError("keys must fit in 32 bits for MultiplyShiftHash")
+        # (a * x + b) mod (2^61 - 1) without overflow: split a into high
+        # and low 30-bit halves so every intermediate fits in uint64.
+        a = self._a
+        a_hi = np.uint64(a >> 30)
+        a_lo = np.uint64(a & ((1 << 30) - 1))
+        prod_lo = keys * a_lo
+        prod_hi = keys * a_hi
+        # a*x = prod_hi * 2^30 + prod_lo; reduce mod 2^61-1 via the
+        # identity 2^61 ≡ 1 (mod p).
+        combined = (
+            (prod_hi << np.uint64(30)) % np.uint64(MERSENNE_PRIME_61)
+            + prod_lo % np.uint64(MERSENNE_PRIME_61)
+            + np.uint64(self._b)
+        )
+        combined %= np.uint64(MERSENNE_PRIME_61)
+        return (combined % np.uint64(self.num_bins)).astype(np.int64)
+
+
+class TabulationHash(HashFunction):
+    """Simple tabulation hashing over the 4 bytes of a 32-bit key.
+
+    Each byte position gets a seeded table of 256 random 64-bit words;
+    the hash is the XOR of the four looked-up words, reduced mod the
+    number of bins.  3-wise independent and empirically behaves like a
+    fully random function for sketching workloads.
+    """
+
+    def __init__(self, num_bins: int, seed: int) -> None:
+        super().__init__(num_bins, seed)
+        rng = np.random.default_rng(seed)
+        self._tables = rng.integers(
+            0, np.iinfo(np.int64).max, size=(4, 256), dtype=np.int64
+        ).astype(np.uint64)
+
+    def __call__(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size and keys.max() >= (1 << _MAX_KEY_BITS):
+            raise ValueError("keys must fit in 32 bits for TabulationHash")
+        out = np.zeros(keys.shape, dtype=np.uint64)
+        for byte in range(4):
+            chunk = (keys >> np.uint64(8 * byte)) & np.uint64(0xFF)
+            out ^= self._tables[byte][chunk.astype(np.int64)]
+        return (out % np.uint64(self.num_bins)).astype(np.int64)
+
+
+_FAMILIES = {
+    "multiply_shift": MultiplyShiftHash,
+    "tabulation": TabulationHash,
+}
+
+
+def build_hash_family(
+    num_hashes: int,
+    num_bins: int,
+    seed: int,
+    family: str = "multiply_shift",
+) -> Sequence[HashFunction]:
+    """Build ``num_hashes`` independent hash functions into ``num_bins`` bins.
+
+    Row ``i`` is seeded deterministically from ``(seed, i)`` so that two
+    sketches constructed with the same ``(num_hashes, num_bins, seed,
+    family)`` — e.g. the encoder on a worker and the decoder on the
+    driver — produce identical hash placements.
+
+    Args:
+        num_hashes: number of independent rows (``s`` in the paper).
+        num_bins: bins per row (``t`` in the paper).
+        seed: master seed.
+        family: ``"multiply_shift"`` (default) or ``"tabulation"``.
+
+    Returns:
+        A list of :class:`HashFunction` instances, one per row.
+    """
+    if num_hashes <= 0:
+        raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+    try:
+        cls = _FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown hash family {family!r}; choose from {sorted(_FAMILIES)}"
+        ) from None
+    # Offset row seeds by a large odd stride so adjacent master seeds do
+    # not produce overlapping row seeds.
+    return [cls(num_bins, seed * 0x9E3779B1 + 0x85EBCA77 * i) for i in range(num_hashes)]

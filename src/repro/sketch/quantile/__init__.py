@@ -1,0 +1,19 @@
+"""Quantile sketches: Greenwald–Khanna and KLL (DataSketches-style).
+
+See :mod:`repro.sketch.quantile.base` for the shared interface.
+"""
+
+from .base import QuantileSketch, exact_quantiles, uniform_probabilities
+from .gk import GKSummary, GKTuple
+from .kll import KLLSketch
+from .tdigest import TDigest
+
+__all__ = [
+    "QuantileSketch",
+    "GKSummary",
+    "GKTuple",
+    "KLLSketch",
+    "TDigest",
+    "exact_quantiles",
+    "uniform_probabilities",
+]

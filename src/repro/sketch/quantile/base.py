@@ -1,0 +1,80 @@
+"""Common interface for quantile sketches.
+
+The paper (§2.3) relies on a quantile sketch with three capabilities:
+
+* single-pass insertion of a stream of floats,
+* ``query(phi)`` returning an approximate ``phi``-quantile,
+* ``merge`` so per-partition sketches can be combined on the driver.
+
+Both of our implementations (:class:`~repro.sketch.quantile.gk.GKSummary`
+and :class:`~repro.sketch.quantile.kll.KLLSketch`) satisfy this
+interface; SketchML's quantizer is written against it so either can be
+plugged in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["QuantileSketch", "exact_quantiles", "uniform_probabilities"]
+
+
+class QuantileSketch:
+    """Abstract single-pass mergeable quantile estimator."""
+
+    def insert(self, value: float) -> None:
+        """Insert one value into the sketch."""
+        raise NotImplementedError
+
+    def insert_many(self, values: Iterable[float]) -> None:
+        """Insert a batch of values (default: loop over :meth:`insert`)."""
+        for value in np.asarray(list(values), dtype=np.float64):
+            self.insert(float(value))
+
+    def query(self, phi: float) -> float:
+        """Return an approximate ``phi``-quantile, ``phi`` in [0, 1]."""
+        raise NotImplementedError
+
+    def query_many(self, phis: Sequence[float]) -> List[float]:
+        """Query several quantiles at once."""
+        return [self.query(float(phi)) for phi in phis]
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Merge ``other`` into ``self`` and return ``self``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of values inserted so far."""
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+
+def uniform_probabilities(q: int) -> np.ndarray:
+    """The ``q + 1`` probabilities ``{0, 1/q, ..., 1}`` used for splits.
+
+    Section 3.2 queries the sketch at q averaged quantiles plus the
+    maximum, yielding ``q`` equi-depth buckets.
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    return np.linspace(0.0, 1.0, q + 1)
+
+
+def exact_quantiles(values: Sequence[float], phis: Sequence[float]) -> np.ndarray:
+    """Exact quantiles by full sort — the O(N log N) brute force of §2.3.
+
+    Used as ground truth in tests and for tiny inputs where a sketch is
+    overkill.  Uses the "lower" interpolation so results are actual data
+    points, matching sketch semantics.
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        raise ValueError("cannot take quantiles of an empty sequence")
+    phis = np.clip(np.asarray(phis, dtype=np.float64), 0.0, 1.0)
+    idx = np.minimum((phis * arr.size).astype(np.int64), arr.size - 1)
+    return arr[idx]

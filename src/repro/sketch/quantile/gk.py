@@ -1,0 +1,194 @@
+"""Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001).
+
+This is the "GK algorithm" the paper cites as the classical quantile
+sketch (§2.3): a summary ``S(n, k)`` of tuples ``(v, g, Δ)`` kept in
+value order, where for tuple ``i``
+
+* ``v_i`` is a value seen in the stream,
+* ``g_i = rmin(v_i) - rmin(v_{i-1})``,
+* ``Δ_i = rmax(v_i) - rmin(v_i)``,
+
+and the invariant ``g_i + Δ_i <= 2 ε n`` guarantees any rank query is
+answered within ``ε n``.
+
+The implementation follows the original paper: inserts place a new tuple
+with ``Δ = floor(2 ε n) `` (0 for stream extremes), and a periodic
+COMPRESS pass merges tuples whose combined uncertainty still fits the
+invariant.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from .base import QuantileSketch
+
+__all__ = ["GKSummary", "GKTuple"]
+
+
+@dataclass
+class GKTuple:
+    """One summary tuple ``(value, g, delta)`` of the GK structure."""
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKSummary(QuantileSketch):
+    """Greenwald–Khanna summary with rank error at most ``epsilon * n``.
+
+    Args:
+        epsilon: target rank-error fraction.  Space is
+            O((1/ε) log(εn)); ``epsilon=0.01`` keeps a few hundred
+            tuples for millions of inserts.
+
+    Example:
+        >>> gk = GKSummary(epsilon=0.01)
+        >>> gk.insert_many(range(10000))
+        >>> abs(gk.query(0.5) - 5000) < 200
+        True
+    """
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = float(epsilon)
+        self._tuples: List[GKTuple] = []
+        self._values: List[float] = []  # parallel sorted list for bisect
+        self._count = 0
+        self._inserts_since_compress = 0
+        # COMPRESS every ~1/(2ε) inserts, as in the original paper.
+        self._compress_interval = max(int(1.0 / (2.0 * self.epsilon)), 1)
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        value = float(value)
+        if np.isnan(value):
+            raise ValueError("cannot insert NaN into a quantile summary")
+        idx = bisect.bisect_left(self._values, value)
+        if idx == 0 or idx == len(self._tuples):
+            # new minimum or maximum: exact rank, delta = 0
+            delta = 0
+        else:
+            delta = int(2.0 * self.epsilon * self._count)
+        self._tuples.insert(idx, GKTuple(value, 1, delta))
+        self._values.insert(idx, value)
+        self._count += 1
+        self._inserts_since_compress += 1
+        if self._inserts_since_compress >= self._compress_interval:
+            self._compress()
+            self._inserts_since_compress = 0
+
+    def insert_many(self, values: Iterable[float]) -> None:
+        for value in np.asarray(list(values), dtype=np.float64):
+            self.insert(float(value))
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples whose combined error fits ``2 ε n``."""
+        if len(self._tuples) < 3:
+            return
+        threshold = int(2.0 * self.epsilon * self._count)
+        merged: List[GKTuple] = [self._tuples[0]]
+        # Never merge into the last tuple's slot from the right; iterate
+        # middle tuples and fold them into their successor when allowed.
+        for i in range(1, len(self._tuples) - 1):
+            cur = self._tuples[i]
+            nxt = self._tuples[i + 1]
+            if cur.g + nxt.g + nxt.delta <= threshold:
+                nxt.g += cur.g  # fold cur into nxt
+            else:
+                merged.append(cur)
+        merged.append(self._tuples[-1])
+        self._tuples = merged
+        self._values = [t.value for t in merged]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, phi: float) -> float:
+        if self._count == 0:
+            raise ValueError("cannot query an empty GKSummary")
+        phi = min(max(float(phi), 0.0), 1.0)
+        target_rank = phi * self._count
+        bound = self.epsilon * self._count
+        rmin = 0
+        for t in self._tuples:
+            rmin += t.g
+            rmax = rmin + t.delta
+            if target_rank - rmin <= bound and rmax - target_rank <= bound:
+                return t.value
+        return self._tuples[-1].value
+
+    def rank(self, value: float) -> int:
+        """Approximate rank (number of inserted items ≤ ``value``)."""
+        rmin = 0
+        last_below = 0
+        for t in self._tuples:
+            rmin += t.g
+            if t.value <= value:
+                last_below = rmin
+            else:
+                break
+        return last_below
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def merge(self, other: "GKSummary") -> "GKSummary":
+        """Merge another GK summary into this one.
+
+        Uses the standard merge-then-compress construction: the tuple
+        lists are interleaved in value order (g and delta carry over),
+        after which a COMPRESS pass restores the space bound.  The
+        resulting rank error is bounded by the sum of the two errors.
+        """
+        if not isinstance(other, GKSummary):
+            raise TypeError(f"cannot merge GKSummary with {type(other).__name__}")
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._tuples = [GKTuple(t.value, t.g, t.delta) for t in other._tuples]
+            self._values = list(other._values)
+            self._count = other._count
+            return self
+        combined: List[GKTuple] = []
+        i = j = 0
+        a, b = self._tuples, other._tuples
+        while i < len(a) and j < len(b):
+            if a[i].value <= b[j].value:
+                combined.append(a[i])
+                i += 1
+            else:
+                combined.append(GKTuple(b[j].value, b[j].g, b[j].delta))
+                j += 1
+        combined.extend(a[i:])
+        combined.extend(GKTuple(t.value, t.g, t.delta) for t in b[j:])
+        self._tuples = combined
+        self._count += other._count
+        self._values = [t.value for t in combined]
+        self._compress()
+        return self
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_tuples(self) -> int:
+        """Current size of the summary (``k`` in ``S(n, k)``)."""
+        return len(self._tuples)
+
+    def __repr__(self) -> str:
+        return (
+            f"GKSummary(epsilon={self.epsilon}, n={self._count}, "
+            f"tuples={self.num_tuples})"
+        )

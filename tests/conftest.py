@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SparseDataset, kdd10_like, train_test_split
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sparse_gradient(rng):
+    """A realistic sparse gradient: ascending keys, near-zero-heavy values."""
+    dimension = 100_000
+    nnz = 3_000
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-6
+    return keys, values, dimension
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SparseDataset:
+    """A small synthetic dataset shared across integration tests."""
+    return kdd10_like(seed=7, scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return train_test_split(tiny_dataset, seed=7)

@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.bench import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_shape(self):
+        out = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+        assert len(out) == 8
+
+    def test_descending_loss_curve(self):
+        out = sparkline([0.9, 0.7, 0.5, 0.3, 0.1])
+        assert out[0] == "█"
+        assert out[-1] == "▁"
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1], width=0)
+
+    def test_proportional_bars(self):
+        out = bar_chart(["big", "half"], [100.0, 50.0], width=40)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 40
+        assert lines[1].count("#") == 20
+
+    def test_labels_aligned_and_values_shown(self):
+        out = bar_chart(["Adam", "SketchML"], [10, 2], unit="s")
+        lines = out.splitlines()
+        assert lines[0].startswith("Adam    ")
+        assert "10s" in lines[0]
+        assert "2s" in lines[1]
+
+    def test_zero_values(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "0" in out
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == ""
+        assert line_chart({"a": []}) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, width=2)
+
+    def test_markers_and_axes(self):
+        out = line_chart(
+            {
+                "sketchml": [(0, 1.0), (1, 0.5), (2, 0.25)],
+                "adam": [(0, 1.0), (3, 0.8)],
+            },
+            width=20,
+            height=6,
+        )
+        assert "S" in out
+        assert "A" in out
+        assert "x: 0 .. 3" in out
+        assert "y: 0.25 .. 1" in out
+
+    def test_grid_dimensions(self):
+        out = line_chart({"m": [(0, 0), (1, 1)]}, width=16, height=5)
+        body = [line for line in out.splitlines() if line.startswith("|")]
+        assert len(body) == 5
+        assert all(len(line) == 17 for line in body)  # '|' + width
+
+    def test_single_point(self):
+        out = line_chart({"p": [(2.0, 3.0)]}, width=10, height=4)
+        assert "P" in out

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.profile == "kdd12"
+        assert args.workers == 10
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--profile", "criteo"])
+
+
+class TestInfo:
+    def test_lists_components(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "sketchml" in out
+        assert "kdd12" in out
+
+
+class TestCompress:
+    def test_sketchml(self, capsys):
+        code = main(
+            ["compress", "--method", "sketchml", "--nnz", "2000",
+             "--dimension", "50000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compression rate" in out
+        assert "keys lossless     : True" in out
+
+    def test_every_registered_method(self, capsys):
+        from repro.compression import available_compressors
+
+        for method in available_compressors():
+            assert main(
+                ["compress", "--method", method, "--nnz", "500",
+                 "--dimension", "10000"]
+            ) == 0
+
+    def test_unknown_method(self, capsys):
+        assert main(["compress", "--method", "brotli"]) == 2
+        assert "unknown compressor" in capsys.readouterr().err
+
+    def test_bad_sizes(self, capsys):
+        assert main(["compress", "--nnz", "100", "--dimension", "10"]) == 2
+
+
+class TestCompare:
+    def test_report_includes_all_codecs(self, capsys):
+        code = main(
+            ["compare", "--nnz", "1000", "--dimension", "30000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sketchml" in out
+        assert "identity" in out
+        assert "SketchML-friendly" in out
+
+    def test_bad_sizes(self, capsys):
+        assert main(["compare", "--nnz", "10", "--dimension", "5"]) == 2
+
+
+class TestTrain:
+    def test_small_run(self, capsys):
+        code = main(
+            ["train", "--profile", "kdd10", "--scale", "0.05",
+             "--workers", "2", "--epochs", "1", "--cluster", "cluster1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SketchML" in out
+        assert "test loss" in out
+
+    def test_ablation_method(self, capsys):
+        code = main(
+            ["train", "--profile", "kdd10", "--scale", "0.05",
+             "--workers", "2", "--epochs", "1", "--method", "Adam+Key"]
+        )
+        assert code == 0
+
+    def test_unknown_method(self, capsys):
+        code = main(
+            ["train", "--profile", "kdd10", "--scale", "0.05",
+             "--workers", "2", "--epochs", "1", "--method", "DGC"]
+        )
+        assert code == 2
+
+
+class TestDatagen:
+    def test_writes_libsvm(self, tmp_path, capsys):
+        out_path = tmp_path / "data.libsvm"
+        code = main(
+            ["datagen", "--profile", "kdd10", "--scale", "0.01",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        from repro.data import read_libsvm
+
+        dataset = read_libsvm(out_path)
+        assert dataset.num_rows > 0
+        assert np.isfinite(dataset.data).all()

@@ -1,0 +1,218 @@
+"""Tests for the baseline compressors (Identity, ZipML, 1-bit, top-k, fp16)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    Float16Compressor,
+    IdentityCompressor,
+    OneBitCompressor,
+    TopKCompressor,
+    ZipMLCompressor,
+    available_compressors,
+    make_compressor,
+)
+
+
+def make_gradient(nnz=2_000, dimension=50_000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-5
+    return keys, values, dimension
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = available_compressors()
+        for expected in ("identity", "zipml", "onebit", "topk", "float16", "sketchml"):
+            assert expected in names
+
+    def test_make_compressor(self):
+        comp = make_compressor("zipml", bits=8)
+        assert isinstance(comp, ZipMLCompressor)
+        assert comp.bits == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown compressor"):
+            make_compressor("gzip")
+
+
+class TestIdentity:
+    def test_double_is_exact(self):
+        keys, values, dim = make_gradient()
+        out_keys, out_values, msg = IdentityCompressor().roundtrip(keys, values, dim)
+        np.testing.assert_array_equal(out_keys, keys)
+        np.testing.assert_array_equal(out_values, values)
+        assert msg.num_bytes == 12 * keys.size
+        assert msg.compression_rate == pytest.approx(1.0)
+
+    def test_float_variant(self):
+        keys, values, dim = make_gradient()
+        _, out_values, msg = IdentityCompressor(value_bytes=4).roundtrip(
+            keys, values, dim
+        )
+        assert msg.num_bytes == 8 * keys.size
+        np.testing.assert_allclose(out_values, values, rtol=1e-6)
+
+    def test_invalid_value_bytes(self):
+        with pytest.raises(ValueError):
+            IdentityCompressor(value_bytes=2)
+
+    def test_rejects_bad_gradient(self):
+        comp = IdentityCompressor()
+        with pytest.raises(ValueError, match="ascending"):
+            comp.compress(np.asarray([2, 1]), np.asarray([0.1, 0.2]), 10)
+        with pytest.raises(ValueError, match="finite"):
+            comp.compress(np.asarray([1, 2]), np.asarray([0.1, np.nan]), 10)
+        with pytest.raises(ValueError, match="dimension"):
+            comp.compress(np.asarray([1]), np.asarray([0.1]), 0)
+
+
+class TestZipML:
+    def test_16bit_high_fidelity(self):
+        keys, values, dim = make_gradient(seed=1)
+        _, out_values, msg = ZipMLCompressor(bits=16).roundtrip(keys, values, dim)
+        span = values.max() - values.min()
+        assert np.abs(out_values - values).max() <= span / 2**15
+        assert msg.num_bytes == keys.size * 6 + 16
+
+    def test_8bit_coarser_than_16bit(self):
+        keys, values, dim = make_gradient(seed=2)
+        _, v8, _ = ZipMLCompressor(bits=8).roundtrip(keys, values, dim)
+        _, v16, _ = ZipMLCompressor(bits=16).roundtrip(keys, values, dim)
+        assert np.mean((v8 - values) ** 2) > np.mean((v16 - values) ** 2)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ZipMLCompressor(bits=12)
+
+    def test_zeroing_of_small_values(self):
+        """The failure mode §3.2 describes: near-zero values collapse
+        onto shared levels under uniform quantization."""
+        rng = np.random.default_rng(3)
+        values = np.concatenate([rng.normal(scale=1e-4, size=999), [1.0]])
+        keys = np.arange(1_000)
+        _, decoded, _ = ZipMLCompressor(bits=8).roundtrip(keys, values, 1_000)
+        # With the range stretched to 1.0, all small values hit one level.
+        assert len(np.unique(decoded[:999])) <= 2
+
+    def test_stochastic_rounding_unbiased(self):
+        keys = np.arange(20_000)
+        values = np.full(20_000, 0.3)
+        values[0], values[-1] = 0.0, 1.0  # pin the range
+        comp = ZipMLCompressor(bits=8, stochastic=True, seed=7)
+        _, decoded, _ = comp.roundtrip(keys, values, 20_000)
+        assert decoded[1:-1].mean() == pytest.approx(0.3, abs=0.002)
+
+    def test_constant_values(self):
+        keys = np.arange(10)
+        values = np.full(10, 0.5)
+        _, decoded, _ = ZipMLCompressor().roundtrip(keys, values, 10)
+        np.testing.assert_allclose(decoded, values)
+
+    def test_empty_gradient(self):
+        comp = ZipMLCompressor()
+        keys = np.asarray([], dtype=np.int64)
+        out_keys, out_values, msg = comp.roundtrip(keys, keys.astype(float), 10)
+        assert out_keys.size == 0 and out_values.size == 0
+
+
+class TestOneBit:
+    def test_signs_preserved(self):
+        keys, values, dim = make_gradient(seed=4)
+        comp = OneBitCompressor(error_feedback=False)
+        _, decoded, _ = comp.roundtrip(keys, values, dim)
+        np.testing.assert_array_equal(np.sign(decoded), np.sign(values))
+
+    def test_two_magnitudes_only(self):
+        keys, values, dim = make_gradient(seed=5)
+        comp = OneBitCompressor(error_feedback=False)
+        _, decoded, _ = comp.roundtrip(keys, values, dim)
+        assert len(np.unique(np.abs(decoded))) <= 2
+
+    def test_extreme_compression_rate(self):
+        keys, values, dim = make_gradient(nnz=8_000, seed=6)
+        msg = OneBitCompressor().compress(keys, values, dim)
+        # 1 bit/value vs 64: value part shrinks ~64x; keys still 4B.
+        assert msg.breakdown["values"] == 1_000
+        assert msg.compression_rate > 2.5
+
+    def test_error_feedback_reduces_bias(self):
+        """With feedback, repeated compression of the same gradient
+        should track its mean value instead of losing the residual."""
+        rng = np.random.default_rng(7)
+        keys = np.arange(100)
+        dim = 100
+        target = rng.laplace(scale=1.0, size=100)
+        with_fb = OneBitCompressor(error_feedback=True)
+        accumulated = np.zeros(dim)
+        for _ in range(50):
+            _, decoded, _ = with_fb.roundtrip(keys, target, dim)
+            accumulated += decoded
+        # Accumulated decoded mass approximates 50 * target.
+        correlation = np.corrcoef(accumulated, target)[0, 1]
+        assert correlation > 0.95
+
+    def test_reset_clears_state(self):
+        comp = OneBitCompressor()
+        keys, values, dim = make_gradient(nnz=10, seed=8)
+        comp.compress(keys, values, dim)
+        assert comp._residual
+        comp.reset()
+        assert not comp._residual
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        keys = np.arange(10)
+        values = np.asarray([0.01, -5.0, 0.02, 3.0, 0.005, -0.02, 4.0, 0.03, -2.0, 0.001])
+        comp = TopKCompressor(ratio=0.3, error_feedback=False)
+        out_keys, out_values = comp.decompress(comp.compress(keys, values, 10))
+        assert set(out_keys.tolist()) == {1, 6, 3}
+
+    def test_ratio_one_is_identity(self):
+        keys, values, dim = make_gradient(nnz=100, seed=9)
+        out_keys, out_values, _ = TopKCompressor(ratio=1.0).roundtrip(
+            keys, values, dim
+        )
+        np.testing.assert_array_equal(out_keys, keys)
+        np.testing.assert_allclose(out_values, values)
+
+    def test_invalid_ratio(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                TopKCompressor(ratio=bad)
+
+    def test_bytes_scale_with_ratio(self):
+        keys, values, dim = make_gradient(nnz=1_000, seed=10)
+        small = TopKCompressor(ratio=0.1).compress(keys, values, dim)
+        large = TopKCompressor(ratio=0.5).compress(keys, values, dim)
+        assert small.num_bytes < large.num_bytes
+        assert small.num_bytes == pytest.approx(100 * 12, rel=0.05)
+
+    def test_error_feedback_reinjects_dropped_mass(self):
+        comp = TopKCompressor(ratio=0.5, error_feedback=True)
+        keys = np.arange(4)
+        values = np.asarray([1.0, 0.1, 0.2, 2.0])
+        comp.compress(keys, values, 4)
+        # Dropped keys 1, 2 carry residuals into the next call.
+        msg = comp.compress(keys, values, 4)
+        out_keys, out_values = comp.decompress(msg)
+        restored = dict(zip(out_keys.tolist(), out_values.tolist()))
+        # Key 1 or 2 should now exceed its single-round value.
+        boosted = [v for k, v in restored.items() if k in (1, 2)]
+        assert any(v > 0.2 for v in boosted) or not boosted
+
+
+class TestFloat16:
+    def test_roundtrip_close(self):
+        keys, values, dim = make_gradient(seed=11)
+        _, decoded, msg = Float16Compressor().roundtrip(keys, values, dim)
+        np.testing.assert_allclose(decoded, values, rtol=1e-3, atol=1e-7)
+        assert msg.num_bytes == keys.size * 6
+
+    def test_compression_rate_is_two(self):
+        keys, values, dim = make_gradient(seed=12)
+        msg = Float16Compressor().compress(keys, values, dim)
+        assert msg.compression_rate == pytest.approx(2.0)

@@ -1,0 +1,93 @@
+"""Tests for dataset statistics and the config sweep utility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DatasetStats,
+    SweepCell,
+    dataset_stats,
+    sweep_sketch_configs,
+)
+from repro.core import SketchMLConfig
+from repro.data import SparseDataset, generate_profile
+
+
+class TestDatasetStats:
+    def test_basic_numbers(self):
+        ds = generate_profile("kdd10", seed=0, scale=0.1)
+        stats = dataset_stats(ds)
+        assert stats.num_rows == ds.num_rows
+        assert stats.num_features == ds.num_features
+        assert stats.nnz == ds.nnz
+        assert 0 < stats.density < 1
+        assert stats.avg_nnz_per_row == pytest.approx(ds.avg_nnz_per_row)
+        assert stats.max_nnz_per_row >= stats.avg_nnz_per_row
+        assert 0 < stats.active_features <= ds.num_features
+        assert 0 <= stats.positive_label_fraction <= 1
+
+    def test_zipf_exponent_recovered(self):
+        """The estimated slope should land near the generator's setting."""
+        ds = generate_profile("kdd12-hothead", seed=0, scale=0.25)  # zipf 1.6
+        stats = dataset_stats(ds)
+        assert stats.estimated_zipf_exponent == pytest.approx(1.6, abs=0.5)
+
+    def test_head_mass_higher_for_hothead(self):
+        plain = dataset_stats(generate_profile("kdd12", seed=0, scale=0.1))
+        hot = dataset_stats(
+            generate_profile("kdd12-hothead", seed=0, scale=0.1)
+        )
+        assert hot.head_mass_100 > plain.head_mass_100
+
+    def test_empty_rejected(self):
+        empty = SparseDataset(
+            np.asarray([0]),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+            np.empty(0),
+            10,
+        )
+        with pytest.raises(ValueError, match="empty"):
+            dataset_stats(empty)
+
+
+class TestSweeps:
+    def make_gradient(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.choice(100_000, size=5_000, replace=False))
+        values = rng.laplace(scale=0.01, size=5_000)
+        values[values == 0.0] = 1e-6
+        return keys, values
+
+    def test_grid_order_and_labels(self):
+        keys, values = self.make_gradient()
+        grid = [{}, {"num_buckets": 32}, {"minmax_rows": 4}]
+        cells = sweep_sketch_configs(keys, values, 100_000, grid)
+        assert len(cells) == 3
+        assert cells[0].label() == "default"
+        assert cells[1].label() == "num_buckets=32"
+        assert all(isinstance(c, SweepCell) for c in cells)
+
+    def test_bucket_sweep_error_monotone(self):
+        keys, values = self.make_gradient()
+        grid = [{"num_buckets": q} for q in (8, 32, 128)]
+        cells = sweep_sketch_configs(keys, values, 100_000, grid)
+        errors = [c.mean_abs_error for c in cells]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_rows_sweep_size_monotone(self):
+        keys, values = self.make_gradient()
+        grid = [{"minmax_rows": s} for s in (1, 2, 4)]
+        cells = sweep_sketch_configs(keys, values, 100_000, grid)
+        sizes = [c.num_bytes for c in cells]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_custom_base_config(self):
+        keys, values = self.make_gradient()
+        base = SketchMLConfig.keys_and_quantization()
+        cells = sweep_sketch_configs(
+            keys, values, 100_000, [{}], base=base
+        )
+        # Quan-only path: error is the quantization error, no sketch.
+        assert cells[0].mean_abs_error < 0.001
+        assert cells[0].compression_rate > 2

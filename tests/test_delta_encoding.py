@@ -1,0 +1,154 @@
+"""Tests for delta-binary key encoding (§3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta_encoding import (
+    DeltaKeyStats,
+    decode_keys,
+    delta_key_stats,
+    encode_keys,
+)
+
+
+class TestRoundtrip:
+    def test_paper_example(self):
+        """The exact key sequence from Figure 7."""
+        keys = np.asarray([702, 735, 1244, 2516, 3536, 3786, 4187, 4195])
+        blob = encode_keys(keys)
+        np.testing.assert_array_equal(decode_keys(blob), keys)
+
+    def test_empty(self):
+        blob = encode_keys(np.asarray([], dtype=np.int64))
+        assert decode_keys(blob).size == 0
+
+    def test_single_key(self):
+        for key in (0, 255, 256, 2**24, 2**32 - 1):
+            blob = encode_keys(np.asarray([key]))
+            assert decode_keys(blob).tolist() == [key]
+
+    def test_all_byte_widths(self):
+        """Deltas spanning 1/2/3/4-byte widths in one block."""
+        keys = np.cumsum(
+            np.asarray([5, 200, 300, 70_000, 20_000_000, 1], dtype=np.int64)
+        )
+        blob = encode_keys(keys)
+        np.testing.assert_array_equal(decode_keys(blob), keys)
+
+    def test_dense_consecutive_keys(self):
+        keys = np.arange(10_000, dtype=np.int64)
+        blob = encode_keys(keys)
+        np.testing.assert_array_equal(decode_keys(blob), keys)
+        # Consecutive keys: ~1 byte payload + 0.25 flag per key.
+        assert len(blob) < 10_000 * 1.3 + 16
+
+    def test_large_random_keys(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.choice(2**31, size=50_000, replace=False))
+        blob = encode_keys(keys)
+        np.testing.assert_array_equal(decode_keys(blob), keys)
+
+
+class TestValidation:
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            encode_keys(np.asarray([3, 1, 2]))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            encode_keys(np.asarray([1, 1, 2]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_keys(np.asarray([-1, 2]))
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            encode_keys(np.asarray([2**32]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            encode_keys(np.asarray([[1, 2]]))
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_keys(np.asarray([10, 20, 30]))
+        with pytest.raises(ValueError):
+            decode_keys(blob[:-1])
+        with pytest.raises(ValueError):
+            decode_keys(blob[:2])
+        with pytest.raises(ValueError):
+            decode_keys(blob + b"\x00")
+
+    def test_empty_block_trailing_bytes_rejected(self):
+        blob = encode_keys(np.asarray([], dtype=np.int64))
+        with pytest.raises(ValueError, match="trailing"):
+            decode_keys(blob + b"\x01")
+
+
+class TestStats:
+    def test_stats_match_encoding(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.choice(1_000_000, size=5_000, replace=False))
+        stats = delta_key_stats(keys)
+        blob = encode_keys(keys)
+        assert stats.total_bytes == len(blob)
+        assert stats.num_keys == keys.size
+
+    def test_empty_stats(self):
+        stats = delta_key_stats(np.asarray([], dtype=np.int64))
+        assert stats == DeltaKeyStats(0, 0, 0, 4)
+        assert stats.bytes_per_key == 0.0
+
+    def test_bytes_per_key_near_paper_value(self):
+        """§4.2 measures ~1.25–1.27 bytes/key on realistic sparsity."""
+        rng = np.random.default_rng(2)
+        # 10% density: deltas average 10 → 1 byte payload + 0.25 flag.
+        dimension = 200_000
+        keys = np.sort(rng.choice(dimension, size=dimension // 10, replace=False))
+        stats = delta_key_stats(keys)
+        assert 1.0 < stats.bytes_per_key < 1.5
+
+    def test_bytes_per_key_grows_with_sparsity(self):
+        """Fig. 8(d) right panel: sparser gradients cost more per key."""
+        rng = np.random.default_rng(3)
+        dimension = 1_000_000
+        costs = []
+        for nnz in (100_000, 10_000, 1_000):
+            keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+            costs.append(delta_key_stats(keys).bytes_per_key)
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_flag_accounting(self):
+        stats = delta_key_stats(np.asarray([1, 2, 3, 4, 5]))
+        assert stats.flag_bytes == 2  # ceil(5/4)
+        assert stats.header_bytes == 4
+
+
+@given(
+    deltas=st.lists(
+        st.integers(min_value=1, max_value=2**26), min_size=1, max_size=500
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(deltas):
+    keys = np.cumsum(np.asarray(deltas, dtype=np.int64))
+    if keys[-1] > 2**32 - 1:
+        keys = keys % (2**32 - 1)
+        keys = np.unique(keys)
+    blob = encode_keys(keys)
+    np.testing.assert_array_equal(decode_keys(blob), keys)
+
+
+@given(
+    nnz=st.integers(min_value=1, max_value=2_000),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_compression_beats_raw_for_clustered_keys(nnz, seed):
+    """Delta-binary must beat 4-byte raw keys whenever deltas are small."""
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(nnz * 20, size=nnz, replace=False))
+    stats = delta_key_stats(keys)
+    assert stats.payload_bytes + stats.flag_bytes < 4 * nnz + 4

@@ -1,0 +1,167 @@
+"""Tests for the error-feedback wrapper and the Local SGD trainer."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    ErrorFeedbackCompressor,
+    IdentityCompressor,
+    ZipMLCompressor,
+)
+from repro.core import SketchMLCompressor, SketchMLConfig
+from repro.distributed import (
+    LocalSGDConfig,
+    LocalSGDTrainer,
+    cluster1_like,
+)
+from repro.models import LogisticRegression
+from repro.optim import make_optimizer
+
+
+def make_gradient(nnz=1_000, dimension=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-6
+    return keys, values, dimension
+
+
+class TestErrorFeedback:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorFeedbackCompressor(IdentityCompressor(), decay=0.0)
+        with pytest.raises(ValueError):
+            ErrorFeedbackCompressor(IdentityCompressor(), decay=1.5)
+
+    def test_exact_inner_leaves_no_residual(self):
+        keys, values, dim = make_gradient(seed=1)
+        ef = ErrorFeedbackCompressor(IdentityCompressor())
+        ef.roundtrip(keys, values, dim)
+        assert ef.residual_l2 == 0.0
+
+    def test_lossy_inner_accumulates_residual(self):
+        keys, values, dim = make_gradient(seed=2)
+        ef = ErrorFeedbackCompressor(
+            SketchMLCompressor(SketchMLConfig.full(num_buckets=8))
+        )
+        ef.roundtrip(keys, values, dim)
+        assert ef.residual_l2 > 0.0
+        ef.reset()
+        assert ef.residual_l2 == 0.0
+
+    def test_cumulative_decoded_mass_tracks_truth(self):
+        """The EF guarantee: sum of decoded gradients approaches the sum
+        of intended gradients (bias does not accumulate)."""
+        dim = 5_000
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.choice(dim, size=400, replace=False))
+        target = rng.laplace(scale=0.01, size=400)
+        target[target == 0.0] = 1e-6
+
+        def cumulative_error(compressor, rounds=30):
+            total = np.zeros(dim)
+            for _ in range(rounds):
+                out_keys, out_values = compressor.decompress(
+                    compressor.compress(keys, target, dim)
+                )
+                np.add.at(total, out_keys, out_values)
+            intended = np.zeros(dim)
+            np.add.at(intended, keys, rounds * target)
+            return float(np.linalg.norm(total - intended))
+
+        lossy_cfg = SketchMLConfig.full(num_buckets=8)
+        plain_err = cumulative_error(SketchMLCompressor(lossy_cfg))
+        ef_err = cumulative_error(
+            ErrorFeedbackCompressor(SketchMLCompressor(lossy_cfg))
+        )
+        assert ef_err < plain_err / 3
+
+    def test_wraps_zipml_too(self):
+        keys, values, dim = make_gradient(seed=4)
+        ef = ErrorFeedbackCompressor(ZipMLCompressor(bits=8))
+        out_keys, out_values, msg = ef.roundtrip(keys, values, dim)
+        assert msg.num_bytes > 0
+        assert out_keys.size >= keys.size  # residual keys may join later
+        # Second round carries residuals: keys may grow.
+        ef.roundtrip(keys, values, dim)
+
+    def test_decay_dampens_residual(self):
+        keys, values, dim = make_gradient(seed=5)
+        full = ErrorFeedbackCompressor(
+            SketchMLCompressor(SketchMLConfig.full(num_buckets=8)), decay=1.0
+        )
+        damped = ErrorFeedbackCompressor(
+            SketchMLCompressor(SketchMLConfig.full(num_buckets=8)), decay=0.5
+        )
+        for _ in range(5):
+            full.compress(keys, values, dim)
+            damped.compress(keys, values, dim)
+        assert damped.residual_l2 <= full.residual_l2 * 1.5
+
+
+class TestLocalSGD:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LocalSGDConfig(sync_interval=0)
+        with pytest.raises(ValueError):
+            LocalSGDConfig(num_workers=0)
+
+    def make_trainer(self, train, sync_interval=4, factory=IdentityCompressor,
+                     epochs=3):
+        return LocalSGDTrainer.with_adam(
+            model=LogisticRegression(train.num_features, reg_lambda=0.01),
+            learning_rate=0.01,
+            compressor_factory=factory,
+            network=cluster1_like(),
+            config=LocalSGDConfig(
+                num_workers=4, sync_interval=sync_interval, epochs=epochs,
+                seed=0,
+            ),
+        )
+
+    def test_trains_and_records(self, tiny_split):
+        train, test = tiny_split
+        trainer = self.make_trainer(train)
+        history = trainer.train(train, test)
+        assert history.num_epochs == 3
+        assert history.test_losses[-1] < history.test_losses[0]
+        assert all(e.num_messages > 0 for e in history.epochs)
+        assert trainer.theta.shape == (train.num_features,)
+
+    def test_larger_sync_interval_fewer_messages(self, tiny_split):
+        train, test = tiny_split
+        frequent = self.make_trainer(train, sync_interval=1).train(train, test)
+        rare = self.make_trainer(train, sync_interval=5).train(train, test)
+        assert rare.epochs[0].num_messages < frequent.epochs[0].num_messages
+        assert rare.total_bytes_sent < frequent.total_bytes_sent
+
+    def test_composes_with_sketchml(self, tiny_split):
+        train, test = tiny_split
+        history = self.make_trainer(
+            train, factory=SketchMLCompressor
+        ).train(train, test)
+        assert history.avg_compression_rate > 1.5
+        assert history.test_losses[-1] < np.log(2.0)
+
+    def test_sync_interval_one_matches_frequent_behaviour(self, tiny_split):
+        """H=1 is averaging after every batch — must still converge."""
+        train, test = tiny_split
+        history = self.make_trainer(train, sync_interval=1).train(train, test)
+        assert history.test_losses[-1] < history.test_losses[0]
+
+    def test_theta_before_train_raises(self, tiny_split):
+        train, _ = tiny_split
+        with pytest.raises(RuntimeError):
+            _ = self.make_trainer(train).theta
+
+    def test_custom_optimizer_factory(self, tiny_split):
+        train, test = tiny_split
+        trainer = LocalSGDTrainer(
+            model=LogisticRegression(train.num_features),
+            optimizer_factory=lambda: make_optimizer("sgd", learning_rate=0.5),
+            compressor_factory=IdentityCompressor,
+            network=cluster1_like(),
+            config=LocalSGDConfig(num_workers=2, sync_interval=3, epochs=2),
+        )
+        history = trainer.train(train, test)
+        assert history.test_losses[-1] <= history.test_losses[0]

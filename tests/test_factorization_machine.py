@@ -1,0 +1,137 @@
+"""Tests for the Factorization Machine model."""
+
+import numpy as np
+import pytest
+
+from repro.data import SparseDataset
+from repro.models import FactorizationMachine, make_model
+from repro.optim import Adam
+
+
+def interaction_dataset(seed=0, rows=300, features=30):
+    """Labels driven by a feature *interaction* — linearly inseparable.
+
+    y = sign(x_a * x_b): only a second-order model can fit it.
+    """
+    rng = np.random.default_rng(seed)
+    row_list = []
+    labels = []
+    for _ in range(rows):
+        cols = np.sort(rng.choice(features, size=6, replace=False))
+        vals = rng.choice([-1.0, 1.0], size=6) * rng.uniform(0.5, 1.5, size=6)
+        row_list.append((cols, vals))
+        # Interaction of the two lowest active features decides the label.
+        labels.append(1.0 if vals[0] * vals[1] > 0 else -1.0)
+    return SparseDataset.from_rows(row_list, np.asarray(labels), features)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FactorizationMachine(10, num_factors=0)
+        with pytest.raises(ValueError):
+            FactorizationMachine(0)
+
+    def test_parameter_layout(self):
+        fm = FactorizationMachine(num_features=100, num_factors=4)
+        assert fm.num_parameters == 1 + 100 + 400
+
+    def test_factory(self):
+        assert isinstance(make_model("fm", 50), FactorizationMachine)
+
+    def test_init_theta_shape(self):
+        fm = FactorizationMachine(20, num_factors=3, seed=1)
+        theta = fm.init_theta()
+        assert theta.shape == (1 + 20 + 60,)
+        assert np.all(theta[:21] == 0.0)  # bias + linear start at zero
+        assert theta[21:].std() > 0  # factors randomly initialised
+
+    def test_empty_batch_rejected(self):
+        ds = interaction_dataset()
+        fm = FactorizationMachine(ds.num_features)
+        with pytest.raises(ValueError, match="at least one row"):
+            fm.batch_gradient(ds, np.asarray([], dtype=np.int64), fm.init_theta())
+
+
+class TestGradient:
+    def test_matches_numeric_gradient(self):
+        ds = interaction_dataset(seed=1, rows=20, features=15)
+        fm = FactorizationMachine(15, num_factors=3, reg_lambda=0.01, seed=2)
+        rng = np.random.default_rng(3)
+        theta = rng.normal(scale=0.2, size=fm.num_parameters)
+        rows = np.arange(10)
+        keys, values, _ = fm.batch_gradient(ds, rows, theta)
+        grad = np.zeros(fm.num_parameters)
+        grad[keys] = values
+        eps = 1e-6
+        sample = np.unique(
+            np.concatenate([[0], keys[:: max(1, keys.size // 12)]])
+        )
+        for k in sample:
+            tp = theta.copy()
+            tp[k] += eps
+            tm = theta.copy()
+            tm[k] -= eps
+            numeric = (fm.loss(ds, rows, tp) - fm.loss(ds, rows, tm)) / (2 * eps)
+            assert grad[k] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_gradient_is_sparse(self):
+        ds = interaction_dataset(seed=2)
+        fm = FactorizationMachine(ds.num_features, num_factors=4, seed=0)
+        keys, _, _ = fm.batch_gradient(ds, np.asarray([0, 1]), fm.init_theta())
+        # Only bias + active features' w and V rows are touched.
+        active = np.union1d(ds.row(0).keys, ds.row(1).keys)
+        max_touched = 1 + active.size + active.size * 4
+        assert keys.size <= max_touched
+        assert np.all(np.diff(keys) > 0)
+
+    def test_keys_within_parameter_space(self):
+        ds = interaction_dataset(seed=3)
+        fm = FactorizationMachine(ds.num_features, num_factors=2)
+        keys, _, _ = fm.batch_gradient(ds, np.arange(5), fm.init_theta())
+        assert keys.min() >= 0
+        assert keys.max() < fm.num_parameters
+
+
+class TestLearning:
+    def test_beats_linear_model_on_interactions(self):
+        ds = interaction_dataset(seed=4, rows=400, features=20)
+        rows = np.arange(ds.num_rows)
+
+        def train(model, steps=400, lr=0.05):
+            theta = model.init_theta()
+            opt = Adam(learning_rate=lr)
+            opt.prepare(model.num_parameters)
+            rng = np.random.default_rng(0)
+            for _ in range(steps):
+                batch = rng.choice(ds.num_rows, size=64, replace=False)
+                keys, values, _ = model.batch_gradient(ds, batch, theta)
+                opt.step(theta, keys, values)
+            return model.accuracy(ds, rows, theta)
+
+        fm_acc = train(FactorizationMachine(20, num_factors=6, seed=1))
+        linear_acc = train(make_model("lr", 20, reg_lambda=0.0))
+        assert fm_acc > 0.8
+        assert fm_acc > linear_acc + 0.1
+
+    def test_trains_under_distributed_trainer_with_sketchml(self):
+        from repro.core import SketchMLCompressor
+        from repro.distributed import (
+            DistributedTrainer,
+            TrainerConfig,
+            cluster1_like,
+        )
+
+        ds = interaction_dataset(seed=5, rows=400, features=25)
+        fm = FactorizationMachine(25, num_factors=4, seed=0)
+        trainer = DistributedTrainer(
+            model=fm,
+            optimizer=Adam(learning_rate=0.05),
+            compressor_factory=SketchMLCompressor,
+            network=cluster1_like(),
+            config=TrainerConfig(num_workers=4, epochs=8, seed=0,
+                                 batch_fraction=0.5),
+        )
+        history = trainer.train(ds, ds)
+        assert history.test_losses[-1] < history.test_losses[0]
+        assert history.avg_compression_rate > 1.0

@@ -1,0 +1,129 @@
+"""Failure-injection tests: lossy networks and corrupted wire bytes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import IdentityCompressor
+from repro.core import (
+    SerializationError,
+    SketchMLCompressor,
+    deserialize_message,
+    serialize_message,
+)
+from repro.core.delta_encoding import decode_keys, encode_keys
+from repro.distributed import DistributedTrainer, NetworkModel, TrainerConfig
+from repro.models import LogisticRegression
+
+
+class TestLossyNetwork:
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=1e6, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=1e6, loss_rate=-0.1)
+
+    def test_retransmission_inflates_transfer(self):
+        clean = NetworkModel(bandwidth_bytes_per_sec=1_000, latency_sec=0.0)
+        lossy = NetworkModel(
+            bandwidth_bytes_per_sec=1_000, latency_sec=0.0, loss_rate=0.5
+        )
+        assert lossy.transfer_time(1_000) == pytest.approx(
+            2 * clean.transfer_time(1_000)
+        )
+
+    def test_training_survives_lossy_network(self, tiny_split):
+        """Packet loss slows the wire but never corrupts the model."""
+        train, test = tiny_split
+        histories = {}
+        for loss_rate in (0.0, 0.3):
+            trainer = DistributedTrainer(
+                model=LogisticRegression(train.num_features, reg_lambda=0.01),
+                optimizer=__import__("repro.optim", fromlist=["Adam"]).Adam(
+                    learning_rate=0.01
+                ),
+                compressor_factory=IdentityCompressor,
+                network=NetworkModel(
+                    bandwidth_bytes_per_sec=3e5, loss_rate=loss_rate
+                ),
+                config=TrainerConfig(num_workers=4, epochs=2, seed=0),
+            )
+            histories[loss_rate] = trainer.train(train, test)
+        # Identical learning trajectory (retransmission is transparent)...
+        assert histories[0.0].test_losses == histories[0.3].test_losses
+        # ...but more simulated time on the lossy wire.
+        lossy_net = sum(e.network_seconds for e in histories[0.3].epochs)
+        clean_net = sum(e.network_seconds for e in histories[0.0].epochs)
+        assert lossy_net > clean_net * 1.3
+
+
+def _reference_message():
+    rng = np.random.default_rng(0)
+    keys = np.sort(rng.choice(50_000, size=2_000, replace=False))
+    values = rng.laplace(scale=0.01, size=2_000)
+    values[values == 0.0] = 1e-6
+    comp = SketchMLCompressor()
+    return comp, serialize_message(comp.compress(keys, values, 50_000))
+
+
+class TestWireCorruption:
+    """A corrupted message must raise a typed error or decode into a
+    *well-formed* (if wrong) message — never escape with an internal
+    exception (IndexError, struct.error, segfaulting numpy call...)."""
+
+    @given(
+        position=st.integers(min_value=0, max_value=10_000),
+        new_byte=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_byte_flip(self, position, new_byte):
+        comp, wire = _reference_message()
+        position %= len(wire)
+        corrupted = bytearray(wire)
+        corrupted[position] = new_byte
+        try:
+            message = deserialize_message(bytes(corrupted))
+            comp.decompress(message)  # may be wrong, must not crash
+        except (SerializationError, ValueError):
+            pass  # typed rejection is the expected failure mode
+
+    @given(cut=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_truncation(self, cut):
+        comp, wire = _reference_message()
+        cut %= len(wire)
+        try:
+            message = deserialize_message(wire[:cut])
+            comp.decompress(message)
+        except (SerializationError, ValueError):
+            pass
+
+    @given(data=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_random_garbage(self, data):
+        comp, _ = _reference_message()
+        try:
+            message = deserialize_message(data)
+            comp.decompress(message)
+        except (SerializationError, ValueError):
+            pass
+
+
+class TestKeyBlobCorruption:
+    @given(
+        position=st.integers(min_value=0, max_value=10_000),
+        new_byte=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_delta_blob_byte_flip(self, position, new_byte):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.choice(100_000, size=1_000, replace=False))
+        blob = bytearray(encode_keys(keys))
+        position %= len(blob)
+        blob[position] = new_byte
+        try:
+            decoded = decode_keys(bytes(blob))
+            assert decoded.dtype == np.int64  # decoded cleanly (maybe wrong)
+        except ValueError:
+            pass

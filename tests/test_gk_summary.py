@@ -1,0 +1,152 @@
+"""Tests for the Greenwald–Khanna quantile summary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.quantile import GKSummary, exact_quantiles
+
+
+class TestBasics:
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            GKSummary().query(0.5)
+
+    def test_invalid_epsilon(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                GKSummary(epsilon=bad)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            GKSummary().insert(float("nan"))
+
+    def test_single_item(self):
+        gk = GKSummary()
+        gk.insert(42.0)
+        assert gk.query(0.0) == 42.0
+        assert gk.query(0.5) == 42.0
+        assert gk.query(1.0) == 42.0
+        assert len(gk) == 1
+
+    def test_len_counts_inserts(self):
+        gk = GKSummary()
+        gk.insert_many(range(137))
+        assert len(gk) == 137
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("epsilon", [0.1, 0.05, 0.01])
+    def test_rank_error_within_epsilon(self, epsilon):
+        n = 20_000
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=n)
+        gk = GKSummary(epsilon=epsilon)
+        gk.insert_many(values)
+        sorted_values = np.sort(values)
+        for phi in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = gk.query(phi)
+            true_rank = np.searchsorted(sorted_values, estimate, side="right")
+            assert abs(true_rank - phi * n) <= 2 * epsilon * n + 1
+
+    def test_sorted_and_reverse_inputs(self):
+        n = 5_000
+        for values in (np.arange(n, dtype=float), np.arange(n, dtype=float)[::-1]):
+            gk = GKSummary(epsilon=0.02)
+            gk.insert_many(values)
+            median = gk.query(0.5)
+            assert abs(median - n / 2) <= 0.05 * n
+
+    def test_heavy_duplicates(self):
+        gk = GKSummary(epsilon=0.02)
+        gk.insert_many([1.0] * 5_000 + [2.0] * 5_000)
+        assert gk.query(0.25) == 1.0
+        assert gk.query(0.9) == 2.0
+
+    def test_space_stays_sublinear(self):
+        gk = GKSummary(epsilon=0.01)
+        rng = np.random.default_rng(1)
+        gk.insert_many(rng.normal(size=50_000))
+        # O((1/eps) * log(eps n)) — must be far below n.
+        assert gk.num_tuples < 2_500
+
+
+class TestRank:
+    def test_rank_monotone(self):
+        gk = GKSummary(epsilon=0.02)
+        rng = np.random.default_rng(2)
+        values = rng.uniform(size=10_000)
+        gk.insert_many(values)
+        ranks = [gk.rank(q) for q in np.linspace(0, 1, 11)]
+        assert ranks == sorted(ranks)
+
+    def test_rank_accuracy(self):
+        gk = GKSummary(epsilon=0.01)
+        values = np.linspace(0, 1, 10_000)
+        gk.insert_many(values)
+        assert gk.rank(0.5) == pytest.approx(5_000, abs=300)
+
+
+class TestMerge:
+    def test_merge_type_check(self):
+        with pytest.raises(TypeError):
+            GKSummary().merge("not a summary")
+
+    def test_merge_empty_cases(self):
+        a = GKSummary()
+        b = GKSummary()
+        b.insert_many(range(100))
+        a.merge(b)
+        assert len(a) == 100
+        c = GKSummary()
+        a.merge(c)
+        assert len(a) == 100
+
+    def test_merge_accuracy(self):
+        rng = np.random.default_rng(3)
+        left = rng.normal(size=10_000)
+        right = rng.normal(loc=2.0, size=10_000)
+        a = GKSummary(epsilon=0.01)
+        a.insert_many(left)
+        b = GKSummary(epsilon=0.01)
+        b.insert_many(right)
+        a.merge(b)
+        combined = np.concatenate([left, right])
+        for phi in (0.1, 0.5, 0.9):
+            estimate = a.query(phi)
+            true_rank = (combined <= estimate).mean()
+            assert abs(true_rank - phi) <= 0.05
+
+    def test_merge_count(self):
+        a = GKSummary()
+        a.insert_many(range(50))
+        b = GKSummary()
+        b.insert_many(range(70))
+        a.merge(b)
+        assert len(a) == 120
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_query_returns_seen_value(values):
+    """Every GK answer must be an actual inserted value."""
+    gk = GKSummary(epsilon=0.05)
+    gk.insert_many(values)
+    for phi in (0.0, 0.3, 0.5, 0.9, 1.0):
+        assert gk.query(phi) in values
+
+
+def test_matches_exact_quantiles_on_small_input():
+    values = list(range(100))
+    gk = GKSummary(epsilon=0.01)
+    gk.insert_many(values)
+    exact = exact_quantiles(values, [0.25, 0.5, 0.75])
+    for phi, truth in zip([0.25, 0.5, 0.75], exact):
+        assert abs(gk.query(phi) - truth) <= 3

@@ -1,0 +1,112 @@
+"""Tests for the seeded hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.hashing import (
+    MultiplyShiftHash,
+    TabulationHash,
+    build_hash_family,
+)
+
+FAMILIES = [MultiplyShiftHash, TabulationHash]
+
+
+@pytest.mark.parametrize("cls", FAMILIES)
+class TestHashFunctionContract:
+    def test_range(self, cls):
+        h = cls(num_bins=97, seed=3)
+        keys = np.arange(10_000, dtype=np.int64)
+        bins = h(keys)
+        assert bins.min() >= 0
+        assert bins.max() < 97
+
+    def test_deterministic_across_instances(self, cls):
+        keys = np.arange(1_000, dtype=np.int64)
+        a = cls(num_bins=128, seed=42)(keys)
+        b = cls(num_bins=128, seed=42)(keys)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, cls):
+        keys = np.arange(1_000, dtype=np.int64)
+        a = cls(num_bins=1024, seed=1)(keys)
+        b = cls(num_bins=1024, seed=2)(keys)
+        assert not np.array_equal(a, b)
+
+    def test_hash_one_matches_vectorised(self, cls):
+        h = cls(num_bins=64, seed=9)
+        keys = np.asarray([0, 1, 17, 2**31 - 1], dtype=np.int64)
+        vectorised = h(keys)
+        for key, expected in zip(keys, vectorised):
+            assert h.hash_one(int(key)) == expected
+
+    def test_rejects_oversized_keys(self, cls):
+        h = cls(num_bins=64, seed=0)
+        with pytest.raises(ValueError):
+            h(np.asarray([1 << 33], dtype=np.int64))
+
+    def test_distribution_roughly_uniform(self, cls):
+        num_bins = 64
+        h = cls(num_bins=num_bins, seed=11)
+        keys = np.arange(64_000, dtype=np.int64)
+        counts = np.bincount(h(keys), minlength=num_bins)
+        expected = keys.size / num_bins
+        # Chi-square-ish sanity bound: no bin further than 30% from mean.
+        assert np.all(np.abs(counts - expected) < 0.3 * expected)
+
+
+class TestBuildHashFamily:
+    def test_rows_are_independent_functions(self):
+        family = build_hash_family(4, 256, seed=5)
+        keys = np.arange(2_000, dtype=np.int64)
+        outputs = [h(keys) for h in family]
+        for i in range(len(outputs)):
+            for j in range(i + 1, len(outputs)):
+                assert not np.array_equal(outputs[i], outputs[j])
+
+    def test_same_seed_same_family(self):
+        keys = np.arange(500, dtype=np.int64)
+        fam_a = build_hash_family(3, 128, seed=7)
+        fam_b = build_hash_family(3, 128, seed=7)
+        for ha, hb in zip(fam_a, fam_b):
+            np.testing.assert_array_equal(ha(keys), hb(keys))
+
+    def test_tabulation_family(self):
+        family = build_hash_family(2, 64, seed=1, family="tabulation")
+        assert all(isinstance(h, TabulationHash) for h in family)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown hash family"):
+            build_hash_family(2, 64, seed=1, family="sha256")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            build_hash_family(0, 64, seed=1)
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(num_bins=0, seed=1)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_bins=st.integers(min_value=1, max_value=10_000),
+    key=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_multiply_shift_always_in_range(seed, num_bins, key):
+    h = MultiplyShiftHash(num_bins=num_bins, seed=seed)
+    assert 0 <= h.hash_one(key) < num_bins
+
+
+def test_pairwise_collision_probability():
+    """Collision rate of random pairs should be close to 1/num_bins."""
+    num_bins = 128
+    h = MultiplyShiftHash(num_bins=num_bins, seed=77)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2**32, size=20_000, dtype=np.int64)
+    b = rng.integers(0, 2**32, size=20_000, dtype=np.int64)
+    distinct = a != b
+    collisions = (h(a) == h(b)) & distinct
+    rate = collisions.sum() / distinct.sum()
+    assert rate == pytest.approx(1.0 / num_bins, rel=0.5)

@@ -1,0 +1,162 @@
+"""Tests for the KLL quantile sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.quantile import KLLSketch
+
+
+class TestBasics:
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            KLLSketch().query(0.5)
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            KLLSketch(k=4)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            KLLSketch().insert(float("nan"))
+        with pytest.raises(ValueError):
+            KLLSketch().insert_many([1.0, float("nan")])
+
+    def test_extremes_are_exact(self):
+        sk = KLLSketch(k=64, seed=0)
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=10_000)
+        sk.insert_many(values)
+        assert sk.query(0.0) == values.min()
+        assert sk.query(1.0) == values.max()
+        assert sk.min_value == values.min()
+        assert sk.max_value == values.max()
+
+    def test_count_tracks_inserts(self):
+        sk = KLLSketch(seed=1)
+        sk.insert_many(range(1_000))
+        sk.insert(5.0)
+        assert len(sk) == 1_001
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=5_000)
+        a = KLLSketch(k=128, seed=9)
+        a.insert_many(values)
+        b = KLLSketch(k=128, seed=9)
+        b.insert_many(values)
+        phis = [0.1, 0.5, 0.9]
+        assert a.query_many(phis) == b.query_many(phis)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("k,tolerance", [(64, 0.05), (128, 0.03), (256, 0.02)])
+    def test_rank_error_scales_with_k(self, k, tolerance):
+        rng = np.random.default_rng(42)
+        values = rng.normal(size=100_000)
+        sk = KLLSketch(k=k, seed=0)
+        sk.insert_many(values)
+        for phi in (0.05, 0.25, 0.5, 0.75, 0.95):
+            estimate = sk.query(phi)
+            true_rank = (values <= estimate).mean()
+            assert abs(true_rank - phi) <= tolerance
+
+    def test_space_stays_bounded(self):
+        sk = KLLSketch(k=128, seed=0)
+        rng = np.random.default_rng(7)
+        sk.insert_many(rng.normal(size=1_000_000))
+        # KLL retains O(k log log n) items — a few hundred here.
+        assert sk.retained_items < 1_500
+
+    def test_skewed_distribution(self):
+        """Heavily skewed data (like gradient values) is still tracked."""
+        rng = np.random.default_rng(5)
+        values = rng.laplace(scale=0.001, size=50_000)
+        sk = KLLSketch(k=256, seed=1)
+        sk.insert_many(values)
+        for phi in (0.1, 0.5, 0.9):
+            estimate = sk.query(phi)
+            true_rank = (values <= estimate).mean()
+            assert abs(true_rank - phi) <= 0.03
+
+    def test_query_many_matches_query(self):
+        rng = np.random.default_rng(8)
+        sk = KLLSketch(k=128, seed=2)
+        sk.insert_many(rng.uniform(size=20_000))
+        phis = [0.0, 0.2, 0.5, 0.8, 1.0]
+        batch = sk.query_many(phis)
+        singles = [sk.query(phi) for phi in phis]
+        assert batch == singles
+
+    def test_rank_method(self):
+        sk = KLLSketch(k=128, seed=0)
+        sk.insert_many(np.linspace(0, 1, 50_000))
+        assert sk.rank(0.25) == pytest.approx(0.25, abs=0.03)
+        assert sk.rank(-1.0) == 0.0
+        assert sk.rank(2.0) == 1.0
+
+
+class TestMerge:
+    def test_merge_type_check(self):
+        with pytest.raises(TypeError):
+            KLLSketch().merge(42)
+
+    def test_merge_empty(self):
+        a = KLLSketch(seed=0)
+        a.insert_many(range(100))
+        a.merge(KLLSketch(seed=1))
+        assert len(a) == 100
+
+    def test_merge_preserves_extremes_and_count(self):
+        a = KLLSketch(k=64, seed=0)
+        a.insert_many(np.arange(0, 1_000, dtype=float))
+        b = KLLSketch(k=64, seed=1)
+        b.insert_many(np.arange(5_000, 7_000, dtype=float))
+        a.merge(b)
+        assert len(a) == 3_000
+        assert a.query(0.0) == 0.0
+        assert a.query(1.0) == 6_999.0
+
+    def test_merged_accuracy(self):
+        """Distributed use case: per-worker sketches merged at the driver."""
+        rng = np.random.default_rng(10)
+        values = rng.normal(size=60_000)
+        chunks = np.array_split(values, 6)
+        merged = KLLSketch(k=256, seed=0)
+        for i, chunk in enumerate(chunks):
+            local = KLLSketch(k=256, seed=i + 1)
+            local.insert_many(chunk)
+            merged.merge(local)
+        assert len(merged) == values.size
+        for phi in (0.1, 0.5, 0.9):
+            estimate = merged.query(phi)
+            assert abs((values <= estimate).mean() - phi) <= 0.04
+
+
+class TestWeightConservation:
+    def test_total_weight_equals_count(self):
+        """Compactions must preserve total item weight exactly."""
+        sk = KLLSketch(k=16, seed=3)
+        rng = np.random.default_rng(4)
+        sk.insert_many(rng.normal(size=12_345))
+        total_weight = sum(
+            (1 << level) * len(items) for level, items in enumerate(sk._levels)
+        )
+        assert total_weight == 12_345
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=500,
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_kll_answers_are_inserted_values(values, seed):
+    sk = KLLSketch(k=32, seed=seed)
+    sk.insert_many(values)
+    for phi in (0.0, 0.5, 1.0):
+        assert sk.query(phi) in values

@@ -1,0 +1,129 @@
+"""Tests for training metrics and the §4.4 convergence rule."""
+
+import pytest
+
+from repro.distributed import EpochRecord, TrainingHistory, time_to_converge
+
+
+def record(epoch, loss, compute=1.0, network=2.0, test_loss=None, bytes_sent=1_000):
+    return EpochRecord(
+        epoch=epoch,
+        compute_seconds=compute,
+        network_seconds=network,
+        encode_seconds=0.1,
+        decode_seconds=0.2,
+        train_loss=loss,
+        test_loss=test_loss,
+        bytes_sent=bytes_sent,
+        raw_bytes=4_000,
+        num_messages=10,
+        gradient_nnz=100.0,
+    )
+
+
+class TestEpochRecord:
+    def test_derived_quantities(self):
+        r = record(0, 0.5)
+        assert r.epoch_seconds == pytest.approx(3.0)
+        assert r.avg_message_bytes == pytest.approx(100.0)
+        assert r.compression_rate == pytest.approx(4.0)
+        assert r.compression_cpu_fraction == pytest.approx(0.3)
+
+    def test_zero_division_guards(self):
+        r = record(0, 0.5, bytes_sent=0)
+        r.num_messages = 0
+        assert r.avg_message_bytes == 0.0
+        assert r.compression_rate == float("inf")
+        r.compute_seconds = 0.0
+        assert r.compression_cpu_fraction == 0.0
+
+
+class TestTrainingHistory:
+    def test_series(self):
+        h = TrainingHistory(method="m", model="lr", num_workers=4)
+        for i, loss in enumerate([0.9, 0.8, 0.7]):
+            h.append(record(i, loss, test_loss=loss - 0.1))
+        assert h.num_epochs == 3
+        assert h.cumulative_seconds == pytest.approx([3.0, 6.0, 9.0])
+        assert h.avg_epoch_seconds == pytest.approx(3.0)
+        assert h.train_losses == [0.9, 0.8, 0.7]
+        for (t, loss), (et, el) in zip(
+            h.loss_curve(), [(3.0, 0.8), (6.0, 0.7), (9.0, 0.6)]
+        ):
+            assert t == pytest.approx(et)
+            assert loss == pytest.approx(el)
+        assert h.best_loss == pytest.approx(0.6)
+        assert h.total_bytes_sent == 3_000
+        assert h.avg_compression_rate == pytest.approx(4.0)
+
+    def test_loss_curve_falls_back_to_train_loss(self):
+        h = TrainingHistory(method="m", model="lr", num_workers=1)
+        h.append(record(0, 0.5))
+        assert h.loss_curve() == [(3.0, 0.5)]
+
+    def test_empty_history(self):
+        h = TrainingHistory(method="m", model="lr", num_workers=1)
+        assert h.avg_epoch_seconds == 0.0
+        assert h.best_loss == float("inf")
+
+
+class TestExport:
+    def make_history(self):
+        h = TrainingHistory(method="SketchML", model="lr", num_workers=4)
+        h.append(record(0, 0.9, test_loss=0.85))
+        h.append(record(1, 0.8))
+        return h
+
+    def test_to_dict_roundtrips_via_json(self):
+        import json
+
+        h = self.make_history()
+        payload = json.loads(json.dumps(h.to_dict()))
+        assert payload["method"] == "SketchML"
+        assert len(payload["epochs"]) == 2
+        assert payload["epochs"][0]["test_loss"] == 0.85
+        assert payload["epochs"][1]["test_loss"] is None
+        assert payload["epochs"][0]["compression_rate"] == pytest.approx(4.0)
+
+    def test_to_csv_shape(self):
+        csv = self.make_history().to_csv()
+        lines = csv.strip().splitlines()
+        assert len(lines) == 3  # header + 2 epochs
+        header = lines[0].split(",")
+        assert "epoch_seconds" in header
+        assert "test_loss" in header
+        # Missing test loss renders as an empty cell.
+        assert ",," in lines[2] or lines[2].endswith(",")
+
+
+class TestTimeToConverge:
+    def make_history(self, losses):
+        h = TrainingHistory(method="m", model="lr", num_workers=1)
+        for i, loss in enumerate(losses):
+            h.append(record(i, loss))
+        return h
+
+    def test_converged_series(self):
+        # Stabilises at 0.5 from epoch 3 on.
+        losses = [1.0, 0.8, 0.6, 0.5, 0.5, 0.5, 0.5, 0.5]
+        loss, seconds = time_to_converge(self.make_history(losses), window=5)
+        assert loss == pytest.approx(0.5)
+        assert seconds == pytest.approx(3.0 * 8)  # converged at epoch 8
+
+    def test_never_converges_returns_final(self):
+        losses = [1.0, 0.5, 0.25, 0.125]
+        loss, seconds = time_to_converge(self.make_history(losses), window=3)
+        assert loss == pytest.approx(0.125)
+        assert seconds == pytest.approx(12.0)
+
+    def test_constant_series_converges_immediately(self):
+        losses = [0.7] * 6
+        loss, seconds = time_to_converge(self.make_history(losses), window=5)
+        assert loss == pytest.approx(0.7)
+        assert seconds == pytest.approx(15.0)  # first full window
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no epochs"):
+            time_to_converge(TrainingHistory(method="m", model="lr", num_workers=1))
+        with pytest.raises(ValueError, match="window"):
+            time_to_converge(self.make_history([1.0]), window=1)

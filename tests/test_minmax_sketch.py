@@ -1,0 +1,218 @@
+"""Tests for MinMaxSketch and GroupedMinMaxSketch (§3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.minmax_sketch import GroupedMinMaxSketch, MinMaxSketch
+from repro.sketch.frequency import CountMinSketch
+
+
+def random_pairs(n, key_space, index_range, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(key_space, size=n, replace=False))
+    indexes = rng.integers(0, index_range, size=n)
+    return keys, indexes
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MinMaxSketch(num_rows=0)
+        with pytest.raises(ValueError):
+            MinMaxSketch(num_bins=0)
+        with pytest.raises(ValueError):
+            MinMaxSketch(index_range=0)
+
+    def test_insert_shape_mismatch(self):
+        sk = MinMaxSketch()
+        with pytest.raises(ValueError, match="same shape"):
+            sk.insert_many(np.asarray([1, 2]), np.asarray([0]))
+
+    def test_insert_out_of_range_index(self):
+        sk = MinMaxSketch(index_range=10)
+        with pytest.raises(ValueError, match="indexes must lie"):
+            sk.insert(5, 10)
+        with pytest.raises(ValueError):
+            sk.insert(5, -1)
+
+    def test_merge_validation(self):
+        a = MinMaxSketch(num_rows=2, num_bins=64)
+        with pytest.raises(ValueError):
+            a.merge(MinMaxSketch(num_rows=3, num_bins=64))
+        with pytest.raises(TypeError):
+            a.merge(CountMinSketch())
+
+
+class TestOneSidedError:
+    """The paper's central claim: decode error is never an overestimate."""
+
+    @pytest.mark.parametrize("num_bins", [64, 256, 2_048])
+    def test_query_never_exceeds_true_index(self, num_bins):
+        keys, indexes = random_pairs(2_000, 1_000_000, 256, seed=1)
+        sk = MinMaxSketch(num_rows=2, num_bins=num_bins, index_range=256, seed=0)
+        sk.insert_many(keys, indexes)
+        decoded = sk.query_many(keys)
+        assert np.all(decoded <= indexes)
+
+    def test_exact_when_no_collisions(self):
+        keys, indexes = random_pairs(50, 10_000, 256, seed=2)
+        sk = MinMaxSketch(num_rows=4, num_bins=50_000, index_range=256, seed=0)
+        sk.insert_many(keys, indexes)
+        np.testing.assert_array_equal(sk.query_many(keys), indexes)
+
+    def test_single_insert_query(self):
+        sk = MinMaxSketch(num_rows=3, num_bins=128, index_range=16, seed=5)
+        sk.insert(12345, 7)
+        assert sk.query(12345) == 7
+
+    def test_more_rows_tighter_estimates(self):
+        """Max-of-candidates improves with more independent rows."""
+        keys, indexes = random_pairs(5_000, 500_000, 128, seed=3)
+        errors = []
+        for rows in (1, 2, 4):
+            sk = MinMaxSketch(
+                num_rows=rows, num_bins=2_000, index_range=128, seed=0
+            )
+            sk.insert_many(keys, indexes)
+            errors.append(float(np.mean(indexes - sk.query_many(keys))))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_countmin_strategy_overestimates_where_minmax_cannot(self):
+        """§3.3's motivation: an additive sketch amplifies bucket
+        indexes under collision; MinMaxSketch never does."""
+        keys, indexes = random_pairs(3_000, 100_000, 64, seed=4)
+        # Tight tables force collisions.
+        cm = CountMinSketch(num_rows=2, num_bins=512, seed=0)
+        for key, idx in zip(keys.tolist(), indexes.tolist()):
+            cm.insert(key, count=idx)
+        cm_decoded = cm.query_many(keys)
+        assert (cm_decoded > indexes).any()  # additive → overshoot
+        mm = MinMaxSketch(num_rows=2, num_bins=512, index_range=64, seed=0)
+        mm.insert_many(keys, indexes)
+        assert np.all(mm.query_many(keys) <= indexes)
+
+
+class TestMinInsertSemantics:
+    def test_bin_holds_minimum_of_colliding_indexes(self):
+        """Theorem A.4 analogue: a counter equals the min index mapped
+        to it."""
+        sk = MinMaxSketch(num_rows=1, num_bins=1, index_range=100, seed=0)
+        sk.insert_many(np.asarray([1, 2, 3]), np.asarray([30, 10, 20]))
+        # Single bin: every key collides; the bin must hold 10.
+        assert sk.query(1) == 10
+        assert sk.query(2) == 10
+        assert sk.query(3) == 10
+
+    def test_reinsert_larger_index_is_ignored(self):
+        sk = MinMaxSketch(num_rows=2, num_bins=64, index_range=50, seed=1)
+        sk.insert(9, 5)
+        sk.insert(9, 40)
+        assert sk.query(9) == 5
+
+    def test_merge_takes_minimum(self):
+        a = MinMaxSketch(num_rows=2, num_bins=64, index_range=50, seed=2)
+        b = MinMaxSketch(num_rows=2, num_bins=64, index_range=50, seed=2)
+        a.insert(3, 20)
+        b.insert(3, 10)
+        a.merge(b)
+        assert a.query(3) == 10
+        assert a.inserted_count == 2
+
+    def test_fill_ratio(self):
+        sk = MinMaxSketch(num_rows=1, num_bins=100, index_range=10, seed=3)
+        assert sk.fill_ratio == 0.0
+        sk.insert_many(np.arange(50), np.zeros(50, dtype=np.int64))
+        assert 0.0 < sk.fill_ratio <= 0.5
+
+    def test_size_bytes_scales_with_dtype(self):
+        small = MinMaxSketch(num_rows=2, num_bins=100, index_range=200)
+        large = MinMaxSketch(num_rows=2, num_bins=100, index_range=60_000)
+        assert small.size_bytes == 200  # uint8
+        assert large.size_bytes == 400  # uint16
+
+
+class TestGrouped:
+    def test_partition_roundtrip(self):
+        keys, indexes = random_pairs(2_000, 200_000, 128, seed=5)
+        grouped = GroupedMinMaxSketch(
+            num_groups=8, index_range=128, total_bins=4_096, seed=0
+        )
+        partitions = grouped.partition(keys, indexes)
+        assert len(partitions) == 8
+        total = sum(part_keys.size for part_keys, _ in partitions)
+        assert total == keys.size
+        for g, (part_keys, offsets) in enumerate(partitions):
+            if part_keys.size == 0:
+                continue
+            assert np.all(np.diff(part_keys) > 0)  # still ascending
+            assert offsets.min() >= 0
+            assert offsets.max() < grouped.group_width
+
+    def test_grouping_bounds_error(self):
+        """§3.3 Solution 2: max decoded index error is q/r."""
+        keys, indexes = random_pairs(5_000, 500_000, 128, seed=6)
+        grouped = GroupedMinMaxSketch(
+            num_groups=8, index_range=128, num_rows=2, total_bins=1_024, seed=0
+        )
+        partitions = grouped.partition(keys, indexes)
+        grouped.insert_partitioned(partitions)
+        for g, (part_keys, _) in enumerate(partitions):
+            if part_keys.size == 0:
+                continue
+            decoded = grouped.query_group(g, part_keys)
+            true_indexes = indexes[np.isin(keys, part_keys)]
+            errors = true_indexes - decoded
+            assert errors.max() <= grouped.max_index_error
+            assert errors.min() >= 0  # still one-sided
+
+    def test_more_groups_smaller_error(self):
+        keys, indexes = random_pairs(5_000, 500_000, 256, seed=7)
+
+        def mean_error(r):
+            grouped = GroupedMinMaxSketch(
+                num_groups=r, index_range=256, num_rows=2, total_bins=1_024, seed=0
+            )
+            parts = grouped.partition(keys, indexes)
+            grouped.insert_partitioned(parts)
+            total_err = 0.0
+            for g, (part_keys, _) in enumerate(parts):
+                if part_keys.size == 0:
+                    continue
+                decoded = grouped.query_group(g, part_keys)
+                true_idx = indexes[np.isin(keys, part_keys)]
+                total_err += float(np.sum(true_idx - decoded))
+            return total_err / keys.size
+
+        assert mean_error(16) <= mean_error(4) <= mean_error(1) + 1e-9
+
+    def test_groups_capped_by_index_range(self):
+        grouped = GroupedMinMaxSketch(num_groups=64, index_range=16)
+        assert grouped.num_groups == 16
+
+    def test_partition_validation(self):
+        grouped = GroupedMinMaxSketch(num_groups=4, index_range=16)
+        with pytest.raises(ValueError, match="same shape"):
+            grouped.partition(np.asarray([1]), np.asarray([1, 2]))
+        with pytest.raises(ValueError, match="indexes must lie"):
+            grouped.partition(np.asarray([1]), np.asarray([99]))
+        with pytest.raises(ValueError, match="partitions"):
+            grouped.insert_partitioned([])
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    rows=st.integers(min_value=1, max_value=4),
+    bins=st.integers(min_value=1, max_value=512),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=40, deadline=None)
+def test_one_sided_error_property(n, rows, bins, seed):
+    """For any configuration, decoded <= true for all inserted keys."""
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(100_000, size=n, replace=False))
+    indexes = rng.integers(0, 32, size=n)
+    sk = MinMaxSketch(num_rows=rows, num_bins=bins, index_range=32, seed=seed)
+    sk.insert_many(keys, indexes)
+    assert np.all(sk.query_many(keys) <= indexes)

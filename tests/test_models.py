@@ -1,0 +1,263 @@
+"""Tests for LR, SVM, Linear Regression, and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.data import SparseDataset, mnist_like
+from repro.models import (
+    DenseDataset,
+    LinearRegression,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    make_model,
+)
+
+
+def toy_dataset(seed=0, rows=200, features=50):
+    """Linearly separable-ish sparse classification data."""
+    rng = np.random.default_rng(seed)
+    true_theta = rng.normal(size=features)
+    row_list = []
+    labels = []
+    for _ in range(rows):
+        nnz = rng.integers(3, 10)
+        cols = np.sort(rng.choice(features, size=nnz, replace=False))
+        vals = rng.normal(size=nnz)
+        score = float(np.dot(vals, true_theta[cols]))
+        labels.append(1.0 if score >= 0 else -1.0)
+        row_list.append((cols, vals))
+    return SparseDataset.from_rows(row_list, np.asarray(labels), features)
+
+
+def numeric_gradient(model, ds, rows, theta, keys, eps=1e-6):
+    """Central-difference gradient on the given keys."""
+    grad = np.zeros(keys.size)
+    for i, k in enumerate(keys):
+        theta_p = theta.copy()
+        theta_p[k] += eps
+        theta_m = theta.copy()
+        theta_m[k] -= eps
+        grad[i] = (model.loss(ds, rows, theta_p) - model.loss(ds, rows, theta_m)) / (
+            2 * eps
+        )
+    return grad
+
+
+class TestFactory:
+    def test_make_model(self):
+        assert isinstance(make_model("lr", 10), LogisticRegression)
+        assert isinstance(make_model("svm", 10), LinearSVM)
+        assert isinstance(make_model("linear", 10), LinearRegression)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            make_model("xgboost", 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(0)
+        with pytest.raises(ValueError):
+            LogisticRegression(10, reg_lambda=-1)
+
+
+@pytest.mark.parametrize("model_cls", [LogisticRegression, LinearRegression])
+class TestGradientCorrectness:
+    """Analytic gradient must match finite differences (smooth losses)."""
+
+    def test_matches_numeric(self, model_cls):
+        ds = toy_dataset(seed=1)
+        model = model_cls(ds.num_features, reg_lambda=0.01)
+        rng = np.random.default_rng(2)
+        theta = rng.normal(scale=0.1, size=ds.num_features)
+        rows = np.arange(20)
+        keys, values, _ = model.batch_gradient(ds, rows, theta)
+        sample = keys[:: max(1, keys.size // 10)]
+        numeric = numeric_gradient(model, ds, rows, theta, sample)
+        analytic = values[np.isin(keys, sample)]
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestLogisticRegression:
+    def test_loss_at_zero_is_log2(self):
+        ds = toy_dataset(seed=3)
+        model = LogisticRegression(ds.num_features, reg_lambda=0.0)
+        theta = model.init_theta()
+        assert model.full_loss(ds, theta) == pytest.approx(np.log(2.0))
+
+    def test_training_reduces_loss_and_improves_accuracy(self):
+        ds = toy_dataset(seed=4)
+        model = LogisticRegression(ds.num_features, reg_lambda=0.0)
+        theta = model.init_theta()
+        rows = np.arange(ds.num_rows)
+        initial_loss = model.full_loss(ds, theta)
+        for _ in range(200):
+            keys, values, _ = model.batch_gradient(ds, rows, theta)
+            theta[keys] -= 0.5 * values
+        assert model.full_loss(ds, theta) < initial_loss / 2
+        assert model.accuracy(ds, rows, theta) > 0.9
+
+    def test_predict_proba_range(self):
+        ds = toy_dataset(seed=5)
+        model = LogisticRegression(ds.num_features)
+        probs = model.predict_proba(ds, np.arange(10), model.init_theta())
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_numerically_stable_at_extreme_scores(self):
+        ds = toy_dataset(seed=6)
+        model = LogisticRegression(ds.num_features, reg_lambda=0.0)
+        theta = np.full(ds.num_features, 100.0)
+        loss = model.full_loss(ds, theta)
+        assert np.isfinite(loss)
+
+    def test_reg_lambda_increases_loss(self):
+        ds = toy_dataset(seed=7)
+        rows = np.arange(ds.num_rows)
+        theta = np.random.default_rng(0).normal(size=ds.num_features)
+        plain = LogisticRegression(ds.num_features, reg_lambda=0.0)
+        reg = LogisticRegression(ds.num_features, reg_lambda=0.1)
+        assert reg.loss(ds, rows, theta) > plain.loss(ds, rows, theta)
+        # data_loss ignores regularisation for both.
+        assert reg.data_loss(ds, rows, theta) == plain.data_loss(ds, rows, theta)
+
+
+class TestSVM:
+    def test_hinge_subgradient_zero_when_margin_met(self):
+        ds = toy_dataset(seed=8)
+        model = LinearSVM(ds.num_features, reg_lambda=0.0)
+        # Huge theta in the right direction: margins all satisfied.
+        rows = np.arange(ds.num_rows)
+        theta = np.zeros(ds.num_features)
+        for _ in range(300):
+            keys, values, _ = model.batch_gradient(ds, rows, theta)
+            if keys.size == 0:
+                break
+            theta[keys] -= 0.5 * values
+        final_loss = model.full_loss(ds, theta)
+        assert final_loss < 0.2
+
+    def test_loss_at_zero_is_one(self):
+        ds = toy_dataset(seed=9)
+        model = LinearSVM(ds.num_features, reg_lambda=0.0)
+        assert model.full_loss(ds, model.init_theta()) == pytest.approx(1.0)
+
+    def test_accuracy_improves(self):
+        ds = toy_dataset(seed=10)
+        model = LinearSVM(ds.num_features, reg_lambda=0.0)
+        theta = model.init_theta()
+        rows = np.arange(ds.num_rows)
+        for _ in range(100):
+            keys, values, _ = model.batch_gradient(ds, rows, theta)
+            theta[keys] -= 0.2 * values
+        assert model.accuracy(ds, rows, theta) > 0.85
+
+
+class TestLinearRegression:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(11)
+        features = 20
+        true_theta = rng.normal(size=features)
+        rows = []
+        labels = []
+        for _ in range(300):
+            cols = np.arange(features)
+            vals = rng.normal(size=features)
+            rows.append((cols, vals))
+            labels.append(float(np.dot(vals, true_theta)))
+        ds = SparseDataset.from_rows(rows, np.asarray(labels), features)
+        model = LinearRegression(features, reg_lambda=0.0)
+        theta = model.init_theta()
+        all_rows = np.arange(ds.num_rows)
+        for _ in range(500):
+            keys, values, _ = model.batch_gradient(ds, all_rows, theta)
+            theta[keys] -= 0.05 * values
+        np.testing.assert_allclose(theta, true_theta, atol=0.05)
+
+    def test_loss_is_mse(self):
+        ds = toy_dataset(seed=12)
+        model = LinearRegression(ds.num_features, reg_lambda=0.0)
+        theta = model.init_theta()
+        scores = ds.dot_rows(np.arange(ds.num_rows), theta)
+        expected = np.mean((ds.labels - scores) ** 2)
+        assert model.full_loss(ds, theta) == pytest.approx(expected)
+
+
+class TestBatchGradientContract:
+    def test_keys_ascending_and_in_range(self):
+        ds = toy_dataset(seed=13)
+        model = LogisticRegression(ds.num_features)
+        keys, values, _ = model.batch_gradient(
+            ds, np.arange(30), model.init_theta()
+        )
+        assert np.all(np.diff(keys) > 0)
+        assert keys.min() >= 0 and keys.max() < ds.num_features
+        assert keys.shape == values.shape
+
+    def test_empty_batch_rejected(self):
+        ds = toy_dataset(seed=14)
+        model = LogisticRegression(ds.num_features)
+        with pytest.raises(ValueError, match="at least one row"):
+            model.batch_gradient(ds, np.asarray([], dtype=np.int64), model.init_theta())
+
+
+class TestMLP:
+    def test_parameter_count(self):
+        mlp = MLPClassifier(input_dim=4, hidden_dims=(3,), num_classes=2)
+        # 4*3 + 3 + 3*2 + 2 = 23
+        assert mlp.num_parameters == 23
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(input_dim=0)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(15)
+        features = rng.uniform(size=(8, 6))
+        labels = rng.integers(0, 3, size=8)
+        ds = DenseDataset(features, labels)
+        mlp = MLPClassifier(input_dim=6, hidden_dims=(5,), num_classes=3, seed=0)
+        theta = mlp.init_theta()
+        rows = np.arange(8)
+        keys, values, _ = mlp.batch_gradient(ds, rows, theta)
+        grad = np.zeros(mlp.num_parameters)
+        grad[keys] = values
+        eps = 1e-6
+        sample = np.linspace(0, mlp.num_parameters - 1, 15).astype(int)
+        for k in sample:
+            tp = theta.copy()
+            tp[k] += eps
+            tm = theta.copy()
+            tm[k] -= eps
+            numeric = (mlp.loss(ds, rows, tp) - mlp.loss(ds, rows, tm)) / (2 * eps)
+            assert grad[k] == pytest.approx(numeric, rel=1e-3, abs=1e-7)
+
+    def test_learns_mnist_like(self):
+        images, labels = mnist_like(num_train=300, seed=2)
+        ds = DenseDataset(images, labels)
+        mlp = MLPClassifier(
+            input_dim=400, hidden_dims=(32,), num_classes=10, seed=1
+        )
+        theta = mlp.init_theta()
+        rng = np.random.default_rng(0)
+        initial = mlp.full_loss(ds, theta)
+        for _ in range(30):
+            for rows in ds.iter_batches(60, rng):
+                keys, values, _ = mlp.batch_gradient(ds, rows, theta)
+                theta[keys] -= 0.1 * values
+        assert mlp.full_loss(ds, theta) < initial / 2
+        assert mlp.accuracy(ds, np.arange(ds.num_rows), theta) > 0.6
+
+    def test_dense_dataset_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DenseDataset(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="parallel"):
+            DenseDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_gradient_is_dense(self):
+        """MLP gradients touch essentially every parameter — the regime
+        where the paper notes key compression is redundant (§B.3)."""
+        images, labels = mnist_like(num_train=64, seed=3)
+        ds = DenseDataset(images, labels)
+        mlp = MLPClassifier(input_dim=400, hidden_dims=(16,), num_classes=10)
+        keys, _, _ = mlp.batch_gradient(ds, np.arange(64), mlp.init_theta())
+        assert keys.size > 0.95 * mlp.num_parameters

@@ -1,0 +1,111 @@
+"""Tests for the network cost model."""
+
+import pytest
+
+from repro.distributed import (
+    NetworkModel,
+    cluster1_like,
+    cluster2_like,
+    infinite_bandwidth,
+    wan_like,
+)
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=0)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=1e6, latency_sec=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=1e6, congestion=0.5)
+
+    def test_negative_sizes_rejected(self):
+        net = cluster1_like()
+        with pytest.raises(ValueError):
+            net.transfer_time(-1)
+        with pytest.raises(ValueError):
+            net.gather_time([10, -5])
+        with pytest.raises(ValueError):
+            net.broadcast_time(-1, 2)
+        with pytest.raises(ValueError):
+            net.broadcast_time(10, 0)
+
+
+class TestCostFormulas:
+    def test_transfer_time(self):
+        net = NetworkModel(bandwidth_bytes_per_sec=1_000, latency_sec=0.5)
+        assert net.transfer_time(2_000) == pytest.approx(0.5 + 2.0)
+
+    def test_congestion_divides_bandwidth(self):
+        base = NetworkModel(bandwidth_bytes_per_sec=1_000, latency_sec=0.0)
+        congested = NetworkModel(
+            bandwidth_bytes_per_sec=1_000, latency_sec=0.0, congestion=4.0
+        )
+        assert congested.transfer_time(1_000) == pytest.approx(
+            4 * base.transfer_time(1_000)
+        )
+        assert congested.effective_bandwidth == 250.0
+
+    def test_gather_serialises_through_driver_nic(self):
+        net = NetworkModel(bandwidth_bytes_per_sec=1_000, latency_sec=0.1)
+        assert net.gather_time([500, 500, 1_000]) == pytest.approx(0.1 + 2.0)
+
+    def test_broadcast_star_scales_linearly(self):
+        net = NetworkModel(
+            bandwidth_bytes_per_sec=1_000, latency_sec=0.0, broadcast_mode="star"
+        )
+        assert net.broadcast_time(100, 10) == pytest.approx(1.0)
+        assert net.broadcast_time(100, 20) == pytest.approx(2.0)
+
+    def test_broadcast_torrent_scales_logarithmically(self):
+        net = NetworkModel(bandwidth_bytes_per_sec=1_000, latency_sec=0.0)
+        # ceil(log2(W + 1)) copies: 4 for W=10, 6 for W=50.
+        assert net.broadcast_time(100, 10) == pytest.approx(0.4)
+        assert net.broadcast_time(100, 50) == pytest.approx(0.6)
+
+    def test_broadcast_mode_validated(self):
+        with pytest.raises(ValueError, match="broadcast_mode"):
+            NetworkModel(bandwidth_bytes_per_sec=1_000, broadcast_mode="multicast")
+
+    def test_zero_bytes_costs_latency_only(self):
+        net = NetworkModel(bandwidth_bytes_per_sec=1_000, latency_sec=0.25)
+        assert net.transfer_time(0) == 0.25
+        assert net.gather_time([]) == 0.25
+
+
+class TestPresets:
+    def test_cluster2_more_congested_than_cluster1(self):
+        """§4.3.1: SketchML is slower on Cluster-2 despite faster NICs."""
+        assert cluster2_like().effective_bandwidth < cluster1_like().effective_bandwidth
+
+    def test_wan_slowest(self):
+        assert wan_like().effective_bandwidth < cluster1_like().effective_bandwidth
+        assert wan_like().latency_sec > cluster1_like().latency_sec
+
+    def test_infinite_bandwidth_near_free(self):
+        assert infinite_bandwidth().transfer_time(10**9) < 1e-5
+
+    def test_saturation_crossover(self):
+        """The Fig. 11 mechanism: splitting a fixed global batch over
+        more workers duplicates the hot (Zipf-head) features in every
+        worker's message, so total gather volume *grows* with W while
+        compute shrinks as 1/W — past a certain worker count large
+        uncompressed messages make rounds slower."""
+        net = cluster1_like()
+        tail_bytes = 700_000  # rare features: split across workers
+        head_bytes = 10_000  # hot features: present in EVERY message
+        aggregate_bytes = 50_000  # driver→worker broadcast
+        compute_total = 4.0  # seconds of work split across workers
+
+        def round_time(workers):
+            per_worker = tail_bytes // workers + head_bytes
+            return (
+                compute_total / workers
+                + net.gather_time([per_worker] * workers)
+                + net.broadcast_time(aggregate_bytes, workers)
+            )
+
+        t5, t10, t50 = round_time(5), round_time(10), round_time(50)
+        assert t10 < t5  # still compute-bound at 10
+        assert t50 > t10  # gather volume dominates at 50

@@ -1,0 +1,172 @@
+"""Tests for the sparse optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    Adam,
+    AdaGrad,
+    ConstantLR,
+    ExponentialDecayLR,
+    InverseDecayLR,
+    Momentum,
+    SGD,
+    StepDecayLR,
+    make_optimizer,
+    make_schedule,
+)
+
+
+def quadratic_gradient(theta, target):
+    """Gradient of 0.5 ||theta - target||^2 over all keys."""
+    keys = np.arange(theta.size)
+    return keys, theta - target
+
+
+class TestFactory:
+    def test_make_optimizer(self):
+        assert isinstance(make_optimizer("sgd"), SGD)
+        assert isinstance(make_optimizer("adam", learning_rate=0.5), Adam)
+        assert isinstance(make_optimizer("momentum"), Momentum)
+        assert isinstance(make_optimizer("adagrad"), AdaGrad)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            make_optimizer("lbfgs")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Momentum(beta=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.5)
+
+
+@pytest.mark.parametrize(
+    "optimizer",
+    [
+        SGD(learning_rate=0.1),
+        Momentum(learning_rate=0.05, beta=0.9),
+        Momentum(learning_rate=0.05, beta=0.9, nesterov=True),
+        AdaGrad(learning_rate=0.5),
+        Adam(learning_rate=0.2),
+    ],
+    ids=lambda o: repr(o),
+)
+class TestConvergenceOnQuadratic:
+    def test_converges_to_target(self, optimizer):
+        optimizer.reset()
+        rng = np.random.default_rng(0)
+        target = rng.normal(size=20)
+        theta = np.zeros(20)
+        optimizer.prepare(20)
+        for _ in range(500):
+            keys, values = quadratic_gradient(theta, target)
+            optimizer.step(theta, keys, values)
+        np.testing.assert_allclose(theta, target, atol=0.05)
+
+
+class TestSparseUpdates:
+    def test_only_active_keys_move(self):
+        for optimizer in (SGD(0.1), Momentum(0.1), AdaGrad(0.1), Adam(0.1)):
+            theta = np.zeros(10)
+            optimizer.prepare(10)
+            optimizer.step(theta, np.asarray([2, 7]), np.asarray([1.0, -1.0]))
+            moved = np.flatnonzero(theta)
+            assert moved.tolist() == [2, 7]
+
+    def test_adam_direction_opposes_gradient(self):
+        adam = Adam(learning_rate=0.1)
+        theta = np.zeros(4)
+        adam.prepare(4)
+        adam.step(theta, np.asarray([0, 1]), np.asarray([1.0, -1.0]))
+        assert theta[0] < 0
+        assert theta[1] > 0
+
+    def test_adam_adapts_to_gradient_scale(self):
+        """Adam's per-dimension normalisation: dimensions with tiny
+        gradients take steps comparable to large-gradient dimensions —
+        the property §3.3 uses to compensate decayed gradients."""
+        adam = Adam(learning_rate=0.1)
+        theta = np.zeros(2)
+        adam.prepare(2)
+        for _ in range(20):
+            adam.step(theta, np.asarray([0, 1]), np.asarray([1.0, 1e-4]))
+        # Both dimensions should have moved a similar (O(lr)) amount.
+        assert abs(theta[1]) > 0.25 * abs(theta[0])
+
+    def test_sgd_step_is_linear(self):
+        sgd = SGD(learning_rate=0.5)
+        theta = np.zeros(3)
+        sgd.step(theta, np.asarray([1]), np.asarray([2.0]))
+        assert theta[1] == pytest.approx(-1.0)
+
+    def test_reset_clears_state(self):
+        adam = Adam(learning_rate=0.1)
+        theta = np.zeros(3)
+        adam.prepare(3)
+        adam.step(theta, np.asarray([0]), np.asarray([1.0]))
+        adam.reset()
+        assert adam._m[0] == 0.0
+        assert adam._v[0] == 0.0
+        assert adam._steps[0] == 0
+
+    def test_momentum_accumulates(self):
+        mom = Momentum(learning_rate=0.1, beta=0.9)
+        theta = np.zeros(1)
+        mom.prepare(1)
+        mom.step(theta, np.asarray([0]), np.asarray([1.0]))
+        first_step = -theta[0]
+        theta[:] = 0
+        mom.reset()
+        for _ in range(10):
+            mom.step(theta, np.asarray([0]), np.asarray([1.0]))
+        # With momentum the 10-step displacement exceeds 10 plain steps.
+        assert -theta[0] > 10 * first_step
+
+    def test_lazy_bias_correction_counts_per_dimension(self):
+        adam = Adam(learning_rate=0.1)
+        theta = np.zeros(2)
+        adam.prepare(2)
+        adam.step(theta, np.asarray([0]), np.asarray([1.0]))
+        adam.step(theta, np.asarray([0, 1]), np.asarray([1.0, 1.0]))
+        assert adam._steps[0] == 2
+        assert adam._steps[1] == 1
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantLR()
+        assert s(0) == s(100) == 1.0
+
+    def test_inverse_decay(self):
+        s = InverseDecayLR(rate=0.1)
+        assert s(0) == 1.0
+        assert s(10) == pytest.approx(0.5)
+
+    def test_exponential(self):
+        s = ExponentialDecayLR(gamma=0.5)
+        assert s(3) == pytest.approx(0.125)
+
+    def test_step_decay(self):
+        s = StepDecayLR(step_size=10, factor=0.5)
+        assert s(9) == 1.0
+        assert s(10) == 0.5
+        assert s(25) == 0.25
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLR()(-1)
+
+    def test_factory_and_validation(self):
+        assert isinstance(make_schedule("constant"), ConstantLR)
+        assert isinstance(make_schedule("inverse", rate=0.5), InverseDecayLR)
+        with pytest.raises(ValueError, match="unknown schedule"):
+            make_schedule("cosine")
+        with pytest.raises(ValueError):
+            ExponentialDecayLR(gamma=0.0)
+        with pytest.raises(ValueError):
+            StepDecayLR(step_size=0)
+        with pytest.raises(ValueError):
+            InverseDecayLR(rate=-1)

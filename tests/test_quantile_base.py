@@ -1,0 +1,90 @@
+"""Tests for the shared quantile-sketch helpers."""
+
+import numpy as np
+import pytest
+
+from repro.sketch.quantile import (
+    QuantileSketch,
+    exact_quantiles,
+    uniform_probabilities,
+)
+
+
+class TestUniformProbabilities:
+    def test_shape_and_endpoints(self):
+        phis = uniform_probabilities(4)
+        np.testing.assert_allclose(phis, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_probabilities(0)
+        with pytest.raises(ValueError):
+            uniform_probabilities(-3)
+
+    def test_q_one(self):
+        np.testing.assert_allclose(uniform_probabilities(1), [0.0, 1.0])
+
+
+class TestExactQuantiles:
+    def test_known_values(self):
+        values = list(range(10))
+        result = exact_quantiles(values, [0.0, 0.5, 1.0])
+        assert result[0] == 0
+        assert result[1] == 5
+        assert result[2] == 9  # clipped to the last element
+
+    def test_returns_data_points(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        for phi in (0.1, 0.33, 0.77):
+            assert exact_quantiles(values, [phi])[0] in values
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            exact_quantiles([], [0.5])
+
+    def test_phis_clipped(self):
+        result = exact_quantiles([1.0, 2.0, 3.0], [-0.5, 1.5])
+        assert result[0] == 1.0
+        assert result[1] == 3.0
+
+    def test_single_value(self):
+        result = exact_quantiles([42.0], [0.0, 0.5, 1.0])
+        assert np.all(result == 42.0)
+
+
+class TestAbstractBase:
+    def test_abstract_methods_raise(self):
+        sketch = QuantileSketch()
+        with pytest.raises(NotImplementedError):
+            sketch.insert(1.0)
+        with pytest.raises(NotImplementedError):
+            sketch.query(0.5)
+        with pytest.raises(NotImplementedError):
+            sketch.merge(sketch)
+        with pytest.raises(NotImplementedError):
+            len(sketch)
+
+    def test_default_insert_many_uses_insert(self):
+        class Recorder(QuantileSketch):
+            def __init__(self):
+                self.seen = []
+
+            def insert(self, value):
+                self.seen.append(value)
+
+        recorder = Recorder()
+        recorder.insert_many([1.0, 2.0, 3.0])
+        assert recorder.seen == [1.0, 2.0, 3.0]
+
+    def test_default_query_many_uses_query(self):
+        class Const(QuantileSketch):
+            def query(self, phi):
+                return 7.0
+
+            def __len__(self):
+                return 1
+
+        sketch = Const()
+        assert sketch.query_many([0.1, 0.9]) == [7.0, 7.0]
+        assert not sketch.is_empty

@@ -1,0 +1,62 @@
+"""Tests for the consolidated report generator."""
+
+import os
+
+import pytest
+
+from repro.bench.report import RESULT_ORDER, build_report, write_report
+from repro.cli import main
+
+
+class TestBuildReport:
+    def test_missing_directory(self, tmp_path):
+        markdown, missing = build_report(str(tmp_path / "nope"))
+        assert len(missing) == len(RESULT_ORDER)
+        assert "no archived result" in markdown
+
+    def test_includes_archived_sections(self, tmp_path):
+        (tmp_path / "fig4_gradient_distribution.txt").write_text("FIG4 BODY\n")
+        markdown, missing = build_report(str(tmp_path))
+        assert "FIG4 BODY" in markdown
+        assert "fig4_gradient_distribution" not in missing
+        assert "fig9_end_to_end_runtime" in missing
+
+    def test_unexpected_results_appended(self, tmp_path):
+        (tmp_path / "my_custom_bench.txt").write_text("CUSTOM\n")
+        markdown, _ = build_report(str(tmp_path))
+        assert "## my_custom_bench" in markdown
+        assert "CUSTOM" in markdown
+
+    def test_sections_in_paper_order(self, tmp_path):
+        for stem, _ in RESULT_ORDER:
+            (tmp_path / f"{stem}.txt").write_text(stem + "\n")
+        markdown, missing = build_report(str(tmp_path))
+        assert not missing
+        positions = [markdown.index(heading) for _, heading in RESULT_ORDER]
+        assert positions == sorted(positions)
+
+    def test_write_report(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig4_gradient_distribution.txt").write_text("X\n")
+        out_path, missing = write_report(str(results))
+        assert os.path.exists(out_path)
+        assert out_path.endswith("REPORT.md")
+        assert missing  # most benches not run in this temp dir
+
+
+class TestReportCli:
+    def test_cli_happy_path(self, tmp_path, capsys, monkeypatch):
+        results = tmp_path / "benchmarks" / "results"
+        results.mkdir(parents=True)
+        (results / "fig4_gradient_distribution.txt").write_text("X\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "benchmarks" / "REPORT.md").exists()
+
+    def test_cli_missing_results(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 2
+        assert "no results directory" in capsys.readouterr().err

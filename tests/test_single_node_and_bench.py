@@ -1,0 +1,156 @@
+"""Tests for the single-node baseline and the bench harness."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SingleNodeConfig, SingleNodeTrainer
+from repro.bench import (
+    ExperimentSpec,
+    clear_cache,
+    format_series,
+    format_table,
+    load_split,
+    method_factory,
+    run_experiment,
+)
+from repro.compression import IdentityCompressor, ZipMLCompressor
+from repro.core import SketchMLCompressor
+from repro.models import LogisticRegression
+from repro.optim import Adam
+
+
+class TestSingleNode:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SingleNodeConfig(batch_fraction=0.0)
+        with pytest.raises(ValueError):
+            SingleNodeConfig(epochs=0)
+        with pytest.raises(ValueError):
+            SingleNodeConfig(disk_bytes_per_sec=-1)
+
+    def test_trains_and_records(self, tiny_split):
+        train, test = tiny_split
+        trainer = SingleNodeTrainer(
+            LogisticRegression(train.num_features, reg_lambda=0.01),
+            Adam(learning_rate=0.01),
+            SingleNodeConfig(epochs=3, disk_bytes_per_sec=None),
+        )
+        history = trainer.train(train, test)
+        assert history.num_epochs == 3
+        assert history.method == "single-node"
+        assert history.num_workers == 1
+        assert all(e.network_seconds == 0.0 for e in history.epochs)
+        assert all(e.bytes_sent == 0 for e in history.epochs)
+        assert history.test_losses[-1] < history.test_losses[0]
+        assert trainer.theta.shape == (train.num_features,)
+
+    def test_load_time_charged_to_first_epoch(self, tiny_split):
+        train, _ = tiny_split
+        trainer = SingleNodeTrainer(
+            LogisticRegression(train.num_features),
+            Adam(learning_rate=0.01),
+            SingleNodeConfig(epochs=2, disk_bytes_per_sec=1e4),
+        )
+        history = trainer.train(train)
+        expected_load = 12 * train.nnz / 1e4
+        assert history.epochs[0].compute_seconds > expected_load
+        assert history.epochs[1].compute_seconds < expected_load
+
+    def test_theta_before_train_raises(self, tiny_split):
+        train, _ = tiny_split
+        trainer = SingleNodeTrainer(
+            LogisticRegression(train.num_features), Adam(learning_rate=0.01)
+        )
+        with pytest.raises(RuntimeError):
+            _ = trainer.theta
+
+
+class TestMethodFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("Adam", IdentityCompressor),
+            ("Adam-float", IdentityCompressor),
+            ("ZipML", ZipMLCompressor),
+            ("ZipML-8bit", ZipMLCompressor),
+            ("SketchML", SketchMLCompressor),
+            ("Adam+Key", SketchMLCompressor),
+            ("Adam+Key+Quan", SketchMLCompressor),
+            ("Adam+Key+Quan+MinMax", SketchMLCompressor),
+        ],
+    )
+    def test_factory_builds_fresh_instances(self, name, cls):
+        factory = method_factory(name)
+        a, b = factory(), factory()
+        assert isinstance(a, cls)
+        assert a is not b
+
+    def test_zipml_bits(self):
+        assert method_factory("ZipML")().bits == 16
+        assert method_factory("ZipML-8bit")().bits == 8
+
+    def test_sketch_overrides(self):
+        comp = method_factory("SketchML", num_buckets=64)()
+        assert comp.config.num_buckets == 64
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            method_factory("DGC")
+
+
+class TestRunner:
+    def test_load_split_cached(self):
+        a = load_split("kdd10", scale=0.05, seed=0)
+        b = load_split("kdd10", scale=0.05, seed=0)
+        assert a[0] is b[0]
+
+    def test_run_experiment_and_cache(self):
+        spec = ExperimentSpec(
+            profile="kdd10", model="lr", method="SketchML",
+            num_workers=2, epochs=1, scale=0.05, cluster="cluster1",
+        )
+        first = run_experiment(spec)
+        second = run_experiment(spec)
+        assert first is second
+        assert first.num_epochs == 1
+        fresh = run_experiment(spec, use_cache=False)
+        assert fresh is not first
+        clear_cache()
+
+    def test_spec_network_validation(self):
+        with pytest.raises(ValueError, match="unknown cluster"):
+            ExperimentSpec(cluster="mars").network()
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(
+            ["method", "seconds"],
+            [["SketchML", 1.5], ["Adam", 10.0]],
+            title="Fig X",
+        )
+        assert "Fig X" in out
+        assert "SketchML" in out
+        lines = out.splitlines()
+        assert len(lines) == 5  # title + header + rule + 2 rows
+
+    def test_format_table_row_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        out = format_series("loss", [(0.0, 1.0), (1.0, 0.5)], "sec", "loss")
+        assert "series 'loss'" in out
+        assert out.count("\n") == 2
+
+    def test_format_series_downsamples(self):
+        points = [(float(i), float(i)) for i in range(1000)]
+        out = format_series("big", points, max_points=10)
+        assert out.count("\n") <= 110
+
+    def test_write_result(self, tmp_path):
+        from repro.bench import write_result
+
+        content = write_result("unit", "hello", directory=str(tmp_path))
+        assert content == "hello"
+        assert (tmp_path / "unit.txt").read_text() == "hello\n"

@@ -1,0 +1,239 @@
+"""End-to-end tests for the SketchML compressor (Figure 2 pipeline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.base import CompressedGradient
+from repro.core import SketchMLCompressor, SketchMLConfig
+
+
+def make_gradient(nnz=3_000, dimension=100_000, seed=0, scale=0.01):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=scale, size=nnz)
+    values[values == 0.0] = scale / 10
+    return keys, values, dimension
+
+
+ABLATION_CONFIGS = [
+    SketchMLConfig.adam(),
+    SketchMLConfig.keys_only(),
+    SketchMLConfig.keys_and_quantization(),
+    SketchMLConfig.full(),
+]
+
+
+class TestConfig:
+    def test_minmax_requires_quantization(self):
+        with pytest.raises(ValueError, match="requires enable_quantization"):
+            SketchMLConfig(enable_quantization=False, enable_minmax=True)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SketchMLConfig(num_buckets=1)
+        with pytest.raises(ValueError):
+            SketchMLConfig(minmax_rows=0)
+        with pytest.raises(ValueError):
+            SketchMLConfig(num_groups=0)
+        with pytest.raises(ValueError):
+            SketchMLConfig(quantile_sketch="bogus")
+
+    def test_ablation_labels(self):
+        labels = [cfg.ablation_label for cfg in ABLATION_CONFIGS]
+        assert labels == [
+            "Adam",
+            "Adam+Key",
+            "Adam+Key+Quan",
+            "Adam+Key+Quan+MinMax",
+        ]
+
+    def test_with_overrides(self):
+        cfg = SketchMLConfig().with_overrides(num_buckets=64)
+        assert cfg.num_buckets == 64
+        assert SketchMLConfig().num_buckets == 128  # original untouched
+
+    def test_minmax_total_bins(self):
+        cfg = SketchMLConfig(minmax_cols_factor=0.2, minmax_min_cols=64)
+        assert cfg.minmax_total_bins(10_000) == 2_000
+        assert cfg.minmax_total_bins(10) == 64
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("config", ABLATION_CONFIGS, ids=lambda c: c.ablation_label)
+    def test_keys_always_lossless(self, config):
+        keys, values, dim = make_gradient(seed=1)
+        comp = SketchMLCompressor(config)
+        out_keys, out_values, _ = comp.roundtrip(keys, values, dim)
+        np.testing.assert_array_equal(out_keys, keys)
+        assert out_values.size == values.size
+
+    @pytest.mark.parametrize("config", ABLATION_CONFIGS, ids=lambda c: c.ablation_label)
+    def test_signs_never_flip(self, config):
+        keys, values, dim = make_gradient(seed=2)
+        comp = SketchMLCompressor(config)
+        _, out_values, _ = comp.roundtrip(keys, values, dim)
+        assert np.all(np.sign(out_values) == np.sign(values))
+
+    def test_unquantized_paths_are_exact(self):
+        keys, values, dim = make_gradient(seed=3)
+        for config in (SketchMLConfig.adam(), SketchMLConfig.keys_only()):
+            _, out_values, _ = SketchMLCompressor(config).roundtrip(
+                keys, values, dim
+            )
+            np.testing.assert_allclose(out_values, values)
+
+    def test_full_pipeline_decays_magnitudes(self):
+        """MinMaxSketch underestimates: |decoded| <= max bucket mean and
+        the mean magnitude never grows."""
+        keys, values, dim = make_gradient(seed=4)
+        comp = SketchMLCompressor(SketchMLConfig.full())
+        _, out_values, _ = comp.roundtrip(keys, values, dim)
+        assert np.abs(out_values).mean() <= np.abs(values).mean() * 1.05
+
+    def test_empty_gradient(self):
+        comp = SketchMLCompressor()
+        keys = np.asarray([], dtype=np.int64)
+        values = np.asarray([], dtype=np.float64)
+        out_keys, out_values, msg = comp.roundtrip(keys, values, 1_000)
+        assert out_keys.size == 0
+        assert out_values.size == 0
+        assert msg.num_bytes > 0  # header only
+
+    def test_single_pair(self):
+        comp = SketchMLCompressor()
+        out_keys, out_values, _ = comp.roundtrip(
+            np.asarray([42]), np.asarray([-0.5]), 1_000
+        )
+        assert out_keys.tolist() == [42]
+        assert out_values[0] == pytest.approx(-0.5)
+
+    def test_all_positive_gradient(self):
+        rng = np.random.default_rng(5)
+        keys = np.sort(rng.choice(10_000, size=500, replace=False))
+        values = np.abs(rng.laplace(scale=0.1, size=500)) + 1e-6
+        out_keys, out_values, _ = SketchMLCompressor().roundtrip(keys, values, 10_000)
+        np.testing.assert_array_equal(out_keys, keys)
+        assert np.all(out_values > 0)
+
+    def test_tiny_dimension(self):
+        keys = np.asarray([0, 1, 2])
+        values = np.asarray([0.5, -0.25, 0.125])
+        out_keys, out_values, _ = SketchMLCompressor().roundtrip(keys, values, 3)
+        np.testing.assert_array_equal(out_keys, keys)
+        assert np.all(np.sign(out_values) == np.sign(values))
+
+
+class TestByteAccounting:
+    def test_compression_rates_increase_down_the_stack(self):
+        """Fig. 8(b): each added component increases the rate."""
+        keys, values, dim = make_gradient(nnz=8_000, seed=6)
+        rates = []
+        for config in ABLATION_CONFIGS:
+            msg = SketchMLCompressor(config).compress(keys, values, dim)
+            rates.append(msg.compression_rate)
+        assert rates[0] == pytest.approx(1.0, rel=0.01)  # header overhead only
+        assert rates[1] > rates[0]
+        assert rates[2] > rates[1]
+        assert rates[3] > rates[2]
+
+    def test_breakdown_sums_to_total(self):
+        keys, values, dim = make_gradient(seed=7)
+        for config in ABLATION_CONFIGS:
+            msg = SketchMLCompressor(config).compress(keys, values, dim)
+            assert sum(msg.breakdown.values()) == msg.num_bytes
+
+    def test_raw_bytes_is_12d(self):
+        keys, values, dim = make_gradient(nnz=1_000, seed=8)
+        msg = SketchMLCompressor().compress(keys, values, dim)
+        assert msg.raw_bytes == 12_000
+
+    def test_space_formula_of_section_3_5(self):
+        """Total ≈ d(keys) + 8q(means) + s*t(sketch) + headers."""
+        keys, values, dim = make_gradient(nnz=4_000, seed=9)
+        cfg = SketchMLConfig.full()
+        msg = SketchMLCompressor(cfg).compress(keys, values, dim)
+        assert msg.breakdown["bucket_means"] <= 8 * cfg.num_buckets
+        expected_sketch = cfg.minmax_rows * cfg.minmax_total_bins(4_000)
+        # Two sign sketches share the per-sign nnz; allow rounding slack.
+        assert msg.breakdown["sketch"] <= 2 * expected_sketch + 64
+
+    def test_quan_without_minmax_charges_one_byte_per_value(self):
+        keys, values, dim = make_gradient(nnz=2_000, seed=10)
+        msg = SketchMLCompressor(SketchMLConfig.keys_and_quantization()).compress(
+            keys, values, dim
+        )
+        assert msg.breakdown["values"] == 2_000
+
+    def test_pack_index_bits_saves_space_and_roundtrips(self):
+        keys, values, dim = make_gradient(nnz=4_000, seed=15)
+        plain_cfg = SketchMLConfig.keys_and_quantization()
+        packed_cfg = SketchMLConfig.keys_and_quantization(pack_index_bits=True)
+        plain_msg = SketchMLCompressor(plain_cfg).compress(keys, values, dim)
+        packed = SketchMLCompressor(packed_cfg)
+        out_keys, out_values, packed_msg = packed.roundtrip(keys, values, dim)
+        np.testing.assert_array_equal(out_keys, keys)
+        # Same decoded values as the byte-aligned variant.
+        _, plain_values = SketchMLCompressor(plain_cfg).decompress(plain_msg)
+        np.testing.assert_allclose(out_values, plain_values)
+        # And strictly smaller on the wire (q=128 → 7 bits/index).
+        assert packed_msg.num_bytes < plain_msg.num_bytes
+
+
+class TestDecodeErrors:
+    def test_decompress_foreign_payload_rejected(self):
+        comp = SketchMLCompressor()
+        fake = CompressedGradient(payload=("x",), num_bytes=1, dimension=10, nnz=0)
+        with pytest.raises(TypeError, match="SketchMLCompressor"):
+            comp.decompress(fake)
+
+    def test_decoded_quantization_error_bounded_by_buckets(self):
+        keys, values, dim = make_gradient(nnz=5_000, seed=11)
+        small = SketchMLCompressor(SketchMLConfig.full(num_buckets=16))
+        large = SketchMLCompressor(SketchMLConfig.full(num_buckets=256))
+        _, v_small, _ = small.roundtrip(keys, values, dim)
+        _, v_large, _ = large.roundtrip(keys, values, dim)
+        err_small = np.mean((v_small - values) ** 2)
+        err_large = np.mean((v_large - values) ** 2)
+        assert err_large < err_small
+
+    def test_grouping_reduces_decode_error(self):
+        keys, values, dim = make_gradient(nnz=5_000, seed=12)
+        errs = {}
+        for groups in (1, 8):
+            comp = SketchMLCompressor(
+                SketchMLConfig.full(num_groups=groups, minmax_cols_factor=0.05)
+            )
+            _, decoded, _ = comp.roundtrip(keys, values, dim)
+            errs[groups] = float(np.mean(np.abs(decoded - values)))
+        assert errs[8] <= errs[1]
+
+    def test_seed_consistency_between_instances(self):
+        """Encoder and decoder built separately must agree (same seed)."""
+        keys, values, dim = make_gradient(seed=13)
+        cfg = SketchMLConfig.full(seed=99)
+        msg = SketchMLCompressor(cfg).compress(keys, values, dim)
+        out_keys, out_values = SketchMLCompressor(cfg).decompress(msg)
+        np.testing.assert_array_equal(out_keys, keys)
+        assert np.all(np.sign(out_values) == np.sign(values))
+
+
+@given(
+    nnz=st.integers(min_value=1, max_value=500),
+    seed=st.integers(min_value=0, max_value=200),
+    q=st.sampled_from([16, 64, 256]),
+)
+@settings(max_examples=30, deadline=None)
+def test_pipeline_invariants_property(nnz, seed, q):
+    rng = np.random.default_rng(seed)
+    dimension = max(nnz * 10, 100)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.normal(scale=0.05, size=nnz)
+    values[values == 0.0] = 0.01
+    comp = SketchMLCompressor(SketchMLConfig.full(num_buckets=q, seed=seed))
+    out_keys, out_values, msg = comp.roundtrip(keys, values, dimension)
+    np.testing.assert_array_equal(out_keys, keys)  # lossless keys
+    assert np.all(np.sign(out_values) == np.sign(values))  # no reversal
+    assert msg.num_bytes > 0
+    assert np.abs(out_values).max() <= np.abs(values).max() + 1e-12

@@ -1,0 +1,171 @@
+"""Tests for Space-Saving and the heavy-hitter hybrid compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    HeavyHitterSketchMLCompressor,
+    make_compressor,
+)
+from repro.core import SketchMLCompressor, SketchMLConfig
+from repro.sketch.frequency import SpaceSaving
+
+
+class TestSpaceSaving:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(capacity=0)
+        with pytest.raises(ValueError):
+            SpaceSaving().insert(1, count=0)
+        with pytest.raises(ValueError):
+            SpaceSaving().heavy_hitters(threshold_fraction=1.5)
+
+    def test_exact_when_under_capacity(self):
+        ss = SpaceSaving(capacity=10)
+        ss.insert_many([1, 1, 1, 2, 2, 3])
+        assert ss.query(1) == 3
+        assert ss.query(2) == 2
+        assert ss.query(3) == 1
+        assert ss.query(99) == 0
+        assert ss.error_bound(1) == 0
+
+    def test_never_underestimates_tracked(self):
+        rng = np.random.default_rng(0)
+        keys = rng.zipf(1.5, size=50_000) % 10_000
+        ss = SpaceSaving(capacity=100)
+        ss.insert_many(keys)
+        true_counts = np.bincount(keys, minlength=10_000)
+        for key, estimate in ss.heavy_hitters():
+            assert estimate >= true_counts[key]
+            assert estimate - ss.error_bound(key) <= true_counts[key]
+
+    def test_guarantee_items_above_threshold_are_tracked(self):
+        """Any item with frequency > N/k must survive."""
+        rng = np.random.default_rng(1)
+        background = rng.integers(1_000, 100_000, size=20_000)
+        hot = np.full(5_000, 7)  # one item with 20% of the stream
+        stream = rng.permutation(np.concatenate([background, hot]))
+        ss = SpaceSaving(capacity=64)
+        ss.insert_many(stream)
+        tracked = dict(ss.heavy_hitters())
+        assert 7 in tracked
+        assert tracked[7] >= 5_000
+
+    def test_heavy_hitters_sorted_and_thresholded(self):
+        ss = SpaceSaving(capacity=10)
+        ss.insert_many([1] * 50 + [2] * 30 + [3] * 20)
+        top = ss.heavy_hitters()
+        assert [k for k, _ in top] == [1, 2, 3]
+        assert ss.heavy_hitters(threshold_fraction=0.25) == [(1, 50), (2, 30)]
+
+    def test_guaranteed_heavy_hitters(self):
+        ss = SpaceSaving(capacity=4)
+        ss.insert_many([1] * 100 + list(range(10, 40)))
+        guaranteed = ss.guaranteed_heavy_hitters(0.5)
+        assert guaranteed and guaranteed[0][0] == 1
+
+    def test_merge(self):
+        a = SpaceSaving(capacity=8)
+        b = SpaceSaving(capacity=8)
+        a.insert_many([1] * 10 + [2] * 5)
+        b.insert_many([1] * 7 + [3] * 4)
+        a.merge(b)
+        assert a.query(1) >= 17
+        assert a.total_count == 26
+        with pytest.raises(TypeError):
+            a.merge("x")
+
+    def test_merge_truncates_to_capacity(self):
+        a = SpaceSaving(capacity=3)
+        b = SpaceSaving(capacity=3)
+        a.insert_many([1, 1, 2, 3])
+        b.insert_many([4, 4, 4, 5, 6])
+        a.merge(b)
+        assert a.tracked_count <= 3
+
+    def test_zipf_head_detection_on_dataset(self):
+        """Find the hot features of a synthetic dataset — the Fig. 11
+        saturation drivers."""
+        from repro.data import generate_profile
+
+        ds = generate_profile("kdd12-hothead", seed=0, scale=0.05)
+        ss = SpaceSaving(capacity=50)
+        ss.insert_many(ds.indices)
+        top_keys = [k for k, _ in ss.heavy_hitters()[:10]]
+        # The hot head lives at low feature ids (Zipf rank order).
+        assert np.median(top_keys) < 100
+
+
+class TestHybridCompressor:
+    def make_gradient(self, nnz=5_000, dimension=200_000, seed=0):
+        rng = np.random.default_rng(seed)
+        keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+        values = rng.laplace(scale=0.01, size=nnz)
+        values[values == 0.0] = 1e-6
+        return keys, values, dimension
+
+    def test_registered(self):
+        assert isinstance(
+            make_compressor("sketchml-hybrid"), HeavyHitterSketchMLCompressor
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeavyHitterSketchMLCompressor(heavy_fraction=1.5)
+
+    def test_keys_lossless(self):
+        keys, values, dim = self.make_gradient(seed=1)
+        comp = HeavyHitterSketchMLCompressor(heavy_fraction=0.02)
+        out_keys, out_values, _ = comp.roundtrip(keys, values, dim)
+        np.testing.assert_array_equal(out_keys, keys)
+
+    def test_heavy_entries_are_exact(self):
+        keys, values, dim = self.make_gradient(seed=2)
+        comp = HeavyHitterSketchMLCompressor(heavy_fraction=0.02)
+        out_keys, out_values, _ = comp.roundtrip(keys, values, dim)
+        num_heavy = int(round(keys.size * 0.02))
+        heavy_idx = np.argpartition(np.abs(values), -num_heavy)[-num_heavy:]
+        decoded = dict(zip(out_keys.tolist(), out_values.tolist()))
+        for i in heavy_idx:
+            assert decoded[int(keys[i])] == values[i]
+
+    def test_worst_case_error_below_plain_sketchml(self):
+        keys, values, dim = self.make_gradient(seed=3)
+        plain = SketchMLCompressor(SketchMLConfig.full())
+        hybrid = HeavyHitterSketchMLCompressor(heavy_fraction=0.02)
+        _, plain_decoded, plain_msg = plain.roundtrip(keys, values, dim)
+        _, hybrid_decoded, hybrid_msg = hybrid.roundtrip(keys, values, dim)
+        assert (
+            np.abs(hybrid_decoded - values).max()
+            < np.abs(plain_decoded - values).max()
+        )
+        # Size overhead stays modest (the heavy set is 2%).
+        assert hybrid_msg.num_bytes < plain_msg.num_bytes * 1.35
+
+    def test_zero_fraction_equals_plain(self):
+        keys, values, dim = self.make_gradient(seed=4)
+        hybrid = HeavyHitterSketchMLCompressor(heavy_fraction=0.0)
+        plain = SketchMLCompressor(SketchMLConfig())
+        _, hv, _ = hybrid.roundtrip(keys, values, dim)
+        _, pv, _ = plain.roundtrip(keys, values, dim)
+        np.testing.assert_allclose(hv, pv)
+
+    def test_full_fraction_is_lossless(self):
+        keys, values, dim = self.make_gradient(nnz=500, seed=5)
+        hybrid = HeavyHitterSketchMLCompressor(heavy_fraction=1.0)
+        out_keys, out_values, _ = hybrid.roundtrip(keys, values, dim)
+        np.testing.assert_array_equal(out_keys, keys)
+        np.testing.assert_allclose(out_values, values)
+
+    def test_empty_gradient(self):
+        comp = HeavyHitterSketchMLCompressor()
+        empty = np.asarray([], dtype=np.int64)
+        out_keys, out_values, msg = comp.roundtrip(empty, empty.astype(float), 10)
+        assert out_keys.size == 0
+        assert msg.num_bytes > 0
+
+    def test_signs_preserved(self):
+        keys, values, dim = self.make_gradient(seed=6)
+        comp = HeavyHitterSketchMLCompressor(heavy_fraction=0.05)
+        _, decoded, _ = comp.roundtrip(keys, values, dim)
+        assert np.all(np.sign(decoded) == np.sign(values))

@@ -1,0 +1,119 @@
+"""Tests for the stale-synchronous-parallel trainer."""
+
+import numpy as np
+import pytest
+
+from repro.compression import IdentityCompressor
+from repro.core import SketchMLCompressor
+from repro.distributed import SSPConfig, SSPTrainer, cluster1_like
+from repro.models import LogisticRegression
+from repro.optim import Adam
+
+
+def make_trainer(train, staleness=3, method=IdentityCompressor, workers=4,
+                 epochs=2, heterogeneity=0.5, seed=0):
+    return SSPTrainer(
+        model=LogisticRegression(train.num_features, reg_lambda=0.01),
+        optimizer=Adam(learning_rate=0.01),
+        compressor_factory=method,
+        network=cluster1_like(),
+        config=SSPConfig(
+            num_workers=workers,
+            staleness=staleness,
+            epochs=epochs,
+            seed=seed,
+            heterogeneity=heterogeneity,
+        ),
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSPConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            SSPConfig(staleness=-1)
+        with pytest.raises(ValueError):
+            SSPConfig(batch_fraction=0.0)
+        with pytest.raises(ValueError):
+            SSPConfig(heterogeneity=-0.1)
+
+
+class TestTraining:
+    def test_history_structure(self, tiny_split):
+        train, test = tiny_split
+        trainer = make_trainer(train)
+        history = trainer.train(train, test)
+        assert history.num_epochs == 2
+        assert all(e.num_messages > 0 for e in history.epochs)
+        assert all(e.test_loss is not None for e in history.epochs)
+        assert trainer.simulated_seconds > 0
+        assert trainer.theta.shape == (train.num_features,)
+
+    def test_loss_decreases(self, tiny_split):
+        train, test = tiny_split
+        history = make_trainer(train, epochs=4).train(train, test)
+        assert history.test_losses[-1] < history.test_losses[0]
+
+    def test_sketchml_under_asynchrony(self, tiny_split):
+        """Lossy compression must stay convergent under staleness."""
+        train, test = tiny_split
+        sketch = make_trainer(train, method=SketchMLCompressor, epochs=4)
+        history = sketch.train(train, test)
+        assert history.test_losses[-1] < np.log(2.0)
+        assert history.avg_compression_rate > 2.0
+
+    def test_staleness_zero_is_lockstep(self, tiny_split):
+        """With staleness 0 no worker can be a full clock ahead."""
+        train, _ = tiny_split
+        trainer = make_trainer(train, staleness=0, heterogeneity=2.0, epochs=1)
+        history = trainer.train(train)
+        # Every batch got processed (4 workers x batches per epoch).
+        assert history.epochs[0].num_messages >= 4
+
+    def test_theta_before_train_raises(self, tiny_split):
+        train, _ = tiny_split
+        trainer = make_trainer(train)
+        with pytest.raises(RuntimeError):
+            _ = trainer.theta
+        with pytest.raises(RuntimeError):
+            _ = trainer.simulated_seconds
+
+    def test_deterministic_given_seed(self, tiny_split):
+        train, test = tiny_split
+        a = make_trainer(train, seed=3).train(train, test)
+        b = make_trainer(train, seed=3).train(train, test)
+        assert a.test_losses == b.test_losses
+        assert a.total_bytes_sent == b.total_bytes_sent
+
+    def test_compression_reduces_bytes(self, tiny_split):
+        train, test = tiny_split
+        adam = make_trainer(train).train(train, test)
+        sketch = make_trainer(train, method=SketchMLCompressor).train(train, test)
+        assert sketch.total_bytes_sent < adam.total_bytes_sent
+
+    def test_higher_staleness_finishes_sooner_with_stragglers(self, tiny_split):
+        """The whole point of SSP: with heterogeneous workers, allowing
+        bounded staleness shortens the simulated wall clock versus
+        lockstep."""
+        train, _ = tiny_split
+
+        def simulated_time(staleness):
+            trainer = SSPTrainer(
+                model=LogisticRegression(train.num_features),
+                optimizer=Adam(learning_rate=0.01),
+                compressor_factory=IdentityCompressor,
+                network=cluster1_like(),
+                config=SSPConfig(
+                    num_workers=4,
+                    staleness=staleness,
+                    epochs=2,
+                    seed=1,
+                    heterogeneity=3.0,
+                    compute_seconds_per_nnz=1e-3,
+                ),
+            )
+            trainer.train(train)
+            return trainer.simulated_seconds
+
+        assert simulated_time(8) <= simulated_time(0)

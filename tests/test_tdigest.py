@@ -1,0 +1,157 @@
+"""Tests for the t-digest quantile sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.quantile import TDigest
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TDigest(delta=5)
+        with pytest.raises(ValueError):
+            TDigest(buffer_size=0)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            TDigest().query(0.5)
+        with pytest.raises(ValueError, match="empty"):
+            TDigest().rank(0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            TDigest().insert(float("nan"))
+        with pytest.raises(ValueError):
+            TDigest().insert_many([1.0, float("nan")])
+
+    def test_single_value(self):
+        td = TDigest()
+        td.insert(3.5)
+        assert td.query(0.0) == 3.5
+        assert td.query(0.5) == 3.5
+        assert td.query(1.0) == 3.5
+
+    def test_extremes_exact(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=50_000)
+        td = TDigest(delta=100)
+        td.insert_many(values)
+        assert td.query(0.0) == values.min()
+        assert td.query(1.0) == values.max()
+
+    def test_count(self):
+        td = TDigest()
+        td.insert_many(range(1_000))
+        td.insert(5.0)
+        assert len(td) == 1_001
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("phi", [0.01, 0.1, 0.5, 0.9, 0.99])
+    def test_body_quantiles(self, phi):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100_000)
+        td = TDigest(delta=200)
+        td.insert_many(values)
+        estimate = td.query(phi)
+        true_rank = (values <= estimate).mean()
+        assert abs(true_rank - phi) < 0.02
+
+    def test_tail_accuracy_better_than_body(self):
+        """The asin scale function concentrates accuracy in the tails."""
+        rng = np.random.default_rng(2)
+        values = rng.exponential(size=200_000)
+        td = TDigest(delta=100)
+        td.insert_many(values)
+        tail_err = abs((values <= td.query(0.999)).mean() - 0.999)
+        body_err = abs((values <= td.query(0.5)).mean() - 0.5)
+        assert tail_err <= max(body_err, 0.005)
+
+    def test_space_bounded(self):
+        rng = np.random.default_rng(3)
+        td = TDigest(delta=100)
+        td.insert_many(rng.normal(size=500_000))
+        assert td.num_centroids < 200
+
+    def test_skewed_gradient_like_data(self):
+        rng = np.random.default_rng(4)
+        values = np.abs(rng.laplace(scale=0.001, size=80_000))
+        td = TDigest(delta=128)
+        td.insert_many(values)
+        for phi in (0.25, 0.5, 0.75):
+            estimate = td.query(phi)
+            assert abs((values <= estimate).mean() - phi) < 0.02
+
+    def test_rank_consistent_with_query(self):
+        rng = np.random.default_rng(5)
+        td = TDigest(delta=100)
+        td.insert_many(rng.uniform(size=50_000))
+        assert td.rank(td.query(0.3)) == pytest.approx(0.3, abs=0.03)
+
+
+class TestMerge:
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            TDigest().merge([1, 2, 3])
+
+    def test_merge_empty(self):
+        a = TDigest()
+        a.insert_many(range(100))
+        a.merge(TDigest())
+        assert len(a) == 100
+
+    def test_merge_accuracy(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=80_000)
+        merged = TDigest(delta=100)
+        for chunk in np.array_split(values, 8):
+            local = TDigest(delta=100)
+            local.insert_many(chunk)
+            merged.merge(local)
+        assert len(merged) == values.size
+        for phi in (0.1, 0.5, 0.9):
+            estimate = merged.query(phi)
+            assert abs((values <= estimate).mean() - phi) < 0.03
+
+    def test_weight_conserved_by_merge(self):
+        a = TDigest(delta=50)
+        a.insert_many(range(10_000))
+        b = TDigest(delta=50)
+        b.insert_many(range(5_000))
+        a.merge(b)
+        a._merge_buffer()
+        assert a._weights.sum() == pytest.approx(15_000)
+
+
+class TestQuantizerIntegration:
+    def test_tdigest_backed_quantizer(self):
+        from repro.core.quantizer import QuantileBucketQuantizer
+
+        rng = np.random.default_rng(7)
+        values = rng.laplace(scale=0.01, size=20_000)
+        values[values == 0.0] = 1e-6
+        quant = QuantileBucketQuantizer(
+            num_buckets=64, sketch="tdigest", sketch_size=100
+        ).fit(values)
+        decoded = quant.quantize(values)
+        assert np.all(np.sign(decoded) == np.sign(values))
+        assert np.mean(np.abs(decoded - values)) < 0.01
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=400,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_quantiles_within_range_property(values):
+    td = TDigest(delta=50)
+    td.insert_many(values)
+    for phi in (0.0, 0.25, 0.5, 0.75, 1.0):
+        estimate = td.query(phi)
+        assert min(values) <= estimate <= max(values)
