@@ -9,6 +9,7 @@ Commands:
   cluster and print the per-epoch table.
 * ``compare``  — all registered codecs side by side on one gradient.
 * ``report``   — stitch archived bench results into ``REPORT.md``.
+* ``perf``     — time the codec hot-path kernels, write ``BENCH_codec.json``.
 * ``datagen``  — write a synthetic dataset to a LIBSVM file.
 
 Examples::
@@ -19,6 +20,7 @@ Examples::
     python -m repro train --profile kdd12 --model lr --method SketchML \
         --workers 10 --epochs 3
     python -m repro datagen --profile kdd10 --scale 0.1 --out kdd10.libsvm
+    python -m repro perf --quick
     python -m repro report
 """
 
@@ -86,6 +88,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default: benchmarks/results under the cwd")
     report.add_argument("--out", default=None,
                         help="default: benchmarks/REPORT.md")
+
+    perf = sub.add_parser(
+        "perf", help="time the codec hot-path kernels, write BENCH_codec.json"
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="CI smoke mode: fewer sizes and repeats")
+    perf.add_argument("--sizes", type=int, nargs="+", default=None,
+                      help="override the nnz grid (default 5k/50k/200k)")
+    perf.add_argument("--out", default=None,
+                      help="output JSON path (default: BENCH_codec.json; "
+                           "'-' to skip writing)")
 
     datagen = sub.add_parser("datagen", help="write a synthetic dataset")
     datagen.add_argument("--profile", default="kdd10",
@@ -229,6 +242,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from .perf import BENCH_FILENAME, run_suite, write_results
+
+    if args.sizes is not None and any(nnz <= 0 for nnz in args.sizes):
+        print("error: --sizes values must be positive", file=sys.stderr)
+        return 2
+    results = run_suite(sizes=args.sizes, quick=args.quick)
+    name_w = max(len(r.name) for r in results)
+    print(f"{'kernel':<{name_w}}  {'median ms':>10}  {'ns/elem':>9}  {'MB/s':>9}")
+    for r in results:
+        print(
+            f"{r.name:<{name_w}}  {r.seconds * 1e3:>10.3f}  "
+            f"{r.ns_per_element:>9.1f}  {r.mb_per_s:>9.1f}"
+        )
+    out = args.out or BENCH_FILENAME
+    if out != "-":
+        try:
+            write_results(results, out)
+        except OSError as exc:
+            print(f"error: cannot write {out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote {out}")
+    return 0
+
+
 def _cmd_datagen(args: argparse.Namespace) -> int:
     from .data import generate_profile, write_libsvm
 
@@ -254,6 +292,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "datagen":
         return _cmd_datagen(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -38,7 +38,7 @@ from ..compression.base import (
 )
 from .bitpack import pack_uint_array, unpack_uint_array
 from .config import SketchMLConfig
-from .delta_encoding import decode_keys, encode_keys
+from .delta_encoding import decode_keys, encode_key_groups_flat, encode_keys
 from .minmax_sketch import GroupedMinMaxSketch
 from .quantizer import QuantileBucketQuantizer, SignedBuckets
 
@@ -152,11 +152,27 @@ class SketchMLCompressor(GradientCompressor):
         # the 8q bucket-means payload dominate the message, so the
         # effective bucket count adapts down (decoding needs nothing
         # extra: the bucket means travel with the message).
+        # Integer-index gathers (flatnonzero + take) instead of boolean
+        # masks: fancy boolean indexing walks the full mask per gather,
+        # an order of magnitude slower for large gradients.
+        neg_sel = np.flatnonzero(values < 0)
+        pos_sel = np.flatnonzero(values >= 0)
         refit_due = (
             self._cached_quantizer is None
             or self._compress_calls % cfg.refit_interval == 0
         )
         self._compress_calls += 1
+        if not refit_due:
+            quantizer = self._cached_quantizer
+            if (pos_sel.size and quantizer.positive is None) or (
+                neg_sel.size and quantizer.negative is None
+            ):
+                # The cached splits can lack a sign the current gradient
+                # has (e.g. an all-positive fit followed by mixed
+                # signs); refit on demand.
+                refit_due = True
+        pos_enc: Optional[np.ndarray] = None
+        neg_enc: Optional[np.ndarray] = None
         if refit_due:
             effective_buckets = min(cfg.num_buckets, max(8, keys.size // 8))
             quantizer = QuantileBucketQuantizer(
@@ -164,52 +180,71 @@ class SketchMLCompressor(GradientCompressor):
                 sketch=cfg.quantile_sketch,
                 sketch_size=cfg.quantile_sketch_size,
                 seed=cfg.seed,
-            ).fit(values)
+            )
+            # Fitting sorts each sign's magnitudes anyway; take the
+            # bucket indexes as a byproduct instead of re-searching
+            # every value against the splits afterwards.
+            pos_enc, neg_enc = quantizer.fit_encode(
+                values, pos_sel=pos_sel, neg_sel=neg_sel
+            )
             self._cached_quantizer = quantizer
-        else:
-            quantizer = self._cached_quantizer
-        try:
-            signs, indexes = quantizer.encode(values)
-        except ValueError:
-            # The cached splits can lack a sign the current gradient
-            # has (e.g. an all-positive fit followed by mixed signs);
-            # refit on demand.
-            quantizer = QuantileBucketQuantizer(
-                num_buckets=min(cfg.num_buckets, max(8, keys.size // 8)),
-                sketch=cfg.quantile_sketch,
-                sketch_size=cfg.quantile_sketch_size,
-                seed=cfg.seed,
-            ).fit(values)
-            self._cached_quantizer = quantizer
-            signs, indexes = quantizer.encode(values)
         total = _HEADER_BYTES
-        for sign in (1, -1):
-            mask = signs == sign
-            if not mask.any():
+        group_keys_by_part: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        for sign, sel, enc in ((1, pos_sel, pos_enc), (-1, neg_sel, neg_enc)):
+            if sel.size == 0:
                 continue
-            part, part_bytes = self._compress_sign(
+            buckets = quantizer.buckets_for_sign(sign)
+            if enc is None:
+                magnitudes = values.take(sel) if sign > 0 else -values.take(sel)
+                enc = buckets.encode(magnitudes)
+            part, part_bytes, part_group_keys = self._compress_sign(
                 sign,
-                keys[mask],
-                indexes[mask],
-                quantizer.buckets_for_sign(sign),
+                keys.take(sel),
+                enc,
+                buckets,
                 breakdown,
             )
             payload.parts.append(part)
+            group_keys_by_part.append(part_group_keys)
             total += part_bytes
         if cfg.compensate_decay and cfg.enable_minmax:
-            payload.decay_scale = self._measure_decay_scale(payload, values)
+            payload.decay_scale = self._measure_decay_scale(
+                payload, values, group_keys_by_part
+            )
             breakdown["decay_scale"] = 8
             total += 8
         return CompressedGradient(payload, total, dimension, keys.size, breakdown)
 
     def _measure_decay_scale(
-        self, payload: SketchMLPayload, values: np.ndarray
+        self,
+        payload: SketchMLPayload,
+        values: np.ndarray,
+        group_keys_by_part: List[Optional[Tuple[np.ndarray, np.ndarray]]],
     ) -> float:
-        """Encoder-side round-trip: true mean |v| over decoded mean |v|."""
+        """Encoder-side round-trip: true mean |v| over decoded mean |v|.
+
+        The just-built sketches are queried directly with the partition
+        key arrays still in hand — no decode of the freshly encoded key
+        blobs.  ``decode_keys(encode_keys(k)) == k`` exactly, so the
+        measured scale is bit-identical to a full message round-trip.
+        """
         decoded_values: List[np.ndarray] = []
-        for part in payload.parts:
-            _, part_values = self._decompress_part(part)
-            decoded_values.append(part_values)
+        for part, part_group_keys in zip(payload.parts, group_keys_by_part):
+            if part.sketch is None or part_group_keys is None:
+                _, part_values = self._decompress_part(part)
+                decoded_values.append(part_values)
+                continue
+            sorted_keys, counts = part_group_keys
+            bounds = np.zeros(counts.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            index_chunks = [
+                part.sketch.query_group(group, sorted_keys[bounds[group]:bounds[group + 1]])
+                for group in range(counts.size)
+                if counts[group]
+            ]
+            if not index_chunks:
+                continue
+            decoded_values.append(part.buckets.decode(np.concatenate(index_chunks)))
         decoded = np.concatenate(decoded_values) if decoded_values else values
         decoded_mean = float(np.abs(decoded).mean()) if decoded.size else 0.0
         if decoded_mean <= 0.0:
@@ -244,14 +279,20 @@ class SketchMLCompressor(GradientCompressor):
         indexes: np.ndarray,
         buckets: SignedBuckets,
         breakdown: Dict[str, int],
-    ) -> Tuple[SignPart, int]:
-        """Quantized path for one sign, with or without MinMaxSketch."""
+    ) -> Tuple[SignPart, int, Optional[List[np.ndarray]]]:
+        """Quantized path for one sign, with or without MinMaxSketch.
+
+        Returns the part, its byte cost, and (on the MinMaxSketch path)
+        the per-group key arrays so the decay measurement can query the
+        sketches without re-decoding the key blobs.
+        """
         cfg = self.config
         part = SignPart(sign=sign, nnz=keys.size, buckets=buckets)
         bucket_bytes = buckets.payload_bytes
         breakdown["bucket_means"] = breakdown.get("bucket_means", 0) + bucket_bytes
         breakdown["part_headers"] = breakdown.get("part_headers", 0) + _PART_HEADER_BYTES
         total = bucket_bytes + _PART_HEADER_BYTES
+        group_keys: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
         if cfg.enable_minmax:
             sketch = GroupedMinMaxSketch(
@@ -262,10 +303,14 @@ class SketchMLCompressor(GradientCompressor):
                 seed=cfg.seed + (0 if sign > 0 else 7_919),
                 hash_family=cfg.hash_family,
             )
-            partitions = sketch.partition(keys, indexes)
-            sketch.insert_partitioned(partitions)
+            # Flat partition: the insert scatter and the key encoder both
+            # consume the group-sorted concatenation directly, so no
+            # per-group arrays are materialised on the encode path.
+            sorted_keys, sorted_offsets, counts = sketch.partition_flat(keys, indexes)
+            sketch.insert_flat(sorted_keys, sorted_offsets, counts)
             part.sketch = sketch
-            part.group_key_blobs = [encode_keys(part_keys) for part_keys, _ in partitions]
+            group_keys = (sorted_keys, counts)
+            part.group_key_blobs = encode_key_groups_flat(sorted_keys, counts)
             key_bytes = sum(len(blob) for blob in part.group_key_blobs)
             sketch_bytes = sketch.size_bytes
             breakdown["keys"] = breakdown.get("keys", 0) + key_bytes
@@ -292,7 +337,7 @@ class SketchMLCompressor(GradientCompressor):
             breakdown["keys"] = breakdown.get("keys", 0) + key_bytes
             breakdown["values"] = breakdown.get("values", 0) + value_bytes
             total += key_bytes + value_bytes
-        return part, total
+        return part, total, group_keys
 
     # ------------------------------------------------------------------
     # decompression

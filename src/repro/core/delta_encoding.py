@@ -23,11 +23,16 @@ Wire layout::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
+from .. import kernels
+
 __all__ = [
     "encode_keys",
+    "encode_key_groups",
+    "encode_key_groups_flat",
     "decode_keys",
     "delta_key_stats",
     "DeltaKeyStats",
@@ -63,11 +68,16 @@ class DeltaKeyStats:
 
 
 def _byte_widths(deltas: np.ndarray) -> np.ndarray:
-    """Least number of bytes (1..4) needed to hold each delta."""
+    """Least number of bytes (1..4) needed to hold each delta.
+
+    Summing the three threshold comparisons gives the same widths as
+    masked assignment but with plain sequential passes instead of
+    boolean scatter stores.
+    """
     widths = np.ones(deltas.size, dtype=np.int64)
-    widths[deltas > 0xFF] = 2
-    widths[deltas > 0xFFFF] = 3
-    widths[deltas > 0xFFFFFF] = 4
+    np.add(widths, deltas > np.uint64(0xFF), out=widths, casting="unsafe")
+    np.add(widths, deltas > np.uint64(0xFFFF), out=widths, casting="unsafe")
+    np.add(widths, deltas > np.uint64(0xFFFFFF), out=widths, casting="unsafe")
     return widths
 
 
@@ -122,6 +132,116 @@ def encode_keys(keys: np.ndarray) -> bytes:
             deltas[mask] >> np.uint64(8 * byte_pos)
         ) & np.uint64(0xFF)
     return header + flag_bytes.tobytes() + payload.tobytes()
+
+
+def encode_key_groups(key_groups: Sequence[np.ndarray]) -> List[bytes]:
+    """Encode several ascending key arrays into one blob per group.
+
+    Produces exactly ``[encode_keys(g) for g in key_groups]`` — same
+    wire bytes — but computes deltas, byte widths and the payload
+    scatter over one concatenated array instead of re-entering the
+    codec per group, which matters because the MinMaxSketch path
+    encodes ``2 * num_groups`` small key lists per gradient.
+    """
+    if not kernels.vectorised_enabled():
+        return [encode_keys(g) for g in key_groups]
+    arrays = [np.asarray(g, dtype=np.int64) for g in key_groups]
+    for arr in arrays:
+        if arr.ndim != 1:
+            raise ValueError("keys must be a 1-D array")
+    sizes = np.asarray([arr.size for arr in arrays], dtype=np.int64)
+    if int(sizes.sum()) == 0:
+        return [np.uint32(0).tobytes() for _ in arrays]
+    return encode_key_groups_flat(
+        np.concatenate([arr for arr in arrays if arr.size]), sizes
+    )
+
+
+def encode_key_groups_flat(concat: np.ndarray, sizes: np.ndarray) -> List[bytes]:
+    """Encode group-concatenated ascending keys into one blob per group.
+
+    ``concat`` holds every group's keys back to back (``sizes[g]`` of
+    them for group ``g``) — the layout :meth:`GroupedMinMaxSketch.partition_flat`
+    produces — and the result is byte-identical to slicing out each
+    group and calling :func:`encode_keys` on it.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    concat = np.asarray(concat, dtype=np.int64)
+    if concat.ndim != 1:
+        raise ValueError("keys must be a 1-D array")
+    total = int(sizes.sum())
+    if concat.size != total:
+        raise ValueError("sizes must sum to concat.size")
+    if total == 0:
+        return [np.uint32(0).tobytes() for _ in range(sizes.size)]
+    if not kernels.vectorised_enabled():
+        bounds = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=bounds[1:])
+        return [
+            encode_keys(concat[bounds[g]:bounds[g + 1]]) for g in range(sizes.size)
+        ]
+    if concat.min() < 0 or concat.max() > _MAX_KEY:
+        raise ValueError("keys must lie in [0, 2**32 - 1]")
+    starts = np.zeros(sizes.size, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    # Group g (when nonempty) occupies concat[starts[g]:starts[g]+sizes[g]].
+    nonempty_starts = starts[sizes > 0]
+    deltas = np.empty(total, dtype=np.int64)
+    deltas[0] = concat[0]
+    deltas[1:] = np.diff(concat)
+    deltas[nonempty_starts] = concat[nonempty_starts]  # group-local restart
+    # Ascending check without a boolean gather: non-positive deltas are
+    # only legal at group restarts (a group may start at key 0).
+    non_positive = int(np.count_nonzero(deltas <= 0))
+    if non_positive and non_positive != int(
+        np.count_nonzero(deltas[nonempty_starts] <= 0)
+    ):
+        raise ValueError("keys must be strictly ascending (sorted, no repeats)")
+    udeltas = deltas.astype(np.uint64)
+    widths = _byte_widths(udeltas)
+
+    # Global payload positions; group payloads are contiguous slices.
+    offsets = np.zeros(total + 1, dtype=np.int64)
+    np.cumsum(widths, out=offsets[1:])
+    payload = np.zeros(int(offsets[-1]), dtype=np.uint8)
+    # Every delta needs at least one byte, so byte 0 skips the mask.
+    payload[offsets[:-1]] = udeltas & np.uint64(0xFF)
+    for byte_pos in range(1, 4):
+        idx = np.flatnonzero(widths > byte_pos)
+        if idx.size == 0:
+            break
+        payload[offsets.take(idx) + byte_pos] = (
+            udeltas.take(idx) >> np.uint64(8 * byte_pos)
+        ) & np.uint64(0xFF)
+
+    # Pack every group's 2-bit flags in one pass: shift each flag into
+    # its in-byte slot, then OR the four-key runs together with a single
+    # reduceat over the per-byte boundaries (a run restarts wherever the
+    # position within its group is a multiple of 4).
+    flags = (widths - 1).astype(np.uint8)
+    local = np.arange(total, dtype=np.int64)
+    local -= np.repeat(starts, sizes)
+    slot = (local & 3).astype(np.uint8)
+    shifted = flags << (slot + slot)
+    byte_starts = np.flatnonzero(slot == 0)
+    packed = np.bitwise_or.reduceat(shifted, byte_starts)
+    fb_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+    np.cumsum((sizes + 3) // 4, out=fb_offsets[1:])
+
+    blobs: List[bytes] = []
+    for g in range(sizes.size):
+        n = int(sizes[g])
+        header = np.uint32(n).tobytes()
+        if n == 0:
+            blobs.append(header)
+            continue
+        lo = int(starts[g])
+        fb_lo, fb_hi = int(fb_offsets[g]), int(fb_offsets[g + 1])
+        p_lo, p_hi = int(offsets[lo]), int(offsets[lo + n])
+        blobs.append(
+            header + packed[fb_lo:fb_hi].tobytes() + payload[p_lo:p_hi].tobytes()
+        )
+    return blobs
 
 
 def decode_keys(blob: bytes) -> np.ndarray:

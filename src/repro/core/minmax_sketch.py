@@ -29,7 +29,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from ..sketch.hashing import build_hash_family
+from .. import kernels
+from ..sketch.hashing import build_hash_family, hash_all_grouped
 
 __all__ = ["MinMaxSketch", "GroupedMinMaxSketch"]
 
@@ -107,9 +108,36 @@ class MinMaxSketch:
                 f"got [{indexes.min()}, {indexes.max()}]"
             )
         values = indexes.astype(self._dtype)
-        for row, h in enumerate(self._hashes):
-            bins = h(keys)
-            np.minimum.at(self._table[row], bins, values)
+        if kernels.vectorised_enabled():
+            # Fused kernel: hash every row at once, then a single
+            # segmented min over the flattened (row, bin) space.  A
+            # stable argsort groups duplicate bins together and
+            # ``np.minimum.reduceat`` takes each group's min in one
+            # pass — min is order-free, so this is bit-identical to
+            # the scalar scatter loop below, but avoids ``ufunc.at``
+            # (which dispatches per element) and the per-row Python
+            # loop.
+            bins = self._hashes.hash_all(keys)  # (rows, n)
+            flat = (
+                bins
+                + (np.arange(self.num_rows, dtype=np.int64) * self.num_bins)[:, None]
+            ).ravel()
+            flat_values = np.broadcast_to(values, bins.shape).ravel()
+            order = np.argsort(flat, kind="stable")
+            sorted_bins = flat[order]
+            sorted_values = flat_values[order]
+            starts = np.empty(0, dtype=np.int64)
+            if sorted_bins.size:
+                boundaries = np.flatnonzero(sorted_bins[1:] != sorted_bins[:-1]) + 1
+                starts = np.concatenate(([0], boundaries))
+            segment_min = np.minimum.reduceat(sorted_values, starts)
+            table_flat = self._table.reshape(-1)
+            touched = sorted_bins[starts]
+            table_flat[touched] = np.minimum(table_flat[touched], segment_min)
+        else:
+            for row, h in enumerate(self._hashes):
+                bins = h(keys)
+                np.minimum.at(self._table[row], bins, values)
         self._inserted += keys.size
 
     def query(self, key: int) -> int:
@@ -129,9 +157,16 @@ class MinMaxSketch:
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
-        candidates = np.empty((self.num_rows, keys.size), dtype=self._dtype)
-        for row, h in enumerate(self._hashes):
-            candidates[row] = self._table[row, h(keys)]
+        if kernels.vectorised_enabled():
+            bins = self._hashes.hash_all(keys)  # (rows, n)
+            candidates = self._table.reshape(-1)[
+                bins
+                + (np.arange(self.num_rows, dtype=np.int64) * self.num_bins)[:, None]
+            ]
+        else:
+            candidates = np.empty((self.num_rows, keys.size), dtype=self._dtype)
+            for row, h in enumerate(self._hashes):
+                candidates[row] = self._table[row, h(keys)]
         result = candidates.max(axis=0).astype(np.int64)
         return np.minimum(result, self.index_range - 1)
 
@@ -230,7 +265,59 @@ class GroupedMinMaxSketch:
         indexes = np.asarray(indexes, dtype=np.int64)
         if indexes.size and (indexes.min() < 0 or indexes.max() >= self.index_range):
             raise ValueError(f"indexes must lie in [0, {self.index_range})")
-        return indexes // self.group_width
+        width = self.group_width
+        if width & (width - 1) == 0:
+            return indexes >> (width.bit_length() - 1)
+        return indexes // width
+
+    def partition_flat(
+        self, keys: np.ndarray, indexes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group-sort ``(keys, indexes)`` into flat per-group runs.
+
+        Returns ``(sorted_keys, sorted_offsets, counts)`` where group
+        ``g`` occupies ``counts[g]`` contiguous entries (ascending key
+        order within each group, as the delta-binary key encoder
+        requires).  This is the zero-copy form of :meth:`partition` —
+        the insert and key-encode kernels consume it directly without
+        slicing into per-group arrays and concatenating them back.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        indexes = np.asarray(indexes, dtype=np.int64)
+        if keys.shape != indexes.shape:
+            raise ValueError("keys and indexes must have the same shape")
+        groups = self.group_of(indexes)
+        width = self.group_width
+        if width & (width - 1) == 0:
+            offsets = indexes & (width - 1)
+        else:
+            offsets = indexes - groups * width
+        if kernels.vectorised_enabled():
+            # One stable sort by group id replaces num_groups boolean
+            # mask passes; stability preserves the ascending key order
+            # within each group, so the runs match the mask variant
+            # element for element.  Group ids that fit a byte take the
+            # uint8 radix path, which is several times faster than the
+            # int64 sort.
+            if self.num_groups <= 256:
+                order = np.argsort(groups.astype(np.uint8), kind="stable")
+            else:
+                order = np.argsort(groups, kind="stable")
+            bounds = np.searchsorted(
+                groups.take(order), np.arange(self.num_groups + 1, dtype=np.int64)
+            )
+            return keys.take(order), offsets.take(order), np.diff(bounds)
+        chunks_k: List[np.ndarray] = []
+        chunks_o: List[np.ndarray] = []
+        counts = np.zeros(self.num_groups, dtype=np.int64)
+        for g in range(self.num_groups):
+            mask = groups == g
+            chunks_k.append(keys[mask])
+            chunks_o.append(offsets[mask])
+            counts[g] = chunks_k[-1].size
+        if not chunks_k:
+            return keys, offsets, counts
+        return np.concatenate(chunks_k), np.concatenate(chunks_o), counts
 
     def partition(
         self, keys: np.ndarray, indexes: np.ndarray
@@ -241,17 +328,13 @@ class GroupedMinMaxSketch:
         (required by the delta-binary key encoder).  Groups with no
         members yield empty arrays.
         """
-        keys = np.asarray(keys, dtype=np.int64)
-        indexes = np.asarray(indexes, dtype=np.int64)
-        if keys.shape != indexes.shape:
-            raise ValueError("keys and indexes must have the same shape")
-        groups = self.group_of(indexes)
-        offsets = indexes - groups * self.group_width
-        out: List[Tuple[np.ndarray, np.ndarray]] = []
-        for g in range(self.num_groups):
-            mask = groups == g
-            out.append((keys[mask], offsets[mask]))
-        return out
+        sorted_keys, sorted_offsets, counts = self.partition_flat(keys, indexes)
+        bounds = np.zeros(self.num_groups + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        return [
+            (sorted_keys[bounds[g]:bounds[g + 1]], sorted_offsets[bounds[g]:bounds[g + 1]])
+            for g in range(self.num_groups)
+        ]
 
     def insert_group(self, group: int, keys: np.ndarray, offsets: np.ndarray) -> None:
         """Insert one group's keys with within-group offsets."""
@@ -265,9 +348,122 @@ class GroupedMinMaxSketch:
             raise ValueError(
                 f"expected {self.num_groups} partitions, got {len(partitions)}"
             )
+        if kernels.vectorised_enabled() and 1 < self.group_width <= 255:
+            key_chunks: List[np.ndarray] = []
+            offset_chunks: List[np.ndarray] = []
+            counts = np.zeros(self.num_groups, dtype=np.int64)
+            for g, (keys, offsets) in enumerate(partitions):
+                keys = np.asarray(keys, dtype=np.int64)
+                offsets = np.asarray(offsets, dtype=np.int64)
+                if keys.shape != offsets.shape:
+                    raise ValueError("keys and indexes must have the same shape")
+                if keys.size == 0:
+                    continue
+                counts[g] = keys.size
+                key_chunks.append(keys)
+                offset_chunks.append(offsets)
+            if not key_chunks:
+                return
+            self._insert_flat_batched(
+                np.concatenate(key_chunks), np.concatenate(offset_chunks), counts
+            )
+            return
         for g, (keys, offsets) in enumerate(partitions):
             if keys.size:
                 self.insert_group(g, keys, offsets)
+
+    def insert_flat(
+        self, sorted_keys: np.ndarray, sorted_offsets: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Insert the flat output of :meth:`partition_flat` directly.
+
+        Skips the per-group slice/re-concatenate round trip of
+        :meth:`partition` + :meth:`insert_partitioned`; this is the hot
+        encode path.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size != self.num_groups:
+            raise ValueError(
+                f"expected {self.num_groups} group counts, got {counts.size}"
+            )
+        if sorted_keys.shape != sorted_offsets.shape:
+            raise ValueError("keys and indexes must have the same shape")
+        if sorted_keys.size != int(counts.sum()):
+            raise ValueError("counts must sum to sorted_keys.size")
+        if sorted_keys.size == 0:
+            return
+        if kernels.vectorised_enabled() and 1 < self.group_width <= 255:
+            self._insert_flat_batched(sorted_keys, sorted_offsets, counts)
+            return
+        bounds = np.zeros(self.num_groups + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        for g in range(self.num_groups):
+            if counts[g]:
+                self.insert_group(
+                    g,
+                    sorted_keys[bounds[g]:bounds[g + 1]],
+                    sorted_offsets[bounds[g]:bounds[g + 1]],
+                )
+
+    def _insert_flat_batched(
+        self, keys_cat: np.ndarray, offs_cat: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Scatter-min one flat batch into every group's table at once.
+
+        Offsets span only ``group_width`` distinct values, so the
+        scatter-min can run as one fused kernel: hash all group runs at
+        once, order the entries by descending offset, and let plain
+        fancy assignment finish — the last (smallest) write to each bin
+        wins, exactly the Min protocol.
+        """
+        sketches = self._sketches
+        ref = sketches[0]
+        rows = ref.num_rows
+        bins = ref.num_bins
+        num = self.num_groups
+        # One range check over the concatenation instead of two small
+        # reductions per group.
+        if offs_cat.min() < 0 or offs_cat.max() >= ref.index_range:
+            raise ValueError(
+                f"indexes must lie in [0, {ref.index_range}); "
+                f"got [{offs_cat.min()}, {offs_cat.max()}]"
+            )
+        fresh = [False] * num
+        for g in range(num):
+            if counts[g]:
+                sk = sketches[g]
+                fresh[g] = sk._inserted == 0
+                sk._inserted += int(counts[g])
+        group_ids = np.repeat(np.arange(num, dtype=np.int64), counts)
+        hashed = hash_all_grouped(
+            [sk._hashes for sk in sketches], keys_cat, counts, group_ids
+        )  # (rows, n)
+        # Offset every entry into its group's slice of one flat scratch
+        # table laid out as num_groups x num_rows x num_bins.
+        hashed += (group_ids * (rows * bins))[None, :]
+        for row in range(1, rows):
+            hashed[row] += row * bins if row > 1 else bins
+        # Stable uint8 argsort is a radix sort; reversing it orders the
+        # entries by descending offset so the smallest offset is written
+        # last into every bin.  Rows scatter into disjoint slices of the
+        # scratch table, so each row can be written separately with a
+        # contiguous take instead of one transposed fancy gather.
+        order = np.argsort(offs_cat.astype(np.uint8), kind="stable")[::-1]
+        vals_sorted = offs_cat.take(order).astype(ref._dtype)
+        scratch = np.full(num * rows * bins, ref._sentinel, dtype=ref._dtype)
+        for row in range(rows):
+            scratch[hashed[row].take(order)] = vals_sorted
+        span = rows * bins
+        for g in range(num):
+            if counts[g]:
+                sk = sketches[g]
+                part = scratch[g * span:(g + 1) * span].reshape(rows, bins)
+                if fresh[g]:
+                    # An untouched table is all-sentinel, so the min
+                    # merge is a plain copy.
+                    np.copyto(sk._table, part)
+                else:
+                    np.minimum(sk._table, part, out=sk._table)
 
     def query_group(self, group: int, keys: np.ndarray) -> np.ndarray:
         """Recover global bucket indexes for one group's keys."""

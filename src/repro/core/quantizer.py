@@ -21,9 +21,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..sketch.quantile import GKSummary, KLLSketch, TDigest, exact_quantiles
 
 __all__ = ["SignedBuckets", "QuantileBucketQuantizer"]
+
 
 _SKETCH_BUILDERS = {
     "kll": lambda size, seed: KLLSketch(k=max(int(size), 8), seed=seed),
@@ -57,7 +59,9 @@ class SignedBuckets:
             raise ValueError("cannot encode with zero buckets")
         # searchsorted against interior splits; values at or below the
         # lowest split land in bucket 0, above the top split in the last.
-        idx = np.searchsorted(self.splits[1:-1], magnitudes, side="right")
+        interior = self.splits[1:-1]
+        magnitudes = np.asarray(magnitudes)
+        idx = np.searchsorted(interior, magnitudes, side="right")
         return idx.astype(np.int64)
 
     def decode(self, indexes: np.ndarray) -> np.ndarray:
@@ -72,30 +76,50 @@ class SignedBuckets:
 
 
 def _build_buckets(
-    magnitudes: np.ndarray,
+    ordered: np.ndarray,
     num_buckets: int,
     sign: float,
     sketch: str,
     sketch_size: int,
     seed: int,
 ) -> SignedBuckets:
-    """Fit equi-depth splits for one sign's magnitudes."""
+    """Fit equi-depth splits for one sign's *ascending* magnitudes."""
     phis = np.linspace(0.0, 1.0, num_buckets + 1)
-    if sketch == "exact" or magnitudes.size <= 4 * num_buckets:
+    if sketch == "exact" or ordered.size <= 4 * num_buckets:
         # For small inputs the sketch machinery is pure overhead and its
         # rank error could exceed a bucket; fall back to exact quantiles.
-        splits = exact_quantiles(magnitudes, phis)
-        splits[-1] = float(magnitudes.max())
+        splits = exact_quantiles(ordered, phis, assume_sorted=True)
+        splits[-1] = float(ordered[-1])
     else:
         sk = _SKETCH_BUILDERS[sketch](sketch_size, seed)
-        sk.insert_many(magnitudes)
+        sk.insert_sorted(ordered)
         splits = np.asarray(sk.query_many(phis), dtype=np.float64)
-        splits[0] = float(magnitudes.min())
-        splits[-1] = float(magnitudes.max())
+        splits[0] = float(ordered[0])
+        splits[-1] = float(ordered[-1])
     # Monotonicity can be violated by sketch noise on heavy ties; repair.
     splits = np.maximum.accumulate(splits)
     means = 0.5 * (splits[:-1] + splits[1:])
     return SignedBuckets(splits=splits, means=means, sign=sign)
+
+
+def _expand_sorted_indexes(
+    ordered: np.ndarray, perm: np.ndarray, buckets: SignedBuckets
+) -> np.ndarray:
+    """Bucket indexes for magnitudes given their sort permutation.
+
+    For ascending magnitudes the bucket index ``#{k: interior[k] <= x}``
+    is a non-decreasing step function, so it can be materialised with
+    one tiny searchsorted (one probe per split, not per value) and a
+    run-length expansion, then scattered back through ``perm``.  Exactly
+    equal to ``buckets.encode`` on the unsorted magnitudes — ties are
+    immaterial because tied values get the same bucket either way.
+    """
+    interior = buckets.splits[1:-1]
+    pos_k = np.searchsorted(ordered, interior, side="left")
+    reps = np.diff(np.concatenate(([0], pos_k, [ordered.size])))
+    out = np.empty(ordered.size, dtype=np.int64)
+    out[perm] = np.repeat(np.arange(interior.size + 1, dtype=np.int64), reps)
+    return out
 
 
 class QuantileBucketQuantizer:
@@ -155,22 +179,94 @@ class QuantileBucketQuantizer:
             raise ValueError("cannot fit a quantizer on an empty gradient")
         if not np.all(np.isfinite(values)):
             raise ValueError("gradient values must be finite")
-        pos = values[values >= 0]
-        neg = -values[values < 0]
+        # Integer-index gathers: flatnonzero + take is several times
+        # faster than boolean-mask fancy indexing for large gradients.
+        neg_sel = np.flatnonzero(values < 0)
+        pos_sel = np.flatnonzero(values >= 0)
+        pos = values.take(pos_sel)
+        neg = -values.take(neg_sel)
         q_pos, q_neg = self._split_budget(pos.size, neg.size)
         self.positive = (
-            _build_buckets(pos, q_pos, +1.0, self.sketch, self.sketch_size, self.seed)
+            _build_buckets(
+                np.sort(pos), q_pos, +1.0, self.sketch, self.sketch_size, self.seed
+            )
             if pos.size
             else None
         )
         self.negative = (
             _build_buckets(
-                neg, q_neg, -1.0, self.sketch, self.sketch_size, self.seed + 1
+                np.sort(neg), q_neg, -1.0, self.sketch, self.sketch_size, self.seed + 1
             )
             if neg.size
             else None
         )
         return self
+
+    def fit_encode(
+        self,
+        values: np.ndarray,
+        pos_sel: Optional[np.ndarray] = None,
+        neg_sel: Optional[np.ndarray] = None,
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Fit and return each sign's bucket indexes as a fit byproduct.
+
+        Fitting already sorts each sign's magnitudes; keeping the sort
+        *permutation* lets the bucket index of every fitted value be
+        recovered with a run-length expansion instead of a per-value
+        binary search, which is the dominant encode cost for large
+        gradients.  Returns ``(pos_indexes, neg_indexes)`` aligned with
+        ``values[pos_sel]`` / ``-values[neg_sel]`` (``None`` for an
+        absent sign), byte-identical to fitting then calling
+        :meth:`SignedBuckets.encode`.
+
+        Args:
+            values: the gradient values to fit (as :meth:`fit`).
+            pos_sel: optional precomputed ``np.flatnonzero(values >= 0)``.
+            neg_sel: optional precomputed ``np.flatnonzero(values < 0)``.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit a quantizer on an empty gradient")
+        if not np.all(np.isfinite(values)):
+            raise ValueError("gradient values must be finite")
+        if neg_sel is None:
+            neg_sel = np.flatnonzero(values < 0)
+        if pos_sel is None:
+            pos_sel = np.flatnonzero(values >= 0)
+        if not kernels.vectorised_enabled():
+            # Reference path: plain fit, then the per-needle searchsorted
+            # encode.  The vectorised branch below must match it byte
+            # for byte.
+            self.fit(values)
+            pos_enc = (
+                self.positive.encode(values.take(pos_sel)) if pos_sel.size else None
+            )
+            neg_enc = (
+                self.negative.encode(-values.take(neg_sel)) if neg_sel.size else None
+            )
+            return pos_enc, neg_enc
+        pos = values.take(pos_sel)
+        neg = -values.take(neg_sel)
+        q_pos, q_neg = self._split_budget(pos.size, neg.size)
+        pos_enc: Optional[np.ndarray] = None
+        neg_enc: Optional[np.ndarray] = None
+        self.positive = None
+        self.negative = None
+        if pos.size:
+            perm = np.argsort(pos)
+            ordered = pos.take(perm)
+            self.positive = _build_buckets(
+                ordered, q_pos, +1.0, self.sketch, self.sketch_size, self.seed
+            )
+            pos_enc = _expand_sorted_indexes(ordered, perm, self.positive)
+        if neg.size:
+            perm = np.argsort(neg)
+            ordered = neg.take(perm)
+            self.negative = _build_buckets(
+                ordered, q_neg, -1.0, self.sketch, self.sketch_size, self.seed + 1
+            )
+            neg_enc = _expand_sorted_indexes(ordered, perm, self.negative)
+        return pos_enc, neg_enc
 
     def _split_budget(self, n_pos: int, n_neg: int) -> Tuple[int, int]:
         total = n_pos + n_neg

@@ -1,0 +1,72 @@
+"""Global switch between vectorised and scalar codec kernels.
+
+Every hot-path kernel in the codec (quantile-sketch batch builds,
+MinMaxSketch scatter-min, fused hash rows, batched delta-key encoding,
+group partitioning) exists in two implementations:
+
+* **vectorised** — numpy array kernels; the default and the path every
+  production caller takes.
+* **scalar** — a straight-line loop transcription of the same
+  semantics, kept as the executable specification.
+
+The two must produce *byte-identical* results — wire blobs, sketch
+tables, decoded values — which ``tests/test_golden_equivalence.py``
+asserts property-style across seeds, signs and sizes.  The switch is
+process-global (not thread-local): it exists for tests and for
+``python -m repro perf --compare``, not for concurrent use.
+
+Example:
+    >>> from repro import kernels
+    >>> kernels.vectorised_enabled()
+    True
+    >>> with kernels.scalar_kernels():
+    ...     kernels.vectorised_enabled()
+    False
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "vectorised_enabled",
+    "set_vectorised",
+    "scalar_kernels",
+    "vectorised_kernels",
+]
+
+_VECTORISED = True
+
+
+def vectorised_enabled() -> bool:
+    """True when the numpy kernel implementations are active."""
+    return _VECTORISED
+
+
+def set_vectorised(enabled: bool) -> bool:
+    """Set the kernel mode; returns the previous mode."""
+    global _VECTORISED
+    previous = _VECTORISED
+    _VECTORISED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def scalar_kernels() -> Iterator[None]:
+    """Run the enclosed block on the scalar reference kernels."""
+    previous = set_vectorised(False)
+    try:
+        yield
+    finally:
+        set_vectorised(previous)
+
+
+@contextmanager
+def vectorised_kernels() -> Iterator[None]:
+    """Run the enclosed block on the vectorised kernels."""
+    previous = set_vectorised(True)
+    try:
+        yield
+    finally:
+        set_vectorised(previous)

@@ -1,0 +1,36 @@
+"""Timed micro-benchmarks for the SketchML codec hot path.
+
+The suite exercises the four kernels the compressor spends its time in
+(quantile fit+encode, MinMaxSketch insert/query, delta-key
+encode/decode) plus the end-to-end compress/decompress round trip, each
+over a range of gradient sizes, and writes the medians to
+``BENCH_codec.json`` so perf regressions show up as a diff.
+
+Run it with::
+
+    python -m repro perf             # full suite (5k / 50k / 200k nnz)
+    python -m repro perf --quick     # CI smoke (small sizes, few repeats)
+
+Timings use warmup iterations followed by repeat-median (the median is
+robust to scheduler noise in a way a mean is not); throughput is quoted
+as MB/s over the raw operand bytes each kernel consumes.
+"""
+
+from .harness import BenchResult, time_kernel
+from .suite import (
+    BENCH_FILENAME,
+    FULL_SIZES,
+    QUICK_SIZES,
+    run_suite,
+    write_results,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BenchResult",
+    "FULL_SIZES",
+    "QUICK_SIZES",
+    "run_suite",
+    "time_kernel",
+    "write_results",
+]

@@ -1,0 +1,87 @@
+"""Warmup + repeat-median timing harness.
+
+Deliberately tiny: one function that times a no-argument callable and
+one dataclass describing the result.  Wall-clock medians over a handful
+of repeats are the right tool for kernels in the 0.1–100 ms range — a
+mean is skewed by the occasional descheduled repeat, and a min hides
+steady-state cache effects.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+__all__ = ["BenchResult", "time_kernel"]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed kernel at one operand size."""
+
+    name: str
+    #: number of gradient elements the kernel consumed per call
+    elements: int
+    #: raw operand bytes the kernel consumed per call
+    bytes_processed: int
+    #: median wall-clock seconds per call
+    seconds: float
+    #: all repeat timings, seconds (median of these == ``seconds``)
+    samples: List[float]
+
+    @property
+    def ns_per_element(self) -> float:
+        if self.elements == 0:
+            return 0.0
+        return self.seconds * 1e9 / self.elements
+
+    @property
+    def mb_per_s(self) -> float:
+        if self.seconds == 0.0:
+            return 0.0
+        return self.bytes_processed / self.seconds / 1e6
+
+    def to_json(self) -> dict:
+        return {
+            "elements": self.elements,
+            "bytes": self.bytes_processed,
+            "median_ms": round(self.seconds * 1e3, 4),
+            "ns_per_element": round(self.ns_per_element, 2),
+            "mb_per_s": round(self.mb_per_s, 2),
+            "repeats": len(self.samples),
+        }
+
+
+def time_kernel(
+    name: str,
+    fn: Callable[[], object],
+    *,
+    elements: int,
+    bytes_processed: int,
+    warmup: int = 3,
+    repeats: int = 7,
+) -> BenchResult:
+    """Time ``fn`` with ``warmup`` discarded calls then ``repeats`` medians.
+
+    ``fn`` must be self-contained (operands bound via closure) and is
+    expected to do the same work on every call — kernels that mutate
+    persistent state should rebuild it inside ``fn``.
+    """
+    if warmup < 0 or repeats <= 0:
+        raise ValueError("warmup must be >= 0 and repeats must be positive")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return BenchResult(
+        name=name,
+        elements=elements,
+        bytes_processed=bytes_processed,
+        seconds=statistics.median(samples),
+        samples=samples,
+    )

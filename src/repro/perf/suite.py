@@ -1,0 +1,280 @@
+"""The codec benchmark suite: kernels x gradient sizes -> BENCH_codec.json.
+
+Each kernel closes over pre-built operands so the timed region covers
+only the work the compressor's hot path actually does per message.
+Operand bytes (for the MB/s column) count the raw int64 keys and/or
+float64 values the kernel consumes, i.e. the uncompressed traffic the
+codec stage is processing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.compressor import SketchMLCompressor
+from ..core.config import SketchMLConfig
+from ..core.delta_encoding import decode_keys, encode_keys
+from ..core.minmax_sketch import GroupedMinMaxSketch
+from ..core.quantizer import QuantileBucketQuantizer
+from .harness import BenchResult, time_kernel
+
+__all__ = [
+    "BENCH_FILENAME",
+    "FULL_SIZES",
+    "QUICK_SIZES",
+    "run_suite",
+    "write_results",
+]
+
+BENCH_FILENAME = "BENCH_codec.json"
+
+#: gradient sizes (nnz) for the full suite
+FULL_SIZES = (5_000, 50_000, 200_000)
+#: CI smoke sizes: fast but still past the scalar/vector crossover
+QUICK_SIZES = (5_000, 50_000)
+
+_KEY_BYTES = 8  # int64 wire keys
+_VALUE_BYTES = 8  # float64 gradient values
+
+
+def _synthetic_gradient(nnz: int, seed: int = 0):
+    """The suite's canonical gradient: Laplace values on sorted keys."""
+    rng = np.random.default_rng(seed)
+    dimension = max(10 * nnz, 64)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-4
+    return keys, values, dimension
+
+
+def _bench_quantizer_fit(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    _, values, _ = _synthetic_gradient(nnz)
+    pos_sel = np.flatnonzero(values >= 0)
+    neg_sel = np.flatnonzero(values < 0)
+
+    def kernel():
+        quantizer = QuantileBucketQuantizer(
+            num_buckets=cfg.num_buckets,
+            sketch=cfg.quantile_sketch,
+            sketch_size=cfg.quantile_sketch_size,
+            seed=cfg.seed,
+        )
+        return quantizer.fit_encode(values, pos_sel=pos_sel, neg_sel=neg_sel)
+
+    return time_kernel(
+        f"quantizer_fit/{nnz}",
+        kernel,
+        elements=nnz,
+        bytes_processed=nnz * _VALUE_BYTES,
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+def _minmax_operands(nnz: int, cfg: SketchMLConfig):
+    keys, values, _ = _synthetic_gradient(nnz)
+    # Bucket indexes from a real fit so insert sees realistic skew.
+    quantizer = QuantileBucketQuantizer(
+        num_buckets=cfg.num_buckets,
+        sketch=cfg.quantile_sketch,
+        sketch_size=cfg.quantile_sketch_size,
+        seed=cfg.seed,
+    )
+    pos_sel = np.flatnonzero(values >= 0)
+    neg_sel = np.flatnonzero(values < 0)
+    pos_enc, neg_enc = quantizer.fit_encode(
+        values, pos_sel=pos_sel, neg_sel=neg_sel
+    )
+    # Benchmark whichever sign part is larger (tiny grids can come out
+    # single-signed).
+    if pos_sel.size >= neg_sel.size:
+        sign_keys, sign_enc, buckets = keys.take(pos_sel), pos_enc, quantizer.positive
+    else:
+        sign_keys, sign_enc, buckets = keys.take(neg_sel), neg_enc, quantizer.negative
+
+    def make_sketch() -> GroupedMinMaxSketch:
+        return GroupedMinMaxSketch(
+            num_groups=cfg.num_groups,
+            index_range=buckets.num_buckets,
+            num_rows=cfg.minmax_rows,
+            total_bins=cfg.minmax_total_bins(sign_keys.size),
+            seed=cfg.seed,
+            hash_family=cfg.hash_family,
+        )
+    return sign_keys, sign_enc, make_sketch
+
+
+def _bench_minmax_insert(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    sign_keys, sign_enc, make_sketch = _minmax_operands(nnz, cfg)
+
+    def kernel():
+        sketch = make_sketch()
+        flat = sketch.partition_flat(sign_keys, sign_enc)
+        sketch.insert_flat(*flat)
+        return sketch
+
+    return time_kernel(
+        f"minmax_insert/{nnz}",
+        kernel,
+        elements=sign_keys.size,
+        bytes_processed=sign_keys.size * (_KEY_BYTES + _VALUE_BYTES),
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+def _bench_minmax_query(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    sign_keys, sign_enc, make_sketch = _minmax_operands(nnz, cfg)
+    sketch = make_sketch()
+    sorted_keys, sorted_offsets, counts = sketch.partition_flat(
+        sign_keys, sign_enc
+    )
+    sketch.insert_flat(sorted_keys, sorted_offsets, counts)
+    bounds = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    group_keys = [
+        sorted_keys[bounds[g]:bounds[g + 1]] for g in range(counts.size)
+    ]
+
+    def kernel():
+        return [
+            sketch.query_group(g, chunk)
+            for g, chunk in enumerate(group_keys)
+            if chunk.size
+        ]
+
+    return time_kernel(
+        f"minmax_query/{nnz}",
+        kernel,
+        elements=sign_keys.size,
+        bytes_processed=sign_keys.size * _KEY_BYTES,
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+def _bench_delta_encode(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    keys, _, _ = _synthetic_gradient(nnz)
+    return time_kernel(
+        f"delta_encode/{nnz}",
+        lambda: encode_keys(keys),
+        elements=nnz,
+        bytes_processed=nnz * _KEY_BYTES,
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+def _bench_delta_decode(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    keys, _, _ = _synthetic_gradient(nnz)
+    blob = encode_keys(keys)
+    return time_kernel(
+        f"delta_decode/{nnz}",
+        lambda: decode_keys(blob),
+        elements=nnz,
+        bytes_processed=nnz * _KEY_BYTES,
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+def _bench_e2e_compress(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    keys, values, dimension = _synthetic_gradient(nnz)
+    compressor = SketchMLCompressor(cfg)
+    return time_kernel(
+        f"e2e_compress/{nnz}",
+        lambda: compressor.compress(keys, values, dimension),
+        elements=nnz,
+        bytes_processed=nnz * (_KEY_BYTES + _VALUE_BYTES),
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+def _bench_e2e_decompress(
+    nnz: int, cfg: SketchMLConfig, warmup: int, repeats: int
+) -> BenchResult:
+    keys, values, dimension = _synthetic_gradient(nnz)
+    compressor = SketchMLCompressor(cfg)
+    message = compressor.compress(keys, values, dimension)
+    return time_kernel(
+        f"e2e_decompress/{nnz}",
+        lambda: compressor.decompress(message),
+        elements=nnz,
+        bytes_processed=nnz * (_KEY_BYTES + _VALUE_BYTES),
+        warmup=warmup,
+        repeats=repeats,
+    )
+
+
+_KERNELS = (
+    _bench_quantizer_fit,
+    _bench_minmax_insert,
+    _bench_minmax_query,
+    _bench_delta_encode,
+    _bench_delta_decode,
+    _bench_e2e_compress,
+    _bench_e2e_decompress,
+)
+
+
+def run_suite(
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    quick: bool = False,
+    warmup: Optional[int] = None,
+    repeats: Optional[int] = None,
+    config: Optional[SketchMLConfig] = None,
+) -> List[BenchResult]:
+    """Run every kernel at every size; returns the timed results.
+
+    ``quick`` trims both the size grid and the repeat counts so the
+    whole suite finishes in a couple of seconds — that mode exists for
+    CI smoke coverage, not for quotable numbers.
+    """
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else FULL_SIZES
+    if warmup is None:
+        warmup = 1 if quick else 3
+    if repeats is None:
+        repeats = 3 if quick else 7
+    cfg = config if config is not None else SketchMLConfig()
+    results: List[BenchResult] = []
+    for nnz in sizes:
+        for bench in _KERNELS:
+            results.append(bench(int(nnz), cfg, warmup, repeats))
+    return results
+
+
+def results_to_json(results: Sequence[BenchResult]) -> Dict[str, object]:
+    return {
+        "schema": "repro-bench-codec/1",
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "kernels": {r.name: r.to_json() for r in results},
+    }
+
+
+def write_results(results: Sequence[BenchResult], path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(results_to_json(results), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -18,22 +18,52 @@ them into ``[0, num_bins)``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from functools import lru_cache
+from typing import List, Sequence
 
 import numpy as np
+
+from .. import kernels
 
 __all__ = [
     "MERSENNE_PRIME_61",
     "HashFunction",
     "MultiplyShiftHash",
     "TabulationHash",
+    "HashFamily",
     "build_hash_family",
+    "hash_all_grouped",
 ]
 
 #: 2**61 - 1, the Mersenne prime used for modular universal hashing.
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
 _MAX_KEY_BITS = 32
+_P64 = np.uint64(MERSENNE_PRIME_61)
+
+
+def _mod_mersenne(x: np.ndarray) -> np.ndarray:
+    """``x % (2**61 - 1)`` via the Mersenne fold — no integer division.
+
+    Exact for any uint64 input: ``(x & p) + (x >> 61)`` is at most
+    ``p + 7``, so a single conditional subtract finishes the reduction.
+    Bit-identical to ``x % p`` but several times faster, which matters
+    because the multiply-shift hash reduces three times per key.
+    """
+    x = (x & _P64) + (x >> np.uint64(61))
+    np.subtract(x, _P64, out=x, where=x >= _P64)
+    return x
+
+
+def _fold_mersenne(x: np.ndarray) -> np.ndarray:
+    """Partial Mersenne reduction: congruent to ``x`` mod p, ``<= p + 7``.
+
+    Skips :func:`_mod_mersenne`'s conditional subtract; summands reduced
+    this way stay below ``2**63`` for three terms, so the *sum* cannot
+    wrap and one final exact :func:`_mod_mersenne` recovers the same
+    residue the fully-reduced arithmetic would.
+    """
+    return (x & _P64) + (x >> np.uint64(61))
 
 
 class HashFunction:
@@ -126,6 +156,179 @@ class TabulationHash(HashFunction):
         return (out % np.uint64(self.num_bins)).astype(np.int64)
 
 
+class HashFamily(Sequence):
+    """All ``s`` hash rows of one sketch, with a fused all-rows kernel.
+
+    Behaves like the plain list of :class:`HashFunction` it used to be
+    (indexing, iteration, ``len``), and adds :meth:`hash_all`, which
+    computes every row's bins in one batched numpy evaluation instead
+    of ``s`` Python-level calls.  ``hash_all`` is bit-identical to the
+    per-row loop: it runs the same uint64 arithmetic, just broadcast
+    over a ``(rows, keys)`` grid.
+    """
+
+    def __init__(self, functions: Sequence[HashFunction], num_bins: int) -> None:
+        self._functions: List[HashFunction] = list(functions)
+        self.num_bins = int(num_bins)
+        # Pre-gather per-row parameters when every row is the same
+        # concrete type, so hash_all can broadcast instead of looping.
+        if all(isinstance(f, MultiplyShiftHash) for f in self._functions):
+            self._kind = "multiply_shift"
+            a = np.asarray([f._a for f in self._functions], dtype=np.uint64)
+            # (a_hi * keys) << 30 == (a_hi << 30) * keys in uint64 wrap
+            # arithmetic, so the shift is folded into the multiplier.
+            self._a_hi_shifted = (a >> np.uint64(30) << np.uint64(30)).reshape(-1, 1)
+            self._a_lo = (a & np.uint64((1 << 30) - 1)).reshape(-1, 1)
+            self._b = np.asarray(
+                [f._b for f in self._functions], dtype=np.uint64
+            ).reshape(-1, 1)
+        elif all(isinstance(f, TabulationHash) for f in self._functions):
+            self._kind = "tabulation"
+            # (rows, 4, 256) stack of per-row byte tables.
+            self._tables = np.stack([f._tables for f in self._functions])
+        else:
+            self._kind = "mixed"
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __getitem__(self, index):
+        return self._functions[index]
+
+    def hash_all(self, keys: np.ndarray) -> np.ndarray:
+        """Hash ``keys`` through every row at once.
+
+        Returns:
+            int64 array of shape ``(num_rows, keys.size)`` where row
+            ``i`` equals ``self[i](keys)`` exactly.
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return np.empty((len(self), 0), dtype=np.int64)
+        if self._kind == "mixed" or not kernels.vectorised_enabled():
+            return np.stack([h(keys) for h in self._functions])
+        if keys.max() >= (1 << _MAX_KEY_BITS):
+            raise ValueError("keys must fit in 32 bits")
+        if self._kind == "multiply_shift":
+            return _multiply_shift_grid(
+                keys, self._a_hi_shifted, self._a_lo, self._b, self.num_bins
+            )
+        out = np.zeros((len(self), keys.size), dtype=np.uint64)
+        for byte in range(4):
+            chunk = ((keys >> np.uint64(8 * byte)) & np.uint64(0xFF)).astype(np.int64)
+            out ^= self._tables[:, byte][:, chunk]
+        return (out % np.uint64(self.num_bins)).view(np.int64)
+
+
+def _multiply_shift_grid(
+    keys: np.ndarray,
+    a_hi_shifted: np.ndarray,
+    a_lo: np.ndarray,
+    b: np.ndarray,
+    num_bins,
+) -> np.ndarray:
+    """Evaluate ``((a*x + b) mod p) mod t`` over a ``(rows, keys)`` grid.
+
+    Identical bits to the scalar :class:`MultiplyShiftHash` arithmetic;
+    the fold/reduce chain runs in place so the grid allocates three
+    ``(rows, n)`` buffers instead of one per ufunc.  ``num_bins`` is a
+    scalar or a per-key uint64 vector (mixed-width grouped hashing).
+    """
+    hi = keys[None, :] * a_hi_shifted
+    lo = keys[None, :] * a_lo
+    tmp = hi >> np.uint64(61)
+    np.bitwise_and(hi, _P64, out=hi)
+    np.add(hi, tmp, out=hi)
+    np.right_shift(lo, np.uint64(61), out=tmp)
+    np.bitwise_and(lo, _P64, out=lo)
+    np.add(lo, tmp, out=lo)
+    np.add(hi, lo, out=hi)
+    np.add(hi, b, out=hi)
+    np.right_shift(hi, np.uint64(61), out=tmp)
+    np.bitwise_and(hi, _P64, out=hi)
+    np.add(hi, tmp, out=hi)
+    np.subtract(hi, _P64, out=hi, where=hi >= _P64)
+    if np.ndim(num_bins) == 0:
+        num_bins = np.uint64(num_bins)
+    np.remainder(hi, num_bins, out=hi)
+    return hi.view(np.int64)
+
+
+@lru_cache(maxsize=256)
+def _stacked_multiply_shift_params(families: tuple):
+    """``(a_hi_shifted, a_lo, b)`` as ``(rows, groups)`` uint64 matrices."""
+    return (
+        np.concatenate([f._a_hi_shifted for f in families], axis=1),
+        np.concatenate([f._a_lo for f in families], axis=1),
+        np.concatenate([f._b for f in families], axis=1),
+    )
+
+
+def hash_all_grouped(
+    families: Sequence["HashFamily"],
+    keys: np.ndarray,
+    counts: np.ndarray,
+    group_ids: np.ndarray = None,
+) -> np.ndarray:
+    """Hash concatenated per-group keys through per-group families at once.
+
+    ``keys`` holds every group's keys back to back (``counts[g]`` of
+    them belonging to group ``g``); the result equals
+    ``np.concatenate([families[g].hash_all(keys_g)], axis=1)`` exactly.
+    For all-multiply-shift families the per-row parameters are gathered
+    through one element-level group-id vector and the whole grid is
+    hashed in a single fused evaluation — the GroupedMinMaxSketch insert
+    path calls this once per sign instead of once per group.
+
+    ``group_ids`` optionally supplies the precomputed
+    ``np.repeat(np.arange(len(families)), counts)`` vector so callers
+    that already materialised it (the insert scatter does) avoid a
+    second expansion.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if len(families) != counts.size:
+        raise ValueError("one count per family required")
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.size != int(counts.sum()):
+        raise ValueError("counts must sum to keys.size")
+    fused = (
+        kernels.vectorised_enabled()
+        and all(f._kind == "multiply_shift" for f in families)
+        and len({len(f) for f in families}) == 1
+    )
+    if not fused:
+        bounds = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        return np.concatenate(
+            [
+                families[g].hash_all(keys[bounds[g]:bounds[g + 1]])
+                for g in range(len(families))
+            ],
+            axis=1,
+        )
+    if keys.size == 0:
+        return np.empty((len(families[0]), 0), dtype=np.int64)
+    if keys.max() >= (1 << _MAX_KEY_BITS):
+        raise ValueError("keys must fit in 32 bits")
+    a_hi, a_lo, b = _stacked_multiply_shift_params(tuple(families))
+    if group_ids is None:
+        group_ids = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    bins = np.asarray([f.num_bins for f in families], dtype=np.uint64)
+    num_bins = (
+        # Per-family bin counts: gather to element level so the final
+        # remainder still runs as one broadcast pass.
+        int(bins[0]) if counts.size and (bins == bins[0]).all()
+        else bins.take(group_ids)
+    )
+    return _multiply_shift_grid(
+        keys,
+        a_hi.take(group_ids, axis=1),
+        a_lo.take(group_ids, axis=1),
+        b.take(group_ids, axis=1),
+        num_bins,
+    )
+
+
 _FAMILIES = {
     "multiply_shift": MultiplyShiftHash,
     "tabulation": TabulationHash,
@@ -137,7 +340,7 @@ def build_hash_family(
     num_bins: int,
     seed: int,
     family: str = "multiply_shift",
-) -> Sequence[HashFunction]:
+) -> "HashFamily":
     """Build ``num_hashes`` independent hash functions into ``num_bins`` bins.
 
     Row ``i`` is seeded deterministically from ``(seed, i)`` so that two
@@ -152,16 +355,31 @@ def build_hash_family(
         family: ``"multiply_shift"`` (default) or ``"tabulation"``.
 
     Returns:
-        A list of :class:`HashFunction` instances, one per row.
+        A :class:`HashFamily` (sequence of :class:`HashFunction`, one
+        per row, plus the fused :meth:`HashFamily.hash_all` kernel).
+        Families are stateless once built, so repeated calls with the
+        same parameters return one shared cached instance — the
+        encoder rebuilds a sketch per message, and reseeding numpy
+        generators for every row dominated sketch construction before
+        this cache.
     """
     if num_hashes <= 0:
         raise ValueError(f"num_hashes must be positive, got {num_hashes}")
-    try:
-        cls = _FAMILIES[family]
-    except KeyError:
+    if family not in _FAMILIES:
         raise ValueError(
             f"unknown hash family {family!r}; choose from {sorted(_FAMILIES)}"
-        ) from None
+        )
+    return _build_hash_family_cached(int(num_hashes), int(num_bins), int(seed), family)
+
+
+@lru_cache(maxsize=1024)
+def _build_hash_family_cached(
+    num_hashes: int, num_bins: int, seed: int, family: str
+) -> "HashFamily":
+    cls = _FAMILIES[family]
     # Offset row seeds by a large odd stride so adjacent master seeds do
     # not produce overlapping row seeds.
-    return [cls(num_bins, seed * 0x9E3779B1 + 0x85EBCA77 * i) for i in range(num_hashes)]
+    functions = [
+        cls(num_bins, seed * 0x9E3779B1 + 0x85EBCA77 * i) for i in range(num_hashes)
+    ]
+    return HashFamily(functions, num_bins)

@@ -18,7 +18,26 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-__all__ = ["QuantileSketch", "exact_quantiles", "uniform_probabilities"]
+__all__ = [
+    "QuantileSketch",
+    "as_float_array",
+    "exact_quantiles",
+    "uniform_probabilities",
+]
+
+
+def as_float_array(values: Iterable[float]) -> np.ndarray:
+    """Coerce ``values`` to a float64 array without a ``list()`` detour.
+
+    Arrays, lists and tuples go straight through ``np.asarray``;
+    arbitrary iterables (generators, ``range``) stream through
+    ``np.fromiter``.
+    """
+    if isinstance(values, np.ndarray):
+        return values.astype(np.float64, copy=False)
+    if isinstance(values, (list, tuple)):
+        return np.asarray(values, dtype=np.float64)
+    return np.fromiter(values, dtype=np.float64)
 
 
 class QuantileSketch:
@@ -30,8 +49,17 @@ class QuantileSketch:
 
     def insert_many(self, values: Iterable[float]) -> None:
         """Insert a batch of values (default: loop over :meth:`insert`)."""
-        for value in np.asarray(list(values), dtype=np.float64):
+        for value in as_float_array(values):
             self.insert(float(value))
+
+    def insert_sorted(self, values: np.ndarray) -> None:
+        """Insert a batch known to be ascending (default: insert_many).
+
+        Subclasses with a batched build path override this; the
+        quantizer sorts each sign's magnitudes once and feeds every
+        sketch backend through this entry point.
+        """
+        self.insert_many(values)
 
     def query(self, phi: float) -> float:
         """Return an approximate ``phi``-quantile, ``phi`` in [0, 1]."""
@@ -65,14 +93,20 @@ def uniform_probabilities(q: int) -> np.ndarray:
     return np.linspace(0.0, 1.0, q + 1)
 
 
-def exact_quantiles(values: Sequence[float], phis: Sequence[float]) -> np.ndarray:
+def exact_quantiles(
+    values: Sequence[float], phis: Sequence[float], assume_sorted: bool = False
+) -> np.ndarray:
     """Exact quantiles by full sort — the O(N log N) brute force of §2.3.
 
     Used as ground truth in tests and for tiny inputs where a sketch is
     overkill.  Uses the "lower" interpolation so results are actual data
-    points, matching sketch semantics.
+    points, matching sketch semantics.  Pass ``assume_sorted=True`` when
+    the caller already sorted ``values`` (the quantizer sorts once and
+    shares the array between this and the sketch batch builds).
     """
-    arr = np.sort(np.asarray(values, dtype=np.float64))
+    arr = np.asarray(values, dtype=np.float64)
+    if not assume_sorted:
+        arr = np.sort(arr)
     if arr.size == 0:
         raise ValueError("cannot take quantiles of an empty sequence")
     phis = np.clip(np.asarray(phis, dtype=np.float64), 0.0, 1.0)

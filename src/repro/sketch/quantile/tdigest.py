@@ -21,7 +21,7 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from .base import QuantileSketch
+from .base import QuantileSketch, as_float_array
 
 __all__ = ["TDigest"]
 
@@ -69,17 +69,78 @@ class TDigest(QuantileSketch):
             self._merge_buffer()
 
     def insert_many(self, values: Iterable[float]) -> None:
-        arr = np.asarray(list(values), dtype=np.float64)
+        arr = as_float_array(values)
         if arr.size == 0:
             return
         if np.isnan(arr).any():
             raise ValueError("cannot insert NaN into a t-digest")
+        if self._count == 0:
+            self.insert_sorted(np.sort(arr))
+            return
         self._count += arr.size
         self._min = min(self._min, float(arr.min()))
         self._max = max(self._max, float(arr.max()))
         for start in range(0, arr.size, self.buffer_size):
             self._buffer.extend(arr[start:start + self.buffer_size].tolist())
             self._merge_buffer()
+
+    def insert_sorted(self, values: np.ndarray) -> None:
+        """Batch-build from an ascending array in one merge pass.
+
+        Only a bulk load into an *empty* digest takes this path (the
+        quantizer's fit case); otherwise it defers to
+        :meth:`insert_many`.  Because a fresh build has uniform unit
+        weights, each centroid's extent can be found by bisecting the
+        scale-limit predicate instead of walking item by item, so the
+        merge costs O(centroids * log n) predicate evaluations plus one
+        segmented numpy sum — not an O(n) Python loop.
+        """
+        arr = as_float_array(values)
+        if arr.size == 0:
+            return
+        if self._count != 0 or self._buffer or self._means.size:
+            self.insert_many(arr)
+            return
+        if np.isnan(arr).any():
+            raise ValueError("cannot insert NaN into a t-digest")
+        n = int(arr.size)
+        self._count = n
+        self._min = min(self._min, float(arr[0]))
+        self._max = max(self._max, float(arr[-1]))
+        sizes: List[int] = []
+        total = float(n)
+        weight_so_far = 0.0
+        k_lower = self._scale_limit(0.0)
+        start = 0
+        while start < n:
+            remaining = n - start
+
+            def joins(c: int) -> bool:
+                # Item number ``c`` of this centroid may join when the
+                # scale-limit budget still covers the grown centroid.
+                q_upper = (weight_so_far + c) / total
+                return self._scale_limit(q_upper) - k_lower <= 1.0
+
+            if remaining == 1 or not joins(2):
+                size = 1
+            else:
+                lo, hi = 2, remaining
+                while lo < hi:  # largest c with joins(c)
+                    mid = (lo + hi + 1) // 2
+                    if joins(mid):
+                        lo = mid
+                    else:
+                        hi = mid - 1
+                size = lo
+            sizes.append(size)
+            start += size
+            weight_so_far += float(size)
+            k_lower = self._scale_limit(weight_so_far / total)
+        counts = np.asarray(sizes, dtype=np.float64)
+        starts = np.zeros(len(sizes), dtype=np.int64)
+        np.cumsum(np.asarray(sizes[:-1], dtype=np.int64), out=starts[1:])
+        self._means = np.add.reduceat(arr, starts) / counts
+        self._weights = counts
 
     # ------------------------------------------------------------------
     def _scale_limit(self, q: float) -> float:

@@ -1,0 +1,256 @@
+"""Wire-format stability tests for the vectorised codec kernels.
+
+Two layers of protection:
+
+* **Golden digests** — ``tests/golden/codec_golden.json`` stores the
+  SHA-256 of the serialized wire bytes (and of the decoded output) for
+  960 configuration/size/seed combinations, captured from the
+  pre-vectorisation seed tree.  Any change to the bytes a compressor
+  emits — however small — fails here, so perf work can't silently bend
+  the format.
+* **Scalar/vectorised equivalence** — every vectorised kernel has a
+  scalar reference path behind the :mod:`repro.kernels` switch; these
+  tests assert byte identity between the two on the same inputs, from
+  individual hash rows all the way up to full messages.
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.compressor import SketchMLCompressor
+from repro.core.config import SketchMLConfig
+from repro.core.delta_encoding import encode_key_groups, encode_keys
+from repro.core.minmax_sketch import GroupedMinMaxSketch
+from repro.core.quantizer import QuantileBucketQuantizer
+from repro.core.serialization import serialize_message
+from repro.sketch.hashing import build_hash_family, hash_all_grouped
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "codec_golden.json")
+
+# Keyword overrides for each golden configuration name.  These must
+# stay in lockstep with the capture script that produced the golden
+# file; they describe existing recorded data, not tunable knobs.
+GOLDEN_CONFIGS = {
+    "full": dict(),
+    "full_tab": dict(hash_family="tabulation"),
+    "full_decay": dict(compensate_decay=True),
+    "full_g4": dict(num_groups=4, num_buckets=64),
+    "quan": dict(enable_minmax=False),
+    "quan_packed": dict(enable_minmax=False, pack_index_bits=True),
+    "keys_only": dict(enable_quantization=False, enable_minmax=False),
+    "adam": dict(
+        enable_delta_keys=False, enable_quantization=False, enable_minmax=False
+    ),
+}
+
+
+def golden_gradient(nnz, dimension, seed, sign_mode):
+    """The exact generator the golden digests were captured with."""
+    rng = np.random.default_rng(seed)
+    if nnz == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-4
+    if sign_mode == "pos":
+        values = np.abs(values)
+    elif sign_mode == "neg":
+        values = -np.abs(values)
+    return keys, values
+
+
+def random_gradient(nnz, seed):
+    rng = np.random.default_rng(seed)
+    dimension = max(10 * nnz, 64)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-4
+    return keys, values, dimension
+
+
+# ---------------------------------------------------------------------------
+# golden digests
+# ---------------------------------------------------------------------------
+class TestGoldenDigests:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH) as fh:
+            return json.load(fh)
+
+    def test_golden_file_is_complete(self, golden):
+        assert len(golden) == 960
+        seen_configs = {name.split("/")[0] for name in golden}
+        assert seen_configs == set(GOLDEN_CONFIGS)
+
+    @pytest.mark.parametrize("cfg_name", sorted(GOLDEN_CONFIGS))
+    def test_wire_bytes_match_golden(self, golden, cfg_name):
+        cases = {k: v for k, v in golden.items() if k.split("/")[0] == cfg_name}
+        assert cases, f"no golden cases recorded for {cfg_name}"
+        for name, entry in cases.items():
+            _, sketch, nnz_s, sign_mode, seed_s = name.split("/")
+            nnz, seed = int(nnz_s[3:]), int(seed_s[4:])
+            dimension = max(10 * nnz, 64)
+            cfg = SketchMLConfig(
+                quantile_sketch=sketch, seed=seed, **GOLDEN_CONFIGS[cfg_name]
+            )
+            keys, values = golden_gradient(nnz, dimension, seed, sign_mode)
+            compressor = SketchMLCompressor(cfg)
+            message = compressor.compress(keys, values, dimension)
+            wire = serialize_message(message)
+            assert hashlib.sha256(wire).hexdigest() == entry["wire_sha256"], name
+            assert len(wire) == entry["wire_bytes"], name
+            assert message.num_bytes == entry["num_bytes"], name
+            out_keys, out_values = compressor.decompress(message)
+            decoded = hashlib.sha256(
+                out_keys.tobytes() + out_values.tobytes()
+            ).hexdigest()
+            assert decoded == entry["decoded_sha256"], name
+
+
+# ---------------------------------------------------------------------------
+# scalar vs vectorised: full messages
+# ---------------------------------------------------------------------------
+EQUIV_CONFIGS = {
+    "full": {},
+    "full_tab": {"hash_family": "tabulation"},
+    "full_decay": {"compensate_decay": True},
+    "full_g4": {"num_groups": 4, "num_buckets": 64},
+    "quan_packed": {"enable_minmax": False, "pack_index_bits": True},
+}
+
+
+@pytest.mark.parametrize("sketch", ["kll", "gk", "tdigest", "exact"])
+@pytest.mark.parametrize("nnz", [500, 3000, 20000])
+def test_scalar_and_vectorised_messages_identical(sketch, nnz):
+    for cfg_name, overrides in EQUIV_CONFIGS.items():
+        for seed in (0, 3):
+            keys, values, dimension = random_gradient(nnz, seed + nnz)
+            cfg = SketchMLConfig(quantile_sketch=sketch, seed=seed, **overrides)
+            with kernels.scalar_kernels():
+                scalar_wire = serialize_message(
+                    SketchMLCompressor(cfg).compress(keys, values, dimension)
+                )
+            with kernels.vectorised_kernels():
+                vector_wire = serialize_message(
+                    SketchMLCompressor(cfg).compress(keys, values, dimension)
+                )
+            assert scalar_wire == vector_wire, (sketch, nnz, cfg_name, seed)
+
+
+# ---------------------------------------------------------------------------
+# scalar vs vectorised: individual kernels
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("family", ["multiply_shift", "tabulation"])
+def test_hash_all_matches_per_row_loop(family):
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 1 << 32, size=4096, dtype=np.uint64)
+    hashes = build_hash_family(3, 613, seed=11, family=family)
+    grid = hashes.hash_all(keys)
+    assert grid.shape == (3, keys.size)
+    for row in range(3):
+        np.testing.assert_array_equal(grid[row], hashes[row](keys))
+
+
+def test_hash_all_grouped_matches_per_family_concat():
+    rng = np.random.default_rng(8)
+    counts = np.array([700, 0, 130, 2048], dtype=np.int64)
+    keys = rng.integers(0, 1 << 32, size=int(counts.sum()), dtype=np.uint64)
+    families = [
+        build_hash_family(2, 509, seed=100 + g, family="multiply_shift")
+        for g in range(counts.size)
+    ]
+    fused = hash_all_grouped(families, keys, counts)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    expected = np.concatenate(
+        [
+            families[g].hash_all(keys[bounds[g]:bounds[g + 1]])
+            for g in range(counts.size)
+        ],
+        axis=1,
+    )
+    np.testing.assert_array_equal(fused, expected)
+
+
+def test_hash_all_grouped_mixed_bin_widths():
+    rng = np.random.default_rng(9)
+    counts = np.array([400, 300], dtype=np.int64)
+    keys = rng.integers(0, 1 << 32, size=700, dtype=np.uint64)
+    families = [
+        build_hash_family(2, bins, seed=5, family="multiply_shift")
+        for bins in (613, 1021)
+    ]
+    fused = hash_all_grouped(families, keys, counts)
+    expected = np.concatenate(
+        [families[0].hash_all(keys[:400]), families[1].hash_all(keys[400:])],
+        axis=1,
+    )
+    np.testing.assert_array_equal(fused, expected)
+
+
+@pytest.mark.parametrize("sketch", ["kll", "gk", "tdigest", "exact"])
+def test_fit_encode_matches_fit_then_encode(sketch):
+    rng = np.random.default_rng(21)
+    values = rng.laplace(scale=0.01, size=6000)
+    values[values == 0.0] = 1e-4
+
+    def build():
+        return QuantileBucketQuantizer(num_buckets=64, sketch=sketch, seed=3)
+
+    fused = build()
+    pos_enc, neg_enc = fused.fit_encode(values)
+    reference = build().fit(values)
+    pos = values[values >= 0]
+    neg = -values[values < 0]
+    np.testing.assert_array_equal(pos_enc, reference.positive.encode(pos))
+    np.testing.assert_array_equal(neg_enc, reference.negative.encode(neg))
+    np.testing.assert_array_equal(
+        fused.positive.splits, reference.positive.splits
+    )
+    np.testing.assert_array_equal(
+        fused.negative.means, reference.negative.means
+    )
+
+
+def test_insert_flat_matches_per_group_insert():
+    rng = np.random.default_rng(33)
+    nnz = 8000
+    keys = np.sort(rng.choice(20 * nnz, size=nnz, replace=False))
+    indexes = rng.integers(0, 128, size=nnz, dtype=np.int64)
+
+    def build():
+        return GroupedMinMaxSketch(
+            num_groups=8, index_range=128, num_rows=2, total_bins=2048, seed=1
+        )
+
+    batched = build()
+    flat = batched.partition_flat(keys, indexes)
+    batched.insert_flat(*flat)
+
+    reference = build()
+    sorted_keys, sorted_offsets, counts = flat
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    with kernels.scalar_kernels():
+        for g in range(counts.size):
+            if counts[g]:
+                reference.insert_group(
+                    g,
+                    sorted_keys[bounds[g]:bounds[g + 1]],
+                    sorted_offsets[bounds[g]:bounds[g + 1]],
+                )
+    for got, want in zip(batched.sketches, reference.sketches):
+        np.testing.assert_array_equal(got._table, want._table)
+
+
+def test_encode_key_groups_matches_per_group_encode_keys():
+    rng = np.random.default_rng(44)
+    groups = []
+    for size in (0, 1, 37, 4000):
+        chunk = np.sort(rng.choice(1 << 22, size=size, replace=False))
+        groups.append(chunk.astype(np.int64))
+    blobs = encode_key_groups(groups)
+    assert blobs == [encode_keys(g) for g in groups]

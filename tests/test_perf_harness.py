@@ -1,0 +1,92 @@
+"""Smoke tests for the ``repro.perf`` benchmark harness and CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.perf import BenchResult, run_suite, time_kernel, write_results
+from repro.perf.suite import results_to_json
+
+EXPECTED_KERNELS = {
+    "quantizer_fit",
+    "minmax_insert",
+    "minmax_query",
+    "delta_encode",
+    "delta_decode",
+    "e2e_compress",
+    "e2e_decompress",
+}
+
+
+def test_time_kernel_reports_median_of_repeats():
+    calls = []
+    result = time_kernel(
+        "noop",
+        lambda: calls.append(None),
+        elements=1000,
+        bytes_processed=8000,
+        warmup=2,
+        repeats=5,
+    )
+    assert len(calls) == 7  # warmup + repeats
+    assert len(result.samples) == 5
+    assert result.seconds == sorted(result.samples)[2]
+    assert result.ns_per_element == result.seconds * 1e9 / 1000
+    assert result.mb_per_s == pytest.approx(8000 / result.seconds / 1e6)
+
+
+def test_time_kernel_rejects_bad_repeat_counts():
+    with pytest.raises(ValueError):
+        time_kernel("bad", lambda: None, elements=1, bytes_processed=1, repeats=0)
+
+
+def test_zero_division_guards():
+    result = BenchResult(
+        name="degenerate", elements=0, bytes_processed=0, seconds=0.0, samples=[0.0]
+    )
+    assert result.ns_per_element == 0.0
+    assert result.mb_per_s == 0.0
+
+
+def test_run_suite_quick_covers_every_kernel():
+    results = run_suite(sizes=[512], warmup=0, repeats=1)
+    names = {r.name for r in results}
+    assert names == {f"{k}/512" for k in EXPECTED_KERNELS}
+    for r in results:
+        assert r.seconds > 0
+        assert r.elements > 0
+
+
+def test_write_results_schema(tmp_path):
+    results = run_suite(sizes=[512], warmup=0, repeats=1)
+    out = tmp_path / "bench.json"
+    write_results(results, str(out))
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == "repro-bench-codec/1"
+    assert payload["platform"]["numpy"] == np.__version__
+    assert set(payload["kernels"]) == {r.name for r in results}
+    sample = payload["kernels"]["e2e_compress/512"]
+    assert set(sample) == {
+        "elements", "bytes", "median_ms", "ns_per_element", "mb_per_s", "repeats",
+    }
+    assert sample["elements"] == 512
+    # round-trip sanity: the JSON view reflects the in-memory results
+    assert payload == results_to_json(results)
+
+
+def test_cli_perf_quick(tmp_path, capsys):
+    out = tmp_path / "BENCH_codec.json"
+    code = main(["perf", "--quick", "--sizes", "512", "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "e2e_compress/512" in captured
+    payload = json.loads(out.read_text())
+    assert set(payload["kernels"]) == {f"{k}/512" for k in EXPECTED_KERNELS}
+
+
+def test_cli_perf_no_output_file(capsys):
+    code = main(["perf", "--quick", "--sizes", "512", "--out", "-"])
+    assert code == 0
+    assert "wrote" not in capsys.readouterr().out
