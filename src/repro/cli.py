@@ -11,6 +11,8 @@ Commands:
 * ``report``   — stitch archived bench results into ``REPORT.md``.
 * ``perf``     — time the codec hot-path kernels, write ``BENCH_codec.json``.
 * ``datagen``  — write a synthetic dataset to a LIBSVM file.
+* ``lint``     — run the repo-specific static analyser (see
+  ``docs/static_analysis.md``); exits nonzero on findings.
 
 Examples::
 
@@ -22,6 +24,7 @@ Examples::
     python -m repro datagen --profile kdd10 --scale 0.1 --out kdd10.libsvm
     python -m repro perf --quick
     python -m repro report
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -106,6 +109,19 @@ def build_parser() -> argparse.ArgumentParser:
     datagen.add_argument("--scale", type=float, default=1.0)
     datagen.add_argument("--seed", type=int, default=0)
     datagen.add_argument("--out", required=True, help="output LIBSVM path")
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific static analyser"
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint "
+                           "(default: the installed repro package)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="findings output format (default: text)")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
     return parser
 
 
@@ -279,6 +295,35 @@ def _cmd_datagen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .lint import LintError, lint_paths, rule_descriptions
+
+    if args.list_rules:
+        for rule_id, severity, description in rule_descriptions():
+            print(f"{rule_id:<20} {severity:<8} {description}")
+        return 0
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    try:
+        findings = lint_paths(paths, select=select)
+    except (LintError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f"{f.location}: {f.severity}[{f.rule_id}] {f.message}")
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun}")
+    return 1 if findings else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -296,4 +341,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perf(args)
     if args.command == "datagen":
         return _cmd_datagen(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import sanitize
 from ..compression.base import (
     BYTES_PER_RAW_KEY,
     BYTES_PER_RAW_VALUE,
@@ -130,6 +131,7 @@ class SketchMLCompressor(GradientCompressor):
     ) -> CompressedGradient:
         keys, values = validate_sparse_gradient(keys, values, dimension)
         cfg = self.config
+        sanitize_active = bool(cfg.sanitize) or sanitize.enabled()
         breakdown: Dict[str, int] = {"header": _HEADER_BYTES}
         payload = SketchMLPayload()
 
@@ -203,13 +205,15 @@ class SketchMLCompressor(GradientCompressor):
                 enc,
                 buckets,
                 breakdown,
+                sanitize_active=sanitize_active,
             )
             payload.parts.append(part)
             group_keys_by_part.append(part_group_keys)
             total += part_bytes
         if cfg.compensate_decay and cfg.enable_minmax:
             payload.decay_scale = self._measure_decay_scale(
-                payload, values, group_keys_by_part
+                payload, values, group_keys_by_part,
+                sanitize_active=sanitize_active,
             )
             breakdown["decay_scale"] = 8
             total += 8
@@ -220,6 +224,7 @@ class SketchMLCompressor(GradientCompressor):
         payload: SketchMLPayload,
         values: np.ndarray,
         group_keys_by_part: List[Optional[Tuple[np.ndarray, np.ndarray]]],
+        sanitize_active: bool = False,
     ) -> float:
         """Encoder-side round-trip: true mean |v| over decoded mean |v|.
 
@@ -231,7 +236,9 @@ class SketchMLCompressor(GradientCompressor):
         decoded_values: List[np.ndarray] = []
         for part, part_group_keys in zip(payload.parts, group_keys_by_part):
             if part.sketch is None or part_group_keys is None:
-                _, part_values = self._decompress_part(part)
+                _, part_values = self._decompress_part(
+                    part, sanitize_active=sanitize_active
+                )
                 decoded_values.append(part_values)
                 continue
             sorted_keys, counts = part_group_keys
@@ -279,12 +286,16 @@ class SketchMLCompressor(GradientCompressor):
         indexes: np.ndarray,
         buckets: SignedBuckets,
         breakdown: Dict[str, int],
+        sanitize_active: bool = False,
     ) -> Tuple[SignPart, int, Optional[List[np.ndarray]]]:
         """Quantized path for one sign, with or without MinMaxSketch.
 
         Returns the part, its byte cost, and (on the MinMaxSketch path)
         the per-group key arrays so the decay measurement can query the
-        sketches without re-decoding the key blobs.
+        sketches without re-decoding the key blobs.  When
+        ``sanitize_active`` the freshly built sketch is immediately
+        queried back and the §3.3 one-sided/range invariants are checked
+        against the known true indexes.
         """
         cfg = self.config
         part = SignPart(sign=sign, nnz=keys.size, buckets=buckets)
@@ -308,6 +319,11 @@ class SketchMLCompressor(GradientCompressor):
             # per-group arrays are materialised on the encode path.
             sorted_keys, sorted_offsets, counts = sketch.partition_flat(keys, indexes)
             sketch.insert_flat(sorted_keys, sorted_offsets, counts)
+            if sanitize_active:
+                sanitize.verify_sketch_roundtrip(
+                    sketch, sorted_keys, sorted_offsets, counts,
+                    part=f"sign={sign}",
+                )
             part.sketch = sketch
             group_keys = (sorted_keys, counts)
             part.group_key_blobs = encode_key_groups_flat(sorted_keys, counts)
@@ -348,10 +364,19 @@ class SketchMLCompressor(GradientCompressor):
         payload = message.payload
         if not isinstance(payload, SketchMLPayload):
             raise TypeError("message was not produced by SketchMLCompressor")
+        sanitize_active = bool(self.config.sanitize) or sanitize.enabled()
+        if sanitize_active:
+            sanitize.check_decay_scale(payload.decay_scale)
         all_keys: List[np.ndarray] = []
         all_values: List[np.ndarray] = []
-        for part in payload.parts:
-            part_keys, part_values = self._decompress_part(part)
+        for part_idx, part in enumerate(payload.parts):
+            part_keys, part_values = self._decompress_part(
+                part, sanitize_active=sanitize_active
+            )
+            if sanitize_active:
+                sanitize.check_sign_preservation(
+                    part.sign, part_values, part=part_idx
+                )
             all_keys.append(part_keys)
             all_values.append(part_values)
         if not all_keys:
@@ -361,15 +386,25 @@ class SketchMLCompressor(GradientCompressor):
         if payload.decay_scale != 1.0:
             values = values * payload.decay_scale
         order = np.argsort(keys, kind="stable")
-        return keys[order], values[order]
+        keys = keys[order]
+        if sanitize_active:
+            # Post-merge, sorted keys are strictly ascending iff no key
+            # appears in more than one part (pos/neg parts are disjoint
+            # in any honest message).
+            sanitize.check_ascending_keys(keys, part="merged")
+        return keys, values[order]
 
-    def _decompress_part(self, part: SignPart) -> Tuple[np.ndarray, np.ndarray]:
+    def _decompress_part(
+        self, part: SignPart, sanitize_active: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
         if part.raw_values is not None:
             # Unquantized path.
             if part.key_blob is not None:
                 keys = decode_keys(part.key_blob)
             else:
                 keys = part.raw_keys
+            if sanitize_active:
+                sanitize.check_ascending_keys(keys, part=part.sign)
             return keys, part.raw_values
 
         if part.buckets is None:
@@ -382,8 +417,23 @@ class SketchMLCompressor(GradientCompressor):
                 group_keys = decode_keys(blob)
                 if group_keys.size == 0:
                     continue
+                if sanitize_active:
+                    sanitize.check_ascending_keys(
+                        group_keys, part=part.sign, group=group
+                    )
                 keys_chunks.append(group_keys)
-                index_chunks.append(part.sketch.query_group(group, group_keys))
+                group_indexes = part.sketch.query_group(
+                    group, group_keys, strict=sanitize_active
+                )
+                if sanitize_active:
+                    sanitize.check_bucket_indexes(
+                        group_indexes,
+                        part.sketch.index_range,
+                        group=group,
+                        group_width=part.sketch.group_width,
+                        part=part.sign,
+                    )
+                index_chunks.append(group_indexes)
             if not keys_chunks:
                 return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
             keys = np.concatenate(keys_chunks)
@@ -399,6 +449,13 @@ class SketchMLCompressor(GradientCompressor):
                 )
             else:
                 indexes = part.indexes.astype(np.int64)
+            if sanitize_active:
+                sanitize.check_ascending_keys(keys, part=part.sign)
+                # Pre-clip check: SignedBuckets.decode would silently
+                # clamp an out-of-range index.
+                sanitize.check_bucket_indexes(
+                    indexes, part.buckets.num_buckets, part=part.sign
+                )
         values = part.buckets.decode(indexes)
         return keys, values
 

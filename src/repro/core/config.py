@@ -53,6 +53,11 @@ class SketchMLConfig:
             the encode CPU (the dominant cost in Fig. 8(c)).
         hash_family: hash family for the MinMaxSketch rows.
         seed: master seed shared by encoder and decoder.
+        sanitize: run the :mod:`repro.sanitize` invariant checks on
+            every encode/decode through this compressor, regardless of
+            the ``REPRO_SANITIZE`` environment variable (sign
+            preservation, one-sided index error, index/group bounds,
+            strictly-ascending keys, decay-scale clamp).
     """
 
     num_buckets: int = 128
@@ -70,6 +75,7 @@ class SketchMLConfig:
     refit_interval: int = 1
     hash_family: str = "multiply_shift"
     seed: int = 0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_buckets < 2:

@@ -146,7 +146,7 @@ def encode_key_groups(key_groups: Sequence[np.ndarray]) -> List[bytes]:
     if not kernels.vectorised_enabled():
         return [encode_keys(g) for g in key_groups]
     arrays = [np.asarray(g, dtype=np.int64) for g in key_groups]
-    for arr in arrays:
+    for arr in arrays:  # repro: noqa[hot-loop] — O(num_groups) shape validation, not per-element work
         if arr.ndim != 1:
             raise ValueError("keys must be a 1-D array")
     sizes = np.asarray([arr.size for arr in arrays], dtype=np.int64)

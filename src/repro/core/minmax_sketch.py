@@ -29,7 +29,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .. import kernels
+from .. import kernels, sanitize
 from ..sketch.hashing import build_hash_family, hash_all_grouped
 
 __all__ = ["MinMaxSketch", "GroupedMinMaxSketch"]
@@ -140,19 +140,25 @@ class MinMaxSketch:
                 np.minimum.at(self._table[row], bins, values)
         self._inserted += keys.size
 
-    def query(self, key: int) -> int:
+    def query(self, key: int, strict: bool = False) -> int:
         """Query one key (Max protocol)."""
         return int(
-            self.query_many(np.asarray([key], dtype=np.int64))[0]
+            self.query_many(np.asarray([key], dtype=np.int64), strict=strict)[0]
         )
 
-    def query_many(self, keys: np.ndarray) -> np.ndarray:
+    def query_many(self, keys: np.ndarray, strict: bool = False) -> np.ndarray:
         """Vectorised query; returns int64 bucket indexes.
 
         For keys that were inserted, the result is guaranteed to be
         ``<=`` the true index (one-sided error).  Querying a key that
         was never inserted returns whatever its bins hold (possibly the
         sentinel, clipped to ``index_range - 1``).
+
+        With ``strict=True`` (the sanitizer's decode path) a pre-clip
+        candidate at or above ``index_range`` — a never-inserted key or
+        a corrupted table — raises
+        :class:`~repro.sanitize.SanitizerError` instead of being
+        silently clipped.
         """
         keys = np.asarray(keys, dtype=np.int64)
         if keys.size == 0:
@@ -168,6 +174,17 @@ class MinMaxSketch:
             for row, h in enumerate(self._hashes):
                 candidates[row] = self._table[row, h(keys)]
         result = candidates.max(axis=0).astype(np.int64)
+        if strict:
+            bad = result >= self.index_range
+            if bad.any():
+                offset = int(np.flatnonzero(bad)[0])
+                raise sanitize.SanitizerError(
+                    sanitize.INVARIANT_INDEX_RANGE,
+                    f"stored bin value {int(result[offset])} at or above "
+                    f"index_range {self.index_range} (never-inserted key "
+                    "or corrupted table)",
+                    offset=offset,
+                )
         return np.minimum(result, self.index_range - 1)
 
     # ------------------------------------------------------------------
@@ -465,9 +482,16 @@ class GroupedMinMaxSketch:
                 else:
                     np.minimum(sk._table, part, out=sk._table)
 
-    def query_group(self, group: int, keys: np.ndarray) -> np.ndarray:
-        """Recover global bucket indexes for one group's keys."""
-        offsets = self._sketches[group].query_many(keys)
+    def query_group(
+        self, group: int, keys: np.ndarray, strict: bool = False
+    ) -> np.ndarray:
+        """Recover global bucket indexes for one group's keys.
+
+        ``strict`` forwards to :meth:`MinMaxSketch.query_many`: the
+        sanitizer's decode path rejects pre-clip overflows instead of
+        clipping them.
+        """
+        offsets = self._sketches[group].query_many(keys, strict=strict)
         return np.minimum(
             offsets + group * self.group_width, self.index_range - 1
         )

@@ -60,7 +60,7 @@ class SignedBuckets:
         # searchsorted against interior splits; values at or below the
         # lowest split land in bucket 0, above the top split in the last.
         interior = self.splits[1:-1]
-        magnitudes = np.asarray(magnitudes)
+        magnitudes = np.asarray(magnitudes, dtype=np.float64)
         idx = np.searchsorted(interior, magnitudes, side="right")
         return idx.astype(np.int64)
 
@@ -316,7 +316,7 @@ class QuantileBucketQuantizer:
     def decode(self, signs: np.ndarray, indexes: np.ndarray) -> np.ndarray:
         """Decode ``(signs, indexes)`` back to bucket-mean values."""
         self._require_fitted()
-        signs = np.asarray(signs)
+        signs = np.asarray(signs, dtype=np.int64)
         indexes = np.asarray(indexes, dtype=np.int64)
         out = np.zeros(indexes.size, dtype=np.float64)
         pos_mask = signs > 0

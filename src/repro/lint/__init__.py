@@ -1,0 +1,68 @@
+"""repro lint — AST static analysis for the codec's invariants.
+
+The framework (:mod:`repro.lint.framework`) walks Python sources, runs
+every registered :class:`~repro.lint.framework.Rule`, honours
+``# repro: noqa[rule-id] — reason`` suppressions (a justification is
+mandatory), and reports ``file:line:col`` findings.  The repo-specific
+rules live in the ``rules_*`` modules and are registered on import:
+
+========================  =====================================================
+rule id                   enforces
+========================  =====================================================
+``kernel-parity``         every ``kernels.vectorised_enabled()`` branch has a
+                          scalar fallback; dual-path modules dispatch through
+                          the switch
+``rng-discipline``        no unseeded/global-state RNG or wall-clock calls in
+                          library code
+``dtype-discipline``      explicit dtypes in the integer/hash-grid modules; no
+                          ``float``/``object`` dtype escapes in codec code
+``hot-loop``              no Python-level loops over arrays on the vectorised
+                          path of kernel modules
+``wire-format``           byte-format primitives only inside designated
+                          serialization modules
+``bare-except``           no bare/blanket-swallowed exception handlers
+``mutable-default``       no mutable default argument values
+``missing-all``           public modules declare ``__all__``
+``noqa-justification``    every suppression names a known rule and a reason
+========================  =====================================================
+
+Run it as ``python -m repro lint [paths] [--format text|json]``; see
+``docs/static_analysis.md`` for the full rule and policy reference.
+"""
+
+from .framework import (
+    Finding,
+    LintError,
+    ModuleSource,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    all_rule_ids,
+    build_rules,
+    lint_paths,
+    lint_source,
+    register_rule,
+    rule_descriptions,
+)
+
+# Importing the rule modules registers their rules.
+from . import rules_determinism  # noqa: F401  (registration import)
+from . import rules_kernels  # noqa: F401  (registration import)
+from . import rules_numeric  # noqa: F401  (registration import)
+from . import rules_style  # noqa: F401  (registration import)
+from . import rules_wire  # noqa: F401  (registration import)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ModuleSource",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "all_rule_ids",
+    "build_rules",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "rule_descriptions",
+]

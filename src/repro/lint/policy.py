@@ -1,0 +1,60 @@
+"""Which modules each scoped rule applies to.
+
+Paths are posix-style and relative to the ``repro`` package root
+(``ModuleSource.relpath``), so the policy is independent of where the
+package is installed.  Keep these lists in sync with
+``docs/static_analysis.md`` when modules gain or lose a vectorised
+counterpart.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DUAL_PATH_MODULES",
+    "VECTORISED_MODULES",
+    "DTYPE_STRICT_MODULES",
+    "WIRE_MODULES",
+    "CORE_PREFIXES",
+    "is_core_or_sketch",
+]
+
+#: Modules required to dispatch between scalar and vectorised kernels
+#: through the ``repro.kernels`` switch (the executable-spec contract
+#: that ``tests/test_golden_equivalence.py`` asserts byte-identity for).
+DUAL_PATH_MODULES = frozenset(
+    {
+        "core/minmax_sketch.py",
+        "core/delta_encoding.py",
+        "core/quantizer.py",
+        "sketch/hashing.py",
+    }
+)
+
+#: Modules whose non-scalar paths must stay free of Python-level loops
+#: over array elements (``hot-loop`` rule).
+VECTORISED_MODULES = DUAL_PATH_MODULES | {"core/bitpack.py"}
+
+#: Modules where every array constructor must pin its dtype — the
+#: uint64 hash grid and the wire codecs, where a silent float64/object
+#: upcast breaks bit-exactness (``dtype-discipline`` rule).
+DTYPE_STRICT_MODULES = VECTORISED_MODULES
+
+#: The only modules allowed to touch byte-format primitives
+#: (``struct``, ``np.frombuffer``, ``.tobytes()``) — everything else
+#: must go through these codecs (``wire-format`` rule).
+WIRE_MODULES = frozenset(
+    {
+        "core/serialization.py",
+        "core/delta_encoding.py",
+        "core/bitpack.py",
+        "compression/lossless.py",
+    }
+)
+
+#: Package prefixes that make up the paper-facing codec surface.
+CORE_PREFIXES = ("core/", "sketch/")
+
+
+def is_core_or_sketch(relpath: str) -> bool:
+    """True for modules on the paper-facing codec surface."""
+    return relpath.startswith(CORE_PREFIXES)

@@ -1,0 +1,123 @@
+"""Determinism rules: randomness must be seeded and explicit.
+
+Encoder and decoder agree bit-for-bit only because every random choice
+flows from an explicit seed (CONTRIBUTING.md's "determinism is part of
+the contract").  Library code therefore may not reach for global-state
+RNGs, unseeded generators, or the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, ModuleSource, Rule, SEVERITY_ERROR, register_rule
+
+__all__ = ["RngDisciplineRule"]
+
+#: numpy.random attributes that are deterministic constructors/types, not
+#: global-state draws.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Wall-clock calls that make library behaviour time-dependent.  Timing
+#: instrumentation (``time.perf_counter`` in the perf harness) stays
+#: legal: it measures, it does not decide.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class RngDisciplineRule(Rule):
+    """No unseeded or global-state randomness in library code.
+
+    Flags:
+
+    * ``np.random.default_rng()`` called with no arguments — an
+      OS-entropy generator the decoder can never reproduce;
+    * legacy global-state draws (``np.random.rand``, ``np.random.seed``,
+      ...) — hidden cross-module state;
+    * any call into the stdlib :mod:`random` module;
+    * wall-clock reads (``time.time``, ``datetime.now``) — time-varying
+      behaviour in code whose outputs must be replayable.
+
+    Randomness must instead flow through an explicitly seeded
+    ``np.random.Generator`` handed in as a parameter or built from a
+    config seed.
+    """
+
+    rule_id = "rng-discipline"
+    severity = SEVERITY_ERROR
+    description = (
+        "randomness must flow through an explicitly seeded Generator; "
+        "no global-state RNG or wall-clock calls in library code"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        # Local names bound to the stdlib random module (or its members),
+        # so a parameter that happens to be called `random` never fires.
+        random_modules = {
+            alias
+            for alias, full in module.import_aliases.items()
+            if full == "random"
+        }
+        random_funcs = {
+            alias
+            for alias, (mod, _) in module.from_imports.items()
+            if mod == "random"
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id in random_funcs:
+                yield self.finding(
+                    module, node,
+                    f"stdlib random.{node.func.id}() uses hidden global RNG "
+                    "state; use a seeded np.random.Generator instead",
+                )
+                continue
+            name = module.resolve_call(node)
+            if name is None:
+                continue
+            if name.startswith("numpy.random."):
+                attr = name[len("numpy.random."):]
+                if attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            module, node,
+                            "np.random.default_rng() without a seed draws "
+                            "OS entropy; pass a seed or accept a Generator "
+                            "parameter",
+                        )
+                elif attr.split(".")[0] not in _NP_RANDOM_ALLOWED:
+                    yield self.finding(
+                        module, node,
+                        f"global-state np.random.{attr}() call; use an "
+                        "explicitly seeded np.random.Generator instead",
+                    )
+            elif name.startswith("random.") and random_modules:
+                yield self.finding(
+                    module, node,
+                    f"stdlib {name}() uses hidden global RNG state; use a "
+                    "seeded np.random.Generator instead",
+                )
+            elif name in _WALL_CLOCK:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock call {name}() makes library behaviour "
+                    "time-dependent and unreplayable",
+                )

@@ -1,0 +1,101 @@
+"""Dtype discipline for the uint64 hash grid and codec kernels.
+
+The multiply-shift hash grid, the MinMaxSketch tables, and the
+delta-key codec are exact integer pipelines: a silent upcast to
+float64 (``np.asarray`` of a list, a float-defaulting constructor) or
+to ``object`` destroys both bit-exactness and vectorisation, and a
+stray signed/unsigned mix can wrap the Mersenne arithmetic.  In the
+strict modules every array constructor therefore pins its dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, ModuleSource, Rule, SEVERITY_ERROR, register_rule
+from .policy import DTYPE_STRICT_MODULES, is_core_or_sketch
+
+__all__ = ["DtypeDisciplineRule"]
+
+#: numpy constructors whose dtype defaults depend on the input (asarray,
+#: array) or silently default to float64 (empty/zeros/ones/full).
+_CONSTRUCTORS = {
+    "numpy.asarray": 1,   # dtype is the 2nd positional arg
+    "numpy.array": 1,
+    "numpy.empty": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.full": 2,      # np.full(shape, fill_value, dtype)
+    "numpy.arange": 3,    # np.arange(start, stop, step, dtype)
+}
+
+#: Builtins that, used as a dtype, mean float64/object upcasts.
+_BANNED_DTYPES = {"float", "object"}
+
+
+def _has_dtype(node: ast.Call, positional_slot: int) -> bool:
+    if any(kw.arg == "dtype" for kw in node.keywords):
+        return True
+    return len(node.args) > positional_slot
+
+
+@register_rule
+class DtypeDisciplineRule(Rule):
+    """Array constructors in hash/codec modules must pin their dtype.
+
+    * In :data:`~repro.lint.policy.DTYPE_STRICT_MODULES`: flag
+      ``np.asarray`` / ``np.array`` / ``np.empty`` / ``np.zeros`` /
+      ``np.ones`` / ``np.full`` / ``np.arange`` calls without an
+      explicit ``dtype`` — input-dependent defaults are how float64 and
+      object arrays leak into the uint64 grid.
+    * In all ``core/`` and ``sketch/`` modules: flag ``dtype=float`` /
+      ``dtype=object`` and ``.astype(float)`` / ``.astype(object)`` —
+      if float64 is genuinely intended, say ``np.float64``.
+    """
+
+    rule_id = "dtype-discipline"
+    severity = SEVERITY_ERROR
+    description = (
+        "explicit dtypes in hash-grid/codec modules; no float/object "
+        "dtype escapes on the codec surface"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if not is_core_or_sketch(module.relpath):
+            return
+        strict = module.relpath in DTYPE_STRICT_MODULES
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.resolve_call(node)
+            if name is None:
+                continue
+            if strict and name in _CONSTRUCTORS:
+                if not _has_dtype(node, _CONSTRUCTORS[name]):
+                    short = name.replace("numpy.", "np.")
+                    yield self.finding(
+                        module, node,
+                        f"{short}(...) without an explicit dtype can "
+                        "silently upcast to float64/object in an exact "
+                        "integer pipeline",
+                    )
+            if name.endswith(".astype") and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Name) and arg.id in _BANNED_DTYPES:
+                    yield self.finding(
+                        module, node,
+                        f".astype({arg.id}) on the codec surface; spell the "
+                        "width explicitly (np.float64) if it is intended",
+                    )
+            for kw in node.keywords:
+                if (
+                    kw.arg == "dtype"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in _BANNED_DTYPES
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"dtype={kw.value.id} on the codec surface; spell "
+                        "the width explicitly (np.float64) if it is intended",
+                    )

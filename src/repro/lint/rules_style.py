@@ -1,0 +1,145 @@
+"""General-hygiene rules: bare excepts, mutable defaults, ``__all__``.
+
+Smaller guards that still map onto real failure modes in this codebase:
+a swallowed exception hides a codec error the failure-injection suite
+is designed to surface, a mutable default leaks state across compressor
+instances, and a missing ``__all__`` makes the public surface (and the
+API docs built from it) ambiguous.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    register_rule,
+)
+
+__all__ = ["BareExceptRule", "MutableDefaultRule", "MissingAllRule"]
+
+
+@register_rule
+class BareExceptRule(Rule):
+    """No bare or silently swallowed exception handlers.
+
+    ``except:`` catches ``KeyboardInterrupt``/``SystemExit``, and an
+    ``except Exception: pass`` turns a corrupted message into a silent
+    wrong answer — the exact opposite of the typed-rejection contract
+    the wire codecs promise.
+    """
+
+    rule_id = "bare-except"
+    severity = SEVERITY_ERROR
+    description = "no bare `except:` or blanket `except Exception: pass`"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                    "name the exception types",
+                )
+                continue
+            name = node.type.id if isinstance(node.type, ast.Name) else None
+            swallowed = all(isinstance(s, ast.Pass) for s in node.body)
+            if name in ("Exception", "BaseException") and swallowed:
+                yield self.finding(
+                    module, node,
+                    f"`except {name}: pass` silently swallows every error; "
+                    "narrow the type or handle it",
+                )
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+_MUTABLE_NP = {"numpy.array", "numpy.zeros", "numpy.ones", "numpy.empty"}
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """No mutable default argument values.
+
+    A ``def f(x, acc=[])`` default is evaluated once and shared across
+    every call — for stateful compressor objects that means gradients
+    bleeding between messages.  Use ``None`` plus an in-body default
+    (or ``dataclasses.field(default_factory=...)``).
+    """
+
+    rule_id = "mutable-default"
+    severity = SEVERITY_ERROR
+    description = "no mutable default argument values (list/dict/set/array)"
+
+    def _is_mutable(self, node: ast.AST, module: ModuleSource) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in _MUTABLE_CALLS:
+                return True
+            name = module.resolve_call(node)
+            if name in _MUTABLE_NP:
+                return True
+        return False
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default, module):
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and construct inside the body",
+                    )
+
+
+@register_rule
+class MissingAllRule(Rule):
+    """Public modules must declare ``__all__``.
+
+    Fires only when a module *defines* public top-level names; pure
+    entry-point shims (``__main__.py``) and private modules are exempt
+    by construction.
+    """
+
+    rule_id = "missing-all"
+    severity = SEVERITY_WARNING
+    description = "modules defining public names must declare __all__"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        has_all = False
+        public: list = []
+        for node in module.tree.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            has_all = True
+                        elif not target.id.startswith("_"):
+                            public.append(target.id)
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if not node.name.startswith("_"):
+                    public.append(node.name)
+        if public and not has_all:
+            preview = ", ".join(public[:4]) + ("..." if len(public) > 4 else "")
+            yield self.finding(
+                module, (1, 0),
+                f"module defines public names ({preview}) but no __all__",
+            )

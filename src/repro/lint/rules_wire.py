@@ -1,0 +1,82 @@
+"""Wire-format locality: byte-layout code lives in designated modules.
+
+The SketchML wire format is pinned by golden digests; a ``struct.pack``
+or ``.tobytes()`` sprinkled into a random module is a second,
+unversioned opinion about byte layout that the golden suite cannot see.
+All byte-format primitives are therefore confined to the serialization
+modules listed in :data:`~repro.lint.policy.WIRE_MODULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, ModuleSource, Rule, SEVERITY_ERROR, register_rule
+from .policy import WIRE_MODULES
+
+__all__ = ["WireFormatRule"]
+
+
+@register_rule
+class WireFormatRule(Rule):
+    """struct / frombuffer / tobytes only inside serialization modules.
+
+    Flags, outside :data:`~repro.lint.policy.WIRE_MODULES`:
+
+    * ``import struct`` / ``from struct import ...``;
+    * calls into ``struct.*`` (pack/unpack/calcsize/Struct);
+    * ``np.frombuffer(...)`` — reinterpreting raw bytes;
+    * ``.tobytes()`` method calls — emitting raw bytes.
+
+    New wire needs should extend :mod:`repro.core.serialization` (or a
+    new allowlisted codec module) so the format stays versioned, golden-
+    tested, and in one place.
+    """
+
+    rule_id = "wire-format"
+    severity = SEVERITY_ERROR
+    description = (
+        "byte-format primitives (struct, frombuffer, tobytes) only in "
+        "designated serialization modules"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.relpath in WIRE_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "struct":
+                        yield self.finding(
+                            module, node,
+                            "import struct outside a serialization module",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "struct" and node.level == 0:
+                    yield self.finding(
+                        module, node,
+                        "from struct import ... outside a serialization module",
+                    )
+            elif isinstance(node, ast.Call):
+                name = module.resolve_call(node)
+                if name is not None and name.startswith("struct."):
+                    yield self.finding(
+                        module, node,
+                        f"{name}() call outside a serialization module",
+                    )
+                elif name == "numpy.frombuffer":
+                    yield self.finding(
+                        module, node,
+                        "np.frombuffer() reinterprets raw bytes outside a "
+                        "serialization module",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "tobytes"
+                ):
+                    yield self.finding(
+                        module, node,
+                        ".tobytes() emits raw wire bytes outside a "
+                        "serialization module",
+                    )

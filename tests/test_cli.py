@@ -112,3 +112,54 @@ class TestDatagen:
         dataset = read_libsvm(out_path)
         assert dataset.num_rows > 0
         assert np.isfinite(dataset.data).all()
+
+
+class TestLint:
+    BAD = "try:\n    f()\nexcept:\n    pass\n"
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.BAD)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "bare-except" in out
+        assert f"{bad}:3:" in out
+        assert "1 finding" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.BAD)
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "bare-except"
+        assert payload[0]["line"] == 3
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text(self.BAD + "def public():\n    return 1\n")
+        assert main(["lint", "--select", "missing-all", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "missing-all" in out and "bare-except" not in out
+
+    def test_unknown_select_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", "--select", "bogus", str(tmp_path)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["lint", "does/not/exist"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("kernel-parity", "rng-discipline", "dtype-discipline",
+                        "hot-loop", "wire-format", "bare-except",
+                        "mutable-default", "missing-all",
+                        "noqa-justification"):
+            assert rule_id in out

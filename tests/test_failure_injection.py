@@ -127,3 +127,36 @@ class TestKeyBlobCorruption:
             assert decoded.dtype == np.int64  # decoded cleanly (maybe wrong)
         except ValueError:
             pass
+
+
+class TestSanitizedWireCorruption:
+    """Same byte-flip storm, sanitizer on: the extra invariant checks may
+    reject more messages (as SanitizerError, a ValueError), but must
+    never crash and must never reject the uncorrupted message."""
+
+    @given(
+        position=st.integers(min_value=0, max_value=10_000),
+        new_byte=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_flip_sanitized(self, position, new_byte):
+        from repro import sanitize
+
+        comp, wire = _reference_message()
+        position %= len(wire)
+        corrupted = bytearray(wire)
+        corrupted[position] = new_byte
+        with sanitize.sanitized():
+            try:
+                message = deserialize_message(bytes(corrupted))
+                comp.decompress(message)
+            except (SerializationError, ValueError):
+                pass
+
+    def test_uncorrupted_message_survives_sanitizer(self):
+        from repro import sanitize
+
+        comp, wire = _reference_message()
+        with sanitize.sanitized():
+            keys, values = comp.decompress(deserialize_message(wire))
+        assert keys.size == 2_000

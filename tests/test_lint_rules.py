@@ -1,0 +1,295 @@
+"""Per-rule fixture tests: each rule fires on a bad snippet, stays
+quiet on the idiomatic version of the same code."""
+
+import pytest
+
+from repro.lint import all_rule_ids, lint_source
+
+
+def ids_for(text, relpath, select=None):
+    return sorted({f.rule_id for f in lint_source(text, relpath=relpath,
+                                                  select=select)})
+
+
+class TestKernelParity:
+    def test_fires_on_fallthrough_guard(self):
+        bad = (
+            "from .. import kernels\n"
+            "def encode(xs):\n"
+            "    if kernels.vectorised_enabled():\n"
+            "        xs = xs * 2\n"
+            "    return sum(xs)\n"
+        )
+        findings = lint_source(bad, relpath="core/codec.py",
+                               select=["kernel-parity"])
+        assert [f.rule_id for f in findings] == ["kernel-parity"]
+        assert findings[0].line == 3
+
+    def test_clean_when_branch_returns(self):
+        good = (
+            "from .. import kernels\n"
+            "def encode(xs):\n"
+            "    if kernels.vectorised_enabled():\n"
+            "        return fast(xs)\n"
+            "    return slow(xs)\n"
+        )
+        assert ids_for(good, "core/codec.py", ["kernel-parity"]) == []
+
+    def test_clean_with_else_branch(self):
+        good = (
+            "from .. import kernels\n"
+            "def encode(xs):\n"
+            "    if not kernels.vectorised_enabled():\n"
+            "        out = slow(xs)\n"
+            "    else:\n"
+            "        out = fast(xs)\n"
+            "    return out\n"
+        )
+        assert ids_for(good, "core/codec.py", ["kernel-parity"]) == []
+
+    def test_fires_on_dual_path_module_without_switch(self):
+        bad = "def query(key):\n    return key % 7\n"
+        findings = lint_source(bad, relpath="core/minmax_sketch.py",
+                               select=["kernel-parity"])
+        assert [f.rule_id for f in findings] == ["kernel-parity"]
+        assert "never" in findings[0].message
+
+    def test_fires_on_one_sided_kernel_import(self):
+        bad = (
+            "from .. import kernels\n"
+            "def encode(xs):\n"
+            "    return kernels.pack(xs)\n"
+        )
+        assert ids_for(bad, "core/codec.py", ["kernel-parity"]) == [
+            "kernel-parity"
+        ]
+
+    def test_ignores_modules_outside_core(self):
+        bad = "def f(xs):\n    if vectorised_enabled():\n        xs = 1\n"
+        assert ids_for(bad, "bench/runner.py", ["kernel-parity"]) == []
+
+
+class TestHotLoop:
+    def test_fires_on_container_loop(self):
+        bad = (
+            "def pack(arrays):\n"
+            "    total = 0\n"
+            "    for arr in arrays:\n"
+            "        total += arr.sum()\n"
+            "    return total\n"
+        )
+        findings = lint_source(bad, relpath="core/bitpack.py",
+                               select=["hot-loop"])
+        assert [f.rule_id for f in findings] == ["hot-loop"]
+        assert findings[0].line == 3
+
+    def test_fires_on_zip_and_while(self):
+        bad = (
+            "def pack(a, b):\n"
+            "    for x, y in zip(a, b):\n"
+            "        use(x, y)\n"
+            "    while a:\n"
+            "        a = a[1:]\n"
+        )
+        findings = lint_source(bad, relpath="core/bitpack.py",
+                               select=["hot-loop"])
+        assert len(findings) == 2
+
+    def test_range_loops_allowed(self):
+        good = (
+            "def pack(groups):\n"
+            "    for g in range(len(groups)):\n"
+            "        emit(g)\n"
+            "    for i, g in enumerate(groups):\n"
+            "        emit(i)\n"
+        )
+        assert ids_for(good, "core/bitpack.py", ["hot-loop"]) == []
+
+    def test_scalar_guarded_loop_allowed(self):
+        good = (
+            "from .. import kernels\n"
+            "def pack(arrays):\n"
+            "    if not kernels.vectorised_enabled():\n"
+            "        for arr in arrays:\n"
+            "            slow(arr)\n"
+            "        return\n"
+            "    fast(arrays)\n"
+        )
+        assert ids_for(good, "core/bitpack.py", ["hot-loop"]) == []
+
+    def test_ignores_non_vectorised_modules(self):
+        bad = "def f(xs):\n    for x in xs:\n        use(x)\n"
+        assert ids_for(bad, "core/compressor.py", ["hot-loop"]) == []
+
+
+class TestRngDiscipline:
+    def test_fires_on_unseeded_default_rng(self):
+        bad = (
+            "import numpy as np\n"
+            "def draw():\n"
+            "    return np.random.default_rng().random()\n"
+        )
+        assert ids_for(bad, "core/x.py", ["rng-discipline"]) == [
+            "rng-discipline"
+        ]
+
+    def test_fires_on_legacy_global_state(self):
+        bad = "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(3)\n"
+        findings = lint_source(bad, relpath="core/x.py",
+                               select=["rng-discipline"])
+        assert len(findings) == 2
+
+    def test_fires_on_stdlib_random_and_wall_clock(self):
+        bad = (
+            "import random\n"
+            "import time\n"
+            "def f():\n"
+            "    return random.random() + time.time()\n"
+        )
+        findings = lint_source(bad, relpath="core/x.py",
+                               select=["rng-discipline"])
+        assert len(findings) == 2
+
+    def test_seeded_generator_clean(self):
+        good = (
+            "import numpy as np\n"
+            "import time\n"
+            "def draw(seed):\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    t = time.perf_counter()\n"
+            "    return rng.random(), t\n"
+        )
+        assert ids_for(good, "core/x.py", ["rng-discipline"]) == []
+
+    def test_parameter_named_random_clean(self):
+        good = "def f(random):\n    return random.choice([1, 2])\n"
+        assert ids_for(good, "core/x.py", ["rng-discipline"]) == []
+
+
+class TestDtypeDiscipline:
+    def test_fires_on_dtypeless_constructor_in_strict_module(self):
+        bad = "import numpy as np\ndef f(xs):\n    return np.asarray(xs)\n"
+        assert ids_for(bad, "core/bitpack.py", ["dtype-discipline"]) == [
+            "dtype-discipline"
+        ]
+
+    def test_explicit_dtype_clean(self):
+        good = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    a = np.asarray(xs, dtype=np.int64)\n"
+            "    b = np.zeros(4, np.uint64)\n"
+            "    return a, b\n"
+        )
+        assert ids_for(good, "core/bitpack.py", ["dtype-discipline"]) == []
+
+    def test_fires_on_float_object_dtype_anywhere_in_core(self):
+        bad = (
+            "import numpy as np\n"
+            "def f(xs):\n"
+            "    return xs.astype(float), np.zeros(3, dtype=object)\n"
+        )
+        findings = lint_source(bad, relpath="core/compressor.py",
+                               select=["dtype-discipline"])
+        assert len(findings) == 2
+
+    def test_dtypeless_allowed_outside_strict_modules(self):
+        good = "import numpy as np\ndef f(xs):\n    return np.asarray(xs)\n"
+        assert ids_for(good, "core/compressor.py", ["dtype-discipline"]) == []
+        assert ids_for(good, "bench/runner.py", ["dtype-discipline"]) == []
+
+
+class TestWireFormat:
+    def test_fires_outside_serialization_modules(self):
+        bad = (
+            "import struct\n"
+            "import numpy as np\n"
+            "def f(buf, arr):\n"
+            "    n = struct.unpack('<I', buf[:4])[0]\n"
+            "    raw = arr.tobytes()\n"
+            "    return np.frombuffer(buf, dtype=np.uint8), n, raw\n"
+        )
+        findings = lint_source(bad, relpath="core/compressor.py",
+                               select=["wire-format"])
+        assert len(findings) == 4  # import, unpack, tobytes, frombuffer
+
+    def test_allowed_in_wire_modules(self):
+        good = (
+            "import struct\n"
+            "import numpy as np\n"
+            "def f(buf, arr):\n"
+            "    return struct.pack('<I', 1) + arr.tobytes()\n"
+        )
+        assert ids_for(good, "core/serialization.py", ["wire-format"]) == []
+        assert ids_for(good, "core/bitpack.py", ["wire-format"]) == []
+
+
+class TestBareExcept:
+    def test_fires_on_bare_except(self):
+        bad = "try:\n    f()\nexcept:\n    g()\n"
+        assert ids_for(bad, "core/x.py", ["bare-except"]) == ["bare-except"]
+
+    def test_fires_on_swallowed_exception(self):
+        bad = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert ids_for(bad, "core/x.py", ["bare-except"]) == ["bare-except"]
+
+    def test_typed_handler_clean(self):
+        good = (
+            "try:\n"
+            "    f()\n"
+            "except ValueError:\n"
+            "    pass\n"
+            "except Exception as exc:\n"
+            "    log(exc)\n"
+            "    raise\n"
+        )
+        assert ids_for(good, "core/x.py", ["bare-except"]) == []
+
+
+class TestMutableDefault:
+    def test_fires_on_literal_and_call_defaults(self):
+        bad = (
+            "import numpy as np\n"
+            "def f(a=[], b={}, c=set(), d=np.zeros(3)):\n"
+            "    return a, b, c, d\n"
+        )
+        findings = lint_source(bad, relpath="core/x.py",
+                               select=["mutable-default"])
+        assert len(findings) == 4
+
+    def test_none_default_clean(self):
+        good = (
+            "def f(a=None, b=(), c='x', *, d=None):\n"
+            "    a = [] if a is None else a\n"
+            "    return a, b, c, d\n"
+        )
+        assert ids_for(good, "core/x.py", ["mutable-default"]) == []
+
+
+class TestMissingAll:
+    def test_fires_on_public_module_without_all(self):
+        bad = "def encode(x):\n    return x\n\nLIMIT = 4\n"
+        findings = lint_source(bad, relpath="core/x.py",
+                               select=["missing-all"])
+        assert [f.rule_id for f in findings] == ["missing-all"]
+        assert findings[0].severity == "warning"
+
+    def test_clean_with_all(self):
+        good = "__all__ = ['encode']\n\ndef encode(x):\n    return x\n"
+        assert ids_for(good, "core/x.py", ["missing-all"]) == []
+
+    def test_private_only_module_clean(self):
+        good = "def _helper(x):\n    return x\n_CACHE = {}\n"
+        assert ids_for(good, "core/x.py", ["missing-all"]) == []
+
+
+class TestRuleInventory:
+    def test_at_least_eight_rules_registered(self):
+        ids = all_rule_ids()
+        assert len([r for r in ids if r != "noqa-justification"]) >= 8
+        for required in [
+            "kernel-parity", "rng-discipline", "dtype-discipline",
+            "hot-loop", "wire-format", "bare-except", "mutable-default",
+            "missing-all", "noqa-justification",
+        ]:
+            assert required in ids
