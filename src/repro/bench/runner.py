@@ -81,7 +81,11 @@ class ExperimentSpec:
 
     Attributes mirror §4.1's protocol; ``scale`` shrinks the synthetic
     dataset for fast benches, and ``learning_rate`` defaults to the
-    grid-searched value used across the suite.
+    grid-searched value used across the suite.  ``backend`` selects the
+    execution substrate (``sim`` keeps the figure-benchmark cost model;
+    ``mp`` / ``tcp`` run real worker processes), and the ``fault_*`` /
+    supervision fields configure the runtime's seeded fault injection —
+    they are ignored on the ``sim`` backend.
     """
 
     profile: str = "kdd12"
@@ -98,6 +102,15 @@ class ExperimentSpec:
     compute_seconds_per_nnz: float = 3e-4
     bandwidth_override: float = 0.0
     sketch_overrides: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+    backend: str = "sim"
+    fault_drop_rate: float = 0.0
+    fault_delay_rate: float = 0.0
+    fault_duplicate_rate: float = 0.0
+    fault_corrupt_rate: float = 0.0
+    fault_seed: int = 0
+    straggler_policy: str = "fail_fast"
+    message_timeout: float = 10.0
+    max_retries: int = 3
 
     def network(self) -> NetworkModel:
         if self.bandwidth_override:
@@ -109,6 +122,36 @@ class ExperimentSpec:
         if self.cluster == "cluster2":
             return cluster2_like()
         raise ValueError(f"unknown cluster {self.cluster!r}")
+
+    def runtime(self):
+        """The :class:`repro.runtime.RuntimeConfig` for real backends
+        (``None`` on the simulated path)."""
+        if self.backend == "sim":
+            return None
+        from ..runtime import FaultConfig, RuntimeConfig, SupervisionConfig
+
+        faults = None
+        if (
+            self.fault_drop_rate or self.fault_delay_rate
+            or self.fault_duplicate_rate or self.fault_corrupt_rate
+        ):
+            faults = FaultConfig(
+                seed=self.fault_seed,
+                drop_rate=self.fault_drop_rate,
+                delay_rate=self.fault_delay_rate,
+                duplicate_rate=self.fault_duplicate_rate,
+                corrupt_rate=self.fault_corrupt_rate,
+            )
+        return RuntimeConfig(
+            backend=self.backend,
+            supervision=SupervisionConfig(
+                message_timeout=self.message_timeout,
+                max_retries=self.max_retries,
+                straggler_policy=self.straggler_policy,
+                seed=self.seed,
+            ),
+            faults=faults,
+        )
 
 
 _RESULT_CACHE: Dict[ExperimentSpec, TrainingHistory] = {}
@@ -142,7 +185,9 @@ def run_experiment(
             seed=spec.seed,
             method_label=spec.method,
             compute_seconds_per_nnz=spec.compute_seconds_per_nnz,
+            backend=spec.backend,
         ),
+        runtime=spec.runtime(),
     )
     history = trainer.train(train, test)
     if use_cache:

@@ -74,6 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cluster", default="cluster2",
                        choices=["cluster1", "cluster2"])
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--backend", default="sim",
+                       choices=["sim", "mp", "tcp"],
+                       help="execution backend: simulated cluster (default), "
+                            "real worker processes over pipes (mp) or "
+                            "host-local TCP sockets (tcp)")
+    train.add_argument("--straggler-policy", default="fail_fast",
+                       choices=["fail_fast", "drop"],
+                       help="what to do when a worker is lost "
+                            "(real backends only)")
+    train.add_argument("--message-timeout", type=float, default=10.0,
+                       help="seconds to wait for one worker reply attempt")
+    train.add_argument("--max-retries", type=int, default=3,
+                       help="re-send attempts per message after the first")
+    train.add_argument("--fault-drop", type=float, default=0.0,
+                       help="fault injection: P(drop a driver->worker frame)")
+    train.add_argument("--fault-delay", type=float, default=0.0,
+                       help="fault injection: P(delay a worker->driver frame)")
+    train.add_argument("--fault-duplicate", type=float, default=0.0,
+                       help="fault injection: P(duplicate a reply frame)")
+    train.add_argument("--fault-corrupt", type=float, default=0.0,
+                       help="fault injection: P(corrupt a reply payload)")
+    train.add_argument("--fault-seed", type=int, default=0,
+                       help="fault injection RNG seed")
 
     compare = sub.add_parser(
         "compare", help="compare all codecs on one synthetic gradient"
@@ -102,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default=None,
                       help="output JSON path (default: BENCH_codec.json; "
                            "'-' to skip writing)")
+    perf.add_argument("--transports", nargs="*", default=None,
+                      choices=["sim", "mp", "tcp"], metavar="BACKEND",
+                      help="also time transport echo round-trips on these "
+                           "backends (default: all three; pass with no "
+                           "values to skip)")
 
     datagen = sub.add_parser("datagen", help="write a synthetic dataset")
     datagen.add_argument("--profile", default="kdd10",
@@ -186,6 +214,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             cluster=args.cluster,
+            backend=args.backend,
+            straggler_policy=args.straggler_policy,
+            message_timeout=args.message_timeout,
+            max_retries=args.max_retries,
+            fault_drop_rate=args.fault_drop,
+            fault_delay_rate=args.fault_delay,
+            fault_duplicate_rate=args.fault_duplicate,
+            fault_corrupt_rate=args.fault_corrupt,
+            fault_seed=args.fault_seed,
         )
         history = run_experiment(spec, use_cache=False)
     except ValueError as exc:
@@ -211,10 +248,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"{args.method} / {args.model} / {args.profile} "
-                f"({args.workers} workers, {args.cluster})"
+                f"({args.workers} workers, {args.cluster}, "
+                f"backend={args.backend})"
             ),
         )
     )
+    dropped = history.epochs[-1].dropped_workers if history.epochs else {}
+    if dropped:
+        for worker_id, reason in sorted(dropped.items()):
+            print(f"dropped worker {worker_id}: {reason}")
     return 0
 
 
@@ -265,6 +307,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print("error: --sizes values must be positive", file=sys.stderr)
         return 2
     results = run_suite(sizes=args.sizes, quick=args.quick)
+    from .perf.transport_bench import run_transport_bench
+
+    transports = args.transports
+    if transports is None:
+        transports = ["sim"] if args.quick else ["sim", "mp", "tcp"]
+    if transports:
+        results.extend(
+            run_transport_bench(
+                transports, repeats=2 if args.quick else 3
+            )
+        )
     name_w = max(len(r.name) for r in results)
     print(f"{'kernel':<{name_w}}  {'median ms':>10}  {'ns/elem':>9}  {'MB/s':>9}")
     for r in results:

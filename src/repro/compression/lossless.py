@@ -196,7 +196,7 @@ class HuffmanDeltaKeyCodec(KeyCodec):
             deltas[0] = keys[0]
             deltas[1:] = np.diff(keys)
         raw = deltas.astype("<u4").tobytes()
-        header = np.uint32(keys.size).tobytes()
+        header = np.asarray(keys.size, dtype="<u4").tobytes()
         if not raw:
             return header
         freqs = Counter(raw)
@@ -204,19 +204,19 @@ class HuffmanDeltaKeyCodec(KeyCodec):
         # Serialise the table: count, then (symbol, code_len) pairs, then
         # the canonical codes are rebuilt from lengths at decode time.
         table = bytearray()
-        table += np.uint16(len(codes)).tobytes()
+        table += np.asarray(len(codes), dtype="<u2").tobytes()
         for symbol, code in sorted(codes.items()):
             table.append(symbol)
             table.append(len(code))
         bits = "".join(codes[b] for b in raw)
         payload = self._pack_bits(bits)
-        return header + bytes(table) + np.uint32(len(bits)).tobytes() + payload
+        return header + bytes(table) + np.asarray(len(bits), dtype="<u4").tobytes() + payload
 
     def decode(self, blob: bytes) -> np.ndarray:
-        n = int(np.frombuffer(blob[:4], dtype=np.uint32)[0])
+        n = int(np.frombuffer(blob[:4], dtype="<u4")[0])
         if n == 0:
             return np.empty(0, dtype=np.int64)
-        num_symbols = int(np.frombuffer(blob[4:6], dtype=np.uint16)[0])
+        num_symbols = int(np.frombuffer(blob[4:6], dtype="<u2")[0])
         table_end = 6 + 2 * num_symbols
         lengths: List[Tuple[int, int]] = []
         for i in range(num_symbols):
@@ -224,7 +224,7 @@ class HuffmanDeltaKeyCodec(KeyCodec):
             length = blob[7 + 2 * i]
             lengths.append((symbol, length))
         codes = self._canonical_codes(lengths)
-        bit_count = int(np.frombuffer(blob[table_end:table_end + 4], dtype=np.uint32)[0])
+        bit_count = int(np.frombuffer(blob[table_end:table_end + 4], dtype="<u4")[0])
         bits = self._unpack_bits(blob[table_end + 4:], bit_count)
         decoder = {code: symbol for symbol, code in codes.items()}
         out = bytearray()

@@ -105,7 +105,7 @@ def encode_keys(keys: np.ndarray) -> bytes:
     """
     keys = _validate_keys(keys)
     n = keys.size
-    header = np.uint32(n).tobytes()
+    header = np.asarray(n, dtype="<u4").tobytes()
     if n == 0:
         return header
     deltas = np.empty(n, dtype=np.uint64)
@@ -151,7 +151,7 @@ def encode_key_groups(key_groups: Sequence[np.ndarray]) -> List[bytes]:
             raise ValueError("keys must be a 1-D array")
     sizes = np.asarray([arr.size for arr in arrays], dtype=np.int64)
     if int(sizes.sum()) == 0:
-        return [np.uint32(0).tobytes() for _ in arrays]
+        return [np.asarray(0, dtype="<u4").tobytes() for _ in arrays]
     return encode_key_groups_flat(
         np.concatenate([arr for arr in arrays if arr.size]), sizes
     )
@@ -173,7 +173,7 @@ def encode_key_groups_flat(concat: np.ndarray, sizes: np.ndarray) -> List[bytes]
     if concat.size != total:
         raise ValueError("sizes must sum to concat.size")
     if total == 0:
-        return [np.uint32(0).tobytes() for _ in range(sizes.size)]
+        return [np.asarray(0, dtype="<u4").tobytes() for _ in range(sizes.size)]
     if not kernels.vectorised_enabled():
         bounds = np.zeros(sizes.size + 1, dtype=np.int64)
         np.cumsum(sizes, out=bounds[1:])
@@ -231,7 +231,7 @@ def encode_key_groups_flat(concat: np.ndarray, sizes: np.ndarray) -> List[bytes]
     blobs: List[bytes] = []
     for g in range(sizes.size):
         n = int(sizes[g])
-        header = np.uint32(n).tobytes()
+        header = np.asarray(n, dtype="<u4").tobytes()
         if n == 0:
             blobs.append(header)
             continue
@@ -255,7 +255,7 @@ def decode_keys(blob: bytes) -> np.ndarray:
     """
     if len(blob) < _HEADER_BYTES:
         raise ValueError("blob too short to contain a key-count header")
-    n = int(np.frombuffer(blob[:_HEADER_BYTES], dtype=np.uint32)[0])
+    n = int(np.frombuffer(blob[:_HEADER_BYTES], dtype="<u4")[0])
     if n == 0:
         if len(blob) != _HEADER_BYTES:
             raise ValueError("trailing bytes after empty key block")

@@ -115,15 +115,15 @@ class _Reader:
 def _write_buckets(w: _Writer, buckets: SignedBuckets) -> None:
     w.pack("H", buckets.num_buckets)
     w.pack("b", 1 if buckets.sign > 0 else -1)
-    w.array(np.asarray(buckets.splits, dtype=np.float64))
-    w.array(np.asarray(buckets.means, dtype=np.float64))
+    w.array(np.asarray(buckets.splits, dtype="<f8"))
+    w.array(np.asarray(buckets.means, dtype="<f8"))
 
 
 def _read_buckets(r: _Reader) -> SignedBuckets:
     num_buckets = r.unpack("H")
     sign = float(r.unpack("b"))
-    splits = r.array(np.float64)
-    means = r.array(np.float64)
+    splits = r.array("<f8")
+    means = r.array("<f8")
     if means.size != num_buckets or splits.size != num_buckets + 1:
         raise SerializationError("bucket table sizes are inconsistent")
     return SignedBuckets(splits=splits.copy(), means=means.copy(), sign=sign)
@@ -138,8 +138,9 @@ def _write_minmax(w: _Writer, sketch: MinMaxSketch) -> None:
     w.pack("BIIq", sketch.num_rows, sketch.num_bins, sketch.index_range,
            sketch._master_seed)
     w.pack("B", _HASH_FAMILIES.index(sketch._hash_family_name))
-    w.pack("B", sketch._table.dtype.itemsize)
-    w.array(sketch._table)
+    itemsize = sketch._table.dtype.itemsize
+    w.pack("B", itemsize)
+    w.array(np.asarray(sketch._table, dtype=f"<u{itemsize}"))
 
 
 def _read_minmax(r: _Reader) -> MinMaxSketch:
@@ -149,7 +150,7 @@ def _read_minmax(r: _Reader) -> MinMaxSketch:
         raise SerializationError(f"unknown hash family id {family_id}")
     family = _HASH_FAMILIES[family_id]
     itemsize = r.unpack("B")
-    dtype = {1: np.uint8, 2: np.uint16, 4: np.uint32}.get(itemsize)
+    dtype = {1: "u1", 2: "<u2", 4: "<u4"}.get(itemsize)
     if dtype is None:
         raise SerializationError(f"unknown sketch cell width {itemsize}")
     sketch = MinMaxSketch(
@@ -193,7 +194,7 @@ def _write_part(w: _Writer, part: SignPart) -> None:
     if part.raw_values is not None:
         w.pack("B", _KIND_RAW)
         _write_keys(w, part)
-        w.array(np.asarray(part.raw_values, dtype=np.float64))
+        w.array(np.asarray(part.raw_values, dtype="<f8"))
     elif part.sketch is not None:
         w.pack("B", _KIND_SKETCH)
         _write_buckets(w, part.buckets)
@@ -211,8 +212,9 @@ def _write_part(w: _Writer, part: SignPart) -> None:
             w.pack("B", part.index_bits)
             w.blob(part.packed_indexes)
         else:
-            w.pack("B", part.indexes.dtype.itemsize)
-            w.array(part.indexes)
+            itemsize = part.indexes.dtype.itemsize
+            w.pack("B", itemsize)
+            w.array(np.asarray(part.indexes, dtype=f"<u{itemsize}"))
 
 
 def _write_keys(w: _Writer, part: SignPart) -> None:
@@ -221,7 +223,7 @@ def _write_keys(w: _Writer, part: SignPart) -> None:
         w.blob(part.key_blob)
     else:
         w.pack("B", _KEY_KIND_RAW)
-        w.array(np.asarray(part.raw_keys, dtype=np.uint32))
+        w.array(np.asarray(part.raw_keys, dtype="<u4"))
 
 
 def _read_keys(r: _Reader, part: SignPart) -> None:
@@ -229,7 +231,7 @@ def _read_keys(r: _Reader, part: SignPart) -> None:
     if key_kind == _KEY_KIND_DELTA:
         part.key_blob = r.blob()
     elif key_kind == _KEY_KIND_RAW:
-        part.raw_keys = r.array(np.uint32).astype(np.int64)
+        part.raw_keys = r.array("<u4").astype(np.int64)
     else:
         raise SerializationError(f"unknown key kind {key_kind}")
 
@@ -241,7 +243,7 @@ def _read_part(r: _Reader) -> SignPart:
     part = SignPart(sign=sign, nnz=nnz)
     if kind == _KIND_RAW:
         _read_keys(r, part)
-        part.raw_values = r.array(np.float64).copy()
+        part.raw_values = r.array("<f8").copy()
     elif kind == _KIND_SKETCH:
         part.buckets = _read_buckets(r)
         num_blobs = r.unpack("B")
@@ -259,7 +261,7 @@ def _read_part(r: _Reader) -> SignPart:
                 )
             part.packed_indexes = r.blob()
         else:
-            dtype = {1: np.uint8, 2: np.uint16}.get(itemsize)
+            dtype = {1: "u1", 2: "<u2"}.get(itemsize)
             if dtype is None:
                 raise SerializationError(f"unknown index width {itemsize}")
             part.indexes = r.array(dtype).copy()

@@ -4,11 +4,19 @@ Saves the trained parameter vector plus the optimizer's moment state to
 a single ``.npz`` file, so a Table-2-scale convergence run can resume
 after interruption (and final models from the benches can be inspected
 offline).
+
+Writes are **atomic**: the archive is fully written to a temporary
+file in the destination directory and then renamed over the target
+with :func:`os.replace`.  A crash mid-write (the exact interruption a
+checkpoint exists to survive) can therefore never leave a truncated
+archive under the checkpoint name — the old checkpoint, if any,
+survives intact.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Optional, Tuple
 
 import numpy as np
@@ -35,6 +43,10 @@ def save_checkpoint(
 ) -> None:
     """Write ``theta`` (and optimizer state, if any) to a ``.npz`` file.
 
+    The write goes to a temporary file in the same directory first and
+    is renamed into place only once complete, so an interrupted save
+    never corrupts an existing checkpoint.
+
     Args:
         path: destination file.
         theta: model parameter vector.
@@ -57,7 +69,27 @@ def save_checkpoint(
             state = getattr(optimizer, f)
             if state is not None:
                 arrays[f"opt{f}"] = state
-    np.savez_compressed(path, **arrays)
+    path = os.fspath(path)
+    # np.savez_compressed appends ".npz" to suffix-less *paths*, but
+    # writes an open file handle verbatim — go through a handle so the
+    # temp name and the final name stay in the caller's control.
+    target = path if path.endswith(".npz") else path + ".npz"
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".tmp-", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_checkpoint(

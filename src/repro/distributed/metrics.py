@@ -13,7 +13,7 @@ Every end-to-end figure in the paper is a projection of these records:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["EpochRecord", "TrainingHistory", "time_to_converge"]
 
@@ -33,6 +33,10 @@ class EpochRecord:
     raw_bytes: int
     num_messages: int
     gradient_nnz: float
+    #: Workers lost under the runtime ``drop`` straggler policy by the
+    #: end of this epoch (worker id → reason); empty on the simulated
+    #: path and on clean runs.
+    dropped_workers: Dict[int, str] = field(default_factory=dict)
 
     @property
     def epoch_seconds(self) -> float:

@@ -14,6 +14,8 @@ end-to-end figure of the paper is derived.
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -31,6 +33,12 @@ from .network import NetworkModel
 from .worker import Worker
 
 __all__ = ["TrainerConfig", "DistributedTrainer"]
+
+#: Mirrors :data:`repro.runtime.transport.TRANSPORT_BACKENDS`; kept as a
+#: literal here so importing the trainer does not import the runtime
+#: package (which imports this package's workers — lazy imports below
+#: break the cycle).
+_BACKENDS = ("sim", "mp", "tcp")
 
 CompressorFactory = Callable[[], GradientCompressor]
 
@@ -51,6 +59,13 @@ class TrainerConfig:
         compute_seconds_per_nnz: modelled gradient compute time per
             batch nonzero, added on top of measured time (see
             :meth:`repro.distributed.worker.Worker.compute_step`).
+        backend: execution backend.  ``"sim"`` (default) runs the
+            simulated single-process loop below — the figure-benchmark
+            path, unchanged.  ``"mp"`` / ``"tcp"`` run the same
+            training semantics over real spawned worker processes via
+            :class:`repro.runtime.RuntimeCluster`; gradient exchanges
+            round-trip through the serialized wire bytes and model
+            updates are bit-identical to ``"sim"`` for the same seed.
     """
 
     num_workers: int = 10
@@ -60,6 +75,7 @@ class TrainerConfig:
     evaluate_test: bool = True
     method_label: Optional[str] = None
     compute_seconds_per_nnz: float = 0.0
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -70,6 +86,10 @@ class TrainerConfig:
             raise ValueError("epochs must be positive")
         if self.compute_seconds_per_nnz < 0:
             raise ValueError("compute_seconds_per_nnz must be non-negative")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {_BACKENDS}"
+            )
 
 
 class DistributedTrainer:
@@ -85,6 +105,11 @@ class DistributedTrainer:
         network: wire cost model.
         config: run configuration.
         schedule: optional learning-rate schedule over rounds.
+        runtime: optional :class:`repro.runtime.RuntimeConfig` with
+            supervision / fault-injection knobs for the real backends
+            (its ``backend`` field is overridden by
+            ``config.backend``).  Ignored when ``config.backend`` is
+            ``"sim"``.
 
     Example:
         >>> from repro.data import kdd10_like, train_test_split
@@ -115,6 +140,7 @@ class DistributedTrainer:
         network: NetworkModel,
         config: Optional[TrainerConfig] = None,
         schedule: Optional[LRSchedule] = None,
+        runtime=None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -122,6 +148,7 @@ class DistributedTrainer:
         self.network = network
         self.config = config or TrainerConfig()
         self.schedule = schedule or ConstantLR()
+        self.runtime = runtime
 
     # ------------------------------------------------------------------
     def _build_workers(self, train_dataset) -> "list[Worker]":
@@ -149,6 +176,8 @@ class DistributedTrainer:
     def train(self, train_dataset, test_dataset=None) -> TrainingHistory:
         """Run the configured number of epochs; returns the history."""
         cfg = self.config
+        if cfg.backend != "sim":
+            return self._train_runtime(train_dataset, test_dataset)
         workers = self._build_workers(train_dataset)
         driver = Driver(self.compressor_factory(), self.model.num_parameters)
         theta = self.model.init_theta()
@@ -181,6 +210,203 @@ class DistributedTrainer:
         if not hasattr(self, "_theta"):
             raise RuntimeError("train() has not been run yet")
         return self._theta
+
+    # ------------------------------------------------------------------
+    # real execution backends (mp / tcp) via repro.runtime
+    # ------------------------------------------------------------------
+    def _check_wire_serializable(self) -> None:
+        """Real backends ship gradients as wire bytes — probe that the
+        configured compressor produces serializable messages before
+        spawning processes, so the failure is immediate and named."""
+        from ..core.serialization import serialize_message
+
+        probe = self.compressor_factory()
+        message = probe.compress(
+            np.array([0], dtype=np.int64),
+            np.array([1e-3], dtype=np.float64),
+            self.model.num_parameters,
+        )
+        try:
+            serialize_message(message)
+        except TypeError as exc:
+            raise ValueError(
+                f"backend {self.config.backend!r} requires a compressor "
+                f"with a wire format (SketchML family); "
+                f"{type(probe).__name__} messages cannot be serialized"
+            ) from exc
+
+    def _build_bootstraps(self, train_dataset, heartbeat_interval: float):
+        from .. import sanitize
+        from ..runtime import WorkerBootstrap
+
+        cfg = self.config
+        partitions = partition_rows(
+            train_dataset.num_rows, cfg.num_workers, seed=cfg.seed
+        )
+        bootstraps = []
+        for worker_id, rows in enumerate(partitions):
+            partition = train_dataset.subset(rows)
+            batch_size = max(1, int(round(partition.num_rows * cfg.batch_fraction)))
+            bootstraps.append(
+                WorkerBootstrap(
+                    worker_id=worker_id,
+                    dataset=partition,
+                    model=self.model,
+                    optimizer=copy.deepcopy(self.optimizer),
+                    compressor=self.compressor_factory(),
+                    batch_size=batch_size,
+                    seed=cfg.seed,
+                    compute_seconds_per_nnz=cfg.compute_seconds_per_nnz,
+                    heartbeat_interval=heartbeat_interval,
+                    sanitize=bool(sanitize.enabled()),
+                )
+            )
+        return bootstraps
+
+    def _train_runtime(self, train_dataset, test_dataset) -> TrainingHistory:
+        """The simulated loop's semantics over a real worker cluster.
+
+        Same partitioning, batch shuffling, aggregation order, and
+        learning-rate schedule indexing as :meth:`_run_epoch`, so a
+        fixed seed produces bit-identical model updates on every
+        backend; only the time accounting differs (wall-clock instead
+        of the network cost model — see ``docs/runtime.md``).
+        """
+        from ..core.serialization import serialize_message
+        from ..runtime import RuntimeCluster, RuntimeConfig
+
+        cfg = self.config
+        runtime_cfg = self.runtime or RuntimeConfig()
+        if runtime_cfg.backend != cfg.backend:
+            runtime_cfg = dataclasses.replace(runtime_cfg, backend=cfg.backend)
+        self._check_wire_serializable()
+        bootstraps = self._build_bootstraps(
+            train_dataset, runtime_cfg.supervision.heartbeat_interval
+        )
+        driver = Driver(self.compressor_factory(), self.model.num_parameters)
+        theta = self.model.init_theta()
+        self.optimizer.prepare(self.model.num_parameters)
+        method = cfg.method_label or getattr(
+            driver.compressor, "name", type(driver.compressor).__name__
+        )
+        history = TrainingHistory(
+            method=method, model=self.model.name, num_workers=cfg.num_workers
+        )
+        base_lr = self.optimizer.learning_rate
+        round_counter = 0  # schedule index: counts aggregated rounds only
+        protocol_round = 0  # wire round id: unique per STEP, never reused
+        try:
+            with RuntimeCluster(
+                bootstraps, runtime_cfg, network=self.network
+            ) as cluster:
+                for epoch in range(cfg.epochs):
+                    record, rounds, protocol_round = self._run_runtime_epoch(
+                        epoch, cluster, driver, theta, base_lr,
+                        round_counter, protocol_round, serialize_message,
+                    )
+                    round_counter += rounds
+                    if cfg.evaluate_test and test_dataset is not None:
+                        record.test_loss = self.model.full_loss(
+                            test_dataset, theta
+                        )
+                    record.dropped_workers = dict(cluster.dropped_workers)
+                    history.append(record)
+        finally:
+            self.optimizer.learning_rate = base_lr
+        self._theta = theta
+        return history
+
+    def _run_runtime_epoch(
+        self,
+        epoch: int,
+        cluster,
+        driver: Driver,
+        theta: np.ndarray,
+        base_lr: float,
+        round_counter: int,
+        protocol_round: int,
+        serialize_message,
+    ):
+        compute_seconds = 0.0
+        network_seconds = 0.0
+        encode_seconds = 0.0
+        decode_seconds = 0.0
+        bytes_sent = 0
+        raw_bytes = 0
+        num_messages = 0
+        nnz_total = 0
+        loss_sum = 0.0
+        loss_count = 0
+        rounds = 0
+
+        cluster.start_epoch(epoch)
+        while True:
+            wire_round = protocol_round
+            protocol_round += 1
+            t0 = time.perf_counter()
+            results = cluster.step(wire_round, base_lr)
+            t1 = time.perf_counter()
+            active = [r for r in results.values() if r.has_batch]
+            if not active:
+                break
+
+            # Workers genuinely run in parallel here; the gather wire
+            # cost is the measured round trip minus the slowest
+            # worker's own compute + encode (an approximation — see
+            # docs/runtime.md — where the sim backend instead uses the
+            # NetworkModel formulas).
+            worker_busy = max(
+                r.compute_seconds + r.encode_seconds for r in active
+            )
+            compute_seconds += worker_busy
+            network_seconds += max(0.0, (t1 - t0) - worker_busy)
+            encode_seconds += sum(r.encode_seconds for r in active)
+            messages = [r.message for r in active]
+            bytes_sent += sum(r.message_bytes for r in active)
+            raw_bytes += sum(m.raw_bytes for m in messages)
+            num_messages += len(messages)
+            nnz_total += sum(r.gradient_nnz for r in active)
+            loss_sum += sum(r.local_loss for r in active)
+            loss_count += len(active)
+
+            driver_result = driver.aggregate(messages)
+            compute_seconds += (
+                driver_result.decode_seconds
+                + driver_result.aggregate_seconds
+                + driver_result.encode_seconds
+            )
+            decode_seconds += driver_result.decode_seconds
+            encode_seconds += driver_result.encode_seconds
+
+            lr = base_lr * self.schedule(round_counter + rounds)
+            update_bytes = serialize_message(driver_result.broadcast_message)
+            t2 = time.perf_counter()
+            cluster.broadcast(wire_round, lr, update_bytes)
+            network_seconds += time.perf_counter() - t2
+
+            self.optimizer.learning_rate = lr
+            t3 = time.perf_counter()
+            if driver_result.keys.size:
+                self.optimizer.step(
+                    theta, driver_result.keys, driver_result.values
+                )
+            compute_seconds += time.perf_counter() - t3
+            rounds += 1
+
+        record = EpochRecord(
+            epoch=epoch,
+            compute_seconds=compute_seconds,
+            network_seconds=network_seconds,
+            encode_seconds=encode_seconds,
+            decode_seconds=decode_seconds,
+            train_loss=loss_sum / loss_count if loss_count else float("nan"),
+            test_loss=None,
+            bytes_sent=bytes_sent,
+            raw_bytes=raw_bytes,
+            num_messages=num_messages,
+            gradient_nnz=nnz_total / num_messages if num_messages else 0.0,
+        )
+        return record, rounds, protocol_round
 
     # ------------------------------------------------------------------
     def _run_epoch(

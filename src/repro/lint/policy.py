@@ -48,6 +48,7 @@ WIRE_MODULES = frozenset(
         "core/delta_encoding.py",
         "core/bitpack.py",
         "compression/lossless.py",
+        "runtime/framing.py",
     }
 )
 

@@ -24,13 +24,21 @@ from .suite import (
     run_suite,
     write_results,
 )
+from .transport_bench import (
+    TRANSPORT_PAYLOAD_SIZES,
+    TransportBenchResult,
+    run_transport_bench,
+)
 
 __all__ = [
     "BENCH_FILENAME",
     "BenchResult",
     "FULL_SIZES",
     "QUICK_SIZES",
+    "TRANSPORT_PAYLOAD_SIZES",
+    "TransportBenchResult",
     "run_suite",
+    "run_transport_bench",
     "time_kernel",
     "write_results",
 ]

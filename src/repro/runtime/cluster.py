@@ -1,0 +1,397 @@
+"""Driver-side cluster orchestration over a supervised transport.
+
+A :class:`RuntimeCluster` owns the full driver view of one training
+run: it boots ``W`` workers on the configured backend (in-process
+handlers for ``sim``, spawned OS processes for ``mp`` / ``tcp``),
+wraps the transport in seeded fault injection when asked, and runs the
+per-round protocol::
+
+    EPOCH  -> ack            (reshuffle partitions)
+    STEP   -> GRAD           (compute + compress, real wire bytes back)
+    UPDATE -> ack            (apply broadcast aggregate to replicas)
+
+Every exchange goes through the :class:`~repro.runtime.supervision.
+Supervisor`, so timeouts, retries, heartbeat loss, and the
+fail-fast/drop policies apply uniformly to all backends.  A round's
+results only include workers that answered; under the ``drop`` policy
+the caller aggregates over survivors and the per-key mean in
+:func:`repro.distributed.driver.aggregate_sparse_gradients` re-weights
+the update automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.serialization import deserialize_message
+from .faults import FaultConfig, FaultSchedule, FaultyTransport
+from .framing import (
+    KIND_ACK,
+    KIND_ECHO,
+    KIND_EPOCH,
+    KIND_GRAD,
+    KIND_HEARTBEAT,
+    KIND_INIT,
+    KIND_READY,
+    KIND_STEP,
+    KIND_STOP,
+    KIND_UPDATE,
+    FrameError,
+    pack_ack,
+    pack_frame,
+    pack_step,
+    pack_update_header,
+    unpack_ack,
+    unpack_frame,
+    unpack_grad,
+)
+from .supervision import SupervisionConfig, Supervisor
+from .transport import (
+    TRANSPORT_BACKENDS,
+    SimTransport,
+    Transport,
+    TransportError,
+    make_transport,
+)
+from .worker_runtime import WorkerBootstrap, WorkerRuntime
+
+__all__ = ["RuntimeConfig", "RoundResult", "ClusterError", "RuntimeCluster"]
+
+#: Driver frames carry this sender id (workers are 0..W-1).
+DRIVER_SENDER = 0xFFFF
+
+
+class ClusterError(RuntimeError):
+    """The cluster as a whole cannot make progress (e.g. no workers left)."""
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution-backend selection + supervision + fault knobs.
+
+    This is runtime policy, deliberately separate from
+    :class:`~repro.core.config.SketchMLConfig` (codec policy): the
+    same compression config must produce identical bytes on every
+    backend.
+
+    Attributes:
+        backend: one of ``sim`` / ``mp`` / ``tcp``.
+        supervision: retry/timeout/heartbeat policy.
+        faults: optional seeded probabilistic fault rates.
+        fault_schedule: optional exact fault triggers (tests).
+        tcp_host: bind/connect host for the ``tcp`` backend.
+    """
+
+    backend: str = "sim"
+    supervision: SupervisionConfig = field(default_factory=SupervisionConfig)
+    faults: Optional[FaultConfig] = None
+    fault_schedule: Optional[FaultSchedule] = None
+    tcp_host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if self.backend not in TRANSPORT_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {TRANSPORT_BACKENDS}"
+            )
+
+
+@dataclass
+class RoundResult:
+    """One worker's answer to a ``STEP``.
+
+    ``message`` is the deserialized compressed gradient (``None`` when
+    the worker's partition was exhausted this epoch);
+    ``message_bytes`` is the on-the-wire size actually shipped.
+    """
+
+    worker_id: int
+    has_batch: bool
+    local_loss: float
+    compute_seconds: float
+    encode_seconds: float
+    gradient_nnz: int
+    message: Optional[object]
+    message_bytes: int
+
+
+def _sim_handler(
+    runtime: WorkerRuntime, worker_id: int
+) -> Callable[[bytes], List[bytes]]:
+    """In-process equivalent of the spawned worker's serve loop."""
+
+    def handle(frame: bytes) -> List[bytes]:
+        kind, _, payload = unpack_frame(frame)
+        if kind == KIND_ECHO:
+            return [pack_frame(KIND_ECHO, worker_id, payload)]
+        if kind in (KIND_STOP, KIND_HEARTBEAT):
+            return []
+        return runtime.handle(kind, payload)
+
+    return handle
+
+
+class RuntimeCluster:
+    """Boot, drive, and tear down ``W`` workers on any backend.
+
+    Args:
+        bootstraps: one :class:`WorkerBootstrap` per worker, in worker
+            id order (ids must be ``0..W-1``).
+        config: backend + supervision + fault selection.
+        network: optional :class:`~repro.distributed.network.
+            NetworkModel`, attached to the ``sim`` transport to charge
+            simulated wire time per frame.
+    """
+
+    def __init__(
+        self,
+        bootstraps: List[WorkerBootstrap],
+        config: Optional[RuntimeConfig] = None,
+        *,
+        network=None,
+    ) -> None:
+        if not bootstraps:
+            raise ValueError("at least one worker bootstrap is required")
+        for expect, spec in enumerate(bootstraps):
+            if spec.worker_id != expect:
+                raise ValueError(
+                    f"bootstraps must be in id order: slot {expect} "
+                    f"holds worker {spec.worker_id}"
+                )
+        self.config = config or RuntimeConfig()
+        self.num_workers = len(bootstraps)
+        self._closed = False
+        backend = self.config.backend
+        if backend == "sim":
+            runtimes = [WorkerRuntime(spec) for spec in bootstraps]
+            handlers = [
+                _sim_handler(rt, i) for i, rt in enumerate(runtimes)
+            ]
+            transport: Transport = SimTransport(handlers, network=network)
+            # Simulated retries must not burn wall time.
+            sleeper: Callable[[float], None] = lambda _s: None
+        else:
+            transport = make_transport(
+                backend, self.num_workers, tcp_host=self.config.tcp_host
+            )
+            import time
+
+            sleeper = time.sleep
+        if self.config.faults is not None or self.config.fault_schedule is not None:
+            transport = FaultyTransport(
+                transport,
+                config=self.config.faults,
+                schedule=self.config.fault_schedule,
+            )
+        self.transport = transport
+        self.supervisor = Supervisor(
+            transport, self.config.supervision, sleeper=sleeper
+        )
+        if backend != "sim":
+            self._init_workers(bootstraps)
+
+    # ------------------------------------------------------------------
+    def _init_workers(self, bootstraps: List[WorkerBootstrap]) -> None:
+        """INIT → READY handshake with every spawned worker."""
+        frames = [
+            pack_frame(KIND_INIT, DRIVER_SENDER, spec.to_bytes())
+            for spec in bootstraps
+        ]
+        sent = self._send_all(frames)
+        for worker_id in sorted(self.supervisor.alive):
+            self.supervisor.request(
+                worker_id,
+                frames[worker_id],
+                phase="init",
+                expect_kind=KIND_READY,
+                timeout=self.config.supervision.init_timeout,
+                already_sent=sent.get(worker_id, False),
+            )
+        self._require_workers("init")
+
+    def _send_all(self, frames: List[bytes]) -> Dict[int, bool]:
+        """Pipelined fan-out: push every frame before collecting replies.
+
+        Returns which sends succeeded; failed sends are retried inside
+        the supervisor (``already_sent=False``).
+        """
+        sent: Dict[int, bool] = {}
+        for worker_id in sorted(self.supervisor.alive):
+            try:
+                self.transport.send(worker_id, frames[worker_id])
+                sent[worker_id] = True
+            except TransportError:
+                sent[worker_id] = False
+        return sent
+
+    def _require_workers(self, phase: str) -> None:
+        if not self.supervisor.alive:
+            dead = {
+                w: str(err) for w, err in sorted(self.supervisor.dead.items())
+            }
+            raise ClusterError(
+                f"no workers left after phase {phase!r}: {dead}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_workers(self) -> List[int]:
+        return sorted(self.supervisor.alive)
+
+    @property
+    def dropped_workers(self) -> Dict[int, str]:
+        return {w: str(e) for w, e in sorted(self.supervisor.dead.items())}
+
+    @property
+    def charged_seconds(self) -> float:
+        """Simulated wire seconds (``sim`` backend only, else 0)."""
+        inner = self.transport
+        if isinstance(inner, FaultyTransport):
+            inner = inner.inner
+        return getattr(inner, "charged_seconds", 0.0)
+
+    # ------------------------------------------------------------------
+    def start_epoch(self, epoch: int) -> None:
+        """Reshuffle every worker's partition for a new epoch."""
+        self.supervisor.check_heartbeats(phase="epoch")
+        frame = pack_frame(KIND_EPOCH, DRIVER_SENDER, pack_ack(epoch))
+        frames = [frame] * self.num_workers
+        sent = self._send_all(frames)
+
+        def decode(payload: bytes) -> int:
+            acked = unpack_ack(payload)
+            if acked != epoch:
+                raise FrameError(f"stale epoch ack {acked} (want {epoch})")
+            return acked
+
+        for worker_id in sorted(self.supervisor.alive):
+            self.supervisor.request(
+                worker_id,
+                frame,
+                phase="epoch",
+                expect_kind=KIND_ACK,
+                decode=decode,
+                already_sent=sent.get(worker_id, False),
+            )
+        self._require_workers("epoch")
+
+    def step(self, round_id: int, lr: float) -> Dict[int, RoundResult]:
+        """One gradient round: STEP all workers, collect GRAD replies.
+
+        Returns results keyed by worker id, ascending — only for
+        workers that answered.  Each GRAD payload round-trips through
+        :func:`~repro.core.serialization.deserialize_message` inside
+        the supervised decode, so a corrupted reply is rejected (and
+        retried) rather than aggregated.
+        """
+        self.supervisor.check_heartbeats(phase="step")
+        frame = pack_frame(
+            KIND_STEP, DRIVER_SENDER, pack_step(round_id, lr)
+        )
+        frames = [frame] * self.num_workers
+        sent = self._send_all(frames)
+
+        def decode(payload: bytes) -> RoundResult:
+            (rid, has_batch, loss, compute_s, encode_s, nnz,
+             data) = unpack_grad(payload)
+            if rid != round_id:
+                raise FrameError(
+                    f"stale GRAD for round {rid} (want {round_id})"
+                )
+            message = deserialize_message(data) if has_batch else None
+            return RoundResult(
+                worker_id=-1,
+                has_batch=has_batch,
+                local_loss=loss,
+                compute_seconds=compute_s,
+                encode_seconds=encode_s,
+                gradient_nnz=nnz,
+                message=message,
+                message_bytes=len(data),
+            )
+
+        results: Dict[int, RoundResult] = {}
+        for worker_id in sorted(self.supervisor.alive):
+            result = self.supervisor.request(
+                worker_id,
+                frame,
+                phase="step",
+                expect_kind=KIND_GRAD,
+                decode=decode,
+                already_sent=sent.get(worker_id, False),
+            )
+            if result is not None:
+                result.worker_id = worker_id
+                results[worker_id] = result
+        self._require_workers("step")
+        return results
+
+    def broadcast(self, round_id: int, lr: float, message_bytes: bytes) -> List[int]:
+        """Ship the aggregated update to every worker; await acks.
+
+        Returns the worker ids that acknowledged applying the update.
+        """
+        self.supervisor.check_heartbeats(phase="update")
+        frame = pack_frame(
+            KIND_UPDATE,
+            DRIVER_SENDER,
+            pack_update_header(round_id, lr) + message_bytes,
+        )
+        frames = [frame] * self.num_workers
+        sent = self._send_all(frames)
+
+        def decode(payload: bytes) -> int:
+            acked = unpack_ack(payload)
+            if acked != round_id:
+                raise FrameError(
+                    f"stale update ack {acked} (want {round_id})"
+                )
+            return acked
+
+        acked: List[int] = []
+        for worker_id in sorted(self.supervisor.alive):
+            result = self.supervisor.request(
+                worker_id,
+                frame,
+                phase="update",
+                expect_kind=KIND_ACK,
+                decode=decode,
+                already_sent=sent.get(worker_id, False),
+            )
+            if result is not None:
+                acked.append(worker_id)
+        self._require_workers("update")
+        return acked
+
+    def echo(self, worker_id: int, payload: bytes) -> bytes:
+        """Round-trip raw bytes through a worker (transport benchmark)."""
+        result = self.supervisor.request(
+            worker_id,
+            pack_frame(KIND_ECHO, DRIVER_SENDER, payload),
+            phase="echo",
+            expect_kind=KIND_ECHO,
+        )
+        if result is None:
+            raise ClusterError(f"worker {worker_id} unavailable for echo")
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """STOP the workers (best effort) and tear down the transport."""
+        if self._closed:
+            return
+        self._closed = True
+        stop = pack_frame(KIND_STOP, DRIVER_SENDER)
+        for worker_id in sorted(self.supervisor.alive):
+            try:
+                self.transport.send(worker_id, stop)
+            except TransportError:
+                pass  # already gone; close() reaps it
+        self.transport.close()
+
+    def __enter__(self) -> "RuntimeCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,215 @@
+"""Length-prefixed frame codec for the runtime transports.
+
+Every driver/worker exchange — on every backend, including the
+in-process simulator — is a *frame*: a fixed little-endian header
+followed by an opaque payload.  Gradient payloads are the real
+SketchML wire bytes from :func:`repro.core.serialization.
+serialize_message`; control payloads (step, update, ack headers) are
+packed here so byte-layout opinions stay confined to wire modules
+(the ``wire-format`` lint rule).
+
+Layout (all integers little-endian)::
+
+    frame:   magic "SKRT" | version u8 | kind u8 | sender u16 | length u64
+             | payload bytes
+    STEP:    round u32 | lr f64
+    GRAD:    round u32 | has_batch u8 | loss f64 | compute_s f64
+             | encode_s f64 | nnz u64 | serialized message bytes
+    UPDATE:  round u32 | lr f64 | serialized aggregate bytes
+    ACK:     value u32
+    EPOCH:   epoch u32
+
+``INIT`` / ``READY`` / ``ERROR`` payloads are pickled control
+dictionaries (they never carry gradient data and never cross trust
+boundaries: workers are child processes of the driver on this host).
+A frame that does not parse raises :class:`FrameError`; corrupted
+*gradient* payloads parse as frames and are rejected downstream by
+``deserialize_message`` / the ``REPRO_SANITIZE`` invariant checks —
+the frame layer deliberately carries no checksum that would mask that
+path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+__all__ = [
+    "FrameError",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "HEADER_SIZE",
+    "MAX_FRAME_BYTES",
+    "KIND_INIT",
+    "KIND_READY",
+    "KIND_EPOCH",
+    "KIND_STEP",
+    "KIND_GRAD",
+    "KIND_UPDATE",
+    "KIND_ACK",
+    "KIND_HEARTBEAT",
+    "KIND_STOP",
+    "KIND_ERROR",
+    "KIND_ECHO",
+    "KIND_NAMES",
+    "pack_frame",
+    "unpack_header",
+    "unpack_frame",
+    "pack_step",
+    "unpack_step",
+    "pack_grad_header",
+    "unpack_grad",
+    "pack_update_header",
+    "unpack_update",
+    "pack_ack",
+    "unpack_ack",
+]
+
+FRAME_MAGIC = b"SKRT"
+FRAME_VERSION = 1
+
+_HEADER = struct.Struct("<4sBBHQ")
+HEADER_SIZE = _HEADER.size
+
+#: Hard ceiling on a single frame's payload — a corrupted length field
+#: must not make a receiver try to allocate petabytes.
+MAX_FRAME_BYTES = 1 << 31
+
+KIND_INIT = 1
+KIND_READY = 2
+KIND_EPOCH = 3
+KIND_STEP = 4
+KIND_GRAD = 5
+KIND_UPDATE = 6
+KIND_ACK = 7
+KIND_HEARTBEAT = 8
+KIND_STOP = 9
+KIND_ERROR = 10
+KIND_ECHO = 11
+
+KIND_NAMES = {
+    KIND_INIT: "init",
+    KIND_READY: "ready",
+    KIND_EPOCH: "epoch",
+    KIND_STEP: "step",
+    KIND_GRAD: "grad",
+    KIND_UPDATE: "update",
+    KIND_ACK: "ack",
+    KIND_HEARTBEAT: "heartbeat",
+    KIND_STOP: "stop",
+    KIND_ERROR: "error",
+    KIND_ECHO: "echo",
+}
+
+_STEP = struct.Struct("<Id")
+_GRAD = struct.Struct("<IBdddQ")
+_UPDATE = struct.Struct("<Id")
+_ACK = struct.Struct("<I")
+
+
+class FrameError(ValueError):
+    """Raised when bytes cannot be parsed as a runtime frame."""
+
+
+def pack_frame(kind: int, sender: int, payload: bytes = b"") -> bytes:
+    """Build one wire frame: header + payload."""
+    if kind not in KIND_NAMES:
+        raise FrameError(f"unknown frame kind {kind}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"payload of {len(payload)} bytes exceeds frame limit")
+    return _HEADER.pack(
+        FRAME_MAGIC, FRAME_VERSION, kind, sender, len(payload)
+    ) + payload
+
+
+def unpack_header(data: bytes) -> Tuple[int, int, int]:
+    """Parse a frame header; returns ``(kind, sender, payload_length)``."""
+    if len(data) < HEADER_SIZE:
+        raise FrameError(f"short frame header ({len(data)} bytes)")
+    magic, version, kind, sender, length = _HEADER.unpack(data[:HEADER_SIZE])
+    if magic != FRAME_MAGIC:
+        raise FrameError("bad magic; not a runtime frame")
+    if version != FRAME_VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    if kind not in KIND_NAMES:
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds limit")
+    return kind, sender, length
+
+
+def unpack_frame(data: bytes) -> Tuple[int, int, bytes]:
+    """Parse one complete frame; returns ``(kind, sender, payload)``."""
+    kind, sender, length = unpack_header(data)
+    if len(data) != HEADER_SIZE + length:
+        raise FrameError(
+            f"frame length mismatch: header says {length}, "
+            f"got {len(data) - HEADER_SIZE} payload bytes"
+        )
+    return kind, sender, data[HEADER_SIZE:]
+
+
+# ----------------------------------------------------------------------
+# typed payload codecs
+# ----------------------------------------------------------------------
+def pack_step(round_id: int, lr: float) -> bytes:
+    return _STEP.pack(round_id, lr)
+
+
+def unpack_step(payload: bytes) -> Tuple[int, float]:
+    try:
+        round_id, lr = _STEP.unpack(payload)
+    except struct.error as exc:
+        raise FrameError(f"bad STEP payload: {exc}") from None
+    return int(round_id), float(lr)
+
+
+def pack_grad_header(
+    round_id: int,
+    has_batch: bool,
+    loss: float,
+    compute_seconds: float,
+    encode_seconds: float,
+    nnz: int,
+) -> bytes:
+    return _GRAD.pack(
+        round_id, 1 if has_batch else 0, loss, compute_seconds,
+        encode_seconds, nnz,
+    )
+
+
+def unpack_grad(payload: bytes) -> Tuple[int, bool, float, float, float, int, bytes]:
+    """Split a GRAD payload into its header fields + message bytes."""
+    if len(payload) < _GRAD.size:
+        raise FrameError(f"short GRAD payload ({len(payload)} bytes)")
+    round_id, has_batch, loss, compute_s, encode_s, nnz = _GRAD.unpack(
+        payload[:_GRAD.size]
+    )
+    return (
+        int(round_id), bool(has_batch), float(loss), float(compute_s),
+        float(encode_s), int(nnz), payload[_GRAD.size:],
+    )
+
+
+def pack_update_header(round_id: int, lr: float) -> bytes:
+    return _UPDATE.pack(round_id, lr)
+
+
+def unpack_update(payload: bytes) -> Tuple[int, float, bytes]:
+    """Split an UPDATE payload into ``(round, lr, message_bytes)``."""
+    if len(payload) < _UPDATE.size:
+        raise FrameError(f"short UPDATE payload ({len(payload)} bytes)")
+    round_id, lr = _UPDATE.unpack(payload[:_UPDATE.size])
+    return int(round_id), float(lr), payload[_UPDATE.size:]
+
+
+def pack_ack(value: int) -> bytes:
+    return _ACK.pack(value)
+
+
+def unpack_ack(payload: bytes) -> int:
+    try:
+        (value,) = _ACK.unpack(payload)
+    except struct.error as exc:
+        raise FrameError(f"bad ACK payload: {exc}") from None
+    return int(value)

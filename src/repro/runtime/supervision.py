@@ -1,0 +1,379 @@
+"""Supervision: timeouts, retries, heartbeats, and failure policies.
+
+The transport layer moves frames; this layer decides what to do when
+they stop moving.  A :class:`Supervisor` wraps a transport and turns
+its raw failure modes into policy:
+
+* **per-message timeouts** — every request waits a bounded time for a
+  matching reply;
+* **bounded retries with exponential backoff + jitter** — a timed-out
+  or corrupted reply re-sends the request; workers answer retried
+  rounds from an idempotency cache, so a retry never recomputes;
+* **heartbeats** — any frame (including dedicated ``HEARTBEAT``
+  frames) refreshes a worker's last-seen clock; a worker silent past
+  ``heartbeat_timeout`` is declared lost;
+* **straggler/dead-worker policies** — ``fail_fast`` raises a
+  structured error naming the worker and phase; ``drop`` removes the
+  worker from the round and lets the driver re-weight the aggregate
+  over the survivors.
+
+All randomness (backoff jitter) flows from the config seed, so a
+supervised run with a deterministic fault schedule is replayable.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from .framing import KIND_ERROR, KIND_HEARTBEAT, KIND_NAMES, FrameError, unpack_frame
+from .transport import Transport, TransportClosed, TransportError, TransportTimeout
+
+__all__ = [
+    "SupervisionConfig",
+    "WorkerSupervisionError",
+    "RetryExhaustedError",
+    "HeartbeatLostError",
+    "WorkerCrashedError",
+    "Supervisor",
+    "backoff_delays",
+    "POLICY_FAIL_FAST",
+    "POLICY_DROP",
+]
+
+POLICY_FAIL_FAST = "fail_fast"
+POLICY_DROP = "drop"
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Knobs of the retry/timeout/heartbeat layer.
+
+    Attributes:
+        message_timeout: seconds to wait for one reply attempt.
+        init_timeout: seconds to wait for a worker's ``READY`` after
+            ``INIT`` (spawn + import is far slower than a step).
+        max_retries: re-send attempts after the first (so a request is
+            tried ``max_retries + 1`` times in total).
+        backoff_base: first retry delay, seconds.
+        backoff_factor: multiplier per subsequent retry.
+        backoff_jitter: uniform jitter as a fraction of each delay
+            (0.5 → delay drawn from ``[0.75d, 1.25d]``), decorrelating
+            retry storms across workers.
+        heartbeat_interval: seconds between worker heartbeat frames
+            (shipped to workers via their bootstrap; 0 disables).
+        heartbeat_timeout: declare a worker lost when nothing (frames
+            or heartbeats) was seen from it for this long; 0 disables
+            passive loss detection (timeout+retries still apply).
+        straggler_policy: ``"fail_fast"`` (raise on first lost worker)
+            or ``"drop"`` (continue without it; the aggregate is
+            re-weighted over survivors).
+        seed: backoff-jitter RNG seed.
+    """
+
+    message_timeout: float = 10.0
+    init_timeout: float = 120.0
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 0.0
+    straggler_policy: str = POLICY_FAIL_FAST
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.message_timeout <= 0:
+            raise ValueError("message_timeout must be positive")
+        if self.init_timeout <= 0:
+            raise ValueError("init_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base >= 0 and backoff_factor >= 1 required")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.heartbeat_interval < 0 or self.heartbeat_timeout < 0:
+            raise ValueError("heartbeat settings must be non-negative")
+        if self.straggler_policy not in (POLICY_FAIL_FAST, POLICY_DROP):
+            raise ValueError(
+                f"unknown straggler_policy {self.straggler_policy!r}"
+            )
+
+
+def backoff_delays(config: SupervisionConfig, rng: np.random.Generator) -> List[float]:
+    """The retry delay sequence for one request, jitter applied."""
+    delays = []
+    delay = config.backoff_base
+    for _ in range(config.max_retries):
+        jitter = 1.0
+        if config.backoff_jitter > 0:
+            half = config.backoff_jitter / 2.0
+            jitter = 1.0 + float(rng.uniform(-half, half))
+        delays.append(delay * jitter)
+        delay *= config.backoff_factor
+    return delays
+
+
+class WorkerSupervisionError(RuntimeError):
+    """A worker failed under supervision.
+
+    Structured: names the worker, the phase (``init`` / ``epoch`` /
+    ``step`` / ``update`` / ``heartbeat``), and the attempt count, so
+    operators (and tests) need not parse the message text.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        phase: str,
+        attempts: int,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        self.worker_id = int(worker_id)
+        self.phase = str(phase)
+        self.attempts = int(attempts)
+        self.cause = cause
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"worker {worker_id} failed in phase {phase!r} after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}{detail}"
+        )
+
+
+class RetryExhaustedError(WorkerSupervisionError):
+    """Every retry of a request timed out or was rejected."""
+
+
+class HeartbeatLostError(WorkerSupervisionError):
+    """Nothing was heard from the worker within ``heartbeat_timeout``."""
+
+
+class WorkerCrashedError(WorkerSupervisionError):
+    """The worker reported a fatal error (``ERROR`` frame) or hung up."""
+
+
+class _AttemptFailed(Exception):
+    """Internal: this request attempt failed; retry if budget remains."""
+
+
+class Supervisor:
+    """Retry/timeout/heartbeat policy over a :class:`Transport`.
+
+    Args:
+        transport: the frame pipe to supervise.
+        config: supervision knobs.
+        sleeper: injectable ``sleep(seconds)`` — the ``sim`` backend
+            passes a no-op so simulated retries cost no wall time.
+        clock: injectable monotonic clock (tests drive it manually).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        config: Optional[SupervisionConfig] = None,
+        *,
+        sleeper: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.transport = transport
+        self.config = config or SupervisionConfig()
+        self._sleep = sleeper
+        self._clock = clock
+        self._rng = np.random.default_rng(self.config.seed)
+        now = clock()
+        self.alive: Set[int] = set(range(transport.num_workers))
+        self.dead: Dict[int, WorkerSupervisionError] = {}
+        self.last_seen: Dict[int, float] = {w: now for w in self.alive}
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "rejected_replies": 0,
+            "heartbeats": 0,
+            "stale_frames": 0,
+            "workers_lost": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        worker_id: int,
+        frame: bytes,
+        *,
+        phase: str,
+        expect_kind: int,
+        decode: Optional[Callable[[bytes], object]] = None,
+        timeout: Optional[float] = None,
+        already_sent: bool = False,
+    ) -> Optional[object]:
+        """Send ``frame`` and await a matching reply, with retries.
+
+        ``decode`` parses/validates the reply payload; any
+        ``ValueError`` (which covers ``SerializationError``,
+        ``SanitizerError``, and ``FrameError``) it raises counts as a
+        rejected reply and triggers a retry — this is the path a
+        corrupted frame takes.  ``already_sent=True`` skips the first
+        send (for pipelined fan-out: send to all workers, then collect
+        each).
+
+        Returns the decoded payload (or the raw payload when ``decode``
+        is None); returns ``None`` when the worker was dropped under
+        the ``drop`` policy.  Raises the structured error under
+        ``fail_fast``.
+        """
+        if worker_id not in self.alive:
+            return None
+        cfg = self.config
+        wait = cfg.message_timeout if timeout is None else timeout
+        delays = backoff_delays(cfg, self._rng)
+        attempts = cfg.max_retries + 1
+        self.stats["requests"] += 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.stats["retries"] += 1
+                delay = delays[attempt - 1]
+                if delay > 0:
+                    self._sleep(delay)
+            try:
+                if attempt > 0 or not already_sent:
+                    self.transport.send(worker_id, frame)
+                return self._await_reply(
+                    worker_id, expect_kind, decode, wait, phase
+                )
+            except _AttemptFailed as exc:
+                last_error = exc.__cause__ or exc
+            except TransportClosed as exc:
+                return self._fail(
+                    WorkerCrashedError(worker_id, phase, attempt + 1, exc)
+                )
+            except TransportError as exc:
+                last_error = exc
+        return self._fail(
+            RetryExhaustedError(worker_id, phase, attempts, last_error)
+        )
+
+    def _await_reply(
+        self,
+        worker_id: int,
+        expect_kind: int,
+        decode: Optional[Callable[[bytes], object]],
+        wait: float,
+        phase: str,
+    ) -> object:
+        deadline = self._clock() + wait
+        while True:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                self.stats["timeouts"] += 1
+                raise _AttemptFailed() from TransportTimeout(
+                    f"no {KIND_NAMES.get(expect_kind, expect_kind)} reply "
+                    f"within {wait:.3f}s"
+                )
+            try:
+                data = self.transport.recv(worker_id, remaining)
+            except TransportTimeout as exc:
+                self.stats["timeouts"] += 1
+                raise _AttemptFailed() from exc
+            try:
+                kind, _, payload = unpack_frame(data)
+            except FrameError as exc:
+                # Mangled past frame-level recognition: reject + retry.
+                self.stats["rejected_replies"] += 1
+                raise _AttemptFailed() from exc
+            self.note_alive(worker_id)
+            if kind == KIND_HEARTBEAT:
+                self.stats["heartbeats"] += 1
+                continue
+            if kind == KIND_ERROR:
+                raise TransportClosed(self._error_detail(payload))
+            if kind != expect_kind:
+                self.stats["stale_frames"] += 1
+                continue
+            if decode is None:
+                return payload
+            try:
+                return decode(payload)
+            except ValueError as exc:
+                # SerializationError / SanitizerError / FrameError and
+                # round-mismatch rejections all land here: the reply is
+                # unusable, ask again.
+                self.stats["rejected_replies"] += 1
+                raise _AttemptFailed() from exc
+
+    @staticmethod
+    def _error_detail(payload: bytes) -> str:
+        try:
+            detail = pickle.loads(payload)
+            return f"worker reported fatal error: {detail.get('error')}"
+        except Exception:
+            return "worker reported a fatal error (detail unreadable)"
+
+    # ------------------------------------------------------------------
+    def note_alive(self, worker_id: int) -> None:
+        """Refresh the worker's last-seen clock (any frame counts)."""
+        self.last_seen[worker_id] = self._clock()
+
+    def drain_heartbeats(self, worker_id: int) -> None:
+        """Absorb any queued frames from a worker without blocking.
+
+        Keeps last-seen fresh between rounds; non-heartbeat stale
+        frames are discarded (they belong to settled rounds).
+        """
+        if worker_id not in self.alive:
+            return
+        while True:
+            try:
+                data = self.transport.recv(worker_id, 0.0)
+            except TransportError:
+                return
+            try:
+                kind, _, _ = unpack_frame(data)
+            except FrameError:
+                continue
+            self.note_alive(worker_id)
+            if kind == KIND_HEARTBEAT:
+                self.stats["heartbeats"] += 1
+            else:
+                self.stats["stale_frames"] += 1
+
+    def check_heartbeats(self, *, phase: str = "heartbeat") -> List[int]:
+        """Apply the loss policy to workers silent past the timeout.
+
+        Returns the workers declared lost in this sweep (empty when
+        ``heartbeat_timeout`` is disabled).
+        """
+        cfg = self.config
+        if cfg.heartbeat_timeout <= 0:
+            return []
+        now = self._clock()
+        lost: List[int] = []
+        for worker_id in sorted(self.alive):
+            self.drain_heartbeats(worker_id)
+            silent = now - self.last_seen[worker_id]
+            if silent > cfg.heartbeat_timeout:
+                error = HeartbeatLostError(
+                    worker_id, phase, 1,
+                    TransportTimeout(
+                        f"silent for {silent:.3f}s "
+                        f"(heartbeat_timeout={cfg.heartbeat_timeout:.3f}s)"
+                    ),
+                )
+                self._fail(error)
+                lost.append(worker_id)
+        return lost
+
+    def _fail(self, error: WorkerSupervisionError) -> None:
+        """Apply the straggler policy to a structured failure."""
+        if self.config.straggler_policy == POLICY_FAIL_FAST:
+            raise error
+        if error.worker_id in self.alive:
+            self.alive.discard(error.worker_id)
+            self.dead[error.worker_id] = error
+            self.stats["workers_lost"] += 1
+        return None

@@ -1,0 +1,531 @@
+"""Transport abstraction: how driver/worker frames cross address spaces.
+
+A :class:`Transport` is the driver-side handle to ``W`` workers.  It
+moves opaque frame bytes (built by :mod:`repro.runtime.framing`) and
+knows nothing about their contents — retries, timeouts, and failure
+policies live one layer up in :mod:`repro.runtime.supervision`.
+
+Three backends:
+
+* :class:`SimTransport` — in-process loopback.  Workers are plain
+  callables serviced synchronously; a :class:`~repro.distributed.
+  network.NetworkModel` can be attached to charge simulated wire time
+  per frame, so the cost model of the figure benchmarks is preserved
+  while the byte path (serialize → frame → deserialize) is identical
+  to the real backends.
+* :class:`MultiprocessTransport` — one spawned OS process per worker,
+  frames over :func:`multiprocessing.Pipe`.
+* :class:`TcpTransport` — one spawned OS process per worker, frames as
+  length-prefixed byte streams over host-local TCP sockets.
+
+All three present the same blocking ``send`` / ``recv(timeout)``
+surface, which the conformance suite (``tests/test_transport_
+conformance.py``) runs against each backend.
+"""
+
+from __future__ import annotations
+
+import collections
+import socket
+import threading
+import time
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
+
+from .framing import HEADER_SIZE, FrameError, unpack_header
+
+__all__ = [
+    "TransportError",
+    "TransportTimeout",
+    "TransportClosed",
+    "Transport",
+    "SimTransport",
+    "MultiprocessTransport",
+    "TcpTransport",
+    "PipeEndpoint",
+    "SocketEndpoint",
+    "make_transport",
+    "TRANSPORT_BACKENDS",
+]
+
+#: Registry of backend names accepted by :func:`make_transport` and the
+#: ``--backend`` CLI flag.
+TRANSPORT_BACKENDS = ("sim", "mp", "tcp")
+
+
+class TransportError(RuntimeError):
+    """Base class for transport failures."""
+
+
+class TransportTimeout(TransportError):
+    """No frame arrived from the worker within the allowed time."""
+
+
+class TransportClosed(TransportError):
+    """The peer endpoint is gone (process exit, closed pipe/socket)."""
+
+
+class Transport:
+    """Driver-side frame pipe to ``W`` workers.
+
+    Subclasses implement point-to-point byte delivery; they do not
+    retry, reorder, or interpret frames.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = int(num_workers)
+
+    def _check_worker(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(
+                f"worker_id {worker_id} outside [0, {self.num_workers})"
+            )
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        """Deliver one frame to a worker (raises on a dead endpoint)."""
+        raise NotImplementedError
+
+    def recv(self, worker_id: int, timeout: float) -> bytes:
+        """Next frame from a worker; :class:`TransportTimeout` if none."""
+        raise NotImplementedError
+
+    def alive(self, worker_id: int) -> bool:
+        """Best-effort liveness of the worker's endpoint."""
+        raise NotImplementedError
+
+    def terminate(self, worker_id: int) -> None:
+        """Forcibly kill a worker endpoint (fault testing)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down all endpoints; idempotent."""
+        raise NotImplementedError
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# sim: in-process loopback over the NetworkModel cost model
+# ----------------------------------------------------------------------
+class SimTransport(Transport):
+    """Synchronous in-process transport with simulated wire costs.
+
+    Each worker is a handler ``fn(frame_bytes) -> iterable of reply
+    frames`` run *synchronously* inside :meth:`send`; replies queue in
+    per-worker driver inboxes until :meth:`recv` pops them.  ``recv``
+    never waits — an empty inbox is exactly what a timeout looks like
+    here, so supervision retry paths are exercised without real sleeps.
+
+    Args:
+        handlers: one handler per worker.
+        network: optional cost model; every frame in either direction
+            accrues ``transfer_time(len(frame))`` into
+            :attr:`charged_seconds` (the simulated wall clock the
+            trainer reports as network time).
+    """
+
+    name = "sim"
+
+    def __init__(
+        self,
+        handlers: Sequence[Callable[[bytes], Iterable[bytes]]],
+        network=None,
+    ) -> None:
+        super().__init__(len(handlers))
+        self._handlers = list(handlers)
+        self._network = network
+        self._inboxes: List[Deque[bytes]] = [
+            collections.deque() for _ in handlers
+        ]
+        self._dead = set()
+        self._closed = False
+        self.charged_seconds = 0.0
+
+    def _charge(self, frame: bytes) -> None:
+        if self._network is not None:
+            self.charged_seconds += self._network.transfer_time(len(frame))
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        self._check_worker(worker_id)
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        if worker_id in self._dead:
+            raise TransportClosed(f"worker {worker_id} was terminated")
+        self._charge(frame)
+        for reply in self._handlers[worker_id](bytes(frame)):
+            self._charge(reply)
+            self._inboxes[worker_id].append(bytes(reply))
+
+    def recv(self, worker_id: int, timeout: float) -> bytes:
+        self._check_worker(worker_id)
+        if worker_id in self._dead:
+            raise TransportClosed(f"worker {worker_id} was terminated")
+        inbox = self._inboxes[worker_id]
+        if not inbox:
+            raise TransportTimeout(
+                f"no frame from worker {worker_id} (simulated timeout)"
+            )
+        return inbox.popleft()
+
+    def alive(self, worker_id: int) -> bool:
+        self._check_worker(worker_id)
+        return not self._closed and worker_id not in self._dead
+
+    def terminate(self, worker_id: int) -> None:
+        self._check_worker(worker_id)
+        self._dead.add(worker_id)
+        self._inboxes[worker_id].clear()
+
+    def close(self) -> None:
+        self._closed = True
+        for inbox in self._inboxes:
+            inbox.clear()
+
+
+# ----------------------------------------------------------------------
+# worker-side endpoints (used inside spawned worker processes)
+# ----------------------------------------------------------------------
+class PipeEndpoint:
+    """Worker-side wrapper over a multiprocessing connection."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, frame: bytes) -> None:
+        with self._lock:
+            self._conn.send_bytes(frame)
+
+    def recv(self) -> Optional[bytes]:
+        """Blocking receive; ``None`` when the driver side hung up."""
+        try:
+            return self._conn.recv_bytes()
+        except (EOFError, OSError):
+            return None
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class SocketEndpoint:
+    """Worker-side wrapper over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+        self._buffer = bytearray()
+
+    def send(self, frame: bytes) -> None:
+        with self._lock:
+            self._sock.sendall(frame)
+
+    def _read_exact(self, n: int) -> Optional[bytes]:
+        while len(self._buffer) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return None
+            self._buffer.extend(chunk)
+        out = bytes(self._buffer[:n])
+        del self._buffer[:n]
+        return out
+
+    def recv(self) -> Optional[bytes]:
+        """Blocking receive of one frame; ``None`` on EOF."""
+        header = self._read_exact(HEADER_SIZE)
+        if header is None:
+            return None
+        _, _, length = unpack_header(header)
+        payload = self._read_exact(length) if length else b""
+        if payload is None:
+            return None
+        return header + payload
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# mp: spawned processes over pipes
+# ----------------------------------------------------------------------
+class MultiprocessTransport(Transport):
+    """One spawned process per worker, frames over duplex pipes.
+
+    The ``spawn`` start method is used unconditionally: children
+    re-import the package instead of inheriting arbitrary parent state
+    (numpy RNGs, open sockets), which keeps worker determinism honest
+    and matches the only method available on every platform.
+    """
+
+    name = "mp"
+
+    def __init__(self, num_workers: int) -> None:
+        super().__init__(num_workers)
+        import multiprocessing
+
+        from . import worker_main
+
+        ctx = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for worker_id in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main.pipe_worker_entry,
+                    args=(child_conn, worker_id),
+                    daemon=True,
+                    name=f"repro-worker-{worker_id}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        self._check_worker(worker_id)
+        try:
+            self._conns[worker_id].send_bytes(frame)
+        except (OSError, ValueError, BrokenPipeError) as exc:
+            raise TransportClosed(
+                f"worker {worker_id} pipe is closed: {exc}"
+            ) from exc
+
+    def recv(self, worker_id: int, timeout: float) -> bytes:
+        self._check_worker(worker_id)
+        conn = self._conns[worker_id]
+        try:
+            if not conn.poll(max(timeout, 0.0)):
+                raise TransportTimeout(
+                    f"no frame from worker {worker_id} within {timeout:.3f}s"
+                )
+            return conn.recv_bytes()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise TransportClosed(
+                f"worker {worker_id} pipe is closed: {exc}"
+            ) from exc
+
+    def alive(self, worker_id: int) -> bool:
+        self._check_worker(worker_id)
+        return self._procs[worker_id].is_alive()
+
+    def terminate(self, worker_id: int) -> None:
+        self._check_worker(worker_id)
+        self._procs[worker_id].terminate()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# tcp: spawned processes over host-local sockets
+# ----------------------------------------------------------------------
+class TcpTransport(Transport):
+    """One spawned process per worker, length-prefixed frames over TCP.
+
+    The driver listens on an ephemeral ``host`` port; each spawned
+    worker connects and introduces itself with a hello frame whose
+    header carries its worker id, so accept order does not matter.
+    """
+
+    name = "tcp"
+
+    #: generous ceiling on how long workers may take to connect back
+    #: (spawn + import numpy can take seconds on a loaded CI box).
+    CONNECT_TIMEOUT = 60.0
+
+    def __init__(self, num_workers: int, host: str = "127.0.0.1") -> None:
+        super().__init__(num_workers)
+        import multiprocessing
+
+        from . import worker_main
+
+        self._socks: Dict[int, socket.socket] = {}
+        self._buffers: Dict[int, bytearray] = {}
+        self._procs = []
+        self._closed = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            self._listener.bind((host, 0))
+            self._listener.listen(num_workers)
+            port = self._listener.getsockname()[1]
+            ctx = multiprocessing.get_context("spawn")
+            for worker_id in range(num_workers):
+                proc = ctx.Process(
+                    target=worker_main.tcp_worker_entry,
+                    args=(host, port, worker_id),
+                    daemon=True,
+                    name=f"repro-worker-{worker_id}",
+                )
+                proc.start()
+                self._procs.append(proc)
+            self._accept_all()
+        except BaseException:
+            self.close()
+            raise
+
+    def _accept_all(self) -> None:
+        deadline = time.monotonic() + self.CONNECT_TIMEOUT
+        self._listener.settimeout(1.0)
+        while len(self._socks) < self.num_workers:
+            if time.monotonic() > deadline:
+                missing = set(range(self.num_workers)) - set(self._socks)
+                raise TransportError(
+                    f"workers {sorted(missing)} never connected back"
+                )
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            # The hello frame's header names the sender.
+            hello = self._read_frame_from(sock, bytearray(), 5.0)
+            _, sender, _ = unpack_header(hello)
+            if not 0 <= sender < self.num_workers or sender in self._socks:
+                sock.close()
+                raise TransportError(f"bad hello from worker id {sender}")
+            self._socks[sender] = sock
+            self._buffers[sender] = bytearray()
+
+    @staticmethod
+    def _read_frame_from(
+        sock: socket.socket, buffer: bytearray, timeout: float
+    ) -> bytes:
+        """Read one complete frame, resuming any partial read in ``buffer``."""
+        deadline = time.monotonic() + max(timeout, 0.0)
+
+        def fill(n: int) -> None:
+            while len(buffer) < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"no complete frame within {timeout:.3f}s"
+                    )
+                sock.settimeout(remaining)
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    raise TransportTimeout(
+                        f"no complete frame within {timeout:.3f}s"
+                    ) from None
+                except OSError as exc:
+                    raise TransportClosed(f"socket error: {exc}") from exc
+                if not chunk:
+                    raise TransportClosed("peer closed the connection")
+                buffer.extend(chunk)
+
+        fill(HEADER_SIZE)
+        try:
+            _, _, length = unpack_header(bytes(buffer[:HEADER_SIZE]))
+        except FrameError as exc:
+            # A desynchronised stream is unrecoverable on this socket.
+            raise TransportClosed(f"stream desynchronised: {exc}") from exc
+        fill(HEADER_SIZE + length)
+        frame = bytes(buffer[:HEADER_SIZE + length])
+        del buffer[:HEADER_SIZE + length]
+        return frame
+
+    def send(self, worker_id: int, frame: bytes) -> None:
+        self._check_worker(worker_id)
+        sock = self._socks.get(worker_id)
+        if sock is None:
+            raise TransportClosed(f"worker {worker_id} socket is closed")
+        try:
+            sock.sendall(frame)
+        except OSError as exc:
+            raise TransportClosed(
+                f"worker {worker_id} socket error: {exc}"
+            ) from exc
+
+    def recv(self, worker_id: int, timeout: float) -> bytes:
+        self._check_worker(worker_id)
+        sock = self._socks.get(worker_id)
+        if sock is None:
+            raise TransportClosed(f"worker {worker_id} socket is closed")
+        return self._read_frame_from(sock, self._buffers[worker_id], timeout)
+
+    def alive(self, worker_id: int) -> bool:
+        self._check_worker(worker_id)
+        return (
+            worker_id in self._socks
+            and self._procs[worker_id].is_alive()
+        )
+
+    def terminate(self, worker_id: int) -> None:
+        self._check_worker(worker_id)
+        self._procs[worker_id].terminate()
+        sock = self._socks.pop(worker_id, None)
+        if sock is not None:
+            sock.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for sock in self._socks.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._socks.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+
+def make_transport(
+    backend: str,
+    num_workers: int,
+    *,
+    handlers: Optional[Sequence[Callable[[bytes], Iterable[bytes]]]] = None,
+    network=None,
+    tcp_host: str = "127.0.0.1",
+) -> Transport:
+    """Build a transport by backend name.
+
+    ``sim`` requires ``handlers`` (the in-process worker callables);
+    ``mp`` and ``tcp`` spawn real worker processes that wait for an
+    ``INIT`` frame.
+    """
+    if backend == "sim":
+        if handlers is None:
+            raise ValueError("sim backend requires in-process handlers")
+        return SimTransport(handlers, network=network)
+    if backend == "mp":
+        return MultiprocessTransport(num_workers)
+    if backend == "tcp":
+        return TcpTransport(num_workers, host=tcp_host)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {TRANSPORT_BACKENDS}"
+    )

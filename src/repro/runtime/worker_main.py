@@ -1,0 +1,141 @@
+"""Entry points for spawned worker processes (``mp`` and ``tcp``).
+
+Both entries run the same :func:`serve` loop over a worker-side
+endpoint: block on the next frame, dispatch it, send the replies.
+The first substantive frame must be ``INIT`` (a pickled
+:class:`~repro.runtime.worker_runtime.WorkerBootstrap`), answered with
+``READY``; after that the loop services ``EPOCH`` / ``STEP`` /
+``UPDATE`` until ``STOP`` or driver hang-up.  ``ECHO`` frames are
+answered at any time (the transport micro-benchmark uses them without
+paying for a full bootstrap).
+
+Unhandled exceptions are reported back as an ``ERROR`` frame naming
+the worker and the frame kind being serviced, then the process exits —
+the driver-side supervisor turns that into a structured failure.
+
+A daemon heartbeat thread sends ``HEARTBEAT`` frames every
+``bootstrap.heartbeat_interval`` seconds (when positive) so the driver
+can tell a slow worker from a dead one.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Optional
+
+from .framing import (
+    KIND_ECHO,
+    KIND_ERROR,
+    KIND_HEARTBEAT,
+    KIND_INIT,
+    KIND_READY,
+    KIND_STOP,
+    KIND_ACK,
+    pack_ack,
+    pack_frame,
+    unpack_frame,
+)
+from .transport import PipeEndpoint, SocketEndpoint
+from .worker_runtime import WorkerBootstrap, WorkerRuntime
+
+__all__ = ["serve", "pipe_worker_entry", "tcp_worker_entry"]
+
+
+class _Heartbeat:
+    """Daemon thread pushing HEARTBEAT frames at a fixed interval."""
+
+    def __init__(self, endpoint, worker_id: int, interval: float) -> None:
+        self._endpoint = endpoint
+        self._worker_id = worker_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._interval <= 0 or self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        frame = pack_frame(KIND_HEARTBEAT, self._worker_id)
+        while not self._stop.wait(self._interval):
+            try:
+                self._endpoint.send(frame)
+            except OSError:
+                return  # driver is gone; the serve loop will exit too
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def serve(endpoint, worker_id: int) -> None:
+    """Frame-dispatch loop of one worker process.
+
+    Runs until a ``STOP`` frame, driver hang-up, or a fatal error
+    (reported back as an ``ERROR`` frame before exiting).
+    """
+    runtime: Optional[WorkerRuntime] = None
+    heartbeat: Optional[_Heartbeat] = None
+    try:
+        while True:
+            frame = endpoint.recv()
+            if frame is None:
+                return  # driver hung up
+            kind, _, payload = unpack_frame(frame)
+            if kind == KIND_STOP:
+                return
+            if kind == KIND_ECHO:
+                endpoint.send(pack_frame(KIND_ECHO, worker_id, payload))
+                continue
+            if kind == KIND_HEARTBEAT:
+                continue  # driver-side probes need no reply
+            if kind == KIND_INIT:
+                bootstrap = WorkerBootstrap.from_bytes(payload)
+                runtime = WorkerRuntime(bootstrap)
+                heartbeat = _Heartbeat(
+                    endpoint, worker_id, bootstrap.heartbeat_interval
+                )
+                heartbeat.start()
+                endpoint.send(pack_frame(KIND_READY, worker_id))
+                continue
+            if runtime is None:
+                raise RuntimeError(
+                    f"frame kind {kind} arrived before INIT"
+                )
+            for reply in runtime.handle(kind, payload):
+                endpoint.send(reply)
+    except Exception as exc:  # pragma: no cover - exercised via mp tests
+        detail = pickle.dumps(
+            {"worker_id": worker_id, "error": repr(exc)},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        try:
+            endpoint.send(pack_frame(KIND_ERROR, worker_id, detail))
+        except OSError:
+            pass  # nothing left to report to
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        endpoint.close()
+
+
+def pipe_worker_entry(conn, worker_id: int) -> None:
+    """``mp`` backend child target: serve frames over a pipe."""
+    serve(PipeEndpoint(conn), worker_id)
+
+
+def tcp_worker_entry(host: str, port: int, worker_id: int) -> None:
+    """``tcp`` backend child target: connect back, hello, serve."""
+    import socket
+
+    sock = socket.create_connection((host, port), timeout=30.0)
+    sock.settimeout(None)
+    endpoint = SocketEndpoint(sock)
+    # Hello: an ACK frame whose header names this worker, so the
+    # driver can map the accepted socket regardless of connect order.
+    endpoint.send(pack_frame(KIND_ACK, worker_id, pack_ack(worker_id)))
+    serve(endpoint, worker_id)

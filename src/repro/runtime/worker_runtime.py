@@ -1,0 +1,197 @@
+"""Worker-side execution logic, shared by every transport backend.
+
+A :class:`WorkerRuntime` owns one worker's partition, model replica,
+optimizer replica, and compressor, and services driver frames:
+
+* ``EPOCH``  — reshuffle and restart batch iteration, ack.
+* ``STEP``   — compute + compress the next mini-batch gradient and
+  reply with a ``GRAD`` frame whose payload is the *serialized wire
+  bytes* of the compressed message.
+* ``UPDATE`` — deserialize + decompress the broadcast aggregate and
+  apply it to the local replica with the shipped learning rate, ack.
+
+Every command is **idempotent per round**: the last ``GRAD`` frame and
+the last applied update round are cached, so a retried ``STEP`` or
+``UPDATE`` (after a dropped or corrupted reply) re-sends the cached
+result instead of recomputing — retries never make a worker's replica
+diverge from the driver's model.
+
+The same class backs the in-process ``sim`` transport (handler
+callables) and the spawned ``mp`` / ``tcp`` worker processes
+(:mod:`repro.runtime.worker_main`).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..compression.base import GradientCompressor
+from ..core.serialization import deserialize_message, serialize_message
+from ..distributed.worker import Worker
+from ..models.base import Model
+from ..optim.optimizers import Optimizer
+from .framing import (
+    KIND_ACK,
+    KIND_EPOCH,
+    KIND_GRAD,
+    KIND_STEP,
+    KIND_UPDATE,
+    FrameError,
+    pack_ack,
+    pack_frame,
+    pack_grad_header,
+    unpack_ack,
+    unpack_step,
+    unpack_update,
+)
+
+__all__ = ["WorkerBootstrap", "WorkerRuntime"]
+
+
+@dataclass
+class WorkerBootstrap:
+    """Everything a worker process needs to reconstruct its state.
+
+    Shipped pickled inside the ``INIT`` frame (workers are child
+    processes of the driver on this host; the gradient path itself
+    never uses pickle).  All fields must therefore be picklable —
+    notably the *compressor instance* rather than a factory closure.
+
+    Attributes:
+        worker_id: stable id (seeds batch shuffling, names frames).
+        dataset: this worker's row partition (already subset).
+        model: shared model definition (stateless).
+        optimizer: this replica's optimizer (fresh, unprepared).
+        compressor: this worker's compressor instance.
+        batch_size: rows per mini-batch.
+        seed: base seed for batch order shuffling.
+        compute_seconds_per_nnz: modelled compute charge (see
+            :class:`~repro.distributed.worker.Worker`).
+        heartbeat_interval: seconds between worker heartbeats
+            (0 disables; the ``sim`` backend never starts the thread).
+        sanitize: force the :mod:`repro.sanitize` invariant checks on
+            in this worker process (the driver's ``REPRO_SANITIZE``
+            environment is inherited by spawned children, but a
+            programmatic :func:`repro.sanitize.set_enabled` is not —
+            this flag carries it across).
+    """
+
+    worker_id: int
+    dataset: object
+    model: Model
+    optimizer: Optimizer
+    compressor: GradientCompressor
+    batch_size: int
+    seed: int = 0
+    compute_seconds_per_nnz: float = 0.0
+    heartbeat_interval: float = 0.0
+    sanitize: bool = False
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "WorkerBootstrap":
+        spec = pickle.loads(data)
+        if not isinstance(spec, WorkerBootstrap):
+            raise FrameError(
+                f"INIT payload is {type(spec).__name__}, "
+                "expected WorkerBootstrap"
+            )
+        return spec
+
+
+@dataclass
+class _StepCache:
+    """Cached reply for idempotent retries of the latest round."""
+
+    round_id: int = -1
+    frame: bytes = b""
+    applied_round: int = -1
+    acks: List[bytes] = field(default_factory=list)
+
+
+class WorkerRuntime:
+    """One worker's replica state + frame handlers."""
+
+    def __init__(self, bootstrap: WorkerBootstrap) -> None:
+        self.worker_id = int(bootstrap.worker_id)
+        self.worker = Worker(
+            worker_id=bootstrap.worker_id,
+            dataset=bootstrap.dataset,
+            model=bootstrap.model,
+            compressor=bootstrap.compressor,
+            batch_size=bootstrap.batch_size,
+            seed=bootstrap.seed,
+            compute_seconds_per_nnz=bootstrap.compute_seconds_per_nnz,
+        )
+        self.theta = bootstrap.model.init_theta()
+        self.optimizer = bootstrap.optimizer
+        self.optimizer.prepare(bootstrap.model.num_parameters)
+        self._cache = _StepCache()
+        if bootstrap.sanitize:
+            from .. import sanitize
+
+            sanitize.set_enabled(True)
+
+    # ------------------------------------------------------------------
+    def handle(self, kind: int, payload: bytes) -> List[bytes]:
+        """Service one driver frame; returns the reply frames to send."""
+        if kind == KIND_EPOCH:
+            return self._handle_epoch(payload)
+        if kind == KIND_STEP:
+            return self._handle_step(payload)
+        if kind == KIND_UPDATE:
+            return self._handle_update(payload)
+        raise FrameError(f"worker cannot service frame kind {kind}")
+
+    def handle_frame(self, frame: bytes) -> List[bytes]:
+        """``sim`` transport adapter: raw frame in, reply frames out."""
+        from .framing import unpack_frame
+
+        kind, _, payload = unpack_frame(frame)
+        return self.handle(kind, payload)
+
+    # ------------------------------------------------------------------
+    def _handle_epoch(self, payload: bytes) -> List[bytes]:
+        epoch = unpack_ack(payload)
+        self.worker.start_epoch()
+        return [pack_frame(KIND_ACK, self.worker_id, pack_ack(epoch))]
+
+    def _handle_step(self, payload: bytes) -> List[bytes]:
+        round_id, _lr = unpack_step(payload)
+        if round_id == self._cache.round_id and self._cache.frame:
+            return [self._cache.frame]  # retried STEP: re-send, don't recompute
+        rows = self.worker.next_batch()
+        if rows is None or rows.size == 0:
+            body = pack_grad_header(round_id, False, 0.0, 0.0, 0.0, 0)
+        else:
+            result = self.worker.compute_step(rows, self.theta)
+            data = serialize_message(result.message)
+            body = pack_grad_header(
+                round_id,
+                True,
+                result.local_loss,
+                result.compute_seconds,
+                result.encode_seconds,
+                result.gradient_nnz,
+            ) + data
+        frame = pack_frame(KIND_GRAD, self.worker_id, body)
+        self._cache.round_id = round_id
+        self._cache.frame = frame
+        return [frame]
+
+    def _handle_update(self, payload: bytes) -> List[bytes]:
+        round_id, lr, data = unpack_update(payload)
+        ack = pack_frame(KIND_ACK, self.worker_id, pack_ack(round_id))
+        if round_id == self._cache.applied_round:
+            return [ack]  # retried UPDATE: already applied, just re-ack
+        message = deserialize_message(data)
+        keys, values = self.worker.compressor.decompress(message)
+        self.optimizer.learning_rate = lr
+        if keys.size:
+            self.optimizer.step(self.theta, keys, values)
+        self._cache.applied_round = round_id
+        return [ack]

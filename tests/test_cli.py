@@ -97,6 +97,59 @@ class TestTrain:
         )
         assert code == 2
 
+    def test_backend_default_is_sim(self):
+        args = build_parser().parse_args(["train"])
+        assert args.backend == "sim"
+        assert args.straggler_policy == "fail_fast"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--backend", "smoke-signal"])
+
+    def test_mp_backend_run(self, capsys):
+        code = main(
+            ["train", "--profile", "kdd10", "--scale", "0.02",
+             "--workers", "2", "--epochs", "1", "--backend", "mp"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=mp" in out
+        assert "test loss" in out
+
+    def test_mp_backend_matches_sim_losses(self, capsys):
+        base = ["train", "--profile", "kdd10", "--scale", "0.02",
+                "--workers", "2", "--epochs", "1", "--seed", "5"]
+        assert main(base) == 0
+        sim_out = capsys.readouterr().out
+        assert main(base + ["--backend", "mp"]) == 0
+        mp_out = capsys.readouterr().out
+        # The loss columns (last two fields of each epoch row) must
+        # agree exactly; timings legitimately differ.
+        def losses(out):
+            rows = [
+                line.split()[-2:]
+                for line in out.splitlines()
+                if line and line.split()[0].isdigit()
+            ]
+            assert rows
+            return rows
+
+        assert losses(sim_out) == losses(mp_out)
+
+    def test_fault_flags_are_parsed(self):
+        args = build_parser().parse_args(
+            ["train", "--backend", "mp", "--fault-drop", "0.1",
+             "--fault-corrupt", "0.05", "--fault-seed", "9",
+             "--straggler-policy", "drop", "--max-retries", "7",
+             "--message-timeout", "3.5"]
+        )
+        assert args.fault_drop == 0.1
+        assert args.fault_corrupt == 0.05
+        assert args.fault_seed == 9
+        assert args.straggler_policy == "drop"
+        assert args.max_retries == 7
+        assert args.message_timeout == 3.5
+
 
 class TestDatagen:
     def test_writes_libsvm(self, tmp_path, capsys):

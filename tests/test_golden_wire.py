@@ -1,0 +1,99 @@
+"""Golden serialized messages: the wire format is pinned byte-for-byte.
+
+``tests/golden/wire/`` holds committed ``serialize_message`` outputs
+for a spread of configurations (sketch/quantization variants, hash
+families, packed indexes, one-sided gradients).  Two invariants:
+
+* **encode** — re-compressing the deterministically regenerated
+  gradient and serializing it reproduces the committed bytes exactly
+  (every dtype on the wire is explicitly little-endian, so this holds
+  on any host);
+* **decode** — deserializing the committed bytes and decompressing
+  yields exactly the keys/values recorded at capture time.
+
+A diff here means the wire format changed: bump the serialization
+version and regenerate the fixtures deliberately, never silently.
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import SketchMLCompressor
+from repro.core.config import SketchMLConfig
+from repro.core.serialization import deserialize_message, serialize_message
+
+WIRE_DIR = os.path.join(os.path.dirname(__file__), "golden", "wire")
+
+with open(os.path.join(WIRE_DIR, "manifest.json")) as _f:
+    _MANIFEST = json.load(_f)
+
+CASES = _MANIFEST["cases"]
+
+
+def regenerate_gradient(case):
+    rng = np.random.default_rng(case["seed"])
+    keys = np.sort(
+        rng.choice(case["dimension"], size=case["nnz"], replace=False)
+    )
+    values = rng.laplace(scale=0.01, size=case["nnz"])
+    values[values == 0.0] = 1e-4
+    if case["sign_mode"] == "pos":
+        values = np.abs(values)
+    return keys, values
+
+
+def fixture_bytes(case):
+    with open(os.path.join(WIRE_DIR, case["name"] + ".bin"), "rb") as f:
+        return f.read()
+
+
+def test_manifest_format_and_coverage():
+    assert _MANIFEST["format"] == "repro-golden-wire/1"
+    names = [c["name"] for c in CASES]
+    assert len(names) == len(set(names))
+    assert len(names) >= 9
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
+def test_fixture_file_matches_manifest_digest(case):
+    data = fixture_bytes(case)
+    assert len(data) == case["num_bytes"]
+    assert hashlib.sha256(data).hexdigest() == case["sha256"]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
+def test_encode_is_byte_identical(case):
+    keys, values = regenerate_gradient(case)
+    compressor = SketchMLCompressor(
+        SketchMLConfig.full(seed=case["seed"], **case["overrides"])
+    )
+    message = compressor.compress(keys, values, case["dimension"])
+    assert serialize_message(message) == fixture_bytes(case)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
+def test_decode_is_value_identical(case):
+    message = deserialize_message(fixture_bytes(case))
+    compressor = SketchMLCompressor(
+        SketchMLConfig.full(seed=case["seed"], **case["overrides"])
+    )
+    decoded_keys, decoded_values = compressor.decompress(message)
+    keys_digest = hashlib.sha256(
+        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()
+    ).hexdigest()
+    values_digest = hashlib.sha256(
+        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()
+    ).hexdigest()
+    assert keys_digest == case["decoded_keys_sha256"]
+    assert values_digest == case["decoded_values_sha256"]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
+def test_serialize_roundtrip_of_fixture(case):
+    # deserialize → serialize is the identity on committed bytes.
+    data = fixture_bytes(case)
+    assert serialize_message(deserialize_message(data)) == data

@@ -283,6 +283,118 @@ class TestMissingAll:
         assert ids_for(good, "core/x.py", ["missing-all"]) == []
 
 
+class TestWireEndianness:
+    WIRE = "core/serialization.py"
+
+    def test_fires_on_frombuffer_numpy_attr_dtype(self):
+        bad = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            "    return np.frombuffer(blob[:4], dtype=np.uint32)\n"
+        )
+        findings = lint_source(bad, relpath=self.WIRE,
+                               select=["wire-endianness"])
+        assert [f.rule_id for f in findings] == ["wire-endianness"]
+        assert "uint32" in findings[0].message
+
+    def test_fires_on_scalar_tobytes(self):
+        bad = (
+            "import numpy as np\n"
+            "def header(n):\n"
+            "    return np.uint32(n).tobytes()\n"
+        )
+        assert ids_for(bad, self.WIRE, ["wire-endianness"]) == [
+            "wire-endianness"
+        ]
+
+    def test_fires_on_cast_chained_to_tobytes(self):
+        bad = (
+            "import numpy as np\n"
+            "def emit(x):\n"
+            "    return np.asarray(x, dtype=np.float64).tobytes()\n"
+        )
+        assert ids_for(bad, self.WIRE, ["wire-endianness"]) == [
+            "wire-endianness"
+        ]
+
+    def test_fires_on_unpinned_dtype_string(self):
+        bad = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            '    return np.frombuffer(blob, dtype="f8")\n'
+        )
+        assert ids_for(bad, self.WIRE, ["wire-endianness"]) == [
+            "wire-endianness"
+        ]
+
+    def test_fires_on_big_endian_string(self):
+        bad = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            '    return np.frombuffer(blob, dtype=">u4")\n'
+        )
+        assert ids_for(bad, self.WIRE, ["wire-endianness"]) == [
+            "wire-endianness"
+        ]
+
+    def test_fires_on_unpinned_dtype_constant(self):
+        bad = 'HEADER_DTYPE = "u4"\n'
+        assert ids_for(bad, self.WIRE, ["wire-endianness"]) == [
+            "wire-endianness"
+        ]
+
+    def test_clean_on_pinned_little_endian_strings(self):
+        good = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            '    head = np.frombuffer(blob[:4], dtype="<u4")\n'
+            '    return np.frombuffer(blob[4:], dtype="<f8")\n'
+            "def emit(x):\n"
+            '    return np.asarray(x, dtype="<u4").tobytes()\n'
+        )
+        assert ids_for(good, self.WIRE, ["wire-endianness"]) == []
+
+    def test_clean_on_single_byte_dtypes(self):
+        good = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            '    return np.frombuffer(blob, dtype="u1")\n'
+        )
+        assert ids_for(good, self.WIRE, ["wire-endianness"]) == []
+
+    def test_in_memory_numpy_attr_dtypes_stay_legal(self):
+        # Scratch buffers never cross the wire; only frombuffer /
+        # tobytes chains and dtype string literals are byte-crossing.
+        good = (
+            "import numpy as np\n"
+            "def scatter(n):\n"
+            "    return np.empty(n, dtype=np.uint64)\n"
+        )
+        assert ids_for(good, self.WIRE, ["wire-endianness"]) == []
+
+    def test_silent_outside_wire_modules(self):
+        bad = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            "    return np.frombuffer(blob, dtype=np.uint32)\n"
+        )
+        assert ids_for(bad, "distributed/worker.py",
+                       ["wire-endianness"]) == []
+
+    def test_repo_wire_modules_are_clean(self):
+        import os
+
+        from repro.lint.policy import WIRE_MODULES
+
+        src_root = os.path.join(
+            os.path.dirname(__file__), "..", "src", "repro"
+        )
+        for relpath in sorted(WIRE_MODULES):
+            with open(os.path.join(src_root, relpath)) as f:
+                text = f.read()
+            assert ids_for(text, relpath, ["wire-endianness"]) == [], relpath
+
+
 class TestRuleInventory:
     def test_at_least_eight_rules_registered(self):
         ids = all_rule_ids()
@@ -291,5 +403,6 @@ class TestRuleInventory:
             "kernel-parity", "rng-discipline", "dtype-discipline",
             "hot-loop", "wire-format", "bare-except", "mutable-default",
             "missing-all", "noqa-justification",
+            "wire-endianness",
         ]:
             assert required in ids

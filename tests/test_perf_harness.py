@@ -83,10 +83,56 @@ def test_cli_perf_quick(tmp_path, capsys):
     captured = capsys.readouterr().out
     assert "e2e_compress/512" in captured
     payload = json.loads(out.read_text())
-    assert set(payload["kernels"]) == {f"{k}/512" for k in EXPECTED_KERNELS}
+    codec_names = {f"{k}/512" for k in EXPECTED_KERNELS}
+    # Quick mode also times the in-process (sim) transport echo path.
+    transport_names = {
+        n for n in payload["kernels"] if n.startswith("transport_echo/sim/")
+    }
+    assert transport_names
+    assert set(payload["kernels"]) == codec_names | transport_names
 
 
 def test_cli_perf_no_output_file(capsys):
     code = main(["perf", "--quick", "--sizes", "512", "--out", "-"])
     assert code == 0
     assert "wrote" not in capsys.readouterr().out
+
+
+def test_cli_perf_transports_none_skips_transport_bench(tmp_path):
+    out = tmp_path / "bench.json"
+    code = main(["perf", "--quick", "--sizes", "512", "--transports",
+                 "--out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert not any(
+        n.startswith("transport_echo/") for n in payload["kernels"]
+    )
+
+
+class TestTransportBench:
+    def test_sim_rows_record_messages_and_bytes(self):
+        from repro.perf import run_transport_bench
+
+        results = run_transport_bench(
+            ["sim"], payload_sizes=[1024], warmup=0, repeats=2
+        )
+        assert [r.name for r in results] == ["transport_echo/sim/1024"]
+        record = results[0].to_json()
+        assert record["bytes_per_message"] > 1024  # payload + frame header
+        assert record["messages_per_s"] > 0
+        assert record["repeats"] == 2
+
+    def test_unknown_backend_rejected(self):
+        from repro.perf import run_transport_bench
+
+        with pytest.raises(ValueError, match="unknown transport backend"):
+            run_transport_bench(["udp"])
+
+    def test_mp_backend_round_trips(self):
+        from repro.perf import run_transport_bench
+
+        results = run_transport_bench(
+            ["mp"], payload_sizes=[1024], warmup=0, repeats=1
+        )
+        assert results[0].seconds > 0
+        assert results[0].to_json()["messages_per_s"] > 0

@@ -1,0 +1,101 @@
+"""Frame codec unit tests: pack/unpack roundtrips and rejection paths."""
+
+import pytest
+
+from repro.runtime.framing import (
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    KIND_ACK,
+    KIND_GRAD,
+    KIND_NAMES,
+    KIND_STEP,
+    FrameError,
+    pack_ack,
+    pack_frame,
+    pack_grad_header,
+    pack_step,
+    pack_update_header,
+    unpack_ack,
+    unpack_frame,
+    unpack_grad,
+    unpack_header,
+    unpack_step,
+    unpack_update,
+)
+
+
+class TestFrameRoundtrip:
+    def test_roundtrip_all_kinds(self):
+        for kind in KIND_NAMES:
+            frame = pack_frame(kind, 7, b"payload")
+            got_kind, sender, payload = unpack_frame(frame)
+            assert (got_kind, sender, payload) == (kind, 7, b"payload")
+
+    def test_empty_payload(self):
+        frame = pack_frame(KIND_ACK, 0)
+        kind, sender, payload = unpack_frame(frame)
+        assert (kind, sender, payload) == (KIND_ACK, 0, b"")
+        assert len(frame) == HEADER_SIZE
+
+    def test_header_is_little_endian_and_magic_first(self):
+        frame = pack_frame(KIND_STEP, 0x0102, b"x")
+        assert frame[:4] == FRAME_MAGIC
+        # sender u16 little-endian: low byte first
+        assert frame[6:8] == bytes([0x02, 0x01])
+
+    def test_unknown_kind_rejected_on_pack_and_unpack(self):
+        with pytest.raises(FrameError):
+            pack_frame(0, 0, b"")
+        bad = bytearray(pack_frame(KIND_ACK, 0, b""))
+        bad[5] = 250  # kind byte
+        with pytest.raises(FrameError, match="unknown frame kind"):
+            unpack_header(bytes(bad))
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(pack_frame(KIND_ACK, 0, b""))
+        frame[0] = ord("X")
+        with pytest.raises(FrameError, match="magic"):
+            unpack_frame(bytes(frame))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(FrameError, match="short"):
+            unpack_header(b"SKRT")
+
+    def test_length_mismatch_rejected(self):
+        frame = pack_frame(KIND_ACK, 0, b"abc")
+        with pytest.raises(FrameError, match="length mismatch"):
+            unpack_frame(frame + b"extra")
+        with pytest.raises(FrameError, match="length mismatch"):
+            unpack_frame(frame[:-1])
+
+    def test_corrupt_length_field_rejected_not_allocated(self):
+        frame = bytearray(pack_frame(KIND_ACK, 0, b""))
+        frame[8:16] = (1 << 62).to_bytes(8, "little")
+        with pytest.raises(FrameError, match="exceeds limit"):
+            unpack_header(bytes(frame))
+
+
+class TestTypedPayloads:
+    def test_step_roundtrip(self):
+        assert unpack_step(pack_step(41, 0.125)) == (41, 0.125)
+        with pytest.raises(FrameError):
+            unpack_step(b"\x00")
+
+    def test_grad_roundtrip_with_message_bytes(self):
+        body = pack_grad_header(9, True, 0.5, 0.01, 0.002, 1234) + b"WIRE"
+        rid, has_batch, loss, comp, enc, nnz, data = unpack_grad(body)
+        assert (rid, has_batch, nnz, data) == (9, True, 1234, b"WIRE")
+        assert (loss, comp, enc) == (0.5, 0.01, 0.002)
+        with pytest.raises(FrameError, match="short GRAD"):
+            unpack_grad(b"tiny")
+
+    def test_update_roundtrip(self):
+        body = pack_update_header(3, 0.01) + b"AGG"
+        assert unpack_update(body) == (3, 0.01, b"AGG")
+        with pytest.raises(FrameError, match="short UPDATE"):
+            unpack_update(b"")
+
+    def test_ack_roundtrip(self):
+        assert unpack_ack(pack_ack(77)) == 77
+        with pytest.raises(FrameError):
+            unpack_ack(b"\x01\x02")

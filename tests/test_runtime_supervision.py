@@ -1,0 +1,317 @@
+"""Supervision edge cases over a scriptable fake transport.
+
+The fake lets each test choose exactly what a worker does per attempt
+(time out, crash, reply garbage, reply late), so the retry/backoff/
+policy machinery is pinned without any real processes or sleeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.framing import (
+    KIND_ACK,
+    KIND_ERROR,
+    KIND_HEARTBEAT,
+    pack_ack,
+    pack_frame,
+    unpack_ack,
+)
+from repro.runtime.supervision import (
+    POLICY_DROP,
+    HeartbeatLostError,
+    RetryExhaustedError,
+    SupervisionConfig,
+    Supervisor,
+    WorkerCrashedError,
+    backoff_delays,
+)
+from repro.runtime.transport import (
+    Transport,
+    TransportClosed,
+    TransportTimeout,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class FakeTransport(Transport):
+    """Scripted transport: each recv pops the next scripted behaviour.
+
+    Script entries per worker: ``("timeout",)``, ``("closed",)``,
+    ``("frame", bytes)``.  Sends are recorded for assertion.
+    """
+
+    name = "fake"
+
+    def __init__(self, num_workers, clock=None):
+        super().__init__(num_workers)
+        self.script = {w: [] for w in range(num_workers)}
+        self.sent = {w: [] for w in range(num_workers)}
+        self._clock = clock
+
+    def send(self, worker_id, frame):
+        self.sent[worker_id].append(bytes(frame))
+
+    def recv(self, worker_id, timeout):
+        queue = self.script[worker_id]
+        if not queue:
+            if self._clock is not None:
+                # A blocking recv that never delivers consumes the wait.
+                self._clock.advance(max(timeout, 0.0) + 1e-9)
+            raise TransportTimeout("scripted empty queue")
+        action = queue.pop(0)
+        if action[0] == "timeout":
+            if self._clock is not None:
+                self._clock.advance(max(timeout, 0.0) + 1e-9)
+            raise TransportTimeout("scripted timeout")
+        if action[0] == "closed":
+            raise TransportClosed("scripted hangup")
+        return action[1]
+
+    def alive(self, worker_id):
+        return True
+
+    def terminate(self, worker_id):
+        pass
+
+    def close(self):
+        pass
+
+
+def make_supervisor(transport, clock, **overrides):
+    defaults = dict(
+        message_timeout=1.0,
+        max_retries=2,
+        backoff_base=0.01,
+        backoff_jitter=0.0,
+        seed=5,
+    )
+    defaults.update(overrides)
+    sleeps = []
+
+    def sleeper(seconds):
+        sleeps.append(seconds)
+        clock.advance(seconds)
+
+    sup = Supervisor(
+        transport, SupervisionConfig(**defaults),
+        sleeper=sleeper, clock=clock,
+    )
+    return sup, sleeps
+
+
+def ack(worker_id, value):
+    return pack_frame(KIND_ACK, worker_id, pack_ack(value))
+
+
+class TestRetries:
+    def test_reply_on_first_attempt(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        t.script[0] = [("frame", ack(0, 42))]
+        sup, sleeps = make_supervisor(t, clock)
+        out = sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK, decode=unpack_ack
+        )
+        assert out == 42
+        assert len(t.sent[0]) == 1
+        assert sleeps == []
+
+    def test_timeouts_then_success_resends_same_frame(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        t.script[0] = [("timeout",), ("timeout",), ("frame", ack(0, 7))]
+        sup, sleeps = make_supervisor(t, clock)
+        out = sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK, decode=unpack_ack
+        )
+        assert out == 7
+        assert t.sent[0] == [b"req"] * 3
+        assert sup.stats["retries"] == 2
+        assert sup.stats["timeouts"] == 2
+        # Exponential backoff without jitter: base, base*factor.
+        assert sleeps == pytest.approx([0.01, 0.02])
+
+    def test_retry_exhaustion_raises_structured_error(self):
+        clock = FakeClock()
+        t = FakeTransport(3, clock)
+        sup, _ = make_supervisor(t, clock)  # empty scripts: all timeout
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            sup.request(
+                2, b"req", phase="update",
+                expect_kind=KIND_ACK, decode=unpack_ack,
+            )
+        err = excinfo.value
+        assert err.worker_id == 2
+        assert err.phase == "update"
+        assert err.attempts == 3  # max_retries=2 → 3 total attempts
+        assert "worker 2" in str(err) and "update" in str(err)
+        assert isinstance(err.cause, TransportTimeout)
+
+    def test_rejected_reply_triggers_retry(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        t.script[0] = [
+            ("frame", pack_frame(KIND_ACK, 0, b"garbage!")),
+            ("frame", ack(0, 9)),
+        ]
+        sup, _ = make_supervisor(t, clock)
+        out = sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK, decode=unpack_ack
+        )
+        assert out == 9
+        assert sup.stats["rejected_replies"] == 1
+        assert sup.stats["retries"] == 1
+
+    def test_heartbeats_absorbed_while_waiting(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        t.script[0] = [
+            ("frame", pack_frame(KIND_HEARTBEAT, 0)),
+            ("frame", pack_frame(KIND_HEARTBEAT, 0)),
+            ("frame", ack(0, 1)),
+        ]
+        sup, _ = make_supervisor(t, clock)
+        out = sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK, decode=unpack_ack
+        )
+        assert out == 1
+        assert sup.stats["heartbeats"] == 2
+        assert sup.stats["retries"] == 0
+
+    def test_error_frame_is_a_crash_not_a_retry(self):
+        import pickle
+
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        detail = pickle.dumps({"error": "boom"})
+        t.script[0] = [("frame", pack_frame(KIND_ERROR, 0, detail))]
+        sup, _ = make_supervisor(t, clock)
+        with pytest.raises(WorkerCrashedError, match="boom"):
+            sup.request(
+                0, b"req", phase="step",
+                expect_kind=KIND_ACK, decode=unpack_ack,
+            )
+
+    def test_already_sent_skips_first_send(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        t.script[0] = [("frame", ack(0, 3))]
+        sup, _ = make_supervisor(t, clock)
+        sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK,
+            decode=unpack_ack, already_sent=True,
+        )
+        assert t.sent[0] == []
+
+
+class TestPolicies:
+    def test_drop_policy_marks_dead_and_returns_none(self):
+        clock = FakeClock()
+        t = FakeTransport(2, clock)
+        sup, _ = make_supervisor(t, clock, straggler_policy=POLICY_DROP)
+        out = sup.request(
+            1, b"req", phase="step", expect_kind=KIND_ACK, decode=unpack_ack
+        )
+        assert out is None
+        assert sup.alive == {0}
+        assert isinstance(sup.dead[1], RetryExhaustedError)
+        assert sup.stats["workers_lost"] == 1
+        # Requests to a dead worker are silently skipped.
+        assert sup.request(
+            1, b"again", phase="step", expect_kind=KIND_ACK
+        ) is None
+
+    def test_hangup_under_drop_policy(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        t.script[0] = [("closed",)]
+        sup, _ = make_supervisor(t, clock, straggler_policy=POLICY_DROP)
+        out = sup.request(0, b"req", phase="epoch", expect_kind=KIND_ACK)
+        assert out is None
+        assert isinstance(sup.dead[0], WorkerCrashedError)
+
+
+class TestHeartbeats:
+    def test_silent_worker_declared_lost_under_drop(self):
+        clock = FakeClock()
+        t = FakeTransport(2, clock)
+        sup, _ = make_supervisor(
+            t, clock, straggler_policy=POLICY_DROP, heartbeat_timeout=5.0
+        )
+        # Worker 0 keeps talking; worker 1 goes silent.
+        clock.advance(6.0)
+        t.script[0] = [("frame", pack_frame(KIND_HEARTBEAT, 0))]
+        lost = sup.check_heartbeats(phase="epoch")
+        assert lost == [1]
+        assert sup.alive == {0}
+        err = sup.dead[1]
+        assert isinstance(err, HeartbeatLostError)
+        assert err.worker_id == 1 and err.phase == "epoch"
+
+    def test_silent_worker_raises_under_fail_fast(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        sup, _ = make_supervisor(t, clock, heartbeat_timeout=1.0)
+        clock.advance(2.0)
+        with pytest.raises(HeartbeatLostError):
+            sup.check_heartbeats()
+
+    def test_disabled_timeout_never_loses_workers(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        sup, _ = make_supervisor(t, clock, heartbeat_timeout=0.0)
+        clock.advance(1e6)
+        assert sup.check_heartbeats() == []
+        assert sup.alive == {0}
+
+
+class TestBackoff:
+    def test_deterministic_given_seed(self):
+        cfg = SupervisionConfig(
+            max_retries=4, backoff_base=0.1, backoff_factor=2.0,
+            backoff_jitter=0.5, seed=123,
+        )
+        a = backoff_delays(cfg, np.random.default_rng(123))
+        b = backoff_delays(cfg, np.random.default_rng(123))
+        assert a == b
+        assert len(a) == 4
+        # Jitter stays within +/- jitter/2 of the nominal delay.
+        for i, d in enumerate(a):
+            nominal = 0.1 * 2.0 ** i
+            assert 0.75 * nominal <= d <= 1.25 * nominal
+
+    def test_no_jitter_is_pure_exponential(self):
+        cfg = SupervisionConfig(
+            max_retries=3, backoff_base=0.5, backoff_factor=3.0,
+            backoff_jitter=0.0,
+        )
+        delays = backoff_delays(cfg, np.random.default_rng(0))
+        assert delays == pytest.approx([0.5, 1.5, 4.5])
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"message_timeout": 0.0},
+            {"init_timeout": -1.0},
+            {"max_retries": -1},
+            {"backoff_factor": 0.5},
+            {"backoff_jitter": 1.5},
+            {"heartbeat_interval": -0.1},
+            {"straggler_policy": "shrug"},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionConfig(**kwargs)

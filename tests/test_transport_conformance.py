@@ -1,0 +1,137 @@
+"""Transport conformance: the same contract over sim, mp, and tcp.
+
+Every backend must move opaque frames point-to-point, preserve
+per-worker ordering, time out cleanly, and report liveness — the
+supervision layer is written against exactly this surface.  Real
+backends (``mp``, ``tcp``) spawn actual worker processes whose serve
+loop answers ``ECHO`` frames before ``INIT``, so the suite needs no
+training state.
+"""
+
+import pytest
+
+from repro.runtime.framing import (
+    KIND_ECHO,
+    KIND_STOP,
+    pack_frame,
+    unpack_frame,
+)
+from repro.runtime.transport import (
+    TRANSPORT_BACKENDS,
+    TransportClosed,
+    TransportTimeout,
+    make_transport,
+)
+
+NUM_WORKERS = 2
+
+
+def _echo_handler(worker_id):
+    def handler(frame):
+        kind, _, payload = unpack_frame(frame)
+        if kind == KIND_STOP:
+            return []
+        return [pack_frame(KIND_ECHO, worker_id, payload)]
+
+    return handler
+
+
+def _build(backend):
+    if backend == "sim":
+        handlers = [_echo_handler(i) for i in range(NUM_WORKERS)]
+        return make_transport("sim", NUM_WORKERS, handlers=handlers)
+    return make_transport(backend, NUM_WORKERS)
+
+
+def _shutdown(transport):
+    for worker_id in range(transport.num_workers):
+        try:
+            if transport.alive(worker_id):
+                transport.send(worker_id, pack_frame(KIND_STOP, 0))
+        except TransportClosed:
+            pass
+    transport.close()
+
+
+@pytest.fixture(params=TRANSPORT_BACKENDS)
+def transport(request):
+    t = _build(request.param)
+    try:
+        yield t
+    finally:
+        _shutdown(t)
+
+
+class TestConformance:
+    def test_name_matches_backend(self, transport):
+        assert transport.name in TRANSPORT_BACKENDS
+        assert transport.num_workers == NUM_WORKERS
+
+    def test_echo_roundtrip_every_worker(self, transport):
+        for worker_id in range(NUM_WORKERS):
+            payload = b"ping-%d" % worker_id
+            transport.send(worker_id, pack_frame(KIND_ECHO, 0, payload))
+            kind, sender, got = unpack_frame(transport.recv(worker_id, 20.0))
+            assert (kind, sender, got) == (KIND_ECHO, worker_id, payload)
+
+    def test_per_worker_ordering_preserved(self, transport):
+        for i in range(5):
+            transport.send(0, pack_frame(KIND_ECHO, 0, b"seq-%d" % i))
+        for i in range(5):
+            _, _, payload = unpack_frame(transport.recv(0, 20.0))
+            assert payload == b"seq-%d" % i
+
+    def test_large_payload_survives(self, transport):
+        # Bigger than any pipe buffer / single socket read.
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        transport.send(1, pack_frame(KIND_ECHO, 0, payload))
+        _, _, got = unpack_frame(transport.recv(1, 30.0))
+        assert got == payload
+
+    def test_recv_timeout_raises(self, transport):
+        with pytest.raises(TransportTimeout):
+            transport.recv(0, 0.05)
+
+    def test_invalid_worker_id_rejected(self, transport):
+        with pytest.raises(ValueError):
+            transport.send(NUM_WORKERS, b"")
+        with pytest.raises(ValueError):
+            transport.recv(-1, 0.0)
+
+    def test_alive_then_terminated(self, transport):
+        assert transport.alive(0)
+        assert transport.alive(1)
+        transport.terminate(1)
+        if transport.name in ("mp", "tcp"):
+            # Real processes take a moment to die.
+            import time
+
+            deadline = time.monotonic() + 10.0
+            while transport.alive(1) and time.monotonic() < deadline:
+                time.sleep(0.02)
+        assert not transport.alive(1)
+        # Worker 0 is unaffected.
+        transport.send(0, pack_frame(KIND_ECHO, 0, b"still-here"))
+        _, _, payload = unpack_frame(transport.recv(0, 20.0))
+        assert payload == b"still-here"
+
+    def test_send_after_terminate_fails(self, transport):
+        transport.terminate(0)
+        if transport.name == "mp":
+            # The pipe stays writable until the process death is
+            # observed; a recv sees the hangup.
+            transport._procs[0].join(timeout=10.0)
+            with pytest.raises((TransportClosed, TransportTimeout)):
+                transport.recv(0, 0.2)
+        else:
+            with pytest.raises((TransportClosed, TransportTimeout)):
+                transport.send(0, pack_frame(KIND_ECHO, 0, b"x"))
+                transport.recv(0, 0.2)
+
+    @pytest.mark.parametrize("backend", TRANSPORT_BACKENDS)
+    def test_context_manager_closes(self, backend):
+        with _build(backend) as t:
+            t.send(0, pack_frame(KIND_ECHO, 0, b"cm"))
+            _, _, payload = unpack_frame(t.recv(0, 20.0))
+            assert payload == b"cm"
+            _shutdown(t)
