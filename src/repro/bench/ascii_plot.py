@@ -7,6 +7,7 @@ no plotting dependency.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["line_chart", "bar_chart", "sparkline"]
@@ -15,18 +16,29 @@ _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
 def sparkline(values: Sequence[float]) -> str:
-    """One-line sparkline, e.g. ``▇▅▃▂▁`` for a falling loss curve."""
+    """One-line sparkline, e.g. ``▇▅▃▂▁`` for a falling loss curve.
+
+    Non-finite values (an undefined ratio, a missing sample) render as
+    ``·`` so they neither crash the scaling nor flatten every finite
+    value to the baseline.
+    """
     values = [float(v) for v in values]
     if not values:
         return ""
-    low, high = min(values), max(values)
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return "·" * len(values)
+    low, high = min(finite), max(finite)
     span = high - low
-    if span == 0:
-        return _SPARK_LEVELS[0] * len(values)
     out = []
     for v in values:
-        idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
-        out.append(_SPARK_LEVELS[idx])
+        if not math.isfinite(v):
+            out.append("·")
+        elif span == 0:
+            out.append(_SPARK_LEVELS[0])
+        else:
+            idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+            out.append(_SPARK_LEVELS[idx])
     return "".join(out)
 
 
@@ -43,11 +55,15 @@ def bar_chart(
         return ""
     if width < 1:
         raise ValueError("width must be positive")
-    peak = max(float(v) for v in values)
+    finite = [float(v) for v in values if math.isfinite(float(v))]
+    peak = max(finite) if finite else 0.0
     label_width = max(len(str(label)) for label in labels)
     lines: List[str] = []
     for label, value in zip(labels, values):
         value = float(value)
+        if not math.isfinite(value):
+            lines.append(f"{str(label):<{label_width}}  {'':<{width}}  —")
+            continue
         bar = "#" * max(1 if value > 0 else 0, int(round(value / peak * width))) \
             if peak > 0 else ""
         lines.append(
@@ -72,7 +88,10 @@ def line_chart(
     if width < 8 or height < 4:
         raise ValueError("width must be >= 8 and height >= 4")
     points = [
-        (float(x), float(y)) for pts in series.values() for x, y in pts
+        (float(x), float(y))
+        for pts in series.values()
+        for x, y in pts
+        if math.isfinite(float(x)) and math.isfinite(float(y))
     ]
     if not points:
         return ""
@@ -87,6 +106,8 @@ def line_chart(
     for name, pts in series.items():
         marker = name.strip()[0].upper() if name.strip() else "*"
         for x, y in pts:
+            if not (math.isfinite(float(x)) and math.isfinite(float(y))):
+                continue  # dropped from the axis ranges above, too
             col = int((float(x) - x_low) / x_span * (width - 1))
             row = height - 1 - int((float(y) - y_low) / y_span * (height - 1))
             grid[row][col] = marker

@@ -7,6 +7,7 @@ output verbatim.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import List, Optional, Sequence
 
@@ -15,6 +16,10 @@ __all__ = ["format_table", "format_series", "write_result"]
 
 def _format_cell(value) -> str:
     if isinstance(value, float):
+        if not math.isfinite(value):
+            # e.g. compression_rate with zero bytes on the wire: the
+            # ratio is undefined, not a huge number — show a dash.
+            return "—"
         if value == 0:
             return "0"
         if abs(value) >= 1000 or abs(value) < 0.001:

@@ -6,7 +6,11 @@ Commands:
 * ``compress`` — compress one synthetic gradient with a chosen codec
   and print size/error statistics.
 * ``train``    — run a distributed training experiment on the simulated
-  cluster and print the per-epoch table.
+  cluster and print the per-epoch table (``--trace PATH`` records a
+  flight-recorder trace).
+* ``trace``    — render a recorded trace: per-phase time tree,
+  per-worker timeline, slowest-round drill-down (see
+  ``docs/observability.md``).
 * ``compare``  — all registered codecs side by side on one gradient.
 * ``report``   — stitch archived bench results into ``REPORT.md``.
 * ``perf``     — time the codec hot-path kernels, write ``BENCH_codec.json``.
@@ -21,6 +25,8 @@ Examples::
     python -m repro compare --nnz 20000
     python -m repro train --profile kdd12 --model lr --method SketchML \
         --workers 10 --epochs 3
+    python -m repro train --backend mp --trace out.jsonl
+    python -m repro trace out.jsonl --format json
     python -m repro datagen --profile kdd10 --scale 0.1 --out kdd10.libsvm
     python -m repro perf --quick
     python -m repro report
@@ -97,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault injection: P(corrupt a reply payload)")
     train.add_argument("--fault-seed", type=int, default=0,
                        help="fault injection RNG seed")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a repro-trace/1 flight-recorder file "
+                            "(merged across worker processes); inspect it "
+                            "with `python -m repro trace PATH`")
 
     compare = sub.add_parser(
         "compare", help="compare all codecs on one synthetic gradient"
@@ -130,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also time transport echo round-trips on these "
                            "backends (default: all three; pass with no "
                            "values to skip)")
+
+    trace = sub.add_parser(
+        "trace", help="inspect a recorded flight-recorder trace"
+    )
+    trace.add_argument("path", help="merged trace file (train --trace PATH)")
+    trace.add_argument("--format", choices=["table", "json"], default="table",
+                       help="human tables (default) or the JSON summary")
+    trace.add_argument("--slowest", type=int, default=3, metavar="N",
+                       help="rounds in the slowest-round drill-down")
+    trace.add_argument("--validate", action="store_true",
+                       help="schema-validate every event and exit "
+                            "(nonzero on violations)")
 
     datagen = sub.add_parser("datagen", help="write a synthetic dataset")
     datagen.add_argument("--profile", default="kdd10",
@@ -199,9 +221,25 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_run_id(args: argparse.Namespace) -> str:
+    """Deterministic run id: same invocation, same trace identity."""
+    return (
+        f"{args.profile}-{args.method}-{args.model}"
+        f"-w{args.workers}-s{args.seed}-{args.backend}"
+    )
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
+    from . import telemetry
     from .bench import ExperimentSpec, format_table, run_experiment
 
+    tracing = bool(getattr(args, "trace", None))
+    if tracing:
+        try:
+            telemetry.start_run(args.trace, run_id=_trace_run_id(args))
+        except (OSError, RuntimeError) as exc:
+            print(f"error: cannot start trace: {exc}", file=sys.stderr)
+            return 2
     try:
         spec = ExperimentSpec(
             profile=args.profile,
@@ -228,6 +266,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracing and telemetry.active_session() is not None:
+            telemetry.finish_run()
     rows = [
         [
             e.epoch,
@@ -257,6 +298,40 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if dropped:
         for worker_id, reason in sorted(dropped.items()):
             print(f"dropped worker {worker_id}: {reason}")
+    if tracing:
+        print(f"trace written to {args.trace} "
+              f"(inspect with `python -m repro trace {args.trace}`)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry.merge import read_trace
+    from .telemetry.schema import TraceSchemaError, validate_trace
+    from .telemetry.summary import render_summary, summarize
+
+    try:
+        events = read_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        try:
+            info = validate_trace(events)
+        except TraceSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {info['events']} events from {info['processes']} "
+            f"process(es): "
+            + ", ".join(f"{k}={v}" for k, v in sorted(info["types"].items()))
+        )
+        return 0
+    if args.format == "json":
+        print(json.dumps(summarize(events, slowest=args.slowest), indent=2))
+    else:
+        print(render_summary(events, slowest=args.slowest))
     return 0
 
 
@@ -333,6 +408,17 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(f"error: cannot write {out}: {exc}", file=sys.stderr)
             return 2
         print(f"\nwrote {out}")
+    from .perf import measure_overhead
+
+    report = measure_overhead(
+        nnz=5_000 if args.quick else 50_000,
+        repeats=3 if args.quick else 5,
+    )
+    print(report.describe())
+    if not report.within_budget:
+        print("error: telemetry disabled-path overhead exceeds budget",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -386,6 +472,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compress(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "report":

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import sanitize
+from .. import sanitize, telemetry
 from ..compression.base import (
     BYTES_PER_RAW_KEY,
     BYTES_PER_RAW_VALUE,
@@ -129,6 +129,17 @@ class SketchMLCompressor(GradientCompressor):
     def compress(
         self, keys: np.ndarray, values: np.ndarray, dimension: int
     ) -> CompressedGradient:
+        with telemetry.span("codec.compress"):
+            message = self._compress(keys, values, dimension)
+        if telemetry.enabled():
+            telemetry.counter("codec.messages", 1)
+            telemetry.counter("codec.encoded_bytes", message.num_bytes)
+            telemetry.counter("codec.raw_bytes", message.raw_bytes)
+        return message
+
+    def _compress(
+        self, keys: np.ndarray, values: np.ndarray, dimension: int
+    ) -> CompressedGradient:
         keys, values = validate_sparse_gradient(keys, values, dimension)
         cfg = self.config
         sanitize_active = bool(cfg.sanitize) or sanitize.enabled()
@@ -176,19 +187,20 @@ class SketchMLCompressor(GradientCompressor):
         pos_enc: Optional[np.ndarray] = None
         neg_enc: Optional[np.ndarray] = None
         if refit_due:
-            effective_buckets = min(cfg.num_buckets, max(8, keys.size // 8))
-            quantizer = QuantileBucketQuantizer(
-                num_buckets=effective_buckets,
-                sketch=cfg.quantile_sketch,
-                sketch_size=cfg.quantile_sketch_size,
-                seed=cfg.seed,
-            )
-            # Fitting sorts each sign's magnitudes anyway; take the
-            # bucket indexes as a byproduct instead of re-searching
-            # every value against the splits afterwards.
-            pos_enc, neg_enc = quantizer.fit_encode(
-                values, pos_sel=pos_sel, neg_sel=neg_sel
-            )
+            with telemetry.span("codec.quantizer_fit"):
+                effective_buckets = min(cfg.num_buckets, max(8, keys.size // 8))
+                quantizer = QuantileBucketQuantizer(
+                    num_buckets=effective_buckets,
+                    sketch=cfg.quantile_sketch,
+                    sketch_size=cfg.quantile_sketch_size,
+                    seed=cfg.seed,
+                )
+                # Fitting sorts each sign's magnitudes anyway; take the
+                # bucket indexes as a byproduct instead of re-searching
+                # every value against the splits afterwards.
+                pos_enc, neg_enc = quantizer.fit_encode(
+                    values, pos_sel=pos_sel, neg_sel=neg_sel
+                )
             self._cached_quantizer = quantizer
         total = _HEADER_BYTES
         group_keys_by_part: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
@@ -215,6 +227,7 @@ class SketchMLCompressor(GradientCompressor):
                 payload, values, group_keys_by_part,
                 sanitize_active=sanitize_active,
             )
+            telemetry.gauge("codec.decay_scale", payload.decay_scale)
             breakdown["decay_scale"] = 8
             total += 8
         return CompressedGradient(payload, total, dimension, keys.size, breakdown)
@@ -269,7 +282,8 @@ class SketchMLCompressor(GradientCompressor):
         part = SignPart(sign=0, nnz=keys.size, raw_values=values.copy())
         value_bytes = BYTES_PER_RAW_VALUE * keys.size
         if cfg.enable_delta_keys:
-            part.key_blob = encode_keys(keys)
+            with telemetry.span("codec.delta_encode"):
+                part.key_blob = encode_keys(keys)
             key_bytes = len(part.key_blob)
         else:
             part.raw_keys = keys.copy()
@@ -317,16 +331,24 @@ class SketchMLCompressor(GradientCompressor):
             # Flat partition: the insert scatter and the key encoder both
             # consume the group-sorted concatenation directly, so no
             # per-group arrays are materialised on the encode path.
-            sorted_keys, sorted_offsets, counts = sketch.partition_flat(keys, indexes)
-            sketch.insert_flat(sorted_keys, sorted_offsets, counts)
+            with telemetry.span("codec.minmax_insert"):
+                sorted_keys, sorted_offsets, counts = sketch.partition_flat(
+                    keys, indexes
+                )
+                sketch.insert_flat(sorted_keys, sorted_offsets, counts)
             if sanitize_active:
                 sanitize.verify_sketch_roundtrip(
                     sketch, sorted_keys, sorted_offsets, counts,
                     part=f"sign={sign}",
                 )
+            if telemetry.enabled():
+                self._trace_sketch_fidelity(
+                    sketch, sorted_keys, sorted_offsets, counts, sign
+                )
             part.sketch = sketch
             group_keys = (sorted_keys, counts)
-            part.group_key_blobs = encode_key_groups_flat(sorted_keys, counts)
+            with telemetry.span("codec.delta_encode"):
+                part.group_key_blobs = encode_key_groups_flat(sorted_keys, counts)
             key_bytes = sum(len(blob) for blob in part.group_key_blobs)
             sketch_bytes = sketch.size_bytes
             breakdown["keys"] = breakdown.get("keys", 0) + key_bytes
@@ -345,7 +367,8 @@ class SketchMLCompressor(GradientCompressor):
                 )
                 value_bytes = index_width * keys.size
             if cfg.enable_delta_keys:
-                part.key_blob = encode_keys(keys)
+                with telemetry.span("codec.delta_encode"):
+                    part.key_blob = encode_keys(keys)
                 key_bytes = len(part.key_blob)
             else:
                 part.raw_keys = keys.copy()
@@ -355,10 +378,59 @@ class SketchMLCompressor(GradientCompressor):
             total += key_bytes + value_bytes
         return part, total, group_keys
 
+    @staticmethod
+    def _trace_sketch_fidelity(
+        sketch: GroupedMinMaxSketch,
+        sorted_keys: np.ndarray,
+        sorted_offsets: np.ndarray,
+        counts: np.ndarray,
+        sign: int,
+    ) -> None:
+        """Query the fresh sketch back against the known true indexes.
+
+        Recording-only (guarded by ``telemetry.enabled()``): emits the
+        sketch collision rate (fraction of keys whose decoded global
+        bucket index differs from the inserted one) and the mean
+        bucket-index decode error.  Min-insert/Max-query is one-sided,
+        so errors are how far *below* the true index collisions pull a
+        decode (§3.3).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        bounds = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        decoded_chunks = [
+            sketch.query_group(g, sorted_keys[bounds[g]:bounds[g + 1]])
+            for g in range(counts.size)
+            if counts[g]
+        ]
+        if not decoded_chunks:
+            return
+        decoded = np.concatenate(decoded_chunks)
+        group_ids = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        true_global = (
+            np.asarray(sorted_offsets, dtype=np.int64)
+            + group_ids * int(sketch.group_width)
+        )
+        errors = np.abs(true_global - decoded)
+        telemetry.gauge(
+            "codec.sketch_collision_rate",
+            float(np.count_nonzero(errors) / errors.size),
+            sign=sign,
+        )
+        telemetry.hist(
+            "codec.bucket_index_error", float(errors.mean()), sign=sign
+        )
+
     # ------------------------------------------------------------------
     # decompression
     # ------------------------------------------------------------------
     def decompress(
+        self, message: CompressedGradient
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        with telemetry.span("codec.decompress"):
+            return self._decompress(message)
+
+    def _decompress(
         self, message: CompressedGradient
     ) -> Tuple[np.ndarray, np.ndarray]:
         payload = message.payload
@@ -411,21 +483,36 @@ class SketchMLCompressor(GradientCompressor):
             raise ValueError("quantized part is missing its bucket metadata")
 
         if part.sketch is not None:
-            keys_chunks: List[np.ndarray] = []
-            index_chunks: List[np.ndarray] = []
-            for group, blob in enumerate(part.group_key_blobs or []):
-                group_keys = decode_keys(blob)
-                if group_keys.size == 0:
-                    continue
-                if sanitize_active:
+            # Stage 1: recover every group's key list from its delta
+            # blob; stage 2: query the group sketches.  Two passes so
+            # each codec stage gets its own span — outputs are
+            # identical to an interleaved walk.
+            group_key_arrays: List[Tuple[int, np.ndarray]] = []
+            with telemetry.span("codec.delta_decode"):
+                for group, blob in enumerate(part.group_key_blobs or []):
+                    group_keys = decode_keys(blob)
+                    if group_keys.size == 0:
+                        continue
+                    group_key_arrays.append((group, group_keys))
+            if sanitize_active:
+                for group, group_keys in group_key_arrays:
                     sanitize.check_ascending_keys(
                         group_keys, part=part.sign, group=group
                     )
-                keys_chunks.append(group_keys)
-                group_indexes = part.sketch.query_group(
-                    group, group_keys, strict=sanitize_active
-                )
-                if sanitize_active:
+            keys_chunks: List[np.ndarray] = []
+            index_chunks: List[np.ndarray] = []
+            with telemetry.span("codec.minmax_query"):
+                for group, group_keys in group_key_arrays:
+                    keys_chunks.append(group_keys)
+                    index_chunks.append(
+                        part.sketch.query_group(
+                            group, group_keys, strict=sanitize_active
+                        )
+                    )
+            if sanitize_active:
+                for (group, _), group_indexes in zip(
+                    group_key_arrays, index_chunks
+                ):
                     sanitize.check_bucket_indexes(
                         group_indexes,
                         part.sketch.index_range,
@@ -433,14 +520,14 @@ class SketchMLCompressor(GradientCompressor):
                         group_width=part.sketch.group_width,
                         part=part.sign,
                     )
-                index_chunks.append(group_indexes)
             if not keys_chunks:
                 return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
             keys = np.concatenate(keys_chunks)
             indexes = np.concatenate(index_chunks)
         else:
             if part.key_blob is not None:
-                keys = decode_keys(part.key_blob)
+                with telemetry.span("codec.delta_decode"):
+                    keys = decode_keys(part.key_blob)
             else:
                 keys = part.raw_keys
             if part.packed_indexes is not None:

@@ -22,11 +22,13 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..compression.base import GradientCompressor
 from ..data.splits import partition_rows
 from ..models.base import Model
 from ..optim.optimizers import Optimizer
 from ..optim.schedules import ConstantLR, LRSchedule
+from ..telemetry.epoch import EpochAccumulator
 from .driver import Driver
 from .metrics import EpochRecord, TrainingHistory
 from .network import NetworkModel
@@ -259,6 +261,8 @@ class DistributedTrainer:
                     compute_seconds_per_nnz=cfg.compute_seconds_per_nnz,
                     heartbeat_interval=heartbeat_interval,
                     sanitize=bool(sanitize.enabled()),
+                    trace_dir=telemetry.worker_trace_dir(),
+                    run_id=telemetry.active_run_id(),
                 )
             )
         return bootstraps
@@ -327,85 +331,78 @@ class DistributedTrainer:
         protocol_round: int,
         serialize_message,
     ):
-        compute_seconds = 0.0
-        network_seconds = 0.0
-        encode_seconds = 0.0
-        decode_seconds = 0.0
-        bytes_sent = 0
-        raw_bytes = 0
-        num_messages = 0
-        nnz_total = 0
-        loss_sum = 0.0
-        loss_count = 0
+        acc = EpochAccumulator(epoch)
         rounds = 0
 
-        cluster.start_epoch(epoch)
-        while True:
-            wire_round = protocol_round
-            protocol_round += 1
-            t0 = time.perf_counter()
-            results = cluster.step(wire_round, base_lr)
-            t1 = time.perf_counter()
-            active = [r for r in results.values() if r.has_batch]
-            if not active:
-                break
+        with telemetry.context(epoch=epoch), telemetry.span("trainer.epoch"):
+            cluster.start_epoch(epoch)
+            while True:
+                wire_round = protocol_round
+                protocol_round += 1
+                with telemetry.context(round=wire_round), \
+                        telemetry.span("trainer.round"):
+                    t0 = time.perf_counter()
+                    results = cluster.step(wire_round, base_lr)
+                    t1 = time.perf_counter()
+                    active = [r for r in results.values() if r.has_batch]
+                    if not active:
+                        break
 
-            # Workers genuinely run in parallel here; the gather wire
-            # cost is the measured round trip minus the slowest
-            # worker's own compute + encode (an approximation — see
-            # docs/runtime.md — where the sim backend instead uses the
-            # NetworkModel formulas).
-            worker_busy = max(
-                r.compute_seconds + r.encode_seconds for r in active
-            )
-            compute_seconds += worker_busy
-            network_seconds += max(0.0, (t1 - t0) - worker_busy)
-            encode_seconds += sum(r.encode_seconds for r in active)
-            messages = [r.message for r in active]
-            bytes_sent += sum(r.message_bytes for r in active)
-            raw_bytes += sum(m.raw_bytes for m in messages)
-            num_messages += len(messages)
-            nnz_total += sum(r.gradient_nnz for r in active)
-            loss_sum += sum(r.local_loss for r in active)
-            loss_count += len(active)
+                    # Workers genuinely run in parallel here; the
+                    # gather wire cost is the measured round trip minus
+                    # the slowest worker's own compute + encode (an
+                    # approximation — see docs/runtime.md — where the
+                    # sim backend instead uses the NetworkModel
+                    # formulas).
+                    worker_busy = max(
+                        r.compute_seconds + r.encode_seconds for r in active
+                    )
+                    acc.add_seconds("compute", worker_busy)
+                    acc.add_seconds(
+                        "network", max(0.0, (t1 - t0) - worker_busy)
+                    )
+                    acc.add_seconds(
+                        "encode", sum(r.encode_seconds for r in active)
+                    )
+                    messages = [r.message for r in active]
+                    acc.add_counts(
+                        bytes_sent=sum(r.message_bytes for r in active),
+                        raw_bytes=sum(m.raw_bytes for m in messages),
+                        num_messages=len(messages),
+                        gradient_nnz=sum(r.gradient_nnz for r in active),
+                    )
+                    acc.add_loss(
+                        sum(r.local_loss for r in active), len(active)
+                    )
 
-            driver_result = driver.aggregate(messages)
-            compute_seconds += (
-                driver_result.decode_seconds
-                + driver_result.aggregate_seconds
-                + driver_result.encode_seconds
-            )
-            decode_seconds += driver_result.decode_seconds
-            encode_seconds += driver_result.encode_seconds
+                    driver_result = driver.aggregate(messages)
+                    acc.add_seconds(
+                        "compute",
+                        driver_result.decode_seconds
+                        + driver_result.aggregate_seconds
+                        + driver_result.encode_seconds,
+                    )
+                    acc.add_seconds("decode", driver_result.decode_seconds)
+                    acc.add_seconds("encode", driver_result.encode_seconds)
 
-            lr = base_lr * self.schedule(round_counter + rounds)
-            update_bytes = serialize_message(driver_result.broadcast_message)
-            t2 = time.perf_counter()
-            cluster.broadcast(wire_round, lr, update_bytes)
-            network_seconds += time.perf_counter() - t2
+                    lr = base_lr * self.schedule(round_counter + rounds)
+                    update_bytes = serialize_message(
+                        driver_result.broadcast_message
+                    )
+                    t2 = time.perf_counter()
+                    cluster.broadcast(wire_round, lr, update_bytes)
+                    acc.add_seconds("network", time.perf_counter() - t2)
 
-            self.optimizer.learning_rate = lr
-            t3 = time.perf_counter()
-            if driver_result.keys.size:
-                self.optimizer.step(
-                    theta, driver_result.keys, driver_result.values
-                )
-            compute_seconds += time.perf_counter() - t3
-            rounds += 1
+                    self.optimizer.learning_rate = lr
+                    t3 = time.perf_counter()
+                    if driver_result.keys.size:
+                        self.optimizer.step(
+                            theta, driver_result.keys, driver_result.values
+                        )
+                    acc.add_seconds("compute", time.perf_counter() - t3)
+                    rounds += 1
 
-        record = EpochRecord(
-            epoch=epoch,
-            compute_seconds=compute_seconds,
-            network_seconds=network_seconds,
-            encode_seconds=encode_seconds,
-            decode_seconds=decode_seconds,
-            train_loss=loss_sum / loss_count if loss_count else float("nan"),
-            test_loss=None,
-            bytes_sent=bytes_sent,
-            raw_bytes=raw_bytes,
-            num_messages=num_messages,
-            gradient_nnz=nnz_total / num_messages if num_messages else 0.0,
-        )
+        record = EpochRecord(test_loss=None, **acc.record_fields())
         return record, rounds, protocol_round
 
     # ------------------------------------------------------------------
@@ -418,76 +415,79 @@ class DistributedTrainer:
         base_lr: float,
         round_counter: int,
     ) -> EpochRecord:
-        compute_seconds = 0.0
-        network_seconds = 0.0
-        encode_seconds = 0.0
-        decode_seconds = 0.0
-        bytes_sent = 0
-        raw_bytes = 0
-        num_messages = 0
-        nnz_total = 0
-        loss_sum = 0.0
-        loss_count = 0
+        acc = EpochAccumulator(epoch)
 
-        for worker in workers:
-            worker.start_epoch()
-
-        while True:
-            step_results = []
+        with telemetry.context(epoch=epoch), telemetry.span("trainer.epoch"):
             for worker in workers:
-                rows = worker.next_batch()
-                if rows is None or rows.size == 0:
-                    continue
-                step_results.append(worker.compute_step(rows, theta))
-            if not step_results:
-                break
+                worker.start_epoch()
 
-            # Workers run in parallel: the round's worker wall time is
-            # the slowest worker's compute + encode.
-            compute_seconds += max(
-                r.compute_seconds + r.encode_seconds for r in step_results
-            )
-            encode_seconds += sum(r.encode_seconds for r in step_results)
-            messages = [r.message for r in step_results]
-            network_seconds += self.network.gather_time(
-                [m.num_bytes for m in messages]
-            )
-            bytes_sent += sum(m.num_bytes for m in messages)
-            raw_bytes += sum(m.raw_bytes for m in messages)
-            num_messages += len(messages)
-            nnz_total += sum(r.gradient_nnz for r in step_results)
-            loss_sum += sum(r.local_loss for r in step_results)
-            loss_count += len(step_results)
+            while True:
+                with telemetry.context(round=round_counter), \
+                        telemetry.span("trainer.round"):
+                    step_results = []
+                    for worker in workers:
+                        rows = worker.next_batch()
+                        if rows is None or rows.size == 0:
+                            continue
+                        with telemetry.context(
+                            worker=worker.worker_id, phase="step"
+                        ), telemetry.span("worker.step"):
+                            step_results.append(
+                                worker.compute_step(rows, theta)
+                            )
+                    if not step_results:
+                        break
 
-            driver_result = driver.aggregate(messages)
-            compute_seconds += (
-                driver_result.decode_seconds
-                + driver_result.aggregate_seconds
-                + driver_result.encode_seconds
-            )
-            decode_seconds += driver_result.decode_seconds
-            encode_seconds += driver_result.encode_seconds
-            network_seconds += self.network.broadcast_time(
-                driver_result.broadcast_message.num_bytes, len(step_results)
-            )
+                    # Workers run in parallel: the round's worker wall
+                    # time is the slowest worker's compute + encode.
+                    acc.add_seconds("compute", max(
+                        r.compute_seconds + r.encode_seconds
+                        for r in step_results
+                    ))
+                    acc.add_seconds(
+                        "encode",
+                        sum(r.encode_seconds for r in step_results),
+                    )
+                    messages = [r.message for r in step_results]
+                    acc.add_seconds("network", self.network.gather_time(
+                        [m.num_bytes for m in messages]
+                    ))
+                    acc.add_counts(
+                        bytes_sent=sum(m.num_bytes for m in messages),
+                        raw_bytes=sum(m.raw_bytes for m in messages),
+                        num_messages=len(messages),
+                        gradient_nnz=sum(
+                            r.gradient_nnz for r in step_results
+                        ),
+                    )
+                    acc.add_loss(
+                        sum(r.local_loss for r in step_results),
+                        len(step_results),
+                    )
 
-            self.optimizer.learning_rate = base_lr * self.schedule(round_counter)
-            t0 = time.perf_counter()
-            if driver_result.keys.size:
-                self.optimizer.step(theta, driver_result.keys, driver_result.values)
-            compute_seconds += time.perf_counter() - t0
-            round_counter += 1
+                    driver_result = driver.aggregate(messages)
+                    acc.add_seconds(
+                        "compute",
+                        driver_result.decode_seconds
+                        + driver_result.aggregate_seconds
+                        + driver_result.encode_seconds,
+                    )
+                    acc.add_seconds("decode", driver_result.decode_seconds)
+                    acc.add_seconds("encode", driver_result.encode_seconds)
+                    acc.add_seconds("network", self.network.broadcast_time(
+                        driver_result.broadcast_message.num_bytes,
+                        len(step_results),
+                    ))
 
-        return EpochRecord(
-            epoch=epoch,
-            compute_seconds=compute_seconds,
-            network_seconds=network_seconds,
-            encode_seconds=encode_seconds,
-            decode_seconds=decode_seconds,
-            train_loss=loss_sum / loss_count if loss_count else float("nan"),
-            test_loss=None,
-            bytes_sent=bytes_sent,
-            raw_bytes=raw_bytes,
-            num_messages=num_messages,
-            gradient_nnz=nnz_total / num_messages if num_messages else 0.0,
-        )
+                    self.optimizer.learning_rate = (
+                        base_lr * self.schedule(round_counter)
+                    )
+                    t0 = time.perf_counter()
+                    if driver_result.keys.size:
+                        self.optimizer.step(
+                            theta, driver_result.keys, driver_result.values
+                        )
+                    acc.add_seconds("compute", time.perf_counter() - t0)
+                    round_counter += 1
+
+        return EpochRecord(test_loss=None, **acc.record_fields())

@@ -20,6 +20,9 @@ rule id                   enforces
                           path of kernel modules
 ``wire-format``           byte-format primitives only inside designated
                           serialization modules
+``telemetry-discipline``  hot-path modules use ``repro.telemetry`` instead of
+                          ``print``/``logging``; ``telemetry.span`` only as a
+                          context manager
 ``bare-except``           no bare/blanket-swallowed exception handlers
 ``mutable-default``       no mutable default argument values
 ``missing-all``           public modules declare ``__all__``
@@ -50,6 +53,7 @@ from . import rules_determinism  # noqa: F401  (registration import)
 from . import rules_kernels  # noqa: F401  (registration import)
 from . import rules_numeric  # noqa: F401  (registration import)
 from . import rules_style  # noqa: F401  (registration import)
+from . import rules_telemetry  # noqa: F401  (registration import)
 from . import rules_wire  # noqa: F401  (registration import)
 
 __all__ = [

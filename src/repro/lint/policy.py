@@ -15,7 +15,10 @@ __all__ = [
     "DTYPE_STRICT_MODULES",
     "WIRE_MODULES",
     "CORE_PREFIXES",
+    "HOT_PATH_PREFIXES",
+    "ENDIANNESS_PREFIXES",
     "is_core_or_sketch",
+    "is_endianness_scoped",
 ]
 
 #: Modules required to dispatch between scalar and vectorised kernels
@@ -55,7 +58,28 @@ WIRE_MODULES = frozenset(
 #: Package prefixes that make up the paper-facing codec surface.
 CORE_PREFIXES = ("core/", "sketch/")
 
+#: Package prefixes on the performance-sensitive path — the codec, the
+#: sketches, the runtime, and the trainer loop.  These may not print or
+#: log to stdio; observability goes through ``repro.telemetry``
+#: (``telemetry-discipline`` rule).
+HOT_PATH_PREFIXES = CORE_PREFIXES + (
+    "compression/",
+    "runtime/",
+    "distributed/",
+)
+
+#: Package prefixes (beyond :data:`WIRE_MODULES`) whose dtype usage must
+#: pin byte order: the telemetry flight recorder's files are merged
+#: across machines, so any binary encoding it ever grows must be
+#: host-order independent (``wire-endianness`` rule).
+ENDIANNESS_PREFIXES = ("telemetry/",)
+
 
 def is_core_or_sketch(relpath: str) -> bool:
     """True for modules on the paper-facing codec surface."""
     return relpath.startswith(CORE_PREFIXES)
+
+
+def is_endianness_scoped(relpath: str) -> bool:
+    """True for modules the ``wire-endianness`` rule applies to."""
+    return relpath in WIRE_MODULES or relpath.startswith(ENDIANNESS_PREFIXES)

@@ -1,0 +1,115 @@
+"""Telemetry discipline: hot paths observe through the flight recorder.
+
+The codec, sketch, runtime, and trainer modules are instrumented with
+:mod:`repro.telemetry`; ad-hoc ``print()`` calls or ``logging`` setup in
+those modules would bypass the recorder (no run/worker/round context,
+not merged into the trace, not measurable by the overhead guard) and
+put I/O on the hot path even when tracing is off.  This rule keeps the
+observability story single-sourced:
+
+* no ``print()`` and no ``logging`` imports inside the hot-path
+  packages (:data:`~repro.lint.policy.HOT_PATH_PREFIXES`) — emit a
+  :func:`repro.telemetry.event` or counter instead;
+* every call to ``telemetry.span`` (however imported) is the context
+  expression of a ``with`` statement.  A span object that is created
+  but never exited records nothing — the event is only written on
+  ``__exit__`` — so a bare ``telemetry.span(...)`` call is always a
+  silent data-loss bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    SEVERITY_ERROR,
+    register_rule,
+)
+from .policy import HOT_PATH_PREFIXES
+
+__all__ = ["TelemetryDisciplineRule"]
+
+
+def _is_span_call(module: ModuleSource, node: ast.Call) -> bool:
+    """True when ``node`` calls the telemetry span factory.
+
+    Matches ``telemetry.span`` through any import spelling: relative
+    (``from .. import telemetry`` resolves to ``..telemetry.span``),
+    absolute (``repro.telemetry.span``), or direct
+    (``from repro.telemetry import span``).
+    """
+    name = module.resolve_call(node)
+    if name is None:
+        return False
+    return name == "telemetry.span" or name.endswith(".telemetry.span")
+
+
+@register_rule
+class TelemetryDisciplineRule(Rule):
+    """No stdio in hot paths; spans are always context managers."""
+
+    rule_id = "telemetry-discipline"
+    severity = SEVERITY_ERROR
+    description = (
+        "hot-path modules use repro.telemetry instead of print/logging, "
+        "and telemetry.span is only used as a context manager"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        hot = module.relpath.startswith(HOT_PATH_PREFIXES)
+        # Span calls appearing as `with` context expressions are the
+        # sanctioned form; collect their node identities first so the
+        # second walk can flag every other span call.
+        with_spans: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    ctx = item.context_expr
+                    if isinstance(ctx, ast.Call) and _is_span_call(module, ctx):
+                        with_spans.add(id(ctx))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                if not hot:
+                    continue
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "logging":
+                        yield self.finding(
+                            module, node,
+                            "logging import in a hot-path module; emit "
+                            "repro.telemetry events instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if not hot:
+                    continue
+                if node.level == 0 and (node.module or "").split(".")[0] == (
+                    "logging"
+                ):
+                    yield self.finding(
+                        module, node,
+                        "logging import in a hot-path module; emit "
+                        "repro.telemetry events instead",
+                    )
+            elif isinstance(node, ast.Call):
+                if (
+                    hot
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                ):
+                    yield self.finding(
+                        module, node,
+                        "print() in a hot-path module; emit a "
+                        "repro.telemetry event/counter so the output "
+                        "carries run context and lands in the trace",
+                    )
+                if _is_span_call(module, node) and id(node) not in with_spans:
+                    yield self.finding(
+                        module, node,
+                        "telemetry.span(...) outside a `with` statement; "
+                        "span events are only recorded on __exit__, so "
+                        "write `with telemetry.span(...):`",
+                    )

@@ -20,7 +20,7 @@ from .framework import (
     dotted_name,
     register_rule,
 )
-from .policy import WIRE_MODULES
+from .policy import WIRE_MODULES, is_endianness_scoped
 
 __all__ = ["WireFormatRule", "WireEndiannessRule"]
 
@@ -172,6 +172,8 @@ class WireEndiannessRule(Rule):
     ``np.uint32(n).tobytes()`` silently uses *host* byte order — the
     format would flip on a big-endian machine while every golden digest
     still passes there.  Inside :data:`~repro.lint.policy.WIRE_MODULES`
+    and the telemetry package (whose flight-recorder files are merged
+    across machines — :data:`~repro.lint.policy.ENDIANNESS_PREFIXES`)
     this rule flags the statically-detectable unpinned cases:
 
     * ``np.frombuffer(...)`` with a multi-byte numpy-attribute dtype
@@ -212,7 +214,7 @@ class WireEndiannessRule(Rule):
         return None
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
-        if module.relpath not in WIRE_MODULES:
+        if not is_endianness_scoped(module.relpath):
             return
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -17,6 +17,7 @@ as MB/s over the raw operand bytes each kernel consumes.
 """
 
 from .harness import BenchResult, time_kernel
+from .overhead import MAX_OVERHEAD_FRACTION, OverheadReport, measure_overhead
 from .suite import (
     BENCH_FILENAME,
     FULL_SIZES,
@@ -34,9 +35,12 @@ __all__ = [
     "BENCH_FILENAME",
     "BenchResult",
     "FULL_SIZES",
+    "MAX_OVERHEAD_FRACTION",
+    "OverheadReport",
     "QUICK_SIZES",
     "TRANSPORT_PAYLOAD_SIZES",
     "TransportBenchResult",
+    "measure_overhead",
     "run_suite",
     "run_transport_bench",
     "time_kernel",

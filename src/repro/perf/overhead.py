@@ -1,0 +1,195 @@
+"""Disabled-telemetry overhead guard for the codec hot path.
+
+The telemetry entry points are called from inside ``compress()`` even
+when no recorder is installed; each such call must cost no more than a
+global check plus a shared no-op object.  This module puts a number on
+that promise and enforces the budget (``MAX_OVERHEAD_FRACTION``, 2% of
+the e2e compress median):
+
+1. time the e2e compress kernel with telemetry disabled (the normal
+   bench condition);
+2. install a *counting* probe recorder and run one compress to count
+   how many instrumentation calls the hot path actually makes;
+3. time the disabled-path primitives (a no-op span enter/exit, a no-op
+   counter call) in isolation;
+4. bound the instrumentation cost as ``calls x primitive_cost`` and
+   compare it to the compress median.
+
+The product is a conservative *upper* bound: with a probe installed
+the codec also runs its gated extras (collision-rate query-back), so
+the call count over-counts what the disabled path executes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from .. import telemetry
+from ..core.compressor import SketchMLCompressor
+from ..core.config import SketchMLConfig
+from .suite import _synthetic_gradient
+
+__all__ = [
+    "MAX_OVERHEAD_FRACTION",
+    "OverheadReport",
+    "measure_overhead",
+]
+
+#: Hard budget: disabled-path instrumentation cost as a fraction of the
+#: e2e compress median (enforced by ``repro perf`` and the test suite).
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+class _CountingSpan:
+    """Context-manager stand-in so counted spans still nest correctly."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_CountingSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_COUNTING_SPAN = _CountingSpan()
+
+
+class _ProbeRecorder:
+    """Counts instrumentation calls; records nothing.
+
+    Implements the same surface :class:`~repro.telemetry.recorder.
+    TraceRecorder` exposes to the module-level API, so installing it
+    via ``set_recorder`` routes every call here.
+    """
+
+    def __init__(self) -> None:
+        self.span_calls = 0
+        self.metric_calls = 0
+
+    def span(self, name: str, attrs: Dict[str, Any]) -> _CountingSpan:
+        self.span_calls += 1
+        return _COUNTING_SPAN
+
+    def counter(self, name: str, value: int, attrs: Dict[str, Any]) -> None:
+        self.metric_calls += 1
+
+    def gauge(self, name: str, value: float, attrs: Dict[str, Any]) -> None:
+        self.metric_calls += 1
+
+    def hist(self, name: str, value: float, attrs: Dict[str, Any]) -> None:
+        self.metric_calls += 1
+
+    def measure(self, name: str, value: float, unit: str) -> None:
+        self.metric_calls += 1
+
+    def event(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.metric_calls += 1
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """The measured pieces of the disabled-path overhead bound."""
+
+    nnz: int
+    compress_seconds: float
+    span_calls: int
+    metric_calls: int
+    span_noop_seconds: float
+    metric_noop_seconds: float
+
+    @property
+    def instrumented_noop_seconds(self) -> float:
+        """Upper bound on per-compress disabled instrumentation cost."""
+        return (
+            self.span_calls * self.span_noop_seconds
+            + self.metric_calls * self.metric_noop_seconds
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.compress_seconds <= 0:
+            return 0.0
+        return self.instrumented_noop_seconds / self.compress_seconds
+
+    @property
+    def within_budget(self) -> bool:
+        return self.overhead_fraction <= MAX_OVERHEAD_FRACTION
+
+    def describe(self) -> str:
+        return (
+            f"telemetry disabled-path overhead: {self.overhead_fraction:.3%} "
+            f"of e2e compress at nnz={self.nnz} "
+            f"({self.span_calls} spans + {self.metric_calls} metric calls, "
+            f"budget {MAX_OVERHEAD_FRACTION:.0%})"
+        )
+
+
+def _median_seconds(kernel, warmup: int, repeats: int) -> float:
+    for _ in range(warmup):
+        kernel()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        kernel()
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def _noop_primitive_seconds(iterations: int = 20_000):
+    """Per-call cost of the disabled span and counter paths."""
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with telemetry.span("overhead.probe"):
+            pass
+    span_cost = (time.perf_counter() - t0) / iterations
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        telemetry.counter("overhead.probe", 1)
+    metric_cost = (time.perf_counter() - t0) / iterations
+    return span_cost, metric_cost
+
+
+def measure_overhead(
+    nnz: int = 50_000,
+    *,
+    warmup: int = 2,
+    repeats: int = 5,
+    config: Optional[SketchMLConfig] = None,
+) -> OverheadReport:
+    """Measure the disabled-path bound at one gradient size.
+
+    Requires telemetry to be disabled on entry (the guard temporarily
+    installs its counting probe and restores the previous recorder).
+    """
+    keys, values, dimension = _synthetic_gradient(nnz)
+    compressor = SketchMLCompressor(config or SketchMLConfig())
+
+    previous = telemetry.set_recorder(None)
+    try:
+        compress_seconds = _median_seconds(
+            lambda: compressor.compress(keys, values, dimension),
+            warmup,
+            repeats,
+        )
+        span_noop, metric_noop = _noop_primitive_seconds()
+        probe = _ProbeRecorder()
+        telemetry.set_recorder(probe)  # type: ignore[arg-type]
+        # Fresh compressor: the counted compress includes the cold
+        # quantizer-fit path, so the call count is the worst case.
+        SketchMLCompressor(config or SketchMLConfig()).compress(
+            keys, values, dimension
+        )
+    finally:
+        telemetry.set_recorder(previous)
+    return OverheadReport(
+        nnz=nnz,
+        compress_seconds=compress_seconds,
+        span_calls=probe.span_calls,
+        metric_calls=probe.metric_calls,
+        span_noop_seconds=span_noop,
+        metric_noop_seconds=metric_noop,
+    )

@@ -29,6 +29,7 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .framing import HEADER_SIZE
 from .transport import Transport, TransportTimeout
 
@@ -206,6 +207,9 @@ class FaultyTransport(Transport):
         faults = self._faults_for("send", worker_id, index)
         if "drop" in faults:
             self.stats["drops"] += 1
+            telemetry.event(
+                "fault.drop", worker=worker_id, direction="send", index=index
+            )
             return  # the frame never reaches the worker
         self.inner.send(worker_id, frame)
 
@@ -221,12 +225,21 @@ class FaultyTransport(Transport):
         faults = self._faults_for("recv", worker_id, index)
         if "corrupt" in faults:
             self.stats["corrupts"] += 1
+            telemetry.event(
+                "fault.corrupt", worker=worker_id, direction="recv", index=index
+            )
             frame = self._corrupt(frame)
         if "duplicate" in faults:
             self.stats["duplicates"] += 1
+            telemetry.event(
+                "fault.duplicate", worker=worker_id, direction="recv", index=index
+            )
             held.append((call, frame))  # immediately available next recv
         if "delay" in faults:
             self.stats["delays"] += 1
+            telemetry.event(
+                "fault.delay", worker=worker_id, direction="recv", index=index
+            )
             held.append((call + self.config.delay_recvs, frame))
             raise TransportTimeout(
                 f"frame from worker {worker_id} delayed by fault injection"

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
+from .. import telemetry
 from .framing import KIND_ERROR, KIND_HEARTBEAT, KIND_NAMES, FrameError, unpack_frame
 from .transport import Transport, TransportClosed, TransportError, TransportTimeout
 
@@ -238,6 +239,14 @@ class Supervisor:
             if attempt > 0:
                 self.stats["retries"] += 1
                 delay = delays[attempt - 1]
+                telemetry.counter("runtime.retries", 1, worker=worker_id)
+                telemetry.event(
+                    "runtime.retry",
+                    worker=worker_id,
+                    phase=phase,
+                    attempt=attempt,
+                    delay=delay,
+                )
                 if delay > 0:
                     self._sleep(delay)
             try:
@@ -271,6 +280,9 @@ class Supervisor:
             remaining = deadline - self._clock()
             if remaining <= 0:
                 self.stats["timeouts"] += 1
+                telemetry.counter(
+                    "runtime.timeouts", 1, worker=worker_id, phase=phase
+                )
                 raise _AttemptFailed() from TransportTimeout(
                     f"no {KIND_NAMES.get(expect_kind, expect_kind)} reply "
                     f"within {wait:.3f}s"
@@ -279,6 +291,9 @@ class Supervisor:
                 data = self.transport.recv(worker_id, remaining)
             except TransportTimeout as exc:
                 self.stats["timeouts"] += 1
+                telemetry.counter(
+                    "runtime.timeouts", 1, worker=worker_id, phase=phase
+                )
                 raise _AttemptFailed() from exc
             try:
                 kind, _, payload = unpack_frame(data)
@@ -289,6 +304,7 @@ class Supervisor:
             self.note_alive(worker_id)
             if kind == KIND_HEARTBEAT:
                 self.stats["heartbeats"] += 1
+                telemetry.counter("runtime.heartbeats", 1, worker=worker_id)
                 continue
             if kind == KIND_ERROR:
                 raise TransportClosed(self._error_detail(payload))
@@ -339,6 +355,7 @@ class Supervisor:
             self.note_alive(worker_id)
             if kind == KIND_HEARTBEAT:
                 self.stats["heartbeats"] += 1
+                telemetry.counter("runtime.heartbeats", 1, worker=worker_id)
             else:
                 self.stats["stale_frames"] += 1
 
@@ -370,6 +387,13 @@ class Supervisor:
 
     def _fail(self, error: WorkerSupervisionError) -> None:
         """Apply the straggler policy to a structured failure."""
+        telemetry.event(
+            "runtime.worker_lost",
+            worker=error.worker_id,
+            phase=error.phase,
+            policy=self.config.straggler_policy,
+            error=type(error).__name__,
+        )
         if self.config.straggler_policy == POLICY_FAIL_FAST:
             raise error
         if error.worker_id in self.alive:

@@ -31,6 +31,7 @@ import threading
 import time
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
 
+from .. import telemetry
 from .framing import HEADER_SIZE, FrameError, unpack_header
 
 __all__ = [
@@ -159,6 +160,7 @@ class SimTransport(Transport):
         if worker_id in self._dead:
             raise TransportClosed(f"worker {worker_id} was terminated")
         self._charge(frame)
+        telemetry.counter("transport.bytes_sent", len(frame), worker=worker_id)
         for reply in self._handlers[worker_id](bytes(frame)):
             self._charge(reply)
             self._inboxes[worker_id].append(bytes(reply))
@@ -172,7 +174,9 @@ class SimTransport(Transport):
             raise TransportTimeout(
                 f"no frame from worker {worker_id} (simulated timeout)"
             )
-        return inbox.popleft()
+        frame = inbox.popleft()
+        telemetry.counter("transport.bytes_recv", len(frame), worker=worker_id)
+        return frame
 
     def alive(self, worker_id: int) -> bool:
         self._check_worker(worker_id)
@@ -303,6 +307,7 @@ class MultiprocessTransport(Transport):
             raise TransportClosed(
                 f"worker {worker_id} pipe is closed: {exc}"
             ) from exc
+        telemetry.counter("transport.bytes_sent", len(frame), worker=worker_id)
 
     def recv(self, worker_id: int, timeout: float) -> bytes:
         self._check_worker(worker_id)
@@ -312,11 +317,13 @@ class MultiprocessTransport(Transport):
                 raise TransportTimeout(
                     f"no frame from worker {worker_id} within {timeout:.3f}s"
                 )
-            return conn.recv_bytes()
+            frame = conn.recv_bytes()
         except (EOFError, OSError, BrokenPipeError) as exc:
             raise TransportClosed(
                 f"worker {worker_id} pipe is closed: {exc}"
             ) from exc
+        telemetry.counter("transport.bytes_recv", len(frame), worker=worker_id)
+        return frame
 
     def alive(self, worker_id: int) -> bool:
         self._check_worker(worker_id)
@@ -461,13 +468,16 @@ class TcpTransport(Transport):
             raise TransportClosed(
                 f"worker {worker_id} socket error: {exc}"
             ) from exc
+        telemetry.counter("transport.bytes_sent", len(frame), worker=worker_id)
 
     def recv(self, worker_id: int, timeout: float) -> bytes:
         self._check_worker(worker_id)
         sock = self._socks.get(worker_id)
         if sock is None:
             raise TransportClosed(f"worker {worker_id} socket is closed")
-        return self._read_frame_from(sock, self._buffers[worker_id], timeout)
+        frame = self._read_frame_from(sock, self._buffers[worker_id], timeout)
+        telemetry.counter("transport.bytes_recv", len(frame), worker=worker_id)
+        return frame
 
     def alive(self, worker_id: int) -> bool:
         self._check_worker(worker_id)

@@ -24,6 +24,7 @@ import pickle
 import threading
 from typing import Optional
 
+from .. import telemetry
 from .framing import (
     KIND_ECHO,
     KIND_ERROR,
@@ -95,6 +96,10 @@ def serve(endpoint, worker_id: int) -> None:
                 continue  # driver-side probes need no reply
             if kind == KIND_INIT:
                 bootstrap = WorkerBootstrap.from_bytes(payload)
+                if bootstrap.trace_dir:
+                    telemetry.enable_worker_recorder(
+                        bootstrap.trace_dir, worker_id, bootstrap.run_id
+                    )
                 runtime = WorkerRuntime(bootstrap)
                 heartbeat = _Heartbeat(
                     endpoint, worker_id, bootstrap.heartbeat_interval
@@ -120,6 +125,7 @@ def serve(endpoint, worker_id: int) -> None:
     finally:
         if heartbeat is not None:
             heartbeat.stop()
+        telemetry.close_worker_recorder()
         endpoint.close()
 
 

@@ -27,6 +27,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .. import telemetry
 from ..compression.base import GradientCompressor
 from ..core.serialization import deserialize_message, serialize_message
 from ..distributed.worker import Worker
@@ -76,6 +77,11 @@ class WorkerBootstrap:
             environment is inherited by spawned children, but a
             programmatic :func:`repro.sanitize.set_enabled` is not —
             this flag carries it across).
+        trace_dir: directory of per-process trace part files for the
+            active :mod:`repro.telemetry` session (``None`` disables
+            the worker-side flight recorder).
+        run_id: trace run identifier stamped on every event this
+            worker records (matches the driver's run context).
     """
 
     worker_id: int
@@ -88,6 +94,8 @@ class WorkerBootstrap:
     compute_seconds_per_nnz: float = 0.0
     heartbeat_interval: float = 0.0
     sanitize: bool = False
+    trace_dir: Optional[str] = None
+    run_id: Optional[str] = None
 
     def to_bytes(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
@@ -164,20 +172,25 @@ class WorkerRuntime:
         round_id, _lr = unpack_step(payload)
         if round_id == self._cache.round_id and self._cache.frame:
             return [self._cache.frame]  # retried STEP: re-send, don't recompute
-        rows = self.worker.next_batch()
-        if rows is None or rows.size == 0:
-            body = pack_grad_header(round_id, False, 0.0, 0.0, 0.0, 0)
-        else:
-            result = self.worker.compute_step(rows, self.theta)
-            data = serialize_message(result.message)
-            body = pack_grad_header(
-                round_id,
-                True,
-                result.local_loss,
-                result.compute_seconds,
-                result.encode_seconds,
-                result.gradient_nnz,
-            ) + data
+        # Only the first (computing) service of a round is spanned, so a
+        # retried STEP never double-counts worker busy time.
+        with telemetry.context(
+            worker=self.worker_id, round=round_id, phase="step"
+        ), telemetry.span("worker.step"):
+            rows = self.worker.next_batch()
+            if rows is None or rows.size == 0:
+                body = pack_grad_header(round_id, False, 0.0, 0.0, 0.0, 0)
+            else:
+                result = self.worker.compute_step(rows, self.theta)
+                data = serialize_message(result.message)
+                body = pack_grad_header(
+                    round_id,
+                    True,
+                    result.local_loss,
+                    result.compute_seconds,
+                    result.encode_seconds,
+                    result.gradient_nnz,
+                ) + data
         frame = pack_frame(KIND_GRAD, self.worker_id, body)
         self._cache.round_id = round_id
         self._cache.frame = frame
@@ -188,10 +201,13 @@ class WorkerRuntime:
         ack = pack_frame(KIND_ACK, self.worker_id, pack_ack(round_id))
         if round_id == self._cache.applied_round:
             return [ack]  # retried UPDATE: already applied, just re-ack
-        message = deserialize_message(data)
-        keys, values = self.worker.compressor.decompress(message)
-        self.optimizer.learning_rate = lr
-        if keys.size:
-            self.optimizer.step(self.theta, keys, values)
+        with telemetry.context(
+            worker=self.worker_id, round=round_id, phase="update"
+        ), telemetry.span("worker.update"):
+            message = deserialize_message(data)
+            keys, values = self.worker.compressor.decompress(message)
+            self.optimizer.learning_rate = lr
+            if keys.size:
+                self.optimizer.step(self.theta, keys, values)
         self._cache.applied_round = round_id
         return [ack]

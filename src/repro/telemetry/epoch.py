@@ -1,0 +1,138 @@
+"""Epoch accounting that *is* the trace: the single source of truth.
+
+Before telemetry, the trainer summed timing/byte fields into ad-hoc
+locals and a trace (had one existed) would have been a second,
+independently-drifting bookkeeping path.  :class:`EpochAccumulator`
+collapses the two: every ``add_*`` call both updates the running sums
+the ``EpochRecord`` is built from **and** emits a ``measure``/
+``counter`` event with the identical value.  Summing the driver's
+``trainer.*`` events for an epoch (in file order) replays the same
+float additions in the same order, so the trace reproduces the
+``EpochRecord`` fields *exactly* — bit-for-bit, not approximately.
+
+This module intentionally does not import ``repro.distributed``: the
+trainer builds its own ``EpochRecord`` from the public attributes here
+(keeps the package dependency one-way: distributed -> telemetry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import recorder as telemetry
+
+__all__ = [
+    "TIME_FIELDS",
+    "COUNT_FIELDS",
+    "EpochAccumulator",
+    "replay_epoch_sums",
+]
+
+#: EpochRecord timing fields, accumulated as ``measure`` events
+#: named ``trainer.<field>_seconds``.
+TIME_FIELDS = ("compute", "network", "encode", "decode")
+
+#: EpochRecord byte/count fields, accumulated as ``counter`` events
+#: named ``trainer.<field>``.
+COUNT_FIELDS = ("bytes_sent", "raw_bytes", "num_messages", "gradient_nnz")
+
+
+class EpochAccumulator:
+    """Accumulates one epoch's accounting and mirrors it to the trace.
+
+    Attributes:
+        epoch: the epoch index (also expected as ambient context).
+        seconds: running float sums per :data:`TIME_FIELDS` entry.
+        counts: running int sums per :data:`COUNT_FIELDS` entry.
+        loss_sum / loss_count: per-round local-loss accumulation.
+    """
+
+    __slots__ = ("epoch", "seconds", "counts", "loss_sum", "loss_count")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.seconds: Dict[str, float] = {field: 0.0 for field in TIME_FIELDS}
+        self.counts: Dict[str, int] = {field: 0 for field in COUNT_FIELDS}
+        self.loss_sum = 0.0
+        self.loss_count = 0
+
+    # ------------------------------------------------------------------
+    def add_seconds(self, field: str, value: float) -> None:
+        """Add ``value`` seconds to a timing field and trace it.
+
+        The emitted ``measure`` carries the exact float added, so a
+        file-order replay of ``trainer.<field>_seconds`` events
+        reproduces ``self.seconds[field]`` bit-for-bit.
+        """
+        value = float(value)
+        self.seconds[field] += value
+        telemetry.measure(f"trainer.{field}_seconds", value, unit="s")
+
+    def add_counts(self, **fields: int) -> None:
+        """Add integer byte/message/nnz counts and trace each one."""
+        for field, value in fields.items():
+            value = int(value)
+            self.counts[field] += value
+            telemetry.counter(f"trainer.{field}", value)
+
+    def add_loss(self, loss_sum: float, count: int) -> None:
+        self.loss_sum += float(loss_sum)
+        self.loss_count += int(count)
+
+    # ------------------------------------------------------------------
+    @property
+    def train_loss(self) -> float:
+        if not self.loss_count:
+            return float("nan")
+        return self.loss_sum / self.loss_count
+
+    @property
+    def mean_gradient_nnz(self) -> float:
+        if not self.counts["num_messages"]:
+            return 0.0
+        return self.counts["gradient_nnz"] / self.counts["num_messages"]
+
+    def record_fields(self) -> Dict[str, object]:
+        """Keyword arguments for ``EpochRecord`` (minus loss extras)."""
+        return {
+            "epoch": self.epoch,
+            "compute_seconds": self.seconds["compute"],
+            "network_seconds": self.seconds["network"],
+            "encode_seconds": self.seconds["encode"],
+            "decode_seconds": self.seconds["decode"],
+            "train_loss": self.train_loss,
+            "bytes_sent": self.counts["bytes_sent"],
+            "raw_bytes": self.counts["raw_bytes"],
+            "num_messages": self.counts["num_messages"],
+            "gradient_nnz": self.mean_gradient_nnz,
+        }
+
+
+def replay_epoch_sums(events) -> Dict[int, Dict[str, float]]:
+    """Re-derive per-epoch sums from ``trainer.*`` events, in order.
+
+    Only driver-emitted accounting events are considered (workers never
+    emit ``trainer.*`` names).  Float additions happen in event order,
+    which matches the accumulator's order, so the result equals the
+    ``EpochRecord`` fields exactly.
+    """
+    sums: Dict[int, Dict[str, float]] = {}
+    for event in events:
+        name = event.get("name", "")
+        if not isinstance(name, str) or not name.startswith("trainer."):
+            continue
+        etype = event.get("type")
+        if etype not in ("measure", "counter"):
+            continue
+        epoch = event.get("epoch")
+        if not isinstance(epoch, int):
+            continue
+        per_epoch = sums.setdefault(
+            epoch,
+            {f"{field}_seconds": 0.0 for field in TIME_FIELDS}
+            | {field: 0 for field in COUNT_FIELDS},
+        )
+        key = name[len("trainer."):]
+        if key in per_epoch:
+            per_epoch[key] += event["value"]
+    return sums

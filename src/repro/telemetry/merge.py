@@ -1,0 +1,78 @@
+"""Merging per-process part files into one ordered trace.
+
+Each process (driver + every spawned worker) writes its own JSONL part
+file; the driver merges them after the run into a single trace ordered
+by ``(ts, pid, seq)``.  Ordering is a *presentation* choice — analysis
+code must key on the explicit ``pid``/``seq``/context fields, never on
+line position (wall clocks across processes are only loosely
+synchronised).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "read_trace",
+    "merge_trace_events",
+    "merge_trace_files",
+    "write_trace",
+]
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse one JSONL trace (or part) file into event dicts."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid trace line: {exc}"
+                ) from exc
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: trace line is not a JSON object"
+                )
+            events.append(event)
+    return events
+
+
+def _sort_key(event: Dict[str, object]):
+    return (
+        float(event.get("ts", 0.0)),  # type: ignore[arg-type]
+        int(event.get("pid", 0)),  # type: ignore[arg-type]
+        int(event.get("seq", 0)),  # type: ignore[arg-type]
+    )
+
+
+def merge_trace_events(
+    event_lists: Iterable[List[Dict[str, object]]],
+) -> List[Dict[str, object]]:
+    """Flatten + stable-sort event lists by ``(ts, pid, seq)``."""
+    merged: List[Dict[str, object]] = []
+    for events in event_lists:
+        merged.extend(events)
+    merged.sort(key=_sort_key)
+    return merged
+
+
+def merge_trace_files(paths: Sequence[str]) -> List[Dict[str, object]]:
+    """Merge part files; silently skips paths that no longer exist
+    (a crashed worker may never have produced its part)."""
+    lists = [read_trace(path) for path in paths if os.path.isfile(path)]
+    return merge_trace_events(lists)
+
+
+def write_trace(events: Iterable[Dict[str, object]], path: str) -> None:
+    """Write events as one JSON object per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, separators=(",", ":")))
+            fh.write("\n")

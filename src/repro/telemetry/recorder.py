@@ -1,0 +1,415 @@
+"""The flight recorder: spans, metrics, ambient context, run plumbing.
+
+Zero dependencies, and **default-off is free**: the module-level API
+(:func:`span`, :func:`counter`, ...) checks one global and returns a
+shared no-op object when no recorder is installed, so instrumented hot
+paths pay a few tens of nanoseconds per call (the perf suite enforces
+<= 2% on the e2e compress benchmark — see ``repro.perf.overhead``).
+
+When recording, every process appends JSON-lines events (schema
+``repro-trace/1``, see :mod:`repro.telemetry.schema`) to its own part
+file; :func:`finish_run` merges the parts into one ordered trace.
+Worker processes are enabled via the ``trace_dir``/``run_id`` fields
+of their :class:`~repro.runtime.worker_runtime.WorkerBootstrap`.
+
+Ambient context (``run``/``worker``/``epoch``/``round``/``phase``) is
+process-global (guarded by a lock, shared across threads): the runtime
+is one logical actor per process, and the heartbeat thread only bumps
+counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional
+
+from .merge import merge_trace_files, write_trace
+from .schema import CONTEXT_FIELDS, SCHEMA
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "TraceSession",
+    "enabled",
+    "get_recorder",
+    "set_recorder",
+    "span",
+    "counter",
+    "gauge",
+    "hist",
+    "measure",
+    "event",
+    "context",
+    "set_context",
+    "get_context",
+    "start_run",
+    "finish_run",
+    "active_session",
+    "worker_trace_dir",
+    "active_run_id",
+    "enable_worker_recorder",
+    "close_worker_recorder",
+]
+
+
+def _wall_clock() -> float:
+    """Trace timestamps: comparable across worker processes.
+
+    Timestamps annotate events for ordering and human reading — they
+    never influence training behaviour (durations always come from
+    ``time.perf_counter`` deltas).
+    """
+    return time.time()  # repro: noqa[rng-discipline] — trace timestamps must be comparable across processes; they annotate events and never decide behaviour
+
+
+def _json_default(value: Any) -> Any:
+    """Last-resort JSON coercion: numpy scalars -> native, else str."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class _NullSpan:
+    """The shared no-op span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span: ``with telemetry.span("codec.compress"): ...``.
+
+    The event is emitted on exit with ``ts`` = wall-clock start and
+    ``dur`` = the ``perf_counter`` delta.  Spans must be used as
+    context managers (the ``telemetry-discipline`` lint rule enforces
+    it) so no code path can leak an unclosed span.
+    """
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_ts", "_t0")
+
+    def __init__(
+        self, recorder: "TraceRecorder", name: str, attrs: Dict[str, Any]
+    ) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "Span":
+        self._ts = _wall_clock()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        dur = time.perf_counter() - self._t0
+        self._recorder.emit(
+            "span", self._name, ts=self._ts, dur=dur,
+            attrs=self._attrs or None,
+        )
+
+
+class TraceRecorder:
+    """Appends schema-valid events to one JSONL part file."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        source: str = "driver",
+        worker_id: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self.emit(
+            "meta", None, schema=SCHEMA, source=source,
+            **({} if worker_id is None else {"worker": worker_id}),
+        )
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        etype: str,
+        name: Optional[str],
+        *,
+        ts: Optional[float] = None,
+        **fields: Any,
+    ) -> None:
+        """Serialize one event; context fields are folded in."""
+        record: Dict[str, Any] = {"type": etype}
+        if name is not None:
+            record["name"] = name
+        record["ts"] = _wall_clock() if ts is None else ts
+        record["pid"] = self._pid
+        with self._lock:
+            if self._fh is None:
+                return
+            record["seq"] = self._seq
+            self._seq += 1
+            for key in CONTEXT_FIELDS:
+                value = _CONTEXT.get(key)
+                if value is not None and key not in fields:
+                    record[key] = value
+            for key, value in fields.items():
+                if value is not None:
+                    record[key] = value
+            self._fh.write(
+                json.dumps(record, separators=(",", ":"), default=_json_default)
+            )
+            self._fh.write("\n")
+
+    # span/metric surface -----------------------------------------------
+    def span(self, name: str, attrs: Dict[str, Any]) -> Span:
+        return Span(self, name, attrs)
+
+    def counter(self, name: str, value: int, attrs: Dict[str, Any]) -> None:
+        self.emit("counter", name, value=int(value), attrs=attrs or None)
+
+    def gauge(self, name: str, value: float, attrs: Dict[str, Any]) -> None:
+        self.emit("gauge", name, value=float(value), attrs=attrs or None)
+
+    def hist(self, name: str, value: float, attrs: Dict[str, Any]) -> None:
+        self.emit("hist", name, value=float(value), attrs=attrs or None)
+
+    def measure(self, name: str, value: float, unit: str) -> None:
+        self.emit("measure", name, value=float(value), unit=unit)
+
+    def event(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.emit("event", name, attrs=attrs or None)
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+
+# ----------------------------------------------------------------------
+# module-level state: the ambient recorder + context
+# ----------------------------------------------------------------------
+_RECORDER: Optional[TraceRecorder] = None
+_CONTEXT: Dict[str, Any] = {}
+_STATE_LOCK = threading.Lock()
+
+
+def enabled() -> bool:
+    """True when a recorder is installed (telemetry is recording)."""
+    return _RECORDER is not None
+
+
+def get_recorder() -> Optional[TraceRecorder]:
+    return _RECORDER
+
+
+def set_recorder(recorder: Optional[TraceRecorder]) -> Optional[TraceRecorder]:
+    """Install (or clear, with ``None``) the process recorder.
+
+    Returns the previously installed recorder; callers that install a
+    probe should restore it.
+    """
+    global _RECORDER
+    with _STATE_LOCK:
+        previous = _RECORDER
+        _RECORDER = recorder
+    return previous
+
+
+def span(name: str, **attrs: Any):
+    """A nestable span context manager (no-op while disabled)."""
+    recorder = _RECORDER
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(name, attrs)
+
+
+def counter(name: str, value: int = 1, **attrs: Any) -> None:
+    """Bump a monotonically accumulating counter by ``value``."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.counter(name, value, attrs)
+
+
+def gauge(name: str, value: float, **attrs: Any) -> None:
+    """Record a point-in-time level (e.g. ``codec.decay_scale``)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.gauge(name, value, attrs)
+
+
+def hist(name: str, value: float, **attrs: Any) -> None:
+    """Record one histogram observation."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.hist(name, value, attrs)
+
+
+def measure(name: str, value: float, unit: str = "s") -> None:
+    """Record an accounting sample (the ``EpochRecord`` source data)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.measure(name, value, unit)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record a discrete occurrence (retry, fault, worker lost...)."""
+    recorder = _RECORDER
+    if recorder is not None:
+        recorder.event(name, attrs)
+
+
+class _ContextScope:
+    """Restores the ambient-context fields it shadowed on exit."""
+
+    __slots__ = ("_fields", "_saved")
+
+    def __init__(self, fields: Dict[str, Any]) -> None:
+        self._fields = fields
+
+    def __enter__(self) -> "_ContextScope":
+        self._saved = {key: _CONTEXT.get(key) for key in self._fields}
+        _CONTEXT.update(self._fields)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _CONTEXT.update(self._saved)
+
+
+def context(**fields: Any) -> _ContextScope:
+    """Scope ambient fields: ``with telemetry.context(round=3): ...``.
+
+    Only :data:`~repro.telemetry.schema.CONTEXT_FIELDS` keys are
+    meaningful; values stamp every event emitted inside the scope.
+    """
+    return _ContextScope(fields)
+
+
+def set_context(**fields: Any) -> None:
+    """Set ambient fields for the rest of the process (e.g. ``run``)."""
+    _CONTEXT.update(fields)
+
+
+def get_context() -> Dict[str, Any]:
+    return dict(_CONTEXT)
+
+
+# ----------------------------------------------------------------------
+# run lifecycle (driver side)
+# ----------------------------------------------------------------------
+class TraceSession:
+    """One recording run: the output path plus its scratch parts dir."""
+
+    __slots__ = ("out_path", "parts_dir", "run_id")
+
+    def __init__(self, out_path: str, parts_dir: str, run_id: str) -> None:
+        self.out_path = out_path
+        self.parts_dir = parts_dir
+        self.run_id = run_id
+
+
+_SESSION: Optional[TraceSession] = None
+
+
+def start_run(out_path: str, run_id: str = "run") -> TraceSession:
+    """Begin recording: installs the driver recorder, returns the session.
+
+    Creates ``<out_path>.parts/`` where the driver and every worker
+    process append their part files; :func:`finish_run` merges them
+    into ``out_path`` and removes the scratch directory.
+    """
+    global _SESSION
+    if _SESSION is not None:
+        raise RuntimeError(f"a trace run is already active: {_SESSION.out_path}")
+    parts_dir = out_path + ".parts"
+    os.makedirs(parts_dir, exist_ok=True)
+    set_context(run=run_id)
+    set_recorder(
+        TraceRecorder(os.path.join(parts_dir, "driver.jsonl"), source="driver")
+    )
+    _SESSION = TraceSession(out_path, parts_dir, run_id)
+    return _SESSION
+
+
+def finish_run() -> str:
+    """Merge every part file into the session's output path.
+
+    Closes the driver recorder, sorts all events by ``(ts, pid, seq)``
+    into one trace, deletes the scratch directory, and returns the
+    merged path.
+    """
+    global _SESSION
+    session = _SESSION
+    if session is None:
+        raise RuntimeError("no trace run is active")
+    recorder = set_recorder(None)
+    if recorder is not None:
+        recorder.close()
+    _CONTEXT.pop("run", None)
+    _SESSION = None
+    parts = sorted(
+        os.path.join(session.parts_dir, fname)
+        for fname in os.listdir(session.parts_dir)
+        if fname.endswith(".jsonl")
+    )
+    events = merge_trace_files(parts)
+    write_trace(events, session.out_path)
+    shutil.rmtree(session.parts_dir, ignore_errors=True)
+    return session.out_path
+
+
+def active_session() -> Optional[TraceSession]:
+    return _SESSION
+
+
+def active_run_id() -> Optional[str]:
+    return _SESSION.run_id if _SESSION is not None else None
+
+
+def worker_trace_dir() -> Optional[str]:
+    """Where spawned workers should write their part files (or None)."""
+    return _SESSION.parts_dir if _SESSION is not None else None
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def enable_worker_recorder(
+    trace_dir: str, worker_id: int, run_id: Optional[str] = None
+) -> TraceRecorder:
+    """Install a recorder in a spawned worker process."""
+    if run_id is not None:
+        set_context(run=run_id)
+    set_context(worker=worker_id)
+    recorder = TraceRecorder(
+        os.path.join(trace_dir, f"worker-{worker_id:04d}.jsonl"),
+        source="worker",
+        worker_id=worker_id,
+    )
+    set_recorder(recorder)
+    return recorder
+
+
+def close_worker_recorder() -> None:
+    """Flush + close the worker recorder (serve loop ``finally``)."""
+    recorder = set_recorder(None)
+    if recorder is not None:
+        recorder.close()

@@ -1,0 +1,187 @@
+"""The flight-recorder event schema (``repro-trace/1``) and validators.
+
+Every line of a trace file is one JSON object — an *event*.  The
+schema is deliberately flat (no nesting beyond the optional ``attrs``
+bag) so traces stream through line-oriented tools, and deliberately
+stable: consumers pin on ``schema = "repro-trace/1"`` in the leading
+``meta`` event of each process and the field tables below.
+
+Common fields (every event):
+
+======== ======= ====================================================
+field    type    meaning
+======== ======= ====================================================
+``type`` str     one of :data:`EVENT_TYPES`
+``ts``   float   unix wall-clock seconds (comparable across processes)
+``pid``  int     emitting OS process id
+``seq``  int     per-process sequence number, strictly increasing
+======== ======= ====================================================
+
+Ambient context fields (optional on every event; omitted when unset):
+
+``run`` (str), ``worker`` (int), ``epoch`` (int), ``round`` (int),
+``phase`` (str).
+
+Per-type fields:
+
+* ``meta`` — first event of every process file.  Required:
+  ``schema`` (== :data:`SCHEMA`), ``source`` (``"driver"`` or
+  ``"worker"``).
+* ``span`` — required ``name`` (dotted, e.g. ``codec.compress``) and
+  ``dur`` (float seconds, >= 0); ``ts`` is the span *start*.  Optional
+  ``attrs``.
+* ``measure`` — an accounting sample: required ``name``, ``value``
+  (float); optional ``unit``.  Per-epoch sums of ``trainer.*``
+  measures reproduce the ``EpochRecord`` timing fields exactly.
+* ``counter`` — required ``name``, ``value`` (int increment).
+* ``gauge`` / ``hist`` — required ``name``, ``value`` (number): a
+  point-in-time level / one histogram observation.
+* ``event`` — a discrete occurrence (retry, fault injection, worker
+  lost): required ``name``; optional ``attrs``.
+
+All multi-byte serialization in this package is JSON text (UTF-8) —
+there is deliberately no struct/dtype packing here, and the wire lint
+rules (``wire-format``, ``wire-endianness``) police that this stays
+true.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "SCHEMA",
+    "EVENT_TYPES",
+    "CONTEXT_FIELDS",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_trace",
+]
+
+SCHEMA = "repro-trace/1"
+
+EVENT_TYPES = ("meta", "span", "measure", "counter", "gauge", "hist", "event")
+
+#: Optional ambient-context fields and their required types.
+CONTEXT_FIELDS: Dict[str, type] = {
+    "run": str,
+    "worker": int,
+    "epoch": int,
+    "round": int,
+    "phase": str,
+}
+
+_SOURCES = ("driver", "worker")
+
+
+class TraceSchemaError(ValueError):
+    """An event (or a whole trace) violates ``repro-trace/1``."""
+
+
+def _require(event: Dict[str, object], field: str, types) -> object:
+    if field not in event:
+        raise TraceSchemaError(f"event missing required field {field!r}: {event}")
+    value = event[field]
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise TraceSchemaError(
+            f"field {field!r} must be {types}, got {type(value).__name__}"
+        )
+    return value
+
+
+def validate_event(event: Dict[str, object]) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` is schema-valid."""
+    if not isinstance(event, dict):
+        raise TraceSchemaError(f"event must be a JSON object, got {type(event)}")
+    etype = _require(event, "type", str)
+    if etype not in EVENT_TYPES:
+        raise TraceSchemaError(f"unknown event type {etype!r}")
+    _require(event, "ts", (int, float))
+    _require(event, "pid", int)
+    seq = _require(event, "seq", int)
+    if seq < 0:
+        raise TraceSchemaError(f"seq must be >= 0, got {seq}")
+    for field, ftype in CONTEXT_FIELDS.items():
+        if field in event and (
+            not isinstance(event[field], ftype) or isinstance(event[field], bool)
+        ):
+            raise TraceSchemaError(
+                f"context field {field!r} must be {ftype.__name__}"
+            )
+    if etype == "meta":
+        schema = _require(event, "schema", str)
+        if schema != SCHEMA:
+            raise TraceSchemaError(
+                f"unsupported trace schema {schema!r} (expected {SCHEMA!r})"
+            )
+        source = _require(event, "source", str)
+        if source not in _SOURCES:
+            raise TraceSchemaError(f"meta source must be one of {_SOURCES}")
+        return
+    name = _require(event, "name", str)
+    if not name:
+        raise TraceSchemaError("event name must be non-empty")
+    if etype == "span":
+        dur = _require(event, "dur", (int, float))
+        if dur < 0:
+            raise TraceSchemaError(f"span dur must be >= 0, got {dur}")
+    elif etype == "measure":
+        _require(event, "value", (int, float))
+        if "unit" in event and not isinstance(event["unit"], str):
+            raise TraceSchemaError("measure unit must be a string")
+    elif etype == "counter":
+        _require(event, "value", int)
+    elif etype in ("gauge", "hist"):
+        _require(event, "value", (int, float))
+    if "attrs" in event and not isinstance(event["attrs"], dict):
+        raise TraceSchemaError("attrs must be a JSON object")
+
+
+def validate_trace(
+    events: Iterable[Dict[str, object]],
+) -> Dict[str, object]:
+    """Validate a whole (merged or per-process) trace.
+
+    Checks every event individually, plus the cross-event invariants:
+    each process contributes exactly one ``meta`` header carrying
+    ``seq == 0`` (so it is that process's first emission), and per-pid
+    sequence numbers never repeat.  Strict *file-order* monotonicity is
+    deliberately not required: spans are emitted on exit but
+    timestamped at their start, so a ``(ts, pid, seq)`` merge-sort
+    legally interleaves a parent span (early ``ts``, late ``seq``)
+    before its children.
+
+    Returns:
+        summary stats: ``{"events": n, "processes": p, "types": {...}}``.
+    """
+    seen_seq: Dict[int, set] = {}
+    meta_pids: set = set()
+    type_counts: Dict[str, int] = {}
+    count = 0
+    for event in events:
+        validate_event(event)
+        count += 1
+        etype = str(event["type"])
+        type_counts[etype] = type_counts.get(etype, 0) + 1
+        pid = int(event["pid"])  # type: ignore[arg-type]
+        seq = int(event["seq"])  # type: ignore[arg-type]
+        if etype == "meta":
+            if pid in meta_pids:
+                raise TraceSchemaError(f"duplicate meta event for pid {pid}")
+            if seq != 0:
+                raise TraceSchemaError(
+                    f"meta event for pid {pid} must carry seq 0, got {seq}"
+                )
+            meta_pids.add(pid)
+        per_pid = seen_seq.setdefault(pid, set())
+        if seq in per_pid:
+            raise TraceSchemaError(f"duplicate seq {seq} for pid {pid}")
+        per_pid.add(seq)
+    missing = sorted(set(seen_seq) - meta_pids)
+    if missing:
+        raise TraceSchemaError(f"pids missing a meta header: {missing}")
+    return {
+        "events": count,
+        "processes": len(seen_seq),
+        "types": dict(sorted(type_counts.items())),
+    }

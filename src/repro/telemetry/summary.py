@@ -1,0 +1,352 @@
+"""Trace analysis for ``python -m repro trace``.
+
+Consumes a merged ``repro-trace/1`` file and renders:
+
+* the **per-phase time tree** — span totals grouped by dotted name
+  (``codec.compress`` nests under ``codec``), with counts and the
+  share of recorded span time;
+* the **per-worker timeline** — per worker: rounds answered, busy
+  seconds, bytes over the transport, retries/faults/heartbeats, and a
+  sparkline of per-round step durations;
+* the **slowest-round drill-down** — the longest driver rounds with
+  each worker's step time and the bytes the round moved;
+* the **per-epoch accounting table** — file-order replay of the
+  ``trainer.*`` events (bit-identical to the run's ``EpochRecord``
+  fields, see :mod:`repro.telemetry.epoch`).
+
+Everything here is read-only analysis over plain dicts; rendering
+avoids the bench helpers so the telemetry package stays leaf-level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .epoch import COUNT_FIELDS, TIME_FIELDS, replay_epoch_sums
+from .merge import read_trace
+
+__all__ = [
+    "load_trace",
+    "phase_tree",
+    "worker_timeline",
+    "slowest_rounds",
+    "epoch_table",
+    "summarize",
+    "render_summary",
+]
+
+load_trace = read_trace
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float], width: int = 24) -> str:
+    finite = [v for v in values if isinstance(v, (int, float)) and v == v]
+    if not finite:
+        return ""
+    if len(finite) > width:
+        # Downsample by taking per-bucket maxima (peaks matter most).
+        step = len(finite) / width
+        finite = [
+            max(finite[int(i * step):max(int(i * step) + 1, int((i + 1) * step))])
+            for i in range(width)
+        ]
+    peak = max(finite)
+    if peak <= 0:
+        return _SPARK_CHARS[0] * len(finite)
+    return "".join(
+        _SPARK_CHARS[min(len(_SPARK_CHARS) - 1,
+                         int(v / peak * (len(_SPARK_CHARS) - 1)))]
+        for v in finite
+    )
+
+
+# ----------------------------------------------------------------------
+# phase time tree
+# ----------------------------------------------------------------------
+def phase_tree(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate span durations into a dotted-name tree.
+
+    Each node carries ``self_seconds``/``count`` for spans with exactly
+    that name and ``rollup_seconds`` — its own time, or (for pure
+    grouping nodes like ``codec``) the sum of its children's rollups.
+    Child time is *contained in* parent span time, so rollups are not
+    sums over the whole subtree.
+    """
+    root: Dict[str, Any] = {
+        "name": "", "self_seconds": 0.0, "count": 0, "children": {}
+    }
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        node = root
+        for part in str(event.get("name", "")).split("."):
+            node = node["children"].setdefault(
+                part,
+                {"name": part, "self_seconds": 0.0, "count": 0, "children": {}},
+            )
+        node["self_seconds"] += float(event.get("dur", 0.0))
+        node["count"] += 1
+
+    def rollup(node: Dict[str, Any]) -> float:
+        child_total = sum(rollup(c) for c in node["children"].values())
+        node["rollup_seconds"] = (
+            node["self_seconds"] if node["count"] else child_total
+        )
+        return node["rollup_seconds"]
+
+    rollup(root)
+    return root
+
+
+def _render_tree(root: Dict[str, Any]) -> List[str]:
+    total = sum(c["rollup_seconds"] for c in root["children"].values())
+    lines = [f"{'phase':<34}{'count':>7}  {'seconds':>10}  {'share':>6}"]
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        label = "  " * depth + node["name"]
+        count = node["count"] or ""
+        share = node["rollup_seconds"] / total if total else 0.0
+        lines.append(
+            f"{label:<34}{count:>7}  {node['rollup_seconds']:>10.4f}  "
+            f"{share:>5.1%}"
+        )
+        children = sorted(
+            node["children"].values(),
+            key=lambda c: c["rollup_seconds"],
+            reverse=True,
+        )
+        for child in children:
+            walk(child, depth + 1)
+
+    for child in sorted(
+        root["children"].values(),
+        key=lambda c: c["rollup_seconds"],
+        reverse=True,
+    ):
+        walk(child, 0)
+    return lines
+
+
+# ----------------------------------------------------------------------
+# per-worker timeline
+# ----------------------------------------------------------------------
+def _event_worker(event: Dict[str, Any]) -> Optional[int]:
+    """Worker attribution: explicit attr wins over ambient context."""
+    attrs = event.get("attrs")
+    if isinstance(attrs, dict) and isinstance(attrs.get("worker"), int):
+        return attrs["worker"]
+    worker = event.get("worker")
+    return worker if isinstance(worker, int) else None
+
+
+def worker_timeline(
+    events: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-worker activity rows (the driver is row ``worker=None``)."""
+    rows: Dict[Optional[int], Dict[str, Any]] = {}
+
+    def row(worker: Optional[int]) -> Dict[str, Any]:
+        return rows.setdefault(worker, {
+            "worker": worker,
+            "rounds": set(),
+            "busy_seconds": 0.0,
+            "step_durations": [],
+            "bytes_sent": 0,
+            "bytes_recv": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "heartbeats": 0,
+            "faults": 0,
+            "lost": False,
+        })
+
+    for event in events:
+        etype = event.get("type")
+        name = str(event.get("name", ""))
+        worker = _event_worker(event)
+        if etype == "span":
+            if name in ("worker.step", "worker.update", "trainer.round"):
+                entry = row(worker)
+                entry["busy_seconds"] += float(event.get("dur", 0.0))
+                if isinstance(event.get("round"), int):
+                    entry["rounds"].add(event["round"])
+                if name in ("worker.step", "trainer.round"):
+                    entry["step_durations"].append(
+                        (event.get("round", -1), float(event.get("dur", 0.0)))
+                    )
+        elif etype == "counter":
+            if name == "transport.bytes_sent":
+                row(worker)["bytes_sent"] += int(event.get("value", 0))
+            elif name == "transport.bytes_recv":
+                row(worker)["bytes_recv"] += int(event.get("value", 0))
+            elif name == "runtime.retries":
+                row(worker)["retries"] += int(event.get("value", 0))
+            elif name == "runtime.timeouts":
+                row(worker)["timeouts"] += int(event.get("value", 0))
+            elif name == "runtime.heartbeats":
+                row(worker)["heartbeats"] += int(event.get("value", 0))
+        elif etype == "event":
+            if name.startswith("fault."):
+                row(worker)["faults"] += 1
+            elif name == "runtime.worker_lost":
+                row(worker)["lost"] = True
+
+    out = []
+    for worker in sorted(rows, key=lambda w: (w is None, w)):
+        entry = rows[worker]
+        entry["rounds"] = len(entry["rounds"])
+        durations = [d for _, d in sorted(entry.pop("step_durations"))]
+        entry["timeline"] = _sparkline(durations)
+        out.append(entry)
+    return out
+
+
+def _render_workers(rows: List[Dict[str, Any]]) -> List[str]:
+    lines = [
+        f"{'worker':<8}{'rounds':>7}{'busy s':>9}{'sent B':>10}"
+        f"{'recv B':>10}{'retry':>6}{'hb':>5}{'fault':>6}  timeline"
+    ]
+    for entry in rows:
+        label = "driver" if entry["worker"] is None else str(entry["worker"])
+        if entry["lost"]:
+            label += "†"
+        lines.append(
+            f"{label:<8}{entry['rounds']:>7}{entry['busy_seconds']:>9.4f}"
+            f"{entry['bytes_sent']:>10}{entry['bytes_recv']:>10}"
+            f"{entry['retries']:>6}{entry['heartbeats']:>5}"
+            f"{entry['faults']:>6}  {entry['timeline']}"
+        )
+    if any(entry["lost"] for entry in rows):
+        lines.append("† worker dropped/lost during the run")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# slowest rounds
+# ----------------------------------------------------------------------
+def slowest_rounds(
+    events: Sequence[Dict[str, Any]], limit: int = 3
+) -> List[Dict[str, Any]]:
+    """The longest driver rounds, with per-worker step drill-down."""
+    rounds = [
+        e for e in events
+        if e.get("type") == "span" and e.get("name") == "trainer.round"
+        and e.get("worker") is None and isinstance(e.get("round"), int)
+    ]
+    rounds.sort(key=lambda e: float(e.get("dur", 0.0)), reverse=True)
+    out = []
+    for event in rounds[:max(0, limit)]:
+        rid = event["round"]
+        steps = sorted(
+            (e["worker"], float(e.get("dur", 0.0)))
+            for e in events
+            if e.get("type") == "span" and e.get("name") == "worker.step"
+            and e.get("round") == rid and isinstance(e.get("worker"), int)
+        )
+        bytes_sent = sum(
+            int(e.get("value", 0)) for e in events
+            if e.get("type") == "counter"
+            and e.get("name") == "trainer.bytes_sent" and e.get("round") == rid
+        )
+        out.append({
+            "round": rid,
+            "epoch": event.get("epoch"),
+            "seconds": float(event.get("dur", 0.0)),
+            "bytes_sent": bytes_sent,
+            "worker_steps": [
+                {"worker": w, "seconds": d} for w, d in steps
+            ],
+        })
+    return out
+
+
+def _render_slowest(entries: List[Dict[str, Any]]) -> List[str]:
+    lines = []
+    for entry in entries:
+        lines.append(
+            f"round {entry['round']} (epoch {entry['epoch']}): "
+            f"{entry['seconds']:.4f}s, {entry['bytes_sent']} B gathered"
+        )
+        for step in entry["worker_steps"]:
+            lines.append(
+                f"  worker {step['worker']:<4} step {step['seconds']:.4f}s"
+            )
+    return lines or ["(no trainer.round spans recorded)"]
+
+
+# ----------------------------------------------------------------------
+# per-epoch accounting
+# ----------------------------------------------------------------------
+def epoch_table(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    sums = replay_epoch_sums(events)
+    return [
+        {"epoch": epoch, **sums[epoch]} for epoch in sorted(sums)
+    ]
+
+
+def _render_epochs(rows: List[Dict[str, Any]]) -> List[str]:
+    header = f"{'epoch':>5}"
+    for field in TIME_FIELDS:
+        header += f"{field + ' s':>11}"
+    for field in COUNT_FIELDS:
+        header += f"{field:>13}"
+    lines = [header]
+    for entry in rows:
+        line = f"{entry['epoch']:>5}"
+        for field in TIME_FIELDS:
+            line += f"{entry[f'{field}_seconds']:>11.4f}"
+        for field in COUNT_FIELDS:
+            line += f"{entry[field]:>13}"
+        lines.append(line)
+    return lines
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+def summarize(
+    events: Sequence[Dict[str, Any]], slowest: int = 3
+) -> Dict[str, Any]:
+    """The full JSON summary (``--format json``)."""
+    runs = sorted({
+        e["run"] for e in events if isinstance(e.get("run"), str)
+    })
+    return {
+        "schema": "repro-trace-summary/1",
+        "runs": runs,
+        "events": len(events),
+        "processes": len({e.get("pid") for e in events}),
+        "epochs": epoch_table(events),
+        "phases": phase_tree(events),
+        "workers": worker_timeline(events),
+        "slowest_rounds": slowest_rounds(events, limit=slowest),
+    }
+
+
+def render_summary(
+    events: Sequence[Dict[str, Any]], slowest: int = 3
+) -> str:
+    """The human table rendering (``--format table``, the default)."""
+    summary = summarize(events, slowest=slowest)
+    run_label = ", ".join(summary["runs"]) or "(unnamed)"
+    sections = [
+        f"trace: run {run_label} — {summary['events']} events from "
+        f"{summary['processes']} process(es)",
+        "",
+        "== per-phase time tree ==",
+        *_render_tree(summary["phases"]),
+        "",
+        "== per-worker timeline ==",
+        *_render_workers(summary["workers"]),
+        "",
+        f"== slowest rounds (top {slowest}) ==",
+        *_render_slowest(summary["slowest_rounds"]),
+    ]
+    if summary["epochs"]:
+        sections += [
+            "",
+            "== per-epoch accounting (replayed from trainer.* events) ==",
+            *_render_epochs(summary["epochs"]),
+        ]
+    return "\n".join(sections)

@@ -1,0 +1,41 @@
+"""Regenerate the golden trace projection fixture.
+
+Run from the repo root after a *deliberate* instrumentation change::
+
+    PYTHONPATH=src:tests python tests/golden/trace/regen.py
+
+The fixture pins the timing-free event inventory (see
+``project_trace`` in ``tests/test_telemetry_trace.py``) of the
+fixed-seed 2-worker sim run, including counter values — i.e. the byte
+accounting — so instrumentation drift shows up as a reviewed diff.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from test_telemetry_trace import project_trace, run_traced  # noqa: E402
+
+OUT = os.path.join(os.path.dirname(__file__), "sim_2worker_projection.json")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        _, events = run_traced(
+            os.path.join(tmp, "sim.jsonl"), "sim", run_id="golden-sim"
+        )
+    fixture = {
+        "format": "repro-trace-projection/1",
+        "projection": project_trace(events),
+    }
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump(fixture, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {OUT} ({len(fixture['projection'])} distinct keys)")
+
+
+if __name__ == "__main__":
+    main()

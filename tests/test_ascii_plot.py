@@ -84,3 +84,52 @@ class TestLineChart:
     def test_single_point(self):
         out = line_chart({"p": [(2.0, 3.0)]}, width=10, height=4)
         assert "P" in out
+
+
+class TestNonFiniteValues:
+    """Regression: EpochRecord.compression_rate is ``inf`` when no bytes
+    were sent; plots and tables must render a dash, not 'inf'/crash."""
+
+    def test_sparkline_renders_placeholder_for_non_finite(self):
+        out = sparkline([1.0, float("inf"), 2.0, float("nan"), 3.0])
+        assert len(out) == 5
+        assert out[1] == "·" and out[3] == "·"
+        assert "inf" not in out
+        # Finite values still scale over the finite range only.
+        assert out[0] != out[4]
+
+    def test_sparkline_all_non_finite(self):
+        assert sparkline([float("inf")] * 3) == "···"
+
+    def test_bar_chart_dashes_non_finite_rows(self):
+        out = bar_chart(["a", "b"], [2.0, float("inf")], width=10)
+        lines = out.splitlines()
+        assert "#" in lines[0]
+        assert "—" in lines[1] and "#" not in lines[1]
+        assert "inf" not in out
+
+    def test_line_chart_drops_non_finite_points(self):
+        out = line_chart(
+            {"m": [(0, 1.0), (1, float("inf")), (2, 2.0)]},
+            width=16, height=5,
+        )
+        assert "inf" not in out
+        assert "y: 1 .. 2" in out
+
+    def test_line_chart_all_non_finite_is_empty(self):
+        assert line_chart({"m": [(0, float("nan"))]}) == ""
+
+    def test_format_table_dashes_inf_compression_rate(self):
+        from repro.bench import format_table
+        from repro.distributed.metrics import EpochRecord
+
+        record = EpochRecord(
+            epoch=0, compute_seconds=1.0, network_seconds=0.0,
+            encode_seconds=0.0, decode_seconds=0.0, train_loss=0.5,
+            test_loss=None, bytes_sent=0, raw_bytes=0, num_messages=0,
+            gradient_nnz=0.0,
+        )
+        assert record.compression_rate == float("inf")
+        out = format_table(["rate"], [[record.compression_rate]])
+        assert "—" in out
+        assert "inf" not in out

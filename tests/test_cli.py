@@ -214,5 +214,5 @@ class TestLint:
         for rule_id in ("kernel-parity", "rng-discipline", "dtype-discipline",
                         "hot-loop", "wire-format", "bare-except",
                         "mutable-default", "missing-all",
-                        "noqa-justification"):
+                        "telemetry-discipline", "noqa-justification"):
             assert rule_id in out

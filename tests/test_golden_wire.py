@@ -22,6 +22,7 @@ import os
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.core.compressor import SketchMLCompressor
 from repro.core.config import SketchMLConfig
 from repro.core.serialization import deserialize_message, serialize_message
@@ -97,3 +98,38 @@ def test_serialize_roundtrip_of_fixture(case):
     # deserialize → serialize is the identity on committed bytes.
     data = fixture_bytes(case)
     assert serialize_message(deserialize_message(data)) == data
+
+
+@pytest.mark.parametrize("mode", ["scalar", "vectorised"])
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
+def test_goldens_pinned_under_both_kernel_paths(case, mode):
+    """The committed bytes pin the format for *both* codec paths.
+
+    Decode each golden and re-encode the regenerated gradient with the
+    kernel switch forced to one side; scalar and vectorised must each
+    reproduce the committed bytes and decoded-value digests exactly, so
+    neither path can drift away from the wire format on its own.
+    """
+    forced = (
+        kernels.scalar_kernels()
+        if mode == "scalar"
+        else kernels.vectorised_kernels()
+    )
+    config = SketchMLConfig.full(seed=case["seed"], **case["overrides"])
+    with forced:
+        keys, values = regenerate_gradient(case)
+        message = SketchMLCompressor(config).compress(
+            keys, values, case["dimension"]
+        )
+        assert serialize_message(message) == fixture_bytes(case)
+        decoded_keys, decoded_values = SketchMLCompressor(config).decompress(
+            deserialize_message(fixture_bytes(case))
+        )
+    keys_digest = hashlib.sha256(
+        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()
+    ).hexdigest()
+    values_digest = hashlib.sha256(
+        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()
+    ).hexdigest()
+    assert keys_digest == case["decoded_keys_sha256"]
+    assert values_digest == case["decoded_values_sha256"]

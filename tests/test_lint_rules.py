@@ -395,6 +395,129 @@ class TestWireEndianness:
             assert ids_for(text, relpath, ["wire-endianness"]) == [], relpath
 
 
+class TestWireEndiannessTelemetryScope:
+    """Satellite: the endianness rule also covers the telemetry package,
+    whose flight-recorder files are merged across machines."""
+
+    def test_fires_inside_telemetry_package(self):
+        bad = (
+            "import numpy as np\n"
+            "def read(blob):\n"
+            '    return np.frombuffer(blob, dtype="u4")\n'
+        )
+        assert ids_for(bad, "telemetry/recorder.py",
+                       ["wire-endianness"]) == ["wire-endianness"]
+
+    def test_repo_telemetry_modules_are_clean(self):
+        import glob
+        import os
+
+        src_root = os.path.join(
+            os.path.dirname(__file__), "..", "src", "repro"
+        )
+        paths = sorted(glob.glob(os.path.join(src_root, "telemetry", "*.py")))
+        assert paths, "telemetry package not found"
+        for path in paths:
+            relpath = "telemetry/" + os.path.basename(path)
+            with open(path) as f:
+                text = f.read()
+            assert ids_for(text, relpath,
+                           ["wire-endianness", "wire-format"]) == [], relpath
+
+
+class TestTelemetryDiscipline:
+    HOT = "runtime/transport.py"
+
+    def test_fires_on_print_in_hot_path(self):
+        bad = (
+            "def send(frame):\n"
+            '    print("sending", len(frame))\n'
+        )
+        findings = lint_source(bad, relpath=self.HOT,
+                               select=["telemetry-discipline"])
+        assert [f.rule_id for f in findings] == ["telemetry-discipline"]
+        assert "print()" in findings[0].message
+
+    def test_fires_on_logging_import_in_hot_path(self):
+        for bad in ("import logging\n", "from logging import getLogger\n",
+                    "import logging.handlers\n"):
+            assert ids_for(bad, self.HOT, ["telemetry-discipline"]) == [
+                "telemetry-discipline"
+            ], bad
+
+    def test_print_and_logging_allowed_outside_hot_paths(self):
+        ok = (
+            "import logging\n"
+            "def report(rows):\n"
+            "    print(rows)\n"
+        )
+        for relpath in ("cli.py", "bench/tables.py", "lint/framework.py"):
+            assert ids_for(ok, relpath, ["telemetry-discipline"]) == []
+
+    def test_fires_on_span_not_used_as_context_manager(self):
+        bad = (
+            "from .. import telemetry\n"
+            "def step():\n"
+            '    span = telemetry.span("worker.step")\n'
+            "    work()\n"
+        )
+        findings = lint_source(bad, relpath=self.HOT,
+                               select=["telemetry-discipline"])
+        assert [f.rule_id for f in findings] == ["telemetry-discipline"]
+        assert "context" in findings[0].message or "with" in findings[0].message
+
+    def test_bare_span_flagged_everywhere_not_just_hot_paths(self):
+        bad = (
+            "from repro import telemetry\n"
+            "def probe():\n"
+            '    telemetry.span("x")\n'
+        )
+        assert ids_for(bad, "bench/runner.py",
+                       ["telemetry-discipline"]) == ["telemetry-discipline"]
+
+    def test_span_as_with_item_clean(self):
+        good = (
+            "from .. import telemetry\n"
+            "def step():\n"
+            '    with telemetry.span("worker.step"):\n'
+            "        work()\n"
+            '    with telemetry.context(phase="x"), telemetry.span("a"):\n'
+            "        more()\n"
+        )
+        assert ids_for(good, self.HOT, ["telemetry-discipline"]) == []
+
+    def test_direct_span_import_spelling_matched(self):
+        bad = (
+            "from repro.telemetry import span\n"
+            "def step():\n"
+            '    span("worker.step")\n'
+        )
+        assert ids_for(bad, self.HOT, ["telemetry-discipline"]) == [
+            "telemetry-discipline"
+        ]
+
+    def test_repo_hot_paths_are_clean(self):
+        import os
+
+        from repro.lint.framework import iter_python_files
+        from repro.lint.policy import HOT_PATH_PREFIXES
+
+        src_root = os.path.join(
+            os.path.dirname(__file__), "..", "src", "repro"
+        )
+        checked = 0
+        for prefix in HOT_PATH_PREFIXES:
+            package = os.path.join(src_root, prefix.rstrip("/"))
+            for path in iter_python_files([package]):
+                relpath = prefix + os.path.basename(path)
+                with open(path) as f:
+                    text = f.read()
+                assert ids_for(text, relpath,
+                               ["telemetry-discipline"]) == [], relpath
+                checked += 1
+        assert checked >= 10
+
+
 class TestRuleInventory:
     def test_at_least_eight_rules_registered(self):
         ids = all_rule_ids()
@@ -403,6 +526,6 @@ class TestRuleInventory:
             "kernel-parity", "rng-discipline", "dtype-discipline",
             "hot-loop", "wire-format", "bare-except", "mutable-default",
             "missing-all", "noqa-justification",
-            "wire-endianness",
+            "wire-endianness", "telemetry-discipline",
         ]:
             assert required in ids

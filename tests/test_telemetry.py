@@ -1,0 +1,353 @@
+"""Unit tests for ``repro.telemetry``: schema validation, recorder
+behaviour, single-source epoch accounting, and the disabled-path
+overhead budget."""
+
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import recorder as recorder_module
+from repro.telemetry.epoch import EpochAccumulator, replay_epoch_sums
+from repro.telemetry.merge import (
+    merge_trace_events,
+    read_trace,
+    write_trace,
+)
+from repro.telemetry.schema import (
+    SCHEMA,
+    TraceSchemaError,
+    validate_event,
+    validate_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry_state():
+    """No test may leak an installed recorder, session, or context."""
+    assert telemetry.get_recorder() is None
+    assert telemetry.active_session() is None
+    yield
+    if telemetry.active_session() is not None:
+        telemetry.finish_run()
+    leftover = telemetry.set_recorder(None)
+    if leftover is not None:
+        leftover.close()
+    recorder_module._CONTEXT.clear()
+
+
+def make_event(**overrides):
+    base = {"type": "counter", "name": "x", "value": 1,
+            "ts": 1.5, "pid": 42, "seq": 3}
+    base.update(overrides)
+    return base
+
+
+def meta_event(pid=42, seq=0, **overrides):
+    base = {"type": "meta", "ts": 1.0, "pid": pid, "seq": seq,
+            "schema": SCHEMA, "source": "driver"}
+    base.update(overrides)
+    return base
+
+
+class TestValidateEvent:
+    def test_valid_events_of_every_type(self):
+        validate_event(meta_event())
+        validate_event(make_event())
+        validate_event({"type": "span", "name": "s", "dur": 0.0,
+                        "ts": 1.0, "pid": 1, "seq": 1})
+        validate_event({"type": "measure", "name": "m", "value": 0.5,
+                        "unit": "s", "ts": 1.0, "pid": 1, "seq": 2})
+        validate_event({"type": "gauge", "name": "g", "value": 1.25,
+                        "ts": 1.0, "pid": 1, "seq": 3})
+        validate_event({"type": "hist", "name": "h", "value": 2,
+                        "ts": 1.0, "pid": 1, "seq": 4})
+        validate_event({"type": "event", "name": "e", "ts": 1.0,
+                        "pid": 1, "seq": 5, "attrs": {"k": "v"}})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown event type"):
+            validate_event(make_event(type="trace"))
+
+    def test_missing_common_fields_rejected(self):
+        for field in ("type", "ts", "pid", "seq"):
+            event = make_event()
+            del event[field]
+            with pytest.raises(TraceSchemaError):
+                validate_event(event)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(TraceSchemaError, match="pid"):
+            validate_event(make_event(pid=True))
+        with pytest.raises(TraceSchemaError, match="value"):
+            validate_event(make_event(value=True))
+
+    def test_negative_seq_and_dur_rejected(self):
+        with pytest.raises(TraceSchemaError, match="seq"):
+            validate_event(make_event(seq=-1))
+        with pytest.raises(TraceSchemaError, match="dur"):
+            validate_event({"type": "span", "name": "s", "dur": -0.1,
+                            "ts": 1.0, "pid": 1, "seq": 1})
+
+    def test_context_field_types_enforced(self):
+        validate_event(make_event(worker=3, epoch=0, phase="step", run="r"))
+        with pytest.raises(TraceSchemaError, match="worker"):
+            validate_event(make_event(worker="three"))
+        with pytest.raises(TraceSchemaError, match="round"):
+            validate_event({**make_event(), "round": 1.5})
+
+    def test_meta_schema_pin(self):
+        with pytest.raises(TraceSchemaError, match="unsupported trace schema"):
+            validate_event(meta_event(schema="repro-trace/0"))
+        with pytest.raises(TraceSchemaError, match="source"):
+            validate_event(meta_event(source="observer"))
+
+    def test_counter_value_must_be_int(self):
+        with pytest.raises(TraceSchemaError, match="value"):
+            validate_event(make_event(value=1.5))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TraceSchemaError, match="non-empty"):
+            validate_event(make_event(name=""))
+
+
+class TestValidateTrace:
+    def test_stats_summary(self):
+        stats = validate_trace([
+            meta_event(pid=1, seq=0),
+            make_event(pid=1, seq=1),
+            make_event(pid=1, seq=2, type="gauge", value=0.5),
+        ])
+        assert stats["events"] == 3
+        assert stats["processes"] == 1
+        assert stats["types"] == {"counter": 1, "gauge": 1, "meta": 1}
+
+    def test_meta_must_be_seq_zero(self):
+        with pytest.raises(TraceSchemaError, match="seq 0"):
+            validate_trace([meta_event(pid=1, seq=5)])
+
+    def test_duplicate_meta_rejected(self):
+        with pytest.raises(TraceSchemaError, match="duplicate meta"):
+            validate_trace([
+                meta_event(pid=1, seq=0),
+                meta_event(pid=1, seq=1) | {"seq": 0},
+            ])
+
+    def test_duplicate_seq_rejected(self):
+        with pytest.raises(TraceSchemaError, match="duplicate seq"):
+            validate_trace([
+                meta_event(pid=1, seq=0),
+                make_event(pid=1, seq=1),
+                make_event(pid=1, seq=1),
+            ])
+
+    def test_pid_without_meta_rejected(self):
+        with pytest.raises(TraceSchemaError, match="missing a meta"):
+            validate_trace([
+                meta_event(pid=1, seq=0),
+                make_event(pid=2, seq=4),
+            ])
+
+    def test_file_order_need_not_be_seq_sorted(self):
+        # Spans carry their *start* ts but are emitted on exit, so a
+        # merged trace legally interleaves a late-seq parent before its
+        # early-seq children.
+        validate_trace([
+            meta_event(pid=1, seq=0),
+            {"type": "span", "name": "parent", "dur": 1.0,
+             "ts": 1.0, "pid": 1, "seq": 9},
+            make_event(pid=1, seq=1, ts=1.2),
+        ])
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.get_recorder() is None
+
+    def test_all_entry_points_are_noops(self):
+        with telemetry.span("codec.compress", nnz=10):
+            telemetry.counter("c", 1)
+            telemetry.gauge("g", 0.5)
+            telemetry.hist("h", 1.0)
+            telemetry.measure("m", 0.1)
+            telemetry.event("e", worker=0)
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert telemetry.span("a") is telemetry.span("b")
+
+
+class TestRecorderSession:
+    def test_run_lifecycle_produces_valid_merged_trace(self, tmp_path):
+        out = str(tmp_path / "out.jsonl")
+        session = telemetry.start_run(out, run_id="unit")
+        assert telemetry.enabled()
+        assert telemetry.active_run_id() == "unit"
+        assert telemetry.worker_trace_dir() == session.parts_dir
+        with telemetry.context(epoch=0, round=1):
+            with telemetry.span("trainer.round"):
+                telemetry.counter("trainer.bytes_sent", 128)
+        merged = telemetry.finish_run()
+        assert merged == out
+        assert not os.path.isdir(session.parts_dir)
+        assert not telemetry.enabled()
+        events = read_trace(out)
+        stats = validate_trace(events)
+        assert stats["processes"] == 1
+        assert stats["types"]["span"] == 1
+        assert stats["types"]["counter"] == 1
+
+    def test_events_carry_run_and_scoped_context(self, tmp_path):
+        out = str(tmp_path / "out.jsonl")
+        telemetry.start_run(out, run_id="ctx-run")
+        telemetry.counter("outside", 1)
+        with telemetry.context(epoch=2, phase="step"):
+            telemetry.counter("inside", 1)
+        telemetry.counter("after", 1)
+        telemetry.finish_run()
+        by_name = {e.get("name"): e for e in read_trace(out)}
+        assert by_name["outside"]["run"] == "ctx-run"
+        assert "epoch" not in by_name["outside"]
+        assert by_name["inside"]["epoch"] == 2
+        assert by_name["inside"]["phase"] == "step"
+        assert "epoch" not in by_name["after"]
+
+    def test_nested_context_restores_shadowed_fields(self, tmp_path):
+        out = str(tmp_path / "out.jsonl")
+        telemetry.start_run(out, run_id="nest")
+        with telemetry.context(worker=1):
+            with telemetry.context(worker=7):
+                telemetry.counter("deep", 1)
+            telemetry.counter("shallow", 1)
+        telemetry.finish_run()
+        by_name = {e.get("name"): e for e in read_trace(out)}
+        assert by_name["deep"]["worker"] == 7
+        assert by_name["shallow"]["worker"] == 1
+
+    def test_explicit_attrs_recorded_alongside_context(self, tmp_path):
+        out = str(tmp_path / "out.jsonl")
+        telemetry.start_run(out, run_id="attrs")
+        with telemetry.context(worker=1):
+            telemetry.counter("transport.bytes_sent", 64, worker=5)
+        telemetry.finish_run()
+        (event,) = [e for e in read_trace(out)
+                    if e.get("name") == "transport.bytes_sent"]
+        # The explicit target worker rides in attrs and wins over the
+        # ambient context in analysis (see telemetry.summary).
+        assert event["attrs"]["worker"] == 5
+        assert event["value"] == 64
+
+    def test_span_ts_is_start_not_exit(self, tmp_path):
+        out = str(tmp_path / "out.jsonl")
+        telemetry.start_run(out, run_id="span")
+        with telemetry.span("outer"):
+            telemetry.event("inner")
+        telemetry.finish_run()
+        events = read_trace(out)
+        span = next(e for e in events if e["type"] == "span")
+        inner = next(e for e in events if e.get("name") == "inner")
+        assert span["dur"] >= 0
+        assert span["ts"] <= inner["ts"]
+
+    def test_second_start_run_rejected(self, tmp_path):
+        telemetry.start_run(str(tmp_path / "a.jsonl"), run_id="a")
+        with pytest.raises(RuntimeError, match="already active"):
+            telemetry.start_run(str(tmp_path / "b.jsonl"), run_id="b")
+        telemetry.finish_run()
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="no trace run"):
+            telemetry.finish_run()
+
+    def test_worker_recorder_writes_part_file(self, tmp_path):
+        parts = tmp_path / "parts"
+        parts.mkdir()
+        telemetry.enable_worker_recorder(str(parts), 3, run_id="wrk")
+        telemetry.counter("runtime.heartbeats", 1)
+        telemetry.close_worker_recorder()
+        part = parts / "worker-0003.jsonl"
+        assert part.is_file()
+        events = read_trace(str(part))
+        validate_trace(events)
+        assert events[0]["type"] == "meta"
+        assert events[0]["source"] == "worker"
+        assert events[0]["worker"] == 3
+        assert all(e["worker"] == 3 for e in events)
+        assert all(e["run"] == "wrk" for e in events[1:])
+
+
+class TestMerge:
+    def test_merge_orders_by_ts_pid_seq(self):
+        a = [meta_event(pid=1, seq=0, ts=1.0),
+             make_event(pid=1, seq=1, ts=5.0)]
+        b = [meta_event(pid=2, seq=0, ts=0.5),
+             make_event(pid=2, seq=1, ts=5.0)]
+        merged = merge_trace_events([a, b])
+        assert [(e["ts"], e["pid"], e["seq"]) for e in merged] == [
+            (0.5, 2, 0), (1.0, 1, 0), (5.0, 1, 1), (5.0, 2, 1)]
+
+    def test_write_read_round_trip(self, tmp_path):
+        events = [meta_event(), make_event()]
+        path = str(tmp_path / "t.jsonl")
+        write_trace(events, path)
+        assert read_trace(path) == events
+
+    def test_read_rejects_garbage_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(str(path))
+
+
+class TestEpochAccumulator:
+    def test_accumulates_without_recorder(self):
+        acc = EpochAccumulator(0)
+        acc.add_seconds("compute", 0.5)
+        acc.add_seconds("compute", 0.25)
+        acc.add_counts(bytes_sent=100, num_messages=2, raw_bytes=400,
+                       gradient_nnz=10)
+        acc.add_loss(3.0, 2)
+        fields = acc.record_fields()
+        assert fields["compute_seconds"] == 0.75
+        assert fields["bytes_sent"] == 100
+        assert fields["gradient_nnz"] == 5.0
+        assert fields["train_loss"] == 1.5
+
+    def test_trace_replay_reproduces_sums_exactly(self, tmp_path):
+        out = str(tmp_path / "acc.jsonl")
+        telemetry.start_run(out, run_id="acc")
+        acc = EpochAccumulator(4)
+        with telemetry.context(epoch=4):
+            # Deliberately awkward floats: replay must match the
+            # accumulator bit-for-bit, not to within a tolerance.
+            for value in (0.1, 0.2, 0.30000000000000004, 1e-9):
+                acc.add_seconds("compute", value)
+                acc.add_seconds("network", value / 3.0)
+            acc.add_counts(bytes_sent=12345, raw_bytes=67890)
+        telemetry.finish_run()
+        replay = replay_epoch_sums(read_trace(out))
+        assert replay[4]["compute_seconds"] == acc.seconds["compute"]
+        assert replay[4]["network_seconds"] == acc.seconds["network"]
+        assert replay[4]["bytes_sent"] == acc.counts["bytes_sent"]
+        assert replay[4]["raw_bytes"] == acc.counts["raw_bytes"]
+
+    def test_replay_ignores_events_without_epoch_context(self, tmp_path):
+        out = str(tmp_path / "noepoch.jsonl")
+        telemetry.start_run(out, run_id="noepoch")
+        telemetry.measure("trainer.compute_seconds", 1.0)
+        telemetry.finish_run()
+        assert replay_epoch_sums(read_trace(out)) == {}
+
+
+class TestOverheadBudget:
+    def test_disabled_overhead_within_two_percent(self):
+        from repro.perf import MAX_OVERHEAD_FRACTION, measure_overhead
+
+        report = measure_overhead(nnz=5_000, warmup=1, repeats=3)
+        assert report.span_calls > 0
+        assert report.metric_calls > 0
+        assert report.overhead_fraction <= MAX_OVERHEAD_FRACTION, (
+            report.describe())
+        assert "overhead" in report.describe()
+        # The probe must not leave a recorder installed.
+        assert telemetry.get_recorder() is None

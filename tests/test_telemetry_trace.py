@@ -1,0 +1,267 @@
+"""Traced-run integration tests: the flight recorder end to end.
+
+Three acceptance properties of the telemetry subsystem:
+
+* a fixed-seed traced run produces a schema-valid merged trace whose
+  per-epoch ``trainer.*`` event sums reproduce every ``EpochRecord``
+  timing/byte field *exactly* (single-source accounting);
+* the normalized event inventory of a fixed-seed 2-worker sim run is
+  pinned by a committed golden projection (``tests/golden/trace/``);
+* fault-injected runs attribute drop / retry / heartbeat events to the
+  correct worker and round.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.core import SketchMLCompressor, SketchMLConfig
+from repro.data import kdd10_like, train_test_split
+from repro.distributed import DistributedTrainer, TrainerConfig
+from repro.distributed.network import infinite_bandwidth
+from repro.models import make_model
+from repro.optim import SGD
+from repro.runtime import FaultSchedule, RuntimeConfig, SupervisionConfig
+from repro.telemetry import recorder as recorder_module
+from repro.telemetry.epoch import replay_epoch_sums
+from repro.telemetry.merge import read_trace
+from repro.telemetry.schema import validate_trace
+
+SEED = 7
+NUM_WORKERS = 2
+EPOCHS = 2
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "trace",
+    "sim_2worker_projection.json",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry_state():
+    assert telemetry.get_recorder() is None
+    assert telemetry.active_session() is None
+    yield
+    if telemetry.active_session() is not None:
+        telemetry.finish_run()
+    leftover = telemetry.set_recorder(None)
+    if leftover is not None:
+        leftover.close()
+    recorder_module._CONTEXT.clear()
+
+
+def run_traced(out_path, backend, runtime=None, run_id="trace-test"):
+    """One fixed-seed training run with the flight recorder on."""
+    split = train_test_split(kdd10_like(seed=SEED, scale=0.02), seed=SEED)
+    train, _ = split
+    trainer = DistributedTrainer(
+        model=make_model("lr", train.num_features),
+        optimizer=SGD(learning_rate=0.1),
+        compressor_factory=lambda: SketchMLCompressor(
+            SketchMLConfig.full(seed=SEED)
+        ),
+        network=infinite_bandwidth(),
+        config=TrainerConfig(
+            num_workers=NUM_WORKERS,
+            batch_fraction=0.25,
+            epochs=EPOCHS,
+            seed=SEED,
+            backend=backend,
+        ),
+        runtime=runtime,
+    )
+    telemetry.start_run(out_path, run_id=run_id)
+    try:
+        history = trainer.train(*split)
+    finally:
+        telemetry.finish_run()
+    return history, read_trace(out_path)
+
+
+def project_trace(events):
+    """Timing-free inventory of a trace: key -> occurrence count.
+
+    Keeps the deterministic coordinates of every event — type, name,
+    worker / epoch / round / phase attribution, and counter values
+    (which pin the byte accounting) — and drops everything wall-clock
+    dependent (ts, dur, pid, seq, measured seconds).
+    """
+    counts = {}
+    for event in events:
+        if event["type"] == "meta":
+            key = (
+                f"meta source={event['source']} "
+                f"w={event.get('worker', '-')}"
+            )
+        else:
+            attrs = event.get("attrs") or {}
+            worker = attrs.get("worker", event.get("worker", "-"))
+            key = (
+                f"{event['type']} {event.get('name', '-')} "
+                f"w={worker} e={event.get('epoch', '-')} "
+                f"r={event.get('round', '-')} p={event.get('phase', '-')}"
+            )
+            if event["type"] == "counter":
+                key += f" v={event['value']}"
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def assert_replay_matches_history(events, history):
+    """Per-epoch trainer.* event sums == EpochRecord fields, exactly."""
+    replay = replay_epoch_sums(events)
+    assert sorted(replay) == [e.epoch for e in history.epochs]
+    for record in history.epochs:
+        sums = replay[record.epoch]
+        assert sums["compute_seconds"] == record.compute_seconds
+        assert sums["network_seconds"] == record.network_seconds
+        assert sums["encode_seconds"] == record.encode_seconds
+        assert sums["decode_seconds"] == record.decode_seconds
+        assert sums["bytes_sent"] == record.bytes_sent
+        assert sums["raw_bytes"] == record.raw_bytes
+        assert sums["num_messages"] == record.num_messages
+        assert (
+            sums["gradient_nnz"] / sums["num_messages"]
+            == record.gradient_nnz
+        )
+
+
+@pytest.fixture(scope="module")
+def sim_trace(tmp_path_factory):
+    out = str(tmp_path_factory.mktemp("trace") / "sim.jsonl")
+    return run_traced(out, "sim", run_id="golden-sim")
+
+
+class TestSimTrace:
+    def test_trace_is_schema_valid(self, sim_trace):
+        _, events = sim_trace
+        stats = validate_trace(events)
+        assert stats["processes"] == 1
+        for etype in ("meta", "span", "measure", "counter"):
+            assert stats["types"].get(etype, 0) > 0
+
+    def test_epoch_records_replay_exactly(self, sim_trace):
+        history, events = sim_trace
+        assert history.num_epochs == EPOCHS
+        assert_replay_matches_history(events, history)
+
+    def test_span_taxonomy_present(self, sim_trace):
+        _, events = sim_trace
+        span_names = {e["name"] for e in events if e["type"] == "span"}
+        for name in ("trainer.epoch", "trainer.round", "worker.step",
+                     "codec.compress", "codec.decompress"):
+            assert name in span_names, name
+        step_workers = {
+            e["worker"] for e in events
+            if e["type"] == "span" and e["name"] == "worker.step"
+        }
+        assert step_workers == set(range(NUM_WORKERS))
+
+    def test_every_event_carries_the_run_id(self, sim_trace):
+        _, events = sim_trace
+        assert all(e.get("run") == "golden-sim" for e in events
+                   if e["type"] != "meta")
+
+    def test_projection_matches_committed_golden(self, sim_trace):
+        _, events = sim_trace
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        assert golden["format"] == "repro-trace-projection/1"
+        projection = project_trace(events)
+        assert projection == golden["projection"], (
+            "trace inventory drifted from tests/golden/trace/ — if the "
+            "instrumentation changed deliberately, regenerate the "
+            "fixture with tests/golden/trace/regen.py"
+        )
+
+
+class TestMpTrace:
+    def test_mp_trace_merges_workers_and_replays_exactly(self, tmp_path):
+        out = str(tmp_path / "mp.jsonl")
+        history, events = run_traced(out, "mp", run_id="mp-run")
+        stats = validate_trace(events)
+        # Driver + one process per worker.
+        assert stats["processes"] == 1 + NUM_WORKERS
+        sources = [e["source"] for e in events if e["type"] == "meta"]
+        assert sources.count("driver") == 1
+        assert sources.count("worker") == NUM_WORKERS
+        assert_replay_matches_history(events, history)
+        # Worker-side spans arrive attributed in the merged trace.
+        step_workers = {
+            e["worker"] for e in events
+            if e["type"] == "span" and e["name"] == "worker.step"
+        }
+        assert step_workers == set(range(NUM_WORKERS))
+        # Driver-side wire accounting covers every worker both ways.
+        for name in ("transport.bytes_sent", "transport.bytes_recv"):
+            workers = {
+                (e.get("attrs") or {}).get("worker") for e in events
+                if e["type"] == "counter" and e["name"] == name
+            }
+            assert workers == set(range(NUM_WORKERS)), name
+
+
+class TestFaultAttribution:
+    def test_drop_retry_heartbeat_events_attributed(self, tmp_path):
+        # Surgical drops: per-(send, worker) frame index 0 is INIT, so
+        # index 1 is the first STEP frame (worker 0) and index 2 the
+        # first UPDATE frame (worker 1).
+        schedule = FaultSchedule([
+            ("drop", "send", 0, 1),
+            ("drop", "send", 1, 2),
+        ])
+        runtime = RuntimeConfig(
+            supervision=SupervisionConfig(
+                message_timeout=2.0,
+                max_retries=5,
+                backoff_base=0.01,
+                backoff_jitter=0.0,
+                heartbeat_interval=0.05,
+                seed=SEED,
+            ),
+            fault_schedule=schedule,
+        )
+        out = str(tmp_path / "faults.jsonl")
+        history, events = run_traced(out, "mp", runtime=runtime,
+                                     run_id="fault-run")
+        validate_trace(events)
+        assert history.num_epochs == EPOCHS
+
+        drops = [e for e in events
+                 if e["type"] == "event" and e["name"] == "fault.drop"]
+        assert len(drops) == len(schedule.entries)
+        assert sorted(e["attrs"]["worker"] for e in drops) == [0, 1]
+        assert all(e["attrs"]["direction"] == "send" for e in drops)
+
+        retries = [e for e in events
+                   if e["type"] == "event" and e["name"] == "runtime.retry"]
+        for drop in drops:
+            matching = [
+                r for r in retries
+                if r["attrs"]["worker"] == drop["attrs"]["worker"]
+                and r.get("round") == drop.get("round")
+            ]
+            assert matching, (
+                f"no retry attributed to worker "
+                f"{drop['attrs']['worker']} round {drop.get('round')}"
+            )
+
+        retry_counts = sum(
+            e["value"] for e in events
+            if e["type"] == "counter" and e["name"] == "runtime.retries"
+        )
+        assert retry_counts == len(retries)
+
+        # Workers heartbeat every 50ms; the 2s timeout windows opened
+        # by the drops guarantee the driver drains some, attributed to
+        # the worker that sent them.
+        heartbeats = [
+            e for e in events
+            if e["type"] == "counter" and e["name"] == "runtime.heartbeats"
+        ]
+        assert heartbeats
+        assert all(
+            e["attrs"]["worker"] in range(NUM_WORKERS) for e in heartbeats
+        )
