@@ -81,10 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["cluster1", "cluster2"])
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--backend", default="sim",
-                       choices=["sim", "mp", "tcp"],
+                       choices=["sim", "mp", "tcp", "aio"],
                        help="execution backend: simulated cluster (default), "
-                            "real worker processes over pipes (mp) or "
-                            "host-local TCP sockets (tcp)")
+                            "real worker processes over pipes (mp), "
+                            "host-local TCP sockets (tcp), or the "
+                            "event-driven multiplexed sockets (aio)")
     train.add_argument("--straggler-policy", default="fail_fast",
                        choices=["fail_fast", "drop"],
                        help="what to do when a worker is lost "
@@ -136,10 +137,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="output JSON path (default: BENCH_codec.json; "
                            "'-' to skip writing)")
     perf.add_argument("--transports", nargs="*", default=None,
-                      choices=["sim", "mp", "tcp"], metavar="BACKEND",
+                      choices=["sim", "mp", "tcp", "aio"], metavar="BACKEND",
                       help="also time transport echo round-trips on these "
-                           "backends (default: all three; pass with no "
+                           "backends (default: all; pass with no "
                            "values to skip)")
+    perf.add_argument("--soak", action="store_true",
+                      help="run the high-concurrency gather soak: a "
+                           "simulated worker swarm with a straggler tail, "
+                           "tcp barrier gather vs aio (barrier and "
+                           "overlapped) at each worker count")
+    perf.add_argument("--soak-workers", type=int, nargs="+", default=None,
+                      metavar="N",
+                      help="soak worker-count grid "
+                           "(default 8 64 500; --quick: 8 64)")
+    perf.add_argument("--soak-rounds", type=int, default=None, metavar="R",
+                      help="gather rounds per soak cell "
+                           "(default 30; --quick: 10)")
+    perf.add_argument("--trace", default=None, metavar="PATH",
+                      help="record a repro-trace/1 file of the perf run "
+                           "(soak gathers are spanned; inspect with "
+                           "`python -m repro trace PATH`)")
 
     trace = sub.add_parser(
         "trace", help="inspect a recorded flight-recorder trace"
@@ -376,22 +393,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
+    from . import telemetry
     from .perf import BENCH_FILENAME, run_suite, write_results
 
     if args.sizes is not None and any(nnz <= 0 for nnz in args.sizes):
         print("error: --sizes values must be positive", file=sys.stderr)
         return 2
+    tracing = bool(getattr(args, "trace", None))
+    if tracing:
+        try:
+            telemetry.start_run(args.trace, run_id="perf-soak")
+        except (OSError, RuntimeError) as exc:
+            print(f"error: cannot start trace: {exc}", file=sys.stderr)
+            return 2
+    try:
+        return _run_perf(args)
+    finally:
+        if tracing and telemetry.active_session() is not None:
+            path = telemetry.finish_run()
+            if path:
+                print(f"trace written to {path}")
+
+
+def _run_perf(args: argparse.Namespace) -> int:
+    from .perf import BENCH_FILENAME, run_suite, write_results
+
     results = run_suite(sizes=args.sizes, quick=args.quick)
     from .perf.transport_bench import run_transport_bench
 
     transports = args.transports
     if transports is None:
-        transports = ["sim"] if args.quick else ["sim", "mp", "tcp"]
+        transports = ["sim"] if args.quick else ["sim", "mp", "tcp", "aio"]
     if transports:
         results.extend(
             run_transport_bench(
                 transports, repeats=2 if args.quick else 3
             )
+        )
+    if args.soak:
+        from .perf.soak_bench import run_soak_bench
+
+        worker_counts = args.soak_workers or (
+            [8, 64] if args.quick else [8, 64, 500]
+        )
+        rounds = args.soak_rounds or (10 if args.quick else 30)
+        results.extend(
+            run_soak_bench(worker_counts=worker_counts, rounds=rounds)
         )
     name_w = max(len(r.name) for r in results)
     print(f"{'kernel':<{name_w}}  {'median ms':>10}  {'ns/elem':>9}  {'MB/s':>9}")

@@ -40,7 +40,7 @@ __all__ = ["TrainerConfig", "DistributedTrainer"]
 #: literal here so importing the trainer does not import the runtime
 #: package (which imports this package's workers — lazy imports below
 #: break the cycle).
-_BACKENDS = ("sim", "mp", "tcp")
+_BACKENDS = ("sim", "mp", "tcp", "aio")
 
 CompressorFactory = Callable[[], GradientCompressor]
 
@@ -63,11 +63,12 @@ class TrainerConfig:
             :meth:`repro.distributed.worker.Worker.compute_step`).
         backend: execution backend.  ``"sim"`` (default) runs the
             simulated single-process loop below — the figure-benchmark
-            path, unchanged.  ``"mp"`` / ``"tcp"`` run the same
-            training semantics over real spawned worker processes via
-            :class:`repro.runtime.RuntimeCluster`; gradient exchanges
-            round-trip through the serialized wire bytes and model
-            updates are bit-identical to ``"sim"`` for the same seed.
+            path, unchanged.  ``"mp"`` / ``"tcp"`` / ``"aio"`` run the
+            same training semantics over real spawned worker processes
+            via :class:`repro.runtime.RuntimeCluster`; gradient
+            exchanges round-trip through the serialized wire bytes and
+            model updates are bit-identical to ``"sim"`` for the same
+            seed.
     """
 
     num_workers: int = 10
@@ -237,7 +238,12 @@ class DistributedTrainer:
                 f"{type(probe).__name__} messages cannot be serialized"
             ) from exc
 
-    def _build_bootstraps(self, train_dataset, heartbeat_interval: float):
+    def _build_bootstraps(
+        self,
+        train_dataset,
+        heartbeat_interval: float,
+        heartbeat_jitter: float,
+    ):
         from .. import sanitize
         from ..runtime import WorkerBootstrap
 
@@ -260,6 +266,7 @@ class DistributedTrainer:
                     seed=cfg.seed,
                     compute_seconds_per_nnz=cfg.compute_seconds_per_nnz,
                     heartbeat_interval=heartbeat_interval,
+                    heartbeat_jitter=heartbeat_jitter,
                     sanitize=bool(sanitize.enabled()),
                     trace_dir=telemetry.worker_trace_dir(),
                     run_id=telemetry.active_run_id(),
@@ -285,7 +292,9 @@ class DistributedTrainer:
             runtime_cfg = dataclasses.replace(runtime_cfg, backend=cfg.backend)
         self._check_wire_serializable()
         bootstraps = self._build_bootstraps(
-            train_dataset, runtime_cfg.supervision.heartbeat_interval
+            train_dataset,
+            runtime_cfg.supervision.heartbeat_interval,
+            runtime_cfg.supervision.heartbeat_jitter,
         )
         driver = Driver(self.compressor_factory(), self.model.num_parameters)
         theta = self.model.init_theta()

@@ -20,6 +20,9 @@ rule id                   enforces
                           path of kernel modules
 ``wire-format``           byte-format primitives only inside designated
                           serialization modules
+``async-discipline``      no blocking calls (socket.recv, time.sleep,
+                          queue.Queue ops) inside event-loop modules; the
+                          reactor waits only in ``selector.select``
 ``telemetry-discipline``  hot-path modules use ``repro.telemetry`` instead of
                           ``print``/``logging``; ``telemetry.span`` only as a
                           context manager
@@ -49,6 +52,7 @@ from .framework import (
 )
 
 # Importing the rule modules registers their rules.
+from . import rules_async  # noqa: F401  (registration import)
 from . import rules_determinism  # noqa: F401  (registration import)
 from . import rules_kernels  # noqa: F401  (registration import)
 from . import rules_numeric  # noqa: F401  (registration import)

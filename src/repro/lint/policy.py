@@ -14,6 +14,7 @@ __all__ = [
     "VECTORISED_MODULES",
     "DTYPE_STRICT_MODULES",
     "WIRE_MODULES",
+    "ASYNC_MODULES",
     "CORE_PREFIXES",
     "HOT_PATH_PREFIXES",
     "ENDIANNESS_PREFIXES",
@@ -54,6 +55,13 @@ WIRE_MODULES = frozenset(
         "runtime/framing.py",
     }
 )
+
+#: Modules that run inside an event loop and therefore may never make
+#: a call that blocks the reactor: no blocking socket reads/writes, no
+#: ``time.sleep``, no blocking ``queue.Queue`` operations.  The only
+#: sanctioned wait is ``selector.select(timeout)``
+#: (``async-discipline`` rule).
+ASYNC_MODULES = frozenset({"runtime/aio.py"})
 
 #: Package prefixes that make up the paper-facing codec surface.
 CORE_PREFIXES = ("core/", "sketch/")

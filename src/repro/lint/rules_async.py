@@ -1,0 +1,123 @@
+"""Event-loop discipline: nothing in a reactor module may block.
+
+The ``aio`` transport multiplexes every worker socket on one
+``selectors`` loop pumped by the calling thread.  A single blocking
+call anywhere in that module — a ``sock.recv()`` on a socket that
+happens to have no data, a ``time.sleep`` "just while debugging", a
+``queue.Queue.get()`` — stalls *every* connection at once, which is
+precisely the failure mode the event-driven backend exists to remove.
+The only place reactor code is allowed to wait is
+``selector.select(timeout)``.
+
+The rule is scoped to :data:`~repro.lint.policy.ASYNC_MODULES` and is
+deliberately syntactic: it flags the APIs whose *presence* in reactor
+code is near-certainly a blocking bug, rather than trying to prove
+blocking-ness.  Non-blocking socket idioms (``recv_into`` on an
+``O_NONBLOCK`` socket, ``sendmsg``, ``accept`` under
+``BlockingIOError`` handling, ``setblocking``) stay legal.  A
+genuinely-justified exception takes a
+``# repro: noqa[async-discipline] — reason`` like every other rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import (
+    Finding,
+    ModuleSource,
+    Rule,
+    SEVERITY_ERROR,
+    register_rule,
+)
+from .policy import ASYNC_MODULES
+
+__all__ = ["AsyncDisciplineRule"]
+
+#: dotted calls that block the calling thread outright
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.create_connection",
+        "select.select",  # reactor modules go through selectors
+    }
+)
+
+#: method names that block on a readable/connected socket (or signal
+#: the blocking-socket idiom, like installing a socket timeout); the
+#: non-blocking counterparts (recv_into / sendmsg / send / accept /
+#: setblocking) are not listed.
+_BLOCKING_METHODS = frozenset(
+    {
+        "recv",
+        "recvfrom",
+        "sendall",
+        "settimeout",
+        "makefile",
+    }
+)
+
+
+@register_rule
+class AsyncDisciplineRule(Rule):
+    """No blocking calls inside event-loop (reactor) modules.
+
+    Flags, inside :data:`~repro.lint.policy.ASYNC_MODULES`:
+
+    * ``time.sleep(...)`` — stalls the whole reactor;
+    * ``socket.create_connection(...)`` — a blocking connect;
+    * ``select.select(...)`` — reactors use the ``selectors`` API;
+    * ``import queue`` / ``from queue import ...`` — its ``get``/``put``
+      block by default and have no place on an event loop;
+    * blocking socket methods: ``.recv()``, ``.recvfrom()``,
+      ``.sendall()``, ``.makefile()``, and ``.settimeout()`` (the
+      blocking-socket idiom itself — reactor sockets are
+      ``setblocking(False)`` and wait only in ``selector.select``).
+    """
+
+    rule_id = "async-discipline"
+    severity = SEVERITY_ERROR
+    description = (
+        "no blocking calls (socket.recv, time.sleep, queue.Queue, ...) "
+        "in event-loop modules; wait only in selector.select"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.relpath not in ASYNC_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "queue":
+                        yield self.finding(
+                            module, node,
+                            "import queue in a reactor module: Queue.get/"
+                            "put block the event loop",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "queue" and node.level == 0:
+                    yield self.finding(
+                        module, node,
+                        "from queue import ... in a reactor module: "
+                        "Queue.get/put block the event loop",
+                    )
+            elif isinstance(node, ast.Call):
+                name = module.resolve_call(node)
+                if name in _BLOCKING_CALLS:
+                    yield self.finding(
+                        module, node,
+                        f"{name}() blocks the event loop; the reactor may "
+                        "wait only in selector.select(timeout)",
+                    )
+                    continue
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BLOCKING_METHODS
+                ):
+                    yield self.finding(
+                        module, node,
+                        f".{node.func.attr}() is a blocking-socket call; "
+                        "reactor sockets are non-blocking (recv_into/"
+                        "sendmsg under BlockingIOError handling)",
+                    )

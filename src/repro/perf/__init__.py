@@ -25,6 +25,7 @@ from .suite import (
     run_suite,
     write_results,
 )
+from .soak_bench import SOAK_MODES, SoakBenchResult, WorkerSwarm, run_soak_bench
 from .transport_bench import (
     TRANSPORT_PAYLOAD_SIZES,
     TransportBenchResult,
@@ -38,11 +39,15 @@ __all__ = [
     "MAX_OVERHEAD_FRACTION",
     "OverheadReport",
     "QUICK_SIZES",
+    "SOAK_MODES",
+    "SoakBenchResult",
     "TRANSPORT_PAYLOAD_SIZES",
     "TransportBenchResult",
+    "WorkerSwarm",
     "measure_overhead",
     "run_suite",
     "run_transport_bench",
+    "run_soak_bench",
     "time_kernel",
     "write_results",
 ]

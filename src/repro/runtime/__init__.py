@@ -13,6 +13,9 @@ Layers, bottom up:
   module).
 * :mod:`~repro.runtime.transport` — byte delivery: ``sim`` loopback,
   ``mp`` pipes, ``tcp`` host-local sockets.
+* :mod:`~repro.runtime.aio` — the event-driven backend: every worker
+  socket multiplexed on one ``selectors`` loop with zero-copy frame
+  reassembly and bounded, backpressured queues.
 * :mod:`~repro.runtime.faults` — seeded drop/delay/duplicate/corrupt
   injection wrapping any transport.
 * :mod:`~repro.runtime.supervision` — timeouts, bounded retries with
@@ -37,12 +40,14 @@ from .supervision import (
     WorkerCrashedError,
     WorkerSupervisionError,
 )
+from .aio import AioTransport
 from .transport import (
     TRANSPORT_BACKENDS,
     MultiprocessTransport,
     SimTransport,
     TcpTransport,
     Transport,
+    TransportBackpressure,
     TransportClosed,
     TransportError,
     TransportTimeout,
@@ -66,10 +71,12 @@ __all__ = [
     "WorkerCrashedError",
     "WorkerSupervisionError",
     "TRANSPORT_BACKENDS",
+    "AioTransport",
     "MultiprocessTransport",
     "SimTransport",
     "TcpTransport",
     "Transport",
+    "TransportBackpressure",
     "TransportClosed",
     "TransportError",
     "TransportTimeout",

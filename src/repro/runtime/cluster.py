@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from .. import telemetry
 from ..core.serialization import deserialize_message
 from .faults import FaultConfig, FaultSchedule, FaultyTransport
 from .framing import (
@@ -76,11 +77,11 @@ class RuntimeConfig:
     backend.
 
     Attributes:
-        backend: one of ``sim`` / ``mp`` / ``tcp``.
+        backend: one of ``sim`` / ``mp`` / ``tcp`` / ``aio``.
         supervision: retry/timeout/heartbeat policy.
         faults: optional seeded probabilistic fault rates.
         fault_schedule: optional exact fault triggers (tests).
-        tcp_host: bind/connect host for the ``tcp`` backend.
+        tcp_host: bind/connect host for the ``tcp`` / ``aio`` backends.
     """
 
     backend: str = "sim"
@@ -199,15 +200,13 @@ class RuntimeCluster:
             for spec in bootstraps
         ]
         sent = self._send_all(frames)
-        for worker_id in sorted(self.supervisor.alive):
-            self.supervisor.request(
-                worker_id,
-                frames[worker_id],
-                phase="init",
-                expect_kind=KIND_READY,
-                timeout=self.config.supervision.init_timeout,
-                already_sent=sent.get(worker_id, False),
-            )
+        self._collect(
+            frames,
+            sent,
+            phase="init",
+            expect_kind=KIND_READY,
+            timeout=self.config.supervision.init_timeout,
+        )
         self._require_workers("init")
 
     def _send_all(self, frames: List[bytes]) -> Dict[int, bool]:
@@ -224,6 +223,65 @@ class RuntimeCluster:
             except TransportError:
                 sent[worker_id] = False
         return sent
+
+    def _collect(
+        self,
+        frames: List[bytes],
+        sent: Dict[int, bool],
+        *,
+        phase: str,
+        expect_kind: int,
+        decode: Optional[Callable[[bytes], object]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[int, object]:
+        """Gather one reply per alive worker, in arrival order when the
+        transport can tell us (``ready_workers``), worker-id order
+        otherwise.
+
+        On an event-driven transport a reply that is already buffered
+        is serviced — and *decoded* — immediately, while slower
+        workers' replies are still in flight; the classic backends fall
+        back to the id-order walk.  Results are returned keyed and
+        iterable in ascending worker id regardless of arrival order,
+        so downstream float aggregation visits workers in the same
+        order on every backend (bit-identical training).
+        """
+        ready_fn = getattr(self.transport, "ready_workers", None)
+        results: Dict[int, object] = {}
+        overlapped = 0
+        with telemetry.span("runtime.gather", phase=phase):
+            while True:
+                pending = [
+                    w for w in sorted(self.supervisor.alive)
+                    if w not in results
+                ]
+                if not pending:
+                    break
+                worker_id = pending[0]
+                if ready_fn is not None and len(pending) > 1:
+                    ready = ready_fn(pending)
+                    if ready:
+                        worker_id = ready[0]
+                        if worker_id != pending[0]:
+                            # Decoding this early arrival overlaps with
+                            # the still-in-flight replies of the
+                            # workers it overtook.
+                            overlapped += 1
+                result = self.supervisor.request(
+                    worker_id,
+                    frames[worker_id],
+                    phase=phase,
+                    expect_kind=expect_kind,
+                    decode=decode,
+                    timeout=timeout,
+                    already_sent=sent.get(worker_id, False),
+                )
+                results[worker_id] = result
+            if overlapped:
+                telemetry.counter(
+                    "runtime.gather.overlap_decodes", overlapped, phase=phase
+                )
+        return {w: results[w] for w in sorted(results)}
 
     def _require_workers(self, phase: str) -> None:
         if not self.supervisor.alive:
@@ -265,15 +323,9 @@ class RuntimeCluster:
                 raise FrameError(f"stale epoch ack {acked} (want {epoch})")
             return acked
 
-        for worker_id in sorted(self.supervisor.alive):
-            self.supervisor.request(
-                worker_id,
-                frame,
-                phase="epoch",
-                expect_kind=KIND_ACK,
-                decode=decode,
-                already_sent=sent.get(worker_id, False),
-            )
+        self._collect(
+            frames, sent, phase="epoch", expect_kind=KIND_ACK, decode=decode
+        )
         self._require_workers("epoch")
 
     def step(self, round_id: int, lr: float) -> Dict[int, RoundResult]:
@@ -311,16 +363,11 @@ class RuntimeCluster:
                 message_bytes=len(data),
             )
 
+        collected = self._collect(
+            frames, sent, phase="step", expect_kind=KIND_GRAD, decode=decode
+        )
         results: Dict[int, RoundResult] = {}
-        for worker_id in sorted(self.supervisor.alive):
-            result = self.supervisor.request(
-                worker_id,
-                frame,
-                phase="step",
-                expect_kind=KIND_GRAD,
-                decode=decode,
-                already_sent=sent.get(worker_id, False),
-            )
+        for worker_id, result in collected.items():
             if result is not None:
                 result.worker_id = worker_id
                 results[worker_id] = result
@@ -349,18 +396,10 @@ class RuntimeCluster:
                 )
             return acked
 
-        acked: List[int] = []
-        for worker_id in sorted(self.supervisor.alive):
-            result = self.supervisor.request(
-                worker_id,
-                frame,
-                phase="update",
-                expect_kind=KIND_ACK,
-                decode=decode,
-                already_sent=sent.get(worker_id, False),
-            )
-            if result is not None:
-                acked.append(worker_id)
+        collected = self._collect(
+            frames, sent, phase="update", expect_kind=KIND_ACK, decode=decode
+        )
+        acked = [w for w, result in collected.items() if result is not None]
         self._require_workers("update")
         return acked
 

@@ -246,6 +246,29 @@ class FaultyTransport(Transport):
             )
         return frame
 
+    def ready_workers(self, candidates=None):
+        """Arrival-order hint passthrough (event-driven inner backends).
+
+        A worker also counts as ready when this wrapper holds a
+        delayed/duplicated frame for it that the next ``recv`` call
+        would release.  Inner backends without the hint yield ``[]``,
+        which degrades to the id-order gather.
+        """
+        inner_ready = getattr(self.inner, "ready_workers", None)
+        ready = list(inner_ready(candidates)) if inner_ready else []
+        ids = (
+            range(self.num_workers) if candidates is None else candidates
+        )
+        for worker_id in ids:
+            held = self._held.get(worker_id)
+            if (
+                held
+                and held[0][0] <= self._recv_calls[worker_id] + 1
+                and worker_id not in ready
+            ):
+                ready.append(worker_id)
+        return ready
+
     def alive(self, worker_id: int) -> bool:
         return self.inner.alive(worker_id)
 

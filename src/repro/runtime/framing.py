@@ -32,10 +32,11 @@ path.
 from __future__ import annotations
 
 import struct
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = [
     "FrameError",
+    "FrameAssembler",
     "FRAME_MAGIC",
     "FRAME_VERSION",
     "HEADER_SIZE",
@@ -54,6 +55,7 @@ __all__ = [
     "KIND_NAMES",
     "pack_frame",
     "unpack_header",
+    "unpack_header_from",
     "unpack_frame",
     "pack_step",
     "unpack_step",
@@ -136,6 +138,113 @@ def unpack_header(data: bytes) -> Tuple[int, int, int]:
     if length > MAX_FRAME_BYTES:
         raise FrameError(f"frame length {length} exceeds limit")
     return kind, sender, length
+
+
+def unpack_header_from(buf, offset: int = 0) -> Tuple[int, int, int]:
+    """Parse a frame header in place (no slice copy).
+
+    Works over any buffer object (``bytes``, ``bytearray``,
+    ``memoryview``) with at least ``HEADER_SIZE`` bytes available at
+    ``offset``; returns ``(kind, sender, payload_length)``.
+    """
+    try:
+        magic, version, kind, sender, length = _HEADER.unpack_from(buf, offset)
+    except struct.error as exc:
+        raise FrameError(f"short frame header: {exc}") from None
+    if magic != FRAME_MAGIC:
+        raise FrameError("bad magic; not a runtime frame")
+    if version != FRAME_VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    if kind not in KIND_NAMES:
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds limit")
+    return kind, sender, length
+
+
+class FrameAssembler:
+    """Incremental zero-copy reassembly of frames from a byte stream.
+
+    Stream transports feed raw socket bytes in and take complete
+    frames out.  The assembler owns one reusable ``bytearray``; readers
+    fill its tail directly via :meth:`writable` (a ``memoryview``
+    suitable for ``recv_into``) + :meth:`commit`, so arriving bytes are
+    written into the frame buffer exactly once.  :meth:`next_frame`
+    parses the header in place (:func:`unpack_header_from`) and copies
+    each complete frame out once — the only copy a frame pays between
+    the socket and the transport inbox.  Partial reads, frames split
+    across arbitrary ``recv`` boundaries, and coalesced back-to-back
+    frames all fall out of the same accounting.
+
+    The buffer is compacted (live bytes moved to the front) only when
+    the tail runs out of room, and grows geometrically when a frame is
+    larger than the current capacity.
+    """
+
+    def __init__(self, initial_capacity: int = 65536) -> None:
+        if initial_capacity <= 0:
+            raise ValueError("initial_capacity must be positive")
+        self._buf = bytearray(initial_capacity)
+        self._start = 0  # first unconsumed byte
+        self._end = 0  # one past the last filled byte
+
+    def __len__(self) -> int:
+        """Bytes buffered but not yet extracted as frames."""
+        return self._end - self._start
+
+    def writable(self, min_size: int = 65536) -> memoryview:
+        """A writable view of the buffer tail (use with ``recv_into``).
+
+        Guarantees at least ``min_size`` bytes of room, compacting or
+        growing the underlying buffer as needed.
+        """
+        if len(self._buf) - self._end < min_size:
+            live = self._end - self._start
+            capacity = len(self._buf)
+            while capacity - live < min_size:
+                capacity *= 2  # geometric growth
+            # Swap in a fresh buffer rather than resizing in place: a
+            # caller may still hold the memoryview from the previous
+            # writable() call, and resizing an exported bytearray
+            # raises BufferError.
+            fresh = bytearray(capacity)
+            fresh[:live] = self._buf[self._start:self._end]
+            self._buf = fresh
+            self._start, self._end = 0, live
+        return memoryview(self._buf)[self._end:]
+
+    def commit(self, n: int) -> None:
+        """Record that ``n`` bytes were written into :meth:`writable`."""
+        if n < 0 or self._end + n > len(self._buf):
+            raise ValueError(f"cannot commit {n} bytes")
+        self._end += n
+
+    def feed(self, data: bytes) -> None:
+        """Copy-in convenience for non-socket sources (pipes, tests)."""
+        view = self.writable(max(len(data), 1))
+        view[: len(data)] = data
+        self.commit(len(data))
+
+    def next_frame(self) -> Optional[bytes]:
+        """Extract the next complete frame, or ``None`` if more bytes
+        are needed.  Raises :class:`FrameError` when the buffered bytes
+        cannot be a frame header (a desynchronised stream)."""
+        available = self._end - self._start
+        if available < HEADER_SIZE:
+            return None
+        _, _, length = unpack_header_from(self._buf, self._start)
+        total = HEADER_SIZE + length
+        if available < total:
+            # Pre-size for the rest of this frame so large payloads
+            # don't pay repeated doublings.
+            if total > len(self._buf) - self._start:
+                self.writable(total - available)
+            return None
+        frame = bytes(self._buf[self._start:self._start + total])
+        self._start += total
+        if self._start == self._end:
+            self._start = self._end = 0
+        return frame
 
 
 def unpack_frame(data: bytes) -> Tuple[int, int, bytes]:

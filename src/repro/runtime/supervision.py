@@ -67,6 +67,14 @@ class SupervisionConfig:
             retry storms across workers.
         heartbeat_interval: seconds between worker heartbeat frames
             (shipped to workers via their bootstrap; 0 disables).
+        heartbeat_jitter: uniform jitter as a fraction of the
+            heartbeat interval (0.2 → each gap drawn from
+            ``[0.9i, 1.1i]``), plus a random initial phase in
+            ``[0, i)``.  Spreads hundreds of workers' heartbeats
+            across the interval instead of firing them in lockstep
+            (a thundering herd at the driver).  Seeded per worker
+            from the bootstrap seed, so schedules are deterministic
+            under a fixed seed.
         heartbeat_timeout: declare a worker lost when nothing (frames
             or heartbeats) was seen from it for this long; 0 disables
             passive loss detection (timeout+retries still apply).
@@ -83,6 +91,7 @@ class SupervisionConfig:
     backoff_factor: float = 2.0
     backoff_jitter: float = 0.5
     heartbeat_interval: float = 0.5
+    heartbeat_jitter: float = 0.2
     heartbeat_timeout: float = 0.0
     straggler_policy: str = POLICY_FAIL_FAST
     seed: int = 0
@@ -100,6 +109,8 @@ class SupervisionConfig:
             raise ValueError("backoff_jitter must be in [0, 1]")
         if self.heartbeat_interval < 0 or self.heartbeat_timeout < 0:
             raise ValueError("heartbeat settings must be non-negative")
+        if not 0.0 <= self.heartbeat_jitter <= 1.0:
+            raise ValueError("heartbeat_jitter must be in [0, 1]")
         if self.straggler_policy not in (POLICY_FAIL_FAST, POLICY_DROP):
             raise ValueError(
                 f"unknown straggler_policy {self.straggler_policy!r}"

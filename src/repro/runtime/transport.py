@@ -5,7 +5,7 @@ moves opaque frame bytes (built by :mod:`repro.runtime.framing`) and
 knows nothing about their contents — retries, timeouts, and failure
 policies live one layer up in :mod:`repro.runtime.supervision`.
 
-Three backends:
+Four backends:
 
 * :class:`SimTransport` — in-process loopback.  Workers are plain
   callables serviced synchronously; a :class:`~repro.distributed.
@@ -16,28 +16,35 @@ Three backends:
 * :class:`MultiprocessTransport` — one spawned OS process per worker,
   frames over :func:`multiprocessing.Pipe`.
 * :class:`TcpTransport` — one spawned OS process per worker, frames as
-  length-prefixed byte streams over host-local TCP sockets.
+  length-prefixed byte streams over host-local TCP sockets, one
+  blocking socket per worker.
+* :class:`~repro.runtime.aio.AioTransport` — same spawned workers and
+  wire bytes as ``tcp``, but all sockets are multiplexed on one
+  ``selectors`` event loop with bounded per-worker queues (see
+  ``docs/runtime.md``).
 
-All three present the same blocking ``send`` / ``recv(timeout)``
-surface, which the conformance suite (``tests/test_transport_
-conformance.py``) runs against each backend.
+All present the same blocking ``send`` / ``recv(timeout)`` surface,
+which the conformance suite (``tests/test_transport_conformance.py``)
+runs against each backend.
 """
 
 from __future__ import annotations
 
 import collections
+import select
 import socket
 import threading
 import time
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
 
 from .. import telemetry
-from .framing import HEADER_SIZE, FrameError, unpack_header
+from .framing import FrameAssembler, FrameError, unpack_header
 
 __all__ = [
     "TransportError",
     "TransportTimeout",
     "TransportClosed",
+    "TransportBackpressure",
     "Transport",
     "SimTransport",
     "MultiprocessTransport",
@@ -50,7 +57,7 @@ __all__ = [
 
 #: Registry of backend names accepted by :func:`make_transport` and the
 #: ``--backend`` CLI flag.
-TRANSPORT_BACKENDS = ("sim", "mp", "tcp")
+TRANSPORT_BACKENDS = ("sim", "mp", "tcp", "aio")
 
 
 class TransportError(RuntimeError):
@@ -63,6 +70,16 @@ class TransportTimeout(TransportError):
 
 class TransportClosed(TransportError):
     """The peer endpoint is gone (process exit, closed pipe/socket)."""
+
+
+class TransportBackpressure(TransportError):
+    """A bounded send/receive queue stayed full past its deadline.
+
+    Raised instead of buffering without limit (memory blow-up) or
+    silently dropping the frame; the supervisor's retry loop turns a
+    persistent one into a structured
+    :class:`~repro.runtime.supervision.RetryExhaustedError`.
+    """
 
 
 class Transport:
@@ -219,37 +236,40 @@ class PipeEndpoint:
 
 
 class SocketEndpoint:
-    """Worker-side wrapper over a connected TCP socket."""
+    """Worker-side wrapper over a connected TCP socket.
+
+    Frame reassembly goes through a :class:`~repro.runtime.framing.
+    FrameAssembler`: the socket fills the assembler's reusable buffer
+    via ``recv_into`` (no per-chunk bytes objects) and complete frames
+    are copied out exactly once.
+    """
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._lock = threading.Lock()
-        self._buffer = bytearray()
+        self._assembler = FrameAssembler()
 
     def send(self, frame: bytes) -> None:
         with self._lock:
             self._sock.sendall(frame)
 
-    def _read_exact(self, n: int) -> Optional[bytes]:
-        while len(self._buffer) < n:
-            chunk = self._sock.recv(65536)
-            if not chunk:
-                return None
-            self._buffer.extend(chunk)
-        out = bytes(self._buffer[:n])
-        del self._buffer[:n]
-        return out
-
     def recv(self) -> Optional[bytes]:
         """Blocking receive of one frame; ``None`` on EOF."""
-        header = self._read_exact(HEADER_SIZE)
-        if header is None:
-            return None
-        _, _, length = unpack_header(header)
-        payload = self._read_exact(length) if length else b""
-        if payload is None:
-            return None
-        return header + payload
+        while True:
+            try:
+                frame = self._assembler.next_frame()
+            except FrameError:
+                return None  # desynchronised stream: treat as hang-up
+            if frame is not None:
+                return frame
+            view = self._assembler.writable()
+            try:
+                n = self._sock.recv_into(view)
+            except OSError:
+                return None
+            if n == 0:
+                return None
+            self._assembler.commit(n)
 
     def close(self) -> None:
         try:
@@ -271,6 +291,11 @@ class MultiprocessTransport(Transport):
     """
 
     name = "mp"
+
+    #: seconds to wait for pipe writability before declaring
+    #: backpressure — a healthy worker drains its pipe continuously, so
+    #: a pipe that stays full this long has a wedged or absent consumer.
+    SEND_TIMEOUT = 10.0
 
     def __init__(self, num_workers: int) -> None:
         super().__init__(num_workers)
@@ -301,8 +326,25 @@ class MultiprocessTransport(Transport):
 
     def send(self, worker_id: int, frame: bytes) -> None:
         self._check_worker(worker_id)
+        conn = self._conns[worker_id]
+        # A full pipe means the consumer stopped draining; bound the
+        # wait instead of blocking in send_bytes forever (the pipe
+        # buffer itself bounds queued memory).
         try:
-            self._conns[worker_id].send_bytes(frame)
+            _, writable, _ = select.select(
+                [], [conn.fileno()], [], self.SEND_TIMEOUT
+            )
+        except (OSError, ValueError) as exc:
+            raise TransportClosed(
+                f"worker {worker_id} pipe is closed: {exc}"
+            ) from exc
+        if not writable:
+            raise TransportBackpressure(
+                f"worker {worker_id} pipe not writable within "
+                f"{self.SEND_TIMEOUT:.1f}s (consumer not draining)"
+            )
+        try:
+            conn.send_bytes(frame)
         except (OSError, ValueError, BrokenPipeError) as exc:
             raise TransportClosed(
                 f"worker {worker_id} pipe is closed: {exc}"
@@ -358,6 +400,11 @@ class TcpTransport(Transport):
     The driver listens on an ephemeral ``host`` port; each spawned
     worker connects and introduces itself with a hello frame whose
     header carries its worker id, so accept order does not matter.
+
+    With ``spawn_workers=False`` no processes are started: the caller
+    reads :attr:`port`, connects ``num_workers`` external clients that
+    each send a hello frame, then calls :meth:`accept_connections`.
+    The soak benchmark uses this to attach a simulated worker swarm.
     """
 
     name = "tcp"
@@ -366,38 +413,49 @@ class TcpTransport(Transport):
     #: (spawn + import numpy can take seconds on a loaded CI box).
     CONNECT_TIMEOUT = 60.0
 
-    def __init__(self, num_workers: int, host: str = "127.0.0.1") -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        host: str = "127.0.0.1",
+        *,
+        spawn_workers: bool = True,
+    ) -> None:
         super().__init__(num_workers)
-        import multiprocessing
-
-        from . import worker_main
-
         self._socks: Dict[int, socket.socket] = {}
-        self._buffers: Dict[int, bytearray] = {}
+        self._assemblers: Dict[int, FrameAssembler] = {}
         self._procs = []
+        self._spawned = spawn_workers
         self._closed = False
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
             self._listener.bind((host, 0))
             self._listener.listen(num_workers)
-            port = self._listener.getsockname()[1]
-            ctx = multiprocessing.get_context("spawn")
-            for worker_id in range(num_workers):
-                proc = ctx.Process(
-                    target=worker_main.tcp_worker_entry,
-                    args=(host, port, worker_id),
-                    daemon=True,
-                    name=f"repro-worker-{worker_id}",
-                )
-                proc.start()
-                self._procs.append(proc)
-            self._accept_all()
+            self.port = self._listener.getsockname()[1]
+            if spawn_workers:
+                import multiprocessing
+
+                from . import worker_main
+
+                ctx = multiprocessing.get_context("spawn")
+                for worker_id in range(num_workers):
+                    proc = ctx.Process(
+                        target=worker_main.tcp_worker_entry,
+                        args=(host, self.port, worker_id),
+                        daemon=True,
+                        name=f"repro-worker-{worker_id}",
+                    )
+                    proc.start()
+                    self._procs.append(proc)
+                self.accept_connections()
         except BaseException:
             self.close()
             raise
 
-    def _accept_all(self) -> None:
-        deadline = time.monotonic() + self.CONNECT_TIMEOUT
+    def accept_connections(self, timeout: Optional[float] = None) -> None:
+        """Accept until every worker's hello frame has been mapped."""
+        deadline = time.monotonic() + (
+            self.CONNECT_TIMEOUT if timeout is None else timeout
+        )
         self._listener.settimeout(1.0)
         while len(self._socks) < self.num_workers:
             if time.monotonic() > deadline:
@@ -410,52 +468,51 @@ class TcpTransport(Transport):
             except socket.timeout:
                 continue
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            # The hello frame's header names the sender.
-            hello = self._read_frame_from(sock, bytearray(), 5.0)
+            # The hello frame's header names the sender.  The assembler
+            # is kept: bytes a peer sent right behind its hello (early
+            # heartbeats) stay buffered for later recvs.
+            assembler = FrameAssembler()
+            hello = self._read_frame_from(sock, assembler, 5.0)
             _, sender, _ = unpack_header(hello)
             if not 0 <= sender < self.num_workers or sender in self._socks:
                 sock.close()
                 raise TransportError(f"bad hello from worker id {sender}")
             self._socks[sender] = sock
-            self._buffers[sender] = bytearray()
+            self._assemblers[sender] = assembler
 
     @staticmethod
     def _read_frame_from(
-        sock: socket.socket, buffer: bytearray, timeout: float
+        sock: socket.socket, assembler: FrameAssembler, timeout: float
     ) -> bytes:
-        """Read one complete frame, resuming any partial read in ``buffer``."""
+        """Read one complete frame, resuming any partial read held by
+        the worker's :class:`FrameAssembler`."""
         deadline = time.monotonic() + max(timeout, 0.0)
-
-        def fill(n: int) -> None:
-            while len(buffer) < n:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise TransportTimeout(
-                        f"no complete frame within {timeout:.3f}s"
-                    )
-                sock.settimeout(remaining)
-                try:
-                    chunk = sock.recv(65536)
-                except socket.timeout:
-                    raise TransportTimeout(
-                        f"no complete frame within {timeout:.3f}s"
-                    ) from None
-                except OSError as exc:
-                    raise TransportClosed(f"socket error: {exc}") from exc
-                if not chunk:
-                    raise TransportClosed("peer closed the connection")
-                buffer.extend(chunk)
-
-        fill(HEADER_SIZE)
-        try:
-            _, _, length = unpack_header(bytes(buffer[:HEADER_SIZE]))
-        except FrameError as exc:
-            # A desynchronised stream is unrecoverable on this socket.
-            raise TransportClosed(f"stream desynchronised: {exc}") from exc
-        fill(HEADER_SIZE + length)
-        frame = bytes(buffer[:HEADER_SIZE + length])
-        del buffer[:HEADER_SIZE + length]
-        return frame
+        while True:
+            try:
+                frame = assembler.next_frame()
+            except FrameError as exc:
+                # A desynchronised stream is unrecoverable on this socket.
+                raise TransportClosed(f"stream desynchronised: {exc}") from exc
+            if frame is not None:
+                return frame
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TransportTimeout(
+                    f"no complete frame within {timeout:.3f}s"
+                )
+            sock.settimeout(remaining)
+            view = assembler.writable()
+            try:
+                n = sock.recv_into(view)
+            except socket.timeout:
+                raise TransportTimeout(
+                    f"no complete frame within {timeout:.3f}s"
+                ) from None
+            except OSError as exc:
+                raise TransportClosed(f"socket error: {exc}") from exc
+            if n == 0:
+                raise TransportClosed("peer closed the connection")
+            assembler.commit(n)
 
     def send(self, worker_id: int, frame: bytes) -> None:
         self._check_worker(worker_id)
@@ -475,20 +532,24 @@ class TcpTransport(Transport):
         sock = self._socks.get(worker_id)
         if sock is None:
             raise TransportClosed(f"worker {worker_id} socket is closed")
-        frame = self._read_frame_from(sock, self._buffers[worker_id], timeout)
+        frame = self._read_frame_from(
+            sock, self._assemblers[worker_id], timeout
+        )
         telemetry.counter("transport.bytes_recv", len(frame), worker=worker_id)
         return frame
 
     def alive(self, worker_id: int) -> bool:
         self._check_worker(worker_id)
-        return (
-            worker_id in self._socks
-            and self._procs[worker_id].is_alive()
-        )
+        if worker_id not in self._socks:
+            return False
+        if self._spawned:
+            return self._procs[worker_id].is_alive()
+        return True
 
     def terminate(self, worker_id: int) -> None:
         self._check_worker(worker_id)
-        self._procs[worker_id].terminate()
+        if self._spawned:
+            self._procs[worker_id].terminate()
         sock = self._socks.pop(worker_id, None)
         if sock is not None:
             sock.close()
@@ -525,8 +586,8 @@ def make_transport(
     """Build a transport by backend name.
 
     ``sim`` requires ``handlers`` (the in-process worker callables);
-    ``mp`` and ``tcp`` spawn real worker processes that wait for an
-    ``INIT`` frame.
+    ``mp``, ``tcp``, and ``aio`` spawn real worker processes that wait
+    for an ``INIT`` frame.
     """
     if backend == "sim":
         if handlers is None:
@@ -536,6 +597,10 @@ def make_transport(
         return MultiprocessTransport(num_workers)
     if backend == "tcp":
         return TcpTransport(num_workers, host=tcp_host)
+    if backend == "aio":
+        from .aio import AioTransport  # deferred: keeps import cheap
+
+        return AioTransport(num_workers, host=tcp_host)
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {TRANSPORT_BACKENDS}"
     )

@@ -13,16 +13,24 @@ Unhandled exceptions are reported back as an ``ERROR`` frame naming
 the worker and the frame kind being serviced, then the process exits —
 the driver-side supervisor turns that into a structured failure.
 
-A daemon heartbeat thread sends ``HEARTBEAT`` frames every
+A daemon heartbeat thread sends ``HEARTBEAT`` frames roughly every
 ``bootstrap.heartbeat_interval`` seconds (when positive) so the driver
-can tell a slow worker from a dead one.
+can tell a slow worker from a dead one.  The schedule is *jittered*
+(:func:`heartbeat_delays`): each worker starts at a seeded random
+phase within one interval and perturbs every gap by
+``heartbeat_jitter``, so hundreds of workers spread their heartbeats
+across the interval instead of stampeding the driver in lockstep.
+The jitter RNG is seeded from ``(seed, worker_id)``, so the schedule
+is deterministic under a fixed seed.
 """
 
 from __future__ import annotations
 
 import pickle
 import threading
-from typing import Optional
+from typing import Iterator, Optional
+
+import numpy as np
 
 from .. import telemetry
 from .framing import (
@@ -40,16 +48,54 @@ from .framing import (
 from .transport import PipeEndpoint, SocketEndpoint
 from .worker_runtime import WorkerBootstrap, WorkerRuntime
 
-__all__ = ["serve", "pipe_worker_entry", "tcp_worker_entry"]
+__all__ = [
+    "serve",
+    "heartbeat_delays",
+    "pipe_worker_entry",
+    "tcp_worker_entry",
+]
+
+
+def heartbeat_delays(
+    interval: float, jitter: float, seed: int, worker_id: int
+) -> Iterator[float]:
+    """Seeded per-worker heartbeat schedule (anti-thundering-herd).
+
+    Yields the wait before each heartbeat: first a random phase drawn
+    uniformly from ``[0, interval)`` (spreading ``W`` workers evenly
+    across one interval), then ``interval`` perturbed by a uniform
+    factor of ``1 ± jitter/2`` per beat so workers that started in
+    phase drift apart instead of re-synchronising.  Seeding the RNG
+    from ``(seed, worker_id)`` makes every worker's schedule
+    deterministic under a fixed seed yet distinct from its peers'.
+    """
+    rng = np.random.default_rng([int(seed), int(worker_id)])
+    yield float(rng.uniform(0.0, interval))
+    half = jitter / 2.0
+    while True:
+        if half > 0:
+            yield float(interval * (1.0 + rng.uniform(-half, half)))
+        else:
+            yield float(interval)
 
 
 class _Heartbeat:
-    """Daemon thread pushing HEARTBEAT frames at a fixed interval."""
+    """Daemon thread pushing HEARTBEAT frames on a jittered schedule."""
 
-    def __init__(self, endpoint, worker_id: int, interval: float) -> None:
+    def __init__(
+        self,
+        endpoint,
+        worker_id: int,
+        interval: float,
+        *,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
         self._endpoint = endpoint
         self._worker_id = worker_id
         self._interval = interval
+        self._jitter = jitter
+        self._seed = seed
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -63,7 +109,12 @@ class _Heartbeat:
 
     def _run(self) -> None:
         frame = pack_frame(KIND_HEARTBEAT, self._worker_id)
-        while not self._stop.wait(self._interval):
+        delays = heartbeat_delays(
+            self._interval, self._jitter, self._seed, self._worker_id
+        )
+        for delay in delays:
+            if self._stop.wait(delay):
+                return
             try:
                 self._endpoint.send(frame)
             except OSError:
@@ -102,7 +153,11 @@ def serve(endpoint, worker_id: int) -> None:
                     )
                 runtime = WorkerRuntime(bootstrap)
                 heartbeat = _Heartbeat(
-                    endpoint, worker_id, bootstrap.heartbeat_interval
+                    endpoint,
+                    worker_id,
+                    bootstrap.heartbeat_interval,
+                    jitter=bootstrap.heartbeat_jitter,
+                    seed=bootstrap.seed,
                 )
                 heartbeat.start()
                 endpoint.send(pack_frame(KIND_READY, worker_id))

@@ -72,6 +72,9 @@ class WorkerBootstrap:
             :class:`~repro.distributed.worker.Worker`).
         heartbeat_interval: seconds between worker heartbeats
             (0 disables; the ``sim`` backend never starts the thread).
+        heartbeat_jitter: uniform jitter fraction applied to each
+            heartbeat gap, plus a seeded random initial phase — see
+            :func:`repro.runtime.worker_main.heartbeat_delays`.
         sanitize: force the :mod:`repro.sanitize` invariant checks on
             in this worker process (the driver's ``REPRO_SANITIZE``
             environment is inherited by spawned children, but a
@@ -93,6 +96,7 @@ class WorkerBootstrap:
     seed: int = 0
     compute_seconds_per_nnz: float = 0.0
     heartbeat_interval: float = 0.0
+    heartbeat_jitter: float = 0.0
     sanitize: bool = False
     trace_dir: Optional[str] = None
     run_id: Optional[str] = None

@@ -518,6 +518,82 @@ class TestTelemetryDiscipline:
         assert checked >= 10
 
 
+class TestAsyncDiscipline:
+    """Reactor modules may only wait in selector.select."""
+
+    AIO = "runtime/aio.py"
+
+    def test_fires_on_time_sleep(self):
+        bad = (
+            "import time\n"
+            "def pump():\n"
+            "    time.sleep(0.5)\n"
+        )
+        findings = lint_source(bad, relpath=self.AIO,
+                               select=["async-discipline"])
+        assert [f.rule_id for f in findings] == ["async-discipline"]
+        assert findings[0].line == 3
+
+    def test_fires_on_blocking_socket_methods(self):
+        bad = (
+            "def pump(sock):\n"
+            "    sock.settimeout(5.0)\n"
+            "    data = sock.recv(4096)\n"
+            "    sock.sendall(data)\n"
+        )
+        findings = lint_source(bad, relpath=self.AIO,
+                               select=["async-discipline"])
+        assert len(findings) == 3
+        assert sorted(f.line for f in findings) == [2, 3, 4]
+
+    def test_fires_on_queue_import_and_blocking_connect(self):
+        bad = (
+            "import queue\n"
+            "import socket\n"
+            "def dial(addr):\n"
+            "    return socket.create_connection(addr)\n"
+        )
+        assert ids_for(bad, self.AIO, ["async-discipline"]) == [
+            "async-discipline"
+        ]
+
+    def test_clean_on_nonblocking_reactor_idiom(self):
+        good = (
+            "import selectors\n"
+            "def pump(sel, conn, view):\n"
+            "    events = sel.select(0.1)\n"
+            "    try:\n"
+            "        n = conn.sock.recv_into(view)\n"
+            "    except BlockingIOError:\n"
+            "        return\n"
+            "    conn.sock.sendmsg([view[:n]])\n"
+            "    conn.sock.setblocking(False)\n"
+        )
+        assert ids_for(good, self.AIO, ["async-discipline"]) == []
+
+    def test_out_of_scope_modules_may_block(self):
+        bad = "import time\ndef f():\n    time.sleep(1)\n"
+        assert ids_for(bad, "runtime/transport.py",
+                       ["async-discipline"]) == []
+
+    def test_noqa_with_reason_suppresses(self):
+        src = (
+            "import time\n"
+            "def pump():\n"
+            "    time.sleep(0.5)"
+            "  # repro: noqa[async-discipline] — startup settle\n"
+        )
+        assert ids_for(src, self.AIO, ["async-discipline"]) == []
+
+    def test_real_aio_module_is_clean(self):
+        import pathlib
+
+        import repro.runtime.aio as aio_mod
+
+        text = pathlib.Path(aio_mod.__file__).read_text()
+        assert ids_for(text, self.AIO, ["async-discipline"]) == []
+
+
 class TestRuleInventory:
     def test_at_least_eight_rules_registered(self):
         ids = all_rule_ids()
@@ -527,5 +603,6 @@ class TestRuleInventory:
             "hot-loop", "wire-format", "bare-except", "mutable-default",
             "missing-all", "noqa-justification",
             "wire-endianness", "telemetry-discipline",
+            "async-discipline",
         ]:
             assert required in ids

@@ -63,7 +63,7 @@ def sim_run(split):
 
 
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend", ["mp", "tcp"])
+    @pytest.mark.parametrize("backend", ["mp", "tcp", "aio"])
     def test_real_backend_matches_sim_bit_identically(
         self, split, sim_run, backend
     ):

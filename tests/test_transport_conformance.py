@@ -1,23 +1,39 @@
-"""Transport conformance: the same contract over sim, mp, and tcp.
+"""Transport conformance: the same contract over sim, mp, tcp, and aio.
 
 Every backend must move opaque frames point-to-point, preserve
 per-worker ordering, time out cleanly, and report liveness — the
 supervision layer is written against exactly this surface.  Real
-backends (``mp``, ``tcp``) spawn actual worker processes whose serve
-loop answers ``ECHO`` frames before ``INIT``, so the suite needs no
-training state.
+backends (``mp``, ``tcp``, ``aio``) spawn actual worker processes
+whose serve loop answers ``ECHO`` frames before ``INIT``, so the suite
+needs no training state.
+
+The stream-reassembly section drives the socket backends through raw
+client sockets to pin down partial reads (one byte per segment),
+frames split across ``recv`` boundaries, coalesced back-to-back
+frames, and short-write resumption on oversized sends.
 """
+
+import socket
+import threading
+import time
 
 import pytest
 
+from repro.runtime.aio import AioTransport
 from repro.runtime.framing import (
+    HEADER_SIZE,
+    KIND_ACK,
     KIND_ECHO,
     KIND_STOP,
+    FrameAssembler,
+    FrameError,
+    pack_ack,
     pack_frame,
     unpack_frame,
 )
 from repro.runtime.transport import (
     TRANSPORT_BACKENDS,
+    TcpTransport,
     TransportClosed,
     TransportTimeout,
     make_transport,
@@ -135,3 +151,166 @@ class TestConformance:
             _, _, payload = unpack_frame(t.recv(0, 20.0))
             assert payload == b"cm"
             _shutdown(t)
+
+
+# ----------------------------------------------------------------------
+# Stream reassembly: partial reads, split frames, coalesced frames.
+#
+# The socket backends must tolerate every way TCP can slice a byte
+# stream: one byte per segment, a frame split mid-header or
+# mid-payload, and many frames arriving coalesced in one read.  A raw
+# client socket (spawn_workers=False) plays the worker so the tests
+# control the exact write boundaries.
+# ----------------------------------------------------------------------
+_HELLO = pack_frame(KIND_ACK, 0, pack_ack(0))
+
+
+def _dribble(sock, chunks, delay=0.002):
+    """Write ``chunks`` with pauses so each lands in its own segment."""
+    for chunk in chunks:
+        sock.sendall(chunk)
+        if delay:
+            time.sleep(delay)
+
+
+@pytest.fixture(params=["tcp", "aio"])
+def raw_stream(request):
+    """(transport, raw client socket) — no handshake performed yet."""
+    if request.param == "tcp":
+        t = TcpTransport(1, spawn_workers=False)
+    else:
+        t = AioTransport(1, spawn_workers=False)
+    sock = socket.create_connection(("127.0.0.1", t.port), timeout=10.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        yield t, sock
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+        t.close()
+
+
+def _handshake(t):
+    if t.name == "tcp":
+        t.accept_connections(timeout=10.0)
+    else:
+        t.wait_connected(10.0)
+
+
+class TestStreamReassembly:
+    def test_one_byte_at_a_time(self, raw_stream):
+        t, sock = raw_stream
+        frame = pack_frame(KIND_ECHO, 0, b"dribbled-one-byte-at-a-time")
+        data = _HELLO + frame
+        writer = threading.Thread(
+            target=_dribble,
+            args=(sock, [data[i:i + 1] for i in range(len(data))]),
+            kwargs={"delay": 0.0005},
+        )
+        writer.start()
+        try:
+            _handshake(t)
+            assert t.recv(0, 10.0) == frame
+        finally:
+            writer.join()
+
+    def test_frame_split_across_recv_boundaries(self, raw_stream):
+        t, sock = raw_stream
+        sock.sendall(_HELLO)
+        _handshake(t)
+        frame = pack_frame(KIND_ECHO, 0, b"p" * 4096)
+        # Split mid-header, then mid-payload.
+        sock.sendall(frame[: HEADER_SIZE // 2])
+        with pytest.raises(TransportTimeout):
+            t.recv(0, 0.05)  # only half a header: no frame surfaces
+        sock.sendall(frame[HEADER_SIZE // 2: HEADER_SIZE + 100])
+        with pytest.raises(TransportTimeout):
+            t.recv(0, 0.05)  # header + partial payload: still no frame
+        sock.sendall(frame[HEADER_SIZE + 100:])
+        assert t.recv(0, 10.0) == frame
+
+    def test_coalesced_back_to_back_frames(self, raw_stream):
+        t, sock = raw_stream
+        frames = [
+            pack_frame(KIND_ECHO, 0, b"coalesced-%d" % i) for i in range(3)
+        ]
+        # Hello and all three frames in one write: one kernel buffer,
+        # likely one recv_into on the driver side.
+        sock.sendall(_HELLO + b"".join(frames))
+        _handshake(t)
+        for frame in frames:
+            assert t.recv(0, 10.0) == frame
+
+    def test_large_send_resumes_after_short_writes(self, raw_stream):
+        # Driver-side short-write handling: a frame far larger than the
+        # socket buffer forces partial writes that must resume cleanly.
+        t, sock = raw_stream
+        sock.sendall(_HELLO)
+        _handshake(t)
+        frame = pack_frame(KIND_ECHO, 0, bytes(range(256)) * 8192)  # 2 MiB
+        writer = threading.Thread(target=t.send, args=(0, frame))
+        writer.start()
+        try:
+            got = bytearray()
+            sock.settimeout(10.0)
+            while len(got) < len(frame):
+                chunk = sock.recv(65536)
+                assert chunk, "driver closed mid-frame"
+                got.extend(chunk)
+        finally:
+            writer.join()
+        assert bytes(got) == frame
+
+
+class TestFrameAssembler:
+    """Unit-level reassembly: the codec under the socket backends."""
+
+    def test_byte_at_a_time_feed(self):
+        frame = pack_frame(KIND_ECHO, 3, b"tiny")
+        asm = FrameAssembler()
+        for i, byte in enumerate(frame):
+            assert asm.next_frame() is None, f"frame surfaced at byte {i}"
+            asm.feed(bytes([byte]))
+        assert asm.next_frame() == frame
+        assert asm.next_frame() is None
+
+    def test_coalesced_frames_in_one_feed(self):
+        frames = [pack_frame(KIND_ECHO, i, b"x" * i) for i in range(5)]
+        asm = FrameAssembler()
+        asm.feed(b"".join(frames))
+        for frame in frames:
+            assert asm.next_frame() == frame
+        assert asm.next_frame() is None
+
+    def test_split_exactly_at_header_boundary(self):
+        frame = pack_frame(KIND_ECHO, 0, b"payload-after-header")
+        asm = FrameAssembler()
+        asm.feed(frame[:HEADER_SIZE])
+        assert asm.next_frame() is None
+        asm.feed(frame[HEADER_SIZE:])
+        assert asm.next_frame() == frame
+
+    def test_grows_past_initial_capacity(self):
+        frame = pack_frame(KIND_ECHO, 0, bytes(range(256)) * 2048)  # 512 KiB
+        asm = FrameAssembler(initial_capacity=64)
+        for i in range(0, len(frame), 4096):
+            asm.feed(frame[i:i + 4096])
+        assert asm.next_frame() == frame
+
+    def test_writable_view_survives_growth(self):
+        # Regression: growing must swap buffers, not resize in place —
+        # resizing a bytearray with a live memoryview export raises
+        # BufferError.
+        asm = FrameAssembler(initial_capacity=32)
+        view = asm.writable(16)
+        bigger = asm.writable(1024)  # must not raise while `view` lives
+        assert len(bigger) >= 1024
+        del view
+
+    def test_bad_magic_raises(self):
+        asm = FrameAssembler()
+        asm.feed(b"JUNK" + bytes(HEADER_SIZE - 4))
+        with pytest.raises(FrameError):
+            asm.next_frame()
