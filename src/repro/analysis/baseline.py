@@ -1,0 +1,94 @@
+"""Findings baseline: CI fails only on *new* deep findings.
+
+An interprocedural tier bootstrapped onto a living tree starts with
+known findings that are triaged over time; blocking every CI run on
+them would force a flag day.  The committed ``analysis-baseline.json``
+records the accepted findings as *counted keys*; at check time the
+current findings are subtracted against it and only the excess is
+reported.
+
+Keys are ``rule :: package-relative path :: message`` — deliberately
+**not** line numbers, so unrelated edits above a baselined finding do
+not resurrect it.  Counted (a multiset), so introducing a *second*
+instance of an already-baselined finding still fails.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from ..lint.framework import Finding, _infer_relpath
+
+__all__ = [
+    "BASELINE_VERSION",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+    "subtract_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def baseline_key(finding: Finding) -> str:
+    """Stable identity of a finding across checkouts and line drift."""
+    return "::".join(
+        (finding.rule_id, _infer_relpath(finding.path), finding.message)
+    )
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Counted baseline keys from ``path``; empty if the file is absent."""
+    if not os.path.isfile(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "findings" not in doc:
+        raise ValueError(f"{path}: not a findings baseline")
+    counts: Dict[str, int] = {}
+    for entry in doc["findings"]:
+        counts[entry["key"]] = int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Record the current findings as the accepted baseline."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = baseline_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint-deep",
+        "findings": [
+            {"key": key, "count": count}
+            for key, count in sorted(counts.items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def subtract_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Findings not covered by the baseline, plus how many were absorbed.
+
+    Consumes baseline budget per key in encounter order (findings are
+    sorted by location upstream, so which duplicates survive is
+    deterministic).
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    absorbed = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            new.append(finding)
+    return new, absorbed

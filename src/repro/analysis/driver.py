@@ -1,0 +1,107 @@
+"""Deep-tier driver: parse the tree once, run the whole-program rules.
+
+The shallow driver (:func:`repro.lint.framework.lint_paths`) runs each
+per-module rule over one file at a time.  This driver parses every
+file under the given paths into one :class:`~repro.analysis.callgraph.
+Project` and runs the registered :class:`~repro.lint.framework.
+ProjectRule` subclasses over it, applying the same per-line
+``# repro: noqa[rule-id] — reason`` suppressions.
+
+Dynamic-dispatch blind spots (calls the resolver could not follow) are
+surfaced in :class:`DeepStats` so ``--deep`` output can report how
+much of the call graph is actually covered rather than silently
+analysing a subgraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..lint.framework import (
+    Finding,
+    ModuleSource,
+    ProjectRule,
+    build_rules,
+    iter_python_files,
+)
+from .callgraph import Project, build_project
+
+__all__ = ["DeepStats", "analyze_paths", "deep_rules"]
+
+
+@dataclass(frozen=True)
+class DeepStats:
+    """Coverage telemetry for one deep-analysis run."""
+
+    modules: int
+    functions: int
+    classes: int
+    edges: int
+    blind_spots: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.modules} modules, {self.functions} functions, "
+            f"{self.classes} classes, {self.edges} call edges, "
+            f"{self.blind_spots} dynamic-dispatch blind spots"
+        )
+
+
+def deep_rules(select: Optional[Sequence[str]] = None) -> List[ProjectRule]:
+    """The selected whole-program rules (all registered ones by default)."""
+    return [
+        rule
+        for rule in build_rules(select)
+        if isinstance(rule, ProjectRule)
+    ]
+
+
+def _apply_deep_suppressions(
+    modules: Sequence[ModuleSource], findings: List[Finding]
+) -> List[Finding]:
+    """Drop findings a justified noqa on their line suppresses.
+
+    Unlike the shallow driver this does *not* re-emit noqa-justification
+    findings — the shallow tier already reports those once per module;
+    the deep tier only honours the suppressions.
+    """
+    by_path = {module.path: module for module in modules}
+    kept: List[Finding] = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        if module is not None:
+            supp = module.suppressions.get(finding.line)
+            if supp is not None and finding.rule_id in supp.rule_ids:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def analyze_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> Tuple[List[Finding], DeepStats, Project]:
+    """Run the deep tier over every ``.py`` file under ``paths``.
+
+    Returns location-sorted findings (suppressions applied), coverage
+    stats, and the project itself (for tooling/tests).
+    """
+    modules: List[ModuleSource] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        modules.append(ModuleSource(filename, text))
+    project = build_project(modules)
+    findings: List[Finding] = []
+    for rule in deep_rules(select):
+        findings.extend(rule.check_project(project))
+    findings = _apply_deep_suppressions(modules, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    stats = DeepStats(
+        modules=len(project.modules),
+        functions=len(project.functions),
+        classes=len(project.classes),
+        edges=project.edge_count(),
+        blind_spots=len(project.blind_spots),
+    )
+    return findings, stats, project

@@ -1,0 +1,236 @@
+"""Reachability rules: reactor blocking and wire-primitive escapes.
+
+Both rules generalise an existing shallow rule from *lexical* scope
+(which module the text sits in) to *call-graph* scope (which code can
+actually run from where):
+
+* ``reactor-reachability`` extends ``async-discipline``: a helper in
+  ``util.py`` that calls ``time.sleep`` is legal text in ``util.py``,
+  but if the aio event loop can reach it, the reactor stalls just the
+  same.  The rule walks everything transitively callable from the
+  functions defined in :data:`~repro.lint.policy.ASYNC_MODULES` and
+  flags blocking primitives *outside* those modules (inside them the
+  shallow rule already reports, with better locality).
+
+* ``wire-escape`` extends ``wire-format``: the shallow rule flags a
+  byte primitive written outside :data:`~repro.lint.policy.
+  WIRE_MODULES`, but not the *caller* that launders one through a
+  helper, nor a call that bypasses the codec API by invoking an
+  underscore-private function of a wire module directly.  This rule
+  computes the escape set (non-wire functions that reach a byte
+  primitive without passing through the public codec API) and flags
+  every call edge into it, plus cross-module calls to private wire
+  helpers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Set
+
+from ..lint.framework import Finding, SEVERITY_ERROR, register_rule
+from ..lint.framework import ProjectRule
+from ..lint.policy import ASYNC_MODULES, WIRE_MODULES
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.lint
+    from .callgraph import CallSite, FunctionNode, Project
+
+__all__ = ["ReactorReachabilityRule", "WireEscapeRule"]
+
+#: Dotted external calls that block the calling thread outright.  A
+#: superset of the shallow rule's list: the reactor can also stall in a
+#: subprocess wait or a blocking connect reached through helpers.
+BLOCKING_EXTERNAL_CALLS = frozenset(
+    {
+        "time.sleep",
+        "select.select",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "os.waitpid",
+        "os.wait",
+        "signal.pause",
+    }
+)
+
+#: Method names that block on a socket (or install the blocking-socket
+#: idiom).  Non-blocking counterparts (recv_into/sendmsg/send/accept/
+#: setblocking) stay legal, mirroring the shallow rule.
+BLOCKING_METHOD_NAMES = frozenset(
+    {"recv", "recvfrom", "sendall", "makefile", "settimeout"}
+)
+
+#: Queue methods that block by default — only meaningful when the
+#: containing module actually imports ``queue`` (``dict.get`` and
+#: friends would otherwise drown the rule in false positives).
+BLOCKING_QUEUE_METHODS = frozenset({"get", "put", "join"})
+
+
+def _module_imports_queue(fn: FunctionNode) -> bool:
+    if "queue" in fn.module.import_aliases.values():
+        return True
+    return any(
+        src.lstrip(".") == "queue"
+        for src, _ in fn.module.from_imports.values()
+    )
+
+
+def _blocking_reason(fn: FunctionNode, site: CallSite) -> str:
+    """Why this call site blocks, or '' if it does not."""
+    if site.external in BLOCKING_EXTERNAL_CALLS:
+        return f"{site.external}() blocks the calling thread"
+    method = site.method
+    if method is None and site.external is not None and "." in site.external:
+        method = site.external.rsplit(".", 1)[1]
+    if method in BLOCKING_METHOD_NAMES:
+        return f".{method}() is a blocking-socket call"
+    if method in BLOCKING_QUEUE_METHODS and _module_imports_queue(fn):
+        return f".{method}() on a queue blocks by default"
+    return ""
+
+
+def reactor_roots(project: Project) -> List[str]:
+    """Event-loop entry points: every function in an async module."""
+    return project.functions_in(ASYNC_MODULES)
+
+
+def _format_path(path: List[str]) -> str:
+    return " -> ".join(p.replace("repro.", "", 1) for p in path)
+
+
+@register_rule
+class ReactorReachabilityRule(ProjectRule):
+    """No blocking primitive transitively reachable from the reactor.
+
+    Roots are all functions defined in
+    :data:`~repro.lint.policy.ASYNC_MODULES` (the event-loop modules).
+    Everything reachable from them over the project call graph is
+    checked for blocking external calls (``time.sleep``,
+    ``subprocess.*``, blocking connects) and blocking socket/queue
+    method calls.  Findings inside the async modules themselves are
+    left to the shallow ``async-discipline`` rule; this rule reports
+    the *indirect* ones, with the call chain from the reactor in the
+    message.  Unresolvable dynamic dispatch is reported separately by
+    the driver as blind spots.
+    """
+
+    rule_id = "reactor-reachability"
+    severity = SEVERITY_ERROR
+    description = (
+        "no blocking call transitively reachable from event-loop "
+        "entry points (deep tier)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        roots = reactor_roots(project)
+        for qualname in sorted(project.reachable(roots)):
+            fn = project.functions[qualname]
+            if fn.relpath in ASYNC_MODULES:
+                continue  # shallow async-discipline's turf
+            for site in fn.call_sites:
+                reason = _blocking_reason(fn, site)
+                if not reason:
+                    continue
+                path = project.call_path(roots, qualname) or [qualname]
+                yield self.finding(
+                    fn.module, site.node,
+                    f"{reason}, and the reactor reaches it: "
+                    f"{_format_path(path)}",
+                )
+
+
+#: External dotted calls that read or write raw byte layouts.
+BYTE_PRIMITIVE_PREFIXES = ("struct.",)
+BYTE_PRIMITIVE_CALLS = frozenset({"numpy.frombuffer"})
+BYTE_PRIMITIVE_METHODS = frozenset({"tobytes"})
+
+
+def _uses_byte_primitive(site: CallSite) -> bool:
+    if site.external is not None:
+        if site.external in BYTE_PRIMITIVE_CALLS:
+            return True
+        if site.external.startswith(BYTE_PRIMITIVE_PREFIXES):
+            return True
+    return site.method in BYTE_PRIMITIVE_METHODS
+
+
+@register_rule
+class WireEscapeRule(ProjectRule):
+    """Byte primitives unreachable from outside the codec API.
+
+    Two escape shapes are flagged:
+
+    * a call from a non-wire function into the *escape set* — the
+      fixpoint of non-wire functions that use a byte primitive
+      directly or call another escape-set function.  (The direct
+      primitive use itself is the shallow ``wire-format`` rule's
+      finding; this rule adds the laundering callers.)  Calls into
+      public wire-module functions do not propagate — that is the
+      sanctioned path.
+
+    * a call from outside :data:`~repro.lint.policy.WIRE_MODULES` to
+      an underscore-private function or method of a wire module — the
+      codec API is its public names; private helpers may assume caller
+      invariants the golden tests never see violated.
+    """
+
+    rule_id = "wire-escape"
+    severity = SEVERITY_ERROR
+    description = (
+        "byte primitives only reachable through the public codec API "
+        "of wire modules (deep tier)"
+    )
+
+    def _escape_set(self, project: Project) -> Set[str]:
+        escaped: Set[str] = set()
+        for qualname, fn in project.functions.items():
+            if fn.relpath in WIRE_MODULES:
+                continue
+            if any(_uses_byte_primitive(s) for s in fn.call_sites):
+                escaped.add(qualname)
+        # Propagate to callers: a non-wire function whose callee is in
+        # the escape set escapes too (the callee is not a sanctioned
+        # codec entry point, by construction).
+        changed = True
+        while changed:
+            changed = False
+            for qualname, targets in project.edges.items():
+                fn = project.functions[qualname]
+                if fn.relpath in WIRE_MODULES or qualname in escaped:
+                    continue
+                if any(t in escaped for t in targets):
+                    escaped.add(qualname)
+                    changed = True
+        return escaped
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        escaped = self._escape_set(project)
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            if fn.relpath in WIRE_MODULES:
+                continue
+            for site in fn.call_sites:
+                for target in site.targets:
+                    callee = project.functions.get(target)
+                    if callee is None:
+                        continue
+                    if target in escaped:
+                        yield self.finding(
+                            fn.module, site.node,
+                            f"call into {_format_path([target])}, which "
+                            "reaches byte-format primitives outside the "
+                            "designated wire modules",
+                        )
+                    elif (
+                        callee.relpath in WIRE_MODULES
+                        and callee.name.startswith("_")
+                        and not callee.name.startswith("__")
+                    ):
+                        yield self.finding(
+                            fn.module, site.node,
+                            f"call to private wire helper "
+                            f"{_format_path([target])} bypasses the "
+                            "public codec API",
+                        )

@@ -31,6 +31,7 @@ Examples::
     python -m repro perf --quick
     python -m repro report
     python -m repro lint --format json
+    python -m repro lint --deep --format sarif src/
 """
 
 from __future__ import annotations
@@ -183,12 +184,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*",
                       help="files or directories to lint "
                            "(default: the installed repro package)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
                       help="findings output format (default: text)")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule ids to run (default: all)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the registered rules and exit")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the interprocedural tier (call-graph "
+                           "reachability, seed-flow, lock-order)")
+    lint.add_argument("--baseline", default="analysis-baseline.json",
+                      help="findings baseline for --deep; only findings "
+                           "not in it fail (default: "
+                           "analysis-baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="with --deep: accept the current findings as "
+                           "the new baseline and exit 0")
     return parser
 
 
@@ -486,27 +498,71 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     import os
 
     from .lint import LintError, lint_paths, rule_descriptions
+    from .lint.policy import verify_policy
 
     if args.list_rules:
         for rule_id, severity, description in rule_descriptions():
-            print(f"{rule_id:<20} {severity:<8} {description}")
+            print(f"{rule_id:<22} {severity:<8} {description}")
         return 0
+    if args.update_baseline and not args.deep:
+        print("error: --update-baseline requires --deep", file=sys.stderr)
+        return 2
+    missing = verify_policy()
+    if missing:
+        print(
+            "error: lint policy names missing modules (renamed without "
+            "updating lint/policy.py?): " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     select = None
     if args.select:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
+    stats = None
+    absorbed = 0
     try:
         findings = lint_paths(paths, select=select)
-    except (LintError, OSError) as exc:
+        if args.deep:
+            from .analysis import (
+                analyze_paths,
+                load_baseline,
+                subtract_baseline,
+                write_baseline,
+            )
+
+            deep_findings, stats, _ = analyze_paths(paths, select=select)
+            findings = sorted(
+                findings + deep_findings,
+                key=lambda f: (f.path, f.line, f.col, f.rule_id),
+            )
+            if args.update_baseline:
+                write_baseline(args.baseline, findings)
+                print(
+                    f"wrote {args.baseline} "
+                    f"({len(findings)} accepted findings)"
+                )
+                return 0
+            findings, absorbed = subtract_baseline(
+                findings, load_baseline(args.baseline)
+            )
+    except (LintError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "sarif":
+        from .analysis import render_sarif
+
+        print(render_sarif(findings, rule_descriptions()))
     else:
         for f in findings:
             print(f"{f.location}: {f.severity}[{f.rule_id}] {f.message}")
         noun = "finding" if len(findings) == 1 else "findings"
         print(f"{len(findings)} {noun}")
+    if stats is not None:
+        tail = f" ({absorbed} baselined)" if absorbed else ""
+        print(f"deep: {stats.summary()}{tail}", file=sys.stderr)
     return 1 if findings else 0
 
 

@@ -32,14 +32,32 @@ rule id                   enforces
 ``noqa-justification``    every suppression names a known rule and a reason
 ========================  =====================================================
 
-Run it as ``python -m repro lint [paths] [--format text|json]``; see
-``docs/static_analysis.md`` for the full rule and policy reference.
+A second, *whole-program* tier (``python -m repro lint --deep``) runs
+the interprocedural rules from :mod:`repro.analysis` over the project
+call graph — same registry, same noqa machinery:
+
+========================  =====================================================
+rule id                   enforces (deep tier)
+========================  =====================================================
+``reactor-reachability``  no blocking primitive transitively reachable from
+                          the aio event loop's entry points
+``wire-escape``           byte primitives only reachable through the public
+                          codec API of the wire modules
+``seed-flow``             no unseeded RNG flowing into codec/runtime code
+                          (taint analysis)
+``lock-order``            no lock-acquisition cycles or lock-held blocking
+                          calls in the runtime
+========================  =====================================================
+
+Run it as ``python -m repro lint [paths] [--format text|json|sarif]``;
+see ``docs/static_analysis.md`` for the full rule and policy reference.
 """
 
 from .framework import (
     Finding,
     LintError,
     ModuleSource,
+    ProjectRule,
     Rule,
     SEVERITY_ERROR,
     SEVERITY_WARNING,
@@ -60,10 +78,19 @@ from . import rules_style  # noqa: F401  (registration import)
 from . import rules_telemetry  # noqa: F401  (registration import)
 from . import rules_wire  # noqa: F401  (registration import)
 
+# The deep (whole-program) rules live in repro.analysis but share this
+# registry — importing them here keeps the rule-id vocabulary (noqa
+# validation, --select, --list-rules) identical across both tiers.
+from ..analysis import rules_flow as _deep_rules_flow  # noqa: F401
+from ..analysis import (  # noqa: F401  (registration import)
+    rules_reachability as _deep_rules_reachability,
+)
+
 __all__ = [
     "Finding",
     "LintError",
     "ModuleSource",
+    "ProjectRule",
     "Rule",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",

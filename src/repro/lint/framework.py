@@ -35,6 +35,7 @@ __all__ = [
     "Suppression",
     "ModuleSource",
     "Rule",
+    "ProjectRule",
     "register_rule",
     "all_rule_ids",
     "build_rules",
@@ -253,6 +254,24 @@ class Rule:
             line = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
         return Finding(self.rule_id, self.severity, module.path, line, col, message)
+
+
+class ProjectRule(Rule):
+    """Whole-program rule: sees the project call graph, not one module.
+
+    Project rules register into the same registry as per-module rules
+    (same ids, same noqa machinery, same ``--select`` vocabulary), but
+    they only produce findings when driven by the interprocedural tier
+    (``repro lint --deep``, :mod:`repro.analysis.driver`).  Under the
+    shallow per-module driver they are inert.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over a :class:`repro.analysis.callgraph.Project`."""
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

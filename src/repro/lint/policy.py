@@ -18,8 +18,15 @@ __all__ = [
     "CORE_PREFIXES",
     "HOT_PATH_PREFIXES",
     "ENDIANNESS_PREFIXES",
+    "LOCK_SCOPE_PREFIXES",
+    "SEED_SCOPE_PREFIXES",
     "is_core_or_sketch",
     "is_endianness_scoped",
+    "is_seed_scoped",
+    "is_lock_scoped",
+    "all_policy_relpaths",
+    "verify_policy",
+    "PolicyError",
 ]
 
 #: Modules required to dispatch between scalar and vectorised kernels
@@ -83,6 +90,19 @@ HOT_PATH_PREFIXES = CORE_PREFIXES + (
 ENDIANNESS_PREFIXES = ("telemetry/",)
 
 
+#: Package prefixes whose lock acquisitions feed the interprocedural
+#: ``lock-order`` deadlock analysis: the execution layer, where driver
+#: and worker threads share transports, supervisors, and cluster state.
+LOCK_SCOPE_PREFIXES = ("runtime/",)
+
+#: Package prefixes where every ``np.random.Generator`` /
+#: ``random.Random`` reaching the code must descend from a *seeded*
+#: constructor (``seed-flow`` rule) — the static twin of the
+#: fixed-seed bit-identity tests: the codec, the sketches, the
+#: compressors, and the runtime (including fault injection).
+SEED_SCOPE_PREFIXES = ("core/", "sketch/", "compression/", "runtime/")
+
+
 def is_core_or_sketch(relpath: str) -> bool:
     """True for modules on the paper-facing codec surface."""
     return relpath.startswith(CORE_PREFIXES)
@@ -91,3 +111,54 @@ def is_core_or_sketch(relpath: str) -> bool:
 def is_endianness_scoped(relpath: str) -> bool:
     """True for modules the ``wire-endianness`` rule applies to."""
     return relpath in WIRE_MODULES or relpath.startswith(ENDIANNESS_PREFIXES)
+
+
+def is_seed_scoped(relpath: str) -> bool:
+    """True for modules the ``seed-flow`` rule protects."""
+    return relpath.startswith(SEED_SCOPE_PREFIXES)
+
+
+def is_lock_scoped(relpath: str) -> bool:
+    """True for modules the ``lock-order`` rule analyses."""
+    return relpath.startswith(LOCK_SCOPE_PREFIXES)
+
+
+class PolicyError(RuntimeError):
+    """A policy module list names a file that does not exist.
+
+    Raised by :func:`verify_policy` so a renamed module can no longer
+    silently drop out of rule scope (the rule would keep "passing" on a
+    path that matches nothing).
+    """
+
+
+def all_policy_relpaths() -> "frozenset[str]":
+    """Every explicit module relpath named by a policy list."""
+    return frozenset(
+        DUAL_PATH_MODULES
+        | VECTORISED_MODULES
+        | DTYPE_STRICT_MODULES
+        | WIRE_MODULES
+        | ASYNC_MODULES
+    )
+
+
+def verify_policy(package_root: str = None) -> "list[str]":
+    """Check that every listed relpath exists; return the missing ones.
+
+    ``package_root`` defaults to the installed ``repro`` package
+    directory.  The lint drivers call this at startup and refuse to run
+    when a policy list names a file that is gone — a rename must update
+    the policy (and ``docs/static_analysis.md``), not quietly shrink a
+    rule's scope to nothing.
+    """
+    import os
+
+    if package_root is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    missing = [
+        relpath
+        for relpath in sorted(all_policy_relpaths())
+        if not os.path.isfile(os.path.join(package_root, *relpath.split("/")))
+    ]
+    return missing

@@ -111,7 +111,9 @@ class MissingAllRule(Rule):
 
     Fires only when a module *defines* public top-level names; pure
     entry-point shims (``__main__.py``) and private modules are exempt
-    by construction.
+    by construction.  Test modules (``test_*.py``, ``conftest.py``)
+    are exempt too — pytest collects them by name, nothing imports
+    ``*`` from them, so linting ``tests/`` need not spray warnings.
     """
 
     rule_id = "missing-all"
@@ -119,6 +121,9 @@ class MissingAllRule(Rule):
     description = "modules defining public names must declare __all__"
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
+        basename = module.relpath.rsplit("/", 1)[-1]
+        if basename.startswith("test_") or basename == "conftest.py":
+            return
         has_all = False
         public: list = []
         for node in module.tree.body:

@@ -251,7 +251,10 @@ class SocketEndpoint:
 
     def send(self, frame: bytes) -> None:
         with self._lock:
-            self._sock.sendall(frame)
+            # The lock exists precisely to serialise whole-frame writes
+            # from concurrent senders; sendall must happen under it or
+            # two frames could interleave on the stream.
+            self._sock.sendall(frame)  # repro: noqa[lock-order] — the lock's purpose is to serialise this blocking write; per-endpoint lock, never nested
 
     def recv(self) -> Optional[bytes]:
         """Blocking receive of one frame; ``None`` on EOF."""

@@ -19,6 +19,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
 
 from test_telemetry_trace import project_trace, run_traced  # noqa: E402
 
+__all__ = ["OUT", "main"]
+
 OUT = os.path.join(os.path.dirname(__file__), "sim_2worker_projection.json")
 
 

@@ -1,0 +1,384 @@
+"""Seeded-defect fixtures for the four deep (whole-program) rules.
+
+Each rule gets the defect the ISSUE names — a transitively-blocking
+reactor call, a wire-primitive escape via helper, an unseeded RNG
+flowing into runtime code, a cyclic lock order — plus a negative twin
+showing the sanctioned idiom stays silent, so the rules pin behaviour
+in both directions.
+"""
+
+import pytest
+
+from repro.analysis import build_project_from_sources, deep_rules
+from repro.analysis.driver import analyze_paths
+
+
+def run_rule(sources, rule_id):
+    project = build_project_from_sources(sources)
+    (rule,) = [r for r in deep_rules() if r.rule_id == rule_id]
+    return list(rule.check_project(project))
+
+
+class TestReactorReachability:
+    def test_transitively_blocking_call_found(self):
+        findings = run_rule({
+            "runtime/aio.py": (
+                "from ..util import backoff\n\n"
+                "class AioTransport:\n"
+                "    def _pump(self):\n"
+                "        backoff()\n"
+            ),
+            "util.py": (
+                "import time\n\n"
+                "def backoff():\n"
+                "    time.sleep(0.1)\n"
+            ),
+        }, "reactor-reachability")
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        # the message names the chain from the reactor entry point
+        assert "runtime.aio.AioTransport._pump -> util.backoff" in (
+            findings[0].message
+        )
+        assert findings[0].path.endswith("util.py")
+
+    def test_two_hop_chain(self):
+        findings = run_rule({
+            "runtime/aio.py": (
+                "from ..util import a\n\n"
+                "def pump():\n    a()\n"
+            ),
+            "util.py": (
+                "import subprocess\n\n"
+                "def a():\n    b()\n\n"
+                "def b():\n    subprocess.run(['x'])\n"
+            ),
+        }, "reactor-reachability")
+        assert len(findings) == 1
+        assert "subprocess.run" in findings[0].message
+
+    def test_unreached_blocking_code_is_silent(self):
+        findings = run_rule({
+            "runtime/aio.py": "def pump():\n    pass\n",
+            "util.py": (
+                "import time\n\ndef backoff():\n    time.sleep(0.1)\n"
+            ),
+        }, "reactor-reachability")
+        assert findings == []
+
+    def test_finding_inside_async_module_left_to_shallow_rule(self):
+        findings = run_rule({
+            "runtime/aio.py": (
+                "import time\n\ndef pump():\n    time.sleep(0.1)\n"
+            ),
+        }, "reactor-reachability")
+        assert findings == []  # shallow async-discipline reports this one
+
+
+class TestWireEscape:
+    def test_escape_via_helper_flagged_at_caller(self):
+        findings = run_rule({
+            "util.py": (
+                "import struct\n\n"
+                "def pack_header(x):\n"
+                "    return struct.pack('<I', x)\n"
+            ),
+            "trainer.py": (
+                "from .util import pack_header\n\n"
+                "def send(x):\n"
+                "    return pack_header(x)\n"
+            ),
+        }, "wire-escape")
+        assert any(
+            "util.pack_header" in f.message and f.path.endswith("trainer.py")
+            for f in findings
+        )
+
+    def test_private_wire_helper_call_flagged(self):
+        findings = run_rule({
+            "core/serialization.py": (
+                "import struct\n\n"
+                "def _raw(x):\n    return struct.pack('<I', x)\n\n"
+                "def encode(x):\n    return _raw(x)\n"
+            ),
+            "trainer.py": (
+                "from .core.serialization import _raw\n\n"
+                "def sneak(x):\n    return _raw(x)\n"
+            ),
+        }, "wire-escape")
+        assert len(findings) == 1
+        assert "bypasses the public codec API" in findings[0].message
+        assert findings[0].path.endswith("trainer.py")
+
+    def test_public_codec_api_call_is_sanctioned(self):
+        findings = run_rule({
+            "core/serialization.py": (
+                "import struct\n\n"
+                "def encode(x):\n    return struct.pack('<I', x)\n"
+            ),
+            "trainer.py": (
+                "from .core.serialization import encode\n\n"
+                "def send(x):\n    return encode(x)\n"
+            ),
+        }, "wire-escape")
+        assert findings == []
+
+
+class TestSeedFlow:
+    def test_unseeded_rng_flowing_into_runtime(self):
+        findings = run_rule({
+            "bench.py": (
+                "import numpy as np\n"
+                "from .runtime.faults import inject\n\n"
+                "def main():\n"
+                "    rng = np.random.default_rng()\n"
+                "    inject(rng)\n"
+            ),
+            "runtime/faults.py": (
+                "def inject(rng):\n    return rng.random()\n"
+            ),
+        }, "seed-flow")
+        assert len(findings) == 1
+        assert "unseeded RNG flows into runtime/faults.py" in (
+            findings[0].message
+        )
+        assert findings[0].path.endswith("bench.py")
+
+    def test_taint_through_returning_helper(self):
+        findings = run_rule({
+            "bench.py": (
+                "import numpy as np\n"
+                "from .core.quantizer import fit\n\n"
+                "def make_rng():\n"
+                "    return np.random.default_rng()\n\n"
+                "def main():\n"
+                "    r = make_rng()\n"
+                "    fit(r)\n"
+            ),
+            "core/quantizer.py": "def fit(rng):\n    return rng\n",
+        }, "seed-flow")
+        assert len(findings) == 1
+
+    def test_wall_clock_seed_is_tainted(self):
+        findings = run_rule({
+            "bench.py": (
+                "import time\n"
+                "import numpy as np\n"
+                "from .core.quantizer import fit\n\n"
+                "def main():\n"
+                "    rng = np.random.default_rng(int(time.time()))\n"
+                "    fit(rng)\n"
+            ),
+            "core/quantizer.py": "def fit(rng):\n    return rng\n",
+        }, "seed-flow")
+        # int(time.time()) wraps the wall clock in a cast; the direct
+        # form time.time() is the pinned contract
+        findings_direct = run_rule({
+            "bench.py": (
+                "import time\n"
+                "import numpy as np\n"
+                "from .core.quantizer import fit\n\n"
+                "def main():\n"
+                "    rng = np.random.default_rng(time.time_ns())\n"
+                "    fit(rng)\n"
+            ),
+            "core/quantizer.py": "def fit(rng):\n    return rng\n",
+        }, "seed-flow")
+        assert len(findings_direct) == 1
+
+    def test_seeded_rng_is_clean(self):
+        findings = run_rule({
+            "bench.py": (
+                "import numpy as np\n"
+                "from .core.quantizer import fit\n\n"
+                "def main(seed):\n"
+                "    fit(np.random.default_rng(seed))\n"
+                "    fit(np.random.default_rng(42))\n"
+            ),
+            "core/quantizer.py": "def fit(rng):\n    return rng\n",
+        }, "seed-flow")
+        assert findings == []
+
+    def test_rebinding_to_seeded_clears_taint(self):
+        findings = run_rule({
+            "bench.py": (
+                "import numpy as np\n"
+                "from .core.quantizer import fit\n\n"
+                "def main():\n"
+                "    rng = np.random.default_rng()\n"
+                "    rng = np.random.default_rng(7)\n"
+                "    fit(rng)\n"
+            ),
+            "core/quantizer.py": "def fit(rng):\n    return rng\n",
+        }, "seed-flow")
+        assert findings == []
+
+    def test_branch_join_is_may_taint(self):
+        findings = run_rule({
+            "bench.py": (
+                "import numpy as np\n"
+                "from .core.quantizer import fit\n\n"
+                "def main(flag):\n"
+                "    if flag:\n"
+                "        rng = np.random.default_rng(7)\n"
+                "    else:\n"
+                "        rng = np.random.default_rng()\n"
+                "    fit(rng)\n"
+            ),
+            "core/quantizer.py": "def fit(rng):\n    return rng\n",
+        }, "seed-flow")
+        assert len(findings) == 1  # one branch taints => may-tainted
+
+
+LOCK_CYCLE = (
+    "import threading\n\n"
+    "class Pool:\n"
+    "    def __init__(self):\n"
+    "        self.alpha = threading.Lock()\n"
+    "        self.beta = threading.Lock()\n\n"
+    "    def forward(self):\n"
+    "        with self.alpha:\n"
+    "            with self.beta:\n"
+    "                pass\n\n"
+    "    def backward(self):\n"
+    "        with self.beta:\n"
+    "            with self.alpha:\n"
+    "                pass\n"
+)
+
+
+class TestLockOrder:
+    def test_cyclic_lock_order_flagged(self):
+        findings = run_rule(
+            {"runtime/pool.py": LOCK_CYCLE}, "lock-order"
+        )
+        assert len(findings) == 1
+        assert "lock-order cycle" in findings[0].message
+        assert "Pool.alpha" in findings[0].message
+        assert "Pool.beta" in findings[0].message
+
+    def test_cycle_through_call_edge(self):
+        findings = run_rule({
+            "runtime/pool.py": (
+                "import threading\n\n"
+                "class Pool:\n"
+                "    def __init__(self):\n"
+                "        self.alpha = threading.Lock()\n"
+                "        self.beta = threading.Lock()\n\n"
+                "    def locked_beta(self):\n"
+                "        with self.beta:\n"
+                "            pass\n\n"
+                "    def forward(self):\n"
+                "        with self.alpha:\n"
+                "            self.locked_beta()\n\n"
+                "    def backward(self):\n"
+                "        with self.beta:\n"
+                "            with self.alpha:\n"
+                "                pass\n"
+            ),
+        }, "lock-order")
+        assert any("lock-order cycle" in f.message for f in findings)
+
+    def test_consistent_order_is_clean(self):
+        findings = run_rule({
+            "runtime/pool.py": (
+                "import threading\n\n"
+                "class Pool:\n"
+                "    def __init__(self):\n"
+                "        self.alpha = threading.Lock()\n"
+                "        self.beta = threading.Lock()\n\n"
+                "    def forward(self):\n"
+                "        with self.alpha:\n"
+                "            with self.beta:\n"
+                "                pass\n\n"
+                "    def also_forward(self):\n"
+                "        with self.alpha:\n"
+                "            with self.beta:\n"
+                "                pass\n"
+            ),
+        }, "lock-order")
+        assert findings == []
+
+    def test_reentrant_self_edge_ignored(self):
+        findings = run_rule({
+            "runtime/pool.py": (
+                "import threading\n\n"
+                "class Pool:\n"
+                "    def __init__(self):\n"
+                "        self.alpha = threading.RLock()\n\n"
+                "    def f(self):\n"
+                "        with self.alpha:\n"
+                "            with self.alpha:\n"
+                "                pass\n"
+            ),
+        }, "lock-order")
+        assert findings == []
+
+    def test_blocking_call_under_lock(self):
+        findings = run_rule({
+            "runtime/endpoint.py": (
+                "import threading\n\n"
+                "class Endpoint:\n"
+                "    def __init__(self, sock):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._sock = sock\n\n"
+                "    def send(self, frame):\n"
+                "        with self._lock:\n"
+                "            self._sock.sendall(frame)\n"
+            ),
+        }, "lock-order")
+        assert len(findings) == 1
+        assert "while holding Endpoint._lock" in findings[0].message
+
+    def test_outside_lock_scope_ignored(self):
+        findings = run_rule(
+            {"telemetry/pool.py": LOCK_CYCLE}, "lock-order"
+        )
+        assert findings == []
+
+
+class TestDeepNoqa:
+    def test_justified_noqa_suppresses_deep_finding(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "runtime").mkdir(parents=True)
+        (pkg / "runtime" / "endpoint.py").write_text(
+            "import threading\n\n"
+            "class Endpoint:\n"
+            "    def __init__(self, sock):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._sock = sock\n\n"
+            "    def send(self, frame):\n"
+            "        with self._lock:\n"
+            "            self._sock.sendall(frame)"
+            "  # repro: noqa[lock-order] — serialises whole-frame writes\n"
+        )
+        findings, stats, _ = analyze_paths([str(pkg)])
+        assert [f for f in findings if f.rule_id == "lock-order"] == []
+        # drop the noqa and the finding comes back
+        (pkg / "runtime" / "endpoint.py").write_text(
+            "import threading\n\n"
+            "class Endpoint:\n"
+            "    def __init__(self, sock):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._sock = sock\n\n"
+            "    def send(self, frame):\n"
+            "        with self._lock:\n"
+            "            self._sock.sendall(frame)\n"
+        )
+        findings, stats, _ = analyze_paths([str(pkg)])
+        assert [f.rule_id for f in findings] == ["lock-order"]
+
+
+class TestRealTree:
+    def test_deep_rules_clean_on_src(self):
+        import os
+
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src", "repro",
+        )
+        findings, stats, project = analyze_paths([src])
+        assert findings == []
+        # coverage sanity: the graph actually got built
+        assert stats.functions > 500
+        assert stats.edges > 500

@@ -107,7 +107,7 @@ class TestGoldenDigests:
             assert message.num_bytes == entry["num_bytes"], name
             out_keys, out_values = compressor.decompress(message)
             decoded = hashlib.sha256(
-                out_keys.tobytes() + out_values.tobytes()
+                out_keys.tobytes() + out_values.tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
             ).hexdigest()
             assert decoded == entry["decoded_sha256"], name
 

@@ -84,10 +84,10 @@ def test_decode_is_value_identical(case):
     )
     decoded_keys, decoded_values = compressor.decompress(message)
     keys_digest = hashlib.sha256(
-        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()
+        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
     ).hexdigest()
     values_digest = hashlib.sha256(
-        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()
+        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
     ).hexdigest()
     assert keys_digest == case["decoded_keys_sha256"]
     assert values_digest == case["decoded_values_sha256"]
@@ -126,10 +126,10 @@ def test_goldens_pinned_under_both_kernel_paths(case, mode):
             deserialize_message(fixture_bytes(case))
         )
     keys_digest = hashlib.sha256(
-        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()
+        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
     ).hexdigest()
     values_digest = hashlib.sha256(
-        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()
+        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
     ).hexdigest()
     assert keys_digest == case["decoded_keys_sha256"]
     assert values_digest == case["decoded_values_sha256"]

@@ -174,7 +174,7 @@ class TestDisabledPath:
             telemetry.event("e", worker=0)
 
     def test_disabled_span_is_shared_singleton(self):
-        assert telemetry.span("a") is telemetry.span("b")
+        assert telemetry.span("a") is telemetry.span("b")  # repro: noqa[telemetry-discipline] — asserting the disabled-path singleton, deliberately not entering the spans
 
 
 class TestRecorderSession:
