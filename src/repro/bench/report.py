@@ -56,6 +56,7 @@ RESULT_ORDER: Tuple[Tuple[str, str], ...] = (
     ("extension_ssp", "Extension — SSP parameter server"),
     ("extension_local_sgd", "Extension — Local SGD comparison"),
     ("extension_compensation", "Extension — decay compensation"),
+    ("fleet_replay", "Fleet replay — trace-driven scaled fleets"),
 )
 
 

@@ -86,6 +86,12 @@ class ExperimentSpec:
     ``mp`` / ``tcp`` run real worker processes), and the ``fault_*`` /
     supervision fields configure the runtime's seeded fault injection —
     they are ignored on the ``sim`` backend.
+
+    ``elastic_schedule`` (a ``repro-fleet-schedule/1`` JSON path) and
+    ``staleness`` route the run through
+    :class:`repro.fleet.FleetTrainer` instead of the fixed-membership
+    trainer; a schedule's ``num_workers`` overrides ``num_workers``
+    (the booted universe).
     """
 
     profile: str = "kdd12"
@@ -111,6 +117,8 @@ class ExperimentSpec:
     straggler_policy: str = "fail_fast"
     message_timeout: float = 10.0
     max_retries: int = 3
+    elastic_schedule: Optional[str] = None
+    staleness: Optional[int] = None
 
     def network(self) -> NetworkModel:
         if self.bandwidth_override:
@@ -173,6 +181,35 @@ def run_experiment(
     factory = method_factory(
         spec.method, seed=spec.seed, **dict(spec.sketch_overrides)
     )
+    if spec.elastic_schedule is not None or spec.staleness is not None:
+        from ..fleet import FleetConfig, FleetTrainer, MembershipSchedule
+
+        if spec.elastic_schedule is not None:
+            schedule = MembershipSchedule.load(spec.elastic_schedule)
+        else:
+            # --stale alone: bounded-async over a static full membership.
+            schedule = MembershipSchedule(num_workers=spec.num_workers)
+        fleet = FleetTrainer(
+            model=model,
+            optimizer=Adam(learning_rate=spec.learning_rate),
+            compressor_factory=factory,
+            network=spec.network(),
+            schedule=schedule,
+            config=FleetConfig(
+                epochs=spec.epochs,
+                batch_fraction=spec.batch_fraction,
+                seed=spec.seed,
+                backend=spec.backend,
+                staleness=spec.staleness,
+                method_label=spec.method,
+                compute_seconds_per_nnz=spec.compute_seconds_per_nnz,
+            ),
+            runtime=spec.runtime(),
+        )
+        history = fleet.train(train, test)
+        if use_cache:
+            _RESULT_CACHE[spec] = history
+        return history
     trainer = DistributedTrainer(
         model=model,
         optimizer=Adam(learning_rate=spec.learning_rate),

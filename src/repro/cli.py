@@ -7,7 +7,11 @@ Commands:
   and print size/error statistics.
 * ``train``    — run a distributed training experiment on the simulated
   cluster and print the per-epoch table (``--trace PATH`` records a
-  flight-recorder trace).
+  flight-recorder trace; ``--elastic SCHED`` / ``--stale N`` run the
+  elastic / bounded-staleness fleet path, see ``docs/fleet.md``).
+* ``replay``   — fit a cost model from a recorded trace and simulate a
+  scaled fleet (churn, diurnal load, correlated stragglers), emitting
+  a synthetic trace and a fleet summary.
 * ``trace``    — render a recorded trace: per-phase time tree,
   per-worker timeline, slowest-round drill-down (see
   ``docs/observability.md``).
@@ -26,6 +30,9 @@ Examples::
     python -m repro train --profile kdd12 --model lr --method SketchML \
         --workers 10 --epochs 3
     python -m repro train --backend mp --trace out.jsonl
+    python -m repro train --backend mp --elastic sched.json --stale 2
+    python -m repro replay out.jsonl --workers 1000 --stale 4 \
+        --straggler-rate 0.02 --straggler-stall 0.5 --out synth.jsonl
     python -m repro trace out.jsonl --format json
     python -m repro datagen --profile kdd10 --scale 0.1 --out kdd10.libsvm
     python -m repro perf --quick
@@ -109,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record a repro-trace/1 flight-recorder file "
                             "(merged across worker processes); inspect it "
                             "with `python -m repro trace PATH`")
+    train.add_argument("--elastic", default=None, metavar="SCHED",
+                       help="elastic membership: a repro-fleet-schedule/1 "
+                            "JSON file of seeded join/leave events (its "
+                            "num_workers overrides --workers; see "
+                            "docs/fleet.md)")
+    train.add_argument("--stale", type=int, default=None, metavar="N",
+                       help="bounded-staleness gather: a worker may run at "
+                            "most N steps ahead of the slowest active "
+                            "worker (SSP; N=0 is sync with per-worker "
+                            "pacing)")
 
     compare = sub.add_parser(
         "compare", help="compare all codecs on one synthetic gradient"
@@ -158,6 +175,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="record a repro-trace/1 file of the perf run "
                            "(soak gathers are spanned; inspect with "
                            "`python -m repro trace PATH`)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded trace as a scaled simulated fleet",
+    )
+    replay.add_argument("path", help="recorded repro-trace/1 file "
+                                     "(train --trace PATH)")
+    replay.add_argument("--workers", type=int, default=1000,
+                        help="simulated fleet size (default: 1000)")
+    replay.add_argument("--rounds", type=int, default=100,
+                        help="simulated rounds (stale mode: steps per "
+                             "worker; default: 100)")
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--stale", type=int, default=None, metavar="N",
+                        help="simulate bounded-async gather with slack N "
+                             "(default: synchronous rounds)")
+    replay.add_argument("--gather", choices=["overlap", "barrier"],
+                        default="overlap",
+                        help="sync gather discipline: pipelined decode "
+                             "(overlap, the aio behaviour) or wait-for-all "
+                             "(barrier)")
+    replay.add_argument("--diurnal-amplitude", type=float, default=0.0,
+                        help="load swing A in 1 + A*sin(2*pi*r/period)")
+    replay.add_argument("--diurnal-period", type=int, default=96,
+                        help="rounds per diurnal cycle (default: 96)")
+    replay.add_argument("--straggler-rate", type=float, default=0.0,
+                        help="per-round P(a rack stalls)")
+    replay.add_argument("--straggler-stall", type=float, default=0.0,
+                        help="seconds added to every worker in a stalled "
+                             "rack")
+    replay.add_argument("--rack-size", type=int, default=16,
+                        help="workers per correlated-failure rack")
+    replay.add_argument("--churn-leave", type=float, default=0.0,
+                        help="per-round P(an active worker leaves)")
+    replay.add_argument("--churn-join", type=float, default=0.0,
+                        help="per-round P(an inactive worker rejoins)")
+    replay.add_argument("--min-active", type=int, default=1,
+                        help="churn floor on active workers")
+    replay.add_argument("--out", default=None, metavar="PATH",
+                        help="write the synthetic repro-trace/1 here "
+                             "(inspect with `python -m repro trace PATH`)")
+    replay.add_argument("--results-dir", default=None,
+                        help="also write fleet_replay.txt into this "
+                             "directory for `repro report`")
 
     trace = sub.add_parser(
         "trace", help="inspect a recorded flight-recorder trace"
@@ -290,8 +351,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             fault_duplicate_rate=args.fault_duplicate,
             fault_corrupt_rate=args.fault_corrupt,
             fault_seed=args.fault_seed,
+            elastic_schedule=args.elastic,
+            staleness=args.stale,
         )
         history = run_experiment(spec, use_cache=False)
+    except OSError as exc:
+        print(f"error: cannot load schedule: {exc}", file=sys.stderr)
+        return 2
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -318,8 +384,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
             rows,
             title=(
                 f"{args.method} / {args.model} / {args.profile} "
-                f"({args.workers} workers, {args.cluster}, "
-                f"backend={args.backend})"
+                f"({history.num_workers} workers, {args.cluster}, "
+                f"backend={args.backend}"
+                + (", elastic" if args.elastic else "")
+                + (f", stale={args.stale}" if args.stale is not None else "")
+                + ")"
             ),
         )
     )
@@ -330,6 +399,49 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if tracing:
         print(f"trace written to {args.trace} "
               f"(inspect with `python -m repro trace {args.trace}`)")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .fleet import FleetScenario, ReplayError, run_replay
+
+    try:
+        scenario = FleetScenario(
+            workers=args.workers,
+            rounds=args.rounds,
+            seed=args.seed,
+            staleness=args.stale,
+            gather=args.gather,
+            diurnal_amplitude=args.diurnal_amplitude,
+            diurnal_period=args.diurnal_period,
+            straggler_rate=args.straggler_rate,
+            straggler_stall=args.straggler_stall,
+            rack_size=args.rack_size,
+            churn_leave_prob=args.churn_leave,
+            churn_join_prob=args.churn_join,
+            min_active=args.min_active,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        outcome = run_replay(
+            args.path,
+            scenario,
+            out_path=args.out,
+            results_dir=args.results_dir,
+        )
+    except (ReplayError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(outcome["summary"], end="")
+    stats = outcome["trace_stats"]
+    print(
+        f"\nsynthetic trace: {stats['events']} schema-valid events"
+        + (f", written to {args.out}" if args.out else "")
+    )
+    if args.results_dir:
+        print(f"summary written to {args.results_dir}/fleet_replay.txt")
     return 0
 
 
@@ -575,6 +687,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compress(args)
     if args.command == "train":
         return _cmd_train(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "compare":

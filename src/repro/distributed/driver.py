@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,24 +29,44 @@ __all__ = ["Driver", "DriverStepResult", "aggregate_sparse_gradients"]
 
 def aggregate_sparse_gradients(
     gradients: Sequence[Tuple[np.ndarray, np.ndarray]],
+    weights: Optional[Sequence[float]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Average sparse gradients: union of keys, per-key mean over workers.
 
-    Each worker's gradient is already the mean over its own batch; the
-    global mini-batch is their disjoint union with (near-)equal sizes,
-    so the aggregate divides the per-key sums by the worker count.
+    Each worker's gradient is already the mean over its own batch.
+    With ``weights=None`` the global mini-batch is a disjoint union of
+    (near-)equal shards, so the aggregate divides the per-key sums by
+    the worker count — the classic fixed-membership path, byte-for-byte
+    unchanged.  Elastic runs pass explicit ``weights`` (one per
+    gradient, summing to 1 — shard-size fractions over the surviving
+    membership) and the aggregate is the weighted sum ``Σ wᵢ gᵢ``; with
+    equal shards that reduces to the same mean.
     """
     if not gradients:
         raise ValueError("nothing to aggregate")
     num_workers = len(gradients)
     all_keys = np.concatenate([keys for keys, _ in gradients])
-    all_values = np.concatenate([values for _, values in gradients])
+    if weights is None:
+        all_values = np.concatenate([values for _, values in gradients])
+    else:
+        if len(weights) != num_workers:
+            raise ValueError(
+                f"{len(weights)} weights for {num_workers} gradients"
+            )
+        all_values = np.concatenate(
+            [
+                np.asarray(values, dtype=np.float64) * float(w)
+                for (_, values), w in zip(gradients, weights)
+            ]
+        )
     if all_keys.size == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
     unique_keys, inverse = np.unique(all_keys, return_inverse=True)
     summed = np.zeros(unique_keys.size, dtype=np.float64)
     np.add.at(summed, inverse, all_values)
-    return unique_keys, summed / num_workers
+    if weights is None:
+        summed /= num_workers
+    return unique_keys, summed
 
 
 @dataclass
@@ -75,15 +95,21 @@ class Driver:
         self.dimension = int(dimension)
 
     def aggregate(
-        self, messages: Sequence[CompressedGradient]
+        self,
+        messages: Sequence[CompressedGradient],
+        weights: Optional[Sequence[float]] = None,
     ) -> DriverStepResult:
-        """Decode all worker messages, average, re-encode for broadcast."""
+        """Decode all worker messages, average, re-encode for broadcast.
+
+        ``weights`` re-weights the aggregate over an uneven membership
+        (elastic runs); ``None`` is the classic per-key mean.
+        """
         t0 = time.perf_counter()
         gradients: List[Tuple[np.ndarray, np.ndarray]] = [
             self.compressor.decompress(message) for message in messages
         ]
         t1 = time.perf_counter()
-        keys, values = aggregate_sparse_gradients(gradients)
+        keys, values = aggregate_sparse_gradients(gradients, weights)
         t2 = time.perf_counter()
         broadcast = self.compressor.compress(keys, values, self.dimension)
         # Replicas apply exactly what they can decode, so the driver

@@ -1,0 +1,251 @@
+"""Per-worker cost models fitted from recorded ``repro-trace/1`` flights.
+
+The flight recorder captures what a real run *did*: every
+``worker.step`` span (compute + encode on that worker), every
+``runtime.gather`` span (driver-side wire wait + decode), and the
+``trainer.*`` accounting counters.  :func:`fit_cost_model` distils
+those into a :class:`CostModel` — per-worker step-duration
+distributions (lognormal, the standard shape for service times) plus
+driver-side decode cost, per-message wire bytes, and a residual wire
+latency — which the :mod:`repro.fleet.simulator` then samples to play
+scaled what-if fleets in virtual time.
+
+Assumptions and limits (also in ``docs/fleet.md``): step spans fold
+compute and encode together; wire latency is the residual of the
+gather span over the slowest step of the same round, so it absorbs
+scheduling noise; nothing here models queueing at the driver beyond
+the serial-decode pipeline the simulator reconstructs.  The model is
+deliberately small and serialisable (:meth:`CostModel.to_dict`) so a
+fit can be pinned as a golden fixture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CostModelError", "WorkerCost", "CostModel", "fit_cost_model"]
+
+#: Floor for log-space fitting — a span of exactly 0.0 s (clock
+#: granularity) must not produce ``log(0)``.
+_MIN_SECONDS = 1e-9
+
+
+class CostModelError(ValueError):
+    """The trace does not contain enough signal to fit a cost model."""
+
+
+@dataclass(frozen=True)
+class WorkerCost:
+    """One worker's step-duration distribution (compute + encode).
+
+    ``log_mean`` / ``log_std`` parameterise a lognormal fitted over the
+    worker's ``worker.step`` span durations; ``mean`` / ``std`` are the
+    plain moments kept for reporting and regression pinning.
+    """
+
+    worker: int
+    samples: int
+    mean: float
+    std: float
+    log_mean: float
+    log_std: float
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw step durations (seconds) from the fitted lognormal."""
+        draws = np.exp(
+            self.log_mean + self.log_std * rng.standard_normal(size)
+        )
+        return np.maximum(draws, _MIN_SECONDS)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Everything the fleet simulator needs from one recorded run."""
+
+    workers: Tuple[WorkerCost, ...]
+    bytes_per_message: float
+    raw_bytes_per_message: float
+    decode_seconds_per_message: float
+    wire_latency_seconds: float
+    rounds_per_epoch: float
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": [
+                {
+                    "worker": c.worker,
+                    "samples": c.samples,
+                    "mean": c.mean,
+                    "std": c.std,
+                    "log_mean": c.log_mean,
+                    "log_std": c.log_std,
+                }
+                for c in self.workers
+            ],
+            "bytes_per_message": self.bytes_per_message,
+            "raw_bytes_per_message": self.raw_bytes_per_message,
+            "decode_seconds_per_message": self.decode_seconds_per_message,
+            "wire_latency_seconds": self.wire_latency_seconds,
+            "rounds_per_epoch": self.rounds_per_epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, object]) -> "CostModel":
+        workers = tuple(
+            WorkerCost(
+                worker=int(c["worker"]),
+                samples=int(c["samples"]),
+                mean=float(c["mean"]),
+                std=float(c["std"]),
+                log_mean=float(c["log_mean"]),
+                log_std=float(c["log_std"]),
+            )
+            for c in obj["workers"]
+        )
+        return cls(
+            workers=workers,
+            bytes_per_message=float(obj["bytes_per_message"]),
+            raw_bytes_per_message=float(obj["raw_bytes_per_message"]),
+            decode_seconds_per_message=float(
+                obj["decode_seconds_per_message"]
+            ),
+            wire_latency_seconds=float(obj["wire_latency_seconds"]),
+            rounds_per_epoch=float(obj["rounds_per_epoch"]),
+        )
+
+
+def _lognormal_fit(durations: List[float]) -> Tuple[int, float, float, float, float]:
+    arr = np.maximum(np.asarray(durations, dtype=np.float64), _MIN_SECONDS)
+    # Ragged epoch ends record near-instant no-batch probe steps; they
+    # are not service times and would blow up the log-space variance
+    # (and with it every simulated tail percentile).  Keep spans within
+    # a generous factor of the median real step.
+    median = float(np.median(arr))
+    kept = arr[arr >= 0.05 * median]
+    if kept.size == 0:
+        kept = arr
+    logs = np.log(kept)
+    return (
+        int(kept.size),
+        float(kept.mean()),
+        float(kept.std()),
+        float(logs.mean()),
+        float(logs.std()),
+    )
+
+
+def fit_cost_model(events: Iterable[Dict[str, object]]) -> CostModel:
+    """Fit a :class:`CostModel` from parsed trace events.
+
+    Requires ``worker.step`` spans (any backend records them).  Gather
+    spans, ``trainer.*`` counters, and epoch context are used when
+    present and degrade gracefully when absent (wire latency and byte
+    rates fall back to 0 — the simulator still runs, it just models a
+    free wire).
+    """
+    step_durs: Dict[int, List[float]] = {}
+    round_max_step: Dict[Tuple[int, int], float] = {}
+    gather_durs: Dict[Tuple[int, int], float] = {}
+    epoch_rounds: Dict[int, set] = {}
+    counters = {"bytes_sent": 0, "raw_bytes": 0, "num_messages": 0}
+    decode_seconds = 0.0
+    for event in events:
+        etype = event.get("type")
+        name = event.get("name")
+        if etype == "span":
+            dur = float(event.get("dur", 0.0))
+            if name == "worker.step":
+                worker = event.get("worker")
+                if worker is None:
+                    continue
+                step_durs.setdefault(int(worker), []).append(dur)
+                round_id = event.get("round")
+                if round_id is not None:
+                    key = (int(event.get("pid", 0)), int(round_id))
+                    round_max_step[key] = max(
+                        round_max_step.get(key, 0.0), dur
+                    )
+            elif name == "runtime.gather" and event.get("phase") == "step":
+                round_id = event.get("round")
+                if round_id is not None:
+                    key = (0, int(round_id))
+                    gather_durs[key] = max(
+                        gather_durs.get(key, 0.0), dur
+                    )
+            elif name == "trainer.round":
+                epoch = event.get("epoch")
+                round_id = event.get("round")
+                if epoch is not None and round_id is not None:
+                    epoch_rounds.setdefault(int(epoch), set()).add(
+                        int(round_id)
+                    )
+        elif etype == "counter" and name:
+            stem = str(name)
+            if stem.startswith("trainer."):
+                field = stem[len("trainer."):]
+                if field in counters:
+                    counters[field] += int(event.get("value", 0))
+        elif etype == "measure" and name == "trainer.decode_seconds":
+            decode_seconds += float(event.get("value", 0.0))
+    if not step_durs:
+        raise CostModelError(
+            "trace contains no worker.step spans; record one with "
+            "`repro train --trace run.jsonl` first"
+        )
+
+    workers = tuple(
+        WorkerCost(worker, *_lognormal_fit(durs))
+        for worker, durs in sorted(step_durs.items())
+    )
+
+    num_messages = counters["num_messages"]
+    bytes_per_message = (
+        counters["bytes_sent"] / num_messages if num_messages else 0.0
+    )
+    raw_bytes_per_message = (
+        counters["raw_bytes"] / num_messages if num_messages else 0.0
+    )
+    decode_per_message = (
+        decode_seconds / num_messages if num_messages else 0.0
+    )
+
+    # Wire latency: residual of each step-phase gather over the slowest
+    # worker.step of a matching round.  Worker spans land in per-worker
+    # pid files, so rounds are matched by round id across all pids.
+    max_step_by_round: Dict[int, float] = {}
+    for (_, round_id), dur in round_max_step.items():
+        max_step_by_round[round_id] = max(
+            max_step_by_round.get(round_id, 0.0), dur
+        )
+    residuals = [
+        max(0.0, dur - max_step_by_round.get(round_id, 0.0))
+        for (_, round_id), dur in sorted(gather_durs.items())
+    ]
+    wire_latency = float(np.median(residuals)) if residuals else 0.0
+
+    if epoch_rounds:
+        rounds_per_epoch = float(
+            np.mean([len(rounds) for rounds in epoch_rounds.values()])
+        )
+    else:
+        total = max((len(d) for d in step_durs.values()), default=0)
+        rounds_per_epoch = float(total)
+    if not math.isfinite(rounds_per_epoch) or rounds_per_epoch <= 0:
+        rounds_per_epoch = 1.0
+
+    return CostModel(
+        workers=workers,
+        bytes_per_message=float(bytes_per_message),
+        raw_bytes_per_message=float(raw_bytes_per_message),
+        decode_seconds_per_message=float(decode_per_message),
+        wire_latency_seconds=wire_latency,
+        rounds_per_epoch=rounds_per_epoch,
+    )

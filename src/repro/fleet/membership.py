@@ -1,0 +1,259 @@
+"""Seeded membership schedules for elastic training runs.
+
+A :class:`MembershipSchedule` is the ground truth of *who trains when*:
+it fixes the initially active worker set and a sorted list of
+join/leave events keyed by the global aggregated-round index.  The
+schedule is validated up front (a leave must name an active worker, a
+join an inactive one, and the active set may never empty), serialises
+to a small JSON document (``repro-fleet-schedule/1``, the format
+``repro train --elastic sched.json`` loads — see ``docs/fleet.md``),
+and can be generated from a seed — the same generator drives churn in
+the :mod:`repro.fleet.simulator` replay engine.
+
+Because every membership decision is driver-side data, two backends
+running the same schedule under the same seed make byte-identical
+membership transitions — the elastic half of the fleet subsystem's
+bit-identity guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SCHEDULE_SCHEMA",
+    "MembershipEvent",
+    "MembershipSchedule",
+    "ScheduleError",
+    "shard_weights",
+]
+
+SCHEDULE_SCHEMA = "repro-fleet-schedule/1"
+
+
+class ScheduleError(ValueError):
+    """A membership schedule is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change, applied *before* the named round runs.
+
+    Attributes:
+        round: global aggregated-round index (>= 1; round 0 always
+            runs with the schedule's start set).
+        joins: worker ids entering the membership at this round.
+        leaves: worker ids exiting at this round.
+    """
+
+    round: int
+    joins: Tuple[int, ...] = ()
+    leaves: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "joins", tuple(sorted(self.joins)))
+        object.__setattr__(self, "leaves", tuple(sorted(self.leaves)))
+        if self.round < 1:
+            raise ScheduleError(
+                f"membership events start at round 1, got {self.round}"
+            )
+        if not self.joins and not self.leaves:
+            raise ScheduleError(f"event at round {self.round} is empty")
+        overlap = set(self.joins) & set(self.leaves)
+        if overlap:
+            raise ScheduleError(
+                f"round {self.round}: workers {sorted(overlap)} both "
+                "join and leave"
+            )
+
+
+@dataclass(frozen=True)
+class MembershipSchedule:
+    """A validated timeline of elastic membership over one run.
+
+    Attributes:
+        num_workers: the worker *universe* ``W`` (ids ``0..W-1``); every
+            worker is booted once, and membership is a logical overlay
+            (detach/attach) on top of the running fleet.
+        start: initially active ids (defaults to the full universe).
+        events: membership changes, strictly increasing in ``round``.
+    """
+
+    num_workers: int
+    start: Tuple[int, ...] = ()
+    events: Tuple[MembershipEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ScheduleError("num_workers must be positive")
+        universe = range(self.num_workers)
+        start = tuple(sorted(self.start)) or tuple(universe)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "events", tuple(self.events))
+        if any(w not in universe for w in start):
+            raise ScheduleError(
+                f"start set {start} outside universe 0..{self.num_workers - 1}"
+            )
+        rounds = [e.round for e in self.events]
+        if rounds != sorted(set(rounds)):
+            raise ScheduleError(
+                "events must be strictly increasing in round"
+            )
+        active = set(start)
+        for event in self.events:
+            bad = [w for w in event.joins + event.leaves if w not in universe]
+            if bad:
+                raise ScheduleError(
+                    f"round {event.round}: workers {bad} outside universe"
+                )
+            already = [w for w in event.joins if w in active]
+            if already:
+                raise ScheduleError(
+                    f"round {event.round}: joins {already} already active"
+                )
+            missing = [w for w in event.leaves if w not in active]
+            if missing:
+                raise ScheduleError(
+                    f"round {event.round}: leaves {missing} not active"
+                )
+            active |= set(event.joins)
+            active -= set(event.leaves)
+            if not active:
+                raise ScheduleError(
+                    f"round {event.round}: membership would empty"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def max_event_round(self) -> int:
+        """The last round at which membership changes (0 if static)."""
+        return self.events[-1].round if self.events else 0
+
+    def event_at(self, round_index: int) -> Optional[MembershipEvent]:
+        """The event applied before ``round_index``, if any."""
+        for event in self.events:
+            if event.round == round_index:
+                return event
+            if event.round > round_index:
+                return None
+        return None
+
+    def active_at(self, round_index: int) -> Tuple[int, ...]:
+        """Sorted active worker ids for the given round."""
+        active = set(self.start)
+        for event in self.events:
+            if event.round > round_index:
+                break
+            active |= set(event.joins)
+            active -= set(event.leaves)
+        return tuple(sorted(active))
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEDULE_SCHEMA,
+            "num_workers": self.num_workers,
+            "start": list(self.start),
+            "events": [
+                {
+                    "round": e.round,
+                    "join": list(e.joins),
+                    "leave": list(e.leaves),
+                }
+                for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, object]) -> "MembershipSchedule":
+        schema = obj.get("schema", SCHEDULE_SCHEMA)
+        if schema != SCHEDULE_SCHEMA:
+            raise ScheduleError(f"unknown schedule schema {schema!r}")
+        events = tuple(
+            MembershipEvent(
+                round=int(e["round"]),
+                joins=tuple(int(w) for w in e.get("join", ())),
+                leaves=tuple(int(w) for w in e.get("leave", ())),
+            )
+            for e in obj.get("events", ())
+        )
+        return cls(
+            num_workers=int(obj["num_workers"]),
+            start=tuple(int(w) for w in obj.get("start", ())),
+            events=events,
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "MembershipSchedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(json.load(fh))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(
+        cls,
+        num_workers: int,
+        rounds: int,
+        seed: int,
+        *,
+        leave_prob: float = 0.05,
+        join_prob: float = 0.1,
+        min_active: int = 1,
+    ) -> "MembershipSchedule":
+        """Generate a random-but-reproducible churn timeline.
+
+        Each round, every active worker leaves with ``leave_prob`` (as
+        long as ``min_active`` survive) and every inactive worker
+        rejoins with ``join_prob``.  The same ``(seed, parameters)``
+        always yield the same schedule — this generator is shared by
+        elastic training and the replay engine's churn model.
+        """
+        if not 1 <= min_active <= num_workers:
+            raise ScheduleError("min_active must be in [1, num_workers]")
+        rng = np.random.default_rng([seed, num_workers, rounds])
+        active = set(range(num_workers))
+        events: List[MembershipEvent] = []
+        for round_index in range(1, rounds):
+            joins = [
+                w for w in sorted(set(range(num_workers)) - active)
+                if rng.random() < join_prob
+            ]
+            leaves = []
+            for w in sorted(active):
+                if len(active) - len(leaves) + len(joins) <= min_active:
+                    break
+                if rng.random() < leave_prob:
+                    leaves.append(w)
+            if joins or leaves:
+                events.append(
+                    MembershipEvent(
+                        round=round_index,
+                        joins=tuple(joins),
+                        leaves=tuple(leaves),
+                    )
+                )
+                active |= set(joins)
+                active -= set(leaves)
+        return cls(num_workers=num_workers, events=tuple(events))
+
+
+def shard_weights(shard_sizes: Dict[int, int]) -> Dict[int, float]:
+    """Aggregation weights from shard sizes: ``sizeᵢ / Σ size``.
+
+    The deterministic re-partition covers the full training set on
+    every membership change, so the weights of the active workers sum
+    to 1 (up to float rounding) — the invariant the elastic tests pin.
+    """
+    total = float(sum(shard_sizes.values()))
+    if total <= 0:
+        raise ValueError("shard sizes must sum to a positive count")
+    return {w: n / total for w, n in sorted(shard_sizes.items())}

@@ -1,0 +1,217 @@
+"""``repro replay`` — trace-driven fleet replay, end to end.
+
+:func:`run_replay` glues the fleet pipeline together: read a recorded
+``repro-trace/1`` flight (:func:`repro.telemetry.merge.read_trace`),
+fit a per-worker :class:`~repro.fleet.costmodel.CostModel`, play a
+scaled :class:`~repro.fleet.simulator.FleetScenario` in virtual time,
+and emit
+
+* a **synthetic trace** — schema-valid ``repro-trace/1`` JSONL
+  (``fleet.round`` spans, ``fleet.bytes_sent`` counters,
+  ``fleet.active_workers`` gauges, ``fleet.straggler`` events, and
+  sampled ``fleet.worker.step`` spans) that ``repro trace`` renders and
+  ``repro trace --validate`` accepts, and
+* a **fleet summary** written to ``benchmarks/results/fleet_replay.txt``
+  for the report generator.
+
+Timestamps in the synthetic trace are *virtual* seconds from 0, not
+wall-clock — the meta event says so in its ``attrs``.  Very long
+simulations are strided down to :data:`MAX_TRACE_ROUNDS` emitted rounds
+so the synthetic trace stays tractable; the stride is recorded in the
+meta attrs rather than applied silently.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..telemetry.merge import read_trace, write_trace
+from ..telemetry.schema import SCHEMA, validate_trace
+from .costmodel import CostModel, CostModelError, fit_cost_model
+from .simulator import FleetResult, FleetScenario, simulate_fleet
+
+__all__ = ["ReplayError", "MAX_TRACE_ROUNDS", "synthesize_trace", "run_replay"]
+
+#: Emit at most this many round spans into the synthetic trace.
+MAX_TRACE_ROUNDS = 5000
+
+
+class ReplayError(RuntimeError):
+    """A replay run could not be completed."""
+
+
+def synthesize_trace(
+    result: FleetResult, run_id: str = "fleet-replay"
+) -> List[Dict[str, object]]:
+    """Render a :class:`FleetResult` as ``repro-trace/1`` events."""
+    pid = os.getpid()
+    seq = 0
+    stride = max(1, -(-len(result.rounds) // MAX_TRACE_ROUNDS))
+    events: List[Dict[str, object]] = []
+
+    def emit(event: Dict[str, object]) -> None:
+        nonlocal seq
+        event.setdefault("pid", pid)
+        event["seq"] = seq
+        event.setdefault("run", run_id)
+        seq += 1
+        events.append(event)
+
+    emit(
+        {
+            "type": "meta",
+            "ts": 0.0,
+            "schema": SCHEMA,
+            "source": "driver",
+            "attrs": {
+                "synthetic": True,
+                "timebase": "virtual-seconds",
+                "round_stride": stride,
+                "workers": result.scenario.workers,
+            },
+        }
+    )
+    kept_rounds = set()
+    last_active: Optional[int] = None
+    for record in result.rounds[::stride]:
+        kept_rounds.add(record.round)
+        if record.active != last_active:
+            emit(
+                {
+                    "type": "gauge",
+                    "ts": record.start,
+                    "name": "fleet.active_workers",
+                    "value": record.active,
+                    "round": record.round,
+                }
+            )
+            last_active = record.active
+        emit(
+            {
+                "type": "span",
+                "ts": record.start,
+                "name": "fleet.round",
+                "dur": record.duration,
+                "round": record.round,
+                "phase": "replay",
+            }
+        )
+        emit(
+            {
+                "type": "counter",
+                "ts": record.start + record.duration,
+                "name": "fleet.bytes_sent",
+                "value": record.bytes_sent,
+                "round": record.round,
+            }
+        )
+        if record.stalled_racks:
+            emit(
+                {
+                    "type": "event",
+                    "ts": record.start,
+                    "name": "fleet.straggler",
+                    "round": record.round,
+                    "attrs": {
+                        "racks": list(record.stalled_racks),
+                        "seconds": record.straggler_seconds,
+                    },
+                }
+            )
+    for round_index, worker, start, dur in result.worker_samples:
+        if round_index not in kept_rounds:
+            continue
+        emit(
+            {
+                "type": "span",
+                "ts": start,
+                "name": "fleet.worker.step",
+                "dur": dur,
+                "round": round_index,
+                "worker": worker,
+                "phase": "replay",
+            }
+        )
+    emit(
+        {
+            "type": "event",
+            "ts": result.total_seconds,
+            "name": "fleet.replay_done",
+            "attrs": result.summary_dict(),
+        }
+    )
+    return events
+
+
+def _summary_text(
+    trace_path: str, model: CostModel, result: FleetResult
+) -> str:
+    header = [
+        f"source trace        {os.path.basename(trace_path)}",
+        f"recorded workers    {model.num_workers}",
+        f"fitted step mean    "
+        f"{sum(c.mean for c in model.workers) / model.num_workers:.4f} s",
+        f"decode/message      {model.decode_seconds_per_message * 1e3:.4f} ms",
+        f"wire latency        {model.wire_latency_seconds * 1e3:.4f} ms",
+        f"bytes/message       {model.bytes_per_message:.1f}",
+    ]
+    return "\n".join(header) + "\n\n" + result.summary() + "\n"
+
+
+def run_replay(
+    trace_path: str,
+    scenario: FleetScenario,
+    *,
+    out_path: Optional[str] = None,
+    results_dir: Optional[str] = None,
+    run_id: str = "fleet-replay",
+) -> Dict[str, object]:
+    """Replay a recorded trace as a scaled fleet.
+
+    Args:
+        trace_path: recorded ``repro-trace/1`` JSONL (merged or
+            single-process).
+        scenario: the what-if fleet to simulate.
+        out_path: where to write the synthetic trace (optional).
+        results_dir: if given, write ``fleet_replay.txt`` there for the
+            benchmark report.
+        run_id: ``run`` context stamped on every synthetic event.
+
+    Returns:
+        ``{"model", "result", "summary", "trace_stats", "events"}`` —
+        the fitted model, the simulation outcome, the summary text, the
+        :func:`validate_trace` stats of the synthetic trace, and the
+        synthetic event count.
+    """
+    try:
+        recorded = read_trace(trace_path)
+    except OSError as exc:
+        raise ReplayError(f"cannot read trace {trace_path!r}: {exc}") from exc
+    if not recorded:
+        raise ReplayError(f"trace {trace_path!r} contains no events")
+    try:
+        model = fit_cost_model(recorded)
+    except CostModelError as exc:
+        raise ReplayError(str(exc)) from exc
+    result = simulate_fleet(model, scenario)
+    synthetic = synthesize_trace(result, run_id=run_id)
+    stats = validate_trace(synthetic)
+    if out_path:
+        write_trace(synthetic, out_path)
+    summary = _summary_text(trace_path, model, result)
+    if results_dir:
+        os.makedirs(results_dir, exist_ok=True)
+        with open(
+            os.path.join(results_dir, "fleet_replay.txt"),
+            "w",
+            encoding="utf-8",
+        ) as fh:
+            fh.write(summary)
+    return {
+        "model": model,
+        "result": result,
+        "summary": summary,
+        "trace_stats": stats,
+        "events": len(synthetic),
+    }

@@ -1,0 +1,525 @@
+"""Virtual-time fleet simulator: scaled what-if runs over a cost model.
+
+:func:`simulate_fleet` plays a :class:`~repro.fleet.costmodel.CostModel`
+fitted from a small recorded run against a :class:`FleetScenario`
+describing a much larger fleet — thousands of workers, diurnal load
+swings, rack-correlated straggler shocks, and seeded churn (reusing
+:meth:`MembershipSchedule.seeded`, the same generator elastic training
+uses).  Everything runs in *virtual* time: the module never sleeps,
+never touches a socket, and draws every sample from explicitly seeded
+generators, so a scenario replays bit-identically and the lint
+``async-discipline`` / ``seed-flow`` tiers both hold.
+
+Two gather disciplines are modelled for synchronous rounds:
+
+* ``barrier`` — the driver waits for the slowest worker, then decodes
+  all messages serially: ``max(finish) + n·decode + latency``.
+* ``overlap`` — decode is pipelined in arrival order (the aio
+  transport's behaviour): each message decodes at
+  ``max(arrival, previous decode end) + decode``.
+
+With ``staleness`` set the simulation switches to an event-driven
+bounded-async loop using the same gate as
+:class:`~repro.fleet.trainer.FleetTrainer`: a worker may run ahead of
+the slowest active peer by at most ``staleness`` steps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .costmodel import CostModel
+from .membership import MembershipSchedule
+
+__all__ = [
+    "FleetScenario",
+    "RoundRecord",
+    "FleetResult",
+    "simulate_fleet",
+]
+
+#: Diurnal load never drops a worker below 10% of its fitted speed.
+_MIN_LOAD_FACTOR = 0.1
+
+#: At most this many workers get per-step spans in the synthetic trace.
+_MAX_SAMPLED_WORKERS = 8
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Knobs of one simulated fleet.
+
+    Attributes:
+        workers: simulated fleet size (personas cycle the recorded
+            workers with seeded speed jitter).
+        rounds: synchronous rounds (or per-worker steps in stale mode).
+        seed: master seed; every stream derives from it.
+        staleness: bounded-async slack; ``None`` = fully synchronous.
+        gather: ``"overlap"`` (pipelined decode) or ``"barrier"``.
+        diurnal_amplitude: load swing in ``1 + A·sin(2πr/period)``.
+        diurnal_period: rounds per diurnal cycle.
+        straggler_rate: per-round probability that a rack stalls.
+        straggler_stall: seconds added to every worker in a stalled rack.
+        rack_size: workers per rack (correlated-failure domain).
+        churn_leave_prob / churn_join_prob: per-round membership churn
+            (0 = static fleet), fed to :meth:`MembershipSchedule.seeded`.
+        min_active: churn never drops membership below this.
+    """
+
+    workers: int
+    rounds: int
+    seed: int = 0
+    staleness: Optional[int] = None
+    gather: str = "overlap"
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 96
+    straggler_rate: float = 0.0
+    straggler_stall: float = 0.0
+    rack_size: int = 16
+    churn_leave_prob: float = 0.0
+    churn_join_prob: float = 0.0
+    min_active: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.rounds < 1:
+            raise ValueError("rounds must be positive")
+        if self.gather not in ("overlap", "barrier"):
+            raise ValueError(f"unknown gather discipline {self.gather!r}")
+        if self.staleness is not None and self.staleness < 0:
+            raise ValueError("staleness must be >= 0")
+        if not 0.0 <= self.diurnal_amplitude:
+            raise ValueError("diurnal_amplitude must be >= 0")
+        if self.diurnal_period < 1:
+            raise ValueError("diurnal_period must be positive")
+        if not 0.0 <= self.straggler_rate <= 1.0:
+            raise ValueError("straggler_rate must be in [0, 1]")
+        if self.straggler_stall < 0.0:
+            raise ValueError("straggler_stall must be >= 0")
+        if self.rack_size < 1:
+            raise ValueError("rack_size must be positive")
+        if not 0.0 <= self.churn_leave_prob <= 1.0:
+            raise ValueError("churn_leave_prob must be in [0, 1]")
+        if not 0.0 <= self.churn_join_prob <= 1.0:
+            raise ValueError("churn_join_prob must be in [0, 1]")
+        if not 1 <= self.min_active <= self.workers:
+            raise ValueError("min_active must be in [1, workers]")
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One simulated round (or one applied step in stale mode)."""
+
+    round: int
+    start: float
+    duration: float
+    active: int
+    bytes_sent: int
+    stalled_racks: Tuple[int, ...]
+    straggler_seconds: float
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one :func:`simulate_fleet` run (virtual seconds)."""
+
+    scenario: FleetScenario
+    rounds: List[RoundRecord]
+    worker_samples: List[Tuple[int, int, float, float]]
+    total_seconds: float
+    bytes_total: int
+    straggler_seconds: float
+    membership_changes: int
+    rounds_per_epoch: float
+    percentiles: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Estimated wall time of one epoch at this fleet's round rate.
+
+        Synchronous mode extrapolates the mean round duration; stale
+        mode (steps run concurrently) scales total completion time by
+        epoch-steps over simulated steps per worker.
+        """
+        if not self.rounds:
+            return 0.0
+        if self.scenario.staleness is not None:
+            return (
+                self.total_seconds
+                * self.rounds_per_epoch
+                / self.scenario.rounds
+            )
+        mean_round = self.total_seconds / len(self.rounds)
+        return mean_round * self.rounds_per_epoch
+
+    def summary_dict(self) -> Dict[str, object]:
+        s = self.scenario
+        return {
+            "workers": s.workers,
+            "rounds_simulated": len(self.rounds),
+            "mode": (
+                f"stale(N={s.staleness})" if s.staleness is not None
+                else f"sync/{s.gather}"
+            ),
+            "seed": s.seed,
+            "total_seconds": self.total_seconds,
+            "epoch_seconds": self.epoch_seconds,
+            "round_p50": self.percentiles.get("p50", 0.0),
+            "round_p90": self.percentiles.get("p90", 0.0),
+            "round_p99": self.percentiles.get("p99", 0.0),
+            "bytes_total": self.bytes_total,
+            "straggler_seconds": self.straggler_seconds,
+            "membership_changes": self.membership_changes,
+        }
+
+    def summary(self) -> str:
+        """Fixed-width fleet summary for ``benchmarks/results/``."""
+        d = self.summary_dict()
+        straggler_share = (
+            self.straggler_seconds / self.total_seconds
+            if self.total_seconds > 0 else 0.0
+        )
+        lines = [
+            f"workers             {d['workers']}",
+            f"mode                {d['mode']}",
+            f"seed                {d['seed']}",
+            f"rounds simulated    {d['rounds_simulated']}",
+            f"total virtual time  {self.total_seconds:.3f} s",
+            f"epoch estimate      {self.epoch_seconds:.3f} s "
+            f"({self.rounds_per_epoch:.1f} rounds/epoch)",
+            f"round p50/p90/p99   {d['round_p50']:.4f} / "
+            f"{d['round_p90']:.4f} / {d['round_p99']:.4f} s",
+            f"bytes on wire       {self.bytes_total}",
+            f"straggler time      {self.straggler_seconds:.3f} s "
+            f"({straggler_share:.1%} of total)",
+            f"membership changes  {self.membership_changes}",
+        ]
+        return "\n".join(lines)
+
+
+def _personas(
+    model: CostModel, scenario: FleetScenario
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-simulated-worker lognormal parameters.
+
+    Worker ``i`` inherits recorded worker ``i mod R`` and a seeded speed
+    jitter in ``[0.85, 1.15]`` so scaled fleets are not ``R`` identical
+    cohorts.
+    """
+    rng = np.random.default_rng([scenario.seed, scenario.workers, 5])
+    recorded = model.workers
+    idx = np.arange(scenario.workers) % len(recorded)
+    log_means = np.array([recorded[i].log_mean for i in idx])
+    log_stds = np.array([recorded[i].log_std for i in idx])
+    jitter = 0.85 + 0.3 * rng.random(scenario.workers)
+    return log_means + np.log(jitter), log_stds
+
+
+def _churn_schedule(scenario: FleetScenario) -> MembershipSchedule:
+    if scenario.churn_leave_prob <= 0.0 and scenario.churn_join_prob <= 0.0:
+        return MembershipSchedule(num_workers=scenario.workers)
+    return MembershipSchedule.seeded(
+        scenario.workers,
+        scenario.rounds,
+        scenario.seed,
+        leave_prob=scenario.churn_leave_prob,
+        join_prob=scenario.churn_join_prob,
+        min_active=scenario.min_active,
+    )
+
+
+def _stalled_racks(
+    scenario: FleetScenario,
+    rng: np.random.Generator,
+    num_racks: int,
+) -> Tuple[int, ...]:
+    if scenario.straggler_rate <= 0.0 or scenario.straggler_stall <= 0.0:
+        return ()
+    hits = rng.random(num_racks) < scenario.straggler_rate
+    return tuple(int(r) for r in np.flatnonzero(hits))
+
+
+def _gather_end(
+    finishes: np.ndarray, decode: float, latency: float, discipline: str
+) -> float:
+    if finishes.size == 0:
+        return latency
+    if discipline == "barrier":
+        return float(finishes.max()) + finishes.size * decode + latency
+    # Pipelined decode in arrival order.
+    end = 0.0
+    for f in np.sort(finishes):
+        end = max(end, float(f)) + decode
+    return end + latency
+
+
+def simulate_fleet(model: CostModel, scenario: FleetScenario) -> FleetResult:
+    """Run one scenario against a fitted cost model in virtual time."""
+    log_means, log_stds = _personas(model, scenario)
+    schedule = _churn_schedule(scenario)
+    step_rng = np.random.default_rng([scenario.seed, 11])
+    shock_rng = np.random.default_rng([scenario.seed, 13])
+    num_racks = -(-scenario.workers // scenario.rack_size)
+    membership_changes = sum(
+        len(e.joins) + len(e.leaves) for e in schedule.events
+    )
+    sampled = frozenset(range(min(_MAX_SAMPLED_WORKERS, scenario.workers)))
+
+    if scenario.staleness is None:
+        return _simulate_sync(
+            model, scenario, schedule, log_means, log_stds,
+            step_rng, shock_rng, num_racks, membership_changes, sampled,
+        )
+    return _simulate_stale(
+        model, scenario, schedule, log_means, log_stds,
+        step_rng, shock_rng, num_racks, membership_changes, sampled,
+    )
+
+
+def _simulate_sync(
+    model: CostModel,
+    scenario: FleetScenario,
+    schedule: MembershipSchedule,
+    log_means: np.ndarray,
+    log_stds: np.ndarray,
+    step_rng: np.random.Generator,
+    shock_rng: np.random.Generator,
+    num_racks: int,
+    membership_changes: int,
+    sampled: frozenset,
+) -> FleetResult:
+    records: List[RoundRecord] = []
+    worker_samples: List[Tuple[int, int, float, float]] = []
+    active = set(schedule.start)
+    now = 0.0
+    bytes_total = 0
+    straggler_total = 0.0
+    decode = model.decode_seconds_per_message
+    latency = model.wire_latency_seconds
+    for round_index in range(scenario.rounds):
+        event = schedule.event_at(round_index)
+        if event is not None:
+            active |= set(event.joins)
+            active -= set(event.leaves)
+        ids = np.array(sorted(active), dtype=np.int64)
+        load = 1.0 + scenario.diurnal_amplitude * math.sin(
+            2.0 * math.pi * round_index / scenario.diurnal_period
+        )
+        load = max(_MIN_LOAD_FACTOR, load)
+        steps = np.exp(
+            log_means[ids] + log_stds[ids] * step_rng.standard_normal(ids.size)
+        ) * load
+        stalled = _stalled_racks(scenario, shock_rng, num_racks)
+        finishes = steps.copy()
+        if stalled:
+            racks = ids // scenario.rack_size
+            hit = np.isin(racks, np.asarray(stalled, dtype=np.int64))
+            finishes = finishes + hit * scenario.straggler_stall
+        duration = _gather_end(finishes, decode, latency, scenario.gather)
+        clean_duration = (
+            _gather_end(steps, decode, latency, scenario.gather)
+            if stalled else duration
+        )
+        straggler_seconds = max(0.0, duration - clean_duration)
+        round_bytes = int(round(2 * ids.size * model.bytes_per_message))
+        for w in sampled & active:
+            pos = int(np.searchsorted(ids, w))
+            worker_samples.append(
+                (round_index, w, now, float(finishes[pos]))
+            )
+        records.append(
+            RoundRecord(
+                round=round_index,
+                start=now,
+                duration=duration,
+                active=ids.size,
+                bytes_sent=round_bytes,
+                stalled_racks=stalled,
+                straggler_seconds=straggler_seconds,
+            )
+        )
+        now += duration
+        bytes_total += round_bytes
+        straggler_total += straggler_seconds
+    return _finish(
+        scenario, records, worker_samples, now, bytes_total,
+        straggler_total, membership_changes, model.rounds_per_epoch,
+    )
+
+
+def _simulate_stale(
+    model: CostModel,
+    scenario: FleetScenario,
+    schedule: MembershipSchedule,
+    log_means: np.ndarray,
+    log_stds: np.ndarray,
+    step_rng: np.random.Generator,
+    shock_rng: np.random.Generator,
+    num_racks: int,
+    membership_changes: int,
+    sampled: frozenset,
+) -> FleetResult:
+    """Event-driven bounded-async fleet.
+
+    Each active worker performs ``scenario.rounds`` steps, gated so its
+    progress never exceeds the slowest active peer's by more than
+    ``staleness``.  Membership events fire when the *progress floor*
+    reaches their round index (the SSP global clock); joiners are
+    seated at the floor.  Each applied step records one
+    :class:`RoundRecord` whose duration is the worker's step time plus
+    driver decode and wire latency.
+    """
+    staleness = int(scenario.staleness or 0)
+    decode = model.decode_seconds_per_message
+    latency = model.wire_latency_seconds
+    quota = scenario.rounds
+    active = set(schedule.start)
+    progress: Dict[int, int] = {w: 0 for w in active}
+    pending_events = list(schedule.events)
+    # Rack shocks are drawn per (rack, step-index) so they stay seeded
+    # and independent of heap pop order.
+    shock_table = (
+        shock_rng.random((quota, num_racks)) < scenario.straggler_rate
+        if scenario.straggler_rate > 0.0 and scenario.straggler_stall > 0.0
+        else None
+    )
+
+    def step_duration(w: int, step_index: int) -> Tuple[float, float]:
+        load = 1.0 + scenario.diurnal_amplitude * math.sin(
+            2.0 * math.pi * step_index / scenario.diurnal_period
+        )
+        load = max(_MIN_LOAD_FACTOR, load)
+        base = float(
+            np.exp(log_means[w] + log_stds[w] * step_rng.standard_normal())
+        ) * load
+        stall = 0.0
+        if shock_table is not None:
+            rack = w // scenario.rack_size
+            if shock_table[step_index % quota, rack]:
+                stall = scenario.straggler_stall
+        return base, stall
+
+    heap: List[Tuple[float, int, int]] = []
+    seq = 0
+    for w in sorted(active):
+        heapq.heappush(heap, (0.0, seq, w))
+        seq += 1
+    blocked: Dict[int, float] = {}
+    records: List[RoundRecord] = []
+    worker_samples: List[Tuple[int, int, float, float]] = []
+    bytes_total = 0
+    straggler_total = 0.0
+    now = 0.0
+    applied = 0
+
+    def floor() -> int:
+        lagging = [progress[w] for w in active if progress[w] < quota]
+        return min(lagging) if lagging else quota
+
+    while heap or blocked:
+        if not heap:
+            f = floor()
+            requeued = False
+            for w in sorted(blocked):
+                if w in active and progress[w] < quota and (
+                    progress[w] - f <= staleness
+                ):
+                    heapq.heappush(heap, (blocked.pop(w), seq, w))
+                    seq += 1
+                    requeued = True
+            if not requeued:
+                break
+            continue
+        t, _, w = heapq.heappop(heap)
+        now = max(now, t)
+        if w not in active or progress[w] >= quota:
+            continue
+        if progress[w] - floor() > staleness:
+            blocked[w] = now
+            continue
+        base, stall = step_duration(w, progress[w])
+        duration = base + stall + decode + latency
+        step_start = now
+        progress[w] += 1
+        applied += 1
+        round_bytes = int(round(2 * model.bytes_per_message))
+        bytes_total += round_bytes
+        straggler_total += stall
+        if w in sampled:
+            worker_samples.append((applied - 1, w, step_start, base + stall))
+        records.append(
+            RoundRecord(
+                round=applied - 1,
+                start=step_start,
+                duration=duration,
+                active=len(active),
+                bytes_sent=round_bytes,
+                stalled_racks=(
+                    (w // scenario.rack_size,) if stall > 0.0 else ()
+                ),
+                straggler_seconds=stall,
+            )
+        )
+        finish = step_start + duration
+        # Membership events fire as the progress floor crosses them.
+        f = floor()
+        while pending_events and pending_events[0].round <= f:
+            event = pending_events.pop(0)
+            active.difference_update(event.leaves)
+            for j in event.joins:
+                active.add(j)
+                progress[j] = f
+                heapq.heappush(heap, (finish, seq, j))
+                seq += 1
+        # A completed step raises the floor: release eligible workers.
+        f = floor()
+        for b in sorted(blocked):
+            if b in active and progress[b] < quota and (
+                progress[b] - f <= staleness
+            ):
+                heapq.heappush(heap, (blocked.pop(b), seq, b))
+                seq += 1
+        if progress[w] < quota:
+            heapq.heappush(heap, (finish, seq, w))
+            seq += 1
+        now = max(now, finish) if not heap else now
+    total = max([now] + [r.start + r.duration for r in records]) if records else 0.0
+    return _finish(
+        scenario, records, worker_samples, total, bytes_total,
+        straggler_total, membership_changes, model.rounds_per_epoch,
+    )
+
+
+def _finish(
+    scenario: FleetScenario,
+    records: List[RoundRecord],
+    worker_samples: List[Tuple[int, int, float, float]],
+    total_seconds: float,
+    bytes_total: int,
+    straggler_total: float,
+    membership_changes: int,
+    rounds_per_epoch: float,
+) -> FleetResult:
+    durations = np.array([r.duration for r in records], dtype=np.float64)
+    percentiles = {
+        "p50": float(np.percentile(durations, 50)) if durations.size else 0.0,
+        "p90": float(np.percentile(durations, 90)) if durations.size else 0.0,
+        "p99": float(np.percentile(durations, 99)) if durations.size else 0.0,
+    }
+    return FleetResult(
+        scenario=scenario,
+        rounds=records,
+        worker_samples=worker_samples,
+        total_seconds=total_seconds,
+        bytes_total=bytes_total,
+        straggler_seconds=straggler_total,
+        membership_changes=membership_changes,
+        rounds_per_epoch=rounds_per_epoch,
+        percentiles=percentiles,
+    )

@@ -67,8 +67,11 @@ WIRE_MODULES = frozenset(
 #: a call that blocks the reactor: no blocking socket reads/writes, no
 #: ``time.sleep``, no blocking ``queue.Queue`` operations.  The only
 #: sanctioned wait is ``selector.select(timeout)``
-#: (``async-discipline`` rule).
-ASYNC_MODULES = frozenset({"runtime/aio.py"})
+#: (``async-discipline`` rule).  ``fleet/simulator.py`` is scoped in
+#: because it runs in *virtual* time by contract: a sleep or socket
+#: call there would silently turn the replay engine into wall-clock
+#: code.
+ASYNC_MODULES = frozenset({"runtime/aio.py", "fleet/simulator.py"})
 
 #: Package prefixes that make up the paper-facing codec surface.
 CORE_PREFIXES = ("core/", "sketch/")
@@ -81,6 +84,7 @@ HOT_PATH_PREFIXES = CORE_PREFIXES + (
     "compression/",
     "runtime/",
     "distributed/",
+    "fleet/",
 )
 
 #: Package prefixes (beyond :data:`WIRE_MODULES`) whose dtype usage must
@@ -99,8 +103,16 @@ LOCK_SCOPE_PREFIXES = ("runtime/",)
 #: ``random.Random`` reaching the code must descend from a *seeded*
 #: constructor (``seed-flow`` rule) — the static twin of the
 #: fixed-seed bit-identity tests: the codec, the sketches, the
-#: compressors, and the runtime (including fault injection).
-SEED_SCOPE_PREFIXES = ("core/", "sketch/", "compression/", "runtime/")
+#: compressors, the runtime (including fault injection), and the fleet
+#: subsystem (membership churn, the stale-mode virtual clock, and the
+#: replay simulator are all seeded by contract).
+SEED_SCOPE_PREFIXES = (
+    "core/",
+    "sketch/",
+    "compression/",
+    "runtime/",
+    "fleet/",
+)
 
 
 def is_core_or_sketch(relpath: str) -> bool:

@@ -22,7 +22,7 @@ the update automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .. import telemetry
 from ..core.serialization import deserialize_message
@@ -35,8 +35,10 @@ from .framing import (
     KIND_HEARTBEAT,
     KIND_INIT,
     KIND_READY,
+    KIND_RESHARD,
     KIND_STEP,
     KIND_STOP,
+    KIND_SYNC,
     KIND_UPDATE,
     FrameError,
     pack_ack,
@@ -209,14 +211,22 @@ class RuntimeCluster:
         )
         self._require_workers("init")
 
-    def _send_all(self, frames: List[bytes]) -> Dict[int, bool]:
+    def _send_all(
+        self,
+        frames: List[bytes],
+        workers: Optional[Iterable[int]] = None,
+    ) -> Dict[int, bool]:
         """Pipelined fan-out: push every frame before collecting replies.
 
-        Returns which sends succeeded; failed sends are retried inside
-        the supervisor (``already_sent=False``).
+        Targets the active membership by default; elastic phases pass
+        an explicit subset.  Returns which sends succeeded; failed
+        sends are retried inside the supervisor
+        (``already_sent=False``).
         """
+        if workers is None:
+            workers = self.supervisor.members
         sent: Dict[int, bool] = {}
-        for worker_id in sorted(self.supervisor.alive):
+        for worker_id in sorted(workers):
             try:
                 self.transport.send(worker_id, frames[worker_id])
                 sent[worker_id] = True
@@ -233,6 +243,7 @@ class RuntimeCluster:
         expect_kind: int,
         decode: Optional[Callable[[bytes], object]] = None,
         timeout: Optional[float] = None,
+        workers: Optional[Iterable[int]] = None,
     ) -> Dict[int, object]:
         """Gather one reply per alive worker, in arrival order when the
         transport can tell us (``ready_workers``), worker-id order
@@ -246,13 +257,16 @@ class RuntimeCluster:
         so downstream float aggregation visits workers in the same
         order on every backend (bit-identical training).
         """
+        targets = (
+            self.supervisor.members if workers is None else set(workers)
+        )
         ready_fn = getattr(self.transport, "ready_workers", None)
         results: Dict[int, object] = {}
         overlapped = 0
         with telemetry.span("runtime.gather", phase=phase):
             while True:
                 pending = [
-                    w for w in sorted(self.supervisor.alive)
+                    w for w in sorted(targets & self.supervisor.alive)
                     if w not in results
                 ]
                 if not pending:
@@ -284,18 +298,24 @@ class RuntimeCluster:
         return {w: results[w] for w in sorted(results)}
 
     def _require_workers(self, phase: str) -> None:
-        if not self.supervisor.alive:
+        if not self.supervisor.members:
             dead = {
                 w: str(err) for w, err in sorted(self.supervisor.dead.items())
             }
             raise ClusterError(
-                f"no workers left after phase {phase!r}: {dead}"
+                f"no active workers left after phase {phase!r}: "
+                f"dead={dead} detached={sorted(self.supervisor.detached)}"
             )
 
     # ------------------------------------------------------------------
     @property
     def alive_workers(self) -> List[int]:
         return sorted(self.supervisor.alive)
+
+    @property
+    def member_workers(self) -> List[int]:
+        """Active membership: alive and not detached, ascending."""
+        return sorted(self.supervisor.members)
 
     @property
     def dropped_workers(self) -> Dict[int, str]:
@@ -310,12 +330,19 @@ class RuntimeCluster:
         return getattr(inner, "charged_seconds", 0.0)
 
     # ------------------------------------------------------------------
-    def start_epoch(self, epoch: int) -> None:
-        """Reshuffle every worker's partition for a new epoch."""
+    def start_epoch(
+        self, epoch: int, workers: Optional[Iterable[int]] = None
+    ) -> None:
+        """Reshuffle the partitions of the targeted workers (all active
+        members by default) for a new epoch."""
         self.supervisor.check_heartbeats(phase="epoch")
+        targets = (
+            sorted(self.supervisor.members) if workers is None
+            else sorted(workers)
+        )
         frame = pack_frame(KIND_EPOCH, DRIVER_SENDER, pack_ack(epoch))
         frames = [frame] * self.num_workers
-        sent = self._send_all(frames)
+        sent = self._send_all(frames, targets)
 
         def decode(payload: bytes) -> int:
             acked = unpack_ack(payload)
@@ -324,12 +351,19 @@ class RuntimeCluster:
             return acked
 
         self._collect(
-            frames, sent, phase="epoch", expect_kind=KIND_ACK, decode=decode
+            frames, sent, phase="epoch", expect_kind=KIND_ACK,
+            decode=decode, workers=targets,
         )
         self._require_workers("epoch")
 
-    def step(self, round_id: int, lr: float) -> Dict[int, RoundResult]:
-        """One gradient round: STEP all workers, collect GRAD replies.
+    def step(
+        self,
+        round_id: int,
+        lr: float,
+        workers: Optional[Iterable[int]] = None,
+    ) -> Dict[int, RoundResult]:
+        """One gradient round: STEP the targeted workers (all active
+        members by default), collect GRAD replies.
 
         Returns results keyed by worker id, ascending — only for
         workers that answered.  Each GRAD payload round-trips through
@@ -338,11 +372,15 @@ class RuntimeCluster:
         retried) rather than aggregated.
         """
         self.supervisor.check_heartbeats(phase="step")
+        targets = (
+            sorted(self.supervisor.members) if workers is None
+            else sorted(workers)
+        )
         frame = pack_frame(
             KIND_STEP, DRIVER_SENDER, pack_step(round_id, lr)
         )
         frames = [frame] * self.num_workers
-        sent = self._send_all(frames)
+        sent = self._send_all(frames, targets)
 
         def decode(payload: bytes) -> RoundResult:
             (rid, has_batch, loss, compute_s, encode_s, nnz,
@@ -364,7 +402,8 @@ class RuntimeCluster:
             )
 
         collected = self._collect(
-            frames, sent, phase="step", expect_kind=KIND_GRAD, decode=decode
+            frames, sent, phase="step", expect_kind=KIND_GRAD,
+            decode=decode, workers=targets,
         )
         results: Dict[int, RoundResult] = {}
         for worker_id, result in collected.items():
@@ -374,19 +413,30 @@ class RuntimeCluster:
         self._require_workers("step")
         return results
 
-    def broadcast(self, round_id: int, lr: float, message_bytes: bytes) -> List[int]:
-        """Ship the aggregated update to every worker; await acks.
+    def broadcast(
+        self,
+        round_id: int,
+        lr: float,
+        message_bytes: bytes,
+        workers: Optional[Iterable[int]] = None,
+    ) -> List[int]:
+        """Ship the aggregated update to the targeted workers (all
+        active members by default); await acks.
 
         Returns the worker ids that acknowledged applying the update.
         """
         self.supervisor.check_heartbeats(phase="update")
+        targets = (
+            sorted(self.supervisor.members) if workers is None
+            else sorted(workers)
+        )
         frame = pack_frame(
             KIND_UPDATE,
             DRIVER_SENDER,
             pack_update_header(round_id, lr) + message_bytes,
         )
         frames = [frame] * self.num_workers
-        sent = self._send_all(frames)
+        sent = self._send_all(frames, targets)
 
         def decode(payload: bytes) -> int:
             acked = unpack_ack(payload)
@@ -397,11 +447,108 @@ class RuntimeCluster:
             return acked
 
         collected = self._collect(
-            frames, sent, phase="update", expect_kind=KIND_ACK, decode=decode
+            frames, sent, phase="update", expect_kind=KIND_ACK,
+            decode=decode, workers=targets,
         )
         acked = [w for w, result in collected.items() if result is not None]
         self._require_workers("update")
         return acked
+
+    # ------------------------------------------------------------------
+    # elastic membership (repro.fleet)
+    # ------------------------------------------------------------------
+    def detach_worker(self, worker_id: int) -> None:
+        """Elastic leave: the worker's process stays up (it keeps
+        heartbeating and can rejoin) but it takes no part in rounds."""
+        self.supervisor.detach(worker_id)
+        telemetry.event(
+            "fleet.leave", worker=worker_id,
+            active=len(self.supervisor.members),
+        )
+
+    def attach_worker(self, worker_id: int) -> None:
+        """Elastic join: return a detached worker to the membership.
+
+        The caller must follow with :meth:`sync_worker` (replica state)
+        and a :meth:`reshard` (data shards) before stepping it.
+        """
+        if worker_id not in self.supervisor.alive:
+            raise ClusterError(
+                f"worker {worker_id} cannot rejoin: "
+                f"{self.supervisor.dead.get(worker_id, 'never booted')}"
+            )
+        self.supervisor.attach(worker_id)
+        telemetry.event(
+            "fleet.join", worker=worker_id,
+            active=len(self.supervisor.members),
+        )
+
+    def sync_worker(
+        self, worker_id: int, round_id: int, state_bytes: bytes
+    ) -> None:
+        """Ship the driver's replica state to one (re)joining worker.
+
+        ``state_bytes`` is the pickled control dict built by the fleet
+        trainer (theta + optimizer copy); uses the init timeout since
+        the state scales with the model, not with a step.
+        """
+        frame = pack_frame(KIND_SYNC, DRIVER_SENDER, state_bytes)
+
+        def decode(payload: bytes) -> int:
+            acked = unpack_ack(payload)
+            if acked != round_id:
+                raise FrameError(
+                    f"stale sync ack {acked} (want {round_id})"
+                )
+            return acked
+
+        result = self.supervisor.request(
+            worker_id,
+            frame,
+            phase="sync",
+            expect_kind=KIND_ACK,
+            decode=decode,
+            timeout=self.config.supervision.init_timeout,
+        )
+        if result is None:
+            raise ClusterError(
+                f"worker {worker_id} failed to sync at round {round_id}"
+            )
+
+    def reshard(
+        self, generation: int, assignments: Dict[int, bytes]
+    ) -> None:
+        """Re-partition: ship each targeted worker its new shard spec.
+
+        ``assignments`` maps worker id → pickled control dict (rows,
+        batch size, shuffle seed) built by the fleet trainer.  Fan-out
+        is pipelined like every other phase; every targeted worker must
+        ack the generation.
+        """
+        frames = [b""] * self.num_workers
+        for worker_id, payload in assignments.items():
+            frames[worker_id] = pack_frame(
+                KIND_RESHARD, DRIVER_SENDER, payload
+            )
+        targets = sorted(assignments)
+        sent = self._send_all(frames, targets)
+
+        def decode(payload: bytes) -> int:
+            acked = unpack_ack(payload)
+            if acked != generation:
+                raise FrameError(
+                    f"stale reshard ack {acked} (want {generation})"
+                )
+            return acked
+
+        self._collect(
+            frames, sent, phase="reshard", expect_kind=KIND_ACK,
+            decode=decode, workers=targets,
+        )
+        self._require_workers("reshard")
+        telemetry.event(
+            "fleet.reshard", generation=generation, workers=len(targets)
+        )
 
     def echo(self, worker_id: int, payload: bytes) -> bytes:
         """Round-trip raw bytes through a worker (transport benchmark)."""

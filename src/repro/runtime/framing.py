@@ -19,9 +19,12 @@ Layout (all integers little-endian)::
     ACK:     value u32
     EPOCH:   epoch u32
 
-``INIT`` / ``READY`` / ``ERROR`` payloads are pickled control
-dictionaries (they never carry gradient data and never cross trust
-boundaries: workers are child processes of the driver on this host).
+``INIT`` / ``READY`` / ``ERROR`` / ``SYNC`` / ``RESHARD`` payloads are
+pickled control dictionaries (they never carry gradient data and never
+cross trust boundaries: workers are child processes of the driver on
+this host).  ``SYNC`` ships a joining worker the driver's full replica
+state; ``RESHARD`` re-assigns a worker's data shard when the elastic
+membership changes (see ``docs/fleet.md``).
 A frame that does not parse raises :class:`FrameError`; corrupted
 *gradient* payloads parse as frames and are rejected downstream by
 ``deserialize_message`` / the ``REPRO_SANITIZE`` invariant checks —
@@ -52,6 +55,8 @@ __all__ = [
     "KIND_STOP",
     "KIND_ERROR",
     "KIND_ECHO",
+    "KIND_SYNC",
+    "KIND_RESHARD",
     "KIND_NAMES",
     "pack_frame",
     "unpack_header",
@@ -88,6 +93,8 @@ KIND_HEARTBEAT = 8
 KIND_STOP = 9
 KIND_ERROR = 10
 KIND_ECHO = 11
+KIND_SYNC = 12
+KIND_RESHARD = 13
 
 KIND_NAMES = {
     KIND_INIT: "init",
@@ -101,6 +108,8 @@ KIND_NAMES = {
     KIND_STOP: "stop",
     KIND_ERROR: "error",
     KIND_ECHO: "echo",
+    KIND_SYNC: "sync",
+    KIND_RESHARD: "reshard",
 }
 
 _STEP = struct.Struct("<Id")

@@ -199,6 +199,7 @@ class Supervisor:
         self._rng = np.random.default_rng(self.config.seed)
         now = clock()
         self.alive: Set[int] = set(range(transport.num_workers))
+        self.detached: Set[int] = set()
         self.dead: Dict[int, WorkerSupervisionError] = {}
         self.last_seen: Dict[int, float] = {w: now for w in self.alive}
         self.stats: Dict[str, int] = {
@@ -340,6 +341,39 @@ class Supervisor:
             return f"worker reported fatal error: {detail.get('error')}"
         except Exception:
             return "worker reported a fatal error (detail unreadable)"
+
+    # ------------------------------------------------------------------
+    # elastic membership (repro.fleet): a *detached* worker is alive —
+    # its process keeps running and heartbeating — but takes no part in
+    # training rounds until re-attached.  Distinct from ``dead``, which
+    # is a supervision failure and is never reversed.
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> Set[int]:
+        """Workers currently participating in rounds (alive − detached)."""
+        return self.alive - self.detached
+
+    def detach(self, worker_id: int) -> None:
+        """Remove a worker from the active membership (elastic leave)."""
+        if worker_id not in self.alive:
+            raise ValueError(
+                f"cannot detach worker {worker_id}: not alive"
+            )
+        self.detached.add(worker_id)
+
+    def attach(self, worker_id: int) -> None:
+        """Return a detached worker to the active membership (join).
+
+        Refreshes the last-seen clock: a worker idle through a long
+        detachment must not be declared heartbeat-lost the instant it
+        rejoins.
+        """
+        if worker_id not in self.alive:
+            raise ValueError(
+                f"cannot attach worker {worker_id}: not alive"
+            )
+        self.detached.discard(worker_id)
+        self.note_alive(worker_id)
 
     # ------------------------------------------------------------------
     def note_alive(self, worker_id: int) -> None:

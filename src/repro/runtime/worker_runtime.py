@@ -9,6 +9,12 @@ optimizer replica, and compressor, and services driver frames:
   bytes* of the compressed message.
 * ``UPDATE`` — deserialize + decompress the broadcast aggregate and
   apply it to the local replica with the shipped learning rate, ack.
+* ``SYNC``   — replace the local replica state (theta + optimizer)
+  with the driver's, so a worker joining mid-training starts exactly
+  where the surviving fleet is, ack.
+* ``RESHARD`` — rebuild the local :class:`~repro.distributed.worker.
+  Worker` over a new row shard of the full training set (elastic
+  membership changed; the driver re-partitioned), ack.
 
 Every command is **idempotent per round**: the last ``GRAD`` frame and
 the last applied update round are cached, so a retried ``STEP`` or
@@ -27,6 +33,8 @@ import pickle
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from .. import telemetry
 from ..compression.base import GradientCompressor
 from ..core.serialization import deserialize_message, serialize_message
@@ -37,7 +45,9 @@ from .framing import (
     KIND_ACK,
     KIND_EPOCH,
     KIND_GRAD,
+    KIND_RESHARD,
     KIND_STEP,
+    KIND_SYNC,
     KIND_UPDATE,
     FrameError,
     pack_ack,
@@ -85,6 +95,15 @@ class WorkerBootstrap:
             the worker-side flight recorder).
         run_id: trace run identifier stamped on every event this
             worker records (matches the driver's run context).
+        full_dataset: the *entire* training set (elastic runs only).
+            When present, ``dataset`` is ignored and the worker's
+            initial shard is ``full_dataset.subset(shard_rows)``;
+            keeping the full set on every worker is what makes a
+            driver-side ``RESHARD`` a pure control message instead of
+            a data transfer.  ``None`` for classic fixed-membership
+            runs, where only the pre-cut shard ships.
+        shard_rows: row indices of the initial shard into
+            ``full_dataset`` (required iff ``full_dataset`` is set).
     """
 
     worker_id: int
@@ -100,6 +119,8 @@ class WorkerBootstrap:
     sanitize: bool = False
     trace_dir: Optional[str] = None
     run_id: Optional[str] = None
+    full_dataset: Optional[object] = None
+    shard_rows: Optional[object] = None
 
     def to_bytes(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
@@ -122,6 +143,8 @@ class _StepCache:
     round_id: int = -1
     frame: bytes = b""
     applied_round: int = -1
+    synced_round: int = -1
+    generation: int = -1
     acks: List[bytes] = field(default_factory=list)
 
 
@@ -130,9 +153,24 @@ class WorkerRuntime:
 
     def __init__(self, bootstrap: WorkerBootstrap) -> None:
         self.worker_id = int(bootstrap.worker_id)
+        self._model = bootstrap.model
+        self._full_dataset = bootstrap.full_dataset
+        self._compute_seconds_per_nnz = float(
+            bootstrap.compute_seconds_per_nnz
+        )
+        if self._full_dataset is not None:
+            if bootstrap.shard_rows is None:
+                raise ValueError(
+                    "full_dataset bootstraps must carry shard_rows"
+                )
+            dataset = self._full_dataset.subset(
+                np.asarray(bootstrap.shard_rows, dtype=np.int64)
+            )
+        else:
+            dataset = bootstrap.dataset
         self.worker = Worker(
             worker_id=bootstrap.worker_id,
-            dataset=bootstrap.dataset,
+            dataset=dataset,
             model=bootstrap.model,
             compressor=bootstrap.compressor,
             batch_size=bootstrap.batch_size,
@@ -157,6 +195,10 @@ class WorkerRuntime:
             return self._handle_step(payload)
         if kind == KIND_UPDATE:
             return self._handle_update(payload)
+        if kind == KIND_SYNC:
+            return self._handle_sync(payload)
+        if kind == KIND_RESHARD:
+            return self._handle_reshard(payload)
         raise FrameError(f"worker cannot service frame kind {kind}")
 
     def handle_frame(self, frame: bytes) -> List[bytes]:
@@ -214,4 +256,72 @@ class WorkerRuntime:
             if keys.size:
                 self.optimizer.step(self.theta, keys, values)
         self._cache.applied_round = round_id
+        return [ack]
+
+    # ------------------------------------------------------------------
+    # elastic membership (repro.fleet)
+    # ------------------------------------------------------------------
+    def _handle_sync(self, payload: bytes) -> List[bytes]:
+        """Adopt the driver's replica state (a worker is (re)joining).
+
+        The payload is a pickled control dict — the ``INIT`` idiom, not
+        the gradient wire path — carrying the driver's current theta
+        and a deep copy of its optimizer, so the joiner's replica is
+        bit-identical to every surviving worker's.
+        """
+        state = pickle.loads(payload)
+        round_id = int(state["round"])
+        ack = pack_frame(KIND_ACK, self.worker_id, pack_ack(round_id))
+        if round_id == self._cache.synced_round:
+            return [ack]  # retried SYNC: already applied, just re-ack
+        with telemetry.context(
+            worker=self.worker_id, round=round_id, phase="sync"
+        ), telemetry.span("worker.sync"):
+            self.theta = np.array(state["theta"], dtype=np.float64)
+            self.optimizer = state["optimizer"]
+            # A sync invalidates any cached GRAD: it was computed
+            # against pre-join state no driver will ever ask for again.
+            self._cache.round_id = -1
+            self._cache.frame = b""
+        self._cache.synced_round = round_id
+        return [ack]
+
+    def _handle_reshard(self, payload: bytes) -> List[bytes]:
+        """Rebuild the local shard after an elastic membership change.
+
+        The driver re-partitioned the full training set over the new
+        active membership; this worker's new shard arrives as row
+        indices into the full dataset shipped at bootstrap.  The
+        compressor instance is kept — error-feedback state survives a
+        reshard, mirroring how a production worker keeps its residual
+        across re-balancing.
+        """
+        spec = pickle.loads(payload)
+        generation = int(spec["generation"])
+        ack = pack_frame(KIND_ACK, self.worker_id, pack_ack(generation))
+        if generation == self._cache.generation:
+            return [ack]  # retried RESHARD: already applied, just re-ack
+        if self._full_dataset is None:
+            raise FrameError(
+                "worker was not bootstrapped with the full dataset; "
+                "elastic resharding is unavailable"
+            )
+        with telemetry.context(
+            worker=self.worker_id, phase="reshard"
+        ), telemetry.span("worker.reshard", generation=generation):
+            rows = np.asarray(spec["rows"], dtype=np.int64)
+            self.worker = Worker(
+                worker_id=self.worker_id,
+                dataset=self._full_dataset.subset(rows),
+                model=self._model,
+                compressor=self.worker.compressor,
+                batch_size=int(spec["batch_size"]),
+                seed=int(spec["seed"]),
+                compute_seconds_per_nnz=self._compute_seconds_per_nnz,
+            )
+            # Fresh worker ⇒ fresh batch iterator; a stale cached GRAD
+            # from the previous shard must never answer a new round.
+            self._cache.round_id = -1
+            self._cache.frame = b""
+        self._cache.generation = generation
         return [ack]

@@ -1,0 +1,166 @@
+"""Membership schedules: validation, serde, seeding, shard weights.
+
+The schedule is the ground truth of *who trains when* for the whole
+fleet subsystem — elastic training and the replay simulator both
+consume it — so its invariants (never-empty active set, strictly
+increasing events, join/leave consistency) are pinned here.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    MembershipEvent,
+    MembershipSchedule,
+    ScheduleError,
+    shard_weights,
+)
+from repro.fleet.membership import SCHEDULE_SCHEMA
+
+
+def make_schedule():
+    return MembershipSchedule(
+        num_workers=4,
+        start=(0, 1, 2),
+        events=(
+            MembershipEvent(round=2, joins=(3,)),
+            MembershipEvent(round=4, leaves=(1,)),
+        ),
+    )
+
+
+class TestValidation:
+    def test_start_defaults_to_full_universe(self):
+        sched = MembershipSchedule(num_workers=3)
+        assert sched.start == (0, 1, 2)
+        assert sched.max_event_round == 0
+
+    def test_event_round_zero_rejected(self):
+        with pytest.raises(ScheduleError, match="start at round 1"):
+            MembershipEvent(round=0, joins=(1,))
+
+    def test_empty_event_rejected(self):
+        with pytest.raises(ScheduleError, match="empty"):
+            MembershipEvent(round=1)
+
+    def test_join_and_leave_overlap_rejected(self):
+        with pytest.raises(ScheduleError, match="both"):
+            MembershipEvent(round=1, joins=(1,), leaves=(1,))
+
+    def test_events_must_increase(self):
+        with pytest.raises(ScheduleError, match="strictly increasing"):
+            MembershipSchedule(
+                num_workers=3,
+                events=(
+                    MembershipEvent(round=2, leaves=(0,)),
+                    MembershipEvent(round=2, leaves=(1,)),
+                ),
+            )
+
+    def test_join_of_active_worker_rejected(self):
+        with pytest.raises(ScheduleError, match="already active"):
+            MembershipSchedule(
+                num_workers=3,
+                events=(MembershipEvent(round=1, joins=(0,)),),
+            )
+
+    def test_leave_of_inactive_worker_rejected(self):
+        with pytest.raises(ScheduleError, match="not active"):
+            MembershipSchedule(
+                num_workers=3,
+                start=(0, 1),
+                events=(MembershipEvent(round=1, leaves=(2,)),),
+            )
+
+    def test_membership_may_never_empty(self):
+        with pytest.raises(ScheduleError, match="empty"):
+            MembershipSchedule(
+                num_workers=2,
+                events=(MembershipEvent(round=1, leaves=(0, 1)),),
+            )
+
+    def test_worker_outside_universe_rejected(self):
+        with pytest.raises(ScheduleError, match="outside universe"):
+            MembershipSchedule(
+                num_workers=2,
+                events=(MembershipEvent(round=1, joins=(5,)),),
+            )
+
+
+class TestQueries:
+    def test_active_at_walks_the_timeline(self):
+        sched = make_schedule()
+        assert sched.active_at(0) == (0, 1, 2)
+        assert sched.active_at(1) == (0, 1, 2)
+        assert sched.active_at(2) == (0, 1, 2, 3)
+        assert sched.active_at(4) == (0, 2, 3)
+        assert sched.active_at(99) == (0, 2, 3)
+
+    def test_event_at(self):
+        sched = make_schedule()
+        assert sched.event_at(2).joins == (3,)
+        assert sched.event_at(3) is None
+        assert sched.event_at(4).leaves == (1,)
+
+    def test_max_event_round(self):
+        assert make_schedule().max_event_round == 4
+
+
+class TestSerde:
+    def test_json_roundtrip_is_identity(self):
+        sched = make_schedule()
+        assert MembershipSchedule.from_json(sched.to_json()) == sched
+
+    def test_schema_tag_is_checked(self):
+        obj = make_schedule().to_json()
+        obj["schema"] = "bogus/9"
+        with pytest.raises(ScheduleError, match="unknown schedule schema"):
+            MembershipSchedule.from_json(obj)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        sched = make_schedule()
+        path = str(tmp_path / "sched.json")
+        sched.save(path)
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == SCHEDULE_SCHEMA
+        assert MembershipSchedule.load(path) == sched
+
+
+class TestSeeded:
+    def test_same_seed_same_schedule(self):
+        a = MembershipSchedule.seeded(8, 50, seed=7, leave_prob=0.1)
+        b = MembershipSchedule.seeded(8, 50, seed=7, leave_prob=0.1)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = MembershipSchedule.seeded(8, 50, seed=7, leave_prob=0.2)
+        b = MembershipSchedule.seeded(8, 50, seed=8, leave_prob=0.2)
+        assert a != b
+
+    def test_min_active_respected_everywhere(self):
+        sched = MembershipSchedule.seeded(
+            6, 200, seed=3, leave_prob=0.4, join_prob=0.05, min_active=2
+        )
+        for r in range(200):
+            assert len(sched.active_at(r)) >= 2
+
+    def test_min_active_bounds_checked(self):
+        with pytest.raises(ScheduleError, match="min_active"):
+            MembershipSchedule.seeded(4, 10, seed=0, min_active=5)
+
+
+class TestShardWeights:
+    def test_weights_are_size_fractions_and_sum_to_one(self):
+        weights = shard_weights({0: 30, 2: 50, 5: 20})
+        assert weights == {0: 0.3, 2: 0.5, 5: 0.2}
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_equal_shards_reduce_to_uniform(self):
+        weights = shard_weights({w: 17 for w in range(4)})
+        assert all(v == pytest.approx(0.25) for v in weights.values())
+
+    def test_empty_total_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            shard_weights({0: 0})

@@ -1,0 +1,217 @@
+"""Trace-driven fleet replay: cost-model fit, simulation, synthesis.
+
+``tests/golden/trace/fleet_8w.jsonl`` is a committed 8-worker ``mp``
+flight recording; ``fleet_8w_costmodel.json`` pins the cost model
+fitted from it.  The regression test re-fits the trace and compares
+against the pin with tight tolerances, so any behavioural change in
+the fitting pipeline shows up as a diff, not silence.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    CostModel,
+    FleetScenario,
+    ReplayError,
+    fit_cost_model,
+    run_replay,
+    simulate_fleet,
+)
+from repro.fleet.costmodel import CostModelError
+from repro.fleet.replay import synthesize_trace
+from repro.telemetry import validate_trace
+from repro.telemetry.merge import read_trace
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden", "trace")
+GOLDEN_TRACE = os.path.join(GOLDEN_DIR, "fleet_8w.jsonl")
+GOLDEN_MODEL = os.path.join(GOLDEN_DIR, "fleet_8w_costmodel.json")
+
+#: The fit is deterministic, but the pin tolerates library-level float
+#: drift (e.g. a numpy reduction reassociating) without going silent
+#: on real behavioural changes.
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden_model():
+    return fit_cost_model(read_trace(GOLDEN_TRACE))
+
+
+class TestGoldenFit:
+    def test_fit_matches_pinned_model(self, golden_model):
+        with open(GOLDEN_MODEL, "r", encoding="utf-8") as fh:
+            pinned = CostModel.from_dict(json.load(fh))
+        assert golden_model.num_workers == pinned.num_workers == 8
+        for got, ref in zip(golden_model.workers, pinned.workers):
+            assert got.worker == ref.worker
+            assert got.samples == ref.samples
+            assert got.mean == pytest.approx(ref.mean, rel=RTOL)
+            assert got.std == pytest.approx(ref.std, rel=RTOL)
+            assert got.log_mean == pytest.approx(ref.log_mean, rel=RTOL)
+            assert got.log_std == pytest.approx(ref.log_std, rel=RTOL)
+        assert golden_model.bytes_per_message == pytest.approx(
+            pinned.bytes_per_message, rel=RTOL
+        )
+        assert golden_model.raw_bytes_per_message == pytest.approx(
+            pinned.raw_bytes_per_message, rel=RTOL
+        )
+        assert golden_model.decode_seconds_per_message == pytest.approx(
+            pinned.decode_seconds_per_message, rel=RTOL
+        )
+        assert golden_model.wire_latency_seconds == pytest.approx(
+            pinned.wire_latency_seconds, rel=RTOL, abs=1e-12
+        )
+        assert golden_model.rounds_per_epoch == pytest.approx(
+            pinned.rounds_per_epoch, rel=RTOL
+        )
+
+    def test_dict_roundtrip_is_identity(self, golden_model):
+        assert CostModel.from_dict(golden_model.to_dict()) == golden_model
+
+    def test_fit_is_sane(self, golden_model):
+        for wc in golden_model.workers:
+            assert wc.samples > 0
+            assert wc.mean > 0
+            assert wc.std >= 0
+        assert golden_model.bytes_per_message > 0
+        assert golden_model.decode_seconds_per_message > 0
+        assert golden_model.rounds_per_epoch > 0
+        assert golden_model.wire_latency_seconds >= 0
+
+    def test_fit_without_step_spans_raises(self):
+        events = [
+            {"type": "meta", "ts": 0.0, "pid": 1, "seq": 0,
+             "schema": "repro-trace/1", "source": "driver"},
+        ]
+        with pytest.raises(CostModelError, match="worker.step"):
+            fit_cost_model(events)
+
+
+class TestSimulation:
+    def test_scales_to_a_thousand_workers(self, golden_model):
+        # The acceptance bar: an 8-worker recording extrapolated to a
+        # 1000-worker fleet, with load, stragglers, and churn.
+        scenario = FleetScenario(
+            workers=1000,
+            rounds=50,
+            seed=7,
+            diurnal_amplitude=0.3,
+            straggler_rate=0.02,
+            straggler_stall=0.5,
+            churn_leave_prob=0.002,
+            churn_join_prob=0.02,
+        )
+        result = simulate_fleet(golden_model, scenario)
+        assert len(result.rounds) == 50
+        assert result.total_seconds > 0
+        assert result.bytes_total > 0
+        assert all(1 <= r.active <= 1000 for r in result.rounds)
+        assert result.membership_changes > 0
+        assert {"p50", "p90", "p99"} <= set(result.percentiles)
+        assert (
+            result.percentiles["p50"]
+            <= result.percentiles["p90"]
+            <= result.percentiles["p99"]
+        )
+
+    def test_same_seed_is_deterministic(self, golden_model):
+        scenario = FleetScenario(
+            workers=300, rounds=30, seed=11,
+            straggler_rate=0.05, straggler_stall=0.5,
+            churn_leave_prob=0.01, churn_join_prob=0.05,
+        )
+        a = simulate_fleet(golden_model, scenario)
+        b = simulate_fleet(golden_model, scenario)
+        assert a.summary_dict() == b.summary_dict()
+        assert a.worker_samples == b.worker_samples
+
+    def test_barrier_gather_attributes_stragglers(self, golden_model):
+        # A barrier waits for the slowest worker, so a stalled rack
+        # must extend the round and show up in the attribution.
+        scenario = FleetScenario(
+            workers=64, rounds=40, seed=3, gather="barrier",
+            straggler_rate=0.2, straggler_stall=2.0, rack_size=8,
+        )
+        result = simulate_fleet(golden_model, scenario)
+        assert result.straggler_seconds > 0
+        assert any(r.stalled_racks for r in result.rounds)
+
+    def test_stale_mode_runs_event_driven(self, golden_model):
+        scenario = FleetScenario(workers=64, rounds=40, seed=5, staleness=3)
+        result = simulate_fleet(golden_model, scenario)
+        # Stale mode records one entry per applied step: rounds are
+        # per-worker step quotas, not global barriers.
+        assert len(result.rounds) == 40 * 64
+        assert result.total_seconds > 0
+        assert result.epoch_seconds > 0
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            FleetScenario(workers=0, rounds=10)
+        with pytest.raises(ValueError, match="gather"):
+            FleetScenario(workers=4, rounds=10, gather="quorum")
+        with pytest.raises(ValueError, match="min_active"):
+            FleetScenario(workers=4, rounds=10, min_active=9)
+
+
+class TestSyntheticTrace:
+    def test_trace_is_schema_valid(self, golden_model):
+        scenario = FleetScenario(
+            workers=200, rounds=25, seed=7,
+            straggler_rate=0.1, straggler_stall=0.5,
+            churn_leave_prob=0.01, churn_join_prob=0.05,
+        )
+        result = simulate_fleet(golden_model, scenario)
+        events = synthesize_trace(result)
+        stats = validate_trace(events)
+        assert stats["events"] == len(events)
+        meta = events[0]
+        assert meta["type"] == "meta"
+        assert meta["attrs"]["synthetic"] is True
+        assert meta["attrs"]["timebase"] == "virtual-seconds"
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(set(seqs))
+        types = {e["type"] for e in events}
+        assert {"meta", "span", "counter", "gauge", "event"} <= types
+
+
+class TestRunReplay:
+    def test_end_to_end_writes_trace_and_summary(
+        self, tmp_path, golden_model
+    ):
+        out = str(tmp_path / "synth.jsonl")
+        results = str(tmp_path / "results")
+        scenario = FleetScenario(workers=1000, rounds=20, seed=7)
+        outcome = run_replay(
+            GOLDEN_TRACE, scenario, out_path=out, results_dir=results
+        )
+        assert outcome["events"] > 0
+        assert "workers             1000" in outcome["summary"]
+        # The written trace re-reads and re-validates.
+        reread = read_trace(out)
+        assert validate_trace(reread)["events"] == outcome["events"]
+        with open(os.path.join(results, "fleet_replay.txt")) as fh:
+            assert "round p50/p90/p99" in fh.read()
+
+    def test_missing_trace_is_a_replay_error(self, tmp_path):
+        with pytest.raises(ReplayError, match="cannot read"):
+            run_replay(
+                str(tmp_path / "nope.jsonl"),
+                FleetScenario(workers=4, rounds=2),
+            )
+
+    def test_unfittable_trace_is_a_replay_error(self, tmp_path):
+        # Schema-valid but with no worker.step spans: readable, not
+        # fittable — the error must name the problem, not crash.
+        path = str(tmp_path / "thin.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "type": "meta", "ts": 0.0, "pid": 1, "seq": 0,
+                "schema": "repro-trace/1", "source": "driver",
+            }) + "\n")
+        with pytest.raises(ReplayError, match="worker.step"):
+            run_replay(path, FleetScenario(workers=4, rounds=2))
