@@ -19,6 +19,9 @@ Commands:
 * ``report``   — stitch archived bench results into ``REPORT.md``.
 * ``perf``     — time the codec hot-path kernels, write ``BENCH_codec.json``.
 * ``datagen``  — write a synthetic dataset to a LIBSVM file.
+* ``golden``   — check (or deliberately regenerate) the committed
+  golden wire fixtures across every payload version and kernel path
+  (see ``docs/wire.md``).
 * ``lint``     — run the repo-specific static analyser (see
   ``docs/static_analysis.md``); exits nonzero on findings.
 
@@ -238,6 +241,24 @@ def build_parser() -> argparse.ArgumentParser:
     datagen.add_argument("--scale", type=float, default=1.0)
     datagen.add_argument("--seed", type=int, default=0)
     datagen.add_argument("--out", required=True, help="output LIBSVM path")
+
+    golden = sub.add_parser(
+        "golden",
+        help="check or regenerate the golden wire fixtures",
+    )
+    golden_mode = golden.add_mutually_exclusive_group()
+    golden_mode.add_argument(
+        "--check", action="store_true",
+        help="verify every {payload version x kernel path} cell "
+             "against the committed fixtures (default); exits nonzero "
+             "on any drift")
+    golden_mode.add_argument(
+        "--write", action="store_true",
+        help="regenerate the fixture files and manifest (the only "
+             "sanctioned way to change them)")
+    golden.add_argument("--dir", default=None, metavar="PATH",
+                        help="fixture directory "
+                             "(default: tests/golden/wire)")
 
     lint = sub.add_parser(
         "lint", help="run the repo-specific static analyser"
@@ -543,6 +564,12 @@ def _run_perf(args: argparse.Namespace) -> int:
     from .perf import BENCH_FILENAME, run_suite, write_results
 
     results = run_suite(sizes=args.sizes, quick=args.quick)
+    from .perf.wire_bench import run_wire_bench
+
+    wire_results, wire_section = run_wire_bench(
+        sizes=args.sizes, quick=args.quick
+    )
+    results.extend(wire_results)
     from .perf.transport_bench import run_transport_bench
 
     transports = args.transports
@@ -571,10 +598,17 @@ def _run_perf(args: argparse.Namespace) -> int:
             f"{r.name:<{name_w}}  {r.seconds * 1e3:>10.3f}  "
             f"{r.ns_per_element:>9.1f}  {r.mb_per_s:>9.1f}"
         )
+    for nnz, row in wire_section["sizes"].items():
+        print(
+            f"wire v2 entropy @nnz={nnz}: {row['v1_bytes']} -> "
+            f"{row['v2_bytes']} bytes ({row['reduction_pct']}% smaller, "
+            f"coded {row['entropy']['coded_bytes']} of "
+            f"{row['entropy']['plain_bytes']} plain index bytes)"
+        )
     out = args.out or BENCH_FILENAME
     if out != "-":
         try:
-            write_results(results, out)
+            write_results(results, out, extra={"wire": wire_section})
         except OSError as exc:
             print(f"error: cannot write {out}: {exc}", file=sys.stderr)
             return 2
@@ -602,6 +636,36 @@ def _cmd_datagen(args: argparse.Namespace) -> int:
         f"wrote {dataset.num_rows:,} rows x {dataset.num_features:,} features "
         f"({dataset.nnz:,} nonzeros) to {args.out}"
     )
+    return 0
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from .golden import check_goldens, default_wire_dir, write_goldens
+
+    wire_dir = args.dir or default_wire_dir()
+    if args.write:
+        try:
+            manifest = write_goldens(wire_dir)
+        except (OSError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"wrote {len(manifest['cases'])} cases "
+            f"(v1 + v2 fixtures) and manifest.json to {wire_dir}"
+        )
+        return 0
+    problems = check_goldens(wire_dir)
+    if problems:
+        for problem in problems:
+            print(f"drift: {problem}", file=sys.stderr)
+        print(
+            f"error: {len(problems)} golden wire problem(s) — the wire "
+            "format changed; bump the payload version and regenerate "
+            "deliberately with `repro golden --write`",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: golden wire fixtures in {wire_dir} are exactly as pinned")
     return 0
 
 
@@ -699,6 +763,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_perf(args)
     if args.command == "datagen":
         return _cmd_datagen(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

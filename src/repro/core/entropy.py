@@ -1,0 +1,212 @@
+"""rANS entropy coder for the bucket-index stream.
+
+The quantizer's equi-depth buckets make the index stream *near*
+uniform, but never exactly: MinMaxSketch decay skews the effective
+distribution (§3.4 compensation shifts mass toward the low buckets),
+refit intervals lag the gradient distribution, and real gradients are
+heavy-tailed between refits.  That residual skew is free compression —
+the payload already ships the bucket table, so the decoder can rebuild
+the exact probability model from the same CDF the encoder used.
+
+This module implements a byte-renormalised range asymmetric numeral
+system (rANS) with a static frequency table quantised to
+``PROB_SCALE`` (:func:`quantize_freqs`).  Properties the wire format
+relies on:
+
+* **Deterministic** — no randomness, no floating point in the coder
+  itself; the same symbol stream and table always produce the same
+  bytes, on every platform (the cross-version golden fixtures pin
+  this).
+* **Self-checking** — the encoder starts from a known state and the
+  decoder must land back on it with every byte consumed, so truncation
+  and most corruptions raise :class:`EntropyError` instead of decoding
+  silently-wrong symbols.
+* **Bounded** — decode performs exactly ``count`` iterations with
+  bounds-checked byte reads; a hostile stream can make it *fail*, never
+  hang or over-allocate.
+
+The per-symbol loops are deliberate: this is the opt-in v2 payload
+path, not a dual-path kernel (see docs/static_analysis.md), and the
+state recurrence is sequential by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EntropyError",
+    "PROB_BITS",
+    "PROB_SCALE",
+    "quantize_freqs",
+    "encode_indexes",
+    "decode_indexes",
+]
+
+#: Probability resolution: every frequency table sums to ``2**PROB_BITS``.
+PROB_BITS = 12
+PROB_SCALE = 1 << PROB_BITS
+
+#: Lower bound of the normalised state interval ``[L, 256*L)``.
+_RANS_L = 1 << 16
+#: Serialized width of the final coder state.
+_STATE_BYTES = 4
+
+
+class EntropyError(ValueError):
+    """Raised when a symbol stream cannot be entropy coded or decoded."""
+
+
+def quantize_freqs(counts: np.ndarray) -> np.ndarray:
+    """Quantise raw symbol counts to a table summing to ``PROB_SCALE``.
+
+    Every symbol with a nonzero count keeps a frequency of at least 1
+    (a zero frequency would make that symbol unencodable); the rounding
+    remainder is settled against the most frequent symbol so the result
+    is deterministic.  Returns a little-endian ``uint16`` array.
+
+    Raises:
+        EntropyError: if the counts are empty, all zero, or there are
+            more distinct symbols than ``PROB_SCALE`` can resolve.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise EntropyError("frequency table must be a non-empty 1-d array")
+    if counts.size > PROB_SCALE:
+        raise EntropyError(
+            f"{counts.size} symbols exceed the {PROB_SCALE}-slot model"
+        )
+    if np.any(counts < 0):
+        raise EntropyError("negative symbol count")
+    total = int(counts.sum())
+    if total <= 0:
+        raise EntropyError("cannot build a model from all-zero counts")
+    freqs = (counts * PROB_SCALE) // total
+    freqs[(counts > 0) & (freqs == 0)] = 1
+    diff = PROB_SCALE - int(freqs.sum())
+    while diff != 0:
+        # Settle the remainder against the largest entry; argmax is
+        # deterministic (first occurrence) so the table is reproducible.
+        slot = int(np.argmax(freqs))
+        if diff > 0:
+            freqs[slot] += diff
+            diff = 0
+        else:
+            take = min(-diff, int(freqs[slot]) - 1)
+            if take <= 0:
+                raise EntropyError("frequency table cannot be normalised")
+            freqs[slot] -= take
+            diff += take
+    return freqs.astype("<u2")
+
+
+def _validate_freqs(freqs: np.ndarray) -> List[int]:
+    freqs = np.asarray(freqs)
+    if freqs.ndim != 1 or freqs.size == 0 or freqs.size > PROB_SCALE:
+        raise EntropyError(f"invalid frequency table of {freqs.size} entries")
+    table: List[int] = [int(f) for f in freqs]
+    if any(f < 0 for f in table) or sum(table) != PROB_SCALE:
+        raise EntropyError(
+            f"frequency table sums to {sum(table)}, expected {PROB_SCALE}"
+        )
+    return table
+
+
+def _cumulative(table: List[int]) -> List[int]:
+    cum = [0] * len(table)
+    run = 0
+    for i, f in enumerate(table):
+        cum[i] = run
+        run += f
+    return cum
+
+
+def encode_indexes(symbols: np.ndarray, freqs: np.ndarray) -> bytes:
+    """Encode a symbol stream against a :func:`quantize_freqs` table.
+
+    Returns the coded byte string: 4 bytes of final coder state
+    followed by the renormalisation stream in decode order.
+
+    Raises:
+        EntropyError: if a symbol falls outside the table or has a zero
+            quantised frequency.
+    """
+    table = _validate_freqs(freqs)
+    cum = _cumulative(table)
+    num_symbols = len(table)
+    x = _RANS_L
+    out = bytearray()
+    # Encode runs the recurrence backwards so decode streams forwards.
+    for s in reversed(np.asarray(symbols).tolist()):
+        s = int(s)
+        if not 0 <= s < num_symbols:
+            raise EntropyError(f"symbol {s} outside {num_symbols}-entry model")
+        f = table[s]
+        if f == 0:
+            raise EntropyError(f"symbol {s} has zero modelled frequency")
+        x_max = ((_RANS_L >> PROB_BITS) << 8) * f
+        while x >= x_max:
+            out.append(x & 0xFF)
+            x >>= 8
+        x = (x // f) * PROB_SCALE + cum[s] + (x % f)
+    out.reverse()
+    return x.to_bytes(_STATE_BYTES, "little") + bytes(out)
+
+
+def decode_indexes(blob: bytes, freqs: np.ndarray, count: int) -> np.ndarray:
+    """Decode exactly ``count`` symbols; the inverse of :func:`encode_indexes`.
+
+    The decoder re-derives the slot-to-symbol map from the frequency
+    table and checks that the stream lands back on the encoder's start
+    state with no bytes left over — truncated, padded, or corrupted
+    streams raise :class:`EntropyError` rather than returning wrong
+    symbols undetected.
+    """
+    if count < 0:
+        raise EntropyError(f"cannot decode {count} symbols")
+    table = _validate_freqs(freqs)
+    cum = _cumulative(table)
+    if len(blob) < _STATE_BYTES:
+        raise EntropyError(f"coded stream of {len(blob)} bytes is too short")
+    x = int.from_bytes(blob[:_STATE_BYTES], "little")
+    if not _RANS_L <= x < (_RANS_L << 8):
+        raise EntropyError(f"coder state {x} outside the normalised interval")
+    lookup = np.repeat(
+        np.arange(len(table), dtype=np.int64), np.asarray(table, dtype=np.int64)
+    ).tolist()
+    mask = PROB_SCALE - 1
+    pos = _STATE_BYTES
+    end = len(blob)
+    out: List[int] = []
+    for _ in range(count):
+        slot = x & mask
+        s = lookup[slot]
+        x = table[s] * (x >> PROB_BITS) + slot - cum[s]
+        while x < _RANS_L:
+            if pos >= end:
+                raise EntropyError("truncated coded stream")
+            x = (x << 8) | blob[pos]
+            pos += 1
+        out.append(s)
+    if x != _RANS_L:
+        raise EntropyError("corrupt coded stream: final state mismatch")
+    if pos != end:
+        raise EntropyError(
+            f"{end - pos} trailing bytes after the coded stream"
+        )
+    return np.asarray(out, dtype=np.int64)
+
+
+def coded_size_bound(freqs: np.ndarray, counts: np.ndarray) -> Tuple[float, int]:
+    """(entropy bits/symbol, table bytes) — sizing hint for callers."""
+    table = np.asarray(freqs, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0, int(table.size * 2)
+    probs = table / PROB_SCALE
+    used = counts > 0
+    bits = float(-(counts[used] / total * np.log2(probs[used])).sum())
+    return bits, int(table.size * 2)

@@ -9,20 +9,36 @@ self-describing byte string and back, bit-for-bit:
 ``serialize_message`` → ``bytes`` → ``deserialize_message`` →
 decompresses to exactly the same keys/values as the in-memory message.
 
-Layout (all integers little-endian)::
+Two payload versions share one layout (all integers little-endian)::
 
     header:   magic "SKML" | version u8 | flags u8 | dimension u64 | nnz u64
               | num_parts u8
     per part: sign i8 | nnz u64 | kind u8
       kind 0 (raw values):      key_kind u8, keys, values f64[]
-      kind 1 (indexes):         key_kind u8, keys, bucket block, index dtype
-                                u8, indexes
+      kind 1 (indexes):         key_kind u8, keys, bucket block, index
+                                marker u8, indexes
       kind 2 (grouped sketch):  bucket block, num_groups u8, per group:
                                 key blob (delta-binary, length-prefixed) +
                                 sketch block
-    bucket block:  num_buckets u16 | sign f32... splits f64[q+1] | means f64[q]
+    bucket block:  num_buckets u16 | sign i8 | splits f64[q+1] | means f64[q]
     sketch block:  rows u8 | bins u32 | index_range u32 | seed u64 |
                    hash_family u8 | table bytes
+
+Version 1 is frozen (the committed golden fixtures pin it byte for
+byte).  Version 2 keeps the identical layout and adds one optional
+encoding: index marker 3 is an rANS entropy-coded bucket-index stream
+(:mod:`repro.core.entropy`) modelled by the stream's own quantised
+histogram — the same CDF shape the quantile sketch shipped — chosen
+per part only when it beats the plain/bit-packed encoding, so v2 is
+never larger than v1.  See ``docs/wire.md`` for the full spec.
+
+Both directions stream: :func:`iter_serialize_message` yields the wire
+bytes in bounded chunks and :func:`deserialize_message_chunks` parses
+straight from a chunk iterator, so a multi-GB gradient never has to
+materialise as one contiguous buffer on either side.  Every declared
+length is clamped against a configurable byte budget before any
+allocation happens — a lying header raises :class:`SerializationError`
+instead of an allocation bomb.
 
 The decoder rebuilds the MinMaxSketch hash functions from the recorded
 ``(rows, bins, seed, family)``, so encoder and decoder agree on every
@@ -32,19 +48,49 @@ bin placement without shipping the functions themselves.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..compression.base import CompressedGradient
+from . import entropy as _entropy
+from .bitpack import pack_uint_array, unpack_uint_array
 from .compressor import SketchMLPayload, SignPart
 from .minmax_sketch import GroupedMinMaxSketch, MinMaxSketch
 from .quantizer import SignedBuckets
 
-__all__ = ["serialize_message", "deserialize_message", "SerializationError"]
+__all__ = [
+    "serialize_message",
+    "iter_serialize_message",
+    "deserialize_message",
+    "deserialize_message_chunks",
+    "SerializationError",
+    "PAYLOAD_VERSION_V1",
+    "PAYLOAD_VERSION_V2",
+    "SUPPORTED_PAYLOAD_VERSIONS",
+    "MAX_MESSAGE_BYTES",
+    "DEFAULT_CHUNK_BYTES",
+]
 
 _MAGIC = b"SKML"
-_VERSION = 1
+
+PAYLOAD_VERSION_V1 = 1
+PAYLOAD_VERSION_V2 = 2
+SUPPORTED_PAYLOAD_VERSIONS = (PAYLOAD_VERSION_V1, PAYLOAD_VERSION_V2)
+_VERSION = PAYLOAD_VERSION_V1  # encode default; v1 bytes are frozen
+
+#: Default ceiling on a decoded message (and on any single declared
+#: length inside one) — a corrupted u64 length field must fail fast,
+#: not drive a multi-gigabyte allocation.  Callers with stricter
+#: expectations (fuzzers, small control planes) pass a tighter budget.
+MAX_MESSAGE_BYTES = 1 << 31
+
+#: Default streaming chunk size for :func:`iter_serialize_message`.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+_FLAG_DECAY = 1
+_FLAG_ENTROPY = 2
 
 _KIND_RAW = 0
 _KIND_INDEXES = 1
@@ -52,6 +98,13 @@ _KIND_SKETCH = 2
 
 _KEY_KIND_RAW = 0
 _KEY_KIND_DELTA = 1
+
+#: Index markers inside a kind-1 part.  1 and 2 double as the array
+#: itemsize, a v1 layout quirk kept for compatibility.
+_MARKER_PACKED = 0
+_MARKER_ENTROPY = 3
+_ENTROPY_ORIGIN_PLAIN = 0
+_ENTROPY_ORIGIN_PACKED = 1
 
 _HASH_FAMILIES = ("multiply_shift", "tabulation")
 
@@ -80,17 +133,65 @@ class _Writer:
     def getvalue(self) -> bytes:
         return b"".join(self._chunks)
 
+    def pieces(self) -> List[bytes]:
+        return self._chunks
+
 
 class _Reader:
-    def __init__(self, data: bytes) -> None:
+    """Bounded cursor over wire bytes, contiguous or chunked.
+
+    With ``source=None`` this is a plain cursor over ``data``.  With a
+    chunk iterator it pulls just enough bytes to satisfy each read and
+    drops consumed prefixes, so peak memory is one blob, not the whole
+    message.  Every read is charged against ``budget``; a declared
+    length that cannot fit raises before anything is allocated.
+    """
+
+    def __init__(
+        self,
+        data: bytes = b"",
+        *,
+        source: Optional[Iterator[bytes]] = None,
+        budget: int = MAX_MESSAGE_BYTES,
+    ) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
         self._data = data
+        self._pos = 0
+        self._source = iter(source) if source is not None else None
+        self._budget = int(budget)
+        self._consumed = 0
+
+    def _ensure(self, n: int) -> None:
+        if len(self._data) - self._pos >= n:
+            return
+        if self._source is None:
+            raise SerializationError("truncated message")
+        parts = [self._data[self._pos:]] if self._pos < len(self._data) else []
+        have = sum(len(p) for p in parts)
+        while have < n:
+            chunk = next(self._source, None)
+            if chunk is None:
+                self._source = None
+                raise SerializationError("truncated message")
+            if chunk:
+                parts.append(bytes(chunk))
+                have += len(chunk)
+        self._data = b"".join(parts)
         self._pos = 0
 
     def raw(self, n: int) -> bytes:
-        if self._pos + n > len(self._data):
-            raise SerializationError("truncated message")
+        if n < 0:
+            raise SerializationError(f"negative length {n}")
+        if self._consumed + n > self._budget:
+            raise SerializationError(
+                f"declared length {n} exceeds the {self._budget}-byte "
+                f"message budget"
+            )
+        self._ensure(n)
         out = self._data[self._pos:self._pos + n]
         self._pos += n
+        self._consumed += n
         return out
 
     def unpack(self, fmt: str):
@@ -102,11 +203,30 @@ class _Reader:
         return self.raw(self.unpack("Q"))
 
     def array(self, dtype) -> np.ndarray:
-        return np.frombuffer(self.blob(), dtype=dtype)
+        data = self.blob()
+        try:
+            return np.frombuffer(data, dtype=dtype)
+        except ValueError as exc:
+            raise SerializationError(f"malformed array blob: {exc}") from None
+
+    def remaining_bound(self) -> int:
+        """Upper bound on the bytes this message can still contain."""
+        if self._source is None:
+            return len(self._data) - self._pos
+        return self._budget - self._consumed
 
     @property
     def exhausted(self) -> bool:
-        return self._pos == len(self._data)
+        if self._pos < len(self._data):
+            return False
+        if self._source is not None:
+            for chunk in self._source:
+                if chunk:
+                    self._data = bytes(chunk)
+                    self._pos = 0
+                    return False
+            self._source = None
+        return True
 
 
 # ----------------------------------------------------------------------
@@ -153,13 +273,27 @@ def _read_minmax(r: _Reader) -> MinMaxSketch:
     dtype = {1: "u1", 2: "<u2", 4: "<u4"}.get(itemsize)
     if dtype is None:
         raise SerializationError(f"unknown sketch cell width {itemsize}")
-    sketch = MinMaxSketch(
-        num_rows=rows, num_bins=bins, index_range=index_range,
-        seed=master_seed, hash_family=family,
-    )
+    # Validate the declared table dimensions against the bytes that can
+    # still follow *before* constructing the sketch — the constructor
+    # allocates rows×bins cells, so a lying header must fail here, not
+    # drive the allocation.
+    if rows < 1 or bins < 1:
+        raise SerializationError(f"invalid sketch shape {rows}x{bins}")
+    if rows * bins * itemsize > r.remaining_bound():
+        raise SerializationError(
+            f"declared sketch table ({rows}x{bins}) larger than the "
+            f"remaining message"
+        )
     table = r.array(dtype)
     if table.size != rows * bins:
         raise SerializationError("sketch table size mismatch")
+    try:
+        sketch = MinMaxSketch(
+            num_rows=rows, num_bins=bins, index_range=index_range,
+            seed=master_seed, hash_family=family,
+        )
+    except ValueError as exc:
+        raise SerializationError(f"invalid sketch header: {exc}") from None
     sketch._table = table.reshape(rows, bins).copy()
     return sketch
 
@@ -186,9 +320,139 @@ def _read_grouped(r: _Reader) -> GroupedMinMaxSketch:
 
 
 # ----------------------------------------------------------------------
+# entropy-coded indexes (payload v2 only)
+# ----------------------------------------------------------------------
+def _entropy_block(
+    symbols: np.ndarray, itemsize: int, fallback_len: int
+) -> Optional[Tuple[np.ndarray, bytes]]:
+    """Try to entropy-code an index stream; ``None`` keeps the fallback.
+
+    ``fallback_len`` is the byte length of the encoding the part would
+    otherwise use (plain array or bit-packed).  The choice is
+    deterministic, so re-encoding a decoded message reproduces the
+    exact wire bytes.
+    """
+    if symbols.size == 0 or itemsize not in (1, 2):
+        return None
+    try:
+        counts = np.bincount(np.asarray(symbols, dtype=np.int64))
+        freqs = _entropy.quantize_freqs(counts)
+        coded = _entropy.encode_indexes(symbols, freqs)
+    except (_entropy.EntropyError, ValueError):
+        return None
+    if freqs.size > 0xFFFF:
+        return None
+    # marker + origin + width + num_symbols + table + prefixed stream
+    block_len = 1 + 1 + 1 + 2 + freqs.size * 2 + 8 + len(coded)
+    if telemetry.enabled():
+        telemetry.counter("codec.entropy.plain_bytes", fallback_len)
+        telemetry.counter("codec.entropy.coded_bytes", min(block_len, fallback_len))
+    if block_len >= fallback_len:
+        return None
+    return freqs, coded
+
+
+def _write_index_stream(w: _Writer, part: SignPart, entropy: bool) -> None:
+    if part.packed_indexes is not None:
+        # Bit-packed fallback: marker 0 + width + blob.
+        packed_len = 1 + 1 + 8 + len(part.packed_indexes)
+        block = None
+        if entropy:
+            symbols = unpack_uint_array(
+                part.packed_indexes, part.nnz, part.index_bits
+            )
+            itemsize = 1 if part.index_bits <= 8 else 2
+            block = _entropy_block(symbols, itemsize, packed_len)
+        if block is None:
+            w.pack("B", _MARKER_PACKED)
+            w.pack("B", part.index_bits)
+            w.blob(part.packed_indexes)
+        else:
+            freqs, coded = block
+            # Origin 1 (bit-packed) + the pack width, so decoding
+            # restores the exact fallback representation and
+            # re-encoding the message reproduces the wire bytes.
+            w.pack("B", _MARKER_ENTROPY)
+            w.pack("B", _ENTROPY_ORIGIN_PACKED)
+            w.pack("B", part.index_bits)
+            w.pack("H", freqs.size)
+            w.raw(freqs.astype("<u2").tobytes())
+            w.blob(coded)
+    else:
+        idx = np.asarray(part.indexes)
+        itemsize = idx.dtype.itemsize
+        plain_len = 1 + 8 + idx.size * itemsize
+        block = _entropy_block(idx, itemsize, plain_len) if entropy else None
+        if block is None:
+            w.pack("B", itemsize)
+            w.array(np.asarray(idx, dtype=f"<u{itemsize}"))
+        else:
+            freqs, coded = block
+            w.pack("B", _MARKER_ENTROPY)
+            w.pack("B", _ENTROPY_ORIGIN_PLAIN)
+            w.pack("B", itemsize)
+            w.pack("H", freqs.size)
+            w.raw(freqs.astype("<u2").tobytes())
+            w.blob(coded)
+
+
+def _read_entropy_indexes(r: _Reader, part: SignPart, message_nnz: int) -> None:
+    origin = r.unpack("B")
+    if origin not in (_ENTROPY_ORIGIN_PLAIN, _ENTROPY_ORIGIN_PACKED):
+        raise SerializationError(f"unknown entropy origin {origin}")
+    width = r.unpack("B")
+    if origin == _ENTROPY_ORIGIN_PACKED:
+        if not 1 <= width <= 16:
+            raise SerializationError(
+                f"invalid packed index width {width}"
+            )
+        itemsize = 1 if width <= 8 else 2
+    else:
+        itemsize = width
+    dtype = {1: "u1", 2: "<u2"}.get(itemsize)
+    if dtype is None:
+        raise SerializationError(f"unknown index width {itemsize}")
+    num_symbols = r.unpack("H")
+    if num_symbols < 1:
+        raise SerializationError("empty entropy model")
+    table = r.raw(num_symbols * 2)
+    try:
+        freqs = np.frombuffer(table, dtype="<u2")
+    except ValueError as exc:  # pragma: no cover - size is exact by construction
+        raise SerializationError(f"malformed entropy table: {exc}") from None
+    # The symbol count drives the decode loop; clamp it against the
+    # message-level nnz (itself budget-checked) so a lying part header
+    # cannot turn decode into an unbounded loop.
+    if part.nnz > message_nnz:
+        raise SerializationError(
+            f"part nnz {part.nnz} exceeds message nnz {message_nnz}"
+        )
+    coded = r.blob()
+    try:
+        symbols = _entropy.decode_indexes(coded, freqs, part.nnz)
+    except _entropy.EntropyError as exc:
+        raise SerializationError(f"corrupt entropy-coded indexes: {exc}") from None
+    if num_symbols > (1 << (8 * itemsize)):
+        raise SerializationError(
+            f"{num_symbols}-symbol model does not fit index width {itemsize}"
+        )
+    if origin == _ENTROPY_ORIGIN_PACKED:
+        if num_symbols > (1 << width):
+            raise SerializationError(
+                f"{num_symbols}-symbol model does not fit pack width {width}"
+            )
+        part.index_bits = width
+        part.packed_indexes = pack_uint_array(
+            symbols.astype(np.uint64), width
+        )
+    else:
+        part.indexes = symbols.astype(dtype)
+
+
+# ----------------------------------------------------------------------
 # parts
 # ----------------------------------------------------------------------
-def _write_part(w: _Writer, part: SignPart) -> None:
+def _write_part(w: _Writer, part: SignPart, entropy: bool = False) -> None:
     w.pack("b", part.sign)
     w.pack("Q", part.nnz)
     if part.raw_values is not None:
@@ -207,14 +471,7 @@ def _write_part(w: _Writer, part: SignPart) -> None:
         w.pack("B", _KIND_INDEXES)
         _write_keys(w, part)
         _write_buckets(w, part.buckets)
-        if part.packed_indexes is not None:
-            w.pack("B", 0)  # 0 = bit-packed marker
-            w.pack("B", part.index_bits)
-            w.blob(part.packed_indexes)
-        else:
-            itemsize = part.indexes.dtype.itemsize
-            w.pack("B", itemsize)
-            w.array(np.asarray(part.indexes, dtype=f"<u{itemsize}"))
+        _write_index_stream(w, part, entropy)
 
 
 def _write_keys(w: _Writer, part: SignPart) -> None:
@@ -236,10 +493,14 @@ def _read_keys(r: _Reader, part: SignPart) -> None:
         raise SerializationError(f"unknown key kind {key_kind}")
 
 
-def _read_part(r: _Reader) -> SignPart:
+def _read_part(r: _Reader, version: int, message_nnz: int) -> SignPart:
     sign = r.unpack("b")
     nnz = r.unpack("Q")
     kind = r.unpack("B")
+    if nnz > r._budget:
+        raise SerializationError(
+            f"part nnz {nnz} exceeds the message budget"
+        )
     part = SignPart(sign=sign, nnz=nnz)
     if kind == _KIND_RAW:
         _read_keys(r, part)
@@ -252,18 +513,24 @@ def _read_part(r: _Reader) -> SignPart:
     elif kind == _KIND_INDEXES:
         _read_keys(r, part)
         part.buckets = _read_buckets(r)
-        itemsize = r.unpack("B")
-        if itemsize == 0:  # bit-packed marker
+        marker = r.unpack("B")
+        if marker == _MARKER_PACKED:
             part.index_bits = r.unpack("B")
             if not 1 <= part.index_bits <= 16:
                 raise SerializationError(
                     f"invalid packed index width {part.index_bits}"
                 )
             part.packed_indexes = r.blob()
+        elif marker == _MARKER_ENTROPY:
+            if version < PAYLOAD_VERSION_V2:
+                raise SerializationError(
+                    "entropy-coded indexes are not valid in a v1 message"
+                )
+            _read_entropy_indexes(r, part, message_nnz)
         else:
-            dtype = {1: "u1", 2: "<u2"}.get(itemsize)
+            dtype = {1: "u1", 2: "<u2"}.get(marker)
             if dtype is None:
-                raise SerializationError(f"unknown index width {itemsize}")
+                raise SerializationError(f"unknown index width {marker}")
             part.indexes = r.array(dtype).copy()
     else:
         raise SerializationError(f"unknown part kind {kind}")
@@ -273,59 +540,168 @@ def _read_part(r: _Reader) -> SignPart:
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
-def serialize_message(message: CompressedGradient) -> bytes:
+def _build_message(
+    message: CompressedGradient, version: int, entropy: bool
+) -> _Writer:
+    payload = message.payload
+    if not isinstance(payload, SketchMLPayload):
+        raise TypeError("only SketchML messages can be serialised here")
+    if version not in SUPPORTED_PAYLOAD_VERSIONS:
+        raise ValueError(f"unsupported payload version {version}")
+    if entropy and version < PAYLOAD_VERSION_V2:
+        raise ValueError("entropy coding requires payload version 2")
+    w = _Writer()
+    w.raw(_MAGIC)
+    flags = _FLAG_DECAY if payload.decay_scale != 1.0 else 0
+    if entropy:
+        flags |= _FLAG_ENTROPY
+    w.pack("BB", version, flags)
+    w.pack("QQ", message.dimension, message.nnz)
+    if flags & _FLAG_DECAY:
+        w.pack("d", payload.decay_scale)
+    w.pack("B", len(payload.parts))
+    for part in payload.parts:
+        _write_part(w, part, entropy=entropy)
+    return w
+
+
+def serialize_message(
+    message: CompressedGradient,
+    *,
+    version: int = PAYLOAD_VERSION_V1,
+    entropy: bool = False,
+) -> bytes:
     """Serialise a SketchML message into a self-describing byte string.
+
+    ``version`` selects the payload version negotiated for the
+    connection; the default (v1) byte stream is frozen by the golden
+    fixtures.  ``entropy`` (v2 only) lets each part swap its
+    bucket-index stream for an rANS-coded one when that is smaller.
 
     Raises:
         TypeError: if the message was not produced by
             :class:`~repro.core.compressor.SketchMLCompressor`.
+        ValueError: for an unsupported version/flag combination.
     """
-    payload = message.payload
-    if not isinstance(payload, SketchMLPayload):
-        raise TypeError("only SketchML messages can be serialised here")
-    w = _Writer()
-    w.raw(_MAGIC)
-    flags = 1 if payload.decay_scale != 1.0 else 0
-    w.pack("BB", _VERSION, flags)
-    w.pack("QQ", message.dimension, message.nnz)
-    if flags & 1:
-        w.pack("d", payload.decay_scale)
-    w.pack("B", len(payload.parts))
-    for part in payload.parts:
-        _write_part(w, part)
-    return w.getvalue()
+    return _build_message(message, version, entropy).getvalue()
 
 
-def deserialize_message(data: bytes) -> CompressedGradient:
-    """Rebuild a :class:`CompressedGradient` from wire bytes.
+def iter_serialize_message(
+    message: CompressedGradient,
+    *,
+    version: int = PAYLOAD_VERSION_V1,
+    entropy: bool = False,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[bytes]:
+    """Yield the exact :func:`serialize_message` bytes in bounded chunks.
 
-    The result decompresses (via
-    :meth:`SketchMLCompressor.decompress`) to exactly the same keys and
-    values as the original in-memory message; ``num_bytes`` is set to
-    the actual wire length.
+    Every chunk except the last is exactly ``chunk_bytes`` long, and
+    the concatenation equals the contiguous encoding bit for bit — but
+    no buffer larger than ``chunk_bytes`` (plus one field) is ever
+    joined, so a multi-GB gradient streams without materialising
+    contiguously.
     """
-    r = _Reader(data)
+    if chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    w = _build_message(message, version, entropy)
+    buf = bytearray()
+    for piece in w.pieces():
+        start = 0
+        while start < len(piece):
+            take = min(chunk_bytes - len(buf), len(piece) - start)
+            buf += piece[start:start + take]
+            start += take
+            if len(buf) == chunk_bytes:
+                yield bytes(buf)
+                del buf[:]
+    if buf:
+        yield bytes(buf)
+
+
+def _read_message(
+    r: _Reader,
+) -> Tuple[SketchMLPayload, int, int]:
     if r.raw(4) != _MAGIC:
         raise SerializationError("bad magic; not a SketchML message")
     version, flags = r.unpack("BB")
-    if version != _VERSION:
+    if version not in SUPPORTED_PAYLOAD_VERSIONS:
         raise SerializationError(f"unsupported version {version}")
+    known = _FLAG_DECAY
+    if version >= PAYLOAD_VERSION_V2:
+        known |= _FLAG_ENTROPY
+    if flags & ~known:
+        raise SerializationError(
+            f"unknown flags 0x{flags:02x} for version {version}"
+        )
     dimension, nnz = r.unpack("QQ")
+    if nnz > r._budget:
+        raise SerializationError(f"message nnz {nnz} exceeds the byte budget")
     decay_scale = 1.0
-    if flags & 1:
+    if flags & _FLAG_DECAY:
         decay_scale = float(r.unpack("d"))
         if not np.isfinite(decay_scale) or decay_scale <= 0.0:
             raise SerializationError(f"invalid decay scale {decay_scale}")
     num_parts = r.unpack("B")
     payload = SketchMLPayload(
-        parts=[_read_part(r) for _ in range(num_parts)],
+        parts=[_read_part(r, version, int(nnz)) for _ in range(num_parts)],
         decay_scale=decay_scale,
     )
     if not r.exhausted:
         raise SerializationError("trailing bytes after message")
+    return payload, int(dimension), int(nnz)
+
+
+def deserialize_message(
+    data: bytes, *, max_message_bytes: int = MAX_MESSAGE_BYTES
+) -> CompressedGradient:
+    """Rebuild a :class:`CompressedGradient` from wire bytes.
+
+    The result decompresses (via
+    :meth:`SketchMLCompressor.decompress`) to exactly the same keys and
+    values as the original in-memory message; ``num_bytes`` is set to
+    the actual wire length.  Declared lengths are clamped against
+    ``max_message_bytes`` before any allocation.
+    """
+    if len(data) > max_message_bytes:
+        raise SerializationError(
+            f"{len(data)}-byte message exceeds the "
+            f"{max_message_bytes}-byte budget"
+        )
+    r = _Reader(data, budget=max_message_bytes)
+    payload, dimension, nnz = _read_message(r)
     return CompressedGradient(
         payload=payload,
         num_bytes=len(data),
-        dimension=int(dimension),
-        nnz=int(nnz),
+        dimension=dimension,
+        nnz=nnz,
+    )
+
+
+def deserialize_message_chunks(
+    chunks: Iterable[bytes], *, max_message_bytes: int = MAX_MESSAGE_BYTES
+) -> CompressedGradient:
+    """Rebuild a message from an iterator of byte chunks.
+
+    Equivalent to ``deserialize_message(b"".join(chunks))`` but the
+    chunks are consumed incrementally and consumed prefixes are
+    dropped, so peak memory is bounded by the largest single field, not
+    the whole message.  This is the receive half of
+    :func:`iter_serialize_message` (the transports deliver the chunk
+    list from ``CHUNK``/``END`` frames).
+    """
+    total = 0
+
+    def _counted() -> Iterator[bytes]:
+        nonlocal total
+        for chunk in chunks:
+            total += len(chunk)
+            yield chunk
+
+    r = _Reader(source=_counted(), budget=max_message_bytes)
+    payload, dimension, nnz = _read_message(r)
+    return CompressedGradient(
+        payload=payload,
+        num_bytes=total,
+        dimension=dimension,
+        nnz=nnz,
     )

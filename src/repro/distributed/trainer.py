@@ -399,7 +399,10 @@ class DistributedTrainer:
                         driver_result.broadcast_message
                     )
                     t2 = time.perf_counter()
-                    cluster.broadcast(wire_round, lr, update_bytes)
+                    cluster.broadcast(
+                        wire_round, lr, update_bytes,
+                        message=driver_result.broadcast_message,
+                    )
                     acc.add_seconds("network", time.perf_counter() - t2)
 
                     self.optimizer.learning_rate = lr

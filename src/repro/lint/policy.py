@@ -58,7 +58,9 @@ WIRE_MODULES = frozenset(
         "core/serialization.py",
         "core/delta_encoding.py",
         "core/bitpack.py",
+        "core/entropy.py",
         "compression/lossless.py",
+        "golden.py",
         "runtime/framing.py",
     }
 )

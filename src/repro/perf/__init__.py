@@ -26,6 +26,7 @@ from .suite import (
     write_results,
 )
 from .soak_bench import SOAK_MODES, SoakBenchResult, WorkerSwarm, run_soak_bench
+from .wire_bench import WIRE_SCHEMA, run_wire_bench
 from .transport_bench import (
     TRANSPORT_PAYLOAD_SIZES,
     TransportBenchResult,
@@ -43,11 +44,13 @@ __all__ = [
     "SoakBenchResult",
     "TRANSPORT_PAYLOAD_SIZES",
     "TransportBenchResult",
+    "WIRE_SCHEMA",
     "WorkerSwarm",
     "measure_overhead",
     "run_suite",
     "run_transport_bench",
     "run_soak_bench",
+    "run_wire_bench",
     "time_kernel",
     "write_results",
 ]

@@ -262,8 +262,14 @@ def run_suite(
     return results
 
 
-def results_to_json(results: Sequence[BenchResult]) -> Dict[str, object]:
-    return {
+def results_to_json(
+    results: Sequence[BenchResult],
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """``extra`` adds top-level sections (e.g. the wire-bench summary)
+    next to ``kernels``; it may not override the fixed keys."""
+    payload: Dict[str, object] = {
         "schema": "repro-bench-codec/1",
         "platform": {
             "python": platform.python_version(),
@@ -272,9 +278,22 @@ def results_to_json(results: Sequence[BenchResult]) -> Dict[str, object]:
         },
         "kernels": {r.name: r.to_json() for r in results},
     }
+    if extra:
+        overlap = payload.keys() & extra.keys()
+        if overlap:
+            raise ValueError(f"extra sections clash with fixed keys: {sorted(overlap)}")
+        payload.update(extra)
+    return payload
 
 
-def write_results(results: Sequence[BenchResult], path: str) -> None:
+def write_results(
+    results: Sequence[BenchResult],
+    path: str,
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> None:
     with open(path, "w") as fh:
-        json.dump(results_to_json(results), fh, indent=2, sort_keys=True)
+        json.dump(
+            results_to_json(results, extra=extra), fh, indent=2, sort_keys=True
+        )
         fh.write("\n")

@@ -50,13 +50,28 @@ import time
 from typing import Deque, Dict, List, Optional, Sequence
 
 from .. import telemetry
-from .framing import FrameAssembler, FrameError, unpack_header_from
+from .framing import (
+    DEFAULT_CAPS,
+    KIND_ACK,
+    KIND_HELLO,
+    V1_CAPS,
+    FrameAssembler,
+    FrameError,
+    ProtocolCaps,
+    negotiate_versions,
+    pack_frame,
+    pack_hello,
+    unpack_frame,
+    unpack_hello,
+)
 from .transport import (
     Transport,
     TransportBackpressure,
     TransportClosed,
     TransportError,
     TransportTimeout,
+    _caps_for,
+    _chosen_caps,
 )
 
 __all__ = ["AioTransport"]
@@ -126,10 +141,13 @@ class AioTransport(Transport):
         spawn_workers: bool = True,
         max_inbox_frames: int = 1024,
         max_outbox_bytes: int = 32 * 1024 * 1024,
+        driver_caps: Optional[ProtocolCaps] = None,
+        worker_caps: Optional[Dict[int, ProtocolCaps]] = None,
     ) -> None:
         super().__init__(num_workers)
         if max_inbox_frames <= 0 or max_outbox_bytes <= 0:
             raise ValueError("queue bounds must be positive")
+        self._driver_caps = driver_caps or DEFAULT_CAPS
         self.max_inbox_frames = int(max_inbox_frames)
         self.max_outbox_bytes = int(max_outbox_bytes)
         self._sel = selectors.DefaultSelector()
@@ -154,7 +172,10 @@ class AioTransport(Transport):
                 for worker_id in range(num_workers):
                     proc = ctx.Process(
                         target=worker_main.tcp_worker_entry,
-                        args=(host, self.port, worker_id),
+                        args=(
+                            host, self.port, worker_id,
+                            _caps_for(worker_caps, worker_id),
+                        ),
                         daemon=True,
                         name=f"repro-worker-{worker_id}",
                     )
@@ -259,14 +280,44 @@ class AioTransport(Transport):
             self._interest(conn)
 
     def _map_hello(self, conn: _Connection, frame: bytes) -> None:
-        _, sender, _ = unpack_header_from(frame)
+        kind, sender, payload = unpack_frame(frame)
         if not 0 <= sender < self.num_workers or sender in self._conns:
             self._mark_closed(conn, f"bad hello from worker id {sender}")
             raise TransportError(f"bad hello from worker id {sender}")
+        if kind == KIND_HELLO:
+            theirs = unpack_hello(payload)
+            try:
+                frame_v, payload_v = negotiate_versions(
+                    self._driver_caps, theirs
+                )
+            except FrameError:
+                # NegotiationError (a FrameError): close the socket and
+                # let the structured error propagate out of the pump.
+                self._mark_closed(conn, f"no common version with {sender}")
+                raise
+            reply = pack_frame(
+                KIND_HELLO, sender,
+                pack_hello(_chosen_caps(frame_v, payload_v)),
+            )
+            conn.outq.append(memoryview(reply))
+            conn.out_bytes += len(reply)
+            self.negotiated[sender] = (frame_v, payload_v)
+        elif kind == KIND_ACK:
+            # Pre-v2 peer: never sends HELLO, speaks v1 only.
+            self.negotiated[sender] = negotiate_versions(
+                self._driver_caps, V1_CAPS
+            )
+        else:
+            self._mark_closed(conn, f"bad hello from worker id {sender}")
+            raise TransportError(
+                f"bad hello from worker id {sender}: kind {kind}"
+            )
         conn.worker_id = sender
         self._conns[sender] = conn
         if conn in self._pending:
             self._pending.remove(conn)
+        if conn.outq:
+            self._flush_writes(conn)
 
     def _mark_closed(self, conn: _Connection, reason: str) -> None:
         if conn.closed:

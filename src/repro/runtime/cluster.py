@@ -22,12 +22,18 @@ the update automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from .. import telemetry
-from ..core.serialization import deserialize_message
+from ..core.serialization import (
+    deserialize_message,
+    deserialize_message_chunks,
+    serialize_message,
+)
 from .faults import FaultConfig, FaultSchedule, FaultyTransport
 from .framing import (
+    DEFAULT_CHUNK_BYTES,
+    GRAD_HEADER_SIZE,
     KIND_ACK,
     KIND_ECHO,
     KIND_EPOCH,
@@ -41,10 +47,13 @@ from .framing import (
     KIND_SYNC,
     KIND_UPDATE,
     FrameError,
+    ProtocolCaps,
+    iter_chunk_frames,
     pack_ack,
     pack_frame,
     pack_step,
     pack_update_header,
+    split_chunk_prefix,
     unpack_ack,
     unpack_frame,
     unpack_grad,
@@ -84,6 +93,16 @@ class RuntimeConfig:
         faults: optional seeded probabilistic fault rates.
         fault_schedule: optional exact fault triggers (tests).
         tcp_host: bind/connect host for the ``tcp`` / ``aio`` backends.
+        driver_caps: protocol versions the driver advertises in the
+            HELLO exchange (``None`` → everything this build speaks).
+        worker_caps: per-worker capability overrides — the conformance
+            tier pins mixed v1/v2 fleets with this (``None`` → every
+            worker advertises everything).
+        entropy_coding: request rANS entropy coding of bucket-index
+            streams on payload-v2 connections (``docs/wire.md``);
+            v1-pinned peers are unaffected.
+        chunk_bytes: data bytes per ``CHUNK`` frame when a body larger
+            than this streams over a frame-v2 connection.
     """
 
     backend: str = "sim"
@@ -91,6 +110,10 @@ class RuntimeConfig:
     faults: Optional[FaultConfig] = None
     fault_schedule: Optional[FaultSchedule] = None
     tcp_host: str = "127.0.0.1"
+    driver_caps: Optional[ProtocolCaps] = None
+    worker_caps: Optional[Dict[int, ProtocolCaps]] = None
+    entropy_coding: bool = False
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
 
     def __post_init__(self) -> None:
         if self.backend not in TRANSPORT_BACKENDS:
@@ -98,6 +121,8 @@ class RuntimeConfig:
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {TRANSPORT_BACKENDS}"
             )
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
 
 
 @dataclass
@@ -166,21 +191,39 @@ class RuntimeCluster:
         self.num_workers = len(bootstraps)
         self._closed = False
         backend = self.config.backend
+        # The cluster owns the wire policy: stamp it onto every
+        # bootstrap so workers and driver agree from one knob.
+        for spec in bootstraps:
+            spec.entropy_coding = bool(self.config.entropy_coding)
+            spec.chunk_bytes = int(self.config.chunk_bytes)
         if backend == "sim":
             runtimes = [WorkerRuntime(spec) for spec in bootstraps]
             handlers = [
                 _sim_handler(rt, i) for i, rt in enumerate(runtimes)
             ]
-            transport: Transport = SimTransport(handlers, network=network)
+            transport: Transport = SimTransport(
+                handlers, network=network,
+                driver_caps=self.config.driver_caps,
+                worker_caps=self.config.worker_caps,
+            )
+            for worker_id, runtime in enumerate(runtimes):
+                frame_v, payload_v = transport.negotiated[worker_id]
+                runtime.set_wire(frame_v, payload_v)
             # Simulated retries must not burn wall time.
             sleeper: Callable[[float], None] = lambda _s: None
         else:
             transport = make_transport(
-                backend, self.num_workers, tcp_host=self.config.tcp_host
+                backend, self.num_workers, tcp_host=self.config.tcp_host,
+                driver_caps=self.config.driver_caps,
+                worker_caps=self.config.worker_caps,
             )
             import time
 
             sleeper = time.sleep
+        #: per-worker pinned ``(frame_version, payload_version)``
+        self.negotiated: Dict[int, Tuple[int, int]] = dict(
+            transport.negotiated
+        )
         if self.config.faults is not None or self.config.fault_schedule is not None:
             transport = FaultyTransport(
                 transport,
@@ -213,22 +256,26 @@ class RuntimeCluster:
 
     def _send_all(
         self,
-        frames: List[bytes],
+        frames: List[Union[bytes, List[bytes]]],
         workers: Optional[Iterable[int]] = None,
     ) -> Dict[int, bool]:
         """Pipelined fan-out: push every frame before collecting replies.
 
-        Targets the active membership by default; elastic phases pass
-        an explicit subset.  Returns which sends succeeded; failed
-        sends are retried inside the supervisor
+        An entry may be a single frame or a chunked ``CHUNK``...``END``
+        sequence (sent back to back).  Targets the active membership by
+        default; elastic phases pass an explicit subset.  Returns which
+        sends succeeded; failed sends are retried inside the supervisor
         (``already_sent=False``).
         """
         if workers is None:
             workers = self.supervisor.members
         sent: Dict[int, bool] = {}
         for worker_id in sorted(workers):
+            entry = frames[worker_id]
+            pieces = [entry] if isinstance(entry, bytes) else entry
             try:
-                self.transport.send(worker_id, frames[worker_id])
+                for piece in pieces:
+                    self.transport.send(worker_id, piece)
                 sent[worker_id] = True
             except TransportError:
                 sent[worker_id] = False
@@ -367,9 +414,10 @@ class RuntimeCluster:
 
         Returns results keyed by worker id, ascending — only for
         workers that answered.  Each GRAD payload round-trips through
-        :func:`~repro.core.serialization.deserialize_message` inside
-        the supervised decode, so a corrupted reply is rejected (and
-        retried) rather than aggregated.
+        :func:`~repro.core.serialization.deserialize_message` (or its
+        streaming twin for a chunked reply) inside the supervised
+        decode, so a corrupted reply is rejected (and retried) rather
+        than aggregated.
         """
         self.supervisor.check_heartbeats(phase="step")
         targets = (
@@ -382,14 +430,29 @@ class RuntimeCluster:
         frames = [frame] * self.num_workers
         sent = self._send_all(frames, targets)
 
-        def decode(payload: bytes) -> RoundResult:
-            (rid, has_batch, loss, compute_s, encode_s, nnz,
-             data) = unpack_grad(payload)
+        def decode(payload) -> RoundResult:
+            if isinstance(payload, list):
+                # Streamed GRAD: peel the fixed header off the chunk
+                # list; the message bytes go to the streaming
+                # deserialiser without ever being joined contiguously.
+                head, rest = split_chunk_prefix(payload, GRAD_HEADER_SIZE)
+                (rid, has_batch, loss, compute_s, encode_s, nnz,
+                 _) = unpack_grad(head)
+            else:
+                (rid, has_batch, loss, compute_s, encode_s, nnz,
+                 rest) = unpack_grad(payload)
             if rid != round_id:
                 raise FrameError(
                     f"stale GRAD for round {rid} (want {round_id})"
                 )
-            message = deserialize_message(data) if has_batch else None
+            if isinstance(rest, list):
+                data_len = sum(len(c) for c in rest)
+                message = (
+                    deserialize_message_chunks(rest) if has_batch else None
+                )
+            else:
+                data_len = len(rest)
+                message = deserialize_message(rest) if has_batch else None
             return RoundResult(
                 worker_id=-1,
                 has_batch=has_batch,
@@ -398,7 +461,7 @@ class RuntimeCluster:
                 encode_seconds=encode_s,
                 gradient_nnz=nnz,
                 message=message,
-                message_bytes=len(data),
+                message_bytes=data_len,
             )
 
         collected = self._collect(
@@ -417,25 +480,71 @@ class RuntimeCluster:
         self,
         round_id: int,
         lr: float,
-        message_bytes: bytes,
+        message_bytes: Optional[bytes] = None,
         workers: Optional[Iterable[int]] = None,
+        *,
+        message=None,
     ) -> List[int]:
         """Ship the aggregated update to the targeted workers (all
         active members by default); await acks.
 
+        ``message_bytes`` is the legacy pre-serialized v1 payload and
+        is valid on every peer.  When ``message`` (the
+        :class:`~repro.core.messages.SketchMLMessage`) is also given,
+        workers whose negotiated payload version is >= 2 get a payload
+        serialized at that version (entropy-coded when the runtime
+        config enables it); serialization happens at most once per
+        distinct ``(version, entropy)`` pair.  Frame-v2 connections
+        receive updates larger than ``config.chunk_bytes`` as a
+        ``CHUNK``/``END`` stream.
+
         Returns the worker ids that acknowledged applying the update.
         """
+        if message_bytes is None and message is None:
+            raise ValueError("broadcast needs message_bytes or message")
         self.supervisor.check_heartbeats(phase="update")
         targets = (
             sorted(self.supervisor.members) if workers is None
             else sorted(workers)
         )
-        frame = pack_frame(
-            KIND_UPDATE,
-            DRIVER_SENDER,
-            pack_update_header(round_id, lr) + message_bytes,
-        )
-        frames = [frame] * self.num_workers
+        header = pack_update_header(round_id, lr)
+        cache: Dict[Tuple[int, bool], bytes] = {}
+
+        def payload_for(version: int) -> bytes:
+            entropy = bool(self.config.entropy_coding) and version >= 2
+            key = (version, entropy)
+            data = cache.get(key)
+            if data is None:
+                if version == 1 and message_bytes is not None:
+                    data = message_bytes
+                else:
+                    data = serialize_message(
+                        message, version=version, entropy=entropy
+                    )
+                cache[key] = data
+            return data
+
+        frames: List[Union[bytes, List[bytes]]] = [b""] * self.num_workers
+        for w in targets:
+            frame_v, payload_v = self.negotiated.get(w, (1, 1))
+            version = payload_v if (message is not None and payload_v >= 2) else 1
+            data = payload_for(version)
+            if (
+                frame_v >= 2
+                and len(header) + len(data) > self.config.chunk_bytes
+            ):
+                frames[w] = list(
+                    iter_chunk_frames(
+                        KIND_UPDATE,
+                        DRIVER_SENDER,
+                        [header, data],
+                        chunk_bytes=self.config.chunk_bytes,
+                    )
+                )
+            else:
+                frames[w] = pack_frame(
+                    KIND_UPDATE, DRIVER_SENDER, header + data
+                )
         sent = self._send_all(frames, targets)
 
         def decode(payload: bytes) -> int:

@@ -30,20 +30,45 @@ A frame that does not parse raises :class:`FrameError`; corrupted
 ``deserialize_message`` / the ``REPRO_SANITIZE`` invariant checks —
 the frame layer deliberately carries no checksum that would mask that
 path.
+
+Frame version 2 (``docs/wire.md``) keeps the identical header layout
+and adds three kinds.  ``HELLO`` carries both peers' supported
+``{frame, payload}`` version ranges; the exchange pins the highest
+mutually supported pair per connection (:func:`negotiate_versions`),
+and a peer that never sends one is pinned at v1 — exactly how the
+pre-v2 transports behaved.  ``CHUNK``/``END`` stream one oversized
+logical frame as a bounded sequence (:func:`iter_chunk_frames` /
+:class:`ChunkReassembler`) so a multi-GB gradient never crosses the
+wire — or the reassembly buffer — as one contiguous allocation.
+``CHUNK``/``END`` frames are stamped with header version 2 and are
+only legal on connections that negotiated frame v2; everything else
+keeps version 1 so a mixed fleet's non-chunked byte streams are
+bit-identical to an all-v1 fleet's.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FrameError",
+    "NegotiationError",
     "FrameAssembler",
+    "ChunkReassembler",
+    "ProtocolCaps",
+    "DEFAULT_CAPS",
+    "V1_CAPS",
     "FRAME_MAGIC",
     "FRAME_VERSION",
+    "FRAME_VERSION_V2",
+    "SUPPORTED_FRAME_VERSIONS",
     "HEADER_SIZE",
+    "GRAD_HEADER_SIZE",
+    "UPDATE_HEADER_SIZE",
     "MAX_FRAME_BYTES",
+    "DEFAULT_CHUNK_BYTES",
     "KIND_INIT",
     "KIND_READY",
     "KIND_EPOCH",
@@ -57,6 +82,9 @@ __all__ = [
     "KIND_ECHO",
     "KIND_SYNC",
     "KIND_RESHARD",
+    "KIND_HELLO",
+    "KIND_CHUNK",
+    "KIND_END",
     "KIND_NAMES",
     "pack_frame",
     "unpack_header",
@@ -70,17 +98,34 @@ __all__ = [
     "unpack_update",
     "pack_ack",
     "unpack_ack",
+    "pack_hello",
+    "unpack_hello",
+    "negotiate_versions",
+    "pack_chunk",
+    "unpack_chunk",
+    "pack_chunk_end",
+    "unpack_chunk_end",
+    "iter_chunk_frames",
+    "split_chunk_prefix",
 ]
 
 FRAME_MAGIC = b"SKRT"
 FRAME_VERSION = 1
+FRAME_VERSION_V2 = 2
+SUPPORTED_FRAME_VERSIONS = (FRAME_VERSION, FRAME_VERSION_V2)
 
 _HEADER = struct.Struct("<4sBBHQ")
 HEADER_SIZE = _HEADER.size
 
 #: Hard ceiling on a single frame's payload — a corrupted length field
-#: must not make a receiver try to allocate petabytes.
+#: must not make a receiver try to allocate petabytes.  Receivers can
+#: (and the fuzz tier does) pass :class:`FrameAssembler` a tighter
+#: per-connection budget.
 MAX_FRAME_BYTES = 1 << 31
+
+#: Default data bytes per ``CHUNK`` frame when streaming a large
+#: payload (:func:`iter_chunk_frames`).
+DEFAULT_CHUNK_BYTES = 64 * 1024
 
 KIND_INIT = 1
 KIND_READY = 2
@@ -95,6 +140,9 @@ KIND_ERROR = 10
 KIND_ECHO = 11
 KIND_SYNC = 12
 KIND_RESHARD = 13
+KIND_HELLO = 14
+KIND_CHUNK = 15
+KIND_END = 16
 
 KIND_NAMES = {
     KIND_INIT: "init",
@@ -110,6 +158,9 @@ KIND_NAMES = {
     KIND_ECHO: "echo",
     KIND_SYNC: "sync",
     KIND_RESHARD: "reshard",
+    KIND_HELLO: "hello",
+    KIND_CHUNK: "chunk",
+    KIND_END: "end",
 }
 
 _STEP = struct.Struct("<Id")
@@ -117,44 +168,60 @@ _GRAD = struct.Struct("<IBdddQ")
 _UPDATE = struct.Struct("<Id")
 _ACK = struct.Struct("<I")
 
+#: Fixed header sizes of the GRAD / UPDATE payloads — what
+#: :func:`split_chunk_prefix` peels off a reassembled chunk stream
+#: before the rest goes to the streaming message decoder.
+GRAD_HEADER_SIZE = _GRAD.size
+UPDATE_HEADER_SIZE = _UPDATE.size
+
+_HELLO_MAGIC = b"HELO"
+_HELLO = struct.Struct("<4sBBBB")
+_CHUNK = struct.Struct("<IB")
+_CHUNK_END = struct.Struct("<IBQ")
+
 
 class FrameError(ValueError):
     """Raised when bytes cannot be parsed as a runtime frame."""
 
 
-def pack_frame(kind: int, sender: int, payload: bytes = b"") -> bytes:
+class NegotiationError(FrameError):
+    """Raised when two peers share no common protocol version."""
+
+
+def pack_frame(
+    kind: int, sender: int, payload: bytes = b"", *, version: int = FRAME_VERSION
+) -> bytes:
     """Build one wire frame: header + payload."""
     if kind not in KIND_NAMES:
         raise FrameError(f"unknown frame kind {kind}")
+    if version not in SUPPORTED_FRAME_VERSIONS:
+        raise FrameError(f"unsupported frame version {version}")
     if len(payload) > MAX_FRAME_BYTES:
         raise FrameError(f"payload of {len(payload)} bytes exceeds frame limit")
     return _HEADER.pack(
-        FRAME_MAGIC, FRAME_VERSION, kind, sender, len(payload)
+        FRAME_MAGIC, version, kind, sender, len(payload)
     ) + payload
 
 
-def unpack_header(data: bytes) -> Tuple[int, int, int]:
+def unpack_header(
+    data: bytes, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Tuple[int, int, int]:
     """Parse a frame header; returns ``(kind, sender, payload_length)``."""
     if len(data) < HEADER_SIZE:
         raise FrameError(f"short frame header ({len(data)} bytes)")
-    magic, version, kind, sender, length = _HEADER.unpack(data[:HEADER_SIZE])
-    if magic != FRAME_MAGIC:
-        raise FrameError("bad magic; not a runtime frame")
-    if version != FRAME_VERSION:
-        raise FrameError(f"unsupported frame version {version}")
-    if kind not in KIND_NAMES:
-        raise FrameError(f"unknown frame kind {kind}")
-    if length > MAX_FRAME_BYTES:
-        raise FrameError(f"frame length {length} exceeds limit")
-    return kind, sender, length
+    return unpack_header_from(data, 0, max_frame_bytes=max_frame_bytes)
 
 
-def unpack_header_from(buf, offset: int = 0) -> Tuple[int, int, int]:
+def unpack_header_from(
+    buf, offset: int = 0, *, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Tuple[int, int, int]:
     """Parse a frame header in place (no slice copy).
 
     Works over any buffer object (``bytes``, ``bytearray``,
     ``memoryview``) with at least ``HEADER_SIZE`` bytes available at
-    ``offset``; returns ``(kind, sender, payload_length)``.
+    ``offset``; returns ``(kind, sender, payload_length)``.  The
+    declared length is validated against ``max_frame_bytes`` *here*,
+    before any receiver allocates for the payload.
     """
     try:
         magic, version, kind, sender, length = _HEADER.unpack_from(buf, offset)
@@ -162,11 +229,11 @@ def unpack_header_from(buf, offset: int = 0) -> Tuple[int, int, int]:
         raise FrameError(f"short frame header: {exc}") from None
     if magic != FRAME_MAGIC:
         raise FrameError("bad magic; not a runtime frame")
-    if version != FRAME_VERSION:
+    if version not in SUPPORTED_FRAME_VERSIONS:
         raise FrameError(f"unsupported frame version {version}")
     if kind not in KIND_NAMES:
         raise FrameError(f"unknown frame kind {kind}")
-    if length > MAX_FRAME_BYTES:
+    if length > min(max_frame_bytes, MAX_FRAME_BYTES):
         raise FrameError(f"frame length {length} exceeds limit")
     return kind, sender, length
 
@@ -188,11 +255,28 @@ class FrameAssembler:
     The buffer is compacted (live bytes moved to the front) only when
     the tail runs out of room, and grows geometrically when a frame is
     larger than the current capacity.
+
+    ``max_frame_bytes`` clamps the declared length of every frame
+    *before* the pre-sizing allocation: a lying u64 length field raises
+    :class:`FrameError` instead of growing the buffer toward it.  The
+    default is the protocol-wide :data:`MAX_FRAME_BYTES`; receivers
+    that know their peers better (tests, fuzzers, control-plane-only
+    connections) pass a tighter budget.
     """
 
-    def __init__(self, initial_capacity: int = 65536) -> None:
+    def __init__(
+        self,
+        initial_capacity: int = 65536,
+        *,
+        max_frame_bytes: Optional[int] = None,
+    ) -> None:
         if initial_capacity <= 0:
             raise ValueError("initial_capacity must be positive")
+        if max_frame_bytes is None:
+            max_frame_bytes = MAX_FRAME_BYTES
+        if max_frame_bytes <= 0:
+            raise ValueError("max_frame_bytes must be positive")
+        self._max_frame_bytes = max_frame_bytes
         self._buf = bytearray(initial_capacity)
         self._start = 0  # first unconsumed byte
         self._end = 0  # one past the last filled byte
@@ -241,7 +325,9 @@ class FrameAssembler:
         available = self._end - self._start
         if available < HEADER_SIZE:
             return None
-        _, _, length = unpack_header_from(self._buf, self._start)
+        _, _, length = unpack_header_from(
+            self._buf, self._start, max_frame_bytes=self._max_frame_bytes
+        )
         total = HEADER_SIZE + length
         if available < total:
             # Pre-size for the rest of this frame so large payloads
@@ -265,6 +351,279 @@ def unpack_frame(data: bytes) -> Tuple[int, int, bytes]:
             f"got {len(data) - HEADER_SIZE} payload bytes"
         )
     return kind, sender, data[HEADER_SIZE:]
+
+
+# ----------------------------------------------------------------------
+# version negotiation (frame v2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolCaps:
+    """The ``{frame, payload}`` version ranges one peer supports.
+
+    A ``HELLO`` carries both ranges; :func:`negotiate_versions` pins
+    each axis to ``min(max_a, max_b)`` and fails when that falls below
+    either peer's minimum.  The defaults advertise everything this
+    build speaks; ``V1_CAPS`` emulates a pre-v2 peer bit-for-bit.
+    """
+
+    frame_min: int = 1
+    frame_max: int = FRAME_VERSION_V2
+    payload_min: int = 1
+    payload_max: int = 2
+
+    def __post_init__(self) -> None:
+        for lo, hi, axis in (
+            (self.frame_min, self.frame_max, "frame"),
+            (self.payload_min, self.payload_max, "payload"),
+        ):
+            if not 1 <= lo <= hi <= 255:
+                raise ValueError(
+                    f"invalid {axis} version range [{lo}, {hi}]"
+                )
+
+
+DEFAULT_CAPS = ProtocolCaps()
+V1_CAPS = ProtocolCaps(frame_min=1, frame_max=1, payload_min=1, payload_max=1)
+
+
+def negotiate_versions(
+    ours: ProtocolCaps, theirs: ProtocolCaps
+) -> Tuple[int, int]:
+    """Pin the highest mutually supported ``(frame, payload)`` versions.
+
+    Raises:
+        NegotiationError: when either axis has no overlap — the caller
+            turns this into a structured per-worker transport failure.
+    """
+    pinned: List[int] = []
+    for lo_a, hi_a, lo_b, hi_b, axis in (
+        (ours.frame_min, ours.frame_max, theirs.frame_min,
+         theirs.frame_max, "frame"),
+        (ours.payload_min, ours.payload_max, theirs.payload_min,
+         theirs.payload_max, "payload"),
+    ):
+        chosen = min(hi_a, hi_b)
+        if chosen < max(lo_a, lo_b):
+            raise NegotiationError(
+                f"no common {axis} version: ours [{lo_a}, {hi_a}], "
+                f"theirs [{lo_b}, {hi_b}]"
+            )
+        pinned.append(chosen)
+    return pinned[0], pinned[1]
+
+
+def pack_hello(caps: ProtocolCaps) -> bytes:
+    """HELLO payload: magic + the sender's supported version ranges."""
+    return _HELLO.pack(
+        _HELLO_MAGIC, caps.frame_min, caps.frame_max,
+        caps.payload_min, caps.payload_max,
+    )
+
+
+def unpack_hello(payload: bytes) -> ProtocolCaps:
+    try:
+        magic, f_lo, f_hi, p_lo, p_hi = _HELLO.unpack(payload)
+    except struct.error as exc:
+        raise FrameError(f"bad HELLO payload: {exc}") from None
+    if magic != _HELLO_MAGIC:
+        raise FrameError("bad HELLO magic")
+    try:
+        return ProtocolCaps(
+            frame_min=f_lo, frame_max=f_hi,
+            payload_min=p_lo, payload_max=p_hi,
+        )
+    except ValueError as exc:
+        raise FrameError(f"bad HELLO payload: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# chunked streaming (frame v2)
+# ----------------------------------------------------------------------
+def pack_chunk(sender: int, seq: int, inner_kind: int, data: bytes) -> bytes:
+    """One ``CHUNK`` frame: sequence number, wrapped kind, data slice."""
+    if inner_kind not in KIND_NAMES:
+        raise FrameError(f"unknown inner frame kind {inner_kind}")
+    return pack_frame(
+        KIND_CHUNK, sender, _CHUNK.pack(seq, inner_kind) + data,
+        version=FRAME_VERSION_V2,
+    )
+
+
+def unpack_chunk(payload: bytes) -> Tuple[int, int, bytes]:
+    """Split a ``CHUNK`` payload into ``(seq, inner_kind, data)``."""
+    if len(payload) < _CHUNK.size:
+        raise FrameError(f"short CHUNK payload ({len(payload)} bytes)")
+    seq, inner_kind = _CHUNK.unpack(payload[:_CHUNK.size])
+    return int(seq), int(inner_kind), payload[_CHUNK.size:]
+
+
+def pack_chunk_end(
+    sender: int, total_chunks: int, inner_kind: int, total_bytes: int
+) -> bytes:
+    """The ``END`` frame closing a chunk stream, with its totals."""
+    if inner_kind not in KIND_NAMES:
+        raise FrameError(f"unknown inner frame kind {inner_kind}")
+    return pack_frame(
+        KIND_END, sender, _CHUNK_END.pack(total_chunks, inner_kind, total_bytes),
+        version=FRAME_VERSION_V2,
+    )
+
+
+def unpack_chunk_end(payload: bytes) -> Tuple[int, int, int]:
+    """Split an ``END`` payload into ``(total_chunks, inner_kind, total_bytes)``."""
+    try:
+        total_chunks, inner_kind, total_bytes = _CHUNK_END.unpack(payload)
+    except struct.error as exc:
+        raise FrameError(f"bad END payload: {exc}") from None
+    return int(total_chunks), int(inner_kind), int(total_bytes)
+
+
+def iter_chunk_frames(
+    inner_kind: int,
+    sender: int,
+    pieces: Iterable[bytes],
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[bytes]:
+    """Stream a logical payload as ``CHUNK`` frames plus a closing ``END``.
+
+    ``pieces`` is any iterable of byte strings (for gradients, the
+    GRAD header followed by
+    :func:`~repro.core.serialization.iter_serialize_message` output);
+    they are re-sliced so every ``CHUNK`` carries exactly
+    ``chunk_bytes`` of data except the last.  Only one chunk is
+    buffered at a time.
+    """
+    if chunk_bytes <= 0:
+        raise FrameError("chunk_bytes must be positive")
+    seq = 0
+    total_bytes = 0
+    buf = bytearray()
+    for piece in pieces:
+        start = 0
+        while start < len(piece):
+            take = min(chunk_bytes - len(buf), len(piece) - start)
+            buf += piece[start:start + take]
+            start += take
+            if len(buf) == chunk_bytes:
+                yield pack_chunk(sender, seq, inner_kind, bytes(buf))
+                seq += 1
+                total_bytes += len(buf)
+                del buf[:]
+    if buf:
+        yield pack_chunk(sender, seq, inner_kind, bytes(buf))
+        seq += 1
+        total_bytes += len(buf)
+    yield pack_chunk_end(sender, seq, inner_kind, total_bytes)
+
+
+class ChunkReassembler:
+    """Bounded, strictly sequential reassembly of one chunk stream.
+
+    Transports feed ``CHUNK`` payloads in arrival order and close the
+    stream with the ``END`` payload; the result is the inner frame kind
+    plus the data as a *list* of chunks, never joined here — the
+    streaming deserialiser consumes the list directly, so the payload
+    stays non-contiguous end to end.
+
+    Every deviation is a structured :class:`FrameError`: out-of-order
+    or duplicated sequence numbers, a mid-stream kind switch, a budget
+    overrun, or ``END`` totals that disagree with what actually
+    arrived (a length-field lie).
+    """
+
+    def __init__(self, *, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self._max_bytes = max_bytes
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop any partial stream (e.g. before a supervised retry)."""
+        self._chunks: List[bytes] = []
+        self._bytes = 0
+        self._kind: Optional[int] = None
+        self._next_seq = 0
+
+    @property
+    def active(self) -> bool:
+        """True once at least one chunk of a stream has arrived."""
+        return self._kind is not None
+
+    def feed(self, payload: bytes) -> None:
+        """Add one ``CHUNK`` frame's payload to the stream."""
+        seq, inner_kind, data = unpack_chunk(payload)
+        if self._kind is None:
+            self._kind = inner_kind
+        elif inner_kind != self._kind:
+            raise FrameError(
+                f"chunk stream switched kind {self._kind} -> {inner_kind}"
+            )
+        if seq != self._next_seq:
+            raise FrameError(
+                f"chunk sequence broken: got {seq}, expected {self._next_seq}"
+            )
+        if self._bytes + len(data) > self._max_bytes:
+            raise FrameError(
+                f"chunked payload exceeds the {self._max_bytes}-byte "
+                f"reassembly budget"
+            )
+        self._chunks.append(data)
+        self._bytes += len(data)
+        self._next_seq += 1
+
+    def finish(self, payload: bytes) -> Tuple[int, List[bytes]]:
+        """Close the stream with the ``END`` payload.
+
+        Returns ``(inner_kind, chunks)`` and resets for the next
+        stream.  The declared totals must match what arrived exactly.
+        """
+        total_chunks, inner_kind, total_bytes = unpack_chunk_end(payload)
+        if self._kind is None:
+            if total_chunks != 0 or total_bytes != 0:
+                raise FrameError("END without a preceding chunk stream")
+            self._kind = inner_kind
+        if inner_kind != self._kind:
+            raise FrameError(
+                f"END kind {inner_kind} does not match stream kind {self._kind}"
+            )
+        if total_chunks != self._next_seq:
+            raise FrameError(
+                f"END declares {total_chunks} chunks, received {self._next_seq}"
+            )
+        if total_bytes != self._bytes:
+            raise FrameError(
+                f"END declares {total_bytes} bytes, received {self._bytes}"
+            )
+        out = (self._kind, self._chunks)
+        self.reset()
+        return out
+
+
+def split_chunk_prefix(
+    chunks: Sequence[bytes], n: int
+) -> Tuple[bytes, List[bytes]]:
+    """Peel ``n`` header bytes off a chunk list without joining the rest.
+
+    Used to strip the fixed GRAD/UPDATE header from a reassembled
+    stream before handing the remaining chunks to the streaming
+    message decoder.
+    """
+    head = bytearray()
+    rest: List[bytes] = []
+    for chunk in chunks:
+        if len(head) < n:
+            need = n - len(head)
+            head += chunk[:need]
+            if len(chunk) > need:
+                rest.append(chunk[need:])
+        elif chunk:
+            rest.append(chunk)
+    if len(head) < n:
+        raise FrameError(
+            f"chunked payload shorter than its {n}-byte header"
+        )
+    return bytes(head), rest
 
 
 # ----------------------------------------------------------------------

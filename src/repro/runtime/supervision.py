@@ -31,7 +31,16 @@ from typing import Callable, Dict, List, Optional, Set
 import numpy as np
 
 from .. import telemetry
-from .framing import KIND_ERROR, KIND_HEARTBEAT, KIND_NAMES, FrameError, unpack_frame
+from .framing import (
+    KIND_CHUNK,
+    KIND_END,
+    KIND_ERROR,
+    KIND_HEARTBEAT,
+    KIND_NAMES,
+    ChunkReassembler,
+    FrameError,
+    unpack_frame,
+)
 from .transport import Transport, TransportClosed, TransportError, TransportTimeout
 
 __all__ = [
@@ -226,13 +235,16 @@ class Supervisor:
     ) -> Optional[object]:
         """Send ``frame`` and await a matching reply, with retries.
 
-        ``decode`` parses/validates the reply payload; any
-        ``ValueError`` (which covers ``SerializationError``,
-        ``SanitizerError``, and ``FrameError``) it raises counts as a
-        rejected reply and triggers a retry — this is the path a
-        corrupted frame takes.  ``already_sent=True`` skips the first
-        send (for pipelined fan-out: send to all workers, then collect
-        each).
+        ``decode`` parses/validates the reply payload — contiguous
+        bytes, or the reassembled chunk list when the worker streamed
+        its reply as ``CHUNK``/``END`` frames; any ``ValueError``
+        (which covers ``SerializationError``, ``SanitizerError``, and
+        ``FrameError``) it raises counts as a rejected reply and
+        triggers a retry — this is the path a corrupted frame takes.
+        ``frame`` may itself be a list of frames (a chunked request);
+        every retry re-sends the whole sequence.  ``already_sent=True``
+        skips the first send (for pipelined fan-out: send to all
+        workers, then collect each).
 
         Returns the decoded payload (or the raw payload when ``decode``
         is None); returns ``None`` when the worker was dropped under
@@ -263,7 +275,7 @@ class Supervisor:
                     self._sleep(delay)
             try:
                 if attempt > 0 or not already_sent:
-                    self.transport.send(worker_id, frame)
+                    self._send(worker_id, frame)
                 return self._await_reply(
                     worker_id, expect_kind, decode, wait, phase
                 )
@@ -279,6 +291,14 @@ class Supervisor:
             RetryExhaustedError(worker_id, phase, attempts, last_error)
         )
 
+    def _send(self, worker_id: int, frame) -> None:
+        """Push one request — a single frame or a chunked sequence."""
+        if isinstance(frame, (list, tuple)):
+            for piece in frame:
+                self.transport.send(worker_id, piece)
+        else:
+            self.transport.send(worker_id, frame)
+
     def _await_reply(
         self,
         worker_id: int,
@@ -288,6 +308,10 @@ class Supervisor:
         phase: str,
     ) -> object:
         deadline = self._clock() + wait
+        # Per-attempt reassembly: a retry starts a fresh stream, so a
+        # half-received chunk sequence from a failed attempt can never
+        # splice into the retried reply.
+        reassembler = ChunkReassembler()
         while True:
             remaining = deadline - self._clock()
             if remaining <= 0:
@@ -320,7 +344,25 @@ class Supervisor:
                 continue
             if kind == KIND_ERROR:
                 raise TransportClosed(self._error_detail(payload))
-            if kind != expect_kind:
+            if kind == KIND_CHUNK:
+                try:
+                    reassembler.feed(payload)
+                except FrameError as exc:
+                    self.stats["rejected_replies"] += 1
+                    raise _AttemptFailed() from exc
+                continue
+            if kind == KIND_END:
+                try:
+                    inner_kind, chunks = reassembler.finish(payload)
+                except FrameError as exc:
+                    self.stats["rejected_replies"] += 1
+                    raise _AttemptFailed() from exc
+                if inner_kind != expect_kind:
+                    # A settled round's streamed reply arriving late.
+                    self.stats["stale_frames"] += 1
+                    continue
+                payload = chunks
+            elif kind != expect_kind:
                 self.stats["stale_frames"] += 1
                 continue
             if decode is None:

@@ -35,10 +35,23 @@ import select
 import socket
 import threading
 import time
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import telemetry
-from .framing import FrameAssembler, FrameError, unpack_header
+from .framing import (
+    DEFAULT_CAPS,
+    KIND_ACK,
+    KIND_HELLO,
+    V1_CAPS,
+    FrameAssembler,
+    FrameError,
+    ProtocolCaps,
+    negotiate_versions,
+    pack_frame,
+    pack_hello,
+    unpack_frame,
+    unpack_hello,
+)
 
 __all__ = [
     "TransportError",
@@ -95,6 +108,14 @@ class Transport:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.num_workers = int(num_workers)
+        #: per-worker ``(frame_version, payload_version)`` pinned by the
+        #: HELLO exchange; a worker with no entry is treated as v1/v1
+        #: (a pre-v2 peer that never sent a HELLO).
+        self.negotiated: Dict[int, Tuple[int, int]] = {}
+
+    def negotiated_versions(self, worker_id: int) -> Tuple[int, int]:
+        """The ``(frame, payload)`` versions pinned for one worker."""
+        return self.negotiated.get(worker_id, (1, 1))
 
     def _check_worker(self, worker_id: int) -> None:
         if not 0 <= worker_id < self.num_workers:
@@ -129,6 +150,23 @@ class Transport:
         self.close()
 
 
+def _caps_for(
+    worker_caps: Optional[Dict[int, ProtocolCaps]], worker_id: int
+) -> ProtocolCaps:
+    """The capabilities one worker advertises (tests pin mixed fleets)."""
+    if worker_caps is None:
+        return DEFAULT_CAPS
+    return worker_caps.get(worker_id, DEFAULT_CAPS)
+
+
+def _chosen_caps(frame_version: int, payload_version: int) -> ProtocolCaps:
+    """Degenerate ranges carrying the driver's pinned choice back."""
+    return ProtocolCaps(
+        frame_min=frame_version, frame_max=frame_version,
+        payload_min=payload_version, payload_max=payload_version,
+    )
+
+
 # ----------------------------------------------------------------------
 # sim: in-process loopback over the NetworkModel cost model
 # ----------------------------------------------------------------------
@@ -155,8 +193,19 @@ class SimTransport(Transport):
         self,
         handlers: Sequence[Callable[[bytes], Iterable[bytes]]],
         network=None,
+        *,
+        driver_caps: Optional[ProtocolCaps] = None,
+        worker_caps: Optional[Dict[int, ProtocolCaps]] = None,
     ) -> None:
         super().__init__(len(handlers))
+        # No wire between in-process peers, so the HELLO exchange is
+        # computed directly — same negotiation function, same result a
+        # byte exchange would pin.
+        ours = driver_caps or DEFAULT_CAPS
+        for worker_id in range(len(handlers)):
+            self.negotiated[worker_id] = negotiate_versions(
+                ours, _caps_for(worker_caps, worker_id)
+            )
         self._handlers = list(handlers)
         self._network = network
         self._inboxes: List[Deque[bytes]] = [
@@ -300,12 +349,23 @@ class MultiprocessTransport(Transport):
     #: a pipe that stays full this long has a wedged or absent consumer.
     SEND_TIMEOUT = 10.0
 
-    def __init__(self, num_workers: int) -> None:
+    #: seconds to wait for a v2-capable worker's HELLO after spawn
+    #: (spawn + import numpy can take seconds on a loaded CI box).
+    HELLO_TIMEOUT = 60.0
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        driver_caps: Optional[ProtocolCaps] = None,
+        worker_caps: Optional[Dict[int, ProtocolCaps]] = None,
+    ) -> None:
         super().__init__(num_workers)
         import multiprocessing
 
         from . import worker_main
 
+        ours = driver_caps or DEFAULT_CAPS
         ctx = multiprocessing.get_context("spawn")
         self._conns = []
         self._procs = []
@@ -315,7 +375,10 @@ class MultiprocessTransport(Transport):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
                     target=worker_main.pipe_worker_entry,
-                    args=(child_conn, worker_id),
+                    args=(
+                        child_conn, worker_id,
+                        _caps_for(worker_caps, worker_id),
+                    ),
                     daemon=True,
                     name=f"repro-worker-{worker_id}",
                 )
@@ -323,9 +386,56 @@ class MultiprocessTransport(Transport):
                 child_conn.close()
                 self._conns.append(parent_conn)
                 self._procs.append(proc)
+            for worker_id in range(num_workers):
+                self._negotiate(
+                    worker_id, ours, _caps_for(worker_caps, worker_id)
+                )
         except BaseException:
             self.close()
             raise
+
+    def _negotiate(
+        self, worker_id: int, ours: ProtocolCaps, expected: ProtocolCaps
+    ) -> None:
+        """HELLO exchange with one spawned worker.
+
+        A v1-capped worker (``frame_max == 1``) never sends a HELLO —
+        that *is* the pre-v2 byte stream — so the driver pins it from
+        its configured caps without touching the pipe.  Anyone else
+        opens with a HELLO carrying its supported ranges; the driver
+        answers with the pinned choice.
+        """
+        if expected.frame_max < 2:
+            self.negotiated[worker_id] = negotiate_versions(ours, V1_CAPS)
+            return
+        conn = self._conns[worker_id]
+        try:
+            if not conn.poll(self.HELLO_TIMEOUT):
+                raise TransportTimeout(
+                    f"worker {worker_id} sent no HELLO within "
+                    f"{self.HELLO_TIMEOUT:.1f}s"
+                )
+            frame = conn.recv_bytes()
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise TransportClosed(
+                f"worker {worker_id} pipe closed during HELLO: {exc}"
+            ) from exc
+        kind, sender, payload = unpack_frame(frame)
+        if kind != KIND_HELLO or sender != worker_id:
+            raise TransportError(
+                f"bad hello from worker {worker_id}: kind {kind}"
+            )
+        theirs = unpack_hello(payload)
+        # NegotiationError propagates: a fleet with no common version is
+        # a structured construction failure, not something to retry.
+        frame_v, payload_v = negotiate_versions(ours, theirs)
+        conn.send_bytes(
+            pack_frame(
+                KIND_HELLO, worker_id,
+                pack_hello(_chosen_caps(frame_v, payload_v)),
+            )
+        )
+        self.negotiated[worker_id] = (frame_v, payload_v)
 
     def send(self, worker_id: int, frame: bytes) -> None:
         self._check_worker(worker_id)
@@ -422,8 +532,11 @@ class TcpTransport(Transport):
         host: str = "127.0.0.1",
         *,
         spawn_workers: bool = True,
+        driver_caps: Optional[ProtocolCaps] = None,
+        worker_caps: Optional[Dict[int, ProtocolCaps]] = None,
     ) -> None:
         super().__init__(num_workers)
+        self._driver_caps = driver_caps or DEFAULT_CAPS
         self._socks: Dict[int, socket.socket] = {}
         self._assemblers: Dict[int, FrameAssembler] = {}
         self._procs = []
@@ -443,7 +556,10 @@ class TcpTransport(Transport):
                 for worker_id in range(num_workers):
                     proc = ctx.Process(
                         target=worker_main.tcp_worker_entry,
-                        args=(host, self.port, worker_id),
+                        args=(
+                            host, self.port, worker_id,
+                            _caps_for(worker_caps, worker_id),
+                        ),
                         daemon=True,
                         name=f"repro-worker-{worker_id}",
                     )
@@ -455,7 +571,13 @@ class TcpTransport(Transport):
             raise
 
     def accept_connections(self, timeout: Optional[float] = None) -> None:
-        """Accept until every worker's hello frame has been mapped."""
+        """Accept until every worker's hello frame has been mapped.
+
+        A ``HELLO`` opener triggers version negotiation and is answered
+        with the pinned choice; a legacy ``ACK`` hello pins the peer at
+        v1/v1 — exactly the pre-v2 handshake.  A fleet with no common
+        version raises :class:`~repro.runtime.framing.NegotiationError`.
+        """
         deadline = time.monotonic() + (
             self.CONNECT_TIMEOUT if timeout is None else timeout
         )
@@ -476,10 +598,36 @@ class TcpTransport(Transport):
             # heartbeats) stay buffered for later recvs.
             assembler = FrameAssembler()
             hello = self._read_frame_from(sock, assembler, 5.0)
-            _, sender, _ = unpack_header(hello)
+            kind, sender, payload = unpack_frame(hello)
             if not 0 <= sender < self.num_workers or sender in self._socks:
                 sock.close()
                 raise TransportError(f"bad hello from worker id {sender}")
+            if kind == KIND_HELLO:
+                theirs = unpack_hello(payload)
+                try:
+                    frame_v, payload_v = negotiate_versions(
+                        self._driver_caps, theirs
+                    )
+                except FrameError:
+                    sock.close()
+                    raise
+                sock.sendall(
+                    pack_frame(
+                        KIND_HELLO, sender,
+                        pack_hello(_chosen_caps(frame_v, payload_v)),
+                    )
+                )
+                self.negotiated[sender] = (frame_v, payload_v)
+            elif kind == KIND_ACK:
+                # Pre-v2 peer: never sends HELLO, speaks v1 only.
+                self.negotiated[sender] = negotiate_versions(
+                    self._driver_caps, V1_CAPS
+                )
+            else:
+                sock.close()
+                raise TransportError(
+                    f"bad hello from worker id {sender}: kind {kind}"
+                )
             self._socks[sender] = sock
             self._assemblers[sender] = assembler
 
@@ -585,25 +733,41 @@ def make_transport(
     handlers: Optional[Sequence[Callable[[bytes], Iterable[bytes]]]] = None,
     network=None,
     tcp_host: str = "127.0.0.1",
+    driver_caps: Optional[ProtocolCaps] = None,
+    worker_caps: Optional[Dict[int, ProtocolCaps]] = None,
 ) -> Transport:
     """Build a transport by backend name.
 
     ``sim`` requires ``handlers`` (the in-process worker callables);
     ``mp``, ``tcp``, and ``aio`` spawn real worker processes that wait
-    for an ``INIT`` frame.
+    for an ``INIT`` frame.  ``driver_caps`` / ``worker_caps`` pin the
+    protocol versions each side advertises in the HELLO exchange
+    (defaults advertise everything this build speaks); the result's
+    ``negotiated`` maps each worker to its pinned versions.
     """
     if backend == "sim":
         if handlers is None:
             raise ValueError("sim backend requires in-process handlers")
-        return SimTransport(handlers, network=network)
+        return SimTransport(
+            handlers, network=network,
+            driver_caps=driver_caps, worker_caps=worker_caps,
+        )
     if backend == "mp":
-        return MultiprocessTransport(num_workers)
+        return MultiprocessTransport(
+            num_workers, driver_caps=driver_caps, worker_caps=worker_caps
+        )
     if backend == "tcp":
-        return TcpTransport(num_workers, host=tcp_host)
+        return TcpTransport(
+            num_workers, host=tcp_host,
+            driver_caps=driver_caps, worker_caps=worker_caps,
+        )
     if backend == "aio":
         from .aio import AioTransport  # deferred: keeps import cheap
 
-        return AioTransport(num_workers, host=tcp_host)
+        return AioTransport(
+            num_workers, host=tcp_host,
+            driver_caps=driver_caps, worker_caps=worker_caps,
+        )
     raise ValueError(
         f"unknown backend {backend!r}; expected one of {TRANSPORT_BACKENDS}"
     )

@@ -34,22 +34,32 @@ import numpy as np
 
 from .. import telemetry
 from .framing import (
+    KIND_CHUNK,
     KIND_ECHO,
+    KIND_END,
     KIND_ERROR,
     KIND_HEARTBEAT,
+    KIND_HELLO,
     KIND_INIT,
     KIND_READY,
     KIND_STOP,
     KIND_ACK,
+    ChunkReassembler,
+    FrameError,
+    ProtocolCaps,
+    negotiate_versions,
     pack_ack,
     pack_frame,
+    pack_hello,
     unpack_frame,
+    unpack_hello,
 )
 from .transport import PipeEndpoint, SocketEndpoint
 from .worker_runtime import WorkerBootstrap, WorkerRuntime
 
 __all__ = [
     "serve",
+    "negotiate_as_worker",
     "heartbeat_delays",
     "pipe_worker_entry",
     "tcp_worker_entry",
@@ -124,14 +134,55 @@ class _Heartbeat:
         self._stop.set()
 
 
-def serve(endpoint, worker_id: int) -> None:
+def negotiate_as_worker(endpoint, worker_id: int, caps: ProtocolCaps):
+    """Worker side of the HELLO exchange.
+
+    Sends this worker's supported version ranges and blocks for the
+    driver's reply, which carries the pinned choice as a degenerate
+    range.  Running the same :func:`negotiate_versions` over the reply
+    both validates the choice against our caps and returns it.
+
+    Returns ``(frame_version, payload_version)``.  Raises
+    :class:`~repro.runtime.framing.NegotiationError` when the driver
+    pinned something outside our range, and ``ConnectionError`` when
+    the driver hung up mid-handshake (it saw no common version).
+    """
+    endpoint.send(pack_frame(KIND_HELLO, worker_id, pack_hello(caps)))
+    while True:
+        frame = endpoint.recv()
+        if frame is None:
+            raise ConnectionError(
+                "driver hung up during version negotiation"
+            )
+        kind, _, payload = unpack_frame(frame)
+        if kind == KIND_HEARTBEAT:
+            continue
+        if kind != KIND_HELLO:
+            raise FrameError(
+                f"expected HELLO reply, got frame kind {kind}"
+            )
+        return negotiate_versions(caps, unpack_hello(payload))
+
+
+def serve(
+    endpoint,
+    worker_id: int,
+    *,
+    frame_version: int = 1,
+    payload_version: int = 1,
+) -> None:
     """Frame-dispatch loop of one worker process.
 
     Runs until a ``STOP`` frame, driver hang-up, or a fatal error
-    (reported back as an ``ERROR`` frame before exiting).
+    (reported back as an ``ERROR`` frame before exiting).  The
+    negotiated ``frame_version`` / ``payload_version`` are handed to
+    the :class:`WorkerRuntime` at ``INIT``; on a frame-v2 connection
+    incoming ``CHUNK``/``END`` streams (a chunked ``UPDATE``) are
+    reassembled here with bounded accounting.
     """
     runtime: Optional[WorkerRuntime] = None
     heartbeat: Optional[_Heartbeat] = None
+    reassembler = ChunkReassembler()
     try:
         while True:
             frame = endpoint.recv()
@@ -152,6 +203,7 @@ def serve(endpoint, worker_id: int) -> None:
                         bootstrap.trace_dir, worker_id, bootstrap.run_id
                     )
                 runtime = WorkerRuntime(bootstrap)
+                runtime.set_wire(frame_version, payload_version)
                 heartbeat = _Heartbeat(
                     endpoint,
                     worker_id,
@@ -166,7 +218,15 @@ def serve(endpoint, worker_id: int) -> None:
                 raise RuntimeError(
                     f"frame kind {kind} arrived before INIT"
                 )
-            for reply in runtime.handle(kind, payload):
+            if kind == KIND_CHUNK:
+                reassembler.feed(payload)
+                continue
+            if kind == KIND_END:
+                inner_kind, chunks = reassembler.finish(payload)
+                replies = runtime.handle_chunks(inner_kind, chunks)
+            else:
+                replies = runtime.handle(kind, payload)
+            for reply in replies:
                 endpoint.send(reply)
     except Exception as exc:  # pragma: no cover - exercised via mp tests
         detail = pickle.dumps(
@@ -184,19 +244,49 @@ def serve(endpoint, worker_id: int) -> None:
         endpoint.close()
 
 
-def pipe_worker_entry(conn, worker_id: int) -> None:
-    """``mp`` backend child target: serve frames over a pipe."""
-    serve(PipeEndpoint(conn), worker_id)
+def pipe_worker_entry(
+    conn, worker_id: int, caps: Optional[ProtocolCaps] = None
+) -> None:
+    """``mp`` backend child target: serve frames over a pipe.
+
+    A v1-capped worker (``caps`` omitted or ``frame_max == 1``) sends
+    nothing before its serve loop — the exact pre-v2 byte stream.  A
+    v2-capable worker opens with a HELLO and waits for the driver's
+    pinned choice.
+    """
+    endpoint = PipeEndpoint(conn)
+    frame_v, payload_v = 1, 1
+    if caps is not None and caps.frame_max >= 2:
+        frame_v, payload_v = negotiate_as_worker(endpoint, worker_id, caps)
+    serve(
+        endpoint, worker_id,
+        frame_version=frame_v, payload_version=payload_v,
+    )
 
 
-def tcp_worker_entry(host: str, port: int, worker_id: int) -> None:
-    """``tcp`` backend child target: connect back, hello, serve."""
+def tcp_worker_entry(
+    host: str, port: int, worker_id: int,
+    caps: Optional[ProtocolCaps] = None,
+) -> None:
+    """``tcp``/``aio`` backend child target: connect back, hello, serve.
+
+    The opener doubles as the connection hello (its header names this
+    worker, so the driver can map the accepted socket regardless of
+    connect order): a v1-capped worker sends the legacy ACK hello, a
+    v2-capable worker sends a HELLO and completes the negotiation
+    before serving.
+    """
     import socket
 
     sock = socket.create_connection((host, port), timeout=30.0)
     sock.settimeout(None)
     endpoint = SocketEndpoint(sock)
-    # Hello: an ACK frame whose header names this worker, so the
-    # driver can map the accepted socket regardless of connect order.
-    endpoint.send(pack_frame(KIND_ACK, worker_id, pack_ack(worker_id)))
-    serve(endpoint, worker_id)
+    frame_v, payload_v = 1, 1
+    if caps is not None and caps.frame_max >= 2:
+        frame_v, payload_v = negotiate_as_worker(endpoint, worker_id, caps)
+    else:
+        endpoint.send(pack_frame(KIND_ACK, worker_id, pack_ack(worker_id)))
+    serve(
+        endpoint, worker_id,
+        frame_version=frame_v, payload_version=payload_v,
+    )

@@ -37,11 +37,18 @@ import numpy as np
 
 from .. import telemetry
 from ..compression.base import GradientCompressor
-from ..core.serialization import deserialize_message, serialize_message
+from ..core.serialization import (
+    SUPPORTED_PAYLOAD_VERSIONS,
+    deserialize_message,
+    deserialize_message_chunks,
+    iter_serialize_message,
+    serialize_message,
+)
 from ..distributed.worker import Worker
 from ..models.base import Model
 from ..optim.optimizers import Optimizer
 from .framing import (
+    DEFAULT_CHUNK_BYTES,
     KIND_ACK,
     KIND_EPOCH,
     KIND_GRAD,
@@ -49,10 +56,14 @@ from .framing import (
     KIND_STEP,
     KIND_SYNC,
     KIND_UPDATE,
+    SUPPORTED_FRAME_VERSIONS,
+    UPDATE_HEADER_SIZE,
     FrameError,
+    iter_chunk_frames,
     pack_ack,
     pack_frame,
     pack_grad_header,
+    split_chunk_prefix,
     unpack_ack,
     unpack_step,
     unpack_update,
@@ -104,6 +115,12 @@ class WorkerBootstrap:
             runs, where only the pre-cut shard ships.
         shard_rows: row indices of the initial shard into
             ``full_dataset`` (required iff ``full_dataset`` is set).
+        entropy_coding: request rANS entropy coding of the bucket-index
+            stream (``docs/wire.md``).  Only takes effect when the
+            connection negotiated payload v2; a v1-pinned worker
+            silently serialises plain v1 bytes.
+        chunk_bytes: data bytes per ``CHUNK`` frame when a GRAD body
+            larger than this streams over a frame-v2 connection.
     """
 
     worker_id: int
@@ -121,6 +138,8 @@ class WorkerBootstrap:
     run_id: Optional[str] = None
     full_dataset: Optional[object] = None
     shard_rows: Optional[object] = None
+    entropy_coding: bool = False
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
 
     def to_bytes(self) -> bytes:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
@@ -138,10 +157,14 @@ class WorkerBootstrap:
 
 @dataclass
 class _StepCache:
-    """Cached reply for idempotent retries of the latest round."""
+    """Cached reply for idempotent retries of the latest round.
+
+    ``frames`` is the full GRAD reply — a single frame, or the
+    ``CHUNK``...``END`` sequence when the round streamed.
+    """
 
     round_id: int = -1
-    frame: bytes = b""
+    frames: List[bytes] = field(default_factory=list)
     applied_round: int = -1
     synced_round: int = -1
     generation: int = -1
@@ -181,10 +204,32 @@ class WorkerRuntime:
         self.optimizer = bootstrap.optimizer
         self.optimizer.prepare(bootstrap.model.num_parameters)
         self._cache = _StepCache()
+        self._frame_version = 1
+        self._payload_version = 1
+        self._entropy = bool(bootstrap.entropy_coding)
+        self._chunk_bytes = int(bootstrap.chunk_bytes)
+        if self._chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
         if bootstrap.sanitize:
             from .. import sanitize
 
             sanitize.set_enabled(True)
+
+    def set_wire(self, frame_version: int, payload_version: int) -> None:
+        """Adopt the connection's negotiated protocol versions.
+
+        Called once after the HELLO exchange (spawned workers) or
+        directly by the cluster (``sim``).  Until then the runtime
+        speaks v1/v1 — a peer that never negotiated is a v1 peer.
+        """
+        if frame_version not in SUPPORTED_FRAME_VERSIONS:
+            raise FrameError(f"unsupported frame version {frame_version}")
+        if payload_version not in SUPPORTED_PAYLOAD_VERSIONS:
+            raise FrameError(
+                f"unsupported payload version {payload_version}"
+            )
+        self._frame_version = int(frame_version)
+        self._payload_version = int(payload_version)
 
     # ------------------------------------------------------------------
     def handle(self, kind: int, payload: bytes) -> List[bytes]:
@@ -216,8 +261,9 @@ class WorkerRuntime:
 
     def _handle_step(self, payload: bytes) -> List[bytes]:
         round_id, _lr = unpack_step(payload)
-        if round_id == self._cache.round_id and self._cache.frame:
-            return [self._cache.frame]  # retried STEP: re-send, don't recompute
+        if round_id == self._cache.round_id and self._cache.frames:
+            # Retried STEP: re-send the cached reply, don't recompute.
+            return list(self._cache.frames)
         # Only the first (computing) service of a round is spanned, so a
         # retried STEP never double-counts worker busy time.
         with telemetry.context(
@@ -225,32 +271,94 @@ class WorkerRuntime:
         ), telemetry.span("worker.step"):
             rows = self.worker.next_batch()
             if rows is None or rows.size == 0:
-                body = pack_grad_header(round_id, False, 0.0, 0.0, 0.0, 0)
+                frames = [
+                    pack_frame(
+                        KIND_GRAD, self.worker_id,
+                        pack_grad_header(round_id, False, 0.0, 0.0, 0.0, 0),
+                    )
+                ]
             else:
                 result = self.worker.compute_step(rows, self.theta)
-                data = serialize_message(result.message)
-                body = pack_grad_header(
-                    round_id,
-                    True,
-                    result.local_loss,
-                    result.compute_seconds,
-                    result.encode_seconds,
-                    result.gradient_nnz,
-                ) + data
-        frame = pack_frame(KIND_GRAD, self.worker_id, body)
+                frames = self._grad_frames(round_id, result)
         self._cache.round_id = round_id
-        self._cache.frame = frame
-        return [frame]
+        self._cache.frames = frames
+        return list(frames)
+
+    def _grad_frames(self, round_id: int, result) -> List[bytes]:
+        """Serialize one step result at the negotiated wire settings.
+
+        A v1/v1 connection produces byte-identical frames to the pre-v2
+        runtime.  On payload v2 the message may be entropy coded; on
+        frame v2 a body larger than ``chunk_bytes`` streams as
+        ``CHUNK``/``END`` frames without ever being joined contiguously.
+        """
+        version = self._payload_version
+        entropy = self._entropy and version >= 2
+        header = pack_grad_header(
+            round_id,
+            True,
+            result.local_loss,
+            result.compute_seconds,
+            result.encode_seconds,
+            result.gradient_nnz,
+        )
+        if self._frame_version >= 2:
+            pieces = [header]
+            body_len = len(header)
+            for piece in iter_serialize_message(
+                result.message, version=version, entropy=entropy,
+                chunk_bytes=self._chunk_bytes,
+            ):
+                pieces.append(piece)
+                body_len += len(piece)
+            if body_len > self._chunk_bytes:
+                return list(
+                    iter_chunk_frames(
+                        KIND_GRAD, self.worker_id, pieces,
+                        chunk_bytes=self._chunk_bytes,
+                    )
+                )
+            return [
+                pack_frame(KIND_GRAD, self.worker_id, b"".join(pieces))
+            ]
+        data = serialize_message(
+            result.message, version=version, entropy=entropy
+        )
+        return [pack_frame(KIND_GRAD, self.worker_id, header + data)]
 
     def _handle_update(self, payload: bytes) -> List[bytes]:
         round_id, lr, data = unpack_update(payload)
+        return self._apply_update(round_id, lr, data)
+
+    def handle_chunks(self, inner_kind: int, chunks: List[bytes]) -> List[bytes]:
+        """Service a reassembled ``CHUNK``/``END`` stream (frame v2).
+
+        Only ``UPDATE`` streams: the aggregate is the one driver-to-
+        worker payload that scales with the model.  The fixed UPDATE
+        header is peeled off the chunk list and the rest goes to the
+        streaming deserialiser — the message is never joined.
+        """
+        if inner_kind != KIND_UPDATE:
+            raise FrameError(
+                f"worker cannot service chunked frame kind {inner_kind}"
+            )
+        head, rest = split_chunk_prefix(chunks, UPDATE_HEADER_SIZE)
+        round_id, lr, _ = unpack_update(head)
+        return self._apply_update(round_id, lr, rest)
+
+    def _apply_update(self, round_id: int, lr: float, data) -> List[bytes]:
+        """Decode + apply one broadcast aggregate; ``data`` is the wire
+        bytes, contiguous or as a chunk list."""
         ack = pack_frame(KIND_ACK, self.worker_id, pack_ack(round_id))
         if round_id == self._cache.applied_round:
             return [ack]  # retried UPDATE: already applied, just re-ack
         with telemetry.context(
             worker=self.worker_id, round=round_id, phase="update"
         ), telemetry.span("worker.update"):
-            message = deserialize_message(data)
+            if isinstance(data, list):
+                message = deserialize_message_chunks(data)
+            else:
+                message = deserialize_message(data)
             keys, values = self.worker.compressor.decompress(message)
             self.optimizer.learning_rate = lr
             if keys.size:
@@ -282,7 +390,7 @@ class WorkerRuntime:
             # A sync invalidates any cached GRAD: it was computed
             # against pre-join state no driver will ever ask for again.
             self._cache.round_id = -1
-            self._cache.frame = b""
+            self._cache.frames = []
         self._cache.synced_round = round_id
         return [ack]
 
@@ -322,6 +430,6 @@ class WorkerRuntime:
             # Fresh worker ⇒ fresh batch iterator; a stale cached GRAD
             # from the previous shard must never answer a new round.
             self._cache.round_id = -1
-            self._cache.frame = b""
+            self._cache.frames = []
         self._cache.generation = generation
         return [ack]

@@ -2,22 +2,31 @@
 
 ``tests/golden/wire/`` holds committed ``serialize_message`` outputs
 for a spread of configurations (sketch/quantization variants, hash
-families, packed indexes, one-sided gradients).  Two invariants:
+families, packed indexes, one-sided gradients), at *both* payload
+versions: ``<name>.bin`` is the frozen v1 encoding, ``<name>.v2.bin``
+the v2 encoding with entropy coding requested.  Invariants:
 
 * **encode** — re-compressing the deterministically regenerated
-  gradient and serializing it reproduces the committed bytes exactly
-  (every dtype on the wire is explicitly little-endian, so this holds
-  on any host);
-* **decode** — deserializing the committed bytes and decompressing
-  yields exactly the keys/values recorded at capture time.
+  gradient and serializing it at each payload version reproduces the
+  committed bytes exactly (every dtype on the wire is explicitly
+  little-endian, so this holds on any host);
+* **decode** — deserializing the committed bytes of either version
+  and decompressing yields exactly the keys/values recorded at
+  capture time;
+* **cross-version** — the v2 bytes decode to the *same message* as
+  the v1 bytes: re-serializing either decode at either version is the
+  identity on the committed fixtures.
 
-A diff here means the wire format changed: bump the serialization
-version and regenerate the fixtures deliberately, never silently.
+A diff here means the wire format changed: bump the payload version
+and regenerate the fixtures deliberately with ``repro golden
+--write``, never silently.  The fixture logic itself lives in
+:mod:`repro.golden` (exercised by ``repro golden --check`` in CI).
 """
 
 import hashlib
 import json
 import os
+import shutil
 
 import numpy as np
 import pytest
@@ -26,6 +35,14 @@ from repro import kernels
 from repro.core.compressor import SketchMLCompressor
 from repro.core.config import SketchMLConfig
 from repro.core.serialization import deserialize_message, serialize_message
+from repro.golden import (
+    CASE_SPECS,
+    GOLDEN_FORMAT,
+    case_payloads,
+    check_goldens,
+    regenerate_gradient,
+    write_goldens,
+)
 
 WIRE_DIR = os.path.join(os.path.dirname(__file__), "golden", "wire")
 
@@ -33,52 +50,54 @@ with open(os.path.join(WIRE_DIR, "manifest.json")) as _f:
     _MANIFEST = json.load(_f)
 
 CASES = _MANIFEST["cases"]
+VERSIONS = (1, 2)
 
 
-def regenerate_gradient(case):
-    rng = np.random.default_rng(case["seed"])
-    keys = np.sort(
-        rng.choice(case["dimension"], size=case["nnz"], replace=False)
-    )
-    values = rng.laplace(scale=0.01, size=case["nnz"])
-    values[values == 0.0] = 1e-4
-    if case["sign_mode"] == "pos":
-        values = np.abs(values)
-    return keys, values
-
-
-def fixture_bytes(case):
-    with open(os.path.join(WIRE_DIR, case["name"] + ".bin"), "rb") as f:
+def fixture_bytes(case, version=1):
+    suffix = ".bin" if version == 1 else ".v2.bin"
+    with open(os.path.join(WIRE_DIR, case["name"] + suffix), "rb") as f:
         return f.read()
 
 
+def serialize_at(message, version):
+    if version == 1:
+        return serialize_message(message)
+    return serialize_message(message, version=2, entropy=True)
+
+
 def test_manifest_format_and_coverage():
-    assert _MANIFEST["format"] == "repro-golden-wire/1"
+    assert _MANIFEST["format"] == GOLDEN_FORMAT
     names = [c["name"] for c in CASES]
     assert len(names) == len(set(names))
     assert len(names) >= 9
+    # The committed matrix covers exactly the canonical case specs.
+    assert sorted(names) == sorted(s["name"] for s in CASE_SPECS)
 
 
+@pytest.mark.parametrize("version", VERSIONS)
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
-def test_fixture_file_matches_manifest_digest(case):
-    data = fixture_bytes(case)
-    assert len(data) == case["num_bytes"]
-    assert hashlib.sha256(data).hexdigest() == case["sha256"]
+def test_fixture_file_matches_manifest_digest(case, version):
+    data = fixture_bytes(case, version)
+    entry = case if version == 1 else case["v2"]
+    assert len(data) == entry["num_bytes"]
+    assert hashlib.sha256(data).hexdigest() == entry["sha256"]
 
 
+@pytest.mark.parametrize("version", VERSIONS)
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
-def test_encode_is_byte_identical(case):
+def test_encode_is_byte_identical(case, version):
     keys, values = regenerate_gradient(case)
     compressor = SketchMLCompressor(
         SketchMLConfig.full(seed=case["seed"], **case["overrides"])
     )
     message = compressor.compress(keys, values, case["dimension"])
-    assert serialize_message(message) == fixture_bytes(case)
+    assert serialize_at(message, version) == fixture_bytes(case, version)
 
 
+@pytest.mark.parametrize("version", VERSIONS)
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
-def test_decode_is_value_identical(case):
-    message = deserialize_message(fixture_bytes(case))
+def test_decode_is_value_identical(case, version):
+    message = deserialize_message(fixture_bytes(case, version))
     compressor = SketchMLCompressor(
         SketchMLConfig.full(seed=case["seed"], **case["overrides"])
     )
@@ -95,9 +114,15 @@ def test_decode_is_value_identical(case):
 
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c["name"])
 def test_serialize_roundtrip_of_fixture(case):
-    # deserialize → serialize is the identity on committed bytes.
-    data = fixture_bytes(case)
-    assert serialize_message(deserialize_message(data)) == data
+    # deserialize → serialize is the identity on committed bytes, at
+    # each version *and* across them: the v2 fixture carries the same
+    # message as the frozen v1 bytes.
+    v1 = fixture_bytes(case, 1)
+    v2 = fixture_bytes(case, 2)
+    assert serialize_at(deserialize_message(v1), 1) == v1
+    assert serialize_at(deserialize_message(v2), 2) == v2
+    assert serialize_at(deserialize_message(v2), 1) == v1
+    assert serialize_at(deserialize_message(v1), 2) == v2
 
 
 @pytest.mark.parametrize("mode", ["scalar", "vectorised"])
@@ -105,31 +130,57 @@ def test_serialize_roundtrip_of_fixture(case):
 def test_goldens_pinned_under_both_kernel_paths(case, mode):
     """The committed bytes pin the format for *both* codec paths.
 
-    Decode each golden and re-encode the regenerated gradient with the
-    kernel switch forced to one side; scalar and vectorised must each
-    reproduce the committed bytes and decoded-value digests exactly, so
-    neither path can drift away from the wire format on its own.
+    Re-encode the regenerated gradient with the kernel switch forced
+    to one side; scalar and vectorised must each reproduce the
+    committed bytes of both payload versions exactly, so neither path
+    can drift away from the wire format on its own.
     """
     forced = (
         kernels.scalar_kernels()
         if mode == "scalar"
         else kernels.vectorised_kernels()
     )
-    config = SketchMLConfig.full(seed=case["seed"], **case["overrides"])
     with forced:
-        keys, values = regenerate_gradient(case)
-        message = SketchMLCompressor(config).compress(
-            keys, values, case["dimension"]
-        )
-        assert serialize_message(message) == fixture_bytes(case)
-        decoded_keys, decoded_values = SketchMLCompressor(config).decompress(
-            deserialize_message(fixture_bytes(case))
-        )
-    keys_digest = hashlib.sha256(
-        np.ascontiguousarray(decoded_keys, dtype="<i8").tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
-    ).hexdigest()
-    values_digest = hashlib.sha256(
-        np.ascontiguousarray(decoded_values, dtype="<f8").tobytes()  # repro: noqa[wire-format] — digesting decoded arrays for golden comparison, not emitting wire bytes
-    ).hexdigest()
-    assert keys_digest == case["decoded_keys_sha256"]
-    assert values_digest == case["decoded_values_sha256"]
+        payloads = case_payloads(case)
+    assert payloads[1] == fixture_bytes(case, 1)
+    assert payloads[2] == fixture_bytes(case, 2)
+
+
+class TestGoldenTool:
+    def test_check_passes_on_committed_fixtures(self):
+        assert check_goldens(WIRE_DIR) == []
+
+    def test_check_fails_closed_on_tampered_fixture(self, tmp_path):
+        scratch = tmp_path / "wire"
+        shutil.copytree(WIRE_DIR, scratch)
+        target = scratch / (CASES[0]["name"] + ".v2.bin")
+        data = bytearray(target.read_bytes())
+        data[-1] ^= 0xFF
+        target.write_bytes(bytes(data))
+        problems = check_goldens(str(scratch))
+        assert problems
+        assert any(CASES[0]["name"] in p for p in problems)
+
+    def test_check_fails_closed_on_missing_file(self, tmp_path):
+        scratch = tmp_path / "wire"
+        shutil.copytree(WIRE_DIR, scratch)
+        os.remove(scratch / (CASES[1]["name"] + ".bin"))
+        problems = check_goldens(str(scratch))
+        assert any("cannot read" in p for p in problems)
+
+    def test_check_fails_closed_on_missing_manifest(self, tmp_path):
+        problems = check_goldens(str(tmp_path))
+        assert problems and "manifest" in problems[0]
+
+    def test_write_reproduces_committed_fixtures(self, tmp_path):
+        """Regeneration is deterministic: a fresh ``--write`` into an
+        empty directory reproduces the committed tree byte-for-byte."""
+        scratch = tmp_path / "wire"
+        manifest = write_goldens(str(scratch))
+        assert manifest["format"] == GOLDEN_FORMAT
+        assert check_goldens(str(scratch)) == []
+        for case in CASES:
+            for version in VERSIONS:
+                suffix = ".bin" if version == 1 else ".v2.bin"
+                fresh = (scratch / (case["name"] + suffix)).read_bytes()
+                assert fresh == fixture_bytes(case, version)

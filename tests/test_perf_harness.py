@@ -19,6 +19,15 @@ EXPECTED_KERNELS = {
     "e2e_decompress",
 }
 
+#: serialization kernels timed by the wire bench (repro.perf.wire_bench)
+WIRE_KERNELS = {
+    "wire_encode_v1",
+    "wire_encode_v2",
+    "wire_decode_v1",
+    "wire_decode_v2",
+    "wire_stream_v2",
+}
+
 
 def test_time_kernel_reports_median_of_repeats():
     calls = []
@@ -83,13 +92,19 @@ def test_cli_perf_quick(tmp_path, capsys):
     captured = capsys.readouterr().out
     assert "e2e_compress/512" in captured
     payload = json.loads(out.read_text())
-    codec_names = {f"{k}/512" for k in EXPECTED_KERNELS}
+    codec_names = {f"{k}/512" for k in EXPECTED_KERNELS | WIRE_KERNELS}
     # Quick mode also times the in-process (sim) transport echo path.
     transport_names = {
         n for n in payload["kernels"] if n.startswith("transport_echo/sim/")
     }
     assert transport_names
     assert set(payload["kernels"]) == codec_names | transport_names
+    # The wire bench also writes its bytes-on-wire summary section.
+    wire = payload["wire"]
+    assert wire["schema"] == "repro-bench-wire/1"
+    row = wire["sizes"]["512"]
+    assert row["v2_bytes"] <= row["v1_bytes"]
+    assert row["entropy"]["coded_bytes"] <= row["entropy"]["plain_bytes"]
 
 
 def test_cli_perf_no_output_file(capsys):
@@ -107,6 +122,45 @@ def test_cli_perf_transports_none_skips_transport_bench(tmp_path):
     assert not any(
         n.startswith("transport_echo/") for n in payload["kernels"]
     )
+
+
+class TestWireBench:
+    def test_measures_both_versions_and_counters(self):
+        from repro.perf import run_wire_bench
+
+        results, section = run_wire_bench(sizes=[2048], warmup=0, repeats=1)
+        assert {r.name for r in results} == {
+            f"{k}/2048" for k in WIRE_KERNELS
+        }
+        row = section["sizes"]["2048"]
+        # The encoder only swaps in the rANS block when it is strictly
+        # smaller, so v2 can never be larger than v1 — and the
+        # telemetry counters must agree with that choice.
+        assert 0 < row["v2_bytes"] <= row["v1_bytes"]
+        assert row["entropy"]["plain_bytes"] > 0
+        assert row["entropy"]["coded_bytes"] <= row["entropy"]["plain_bytes"]
+        assert row["entropy"]["saved_bytes"] == (
+            row["entropy"]["plain_bytes"] - row["entropy"]["coded_bytes"]
+        )
+
+    def test_probe_does_not_leak_recorder(self):
+        from repro import telemetry
+        from repro.perf import run_wire_bench
+
+        assert not telemetry.enabled()
+        run_wire_bench(sizes=[512], warmup=0, repeats=1)
+        assert not telemetry.enabled()
+
+    def test_extra_section_round_trips_through_write_results(self, tmp_path):
+        from repro.perf import run_wire_bench
+
+        results, section = run_wire_bench(sizes=[512], warmup=0, repeats=1)
+        out = tmp_path / "bench.json"
+        write_results(results, str(out), extra={"wire": section})
+        payload = json.loads(out.read_text())
+        assert payload["wire"] == section
+        with pytest.raises(ValueError, match="clash"):
+            results_to_json(results, extra={"kernels": {}})
 
 
 class TestTransportBench:

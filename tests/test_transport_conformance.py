@@ -17,16 +17,21 @@ import socket
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.runtime.aio import AioTransport
 from repro.runtime.framing import (
+    DEFAULT_CAPS,
     HEADER_SIZE,
     KIND_ACK,
     KIND_ECHO,
     KIND_STOP,
+    V1_CAPS,
     FrameAssembler,
     FrameError,
+    NegotiationError,
+    ProtocolCaps,
     pack_ack,
     pack_frame,
     unpack_frame,
@@ -151,6 +156,148 @@ class TestConformance:
             _, _, payload = unpack_frame(t.recv(0, 20.0))
             assert payload == b"cm"
             _shutdown(t)
+
+
+# ----------------------------------------------------------------------
+# Version negotiation: the HELLO exchange over every backend.
+#
+# A v2-capable worker opens with a HELLO carrying its supported
+# ranges; the driver pins the highest mutually supported pair and
+# replies.  A v1-capped worker emits the exact pre-v2 byte stream
+# (silence on mp, the legacy ACK hello on tcp/aio) and is pinned to
+# (1, 1) without any extra traffic.  Mixed fleets therefore negotiate
+# per connection, and a fleet with no common version is a structured
+# construction failure, not a hang.
+# ----------------------------------------------------------------------
+V2_ONLY_CAPS = ProtocolCaps(
+    frame_min=2, frame_max=2, payload_min=2, payload_max=2
+)
+
+_FLEETS = {
+    "v1-only": ({0: V1_CAPS, 1: V1_CAPS}, {0: (1, 1), 1: (1, 1)}),
+    "v2-only": ({0: DEFAULT_CAPS, 1: DEFAULT_CAPS}, {0: (2, 2), 1: (2, 2)}),
+    "mixed": ({0: V1_CAPS, 1: DEFAULT_CAPS}, {0: (1, 1), 1: (2, 2)}),
+}
+
+
+def _build_with_caps(backend, worker_caps, driver_caps=None):
+    kwargs = {"driver_caps": driver_caps, "worker_caps": worker_caps}
+    if backend == "sim":
+        handlers = [_echo_handler(i) for i in range(NUM_WORKERS)]
+        return make_transport("sim", NUM_WORKERS, handlers=handlers, **kwargs)
+    return make_transport(backend, NUM_WORKERS, **kwargs)
+
+
+class TestVersionNegotiation:
+    @pytest.mark.parametrize("fleet", sorted(_FLEETS))
+    @pytest.mark.parametrize("backend", TRANSPORT_BACKENDS)
+    def test_negotiation_matrix(self, backend, fleet):
+        worker_caps, expected = _FLEETS[fleet]
+        t = _build_with_caps(backend, worker_caps)
+        try:
+            assert dict(t.negotiated) == expected
+            for worker_id in range(NUM_WORKERS):
+                assert t.negotiated_versions(worker_id) == expected[worker_id]
+            # The negotiated connection still moves frames: the serve
+            # loop answered the HELLO exchange and is back in dispatch.
+            for worker_id in range(NUM_WORKERS):
+                t.send(worker_id, pack_frame(KIND_ECHO, 0, b"post-hello"))
+                kind, sender, payload = unpack_frame(t.recv(worker_id, 20.0))
+                assert (kind, sender, payload) == (
+                    KIND_ECHO, worker_id, b"post-hello"
+                )
+        finally:
+            _shutdown(t)
+
+    @pytest.mark.parametrize("backend", TRANSPORT_BACKENDS)
+    def test_default_fleet_negotiates_v2(self, backend):
+        t = _build(backend)
+        try:
+            assert dict(t.negotiated) == {0: (2, 2), 1: (2, 2)}
+        finally:
+            _shutdown(t)
+
+    @pytest.mark.parametrize("backend", TRANSPORT_BACKENDS)
+    def test_no_common_version_is_structured_failure(self, backend):
+        # A v1-pinned driver cannot speak to a v2-only worker: the
+        # transport must fail construction with NegotiationError (a
+        # FrameError), never hang or train on garbage.
+        with pytest.raises(NegotiationError, match="no common"):
+            t = _build_with_caps(
+                backend,
+                {0: V2_ONLY_CAPS, 1: V1_CAPS},
+                driver_caps=V1_CAPS,
+            )
+            _shutdown(t)  # pragma: no cover - construction must raise
+
+    def test_negotiation_error_is_frame_error(self):
+        assert issubclass(NegotiationError, FrameError)
+
+
+class TestNegotiatedTraining:
+    """Fleet composition must not change the math.
+
+    The same fixed-seed logistic regression must land on bit-identical
+    parameters whether the fleet is all-v1, all-v2 (with entropy
+    coding and streamed frames), or mixed — the v2 payload carries the
+    identical message, so theta cannot move.  The mp cell is the
+    acceptance bar; tcp and aio pin the socket backends.
+    """
+
+    @pytest.fixture(scope="class")
+    def split(self):
+        from repro.data import kdd10_like, train_test_split
+
+        return train_test_split(kdd10_like(seed=7, scale=0.02), seed=7)
+
+    def _theta(self, split, backend, worker_caps=None, **cfg):
+        from repro.runtime import RuntimeConfig
+        from tests.test_runtime_train import make_trainer
+
+        trainer = make_trainer(
+            split,
+            backend,
+            runtime=RuntimeConfig(
+                backend=backend, worker_caps=worker_caps, **cfg
+            ),
+        )
+        trainer.train(*split)
+        return trainer.theta
+
+    def test_mixed_fleet_trains_bit_identical_on_mp(self, split):
+        from tests.test_runtime_train import NUM_WORKERS as TRAIN_WORKERS
+
+        all_v1 = self._theta(
+            split, "mp",
+            worker_caps={w: V1_CAPS for w in range(TRAIN_WORKERS)},
+        )
+        mixed = self._theta(
+            split, "mp",
+            worker_caps={0: V1_CAPS},  # the rest default to v2
+            entropy_coding=True,
+            chunk_bytes=4096,
+        )
+        all_v2 = self._theta(
+            split, "mp", entropy_coding=True, chunk_bytes=4096
+        )
+        np.testing.assert_array_equal(all_v1, mixed)
+        np.testing.assert_array_equal(all_v1, all_v2)
+
+    @pytest.mark.parametrize("backend", ["tcp", "aio"])
+    def test_mixed_fleet_matches_v1_fleet_on_sockets(self, split, backend):
+        from tests.test_runtime_train import NUM_WORKERS as TRAIN_WORKERS
+
+        all_v1 = self._theta(
+            split, backend,
+            worker_caps={w: V1_CAPS for w in range(TRAIN_WORKERS)},
+        )
+        mixed = self._theta(
+            split, backend,
+            worker_caps={0: V1_CAPS},
+            entropy_coding=True,
+            chunk_bytes=4096,
+        )
+        np.testing.assert_array_equal(all_v1, mixed)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,516 @@
+"""Differential fuzzing of the wire stack.
+
+Two tiers lock the protocol down:
+
+* **Property tier** (hypothesis): randomly generated compressed
+  gradients must round-trip bit-identically through
+  ``serialize_message``/``deserialize_message`` under *both* kernel
+  paths and *both* payload versions, contiguous and streamed; random
+  frames must survive arbitrary re-chunking through
+  :class:`FrameAssembler`.  Bound the example count with
+  ``REPRO_FUZZ_EXAMPLES`` (CI smoke uses a small value).
+
+* **Mutation corpus** (deterministic, seeded): 200+ adversarial
+  mutations of valid wire bytes — truncations, bit-flips, length-field
+  lies, duplicated/reordered/dropped chunks, lying ``END`` trailers —
+  must always surface as a structured :class:`SerializationError` /
+  :class:`FrameError`; never a hang, an allocation bomb, or a
+  silently-wrong tensor.  A mutant the decoder *accepts* (a bit flip
+  in value data) must re-serialize to exactly the bytes it was decoded
+  from — the decode is then a faithful reading of the (corrupt)
+  payload, not an invention.
+
+The corpus runs under both kernel paths; the wire layer is
+kernel-independent by design and this pins that claim.
+"""
+
+import os
+import struct  # repro: noqa[wire-format] — fuzzing the framing layer requires crafting raw adversarial headers
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.compressor import SketchMLCompressor
+from repro.core.config import SketchMLConfig
+from repro.core.serialization import (
+    MAX_MESSAGE_BYTES,
+    SerializationError,
+    deserialize_message,
+    deserialize_message_chunks,
+    iter_serialize_message,
+    serialize_message,
+)
+from repro.runtime.framing import (
+    FRAME_MAGIC,
+    KIND_CHUNK,
+    KIND_END,
+    KIND_GRAD,
+    KIND_UPDATE,
+    ChunkReassembler,
+    FrameAssembler,
+    FrameError,
+    iter_chunk_frames,
+    pack_frame,
+    unpack_frame,
+    unpack_header,
+)
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "30"))
+FUZZ = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_HEADER = struct.Struct("<4sBBHQ")  # repro: noqa[wire-format] — fuzzing the framing layer requires crafting raw adversarial headers
+
+_VARIANTS = (
+    {},                                             # full sketch
+    {"enable_minmax": False},                       # quantization
+    {"enable_minmax": False, "pack_index_bits": True},
+    {"enable_quantization": False, "enable_minmax": False},
+)
+
+
+def _gradient(seed, nnz, dimension, sign_mode):
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.choice(dimension, size=nnz, replace=False))
+    values = rng.laplace(scale=0.01, size=nnz)
+    values[values == 0.0] = 1e-4
+    if sign_mode == "pos":
+        values = np.abs(values)
+    return keys, values
+
+
+def _compress(seed, nnz, dimension, sign_mode, variant):
+    keys, values = _gradient(seed, nnz, dimension, sign_mode)
+    config = SketchMLConfig.full(seed=seed, **_VARIANTS[variant])
+    return SketchMLCompressor(config).compress(keys, values, dimension)
+
+
+def _serialize_at(message, version):
+    if version == 1:
+        return serialize_message(message)
+    return serialize_message(message, version=2, entropy=True)
+
+
+# ----------------------------------------------------------------------
+# property tier
+# ----------------------------------------------------------------------
+class TestRoundTripProperties:
+    @FUZZ
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        nnz=st.integers(1, 400),
+        variant=st.integers(0, len(_VARIANTS) - 1),
+        sign_mode=st.sampled_from(["mixed", "pos"]),
+    )
+    def test_roundtrip_bit_identical_both_paths_both_versions(
+        self, seed, nnz, variant, sign_mode
+    ):
+        dimension = max(nnz * 40, 64)
+        encoded = {}
+        for mode in ("scalar", "vectorised"):
+            forced = (
+                kernels.scalar_kernels() if mode == "scalar"
+                else kernels.vectorised_kernels()
+            )
+            with forced:
+                message = _compress(seed, nnz, dimension, sign_mode, variant)
+                encoded[mode] = {
+                    v: _serialize_at(message, v) for v in (1, 2)
+                }
+        # Kernel paths agree byte-for-byte at each payload version.
+        assert encoded["scalar"] == encoded["vectorised"]
+        v1, v2 = encoded["scalar"][1], encoded["scalar"][2]
+        # deserialize → serialize is the identity at both versions,
+        # and both versions carry the identical message.
+        assert _serialize_at(deserialize_message(v1), 1) == v1
+        assert _serialize_at(deserialize_message(v2), 2) == v2
+        assert _serialize_at(deserialize_message(v2), 1) == v1
+
+    @FUZZ
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        nnz=st.integers(1, 400),
+        variant=st.integers(0, len(_VARIANTS) - 1),
+        version=st.sampled_from([1, 2]),
+        chunk_bytes=st.integers(16, 4096),
+    )
+    def test_streaming_encode_decode_matches_contiguous(
+        self, seed, nnz, variant, version, chunk_bytes
+    ):
+        dimension = max(nnz * 40, 64)
+        message = _compress(seed, nnz, dimension, "mixed", variant)
+        contiguous = _serialize_at(message, version)
+        pieces = list(
+            iter_serialize_message(
+                message,
+                version=version,
+                entropy=(version == 2),
+                chunk_bytes=chunk_bytes,
+            )
+        )
+        assert all(len(p) <= chunk_bytes for p in pieces)
+        assert b"".join(pieces) == contiguous
+        streamed = deserialize_message_chunks(pieces)
+        assert _serialize_at(streamed, version) == contiguous
+
+    def test_200k_nnz_streams_in_64k_chunks_bit_identical(self):
+        """The acceptance-scale case, pinned deterministically: a
+        200k-nnz gradient streamed in ≤64 KiB chunks decodes to the
+        exact contiguous v1 encoding."""
+        message = _compress(97, 200_000, 2_000_000, "mixed", 0)
+        contiguous = serialize_message(message)
+        chunk_bytes = 64 * 1024
+        assert len(contiguous) > chunk_bytes  # actually exercises chunking
+        pieces = list(
+            iter_serialize_message(message, chunk_bytes=chunk_bytes)
+        )
+        assert all(len(p) <= chunk_bytes for p in pieces)
+        streamed = deserialize_message_chunks(pieces)
+        assert serialize_message(streamed) == contiguous
+
+    @FUZZ
+    @given(
+        payload=st.binary(max_size=2048),
+        kind=st.sampled_from([KIND_GRAD, KIND_UPDATE]),
+        sender=st.integers(0, 0xFFFF),
+        version=st.sampled_from([1, 2]),
+        splits=st.lists(st.integers(1, 64), max_size=24),
+    )
+    def test_frame_survives_arbitrary_rechunking(
+        self, payload, kind, sender, version, splits
+    ):
+        frame = pack_frame(kind, sender, payload, version=version)
+        assembler = FrameAssembler()
+        out = []
+
+        def drain():
+            while True:
+                got = assembler.next_frame()
+                if got is None:
+                    return
+                out.append(got)
+
+        pos = 0
+        for step in splits:
+            assembler.feed(frame[pos:pos + step])
+            pos += step
+            drain()
+        assembler.feed(frame[pos:])
+        drain()
+        assert len(out) == 1
+        got_kind, got_sender, got_payload = unpack_frame(out[0])
+        assert (got_kind, got_sender, bytes(got_payload)) == (
+            kind, sender, payload
+        )
+
+
+# ----------------------------------------------------------------------
+# mutation corpus
+# ----------------------------------------------------------------------
+def _base_messages():
+    """Two fixed, deterministic wire payloads to mutate: the packed
+    quantization config at v1 and at v2 (the v2 bytes exercise the
+    entropy-coded index block)."""
+    message = _compress(1234, 900, 40000, "mixed", 2)
+    return {
+        1: _serialize_at(message, 1),
+        2: _serialize_at(message, 2),
+    }
+
+
+_BASES = _base_messages()
+_RNG = np.random.default_rng(20260809)
+
+
+def _truncation_cases():
+    cases = []
+    for version, data in _BASES.items():
+        for cut in sorted(
+            _RNG.choice(np.arange(1, len(data)), size=35, replace=False)
+        ):
+            cases.append(
+                (f"trunc-v{version}-at{cut}", data[:int(cut)])
+            )
+    return cases
+
+
+def _bitflip_cases():
+    cases = []
+    for version, data in _BASES.items():
+        positions = _RNG.choice(len(data) * 8, size=40, replace=False)
+        for pos in sorted(int(p) for p in positions):
+            mutated = bytearray(data)
+            mutated[pos // 8] ^= 1 << (pos % 8)
+            cases.append((f"flip-v{version}-bit{pos}", bytes(mutated)))
+    return cases
+
+
+def _length_lie_cases():
+    """Overwrite genuine length/count fields with absurd u64 values."""
+    cases = []
+    lies = (1 << 40, 1 << 50, (1 << 64) - 1, 1 << 63)
+    for version, data in _BASES.items():
+        # The message nnz u64 sits at header offset 14 (see
+        # serialization.py) and bounds every allocation downstream.
+        for lie in lies:
+            mutated = bytearray(data)
+            mutated[14:22] = struct.pack("<Q", lie)  # repro: noqa[wire-format] — crafting adversarial length fields is the point of this corpus
+            cases.append(
+                (f"lie-v{version}-nnz-{lie:#x}", bytes(mutated))
+            )
+        # Length-prefixed fields in the body: scan for u64 values that
+        # look like genuine lengths/counts and inflate them.  Keep the
+        # candidates the decoder is *supposed* to reject — if a later
+        # change drops the budget checks, these become terabyte
+        # allocations and the corpus fails loudly.
+        hits = 0
+        for offset in range(23, len(data) - 8):
+            (value,) = struct.unpack_from("<Q", data, offset)  # repro: noqa[wire-format] — scanning for length fields to corrupt
+            if not 16 <= value <= len(data):
+                continue
+            mutated = bytearray(data)
+            mutated[offset:offset + 8] = struct.pack("<Q", 1 << 44)  # repro: noqa[wire-format] — crafting adversarial length fields is the point of this corpus
+            try:
+                deserialize_message(bytes(mutated))
+            except SerializationError:
+                hits += 1
+                cases.append(
+                    (f"lie-v{version}-body{offset}", bytes(mutated))
+                )
+            if hits >= 6:
+                break
+    return cases
+
+
+MUST_FAIL_CASES = _truncation_cases() + _length_lie_cases()
+MAY_ACCEPT_CASES = _bitflip_cases()
+
+
+@pytest.mark.parametrize("mode", ["scalar", "vectorised"])
+@pytest.mark.parametrize(
+    "data", [c[1] for c in MUST_FAIL_CASES],
+    ids=[c[0] for c in MUST_FAIL_CASES],
+)
+def test_corrupt_bytes_always_raise_structured_error(data, mode):
+    forced = (
+        kernels.scalar_kernels() if mode == "scalar"
+        else kernels.vectorised_kernels()
+    )
+    with forced:
+        with pytest.raises(SerializationError):
+            deserialize_message(data)
+
+
+@pytest.mark.parametrize("mode", ["scalar", "vectorised"])
+@pytest.mark.parametrize(
+    "data", [c[1] for c in MAY_ACCEPT_CASES],
+    ids=[c[0] for c in MAY_ACCEPT_CASES],
+)
+def test_bit_flips_never_decode_silently_wrong(data, mode):
+    """A flipped bit either raises the structured error or lands in
+    value data — in which case the decode must be a *faithful* reading:
+    re-serializing it reproduces the mutated bytes exactly."""
+    forced = (
+        kernels.scalar_kernels() if mode == "scalar"
+        else kernels.vectorised_kernels()
+    )
+    version = data[4] if len(data) > 4 else 1
+    with forced:
+        try:
+            message = deserialize_message(data)
+        except SerializationError:
+            return
+        if version in (1, 2):
+            entropy = bool(version == 2 and (data[5] & 2))
+            assert serialize_message(
+                message, version=version, entropy=entropy
+            ) == data
+
+
+# ----------------------------------------------------------------------
+# chunk-stream mutations
+# ----------------------------------------------------------------------
+def _chunk_frames():
+    pieces = list(
+        iter_serialize_message(
+            _compress(77, 600, 30000, "mixed", 1), chunk_bytes=256
+        )
+    )
+    frames = list(
+        iter_chunk_frames(KIND_GRAD, 3, pieces, chunk_bytes=256)
+    )
+    assert len(frames) >= 6  # several CHUNKs + END
+    return frames
+
+
+_FRAMES = _chunk_frames()
+
+
+def _chunk_mutations():
+    frames = _FRAMES
+    n = len(frames) - 1  # last frame is END
+    cases = {}
+    for i in sorted(
+        int(j) for j in _RNG.choice(n, size=min(n, 8), replace=False)
+    ):
+        cases[f"dup-{i}"] = frames[:i + 1] + frames[i:]
+        cases[f"drop-{i}"] = frames[:i] + frames[i + 1:]
+        if i + 1 < n:
+            swapped = list(frames)
+            swapped[i], swapped[i + 1] = swapped[i + 1], swapped[i]
+            cases[f"swap-{i}"] = swapped
+        truncated = list(frames)
+        kind, sender, payload = unpack_frame(frames[i])
+        truncated[i] = pack_frame(
+            kind, sender, bytes(payload)[:-3], version=2
+        )
+        cases[f"shrink-{i}"] = truncated
+    end_kind, end_sender, end_payload = unpack_frame(frames[-1])
+    total_chunks, inner_kind, total_bytes = struct.unpack(  # repro: noqa[wire-format] — forging END trailers is the point of this corpus
+        "<IBQ", bytes(end_payload)
+    )
+    for name, lie in (
+        ("end-more-chunks", (total_chunks + 1, inner_kind, total_bytes)),
+        ("end-fewer-chunks", (total_chunks - 1, inner_kind, total_bytes)),
+        ("end-byte-lie", (total_chunks, inner_kind, total_bytes + 1)),
+        ("end-huge-bytes", (total_chunks, inner_kind, 1 << 62)),
+        ("end-wrong-kind", (total_chunks, KIND_UPDATE, total_bytes)),
+    ):
+        forged = list(frames)
+        forged[-1] = pack_frame(
+            end_kind, end_sender, struct.pack("<IBQ", *lie), version=2  # repro: noqa[wire-format] — forging END trailers is the point of this corpus
+        )
+        cases[name] = forged
+    cases["end-first"] = [frames[-1]] + frames[:-1]
+    cases["no-end"] = frames[:-1] + [frames[0]]
+    return sorted(cases.items())
+
+
+CHUNK_MUTATIONS = _chunk_mutations()
+
+
+def test_chunk_corpus_baseline_reassembles():
+    """The unmutated stream decodes — the mutations below fail for the
+    mutation, not because the harness is broken."""
+    frames = _FRAMES
+    reassembler = ChunkReassembler()
+    inner = None
+    chunks = None
+    for frame in frames:
+        kind, _, payload = unpack_frame(frame)
+        if kind == KIND_END:
+            inner, chunks = reassembler.finish(bytes(payload))
+        else:
+            assert kind == KIND_CHUNK
+            reassembler.feed(bytes(payload))
+    assert inner == KIND_GRAD
+    message = deserialize_message_chunks(chunks)
+    assert serialize_message(message) == b"".join(
+        iter_serialize_message(message)
+    )
+
+
+@pytest.mark.parametrize(
+    "frames", [c[1] for c in CHUNK_MUTATIONS],
+    ids=[c[0] for c in CHUNK_MUTATIONS],
+)
+def test_mutated_chunk_streams_always_raise(frames):
+    reassembler = ChunkReassembler()
+    with pytest.raises((FrameError, SerializationError)):
+        chunks = None
+        saw_end = False
+        for frame in frames:
+            kind, _, payload = unpack_frame(frame)
+            if kind == KIND_END:
+                _, chunks = reassembler.finish(bytes(payload))
+                saw_end = True
+            else:
+                reassembler.feed(bytes(payload))
+        if not saw_end:
+            raise FrameError("stream ended without an END trailer")
+        deserialize_message_chunks(chunks)
+
+
+def test_chunk_budget_is_enforced():
+    frames = _FRAMES
+    reassembler = ChunkReassembler(max_bytes=64)
+    with pytest.raises(FrameError):
+        for frame in frames[:-1]:
+            _, _, payload = unpack_frame(frame)
+            reassembler.feed(bytes(payload))
+
+
+# ----------------------------------------------------------------------
+# length-budget regressions (the u64 pre-allocation bombs)
+# ----------------------------------------------------------------------
+class TestLengthBudgetRegressions:
+    """A declared u64 length must be validated *before* any allocation.
+
+    Regression tests for the historic trust-the-header bombs in
+    ``deserialize_message`` and ``FrameAssembler``: a 2**40 length
+    field must be a structured reject, not a 1 TiB allocation."""
+
+    def test_unpack_header_rejects_terabyte_length(self):
+        header = _HEADER.pack(FRAME_MAGIC, 1, KIND_GRAD, 0, 1 << 40)
+        with pytest.raises(FrameError, match="exceeds"):
+            unpack_header(header)
+
+    def test_frame_assembler_rejects_terabyte_length(self):
+        header = _HEADER.pack(FRAME_MAGIC, 1, KIND_GRAD, 0, 1 << 40)
+        assembler = FrameAssembler()
+        assembler.feed(header)
+        with pytest.raises(FrameError, match="exceeds"):
+            assembler.next_frame()
+        # The budget held: the assembler never grew anywhere near the
+        # declared terabyte.
+        assert len(assembler) < 1 << 20
+
+    def test_frame_assembler_honours_configured_budget(self):
+        frame = pack_frame(KIND_GRAD, 0, b"x" * 2048)
+        assembler = FrameAssembler(max_frame_bytes=1024)
+        assembler.feed(frame)
+        with pytest.raises(FrameError, match="exceeds"):
+            assembler.next_frame()
+        # The same frame passes under the default budget.
+        assembler = FrameAssembler()
+        assembler.feed(frame)
+        assert assembler.next_frame() == frame
+
+    def test_header_length_cannot_exceed_global_ceiling(self):
+        header = _HEADER.pack(FRAME_MAGIC, 1, KIND_GRAD, 0, 1 << 40)
+        with pytest.raises(FrameError):
+            unpack_header(header, max_frame_bytes=1 << 62)
+
+    def test_deserialize_rejects_lying_message_nnz(self):
+        data = bytearray(_BASES[1])
+        data[14:22] = struct.pack("<Q", 1 << 40)  # repro: noqa[wire-format] — forging the nnz field under test
+        with pytest.raises(SerializationError):
+            deserialize_message(bytes(data))
+
+    def test_deserialize_honours_configured_budget(self):
+        data = _BASES[1]
+        with pytest.raises(SerializationError):
+            deserialize_message(data, max_message_bytes=64)
+        assert deserialize_message(
+            data, max_message_bytes=MAX_MESSAGE_BYTES
+        ) is not None
+
+    def test_chunked_deserialize_honours_configured_budget(self):
+        message = _compress(5, 100, 5000, "mixed", 1)
+        pieces = list(iter_serialize_message(message, chunk_bytes=128))
+        with pytest.raises(SerializationError):
+            deserialize_message_chunks(pieces, max_message_bytes=64)
+
+
+def test_corpus_is_large_enough():
+    """The acceptance bar: at least 200 committed mutation cases."""
+    total = (
+        len(MUST_FAIL_CASES) + len(MAY_ACCEPT_CASES) + len(CHUNK_MUTATIONS)
+    )
+    assert total >= 200, total
