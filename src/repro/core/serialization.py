@@ -427,6 +427,33 @@ def _read_entropy_indexes(r: _Reader, part: SignPart, message_nnz: int) -> None:
         raise SerializationError(
             f"part nnz {part.nnz} exceeds message nnz {message_nnz}"
         )
+    # A zero-entropy model (one symbol at full probability) consumes no
+    # coded bytes per symbol, so the coded length alone cannot bound
+    # the loop.  The part's key stream can: an index part carries one
+    # key per index, and the keys were already read as physically
+    # present bytes — raw keys at 4 bytes each, delta-coded keys at
+    # ≥ 1 payload byte plus a quarter flag byte each after the u4
+    # count header.  Reject any nnz those bytes cannot justify before
+    # spinning the decode loop.
+    if part.raw_keys is not None:
+        if part.raw_keys.size != part.nnz:
+            raise SerializationError(
+                f"part nnz {part.nnz} disagrees with "
+                f"{part.raw_keys.size} raw keys"
+            )
+    elif part.key_blob is not None:
+        blob = part.key_blob
+        declared = int.from_bytes(blob[:4], "little") if len(blob) >= 4 else -1
+        min_len = 4 + (part.nnz + 3) // 4 + part.nnz
+        if declared != part.nnz or len(blob) < min_len:
+            raise SerializationError(
+                f"part nnz {part.nnz} is not justified by its "
+                f"{len(blob)}-byte key blob"
+            )
+    else:
+        raise SerializationError(
+            "entropy-coded indexes without a key stream"
+        )
     coded = r.blob()
     try:
         symbols = _entropy.decode_indexes(coded, freqs, part.nnz)

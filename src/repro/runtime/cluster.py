@@ -35,7 +35,9 @@ from .framing import (
     DEFAULT_CHUNK_BYTES,
     GRAD_HEADER_SIZE,
     KIND_ACK,
+    KIND_CHUNK,
     KIND_ECHO,
+    KIND_END,
     KIND_EPOCH,
     KIND_GRAD,
     KIND_HEARTBEAT,
@@ -46,6 +48,7 @@ from .framing import (
     KIND_STOP,
     KIND_SYNC,
     KIND_UPDATE,
+    ChunkReassembler,
     FrameError,
     ProtocolCaps,
     iter_chunk_frames,
@@ -147,7 +150,15 @@ class RoundResult:
 def _sim_handler(
     runtime: WorkerRuntime, worker_id: int
 ) -> Callable[[bytes], List[bytes]]:
-    """In-process equivalent of the spawned worker's serve loop."""
+    """In-process equivalent of the spawned worker's serve loop.
+
+    Mirrors ``serve()``'s frame dispatch including CHUNK/END
+    reassembly: the sim transport negotiates frame v2 by default, so
+    a broadcast UPDATE larger than ``chunk_bytes`` arrives here as a
+    chunk stream.  Reassembly protocol errors drop the stream and
+    leave the retry to supervision, exactly like the spawned worker.
+    """
+    reassembler = ChunkReassembler()
 
     def handle(frame: bytes) -> List[bytes]:
         kind, _, payload = unpack_frame(frame)
@@ -155,6 +166,22 @@ def _sim_handler(
             return [pack_frame(KIND_ECHO, worker_id, payload)]
         if kind in (KIND_STOP, KIND_HEARTBEAT):
             return []
+        if kind == KIND_CHUNK:
+            try:
+                reassembler.feed_tolerant(payload)
+            except FrameError:
+                reassembler.reset()
+            return []
+        if kind == KIND_END:
+            try:
+                stream = reassembler.finish_tolerant(payload)
+            except FrameError:
+                reassembler.reset()
+                return []
+            if stream is None:
+                return []
+            inner_kind, chunks = stream
+            return runtime.handle_chunks(inner_kind, chunks)
         return runtime.handle(kind, payload)
 
     return handle

@@ -572,6 +572,46 @@ class ChunkReassembler:
         self._bytes += len(data)
         self._next_seq += 1
 
+    def feed_tolerant(self, payload: bytes) -> bool:
+        """Feed one ``CHUNK`` payload, absorbing retries and stale tails.
+
+        The supervised send path retries a failed chunked send from the
+        beginning with identical bytes, and a receiver that timed out
+        mid-stream may still see the old stream's tail before the new
+        one starts.  Two deviations are therefore expected rather than
+        fatal: a seq-0 chunk arriving while a stream is active restarts
+        the stream (the partial one it replaces is discarded), and a
+        non-zero-seq chunk arriving while *no* stream is active is a
+        recognisably stale leftover and is dropped.  Returns ``True``
+        when the chunk was accepted, ``False`` when it was dropped as
+        stale.  Everything else — a mid-stream gap, a kind switch, a
+        budget overrun — still raises :class:`FrameError`.
+        """
+        seq, _, _ = unpack_chunk(payload)
+        if seq == 0 and self.active:
+            self.reset()
+        elif seq != 0 and not self.active:
+            return False
+        self.feed(payload)
+        return True
+
+    def finish_tolerant(
+        self, payload: bytes
+    ) -> Optional[Tuple[int, List[bytes]]]:
+        """Close the stream, dropping a recognisably stale ``END``.
+
+        An ``END`` declaring non-zero totals while no stream is active
+        is the tail of an aborted earlier stream (whose chunks
+        :meth:`feed_tolerant` already dropped); it returns ``None``
+        instead of raising.  An ``END`` whose totals disagree with an
+        *active* stream is still a length-field lie and raises
+        :class:`FrameError`.
+        """
+        total_chunks, _, total_bytes = unpack_chunk_end(payload)
+        if not self.active and (total_chunks != 0 or total_bytes != 0):
+            return None
+        return self.finish(payload)
+
     def finish(self, payload: bytes) -> Tuple[int, List[bytes]]:
         """Close the stream with the ``END`` payload.
 

@@ -345,18 +345,27 @@ class Supervisor:
             if kind == KIND_ERROR:
                 raise TransportClosed(self._error_detail(payload))
             if kind == KIND_CHUNK:
+                # Leftover chunks from a previous attempt's timed-out
+                # stream drain as stale frames within *this* attempt;
+                # only genuine mid-stream corruption fails the attempt.
                 try:
-                    reassembler.feed(payload)
+                    accepted = reassembler.feed_tolerant(payload)
                 except FrameError as exc:
                     self.stats["rejected_replies"] += 1
                     raise _AttemptFailed() from exc
+                if not accepted:
+                    self.stats["stale_frames"] += 1
                 continue
             if kind == KIND_END:
                 try:
-                    inner_kind, chunks = reassembler.finish(payload)
+                    stream = reassembler.finish_tolerant(payload)
                 except FrameError as exc:
                     self.stats["rejected_replies"] += 1
                     raise _AttemptFailed() from exc
+                if stream is None:
+                    self.stats["stale_frames"] += 1
+                    continue
+                inner_kind, chunks = stream
                 if inner_kind != expect_kind:
                     # A settled round's streamed reply arriving late.
                     self.stats["stale_frames"] += 1

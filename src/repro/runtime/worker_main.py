@@ -219,10 +219,24 @@ def serve(
                     f"frame kind {kind} arrived before INIT"
                 )
             if kind == KIND_CHUNK:
-                reassembler.feed(payload)
+                # A supervised retry re-sends the whole stream from
+                # seq 0; a reassembly protocol error drops the partial
+                # stream instead of killing the process — the driver's
+                # retry delivers a fresh copy.
+                try:
+                    reassembler.feed_tolerant(payload)
+                except FrameError:
+                    reassembler.reset()
                 continue
             if kind == KIND_END:
-                inner_kind, chunks = reassembler.finish(payload)
+                try:
+                    stream = reassembler.finish_tolerant(payload)
+                except FrameError:
+                    reassembler.reset()
+                    continue
+                if stream is None:
+                    continue
+                inner_kind, chunks = stream
                 replies = runtime.handle_chunks(inner_kind, chunks)
             else:
                 replies = runtime.handle(kind, payload)

@@ -12,6 +12,7 @@ from repro.runtime.framing import (
     KIND_ACK,
     KIND_ERROR,
     KIND_HEARTBEAT,
+    iter_chunk_frames,
     pack_ack,
     pack_frame,
     unpack_ack,
@@ -212,6 +213,56 @@ class TestRetries:
             decode=unpack_ack, already_sent=True,
         )
         assert t.sent[0] == []
+
+
+class TestChunkedReplies:
+    """Streamed replies under supervision: stale tails must drain
+    within one attempt; genuine corruption must still burn one."""
+
+    @staticmethod
+    def _decode(payload):
+        return unpack_ack(b"".join(payload))
+
+    def test_stale_chunks_drain_within_one_attempt(self):
+        # Leftovers of a previous attempt's timed-out stream (chunks
+        # seq 2, 3 and the END) precede the retried full stream; each
+        # leftover must count as a stale frame, not a failed attempt.
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        stale = list(
+            iter_chunk_frames(KIND_ACK, 0, [pack_ack(9)], chunk_bytes=1)
+        )
+        fresh = list(
+            iter_chunk_frames(KIND_ACK, 0, [pack_ack(7)], chunk_bytes=2)
+        )
+        t.script[0] = [("frame", f) for f in stale[2:] + fresh]
+        sup, _ = make_supervisor(t, clock)
+        out = sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK,
+            decode=self._decode,
+        )
+        assert out == 7
+        assert sup.stats["retries"] == 0
+        assert sup.stats["rejected_replies"] == 0
+        assert sup.stats["stale_frames"] == 3  # chunks 2, 3 + stale END
+
+    def test_mid_stream_gap_still_rejects_the_attempt(self):
+        clock = FakeClock()
+        t = FakeTransport(1, clock)
+        fresh = list(
+            iter_chunk_frames(KIND_ACK, 0, [pack_ack(7)], chunk_bytes=1)
+        )
+        # Chunk seq 1 lost mid-stream: a genuine gap, not a stale tail.
+        t.script[0] = [("frame", fresh[0]), ("frame", fresh[2])]
+        t.script[0] += [("frame", f) for f in fresh]
+        sup, _ = make_supervisor(t, clock)
+        out = sup.request(
+            0, b"req", phase="step", expect_kind=KIND_ACK,
+            decode=self._decode,
+        )
+        assert out == 7
+        assert sup.stats["rejected_replies"] == 1
+        assert sup.stats["retries"] == 1
 
 
 class TestPolicies:

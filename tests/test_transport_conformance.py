@@ -26,12 +26,17 @@ from repro.runtime.framing import (
     HEADER_SIZE,
     KIND_ACK,
     KIND_ECHO,
+    KIND_ERROR,
+    KIND_INIT,
+    KIND_READY,
     KIND_STOP,
+    KIND_UPDATE,
     V1_CAPS,
     FrameAssembler,
     FrameError,
     NegotiationError,
     ProtocolCaps,
+    iter_chunk_frames,
     pack_ack,
     pack_frame,
     unpack_frame,
@@ -283,6 +288,50 @@ class TestNegotiatedTraining:
         np.testing.assert_array_equal(all_v1, mixed)
         np.testing.assert_array_equal(all_v1, all_v2)
 
+    def test_sim_cluster_streams_chunked_updates(self):
+        """The default sim fleet negotiates frame v2, so an update
+        larger than ``chunk_bytes`` broadcasts as a CHUNK/END stream
+        straight into the in-process handler — regression for
+        ``_sim_handler`` forwarding chunk frames to
+        ``WorkerRuntime.handle`` and crashing the run."""
+        from repro.core.serialization import serialize_message
+        from repro.data import kdd10_like
+        from repro.runtime import RuntimeCluster, RuntimeConfig
+        from tests.test_runtime_faults import (
+            NUM_WORKERS as SIM_WORKERS,
+            make_bootstraps,
+        )
+
+        dataset = kdd10_like(seed=3, scale=0.02)
+
+        def run(**cfg):
+            config = RuntimeConfig(backend="sim", **cfg)
+            with RuntimeCluster(make_bootstraps(dataset), config) as cluster:
+                cluster.start_epoch(0)
+                first = cluster.step(0, 0.1)
+                update = next(
+                    r.message for r in first.values() if r.has_batch
+                )
+                update_bytes = serialize_message(update)
+                acked = cluster.broadcast(0, 0.1, update_bytes, message=update)
+                second = cluster.step(1, 0.1)
+            losses = [
+                (w, r.local_loss, r.gradient_nnz)
+                for w, r in sorted(second.items())
+            ]
+            return update_bytes, acked, losses
+
+        v1_caps = {w: V1_CAPS for w in range(SIM_WORKERS)}
+        _, acked_v1, second_v1 = run(worker_caps=v1_caps)
+        update_bytes, acked, second = run(
+            entropy_coding=True, chunk_bytes=256
+        )
+        # The update genuinely exceeded one chunk, so it streamed.
+        assert len(update_bytes) > 256
+        assert acked == acked_v1 == list(range(SIM_WORKERS))
+        # Post-update gradients are bit-identical across fleets.
+        assert second == second_v1
+
     @pytest.mark.parametrize("backend", ["tcp", "aio"])
     def test_mixed_fleet_matches_v1_fleet_on_sockets(self, split, backend):
         from tests.test_runtime_train import NUM_WORKERS as TRAIN_WORKERS
@@ -298,6 +347,105 @@ class TestNegotiatedTraining:
             chunk_bytes=4096,
         )
         np.testing.assert_array_equal(all_v1, mixed)
+
+
+class _ScriptedEndpoint:
+    """Minimal worker-side endpoint: recv pops a scripted frame list
+    (None at the end plays the driver hang-up), send records."""
+
+    def __init__(self, frames):
+        self.frames = list(frames)
+        self.sent = []
+
+    def recv(self):
+        if self.frames:
+            return self.frames.pop(0)
+        return None
+
+    def send(self, frame):
+        self.sent.append(bytes(frame))
+
+    def close(self):
+        pass
+
+
+class TestServeChunkRecovery:
+    """A chunked request that dies mid-sequence and is retried from
+    seq 0 must reassemble cleanly in ``serve()`` — regression for the
+    strict reassembler turning the retried stream's sequence reset
+    into an ERROR frame and worker-process exit."""
+
+    def _stub_runtime(self, monkeypatch, calls):
+        from repro.runtime import worker_main
+
+        class StubRuntime:
+            def __init__(self, bootstrap):
+                pass
+
+            def set_wire(self, frame_v, payload_v):
+                pass
+
+            def handle(self, kind, payload):
+                raise AssertionError(
+                    f"frame kind {kind} must not reach handle()"
+                )
+
+            def handle_chunks(self, inner_kind, chunks):
+                calls.append((inner_kind, b"".join(chunks)))
+                return [pack_frame(KIND_ACK, 1, pack_ack(0))]
+
+        class StubBootstrap:
+            heartbeat_interval = 0.0
+            heartbeat_jitter = 0.0
+            seed = 0
+            trace_dir = None
+            run_id = None
+
+            @staticmethod
+            def from_bytes(payload):
+                return StubBootstrap()
+
+        monkeypatch.setattr(worker_main, "WorkerRuntime", StubRuntime)
+        monkeypatch.setattr(worker_main, "WorkerBootstrap", StubBootstrap)
+        return worker_main
+
+    def test_retried_stream_reassembles_once(self, monkeypatch):
+        calls = []
+        worker_main = self._stub_runtime(monkeypatch, calls)
+        body = bytes(range(256)) * 2
+        stream = list(
+            iter_chunk_frames(KIND_UPDATE, 0xFFFF, [body], chunk_bytes=64)
+        )
+        assert len(stream) >= 5  # several CHUNKs + END
+        frames = [pack_frame(KIND_INIT, 0xFFFF, b"")]
+        frames += stream[:3]  # the send died after three chunks...
+        frames += stream      # ...and the supervisor re-sent it all
+        endpoint = _ScriptedEndpoint(frames)
+        worker_main.serve(
+            endpoint, 1, frame_version=2, payload_version=2
+        )
+        assert calls == [(KIND_UPDATE, body)]
+        kinds = [unpack_frame(f)[0] for f in endpoint.sent]
+        assert kinds == [KIND_READY, KIND_ACK]
+        assert KIND_ERROR not in kinds
+
+    def test_stale_tail_then_fresh_stream(self, monkeypatch):
+        calls = []
+        worker_main = self._stub_runtime(monkeypatch, calls)
+        body = bytes(range(256)) * 2
+        stream = list(
+            iter_chunk_frames(KIND_UPDATE, 0xFFFF, [body], chunk_bytes=64)
+        )
+        frames = [pack_frame(KIND_INIT, 0xFFFF, b"")]
+        frames += stream[2:]  # stale mid-stream tail incl. its END
+        frames += stream      # the full retried stream
+        endpoint = _ScriptedEndpoint(frames)
+        worker_main.serve(
+            endpoint, 1, frame_version=2, payload_version=2
+        )
+        assert calls == [(KIND_UPDATE, body)]
+        kinds = [unpack_frame(f)[0] for f in endpoint.sent]
+        assert kinds == [KIND_READY, KIND_ACK]
 
 
 # ----------------------------------------------------------------------

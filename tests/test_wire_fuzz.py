@@ -446,6 +446,61 @@ def test_chunk_budget_is_enforced():
             reassembler.feed(bytes(payload))
 
 
+class TestReassemblerTolerance:
+    """The tolerant feed/finish used by the receive loops: a retried
+    stream restarts cleanly, stale leftovers drop, and everything the
+    strict path rejects as corruption still raises."""
+
+    def _payloads(self):
+        return [unpack_frame(f)[2] for f in _FRAMES]
+
+    def test_seq_zero_restarts_an_active_stream(self):
+        payloads = self._payloads()
+        reassembler = ChunkReassembler()
+        # Partial first delivery, then the full retried stream.
+        for p in payloads[:3]:
+            assert reassembler.feed_tolerant(p)
+        for p in payloads[:-1]:
+            assert reassembler.feed_tolerant(p)
+        inner, chunks = reassembler.finish_tolerant(payloads[-1])
+        assert inner == KIND_GRAD
+        message = deserialize_message_chunks(chunks)
+        assert serialize_message(message) == b"".join(
+            iter_serialize_message(message)
+        )
+
+    def test_stale_tail_drops_without_raising(self):
+        payloads = self._payloads()
+        reassembler = ChunkReassembler()
+        # Leftovers of an aborted stream: non-zero seq while inactive.
+        assert reassembler.feed_tolerant(payloads[2]) is False
+        assert reassembler.feed_tolerant(payloads[3]) is False
+        # ... including its END, which declares non-zero totals.
+        assert reassembler.finish_tolerant(payloads[-1]) is None
+        # The next full stream is unaffected.
+        for p in payloads[:-1]:
+            assert reassembler.feed_tolerant(p)
+        inner, _ = reassembler.finish_tolerant(payloads[-1])
+        assert inner == KIND_GRAD
+
+    def test_mid_stream_gap_still_raises(self):
+        payloads = self._payloads()
+        reassembler = ChunkReassembler()
+        assert reassembler.feed_tolerant(payloads[0])
+        with pytest.raises(FrameError, match="sequence"):
+            reassembler.feed_tolerant(payloads[2])
+
+    def test_lying_end_still_raises_on_active_stream(self):
+        payloads = self._payloads()
+        reassembler = ChunkReassembler()
+        for p in payloads[:-1]:
+            assert reassembler.feed_tolerant(p)
+        end = bytes(payloads[-1])
+        forged = end[:-8] + struct.pack("<Q", 1 << 62)  # repro: noqa[wire-format] — forging the END byte total under test
+        with pytest.raises(FrameError, match="declares"):
+            reassembler.finish_tolerant(forged)
+
+
 # ----------------------------------------------------------------------
 # length-budget regressions (the u64 pre-allocation bombs)
 # ----------------------------------------------------------------------
@@ -506,6 +561,29 @@ class TestLengthBudgetRegressions:
         pieces = list(iter_serialize_message(message, chunk_bytes=128))
         with pytest.raises(SerializationError):
             deserialize_message_chunks(pieces, max_message_bytes=64)
+
+    def test_entropy_decode_count_is_bounded_by_key_bytes(self):
+        """A zero-entropy rANS model consumes no coded bytes per symbol,
+        so a forged nnz must be rejected against the part's key stream
+        before the decode loop runs — not after 2**30 iterations."""
+        nnz_lie = 1 << 30
+        w = bytearray()
+        w += b"SKML" + struct.pack("<BB", 2, 2)  # repro: noqa[wire-format] — forging an adversarial v2 entropy message is the point
+        w += struct.pack("<QQ", 1 << 31, nnz_lie)  # repro: noqa[wire-format] — dimension + lying message nnz
+        w += struct.pack("<B", 1)  # repro: noqa[wire-format] — one part
+        w += struct.pack("<bQB", 1, nnz_lie, 1)  # repro: noqa[wire-format] — sign, lying part nnz, kind=indexes
+        # Raw key stream holding exactly ONE key (4 bytes).
+        w += struct.pack("<BQI", 0, 4, 7)  # repro: noqa[wire-format] — key kind, blob length, the key
+        # Minimal bucket table: 1 bucket.
+        w += struct.pack("<Hb", 1, 1)  # repro: noqa[wire-format] — bucket count + sign
+        w += struct.pack("<Qdd", 16, 0.0, 1.0)  # repro: noqa[wire-format] — splits
+        w += struct.pack("<Qd", 8, 0.5)  # repro: noqa[wire-format] — means
+        # Entropy block: single-symbol table at full probability, and
+        # a 4-byte coded stream that is just the rANS start state.
+        w += struct.pack("<BBBHH", 3, 0, 1, 1, 4096)  # repro: noqa[wire-format] — marker, origin, width, model
+        w += struct.pack("<Q", 4) + (1 << 16).to_bytes(4, "little")  # repro: noqa[wire-format] — coded stream
+        with pytest.raises(SerializationError, match="raw keys"):
+            deserialize_message(bytes(w))
 
 
 def test_corpus_is_large_enough():
