@@ -60,8 +60,14 @@ RESULT_ORDER: Tuple[Tuple[str, str], ...] = (
 )
 
 
-def build_report(results_dir: str) -> Tuple[str, List[str]]:
+def build_report(
+    results_dir: str, trace: Optional[str] = None
+) -> Tuple[str, List[str]]:
     """Assemble the report text from a results directory.
+
+    With ``trace`` (a merged flight recording), a per-epoch
+    critical-path attribution section is appended — where the wall
+    time of the recorded run actually went.
 
     Returns:
         ``(markdown, missing)`` — the report body and the list of
@@ -107,6 +113,8 @@ def build_report(results_dir: str) -> Tuple[str, List[str]]:
         sections.append("")
     sections.extend(_codec_perf_section(results_dir))
     sections.extend(_soak_section(results_dir))
+    if trace is not None:
+        sections.extend(_critical_path_section(trace))
     return "\n".join(sections), missing
 
 
@@ -211,14 +219,47 @@ def _soak_section(results_dir: str) -> List[str]:
     return lines
 
 
+def _critical_path_section(trace_path: str) -> List[str]:
+    """Per-epoch critical-path attribution from a flight recording.
+
+    Renders where each recorded epoch's wall time went
+    (codec / compute / straggler wait / wire) using the live-ops
+    causal DAG; a pre-ops trace (no span ids) degrades to a note
+    instead of failing the whole report.
+    """
+    from ..telemetry.critical_path import critical_path, render_report
+    from ..telemetry.merge import read_trace
+
+    lines = [
+        "## Critical path — where the recorded run's time went",
+        "",
+        f"From the flight recording `{trace_path}` "
+        "(`repro trace <file> --critical-path` reproduces it):",
+        "",
+    ]
+    try:
+        report = critical_path(read_trace(trace_path))
+    except (OSError, ValueError) as exc:
+        lines.append(f"*(no attribution: {exc})*")
+        lines.append("")
+        return lines
+    lines.append("```")
+    lines.append(render_report(report))
+    lines.append("```")
+    lines.append("")
+    return lines
+
+
 def write_report(
-    results_dir: str, out_path: Optional[str] = None
+    results_dir: str,
+    out_path: Optional[str] = None,
+    trace: Optional[str] = None,
 ) -> Tuple[str, List[str]]:
     """Build and write the report; returns ``(out_path, missing)``."""
     out_path = out_path or os.path.join(
         os.path.dirname(results_dir.rstrip(os.sep)) or ".", "REPORT.md"
     )
-    markdown, missing = build_report(results_dir)
+    markdown, missing = build_report(results_dir, trace=trace)
     with open(out_path, "w", encoding="utf-8") as handle:
         handle.write(markdown)
         if not markdown.endswith("\n"):

@@ -119,6 +119,8 @@ class ExperimentSpec:
     max_retries: int = 3
     elastic_schedule: Optional[str] = None
     staleness: Optional[int] = None
+    entropy_coding: bool = False
+    chunk_bytes: Optional[int] = None
 
     def network(self) -> NetworkModel:
         if self.bandwidth_override:
@@ -150,6 +152,11 @@ class ExperimentSpec:
                 duplicate_rate=self.fault_duplicate_rate,
                 corrupt_rate=self.fault_corrupt_rate,
             )
+        wire = {}
+        if self.entropy_coding:
+            wire["entropy_coding"] = True
+        if self.chunk_bytes is not None:
+            wire["chunk_bytes"] = int(self.chunk_bytes)
         return RuntimeConfig(
             backend=self.backend,
             supervision=SupervisionConfig(
@@ -159,6 +166,7 @@ class ExperimentSpec:
                 seed=self.seed,
             ),
             faults=faults,
+            **wire,
         )
 
 

@@ -13,8 +13,11 @@ Commands:
   scaled fleet (churn, diurnal load, correlated stragglers), emitting
   a synthetic trace and a fleet summary.
 * ``trace``    — render a recorded trace: per-phase time tree,
-  per-worker timeline, slowest-round drill-down (see
-  ``docs/observability.md``).
+  per-worker timeline, slowest-round drill-down, causal critical-path
+  attribution (``--critical-path``; see ``docs/observability.md``).
+* ``top``      — per-worker live-ops dashboard, from a running
+  exporter (``--connect HOST:PORT``, started by ``train
+  --metrics-port``) or offline from a recorded trace.
 * ``compare``  — all registered codecs side by side on one gradient.
 * ``report``   — stitch archived bench results into ``REPORT.md``.
 * ``perf``     — time the codec hot-path kernels, write ``BENCH_codec.json``.
@@ -33,7 +36,11 @@ Examples::
     python -m repro train --profile kdd12 --model lr --method SketchML \
         --workers 10 --epochs 3
     python -m repro train --backend mp --trace out.jsonl
+    python -m repro train --backend mp --metrics-port 9100 --trace out.jsonl
     python -m repro train --backend mp --elastic sched.json --stale 2
+    python -m repro top --connect 127.0.0.1:9100
+    python -m repro top out.jsonl --once
+    python -m repro trace out.jsonl --critical-path
     python -m repro replay out.jsonl --workers 1000 --stale 4 \
         --straggler-rate 0.02 --straggler-stall 0.5 --out synth.jsonl
     python -m repro trace out.jsonl --format json
@@ -115,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault injection: P(corrupt a reply payload)")
     train.add_argument("--fault-seed", type=int, default=0,
                        help="fault injection RNG seed")
+    train.add_argument("--entropy-coding", action="store_true",
+                       help="wire v2: entropy-code bucket payloads on "
+                            "frame-v2 connections (real backends; "
+                            "negotiated per peer)")
+    train.add_argument("--chunk-bytes", type=int, default=None, metavar="N",
+                       help="wire v2: stream frames larger than N bytes as "
+                            "chunks (default: runtime default; real "
+                            "backends)")
+    train.add_argument("--metrics-port", type=int, default=None, metavar="P",
+                       help="serve the live ops plane on 127.0.0.1:P while "
+                            "training: /metrics (Prometheus text), "
+                            "/snapshot.json (for `repro top --connect`), "
+                            "/healthz, /readyz; 0 picks a free port")
     train.add_argument("--trace", default=None, metavar="PATH",
                        help="record a repro-trace/1 flight-recorder file "
                             "(merged across worker processes); inspect it "
@@ -146,6 +166,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default: benchmarks/results under the cwd")
     report.add_argument("--out", default=None,
                         help="default: benchmarks/REPORT.md")
+    report.add_argument("--trace", default=None, metavar="FILE",
+                        help="flight recording to append a per-epoch "
+                             "critical-path section from")
 
     perf = sub.add_parser(
         "perf", help="time the codec hot-path kernels, write BENCH_codec.json"
@@ -157,6 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--out", default=None,
                       help="output JSON path (default: BENCH_codec.json; "
                            "'-' to skip writing)")
+    perf.add_argument("--metrics-overhead", action="store_true",
+                      help="also guard the overhead budget with the "
+                           "live-ops metrics hub installed")
     perf.add_argument("--transports", nargs="*", default=None,
                       choices=["sim", "mp", "tcp", "aio"], metavar="BACKEND",
                       help="also time transport echo round-trips on these "
@@ -233,7 +259,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rounds in the slowest-round drill-down")
     trace.add_argument("--validate", action="store_true",
                        help="schema-validate every event and exit "
-                            "(nonzero on violations)")
+                            "(nonzero on violations, including span "
+                            "stacks left open by a truncated flight)")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="attribute each round's wall time to codec / "
+                            "compute / straggler-wait / wire via the "
+                            "causal span DAG (needs a live-ops trace)")
+    trace.add_argument("--per-round", action="store_true",
+                       help="with --critical-path: one row per round, "
+                            "not just per-epoch rollups")
+
+    top = sub.add_parser(
+        "top", help="per-worker live-ops dashboard"
+    )
+    top.add_argument("path", nargs="?", default=None,
+                     help="recorded trace to fold offline (or use "
+                          "--connect for a live run)")
+    top.add_argument("--connect", default=None, metavar="HOST:PORT",
+                     help="scrape /snapshot.json from a running "
+                          "`train --metrics-port` exporter")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (CI / piping)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                     help="refresh period for live mode (default: 2.0)")
 
     datagen = sub.add_parser("datagen", help="write a synthetic dataset")
     datagen.add_argument("--profile", default="kdd10",
@@ -351,6 +399,23 @@ def _cmd_train(args: argparse.Namespace) -> int:
         except (OSError, RuntimeError) as exc:
             print(f"error: cannot start trace: {exc}", file=sys.stderr)
             return 2
+    exporter = None
+    if args.metrics_port is not None:
+        from .telemetry.export import MetricsExporter
+        from .telemetry.metrics import MetricsHub
+
+        hub = MetricsHub()
+        try:
+            exporter = MetricsExporter(hub, port=args.metrics_port).start()
+        except OSError as exc:
+            if tracing and telemetry.active_session() is not None:
+                telemetry.finish_run()
+            print(f"error: cannot serve metrics: {exc}", file=sys.stderr)
+            return 2
+        telemetry.set_metrics_hub(hub)
+        print(f"live ops plane at {exporter.url} "
+              f"(`python -m repro top --connect "
+              f"127.0.0.1:{exporter.port}`)")
     try:
         spec = ExperimentSpec(
             profile=args.profile,
@@ -374,6 +439,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             elastic_schedule=args.elastic,
             staleness=args.stale,
+            entropy_coding=args.entropy_coding,
+            chunk_bytes=args.chunk_bytes,
         )
         history = run_experiment(spec, use_cache=False)
     except OSError as exc:
@@ -385,6 +452,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     finally:
         if tracing and telemetry.active_session() is not None:
             telemetry.finish_run()
+        if exporter is not None:
+            telemetry.set_metrics_hub(None)
+            exporter.close()
     rows = [
         [
             e.epoch,
@@ -490,11 +560,87 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             + ", ".join(f"{k}={v}" for k, v in sorted(info["types"].items()))
         )
         return 0
+    if args.critical_path:
+        from .telemetry.critical_path import critical_path, render_report
+
+        try:
+            report = critical_path(events)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(
+                {
+                    "rounds": [
+                        {
+                            "round": r.round,
+                            "epoch": r.epoch,
+                            "dur": r.dur,
+                            "workers": r.workers,
+                            "buckets": r.buckets,
+                            "coverage": r.coverage,
+                        }
+                        for r in report.rounds
+                    ],
+                    "totals": report.totals(),
+                },
+                indent=2,
+            ))
+        else:
+            print(render_report(report, per_round=args.per_round))
+        return 0
     if args.format == "json":
         print(json.dumps(summarize(events, slowest=args.slowest), indent=2))
     else:
         print(render_summary(events, slowest=args.slowest))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .telemetry.top import render_top, snapshot_from_trace
+
+    if (args.path is None) == (args.connect is None):
+        print("error: pass a trace path or --connect HOST:PORT (not both)",
+              file=sys.stderr)
+        return 2
+    if args.path is not None:
+        from .telemetry.merge import read_trace
+
+        try:
+            events = read_trace(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        snapshot = snapshot_from_trace(events)
+        # A recorded trace is a finished run: freshness ages are noise.
+        print(render_top(snapshot, now=0.0))
+        return 0
+
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = f"http://{args.connect}/snapshot.json"
+    while True:
+        try:
+            with urlopen(url, timeout=5.0) as resp:
+                snapshot = json.loads(resp.read().decode("utf-8"))
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: cannot scrape {url}: {exc}", file=sys.stderr)
+            return 2
+        frame = render_top(snapshot)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home between frames; plain ANSI keeps this stdlib-only.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(max(0.1, args.interval))
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -529,7 +675,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
               "(run `pytest benchmarks/ --benchmark-only` first)",
               file=sys.stderr)
         return 2
-    out_path, missing = write_report(results_dir, args.out)
+    out_path, missing = write_report(results_dir, args.out, trace=args.trace)
     print(f"wrote {out_path}")
     if missing:
         print(f"note: {len(missing)} expected sections had no archived "
@@ -615,15 +761,19 @@ def _run_perf(args: argparse.Namespace) -> int:
         print(f"\nwrote {out}")
     from .perf import measure_overhead
 
-    report = measure_overhead(
-        nnz=5_000 if args.quick else 50_000,
-        repeats=3 if args.quick else 5,
-    )
-    print(report.describe())
-    if not report.within_budget:
-        print("error: telemetry disabled-path overhead exceeds budget",
-              file=sys.stderr)
-        return 1
+    modes = [False] + ([True] if args.metrics_overhead else [])
+    for with_hub in modes:
+        report = measure_overhead(
+            nnz=5_000 if args.quick else 50_000,
+            repeats=3 if args.quick else 5,
+            metrics_hub=with_hub,
+        )
+        print(report.describe())
+        if not report.within_budget:
+            which = "metrics-hub" if with_hub else "disabled-path"
+            print(f"error: telemetry {which} overhead exceeds budget",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -755,6 +905,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_replay(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "compare":
         return _cmd_compare(args)
     if args.command == "report":

@@ -384,20 +384,34 @@ class DistributedTrainer:
                         sum(r.local_loss for r in active), len(active)
                     )
 
-                    driver_result = driver.aggregate(messages)
-                    acc.add_seconds(
-                        "compute",
-                        driver_result.decode_seconds
-                        + driver_result.aggregate_seconds
-                        + driver_result.encode_seconds,
-                    )
-                    acc.add_seconds("decode", driver_result.decode_seconds)
-                    acc.add_seconds("encode", driver_result.encode_seconds)
-
-                    lr = base_lr * self.schedule(round_counter + rounds)
-                    update_bytes = serialize_message(
-                        driver_result.broadcast_message
-                    )
+                    # Glue spans tile the round for critical-path
+                    # attribution: aggregate (decode + merge + encode,
+                    # including the broadcast serialization), then the
+                    # broadcast fanout/gather (inside the cluster),
+                    # then the driver-side apply.
+                    with telemetry.span("trainer.aggregate") as agg_span:
+                        driver_result = driver.aggregate(messages)
+                        agg_span.set_attrs(
+                            decode_s=driver_result.decode_seconds,
+                            aggregate_s=driver_result.aggregate_seconds,
+                            encode_s=driver_result.encode_seconds,
+                        )
+                        acc.add_seconds(
+                            "compute",
+                            driver_result.decode_seconds
+                            + driver_result.aggregate_seconds
+                            + driver_result.encode_seconds,
+                        )
+                        acc.add_seconds(
+                            "decode", driver_result.decode_seconds
+                        )
+                        acc.add_seconds(
+                            "encode", driver_result.encode_seconds
+                        )
+                        lr = base_lr * self.schedule(round_counter + rounds)
+                        update_bytes = serialize_message(
+                            driver_result.broadcast_message
+                        )
                     t2 = time.perf_counter()
                     cluster.broadcast(
                         wire_round, lr, update_bytes,
@@ -405,13 +419,18 @@ class DistributedTrainer:
                     )
                     acc.add_seconds("network", time.perf_counter() - t2)
 
-                    self.optimizer.learning_rate = lr
-                    t3 = time.perf_counter()
-                    if driver_result.keys.size:
-                        self.optimizer.step(
-                            theta, driver_result.keys, driver_result.values
+                    with telemetry.span("trainer.apply"):
+                        self.optimizer.learning_rate = lr
+                        t3 = time.perf_counter()
+                        if driver_result.keys.size:
+                            self.optimizer.step(
+                                theta,
+                                driver_result.keys,
+                                driver_result.values,
+                            )
+                        acc.add_seconds(
+                            "compute", time.perf_counter() - t3
                         )
-                    acc.add_seconds("compute", time.perf_counter() - t3)
                     rounds += 1
 
         record = EpochRecord(test_loss=None, **acc.record_fields())
@@ -443,10 +462,13 @@ class DistributedTrainer:
                             continue
                         with telemetry.context(
                             worker=worker.worker_id, phase="step"
-                        ), telemetry.span("worker.step"):
-                            step_results.append(
-                                worker.compute_step(rows, theta)
+                        ), telemetry.span("worker.step") as step_span:
+                            result = worker.compute_step(rows, theta)
+                            step_span.set_attrs(
+                                compute_s=result.compute_seconds,
+                                encode_s=result.encode_seconds,
                             )
+                            step_results.append(result)
                     if not step_results:
                         break
 
@@ -477,29 +499,45 @@ class DistributedTrainer:
                         len(step_results),
                     )
 
-                    driver_result = driver.aggregate(messages)
-                    acc.add_seconds(
-                        "compute",
-                        driver_result.decode_seconds
-                        + driver_result.aggregate_seconds
-                        + driver_result.encode_seconds,
-                    )
-                    acc.add_seconds("decode", driver_result.decode_seconds)
-                    acc.add_seconds("encode", driver_result.encode_seconds)
-                    acc.add_seconds("network", self.network.broadcast_time(
-                        driver_result.broadcast_message.num_bytes,
-                        len(step_results),
-                    ))
-
-                    self.optimizer.learning_rate = (
-                        base_lr * self.schedule(round_counter)
-                    )
-                    t0 = time.perf_counter()
-                    if driver_result.keys.size:
-                        self.optimizer.step(
-                            theta, driver_result.keys, driver_result.values
+                    with telemetry.span("trainer.aggregate") as agg_span:
+                        driver_result = driver.aggregate(messages)
+                        agg_span.set_attrs(
+                            decode_s=driver_result.decode_seconds,
+                            aggregate_s=driver_result.aggregate_seconds,
+                            encode_s=driver_result.encode_seconds,
                         )
-                    acc.add_seconds("compute", time.perf_counter() - t0)
+                        acc.add_seconds(
+                            "compute",
+                            driver_result.decode_seconds
+                            + driver_result.aggregate_seconds
+                            + driver_result.encode_seconds,
+                        )
+                        acc.add_seconds(
+                            "decode", driver_result.decode_seconds
+                        )
+                        acc.add_seconds(
+                            "encode", driver_result.encode_seconds
+                        )
+                        acc.add_seconds(
+                            "network", self.network.broadcast_time(
+                                driver_result.broadcast_message.num_bytes,
+                                len(step_results),
+                            )
+                        )
+                        self.optimizer.learning_rate = (
+                            base_lr * self.schedule(round_counter)
+                        )
+                    with telemetry.span("trainer.apply"):
+                        t0 = time.perf_counter()
+                        if driver_result.keys.size:
+                            self.optimizer.step(
+                                theta,
+                                driver_result.keys,
+                                driver_result.values,
+                            )
+                        acc.add_seconds(
+                            "compute", time.perf_counter() - t0
+                        )
                     round_counter += 1
 
         return EpochRecord(test_loss=None, **acc.record_fields())

@@ -397,31 +397,42 @@ class FleetTrainer:
                             sum(r.local_loss for r in active), len(active)
                         )
 
+                        # Glue spans tile the round for critical-path
+                        # attribution (see docs/observability.md).
                         weights = self._weights_for(
                             [r.worker_id for r in active]
                         )
                         self.round_weights.append(weights)
-                        driver_result = driver.aggregate(
-                            messages,
-                            [weights[r.worker_id] for r in active],
-                        )
-                        acc.add_seconds(
-                            "compute",
-                            driver_result.decode_seconds
-                            + driver_result.aggregate_seconds
-                            + driver_result.encode_seconds,
-                        )
-                        acc.add_seconds(
-                            "decode", driver_result.decode_seconds
-                        )
-                        acc.add_seconds(
-                            "encode", driver_result.encode_seconds
-                        )
-
-                        lr = base_lr * self.lr_schedule(agg_round)
-                        update_bytes = serialize_message(
-                            driver_result.broadcast_message
-                        )
+                        with telemetry.span(
+                            "trainer.aggregate"
+                        ) as agg_span:
+                            driver_result = driver.aggregate(
+                                messages,
+                                [weights[r.worker_id] for r in active],
+                            )
+                            agg_span.set_attrs(
+                                decode_s=driver_result.decode_seconds,
+                                aggregate_s=(
+                                    driver_result.aggregate_seconds
+                                ),
+                                encode_s=driver_result.encode_seconds,
+                            )
+                            acc.add_seconds(
+                                "compute",
+                                driver_result.decode_seconds
+                                + driver_result.aggregate_seconds
+                                + driver_result.encode_seconds,
+                            )
+                            acc.add_seconds(
+                                "decode", driver_result.decode_seconds
+                            )
+                            acc.add_seconds(
+                                "encode", driver_result.encode_seconds
+                            )
+                            lr = base_lr * self.lr_schedule(agg_round)
+                            update_bytes = serialize_message(
+                                driver_result.broadcast_message
+                            )
                         t2 = time.perf_counter()
                         cluster.broadcast(
                             wire_round, lr, update_bytes,
@@ -431,17 +442,18 @@ class FleetTrainer:
                             "network", time.perf_counter() - t2
                         )
 
-                        self.optimizer.learning_rate = lr
-                        t3 = time.perf_counter()
-                        if driver_result.keys.size:
-                            self.optimizer.step(
-                                theta,
-                                driver_result.keys,
-                                driver_result.values,
+                        with telemetry.span("trainer.apply"):
+                            self.optimizer.learning_rate = lr
+                            t3 = time.perf_counter()
+                            if driver_result.keys.size:
+                                self.optimizer.step(
+                                    theta,
+                                    driver_result.keys,
+                                    driver_result.values,
+                                )
+                            acc.add_seconds(
+                                "compute", time.perf_counter() - t3
                             )
-                        acc.add_seconds(
-                            "compute", time.perf_counter() - t3
-                        )
                         agg_round += 1
 
             record = EpochRecord(test_loss=None, **acc.record_fields())
@@ -621,35 +633,50 @@ class FleetTrainer:
                             # SSP semantics: each gradient is applied
                             # in full as it lands (weight 1), exactly
                             # like the simulated ssp_trainer.
-                            driver_result = driver.aggregate(
-                                [result.message], [1.0]
-                            )
-                            acc.add_seconds(
-                                "compute",
-                                driver_result.decode_seconds
-                                + driver_result.aggregate_seconds
-                                + driver_result.encode_seconds,
-                            )
-                            acc.add_seconds(
-                                "decode", driver_result.decode_seconds
-                            )
-                            acc.add_seconds(
-                                "encode", driver_result.encode_seconds
-                            )
-                            lr = base_lr * self.lr_schedule(
-                                applied_updates
-                            )
-                            self.optimizer.learning_rate = lr
-                            t2 = time.perf_counter()
-                            if driver_result.keys.size:
-                                self.optimizer.step(
-                                    theta,
-                                    driver_result.keys,
-                                    driver_result.values,
+                            with telemetry.span(
+                                "trainer.aggregate"
+                            ) as agg_span:
+                                driver_result = driver.aggregate(
+                                    [result.message], [1.0]
                                 )
-                            acc.add_seconds(
-                                "compute", time.perf_counter() - t2
-                            )
+                                agg_span.set_attrs(
+                                    decode_s=driver_result.decode_seconds,
+                                    aggregate_s=(
+                                        driver_result.aggregate_seconds
+                                    ),
+                                    encode_s=(
+                                        driver_result.encode_seconds
+                                    ),
+                                )
+                                acc.add_seconds(
+                                    "compute",
+                                    driver_result.decode_seconds
+                                    + driver_result.aggregate_seconds
+                                    + driver_result.encode_seconds,
+                                )
+                                acc.add_seconds(
+                                    "decode",
+                                    driver_result.decode_seconds,
+                                )
+                                acc.add_seconds(
+                                    "encode",
+                                    driver_result.encode_seconds,
+                                )
+                                lr = base_lr * self.lr_schedule(
+                                    applied_updates
+                                )
+                            with telemetry.span("trainer.apply"):
+                                self.optimizer.learning_rate = lr
+                                t2 = time.perf_counter()
+                                if driver_result.keys.size:
+                                    self.optimizer.step(
+                                        theta,
+                                        driver_result.keys,
+                                        driver_result.values,
+                                    )
+                                acc.add_seconds(
+                                    "compute", time.perf_counter() - t2
+                                )
                             update_log.append(
                                 (
                                     wire_round,

@@ -15,6 +15,7 @@ __all__ = [
     "DTYPE_STRICT_MODULES",
     "WIRE_MODULES",
     "ASYNC_MODULES",
+    "OBSERVABILITY_MODULES",
     "CORE_PREFIXES",
     "HOT_PATH_PREFIXES",
     "ENDIANNESS_PREFIXES",
@@ -75,6 +76,23 @@ WIRE_MODULES = frozenset(
 #: code.
 ASYNC_MODULES = frozenset({"runtime/aio.py", "fleet/simulator.py"})
 
+#: The live-ops plane (PR 10): the metrics hub + wire spool, the HTTP
+#: exporter, critical-path attribution, and the ``repro top`` renderer.
+#: Named explicitly so :func:`verify_policy` refuses to run if one is
+#: renamed away — they are endianness-scoped via
+#: :data:`ENDIANNESS_PREFIXES` and lock-order-scoped via
+#: :data:`LOCK_SCOPE_PREFIXES` (the hub is mutated by the trainer
+#: thread, the supervisor's heartbeat ingestion, and every exporter
+#: HTTP thread concurrently).
+OBSERVABILITY_MODULES = frozenset(
+    {
+        "telemetry/metrics.py",
+        "telemetry/export.py",
+        "telemetry/critical_path.py",
+        "telemetry/top.py",
+    }
+)
+
 #: Package prefixes that make up the paper-facing codec surface.
 CORE_PREFIXES = ("core/", "sketch/")
 
@@ -98,8 +116,10 @@ ENDIANNESS_PREFIXES = ("telemetry/",)
 
 #: Package prefixes whose lock acquisitions feed the interprocedural
 #: ``lock-order`` deadlock analysis: the execution layer, where driver
-#: and worker threads share transports, supervisors, and cluster state.
-LOCK_SCOPE_PREFIXES = ("runtime/",)
+#: and worker threads share transports, supervisors, and cluster state,
+#: and the telemetry layer, where the metrics hub and recorder are
+#: mutated from trainer, supervisor, and exporter HTTP threads at once.
+LOCK_SCOPE_PREFIXES = ("runtime/", "telemetry/")
 
 #: Package prefixes where every ``np.random.Generator`` /
 #: ``random.Random`` reaching the code must descend from a *seeded*
@@ -154,6 +174,7 @@ def all_policy_relpaths() -> "frozenset[str]":
         | DTYPE_STRICT_MODULES
         | WIRE_MODULES
         | ASYNC_MODULES
+        | OBSERVABILITY_MODULES
     )
 
 

@@ -33,6 +33,7 @@ from .suite import _synthetic_gradient
 
 __all__ = [
     "MAX_OVERHEAD_FRACTION",
+    "MAX_METRICS_OVERHEAD_FRACTION",
     "OverheadReport",
     "measure_overhead",
 ]
@@ -40,6 +41,12 @@ __all__ = [
 #: Hard budget: disabled-path instrumentation cost as a fraction of the
 #: e2e compress median (enforced by ``repro perf`` and the test suite).
 MAX_OVERHEAD_FRACTION = 0.02
+
+#: Budget with the live-ops metrics hub installed (no recorder): every
+#: counter/gauge call additionally pays the hub tee.  Looser than the
+#: disabled path — the hub is an opt-in surface — but still bounded so
+#: ``repro top`` never silently taxes training.
+MAX_METRICS_OVERHEAD_FRACTION = 0.05
 
 
 class _CountingSpan:
@@ -99,6 +106,7 @@ class OverheadReport:
     metric_calls: int
     span_noop_seconds: float
     metric_noop_seconds: float
+    metrics_enabled: bool = False
 
     @property
     def instrumented_noop_seconds(self) -> float:
@@ -115,15 +123,26 @@ class OverheadReport:
         return self.instrumented_noop_seconds / self.compress_seconds
 
     @property
+    def budget(self) -> float:
+        return (
+            MAX_METRICS_OVERHEAD_FRACTION
+            if self.metrics_enabled
+            else MAX_OVERHEAD_FRACTION
+        )
+
+    @property
     def within_budget(self) -> bool:
-        return self.overhead_fraction <= MAX_OVERHEAD_FRACTION
+        return self.overhead_fraction <= self.budget
 
     def describe(self) -> str:
+        path = (
+            "metrics-hub" if self.metrics_enabled else "disabled-path"
+        )
         return (
-            f"telemetry disabled-path overhead: {self.overhead_fraction:.3%} "
+            f"telemetry {path} overhead: {self.overhead_fraction:.3%} "
             f"of e2e compress at nnz={self.nnz} "
             f"({self.span_calls} spans + {self.metric_calls} metric calls, "
-            f"budget {MAX_OVERHEAD_FRACTION:.0%})"
+            f"budget {self.budget:.0%})"
         )
 
 
@@ -159,23 +178,33 @@ def measure_overhead(
     warmup: int = 2,
     repeats: int = 5,
     config: Optional[SketchMLConfig] = None,
+    metrics_hub: bool = False,
 ) -> OverheadReport:
     """Measure the disabled-path bound at one gradient size.
 
     Requires telemetry to be disabled on entry (the guard temporarily
     installs its counting probe and restores the previous recorder).
+    With ``metrics_hub=True`` the primitive costs are measured with a
+    live :class:`~repro.telemetry.metrics.MetricsHub` installed — the
+    ``repro top`` / exporter condition — against its looser budget.
     """
     keys, values, dimension = _synthetic_gradient(nnz)
     compressor = SketchMLCompressor(config or SketchMLConfig())
 
     previous = telemetry.set_recorder(None)
+    previous_hub = telemetry.set_metrics_hub(None)
     try:
         compress_seconds = _median_seconds(
             lambda: compressor.compress(keys, values, dimension),
             warmup,
             repeats,
         )
+        if metrics_hub:
+            from ..telemetry.metrics import MetricsHub
+
+            telemetry.set_metrics_hub(MetricsHub())
         span_noop, metric_noop = _noop_primitive_seconds()
+        telemetry.set_metrics_hub(None)
         probe = _ProbeRecorder()
         telemetry.set_recorder(probe)  # type: ignore[arg-type]
         # Fresh compressor: the counted compress includes the cold
@@ -185,6 +214,7 @@ def measure_overhead(
         )
     finally:
         telemetry.set_recorder(previous)
+        telemetry.set_metrics_hub(previous_hub)
     return OverheadReport(
         nnz=nnz,
         compress_seconds=compress_seconds,
@@ -192,4 +222,5 @@ def measure_overhead(
         metric_calls=probe.metric_calls,
         span_noop_seconds=span_noop,
         metric_noop_seconds=metric_noop,
+        metrics_enabled=metrics_hub,
     )

@@ -58,6 +58,7 @@ from .framing import (
     FrameAssembler,
     FrameError,
     ProtocolCaps,
+    negotiate_ops,
     negotiate_versions,
     pack_frame,
     pack_hello,
@@ -295,18 +296,21 @@ class AioTransport(Transport):
                 # let the structured error propagate out of the pump.
                 self._mark_closed(conn, f"no common version with {sender}")
                 raise
+            ops = negotiate_ops(self._driver_caps, theirs, frame_v)
             reply = pack_frame(
                 KIND_HELLO, sender,
-                pack_hello(_chosen_caps(frame_v, payload_v)),
+                pack_hello(_chosen_caps(frame_v, payload_v, ops)),
             )
             conn.outq.append(memoryview(reply))
             conn.out_bytes += len(reply)
             self.negotiated[sender] = (frame_v, payload_v)
+            self.ops[sender] = ops
         elif kind == KIND_ACK:
             # Pre-v2 peer: never sends HELLO, speaks v1 only.
             self.negotiated[sender] = negotiate_versions(
                 self._driver_caps, V1_CAPS
             )
+            self.ops[sender] = False
         else:
             self._mark_closed(conn, f"bad hello from worker id {sender}")
             raise TransportError(

@@ -54,12 +54,15 @@ from .framing import (
     iter_chunk_frames,
     pack_ack,
     pack_frame,
+    pack_ops,
     pack_step,
     pack_update_header,
     split_chunk_prefix,
+    split_ops_prefix_chunks,
     unpack_ack,
     unpack_frame,
     unpack_grad,
+    unpack_ops_prefix,
 )
 from .supervision import SupervisionConfig, Supervisor
 from .transport import (
@@ -145,6 +148,9 @@ class RoundResult:
     gradient_nnz: int
     message: Optional[object]
     message_bytes: int
+    #: live-ops metric deltas that rode the GRAD reply (empty on
+    #: non-ops connections); folded into the metrics hub by ``step``.
+    metrics: Dict[str, int] = field(default_factory=dict)
 
 
 def _sim_handler(
@@ -235,7 +241,10 @@ class RuntimeCluster:
             )
             for worker_id, runtime in enumerate(runtimes):
                 frame_v, payload_v = transport.negotiated[worker_id]
-                runtime.set_wire(frame_v, payload_v)
+                runtime.set_wire(
+                    frame_v, payload_v,
+                    ops=transport.ops_enabled(worker_id),
+                )
             # Simulated retries must not burn wall time.
             sleeper: Callable[[float], None] = lambda _s: None
         else:
@@ -251,6 +260,9 @@ class RuntimeCluster:
         self.negotiated: Dict[int, Tuple[int, int]] = dict(
             transport.negotiated
         )
+        #: per-worker live-ops capability (both sides advertised it on
+        #: a frame-v2 connection); captured before any fault wrapper.
+        self.ops: Dict[int, bool] = dict(getattr(transport, "ops", {}))
         if self.config.faults is not None or self.config.fault_schedule is not None:
             transport = FaultyTransport(
                 transport,
@@ -263,6 +275,15 @@ class RuntimeCluster:
         )
         if backend != "sim":
             self._init_workers(bootstraps)
+        hub = telemetry.metrics_hub()
+        if hub is not None:
+            hub.set_info(
+                backend=backend,
+                workers=self.num_workers,
+                entropy_coding=bool(self.config.entropy_coding),
+                chunk_bytes=int(self.config.chunk_bytes),
+            )
+            hub.mark_ready()
 
     # ------------------------------------------------------------------
     def _init_workers(self, bootstraps: List[WorkerBootstrap]) -> None:
@@ -451,23 +472,38 @@ class RuntimeCluster:
             sorted(self.supervisor.members) if workers is None
             else sorted(workers)
         )
-        frame = pack_frame(
-            KIND_STEP, DRIVER_SENDER, pack_step(round_id, lr)
-        )
-        frames = [frame] * self.num_workers
-        sent = self._send_all(frames, targets)
+        # Stamp the innermost open driver span (the trainer's round
+        # span) into STEP frames for ops-capable workers: their
+        # worker.step spans parent under it across the process
+        # boundary.  Context bytes never reach the training math.
+        span_ctx = telemetry.current_span_id()
+        base = pack_step(round_id, lr)
+        frame = pack_frame(KIND_STEP, DRIVER_SENDER, base)
+        frames: List[Union[bytes, List[bytes]]] = [frame] * self.num_workers
+        if span_ctx is not None:
+            ops_frame = pack_frame(
+                KIND_STEP, DRIVER_SENDER, base + pack_ops(span_ctx)
+            )
+            for w in targets:
+                if self.ops.get(w, False):
+                    frames[w] = ops_frame
+        with telemetry.span("runtime.fanout", phase="step"):
+            sent = self._send_all(frames, targets)
 
         def decode(payload) -> RoundResult:
             if isinstance(payload, list):
-                # Streamed GRAD: peel the fixed header off the chunk
-                # list; the message bytes go to the streaming
-                # deserialiser without ever being joined contiguously.
+                # Streamed GRAD: peel the fixed header (and any ops
+                # block) off the chunk list; the message bytes go to
+                # the streaming deserialiser without ever being joined
+                # contiguously.
                 head, rest = split_chunk_prefix(payload, GRAD_HEADER_SIZE)
                 (rid, has_batch, loss, compute_s, encode_s, nnz,
                  _) = unpack_grad(head)
+                _, deltas, rest = split_ops_prefix_chunks(rest)
             else:
                 (rid, has_batch, loss, compute_s, encode_s, nnz,
                  rest) = unpack_grad(payload)
+                _, deltas, rest = unpack_ops_prefix(rest)
             if rid != round_id:
                 raise FrameError(
                     f"stale GRAD for round {rid} (want {round_id})"
@@ -489,6 +525,7 @@ class RuntimeCluster:
                 gradient_nnz=nnz,
                 message=message,
                 message_bytes=data_len,
+                metrics=deltas,
             )
 
         collected = self._collect(
@@ -499,6 +536,10 @@ class RuntimeCluster:
         for worker_id, result in collected.items():
             if result is not None:
                 result.worker_id = worker_id
+                if result.metrics:
+                    telemetry.ingest_worker_metrics(
+                        worker_id, result.metrics
+                    )
                 results[worker_id] = result
         self._require_workers("step")
         return results
@@ -551,28 +592,35 @@ class RuntimeCluster:
                 cache[key] = data
             return data
 
+        # Span context for ops-capable workers: worker.update spans
+        # parent under the driver's round span (see ``step``).
+        span_ctx = telemetry.current_span_id()
+        ops_block = pack_ops(span_ctx) if span_ctx is not None else b""
         frames: List[Union[bytes, List[bytes]]] = [b""] * self.num_workers
         for w in targets:
             frame_v, payload_v = self.negotiated.get(w, (1, 1))
             version = payload_v if (message is not None and payload_v >= 2) else 1
             data = payload_for(version)
+            extra = ops_block if self.ops.get(w, False) else b""
+            pieces = [header, extra, data] if extra else [header, data]
             if (
                 frame_v >= 2
-                and len(header) + len(data) > self.config.chunk_bytes
+                and sum(len(p) for p in pieces) > self.config.chunk_bytes
             ):
                 frames[w] = list(
                     iter_chunk_frames(
                         KIND_UPDATE,
                         DRIVER_SENDER,
-                        [header, data],
+                        pieces,
                         chunk_bytes=self.config.chunk_bytes,
                     )
                 )
             else:
                 frames[w] = pack_frame(
-                    KIND_UPDATE, DRIVER_SENDER, header + data
+                    KIND_UPDATE, DRIVER_SENDER, b"".join(pieces)
                 )
-        sent = self._send_all(frames, targets)
+        with telemetry.span("runtime.fanout", phase="update"):
+            sent = self._send_all(frames, targets)
 
         def decode(payload: bytes) -> int:
             acked = unpack_ack(payload)

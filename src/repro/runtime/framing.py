@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FrameError",
@@ -92,6 +92,7 @@ __all__ = [
     "unpack_frame",
     "pack_step",
     "unpack_step",
+    "unpack_step_ex",
     "pack_grad_header",
     "unpack_grad",
     "pack_update_header",
@@ -101,6 +102,13 @@ __all__ = [
     "pack_hello",
     "unpack_hello",
     "negotiate_versions",
+    "negotiate_ops",
+    "OPS_HEADER_SIZE",
+    "pack_ops",
+    "unpack_ops_prefix",
+    "split_ops_prefix_chunks",
+    "pack_metrics",
+    "unpack_metrics",
     "pack_chunk",
     "unpack_chunk",
     "pack_chunk_end",
@@ -176,8 +184,26 @@ UPDATE_HEADER_SIZE = _UPDATE.size
 
 _HELLO_MAGIC = b"HELO"
 _HELLO = struct.Struct("<4sBBBB")
+#: HELLO capability extension: ``tag u8 | len u8 | value`` TLVs after
+#: the 8-byte base.  Tag 1 = live-ops plane (value: one non-zero byte).
+_HELLO_TLV = struct.Struct("<BBB")
+_HELLO_EXT_OPS = 1
 _CHUNK = struct.Struct("<IB")
 _CHUNK_END = struct.Struct("<IBQ")
+
+#: Ops block (live-ops plane): an optional, length-delimited block
+#: between a payload's fixed header and its message bytes, carrying a
+#: propagated span context and/or compact metric deltas.  Layout:
+#: ``"OPS1" | flags u8 | span_id u64 | metrics_len u32 | metrics``.
+_OPS_MAGIC = b"OPS1"
+_OPS_HEADER = struct.Struct("<4sBQI")
+_OPS_FLAG_SPAN = 0x01
+OPS_HEADER_SIZE = _OPS_HEADER.size
+
+#: Metric-delta encoding inside an ops block: ``count u16`` then per
+#: entry ``key_len u8 | key utf-8 | value i64`` (name-sorted).
+_METRICS_COUNT = struct.Struct("<H")
+_METRICS_VALUE = struct.Struct("<q")
 
 
 class FrameError(ValueError):
@@ -370,6 +396,11 @@ class ProtocolCaps:
     frame_max: int = FRAME_VERSION_V2
     payload_min: int = 1
     payload_max: int = 2
+    #: live-ops plane capability: span-context + metrics ops blocks on
+    #: GRAD/UPDATE/STEP/HEARTBEAT payloads.  Advertised as a HELLO TLV
+    #: extension (absent => False), effective only when both peers
+    #: advertise it *and* the pinned frame version is >= 2.
+    ops: bool = True
 
     def __post_init__(self) -> None:
         for lo, hi, axis in (
@@ -383,7 +414,9 @@ class ProtocolCaps:
 
 
 DEFAULT_CAPS = ProtocolCaps()
-V1_CAPS = ProtocolCaps(frame_min=1, frame_max=1, payload_min=1, payload_max=1)
+V1_CAPS = ProtocolCaps(
+    frame_min=1, frame_max=1, payload_min=1, payload_max=1, ops=False
+)
 
 
 def negotiate_versions(
@@ -413,27 +446,65 @@ def negotiate_versions(
 
 
 def pack_hello(caps: ProtocolCaps) -> bytes:
-    """HELLO payload: magic + the sender's supported version ranges."""
-    return _HELLO.pack(
+    """HELLO payload: magic + version ranges + capability TLVs.
+
+    The 8-byte base is the frozen v2 HELLO; capabilities beyond the
+    version axes append as ``tag u8 | len u8 | value`` TLVs (the
+    extension space the wire follow-ons reserved).  Readers skip
+    unknown tags, so future capabilities stay backward compatible; a
+    peer without the ops capability emits the bare 8-byte base —
+    byte-identical to the original v2 HELLO.
+    """
+    base = _HELLO.pack(
         _HELLO_MAGIC, caps.frame_min, caps.frame_max,
         caps.payload_min, caps.payload_max,
     )
+    if caps.ops:
+        base += _HELLO_TLV.pack(_HELLO_EXT_OPS, 1, 1)
+    return base
 
 
 def unpack_hello(payload: bytes) -> ProtocolCaps:
+    if len(payload) < _HELLO.size:
+        raise FrameError(f"short HELLO payload ({len(payload)} bytes)")
     try:
-        magic, f_lo, f_hi, p_lo, p_hi = _HELLO.unpack(payload)
+        magic, f_lo, f_hi, p_lo, p_hi = _HELLO.unpack_from(payload)
     except struct.error as exc:
         raise FrameError(f"bad HELLO payload: {exc}") from None
     if magic != _HELLO_MAGIC:
         raise FrameError("bad HELLO magic")
+    ops = False
+    offset = _HELLO.size
+    while offset < len(payload):
+        if offset + 2 > len(payload):
+            raise FrameError("truncated HELLO extension TLV")
+        tag = payload[offset]
+        tlen = payload[offset + 1]
+        offset += 2
+        if offset + tlen > len(payload):
+            raise FrameError(
+                f"HELLO TLV {tag} declares {tlen} bytes past the payload"
+            )
+        value = payload[offset:offset + tlen]
+        offset += tlen
+        if tag == _HELLO_EXT_OPS:
+            ops = bool(tlen >= 1 and value[0] != 0)
+        # Unknown tags are skipped: forward compatibility.
     try:
         return ProtocolCaps(
             frame_min=f_lo, frame_max=f_hi,
             payload_min=p_lo, payload_max=p_hi,
+            ops=ops,
         )
     except ValueError as exc:
         raise FrameError(f"bad HELLO payload: {exc}") from None
+
+
+def negotiate_ops(
+    ours: ProtocolCaps, theirs: ProtocolCaps, frame_version: int
+) -> bool:
+    """Effective ops capability: both advertise it, on a v2+ frame."""
+    return bool(ours.ops and theirs.ops and frame_version >= 2)
 
 
 # ----------------------------------------------------------------------
@@ -679,6 +750,142 @@ def unpack_step(payload: bytes) -> Tuple[int, float]:
     except struct.error as exc:
         raise FrameError(f"bad STEP payload: {exc}") from None
     return int(round_id), float(lr)
+
+
+def unpack_step_ex(
+    payload: bytes,
+) -> Tuple[int, float, Optional[int], Dict[str, int]]:
+    """Ops-tolerant STEP unpack: ``(round, lr, span_id, metrics)``.
+
+    Accepts both the bare v1 12-byte payload (span ``None``, empty
+    metrics) and a payload followed by an ops block.  Trailing bytes
+    that are neither raise :class:`FrameError`.
+    """
+    if len(payload) < _STEP.size:
+        raise FrameError(f"short STEP payload ({len(payload)} bytes)")
+    try:
+        round_id, lr = _STEP.unpack_from(payload)
+    except struct.error as exc:
+        raise FrameError(f"bad STEP payload: {exc}") from None
+    span_id, metrics, rest = unpack_ops_prefix(payload[_STEP.size:])
+    if rest:
+        raise FrameError(
+            f"{len(rest)} unrecognised trailing bytes after STEP payload"
+        )
+    return int(round_id), float(lr), span_id, metrics
+
+
+# ----------------------------------------------------------------------
+# ops blocks (live-ops plane): span context + metric deltas
+# ----------------------------------------------------------------------
+def pack_metrics(deltas: Dict[str, int]) -> bytes:
+    """Encode integer metric deltas (name-sorted for determinism)."""
+    items = sorted(deltas.items())
+    if len(items) > 0xFFFF:
+        raise FrameError(f"too many metric entries ({len(items)})")
+    parts = [_METRICS_COUNT.pack(len(items))]
+    for name, value in items:
+        key = name.encode("utf-8")
+        if not 0 < len(key) <= 255:
+            raise FrameError(f"bad metric name length: {name!r}")
+        parts.append(bytes((len(key),)))
+        parts.append(key)
+        parts.append(_METRICS_VALUE.pack(int(value)))
+    return b"".join(parts)
+
+
+def unpack_metrics(data: bytes) -> Dict[str, int]:
+    """Decode :func:`pack_metrics` output; raises on truncation."""
+    if len(data) < _METRICS_COUNT.size:
+        raise FrameError(f"short metrics block ({len(data)} bytes)")
+    (count,) = _METRICS_COUNT.unpack_from(data)
+    offset = _METRICS_COUNT.size
+    deltas: Dict[str, int] = {}
+    for _ in range(count):
+        if offset >= len(data):
+            raise FrameError("truncated metrics block")
+        key_len = data[offset]
+        offset += 1
+        end = offset + key_len + _METRICS_VALUE.size
+        if key_len == 0 or end > len(data):
+            raise FrameError("truncated metrics block")
+        try:
+            name = bytes(data[offset:offset + key_len]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # A corrupted-in-flight block must surface as a frame
+            # error so supervision rejects + retries the reply.
+            raise FrameError(f"bad metric name bytes: {exc}") from None
+        (value,) = _METRICS_VALUE.unpack_from(data, offset + key_len)
+        deltas[name] = int(value)
+        offset = end
+    if offset != len(data):
+        raise FrameError(
+            f"{len(data) - offset} trailing bytes after metrics block"
+        )
+    return deltas
+
+
+def pack_ops(
+    span_id: Optional[int] = None, metrics: bytes = b""
+) -> bytes:
+    """One ops block: optional span context + optional metric bytes."""
+    flags = _OPS_FLAG_SPAN if span_id is not None else 0
+    return _OPS_HEADER.pack(
+        _OPS_MAGIC, flags, span_id or 0, len(metrics)
+    ) + metrics
+
+
+def unpack_ops_prefix(
+    data: bytes,
+) -> Tuple[Optional[int], Dict[str, int], bytes]:
+    """Peel an ops block off the front of ``data`` (tolerantly).
+
+    Returns ``(span_id, metric_deltas, rest)``.  Bytes that do not
+    open with the ops magic are returned untouched as ``rest`` — the
+    bare pre-ops payload shape — so receivers parse both generations
+    with one call.  A present block with a lying ``metrics_len``
+    raises :class:`FrameError`.
+    """
+    if len(data) < OPS_HEADER_SIZE or bytes(data[:4]) != _OPS_MAGIC:
+        return None, {}, data
+    magic, flags, span_raw, metrics_len = _OPS_HEADER.unpack_from(data)
+    end = OPS_HEADER_SIZE + metrics_len
+    if end > len(data):
+        raise FrameError(
+            f"ops block declares {metrics_len} metric bytes, "
+            f"only {len(data) - OPS_HEADER_SIZE} present"
+        )
+    metrics: Dict[str, int] = {}
+    if metrics_len:
+        metrics = unpack_metrics(data[OPS_HEADER_SIZE:end])
+    span_id = int(span_raw) if flags & _OPS_FLAG_SPAN else None
+    return span_id, metrics, data[end:]
+
+
+def split_ops_prefix_chunks(
+    chunks: Sequence[bytes],
+) -> Tuple[Optional[int], Dict[str, int], List[bytes]]:
+    """Chunk-list variant of :func:`unpack_ops_prefix`.
+
+    Peels the block without joining the remaining chunks, so a
+    streamed GRAD/UPDATE body stays non-contiguous end to end.
+    """
+    head = bytearray()
+    for chunk in chunks:
+        head += chunk[: OPS_HEADER_SIZE - len(head)]
+        if len(head) >= OPS_HEADER_SIZE:
+            break
+    if len(head) < OPS_HEADER_SIZE or bytes(head[:4]) != _OPS_MAGIC:
+        return None, {}, list(chunks)
+    magic, flags, span_raw, metrics_len = _OPS_HEADER.unpack(bytes(head))
+    block, rest = split_chunk_prefix(
+        chunks, OPS_HEADER_SIZE + metrics_len
+    )
+    metrics: Dict[str, int] = {}
+    if metrics_len:
+        metrics = unpack_metrics(block[OPS_HEADER_SIZE:])
+    span_id = int(span_raw) if flags & _OPS_FLAG_SPAN else None
+    return span_id, metrics, rest
 
 
 def pack_grad_header(

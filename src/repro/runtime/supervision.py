@@ -32,6 +32,7 @@ import numpy as np
 
 from .. import telemetry
 from .framing import (
+    KIND_ACK,
     KIND_CHUNK,
     KIND_END,
     KIND_ERROR,
@@ -40,6 +41,7 @@ from .framing import (
     ChunkReassembler,
     FrameError,
     unpack_frame,
+    unpack_ops_prefix,
 )
 from .transport import Transport, TransportClosed, TransportError, TransportTimeout
 
@@ -341,6 +343,7 @@ class Supervisor:
             if kind == KIND_HEARTBEAT:
                 self.stats["heartbeats"] += 1
                 telemetry.counter("runtime.heartbeats", 1, worker=worker_id)
+                self._ingest_piggyback(worker_id, payload)
                 continue
             if kind == KIND_ERROR:
                 raise TransportClosed(self._error_detail(payload))
@@ -374,6 +377,19 @@ class Supervisor:
             elif kind != expect_kind:
                 self.stats["stale_frames"] += 1
                 continue
+            if expect_kind == KIND_ACK and isinstance(payload, bytes):
+                # Live-ops acks prefix drained worker metric deltas;
+                # peel them here (where the sender is known) so decode
+                # callbacks keep seeing the bare ack payload.  Plain
+                # acks are shorter than the ops header and pass through
+                # untouched.
+                try:
+                    _, deltas, payload = unpack_ops_prefix(payload)
+                except FrameError as exc:
+                    self.stats["rejected_replies"] += 1
+                    raise _AttemptFailed() from exc
+                if deltas:
+                    telemetry.ingest_worker_metrics(worker_id, deltas)
             if decode is None:
                 return payload
             try:
@@ -445,15 +461,31 @@ class Supervisor:
             except TransportError:
                 return
             try:
-                kind, _, _ = unpack_frame(data)
+                kind, _, payload = unpack_frame(data)
             except FrameError:
                 continue
             self.note_alive(worker_id)
             if kind == KIND_HEARTBEAT:
                 self.stats["heartbeats"] += 1
                 telemetry.counter("runtime.heartbeats", 1, worker=worker_id)
+                self._ingest_piggyback(worker_id, payload)
             else:
                 self.stats["stale_frames"] += 1
+
+    def _ingest_piggyback(self, worker_id: int, payload: bytes) -> None:
+        """Fold heartbeat-carried metric deltas into the metrics hub.
+
+        A mangled piggyback never affects liveness accounting — the
+        heartbeat already counted; the deltas are best-effort.
+        """
+        if not payload:
+            return
+        try:
+            _, deltas, _ = unpack_ops_prefix(payload)
+        except FrameError:
+            return
+        if deltas:
+            telemetry.ingest_worker_metrics(worker_id, deltas)
 
     def check_heartbeats(self, *, phase: str = "heartbeat") -> List[int]:
         """Apply the loss policy to workers silent past the timeout.

@@ -46,6 +46,7 @@ from .framing import (
     FrameAssembler,
     FrameError,
     ProtocolCaps,
+    negotiate_ops,
     negotiate_versions,
     pack_frame,
     pack_hello,
@@ -112,10 +113,19 @@ class Transport:
         #: HELLO exchange; a worker with no entry is treated as v1/v1
         #: (a pre-v2 peer that never sent a HELLO).
         self.negotiated: Dict[int, Tuple[int, int]] = {}
+        #: per-worker live-ops capability (HELLO TLV extension): True
+        #: when both peers advertised ops on a frame-v2+ connection.
+        #: Kept separate from :attr:`negotiated` so that dict stays a
+        #: pure version map.
+        self.ops: Dict[int, bool] = {}
 
     def negotiated_versions(self, worker_id: int) -> Tuple[int, int]:
         """The ``(frame, payload)`` versions pinned for one worker."""
         return self.negotiated.get(worker_id, (1, 1))
+
+    def ops_enabled(self, worker_id: int) -> bool:
+        """Whether the live-ops plane is active on this connection."""
+        return self.ops.get(worker_id, False)
 
     def _check_worker(self, worker_id: int) -> None:
         if not 0 <= worker_id < self.num_workers:
@@ -159,11 +169,14 @@ def _caps_for(
     return worker_caps.get(worker_id, DEFAULT_CAPS)
 
 
-def _chosen_caps(frame_version: int, payload_version: int) -> ProtocolCaps:
+def _chosen_caps(
+    frame_version: int, payload_version: int, ops: bool = False
+) -> ProtocolCaps:
     """Degenerate ranges carrying the driver's pinned choice back."""
     return ProtocolCaps(
         frame_min=frame_version, frame_max=frame_version,
         payload_min=payload_version, payload_max=payload_version,
+        ops=ops,
     )
 
 
@@ -203,9 +216,10 @@ class SimTransport(Transport):
         # byte exchange would pin.
         ours = driver_caps or DEFAULT_CAPS
         for worker_id in range(len(handlers)):
-            self.negotiated[worker_id] = negotiate_versions(
-                ours, _caps_for(worker_caps, worker_id)
-            )
+            theirs = _caps_for(worker_caps, worker_id)
+            pinned = negotiate_versions(ours, theirs)
+            self.negotiated[worker_id] = pinned
+            self.ops[worker_id] = negotiate_ops(ours, theirs, pinned[0])
         self._handlers = list(handlers)
         self._network = network
         self._inboxes: List[Deque[bytes]] = [
@@ -407,6 +421,7 @@ class MultiprocessTransport(Transport):
         """
         if expected.frame_max < 2:
             self.negotiated[worker_id] = negotiate_versions(ours, V1_CAPS)
+            self.ops[worker_id] = False
             return
         conn = self._conns[worker_id]
         try:
@@ -429,13 +444,15 @@ class MultiprocessTransport(Transport):
         # NegotiationError propagates: a fleet with no common version is
         # a structured construction failure, not something to retry.
         frame_v, payload_v = negotiate_versions(ours, theirs)
+        ops = negotiate_ops(ours, theirs, frame_v)
         conn.send_bytes(
             pack_frame(
                 KIND_HELLO, worker_id,
-                pack_hello(_chosen_caps(frame_v, payload_v)),
+                pack_hello(_chosen_caps(frame_v, payload_v, ops)),
             )
         )
         self.negotiated[worker_id] = (frame_v, payload_v)
+        self.ops[worker_id] = ops
 
     def send(self, worker_id: int, frame: bytes) -> None:
         self._check_worker(worker_id)
@@ -611,18 +628,21 @@ class TcpTransport(Transport):
                 except FrameError:
                     sock.close()
                     raise
+                ops = negotiate_ops(self._driver_caps, theirs, frame_v)
                 sock.sendall(
                     pack_frame(
                         KIND_HELLO, sender,
-                        pack_hello(_chosen_caps(frame_v, payload_v)),
+                        pack_hello(_chosen_caps(frame_v, payload_v, ops)),
                     )
                 )
                 self.negotiated[sender] = (frame_v, payload_v)
+                self.ops[sender] = ops
             elif kind == KIND_ACK:
                 # Pre-v2 peer: never sends HELLO, speaks v1 only.
                 self.negotiated[sender] = negotiate_versions(
                     self._driver_caps, V1_CAPS
                 )
+                self.ops[sender] = False
             else:
                 sock.close()
                 raise TransportError(

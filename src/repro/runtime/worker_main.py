@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 from typing import Iterator, Optional
 
 import numpy as np
@@ -47,10 +48,13 @@ from .framing import (
     ChunkReassembler,
     FrameError,
     ProtocolCaps,
+    negotiate_ops,
     negotiate_versions,
     pack_ack,
     pack_frame,
     pack_hello,
+    pack_metrics,
+    pack_ops,
     unpack_frame,
     unpack_hello,
 )
@@ -90,7 +94,15 @@ def heartbeat_delays(
 
 
 class _Heartbeat:
-    """Daemon thread pushing HEARTBEAT frames on a jittered schedule."""
+    """Daemon thread pushing HEARTBEAT frames on a jittered schedule.
+
+    With a :class:`~repro.telemetry.metrics.WorkerMetrics` source
+    attached (live-ops connections), each beat drains the accumulated
+    metric deltas and piggybacks them as an ops block in the HEARTBEAT
+    payload — the driver's supervisor folds them into the metrics hub.
+    Without one, the frame is packed once and re-sent: the exact
+    pre-ops byte stream.
+    """
 
     def __init__(
         self,
@@ -100,12 +112,14 @@ class _Heartbeat:
         *,
         jitter: float = 0.0,
         seed: int = 0,
+        metrics=None,
     ) -> None:
         self._endpoint = endpoint
         self._worker_id = worker_id
         self._interval = interval
         self._jitter = jitter
         self._seed = seed
+        self._metrics = metrics
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -118,13 +132,28 @@ class _Heartbeat:
         self._thread.start()
 
     def _run(self) -> None:
-        frame = pack_frame(KIND_HEARTBEAT, self._worker_id)
+        plain = pack_frame(KIND_HEARTBEAT, self._worker_id)
         delays = heartbeat_delays(
             self._interval, self._jitter, self._seed, self._worker_id
         )
         for delay in delays:
+            t0 = time.perf_counter()
             if self._stop.wait(delay):
                 return
+            if self._metrics is None:
+                frame = plain
+            else:
+                lag = (time.perf_counter() - t0) - delay
+                if lag > 0:
+                    self._metrics.add(
+                        "worker.heartbeat_lag_ns", int(lag * 1e9)
+                    )
+                self._metrics.add("worker.heartbeats", 1)
+                frame = pack_frame(
+                    KIND_HEARTBEAT,
+                    self._worker_id,
+                    pack_ops(None, pack_metrics(self._metrics.take())),
+                )
             try:
                 self._endpoint.send(frame)
             except OSError:
@@ -142,7 +171,9 @@ def negotiate_as_worker(endpoint, worker_id: int, caps: ProtocolCaps):
     range.  Running the same :func:`negotiate_versions` over the reply
     both validates the choice against our caps and returns it.
 
-    Returns ``(frame_version, payload_version)``.  Raises
+    Returns ``(frame_version, payload_version, ops)`` — ``ops`` is the
+    live-ops capability the driver echoed in its HELLO TLV (only
+    honoured when we advertised it too).  Raises
     :class:`~repro.runtime.framing.NegotiationError` when the driver
     pinned something outside our range, and ``ConnectionError`` when
     the driver hung up mid-handshake (it saw no common version).
@@ -161,7 +192,9 @@ def negotiate_as_worker(endpoint, worker_id: int, caps: ProtocolCaps):
             raise FrameError(
                 f"expected HELLO reply, got frame kind {kind}"
             )
-        return negotiate_versions(caps, unpack_hello(payload))
+        theirs = unpack_hello(payload)
+        frame_v, payload_v = negotiate_versions(caps, theirs)
+        return frame_v, payload_v, negotiate_ops(caps, theirs, frame_v)
 
 
 def serve(
@@ -170,15 +203,18 @@ def serve(
     *,
     frame_version: int = 1,
     payload_version: int = 1,
+    ops: bool = False,
 ) -> None:
     """Frame-dispatch loop of one worker process.
 
     Runs until a ``STOP`` frame, driver hang-up, or a fatal error
     (reported back as an ``ERROR`` frame before exiting).  The
-    negotiated ``frame_version`` / ``payload_version`` are handed to
-    the :class:`WorkerRuntime` at ``INIT``; on a frame-v2 connection
-    incoming ``CHUNK``/``END`` streams (a chunked ``UPDATE``) are
-    reassembled here with bounded accounting.
+    negotiated ``frame_version`` / ``payload_version`` / ``ops``
+    capability are handed to the :class:`WorkerRuntime` at ``INIT``;
+    on a frame-v2 connection incoming ``CHUNK``/``END`` streams (a
+    chunked ``UPDATE``) are reassembled here with bounded accounting.
+    On a live-ops connection the heartbeat thread piggybacks drained
+    metric deltas on every beat.
     """
     runtime: Optional[WorkerRuntime] = None
     heartbeat: Optional[_Heartbeat] = None
@@ -203,13 +239,22 @@ def serve(
                         bootstrap.trace_dir, worker_id, bootstrap.run_id
                     )
                 runtime = WorkerRuntime(bootstrap)
-                runtime.set_wire(frame_version, payload_version)
+                runtime.set_wire(frame_version, payload_version, ops=ops)
+                if ops:
+                    # This process exists for exactly one worker, so
+                    # the recorder tee can spool *every* counter it
+                    # sees — codec instrumentation included — for wire
+                    # delivery to the driver's hub.
+                    from ..telemetry.metrics import SpoolHub
+
+                    telemetry.set_metrics_hub(SpoolHub(runtime.metrics))
                 heartbeat = _Heartbeat(
                     endpoint,
                     worker_id,
                     bootstrap.heartbeat_interval,
                     jitter=bootstrap.heartbeat_jitter,
                     seed=bootstrap.seed,
+                    metrics=runtime.metrics if ops else None,
                 )
                 heartbeat.start()
                 endpoint.send(pack_frame(KIND_READY, worker_id))
@@ -269,12 +314,14 @@ def pipe_worker_entry(
     pinned choice.
     """
     endpoint = PipeEndpoint(conn)
-    frame_v, payload_v = 1, 1
+    frame_v, payload_v, ops = 1, 1, False
     if caps is not None and caps.frame_max >= 2:
-        frame_v, payload_v = negotiate_as_worker(endpoint, worker_id, caps)
+        frame_v, payload_v, ops = negotiate_as_worker(
+            endpoint, worker_id, caps
+        )
     serve(
         endpoint, worker_id,
-        frame_version=frame_v, payload_version=payload_v,
+        frame_version=frame_v, payload_version=payload_v, ops=ops,
     )
 
 
@@ -295,12 +342,14 @@ def tcp_worker_entry(
     sock = socket.create_connection((host, port), timeout=30.0)
     sock.settimeout(None)
     endpoint = SocketEndpoint(sock)
-    frame_v, payload_v = 1, 1
+    frame_v, payload_v, ops = 1, 1, False
     if caps is not None and caps.frame_max >= 2:
-        frame_v, payload_v = negotiate_as_worker(endpoint, worker_id, caps)
+        frame_v, payload_v, ops = negotiate_as_worker(
+            endpoint, worker_id, caps
+        )
     else:
         endpoint.send(pack_frame(KIND_ACK, worker_id, pack_ack(worker_id)))
     serve(
         endpoint, worker_id,
-        frame_version=frame_v, payload_version=payload_v,
+        frame_version=frame_v, payload_version=payload_v, ops=ops,
     )

@@ -30,12 +30,14 @@ callables) and the spawned ``mp`` / ``tcp`` worker processes
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from .. import telemetry
+from ..telemetry.metrics import WorkerMetrics
 from ..compression.base import GradientCompressor
 from ..core.serialization import (
     SUPPORTED_PAYLOAD_VERSIONS,
@@ -63,9 +65,13 @@ from .framing import (
     pack_ack,
     pack_frame,
     pack_grad_header,
+    pack_metrics,
+    pack_ops,
     split_chunk_prefix,
+    split_ops_prefix_chunks,
     unpack_ack,
-    unpack_step,
+    unpack_ops_prefix,
+    unpack_step_ex,
     unpack_update,
 )
 
@@ -206,6 +212,12 @@ class WorkerRuntime:
         self._cache = _StepCache()
         self._frame_version = 1
         self._payload_version = 1
+        self._ops = False
+        self._spool = False
+        #: live-ops metric deltas, drained by GRAD replies, UPDATE acks
+        #: and the heartbeat thread (only fed on spawned-process ops
+        #: connections — see :meth:`_metric`).
+        self.metrics = WorkerMetrics()
         self._entropy = bool(bootstrap.entropy_coding)
         self._chunk_bytes = int(bootstrap.chunk_bytes)
         if self._chunk_bytes <= 0:
@@ -215,12 +227,20 @@ class WorkerRuntime:
 
             sanitize.set_enabled(True)
 
-    def set_wire(self, frame_version: int, payload_version: int) -> None:
+    def set_wire(
+        self,
+        frame_version: int,
+        payload_version: int,
+        ops: bool = False,
+    ) -> None:
         """Adopt the connection's negotiated protocol versions.
 
         Called once after the HELLO exchange (spawned workers) or
         directly by the cluster (``sim``).  Until then the runtime
         speaks v1/v1 — a peer that never negotiated is a v1 peer.
+        ``ops`` turns on the live-ops plane for this connection:
+        GRAD replies carry metric deltas and adopt the driver's
+        propagated span context.
         """
         if frame_version not in SUPPORTED_FRAME_VERSIONS:
             raise FrameError(f"unsupported frame version {frame_version}")
@@ -228,8 +248,37 @@ class WorkerRuntime:
             raise FrameError(
                 f"unsupported payload version {payload_version}"
             )
+        if ops and frame_version < 2:
+            raise FrameError("live-ops requires a frame-v2 connection")
         self._frame_version = int(frame_version)
         self._payload_version = int(payload_version)
+        self._ops = bool(ops)
+        # Attach ops blocks (drained metric deltas) to replies only when
+        # no driver-side MetricsHub lives in this process: spawned
+        # workers spool (worker_main installs a SpoolHub so the recorder
+        # tee captures every counter for wire delivery), ``sim`` workers
+        # rely on the tee reaching the driver's hub directly — spooling
+        # there too would double count.
+        from ..telemetry.metrics import SpoolHub
+
+        hub = telemetry.metrics_hub()
+        self._spool = self._ops and (
+            hub is None or isinstance(hub, SpoolHub)
+        )
+
+    def _metric(self, name: str, value: int) -> None:
+        """Record one worker counter delta.
+
+        Always emitted as a trace counter event; the process metrics
+        hub tee (driver MetricsHub for in-process workers, SpoolHub
+        for spawned live-ops workers) is what keeps exporter totals
+        and trace sums bit-exactly in step.
+        """
+        telemetry.counter(name, value, worker=self.worker_id)
+
+    def _ops_block(self) -> bytes:
+        """Drain the spool into an ops block for the next reply."""
+        return pack_ops(None, pack_metrics(self.metrics.take()))
 
     # ------------------------------------------------------------------
     def handle(self, kind: int, payload: bytes) -> List[bytes]:
@@ -260,15 +309,20 @@ class WorkerRuntime:
         return [pack_frame(KIND_ACK, self.worker_id, pack_ack(epoch))]
 
     def _handle_step(self, payload: bytes) -> List[bytes]:
-        round_id, _lr = unpack_step(payload)
+        round_id, _lr, span_id, _ = unpack_step_ex(payload)
         if round_id == self._cache.round_id and self._cache.frames:
             # Retried STEP: re-send the cached reply, don't recompute.
+            self._metric("worker.step_retries", 1)
             return list(self._cache.frames)
         # Only the first (computing) service of a round is spanned, so a
-        # retried STEP never double-counts worker busy time.
+        # retried STEP never double-counts worker busy time.  The
+        # driver's propagated span context (ops connections) parents
+        # this span across the process boundary.
         with telemetry.context(
             worker=self.worker_id, round=round_id, phase="step"
-        ), telemetry.span("worker.step"):
+        ), telemetry.remote_parent(span_id), telemetry.span(
+            "worker.step"
+        ) as step_span:
             rows = self.worker.next_batch()
             if rows is None or rows.size == 0:
                 frames = [
@@ -279,6 +333,28 @@ class WorkerRuntime:
                 ]
             else:
                 result = self.worker.compute_step(rows, self.theta)
+                step_span.set_attrs(
+                    compute_s=result.compute_seconds,
+                    encode_s=result.encode_seconds,
+                )
+                self._metric("worker.steps", 1)
+                self._metric(
+                    "worker.compute_ns",
+                    int(result.compute_seconds * 1e9),
+                )
+                self._metric(
+                    "worker.encode_ns", int(result.encode_seconds * 1e9)
+                )
+                self._metric("worker.grad_nnz", int(result.gradient_nnz))
+                # Compressed payload bytes, metered *before* the frames
+                # are built so the delta rides this very reply's ops
+                # block — every metered byte is wire-deliverable, which
+                # is what keeps exporter totals == trace sums bit-exact
+                # (framed byte counts live in transport.bytes_* on the
+                # driver side).
+                self._metric(
+                    "worker.bytes_out", int(result.message.num_bytes)
+                )
                 frames = self._grad_frames(round_id, result)
         self._cache.round_id = round_id
         self._cache.frames = frames
@@ -304,7 +380,13 @@ class WorkerRuntime:
         )
         if self._frame_version >= 2:
             pieces = [header]
-            body_len = len(header)
+            if self._spool:
+                # Live-ops block between the GRAD header and the
+                # serialized message: drained metric deltas ride the
+                # reply.  The message magic ("SKML") can never collide
+                # with the ops magic, so v2 peers peel tolerantly.
+                pieces.append(self._ops_block())
+            body_len = sum(len(p) for p in pieces)
             for piece in iter_serialize_message(
                 result.message, version=version, entropy=entropy,
                 chunk_bytes=self._chunk_bytes,
@@ -328,7 +410,8 @@ class WorkerRuntime:
 
     def _handle_update(self, payload: bytes) -> List[bytes]:
         round_id, lr, data = unpack_update(payload)
-        return self._apply_update(round_id, lr, data)
+        span_id, _, data = unpack_ops_prefix(data)
+        return self._apply_update(round_id, lr, data, span_id)
 
     def handle_chunks(self, inner_kind: int, chunks: List[bytes]) -> List[bytes]:
         """Service a reassembled ``CHUNK``/``END`` stream (frame v2).
@@ -344,27 +427,56 @@ class WorkerRuntime:
             )
         head, rest = split_chunk_prefix(chunks, UPDATE_HEADER_SIZE)
         round_id, lr, _ = unpack_update(head)
-        return self._apply_update(round_id, lr, rest)
+        span_id, _, rest = split_ops_prefix_chunks(rest)
+        return self._apply_update(round_id, lr, rest, span_id)
 
-    def _apply_update(self, round_id: int, lr: float, data) -> List[bytes]:
+    def _apply_update(
+        self,
+        round_id: int,
+        lr: float,
+        data,
+        span_id: Optional[int] = None,
+    ) -> List[bytes]:
         """Decode + apply one broadcast aggregate; ``data`` is the wire
         bytes, contiguous or as a chunk list."""
-        ack = pack_frame(KIND_ACK, self.worker_id, pack_ack(round_id))
         if round_id == self._cache.applied_round:
-            return [ack]  # retried UPDATE: already applied, just re-ack
+            # Retried UPDATE: already applied, just re-ack.
+            return [self._pack_ack_reply(round_id)]
         with telemetry.context(
             worker=self.worker_id, round=round_id, phase="update"
-        ), telemetry.span("worker.update"):
+        ), telemetry.remote_parent(span_id), telemetry.span(
+            "worker.update"
+        ) as upd_span:
+            t0 = time.perf_counter()
             if isinstance(data, list):
                 message = deserialize_message_chunks(data)
             else:
                 message = deserialize_message(data)
             keys, values = self.worker.compressor.decompress(message)
+            decode_ns = int((time.perf_counter() - t0) * 1e9)
+            upd_span.set_attrs(decode_s=decode_ns / 1e9)
             self.optimizer.learning_rate = lr
             if keys.size:
                 self.optimizer.step(self.theta, keys, values)
+            self._metric("worker.updates", 1)
+            self._metric("worker.decode_ns", decode_ns)
         self._cache.applied_round = round_id
-        return [ack]
+        # The ack's ops block drains everything spooled since the GRAD
+        # reply (bytes_out, update metrics) — the round's wire tail, so
+        # a clean run delivers every delta without relying on
+        # heartbeats.
+        return [self._pack_ack_reply(round_id)]
+
+    def _pack_ack_reply(self, round_id: int) -> bytes:
+        """ACK with a drained ops prefix on spooling connections.
+
+        A plain ack payload is shorter than the ops header, so v2 peers
+        peel the prefix tolerantly and v1 byte streams are unchanged.
+        """
+        body = pack_ack(round_id)
+        if self._spool:
+            body = self._ops_block() + body
+        return pack_frame(KIND_ACK, self.worker_id, body)
 
     # ------------------------------------------------------------------
     # elastic membership (repro.fleet)

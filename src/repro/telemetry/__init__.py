@@ -42,6 +42,7 @@ from .recorder import (
     close_worker_recorder,
     context,
     counter,
+    current_span_id,
     enable_worker_recorder,
     enabled,
     event,
@@ -50,8 +51,12 @@ from .recorder import (
     get_context,
     get_recorder,
     hist,
+    ingest_worker_metrics,
     measure,
+    metrics_hub,
+    remote_parent,
     set_context,
+    set_metrics_hub,
     set_recorder,
     span,
     start_run,
@@ -70,6 +75,7 @@ __all__ = [
     "close_worker_recorder",
     "context",
     "counter",
+    "current_span_id",
     "enable_worker_recorder",
     "enabled",
     "event",
@@ -78,8 +84,12 @@ __all__ = [
     "get_context",
     "get_recorder",
     "hist",
+    "ingest_worker_metrics",
     "measure",
+    "metrics_hub",
+    "remote_parent",
     "set_context",
+    "set_metrics_hub",
     "set_recorder",
     "span",
     "start_run",

@@ -1,0 +1,363 @@
+"""Critical-path attribution over a causal trace.
+
+PR 4's flight recorder gave traces; the live-ops plane gives every
+span a process-unique id and a causal parent — including worker spans
+parented under the *driver's* round span via wire-propagated context.
+This module walks that DAG and attributes each training round's wall
+time to four buckets:
+
+* ``codec``   — compress/encode on the median worker, driver decode +
+  re-encode (including broadcast serialization), median worker
+  decode of the update;
+* ``compute`` — gradient computation on the median worker, driver
+  aggregation, optimizer apply on driver and median worker;
+* ``straggler_wait`` — the gap between the slowest and the median
+  worker in each fan-in (the cost elasticity/SSP tries to recover);
+* ``wire``    — fan-out/gather time not explained by worker busy time
+  (serialization of frames, kernel buffers, real wire).
+
+Whatever the tiling cannot explain lands in ``other``; the test tier
+pins ``other`` under 1% of round wall time on the committed 8-worker
+fleet trace, so the buckets are trustworthy, not decorative.
+
+The entry points work on a merged trace (a list of event dicts or a
+JSONL path): :func:`critical_path` → :class:`CriticalPathReport`,
+:func:`causal_edges` (the DAG projection the golden test pins), and
+:func:`render_report` (the ``repro trace --critical-path`` renderer).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BUCKETS",
+    "RoundAttribution",
+    "CriticalPathReport",
+    "causal_edges",
+    "critical_path",
+    "load_events",
+    "render_report",
+]
+
+#: Attribution buckets, in render order.  ``other`` is the residual.
+BUCKETS = ("codec", "compute", "straggler_wait", "wire", "other")
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Read one merged JSONL trace into memory."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def _median(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return float((ordered[mid - 1] + ordered[mid]) / 2.0)
+
+
+@dataclass
+class _SpanRec:
+    name: str
+    span_id: int
+    parent: Optional[int]
+    dur: float
+    attrs: Dict[str, Any]
+    epoch: Optional[int]
+    round: Optional[int]
+    worker: Optional[int]
+
+
+def _index_spans(
+    events: Iterable[Dict[str, Any]],
+) -> Tuple[Dict[int, _SpanRec], Dict[int, List[int]]]:
+    """Closed spans by id + children adjacency, from ``span`` events."""
+    spans: Dict[int, _SpanRec] = {}
+    children: Dict[int, List[int]] = {}
+    for event in events:
+        if event.get("type") != "span" or "span" not in event:
+            continue
+        rec = _SpanRec(
+            name=str(event.get("name")),
+            span_id=int(event["span"]),
+            parent=event.get("parent"),
+            dur=float(event.get("dur", 0.0)),
+            attrs=dict(event.get("attrs") or {}),
+            epoch=event.get("epoch"),
+            round=event.get("round"),
+            worker=event.get("worker"),
+        )
+        spans[rec.span_id] = rec
+        if rec.parent is not None:
+            children.setdefault(int(rec.parent), []).append(rec.span_id)
+    return spans, children
+
+
+def _descendants(
+    root: int, children: Dict[int, List[int]]
+) -> List[int]:
+    found: List[int] = []
+    frontier = list(children.get(root, ()))
+    while frontier:
+        sid = frontier.pop()
+        found.append(sid)
+        frontier.extend(children.get(sid, ()))
+    return found
+
+
+@dataclass
+class RoundAttribution:
+    """One round's wall time, tiled into :data:`BUCKETS` seconds."""
+
+    round: int
+    epoch: Optional[int]
+    dur: float
+    workers: int
+    buckets: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the round's wall time the four real buckets
+        explain (1.0 − |other| / dur)."""
+        if self.dur <= 0:
+            return 1.0
+        return 1.0 - abs(self.buckets.get("other", 0.0)) / self.dur
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-round attributions plus per-epoch and whole-run rollups."""
+
+    rounds: List[RoundAttribution]
+
+    def epoch_totals(self) -> Dict[Optional[int], Dict[str, float]]:
+        totals: Dict[Optional[int], Dict[str, float]] = {}
+        for r in self.rounds:
+            bucket = totals.setdefault(
+                r.epoch, {name: 0.0 for name in BUCKETS + ("wall",)}
+            )
+            bucket["wall"] += r.dur
+            for name in BUCKETS:
+                bucket[name] += r.buckets.get(name, 0.0)
+        return totals
+
+    def totals(self) -> Dict[str, float]:
+        out = {name: 0.0 for name in BUCKETS + ("wall",)}
+        for r in self.rounds:
+            out["wall"] += r.dur
+            for name in BUCKETS:
+                out[name] += r.buckets.get(name, 0.0)
+        return out
+
+
+def _phase_of(rec: _SpanRec) -> Optional[str]:
+    phase = rec.attrs.get("phase")
+    return str(phase) if phase is not None else None
+
+
+def _attribute_round(
+    round_span: _SpanRec,
+    spans: Dict[int, _SpanRec],
+    children: Dict[int, List[int]],
+) -> RoundAttribution:
+    descendants = [spans[s] for s in _descendants(round_span.span_id, children)]
+    by_name: Dict[str, List[_SpanRec]] = {}
+    for rec in descendants:
+        by_name.setdefault(rec.name, []).append(rec)
+
+    def phase_dur(name: str, phase: str) -> float:
+        return sum(
+            r.dur for r in by_name.get(name, ()) if _phase_of(r) == phase
+        )
+
+    codec = compute = straggler = wire = 0.0
+
+    # Parallel rounds (any real backend) drive workers through
+    # runtime.fanout/gather; the pure-sim trainer runs them inline,
+    # one after another, so worker time tiles the round sequentially
+    # — sum it instead of taking the median, with no straggler gap
+    # or wire remainder to speak of.
+    parallel = (
+        "runtime.fanout" in by_name or "runtime.gather" in by_name
+    )
+
+    # STEP fan-in: worker busy split by the worker's own measured
+    # compute/encode shares; the slowest-vs-median gap is straggler
+    # wait; the driver-side remainder of fanout+gather is wire.
+    steps = by_name.get("worker.step", [])
+    busy = [r.dur for r in steps]
+    med_busy, max_busy = _median(busy), max(busy, default=0.0)
+    enc_share: List[float] = []
+    comp_share: List[float] = []
+    for r in steps:
+        c = float(r.attrs.get("compute_s", 0.0))
+        e = float(r.attrs.get("encode_s", 0.0))
+        total = c + e
+        frac = e / total if total > 0 else 0.0
+        enc_share.append(r.dur * frac)
+        comp_share.append(r.dur * (1.0 - frac))
+    if parallel:
+        codec += _median(enc_share)
+        compute += _median(comp_share)
+        straggler += max_busy - med_busy
+        step_drive = phase_dur("runtime.fanout", "step") + phase_dur(
+            "runtime.gather", "step"
+        )
+        wire += max(0.0, step_drive - max_busy)
+    else:
+        codec += sum(enc_share)
+        compute += sum(comp_share)
+
+    # Driver aggregate: decode + merge + re-encode (the span also
+    # covers broadcast serialization, which is codec work).
+    for rec in by_name.get("trainer.aggregate", ()):
+        agg_s = float(rec.attrs.get("aggregate_s", 0.0))
+        compute += min(agg_s, rec.dur)
+        codec += max(0.0, rec.dur - agg_s)
+
+    # UPDATE fan-out: worker update application (decode → codec,
+    # apply remainder → compute), straggler gap, wire remainder.
+    updates = by_name.get("worker.update", [])
+    upd = [r.dur for r in updates]
+    med_upd, max_upd = _median(upd), max(upd, default=0.0)
+    upd_decode = [
+        min(float(r.attrs.get("decode_s", 0.0)), r.dur) for r in updates
+    ]
+    if parallel:
+        med_upd_decode = _median(upd_decode)
+        codec += med_upd_decode
+        compute += max(0.0, med_upd - med_upd_decode)
+        straggler += max_upd - med_upd
+        upd_drive = phase_dur("runtime.fanout", "update") + phase_dur(
+            "runtime.gather", "update"
+        )
+        wire += max(0.0, upd_drive - max_upd)
+    else:
+        codec += sum(upd_decode)
+        compute += sum(
+            max(0.0, r.dur - d) for r, d in zip(updates, upd_decode)
+        )
+
+    # Driver apply.
+    compute += sum(r.dur for r in by_name.get("trainer.apply", ()))
+
+    wall = round_span.dur
+    other = wall - (codec + compute + straggler + wire)
+    return RoundAttribution(
+        round=int(round_span.round or 0),
+        epoch=round_span.epoch,
+        dur=wall,
+        workers=len(steps),
+        buckets={
+            "codec": codec,
+            "compute": compute,
+            "straggler_wait": straggler,
+            "wire": wire,
+            "other": other,
+        },
+    )
+
+
+def critical_path(
+    events: Iterable[Dict[str, Any]],
+) -> CriticalPathReport:
+    """Attribute every ``trainer.round`` span in a causal trace.
+
+    Raises ``ValueError`` on a trace without span ids (recorded before
+    the live-ops plane) — there is no DAG to walk.
+    """
+    spans, children = _index_spans(events)
+    if not spans:
+        raise ValueError(
+            "trace carries no span ids; critical-path attribution "
+            "needs a live-ops trace (repro >= PR 10)"
+        )
+    rounds = [
+        _attribute_round(rec, spans, children)
+        for rec in spans.values()
+        if rec.name == "trainer.round"
+    ]
+    rounds.sort(key=lambda r: r.round)
+    return CriticalPathReport(rounds=rounds)
+
+
+def causal_edges(
+    events: Iterable[Dict[str, Any]],
+) -> List[Tuple[str, str, int]]:
+    """The trace's causal DAG projected to named edges.
+
+    Returns sorted ``(parent_name, child_name, count)`` triples — a
+    stable shape for golden pinning that survives timestamp and id
+    churn across regenerations of the same seeded run.
+    """
+    spans, children = _index_spans(events)
+    counts: Dict[Tuple[str, str], int] = {}
+    for parent_id, kids in children.items():
+        parent = spans.get(parent_id)
+        if parent is None:
+            continue
+        for kid in kids:
+            key = (parent.name, spans[kid].name)
+            counts[key] = counts.get(key, 0) + 1
+    return sorted(
+        (parent, child, count)
+        for (parent, child), count in counts.items()
+    )
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s"
+    return f"{value * 1e3:7.2f}ms"
+
+
+def render_report(
+    report: CriticalPathReport, *, per_round: bool = False
+) -> str:
+    """Human-readable attribution table (per epoch, then the run)."""
+    lines: List[str] = []
+    header = (
+        f"{'':>10} {'wall':>9} "
+        + " ".join(f"{name:>15}" for name in BUCKETS)
+    )
+
+    def row(label: str, wall: float, buckets: Dict[str, float]) -> str:
+        cells = []
+        for name in BUCKETS:
+            val = buckets.get(name, 0.0)
+            pct = (100.0 * val / wall) if wall > 0 else 0.0
+            cells.append(f"{_fmt_seconds(val)} {pct:4.0f}%")
+        return f"{label:>10} {_fmt_seconds(wall)} " + " ".join(cells)
+
+    lines.append("critical path (driver wall time per round, tiled)")
+    lines.append(header)
+    if per_round:
+        for r in report.rounds:
+            lines.append(row(f"round {r.round}", r.dur, r.buckets))
+    for epoch, totals in sorted(
+        report.epoch_totals().items(), key=lambda kv: (kv[0] is None, kv[0])
+    ):
+        label = f"epoch {epoch}" if epoch is not None else "epoch ?"
+        lines.append(row(label, totals["wall"], totals))
+    totals = report.totals()
+    lines.append(row("total", totals["wall"], totals))
+    coverage = (
+        1.0 - abs(totals["other"]) / totals["wall"]
+        if totals["wall"] > 0 else 1.0
+    )
+    lines.append(
+        f"attributed: {100.0 * coverage:.2f}% of round wall time "
+        f"across {len(report.rounds)} round(s)"
+    )
+    return "\n".join(lines)

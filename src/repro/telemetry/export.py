@@ -1,0 +1,171 @@
+"""Zero-dependency Prometheus-text exporter over a :class:`MetricsHub`.
+
+``repro train --metrics-port N`` starts one of these on the driver: a
+stdlib ``ThreadingHTTPServer`` on a daemon thread serving
+
+* ``/metrics`` — Prometheus text exposition (version 0.0.4).  Counter
+  totals render as ``repro_<name>_total{worker="<id>"}`` (the driver's
+  own samples under ``worker="driver"``), gauges as ``repro_<name>``,
+  plus per-worker liveness (``repro_worker_last_seen_seconds``).
+  Counter values are integers end to end, so a scrape matches the
+  trace's counter sums bit-exactly for the same run.
+* ``/healthz`` — 200 while the server is up (process liveness).
+* ``/readyz`` — 200 once the cluster marked the hub ready (all
+  workers bootstrapped), 503 before.
+* ``/snapshot.json`` — the raw :meth:`MetricsHub.snapshot` JSON that
+  ``repro top --connect`` renders.
+
+Port 0 binds an ephemeral port (tests); :attr:`MetricsExporter.port`
+reports the bound one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .metrics import DRIVER_KEY, MetricsHub
+
+__all__ = ["MetricsExporter", "render_prometheus", "sanitize_metric_name"]
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted repro metric name onto the Prometheus charset."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return text
+
+
+def _worker_label(worker: int) -> str:
+    return "driver" if worker == DRIVER_KEY else str(worker)
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(hub: MetricsHub) -> str:
+    """Render the hub's totals as Prometheus text exposition."""
+    snap = hub.snapshot()
+    lines = []
+    names = sorted(
+        {
+            name
+            for per in snap["counters"].values()
+            for name in per
+        }
+    )
+    for name in names:
+        metric = f"repro_{sanitize_metric_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        for worker_key in sorted(snap["counters"], key=int):
+            per = snap["counters"][worker_key]
+            if name in per:
+                label = _worker_label(int(worker_key))
+                lines.append(
+                    f'{metric}{{worker="{label}"}} {int(per[name])}'
+                )
+    gauge_names = sorted(
+        {name for per in snap["gauges"].values() for name in per}
+    )
+    for name in gauge_names:
+        metric = f"repro_{sanitize_metric_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        for worker_key in sorted(snap["gauges"], key=int):
+            per = snap["gauges"][worker_key]
+            if name in per:
+                label = _worker_label(int(worker_key))
+                lines.append(
+                    f'{metric}{{worker="{label}"}} '
+                    f"{_format_value(per[name])}"
+                )
+    if snap["last_seen"]:
+        lines.append("# TYPE repro_worker_last_seen_seconds gauge")
+        for worker_key in sorted(snap["last_seen"], key=int):
+            label = _worker_label(int(worker_key))
+            lines.append(
+                f'repro_worker_last_seen_seconds{{worker="{label}"}} '
+                f"{_format_value(snap['last_seen'][worker_key])}"
+            )
+    lines.append("# TYPE repro_exporter_ready gauge")
+    lines.append(f"repro_exporter_ready {int(bool(snap['ready']))}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    hub: MetricsHub  # set on the subclass by MetricsExporter
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.hub).encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4")
+        elif path == "/healthz":
+            self._reply(200, b"ok\n", "text/plain")
+        elif path == "/readyz":
+            if self.hub.ready:
+                self._reply(200, b"ready\n", "text/plain")
+            else:
+                self._reply(503, b"not ready\n", "text/plain")
+        elif path == "/snapshot.json":
+            body = json.dumps(self.hub.snapshot()).encode("utf-8")
+            self._reply(200, body, "application/json")
+        else:
+            self._reply(404, b"not found\n", "text/plain")
+
+    def _reply(self, code: int, body: bytes, ctype: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        return  # never write scrape noise to the driver's stderr
+
+
+class MetricsExporter:
+    """Daemon-thread HTTP server exposing a hub; ``close()`` to stop."""
+
+    def __init__(
+        self, hub: MetricsHub, port: int = 0, host: str = "127.0.0.1"
+    ) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"hub": hub})
+        self._server = ThreadingHTTPServer((host, int(port)), handler)
+        self._server.daemon_threads = True
+        self.hub = hub
+        self.host = host
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsExporter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-metrics-exporter",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -1,0 +1,228 @@
+"""Live metrics: worker-side delta accumulator + driver-side hub.
+
+The post-hoc flight recorder (:mod:`repro.telemetry.recorder`) only
+answers questions after ``finish_run`` merges the parts.  This module
+is the *live* half of the ops plane:
+
+* :class:`WorkerMetrics` — a tiny thread-safe integer accumulator a
+  worker process bumps from its hot path (``ns`` and byte units keep
+  everything integral, so driver-side folds are bit-exact).  The
+  heartbeat thread and GRAD replies drain it with :meth:`take` and
+  ship the deltas over the wire as an ops block
+  (:func:`repro.runtime.framing.pack_metrics`).
+
+* :class:`MetricsHub` — the driver-side in-memory time series.  It
+  receives (a) wire-delivered worker deltas via :meth:`ingest` and
+  (b) a tee of every driver ``telemetry.counter``/``gauge`` call
+  (installed with :func:`repro.telemetry.set_metrics_hub`) — exactly
+  the calls the trace recorder sees, so exporter counter totals match
+  trace sums bit-exactly by construction.  Samples land in a bounded
+  ring (oldest evicted) while per-worker totals accumulate without
+  bound; :meth:`snapshot` is the JSON-ready aggregation the exporter
+  and ``repro top`` render.
+
+Driver-origin samples are keyed under worker id ``-1`` ("driver") so
+they never collide with real worker ids.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .recorder import _wall_clock
+
+__all__ = ["WorkerMetrics", "MetricsHub", "SpoolHub", "DRIVER_KEY"]
+
+#: Synthetic worker key for driver-process samples in the hub.
+DRIVER_KEY = -1
+
+
+class WorkerMetrics:
+    """Thread-safe integer counter deltas, drained by :meth:`take`."""
+
+    __slots__ = ("_lock", "_deltas")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._deltas: Dict[str, int] = {}
+
+    def add(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._deltas[name] = self._deltas.get(name, 0) + int(value)
+
+    def take(self) -> Dict[str, int]:
+        """Return and clear the accumulated deltas (empty dict when
+        nothing accrued since the last drain)."""
+        with self._lock:
+            if not self._deltas:
+                return {}
+            deltas = self._deltas
+            self._deltas = {}
+            return deltas
+
+    def peek(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._deltas)
+
+
+class SpoolHub:
+    """Worker-process stand-in for the driver's hub.
+
+    A spawned worker installs this with
+    :func:`repro.telemetry.set_metrics_hub` so the same recorder tee
+    that feeds the driver's :class:`MetricsHub` instead spools *every*
+    counter — the runtime's ``worker.*`` deltas and the codec's own
+    ``codec.*`` instrumentation alike — into one :class:`WorkerMetrics`
+    for wire delivery.  That single interception point is what makes
+    driver-side exporter totals equal trace counter sums bit-exactly:
+    each worker-process counter event has exactly one wire twin.
+
+    Gauges stay process-local (a last-value sample cannot be shipped
+    as a delta); the worker key is ignored because the driver rekeys
+    deltas by the connection they arrived on.
+    """
+
+    __slots__ = ("spool",)
+
+    def __init__(self, spool: WorkerMetrics) -> None:
+        self.spool = spool
+
+    def record_counter(
+        self, name: str, value: int, worker: Optional[int] = None
+    ) -> None:
+        self.spool.add(name, int(value))
+
+    def record_gauge(
+        self, name: str, value: float, worker: Optional[int] = None
+    ) -> None:
+        return
+
+
+class MetricsHub:
+    """Bounded time-series ring + running totals, per worker.
+
+    Args:
+        ring_size: total samples retained across all workers; the ring
+            is a sliding window for ``repro top`` rate displays, while
+            totals are exact for the whole run.
+    """
+
+    def __init__(self, ring_size: int = 8192) -> None:
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        self._lock = threading.Lock()
+        #: (ts, worker, name, value) samples, oldest evicted.
+        self._ring: Deque[Tuple[float, int, str, float]] = collections.deque(
+            maxlen=int(ring_size)
+        )
+        self._counters: Dict[int, Dict[str, int]] = {}
+        self._gauges: Dict[int, Dict[str, float]] = {}
+        self._last_seen: Dict[int, float] = {}
+        self._info: Dict[str, Any] = {}
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def record_counter(
+        self, name: str, value: int, worker: Optional[int] = None
+    ) -> None:
+        key = DRIVER_KEY if worker is None else int(worker)
+        value = int(value)
+        with self._lock:
+            per = self._counters.setdefault(key, {})
+            per[name] = per.get(name, 0) + value
+            self._ring.append((_wall_clock(), key, name, float(value)))
+
+    def record_gauge(
+        self, name: str, value: float, worker: Optional[int] = None
+    ) -> None:
+        key = DRIVER_KEY if worker is None else int(worker)
+        value = float(value)
+        with self._lock:
+            self._gauges.setdefault(key, {})[name] = value
+            self._ring.append((_wall_clock(), key, name, value))
+
+    def ingest(self, worker_id: int, deltas: Dict[str, int]) -> None:
+        """Fold wire-delivered worker deltas (always marks the worker
+        live, even on an empty delta set — heartbeats carry empties)."""
+        key = int(worker_id)
+        now = _wall_clock()
+        with self._lock:
+            self._last_seen[key] = now
+            if not deltas:
+                return
+            per = self._counters.setdefault(key, {})
+            for name, value in deltas.items():
+                per[name] = per.get(name, 0) + int(value)
+                self._ring.append((now, key, name, float(value)))
+
+    # ------------------------------------------------------------------
+    # run metadata / readiness
+    # ------------------------------------------------------------------
+    def set_info(self, **fields: Any) -> None:
+        """Attach run metadata (backend, entropy_coding, chunk_bytes,
+        ...) surfaced in every snapshot."""
+        with self._lock:
+            self._info.update(fields)
+
+    def mark_ready(self, ready: bool = True) -> None:
+        with self._lock:
+            self._ready = bool(ready)
+
+    @property
+    def ready(self) -> bool:
+        with self._lock:
+            return self._ready
+
+    # ------------------------------------------------------------------
+    # aggregation surface
+    # ------------------------------------------------------------------
+    def counter_total(self, name: str, worker: Optional[int] = None) -> int:
+        """Total for one counter: one worker's, or summed over all."""
+        with self._lock:
+            if worker is not None:
+                return self._counters.get(int(worker), {}).get(name, 0)
+            return sum(
+                per.get(name, 0) for per in self._counters.values()
+            )
+
+    def worker_ids(self) -> List[int]:
+        with self._lock:
+            ids = set(self._counters) | set(self._gauges) | set(
+                self._last_seen
+            )
+        ids.discard(DRIVER_KEY)
+        return sorted(ids)
+
+    def recent(
+        self, window_seconds: float = 5.0
+    ) -> List[Tuple[float, int, str, float]]:
+        """Ring samples newer than ``now - window_seconds`` (rates)."""
+        cutoff = _wall_clock() - window_seconds
+        with self._lock:
+            return [s for s in self._ring if s[0] >= cutoff]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready view: info, totals, gauges, liveness."""
+        with self._lock:
+            return {
+                "info": dict(self._info),
+                "ready": self._ready,
+                "ts": _wall_clock(),
+                "counters": {
+                    str(worker): dict(per)
+                    for worker, per in sorted(self._counters.items())
+                },
+                "gauges": {
+                    str(worker): dict(per)
+                    for worker, per in sorted(self._gauges.items())
+                },
+                "last_seen": {
+                    str(worker): ts
+                    for worker, ts in sorted(self._last_seen.items())
+                },
+                "ring_samples": len(self._ring),
+            }

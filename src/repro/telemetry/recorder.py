@@ -16,10 +16,25 @@ Ambient context (``run``/``worker``/``epoch``/``round``/``phase``) is
 process-global (guarded by a lock, shared across threads): the runtime
 is one logical actor per process, and the heartbeat thread only bumps
 counters.
+
+Causality (the live-ops plane): every :class:`Span` mints a
+process-unique id on entry, emits a ``span_open`` event, and records
+its causal parent — the innermost open span of this process, or, when
+the process-local stack is empty, the *remote parent* adopted from a
+wire-propagated span context (:func:`remote_parent`).  The driver
+stamps :func:`current_span_id` into outbound frames so worker spans
+parent under the exact driver round span instead of being correlated
+by timestamp heuristics.
+
+Live metrics: :func:`set_metrics_hub` installs an in-process sink that
+tees every :func:`counter`/:func:`gauge` call (exactly the calls the
+recorder sees, so exporter totals match trace sums bit-exactly) and
+receives worker-side metric deltas via :func:`ingest_worker_metrics`.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import shutil
@@ -46,6 +61,11 @@ __all__ = [
     "context",
     "set_context",
     "get_context",
+    "current_span_id",
+    "remote_parent",
+    "set_metrics_hub",
+    "metrics_hub",
+    "ingest_worker_metrics",
     "start_run",
     "finish_run",
     "active_session",
@@ -85,20 +105,40 @@ class _NullSpan:
     def __exit__(self, *exc_info: object) -> None:
         return None
 
+    def set_attrs(self, **attrs: Any) -> None:
+        return None
+
 
 _NULL_SPAN = _NullSpan()
+
+# Causal-span state: ids are minted per process (pid-prefixed so they
+# stay unique in a merged trace) and the open-span stack is
+# process-global, like the ambient context — one logical actor per
+# process; only the main thread opens spans.
+_SPAN_SEQ = itertools.count(1)
+_SPAN_STACK: List[int] = []
+_REMOTE_PARENT: Optional[int] = None
+
+
+def _next_span_id() -> int:
+    return (os.getpid() << 24) | (next(_SPAN_SEQ) & 0xFFFFFF)
 
 
 class Span:
     """A live span: ``with telemetry.span("codec.compress"): ...``.
 
-    The event is emitted on exit with ``ts`` = wall-clock start and
-    ``dur`` = the ``perf_counter`` delta.  Spans must be used as
-    context managers (the ``telemetry-discipline`` lint rule enforces
-    it) so no code path can leak an unclosed span.
+    Entry mints a process-unique span id, records the causal parent
+    (innermost open span, else the adopted remote parent), and emits a
+    ``span_open`` event; exit emits the ``span`` close with ``ts`` =
+    wall-clock start, ``dur`` = the ``perf_counter`` delta, and the
+    same ``span``/``parent`` ids.  Spans must be used as context
+    managers (the ``telemetry-discipline`` lint rule enforces it) so
+    no code path can leak an unclosed span — and a killed process
+    leaves its opens unmatched, which ``validate_trace`` reports as a
+    truncated flight.
     """
 
-    __slots__ = ("_recorder", "_name", "_attrs", "_ts", "_t0")
+    __slots__ = ("_recorder", "_name", "_attrs", "_ts", "_t0", "_id", "_parent")
 
     def __init__(
         self, recorder: "TraceRecorder", name: str, attrs: Dict[str, Any]
@@ -109,15 +149,39 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._ts = _wall_clock()
+        self._id = _next_span_id()
+        stack = _SPAN_STACK
+        self._parent = stack[-1] if stack else _REMOTE_PARENT
+        stack.append(self._id)
+        self._recorder.emit(
+            "span_open", self._name, ts=self._ts,
+            span=self._id, parent=self._parent,
+        )
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         dur = time.perf_counter() - self._t0
+        stack = _SPAN_STACK
+        if stack and stack[-1] == self._id:
+            stack.pop()
+        elif self._id in stack:  # out-of-order exit: still unwind
+            stack.remove(self._id)
         self._recorder.emit(
             "span", self._name, ts=self._ts, dur=dur,
+            span=self._id, parent=self._parent,
             attrs=self._attrs or None,
         )
+
+    def set_attrs(self, **attrs: Any) -> None:
+        """Attach attrs mid-span (emitted with the close event) — e.g.
+        ``worker.step`` attaching ``compute_s`` once the result exists."""
+        self._attrs.update(attrs)
+
+    @property
+    def span_id(self) -> int:
+        """The minted id (valid after ``__enter__``)."""
+        return self._id
 
 
 class TraceRecorder:
@@ -247,6 +311,11 @@ def counter(name: str, value: int = 1, **attrs: Any) -> None:
     recorder = _RECORDER
     if recorder is not None:
         recorder.counter(name, value, attrs)
+    hub = _METRICS_HUB
+    if hub is not None:
+        hub.record_counter(
+            name, int(value), attrs.get("worker", _CONTEXT.get("worker"))
+        )
 
 
 def gauge(name: str, value: float, **attrs: Any) -> None:
@@ -254,6 +323,11 @@ def gauge(name: str, value: float, **attrs: Any) -> None:
     recorder = _RECORDER
     if recorder is not None:
         recorder.gauge(name, value, attrs)
+    hub = _METRICS_HUB
+    if hub is not None:
+        hub.record_gauge(
+            name, float(value), attrs.get("worker", _CONTEXT.get("worker"))
+        )
 
 
 def hist(name: str, value: float, **attrs: Any) -> None:
@@ -310,6 +384,78 @@ def set_context(**fields: Any) -> None:
 
 def get_context() -> Dict[str, Any]:
     return dict(_CONTEXT)
+
+
+# ----------------------------------------------------------------------
+# causal-span surface (the live-ops plane)
+# ----------------------------------------------------------------------
+def current_span_id() -> Optional[int]:
+    """Id of the innermost open span of this process, or ``None``.
+
+    The driver stamps this into outbound STEP/UPDATE frames so worker
+    spans can adopt it as their causal parent across the process
+    boundary.
+    """
+    stack = _SPAN_STACK
+    return stack[-1] if stack else None
+
+
+class _RemoteParentScope:
+    """Adopt a wire-propagated span id as the root causal parent."""
+
+    __slots__ = ("_span_id", "_saved")
+
+    def __init__(self, span_id: Optional[int]) -> None:
+        self._span_id = span_id
+
+    def __enter__(self) -> "_RemoteParentScope":
+        global _REMOTE_PARENT
+        self._saved = _REMOTE_PARENT
+        _REMOTE_PARENT = self._span_id
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _REMOTE_PARENT
+        _REMOTE_PARENT = self._saved
+
+
+def remote_parent(span_id: Optional[int]) -> _RemoteParentScope:
+    """Scope a remote causal parent: spans opened while the local
+    stack is empty parent under ``span_id`` (``None`` is a no-op
+    scope, so call sites need no conditional)."""
+    return _RemoteParentScope(span_id)
+
+
+# ----------------------------------------------------------------------
+# live metrics hub (tee + worker-delta ingestion)
+# ----------------------------------------------------------------------
+_METRICS_HUB: Optional[Any] = None
+
+
+def set_metrics_hub(hub: Optional[Any]) -> Optional[Any]:
+    """Install (or clear) the process metrics hub; returns the previous.
+
+    While installed, every :func:`counter`/:func:`gauge` call is teed
+    into the hub — whether or not a recorder is active — and
+    :func:`ingest_worker_metrics` folds worker-side deltas in.
+    """
+    global _METRICS_HUB
+    with _STATE_LOCK:
+        previous = _METRICS_HUB
+        _METRICS_HUB = hub
+    return previous
+
+
+def metrics_hub() -> Optional[Any]:
+    return _METRICS_HUB
+
+
+def ingest_worker_metrics(worker_id: int, deltas: Dict[str, int]) -> None:
+    """Fold wire-delivered worker metric deltas into the hub (no-op
+    when no hub is installed)."""
+    hub = _METRICS_HUB
+    if hub is not None:
+        hub.ingest(worker_id, deltas)
 
 
 # ----------------------------------------------------------------------

@@ -29,7 +29,17 @@ Per-type fields:
   ``"worker"``).
 * ``span`` — required ``name`` (dotted, e.g. ``codec.compress``) and
   ``dur`` (float seconds, >= 0); ``ts`` is the span *start*.  Optional
-  ``attrs``.
+  ``attrs``, and (since the live-ops plane) optional causal ids:
+  ``span`` (int, unique per process) and ``parent`` (int, the opening
+  span id of the causally enclosing span — possibly one propagated
+  over the wire from another process).
+* ``span_open`` — emitted at span *entry* when causal ids are in use:
+  required ``name`` and ``span`` (int); optional ``parent``.  Every
+  ``span_open`` must be matched by a ``span`` close carrying the same
+  id — a trace with unmatched opens is a truncated flight (e.g. a
+  killed worker) and fails :func:`validate_trace`.  Closes without a
+  prior open stay valid, so pre-ops traces (no ``span_open`` events at
+  all) remain schema-clean.
 * ``measure`` — an accounting sample: required ``name``, ``value``
   (float); optional ``unit``.  Per-epoch sums of ``trainer.*``
   measures reproduce the ``EpochRecord`` timing fields exactly.
@@ -60,7 +70,16 @@ __all__ = [
 
 SCHEMA = "repro-trace/1"
 
-EVENT_TYPES = ("meta", "span", "measure", "counter", "gauge", "hist", "event")
+EVENT_TYPES = (
+    "meta",
+    "span",
+    "span_open",
+    "measure",
+    "counter",
+    "gauge",
+    "hist",
+    "event",
+)
 
 #: Optional ambient-context fields and their required types.
 CONTEXT_FIELDS: Dict[str, type] = {
@@ -125,6 +144,19 @@ def validate_event(event: Dict[str, object]) -> None:
         dur = _require(event, "dur", (int, float))
         if dur < 0:
             raise TraceSchemaError(f"span dur must be >= 0, got {dur}")
+        for field in ("span", "parent"):
+            if field in event and (
+                not isinstance(event[field], int)
+                or isinstance(event[field], bool)
+            ):
+                raise TraceSchemaError(f"span field {field!r} must be an int")
+    elif etype == "span_open":
+        _require(event, "span", int)
+        if "parent" in event and (
+            not isinstance(event["parent"], int)
+            or isinstance(event["parent"], bool)
+        ):
+            raise TraceSchemaError("span_open parent must be an int")
     elif etype == "measure":
         _require(event, "value", (int, float))
         if "unit" in event and not isinstance(event["unit"], str):
@@ -157,6 +189,8 @@ def validate_trace(
     seen_seq: Dict[int, set] = {}
     meta_pids: set = set()
     type_counts: Dict[str, int] = {}
+    opened: Dict[int, set] = {}
+    closed: Dict[int, set] = {}
     count = 0
     for event in events:
         validate_event(event)
@@ -165,6 +199,10 @@ def validate_trace(
         type_counts[etype] = type_counts.get(etype, 0) + 1
         pid = int(event["pid"])  # type: ignore[arg-type]
         seq = int(event["seq"])  # type: ignore[arg-type]
+        if etype == "span_open":
+            opened.setdefault(pid, set()).add(int(event["span"]))  # type: ignore[arg-type]
+        elif etype == "span" and "span" in event:
+            closed.setdefault(pid, set()).add(int(event["span"]))  # type: ignore[arg-type]
         if etype == "meta":
             if pid in meta_pids:
                 raise TraceSchemaError(f"duplicate meta event for pid {pid}")
@@ -180,6 +218,14 @@ def validate_trace(
     missing = sorted(set(seen_seq) - meta_pids)
     if missing:
         raise TraceSchemaError(f"pids missing a meta header: {missing}")
+    for pid in sorted(opened):
+        unclosed = opened[pid] - closed.get(pid, set())
+        if unclosed:
+            raise TraceSchemaError(
+                f"pid {pid} has {len(unclosed)} span(s) opened but never "
+                f"closed (truncated flight?): ids "
+                f"{sorted(unclosed)[:5]}"
+            )
     return {
         "events": count,
         "processes": len(seen_seq),

@@ -1,0 +1,125 @@
+"""The ``repro top`` dashboard: live per-worker metrics at a glance.
+
+Renders one :meth:`~repro.telemetry.metrics.MetricsHub.snapshot` dict
+as a fixed-width terminal table — one row per worker plus a driver
+row — showing round progress, shipped bytes, codec time, retries, and
+freshness.  Two data sources feed it:
+
+* **live** — poll a running exporter's ``/snapshot.json``
+  (``repro top --connect HOST:PORT``), refreshing in place;
+* **offline** — fold a recorded trace's counter events into a hub and
+  render the end state (``repro top TRACE --once``), which is also
+  what the CI smoke job asserts on.
+
+Only the rendering lives here; scraping and the refresh loop are in
+:mod:`repro.cli` (they own the terminal).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import DRIVER_KEY, MetricsHub
+
+__all__ = ["snapshot_from_trace", "render_top"]
+
+#: Columns: label → (counter name, divisor, format)
+_NS = 1e6  # ns → ms
+
+
+def snapshot_from_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold a trace's counter/gauge events into a snapshot dict.
+
+    The offline twin of scraping ``/snapshot.json``: exact same shape,
+    so :func:`render_top` serves both paths.  Counter events carry the
+    worker either as an attr or as ambient context.
+    """
+    hub = MetricsHub()
+    meta_info: Dict[str, Any] = {}
+    for event in events:
+        etype = event.get("type")
+        if etype == "meta" and "run" not in meta_info:
+            run = event.get("run")
+            if run:
+                meta_info["run"] = run
+        if etype not in ("counter", "gauge"):
+            continue
+        attrs = event.get("attrs") or {}
+        worker = attrs.get("worker", event.get("worker"))
+        name = str(event.get("name"))
+        if etype == "counter":
+            hub.record_counter(name, int(event.get("value", 0)), worker)
+        else:
+            hub.record_gauge(name, float(event.get("value", 0.0)), worker)
+    if meta_info:
+        hub.set_info(**meta_info)
+    hub.mark_ready()
+    return hub.snapshot()
+
+
+def _counter(counters: Dict[str, Any], worker: str, name: str) -> int:
+    return int(counters.get(worker, {}).get(name, 0))
+
+
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / _NS:9.1f}"
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):7.1f}M"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):7.1f}K"
+    return f"{n:7d} "
+
+
+def render_top(
+    snapshot: Dict[str, Any], *, now: Optional[float] = None
+) -> str:
+    """One frame of the dashboard from a snapshot dict."""
+    info = snapshot.get("info", {})
+    counters: Dict[str, Dict[str, int]] = snapshot.get("counters", {})
+    last_seen: Dict[str, float] = snapshot.get("last_seen", {})
+    ts = float(snapshot.get("ts", 0.0)) if now is None else float(now)
+
+    lines: List[str] = []
+    head = " ".join(
+        f"{key}={info[key]}" for key in sorted(info)
+    )
+    ready = "ready" if snapshot.get("ready") else "warming up"
+    lines.append(f"repro top — {ready}" + (f" — {head}" if head else ""))
+    lines.append(
+        f"{'worker':>8} {'steps':>7} {'updates':>7} {'retries':>7} "
+        f"{'bytes out':>9} {'compute ms':>10} {'encode ms':>9} "
+        f"{'decode ms':>9} {'hb lag ms':>9} {'seen':>6}"
+    )
+
+    driver_key = str(DRIVER_KEY)
+    worker_keys = sorted(
+        (k for k in counters if k != driver_key), key=lambda k: int(k)
+    )
+    for key in worker_keys:
+        seen = last_seen.get(key)
+        age = f"{max(0.0, ts - float(seen)):5.1f}s" if seen else "    —"
+        lines.append(
+            f"{key:>8} "
+            f"{_counter(counters, key, 'worker.steps'):>7} "
+            f"{_counter(counters, key, 'worker.updates'):>7} "
+            f"{_counter(counters, key, 'worker.step_retries'):>7} "
+            f"{_fmt_bytes(_counter(counters, key, 'worker.bytes_out')):>9} "
+            f"{_fmt_ms(_counter(counters, key, 'worker.compute_ns')):>10} "
+            f"{_fmt_ms(_counter(counters, key, 'worker.encode_ns')):>9} "
+            f"{_fmt_ms(_counter(counters, key, 'worker.decode_ns')):>9} "
+            f"{_fmt_ms(_counter(counters, key, 'worker.heartbeat_lag_ns')):>9} "
+            f"{age:>6}"
+        )
+    if not worker_keys:
+        lines.append("  (no worker metrics yet)")
+
+    driver = counters.get(driver_key, {})
+    if driver:
+        parts = [
+            f"{name}={value}" for name, value in sorted(driver.items())
+        ]
+        lines.append("driver: " + " ".join(parts))
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Regenerate the golden 8-worker fleet trace and its derived pins.
+
+Run from the repo root after a *deliberate* instrumentation or wire
+change::
+
+    PYTHONPATH=src:tests python tests/golden/trace/regen_fleet.py
+
+Produces, in this directory:
+
+* ``fleet_8w.jsonl`` — a real fixed-seed 8-worker ``mp`` flight
+  recording (run id ``kdd10-SketchML-lr-w8-s7-mp``), now carrying the
+  live-ops plane: span ids, wire-propagated causality, worker metric
+  deltas.
+* ``fleet_8w_costmodel.json`` — the cost model fitted from it
+  (``tests/test_fleet_replay.py`` re-fits and compares at 1e-9).
+* ``fleet_8w_dag.json`` — the causal span DAG projected to
+  ``(parent, child, count)`` edges (``tests/test_obs_smoke.py`` pins
+  it; timing- and id-free, so only *structural* causality changes
+  show up as a diff).
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+__all__ = ["TRACE", "MODEL", "DAG", "TRAIN_ARGS", "main"]
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TRACE = os.path.join(HERE, "fleet_8w.jsonl")
+MODEL = os.path.join(HERE, "fleet_8w_costmodel.json")
+DAG = os.path.join(HERE, "fleet_8w_dag.json")
+
+#: The recorded invocation — one epoch of the kdd10 profile on eight
+#: real worker processes, fixed seed.
+TRAIN_ARGS = [
+    "train",
+    "--profile", "kdd10",
+    "--model", "lr",
+    "--method", "SketchML",
+    "--workers", "8",
+    "--epochs", "1",
+    "--seed", "7",
+    "--scale", "0.05",
+    "--backend", "mp",
+    "--trace", TRACE,
+]
+
+
+def main():
+    from repro.cli import main as repro_main
+    from repro.fleet import fit_cost_model
+    from repro.telemetry.critical_path import causal_edges
+    from repro.telemetry.merge import read_trace
+
+    rc = repro_main(TRAIN_ARGS)
+    if rc != 0:
+        raise SystemExit(f"traced train failed with exit code {rc}")
+    events = read_trace(TRACE)
+
+    model = fit_cost_model(events)
+    with open(MODEL, "w", encoding="utf-8") as fh:
+        json.dump(model.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+    edges = causal_edges(events)
+    with open(DAG, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "format": "repro-causal-dag/1",
+                "edges": [list(edge) for edge in edges],
+            },
+            fh, indent=1, sort_keys=True,
+        )
+        fh.write("\n")
+    print(f"wrote {TRACE} ({len(events)} events)")
+    print(f"wrote {MODEL} ({model.num_workers} workers)")
+    print(f"wrote {DAG} ({len(edges)} edges)")
+
+
+if __name__ == "__main__":
+    main()

@@ -382,7 +382,7 @@ class TestServeChunkRecovery:
             def __init__(self, bootstrap):
                 pass
 
-            def set_wire(self, frame_v, payload_v):
+            def set_wire(self, frame_v, payload_v, ops=False):
                 pass
 
             def handle(self, kind, payload):
